@@ -1,0 +1,28 @@
+//! # hypertap-attacks — rootkits, exploits and attack strategies
+//!
+//! The offensive side of the evaluation:
+//!
+//! * [`rootkits`] — the ten real-world rootkits of the paper's Table II,
+//!   modelled by their hiding technique (DKOM task-list unlinking, syscall
+//!   hijacking, kmem patching);
+//! * [`exploit`] — the privilege-escalation attack program (standing in for
+//!   CVE-2010-3847 / CVE-2013-1763 exploitation) with configurable timing:
+//!   transient, rootkit-combined, and spam-assisted variants;
+//! * [`side_channel`] — the `/proc`-based prober that measures a passive
+//!   monitor's checking interval (Table III; the paper's reference 37).
+//!
+//! These are *models for defensive evaluation inside a simulator*: every
+//! "attack" manipulates only the simulated guest's in-memory structures.
+
+pub mod exploit;
+pub mod rootkits;
+pub mod side_channel;
+
+/// Glob import of the attack toolbox.
+pub mod prelude {
+    pub use crate::exploit::{AttackConfig, AttackProgram, ATTACK_DONE_TAG};
+    pub use crate::rootkits::{all_rootkits, rootkit_by_name};
+    pub use crate::side_channel::{IntervalEstimate, SideChannelProber, WAKE_TAG};
+}
+
+pub use prelude::*;

@@ -1,0 +1,63 @@
+//! The real-world rootkits of the paper's Table II, modelled by hiding
+//! technique.
+//!
+//! HRKD's claim is *technique independence*: because the trusted view is
+//! assembled from CR3 loads and `TSS.RSP0` writes, it does not matter
+//! whether a rootkit unlinks kernel objects (DKOM), hijacks the
+//! enumeration syscalls, or patches kernel memory through `/dev/kmem` —
+//! the hidden process still has to be scheduled to run, and scheduling is
+//! architecturally visible. Each entry below reproduces the corruption its
+//! real counterpart performs.
+
+use hypertap_guestos::module::{HideMechanism, ModuleSpec};
+
+/// All ten rootkits of Table II, in the paper's order.
+pub fn all_rootkits() -> Vec<ModuleSpec> {
+    use HideMechanism::*;
+    vec![
+        ModuleSpec::new("FU", "Win XP, Vista", vec![Dkom]),
+        ModuleSpec::new("HideProc", "Win XP, Vista", vec![Dkom]),
+        ModuleSpec::new("AFX", "Win XP, Vista", vec![SyscallHijack]),
+        ModuleSpec::new("HideToolz", "Win XP, Vista, 7", vec![SyscallHijack]),
+        ModuleSpec::new("HE4Hook", "Win XP", vec![SyscallHijack]),
+        ModuleSpec::new("BH-Rootkit-NT", "Win XP, Vista", vec![SyscallHijack]),
+        ModuleSpec::new("Ivyl's Rootkit", "Linux >2.6.29", vec![SyscallHijack]),
+        ModuleSpec::new("Enyelkm 1.2", "Linux 2.6", vec![KmemPatch, SyscallHijack]),
+        ModuleSpec::new("SucKIT", "Linux 2.6", vec![KmemPatch, Dkom]),
+        ModuleSpec::new("PhalanX", "Linux 2.6", vec![KmemPatch, Dkom]),
+    ]
+}
+
+/// Looks up a Table II rootkit by name.
+pub fn rootkit_by_name(name: &str) -> Option<ModuleSpec> {
+    all_rootkits().into_iter().find(|r| r.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_rootkits_as_in_table2() {
+        let r = all_rootkits();
+        assert_eq!(r.len(), 10);
+        // Spot-check techniques against the paper's table.
+        assert_eq!(rootkit_by_name("FU").unwrap().mechanisms, vec![HideMechanism::Dkom]);
+        assert!(rootkit_by_name("SucKIT")
+            .unwrap()
+            .mechanisms
+            .contains(&HideMechanism::KmemPatch));
+        assert!(rootkit_by_name("AFX")
+            .unwrap()
+            .mechanisms
+            .contains(&HideMechanism::SyscallHijack));
+        assert!(rootkit_by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn oses_cover_windows_and_linux() {
+        let r = all_rootkits();
+        assert!(r.iter().any(|s| s.target_os.contains("Win")));
+        assert!(r.iter().any(|s| s.target_os.contains("Linux")));
+    }
+}

@@ -1,0 +1,162 @@
+//! The `/proc` side channel: predicting a passive monitor's schedule
+//! (paper §VIII-C1, Table III).
+//!
+//! `/proc/PID/stat` exposes any process's scheduler state and instruction
+//! pointer. An unprivileged attacker polls the monitor's entry and records
+//! the sleep→run transitions — each one is the start of a check. The gaps
+//! between consecutive wake-ups *are* the monitoring interval, measured to
+//! sub-millisecond precision; a transient attack launched right after a
+//! wake-up then has almost the whole interval to finish undetected.
+
+use hypertap_guestos::kernel::ProcStat;
+use hypertap_guestos::program::{UserOp, UserProgram, UserView};
+use hypertap_guestos::syscalls::Sysno;
+
+/// Mailbox tag emitted at each observed wake-up (detail = observation time
+/// in nanoseconds).
+pub const WAKE_TAG: &str = "ninja-wake";
+
+/// The prober: polls the target's `/proc` stat and reports wake-ups.
+#[derive(Debug)]
+pub struct SideChannelProber {
+    target_pid: u64,
+    poll_gap_ns: u64,
+    max_wakes: u64,
+    wakes_seen: u64,
+    last_state: Option<u64>,
+    pending_emit: Option<u64>,
+    gap_due: bool,
+}
+
+impl SideChannelProber {
+    /// Probes `target_pid` every `poll_gap_ns`, reporting up to `max_wakes`
+    /// wake-ups before exiting.
+    pub fn new(target_pid: u64, poll_gap_ns: u64, max_wakes: u64) -> Self {
+        SideChannelProber {
+            target_pid,
+            poll_gap_ns,
+            max_wakes,
+            wakes_seen: 0,
+            last_state: None,
+            pending_emit: None,
+            gap_due: false,
+        }
+    }
+}
+
+impl UserProgram for SideChannelProber {
+    fn next_op(&mut self, view: &UserView<'_>) -> UserOp {
+        if let Some(t) = self.pending_emit.take() {
+            return UserOp::Emit(WAKE_TAG.into(), format!("{t}"));
+        }
+        if self.wakes_seen >= self.max_wakes {
+            return UserOp::Exit(0);
+        }
+        // Interpret the previous stat (if the last op was a stat).
+        if let Some(stat) = ProcStat::unpack(view.last_ret) {
+            let state = stat.state;
+            if self.last_state == Some(1) && state == 0 {
+                // Sleep -> Run: the monitor just woke for a check.
+                self.wakes_seen += 1;
+                self.last_state = Some(state);
+                self.pending_emit = None;
+                // Emit first, then resume polling.
+                return UserOp::Emit(WAKE_TAG.into(), format!("{}", view.now.as_nanos()));
+            }
+            self.last_state = Some(state);
+        }
+        if self.poll_gap_ns > 0 && self.gap_due {
+            // Busy-wait between polls (compute, not sleep: keeps the
+            // prober's own wake-up latency negligible).
+            self.gap_due = false;
+            return UserOp::Compute(self.poll_gap_ns);
+        }
+        self.gap_due = true;
+        UserOp::sys(Sysno::ReadProcStat, &[self.target_pid])
+    }
+}
+
+/// Interval statistics recovered from observed wake-up times.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntervalEstimate {
+    /// Number of gaps measured.
+    pub samples: usize,
+    /// Mean gap in seconds.
+    pub mean_s: f64,
+    /// Minimum gap in seconds.
+    pub min_s: f64,
+    /// Maximum gap in seconds.
+    pub max_s: f64,
+    /// Standard deviation in seconds.
+    pub sd_s: f64,
+}
+
+impl IntervalEstimate {
+    /// Computes the estimate from wake-up timestamps (nanoseconds).
+    /// Returns `None` with fewer than two observations.
+    pub fn from_wakes(wakes_ns: &[u64]) -> Option<IntervalEstimate> {
+        if wakes_ns.len() < 2 {
+            return None;
+        }
+        let gaps: Vec<f64> = wakes_ns.windows(2).map(|w| (w[1] - w[0]) as f64 / 1e9).collect();
+        let n = gaps.len() as f64;
+        let mean = gaps.iter().sum::<f64>() / n;
+        let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / n;
+        Some(IntervalEstimate {
+            samples: gaps.len(),
+            mean_s: mean,
+            min_s: gaps.iter().copied().fold(f64::INFINITY, f64::min),
+            max_s: gaps.iter().copied().fold(0.0, f64::max),
+            sd_s: var.sqrt(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypertap_hvsim::clock::SimTime;
+
+    fn view_at(ret: u64, now_ns: u64) -> UserView<'static> {
+        UserView {
+            last_ret: ret,
+            now: SimTime::from_nanos(now_ns),
+            pid: 50,
+            uid: 1000,
+            euid: 1000,
+            procs: &[],
+        }
+    }
+
+    #[test]
+    fn detects_sleep_to_run_transitions() {
+        use hypertap_guestos::kernel::pack_proc_stat;
+        let mut p = SideChannelProber::new(9, 0, 2);
+        // First op: stat.
+        assert!(matches!(p.next_op(&view_at(0, 0)), UserOp::Syscall(Sysno::ReadProcStat, _)));
+        // Target sleeping.
+        let sleeping = pack_proc_stat(0, 0, 1, 0);
+        assert!(matches!(p.next_op(&view_at(sleeping, 100)), UserOp::Syscall(..)));
+        // Target now running: wake observed, emitted with the time.
+        let running = pack_proc_stat(0, 0, 0, 5);
+        let op = p.next_op(&view_at(running, 1_000));
+        assert_eq!(op, UserOp::Emit(WAKE_TAG.into(), "1000".into()));
+        // Running again: no new wake.
+        assert!(matches!(p.next_op(&view_at(running, 2_000)), UserOp::Syscall(..)));
+        // Sleep, then run: second wake; prober then exits (max_wakes = 2).
+        assert!(matches!(p.next_op(&view_at(sleeping, 3_000)), UserOp::Syscall(..)));
+        assert!(matches!(p.next_op(&view_at(running, 4_000)), UserOp::Emit(..)));
+        assert_eq!(p.next_op(&view_at(running, 5_000)), UserOp::Exit(0));
+    }
+
+    #[test]
+    fn interval_statistics() {
+        let wakes = [0u64, 1_000_000_000, 2_000_400_000, 3_000_000_000];
+        let est = IntervalEstimate::from_wakes(&wakes).unwrap();
+        assert_eq!(est.samples, 3);
+        assert!((est.mean_s - 1.0).abs() < 0.01);
+        assert!(est.min_s <= 1.0 && est.max_s >= 1.0);
+        assert!(est.sd_s < 0.01);
+        assert!(IntervalEstimate::from_wakes(&[5]).is_none());
+    }
+}

@@ -1,0 +1,72 @@
+//! Criterion micro-benchmark: trusted derivation vs untrusted VMI walking.
+//!
+//! Compares the host-side cost of deriving the current task from the
+//! architectural chain (TR → TSS → thread_info → task_struct) against a
+//! full VMI task-list walk — the per-check costs behind HT-Ninja and
+//! H-Ninja respectively.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hypertap_core::{derive, vmi};
+use hypertap_guestos::kernel::{Kernel, KernelConfig};
+use hypertap_guestos::layout;
+use hypertap_guestos::program::{FnProgram, UserOp, UserView};
+use hypertap_guestos::syscalls::Sysno;
+use hypertap_hvsim::clock::{Duration, SimTime};
+use hypertap_hvsim::exit::{ExitAction, VmExit};
+use hypertap_hvsim::machine::{Hypervisor, Machine, VmConfig, VmState};
+use hypertap_hvsim::vcpu::VcpuId;
+
+struct NoHv;
+impl Hypervisor for NoHv {
+    fn handle_exit(&mut self, _vm: &mut VmState, _exit: &VmExit) -> ExitAction {
+        ExitAction::Resume
+    }
+}
+
+/// Boots a guest with a couple dozen processes and returns the machine.
+fn booted_machine() -> (Machine<NoHv>, Kernel) {
+    let mut m = Machine::new(VmConfig::new(2, 256 << 20), NoHv);
+    let mut k = Kernel::new(KernelConfig::new(2));
+    let idle = k.register_program(
+        "idle",
+        Box::new(|| hypertap_workloads::idle_program(3_600_000_000_000)),
+    );
+    let idle_raw = idle.0;
+    let init = k.register_program(
+        "init",
+        Box::new(move || {
+            let mut n = 0;
+            Box::new(FnProgram(move |_v: &UserView<'_>| {
+                n += 1;
+                if n <= 24 {
+                    UserOp::sys(Sysno::Spawn, &[idle_raw, 1000])
+                } else {
+                    UserOp::sys(Sysno::Nanosleep, &[3_600_000_000_000])
+                }
+            }))
+        }),
+    );
+    k.set_init_program(init);
+    m.run_until(&mut k, SimTime::from_millis(400));
+    (m, k)
+}
+
+fn bench_derivation(c: &mut Criterion) {
+    let (m, _k) = booted_machine();
+    let vm = m.vm();
+    let profile = layout::os_profile();
+    let cr3 = vm.vcpu(VcpuId(0)).cr3();
+
+    let mut group = c.benchmark_group("derivation");
+    group.bench_function("derive_current_task", |b| {
+        b.iter(|| derive::current_task(vm, VcpuId(0), &profile))
+    });
+    group.bench_function("vmi_list_tasks_27_procs", |b| {
+        b.iter(|| vmi::list_tasks(&vm.mem, cr3, &profile, 8192))
+    });
+    group.finish();
+    let _ = Duration::ZERO;
+}
+
+criterion_group!(benches, bench_derivation);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Criterion micro-benchmark: Event Multiplexer delivery throughput.
+//!
+//! Measures the host-side cost of dispatching one event through the EM for
+//! (a) a single synchronous auditor, (b) four synchronous auditors, and
+//! (c) an audit container (thread + channel) — the deployment trade-off of
+//! the paper's Fig. 2.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hypertap_core::audit::{CountingAuditor, Finding};
+use hypertap_core::em::{ContainerAuditor, EventMultiplexer};
+use hypertap_core::event::{Event, EventKind, EventMask, VmId};
+use hypertap_hvsim::clock::SimTime;
+use hypertap_hvsim::exit::{ExitAction, VcpuSnapshot, VmExit};
+use hypertap_hvsim::machine::{Hypervisor, Machine, VmConfig, VmState};
+use hypertap_hvsim::mem::Gpa;
+use hypertap_hvsim::vcpu::{Vcpu, VcpuId};
+
+struct NoHv;
+impl Hypervisor for NoHv {
+    fn handle_exit(&mut self, _vm: &mut VmState, _exit: &VmExit) -> ExitAction {
+        ExitAction::Resume
+    }
+}
+
+struct NullContainer;
+impl ContainerAuditor for NullContainer {
+    fn name(&self) -> &str {
+        "null"
+    }
+    fn subscriptions(&self) -> EventMask {
+        EventMask::ALL
+    }
+    fn on_event(&mut self, _event: &Event) -> Vec<Finding> {
+        Vec::new()
+    }
+}
+
+fn event() -> Event {
+    Event {
+        vm: VmId(0),
+        vcpu: VcpuId(0),
+        time: SimTime::from_millis(1),
+        kind: EventKind::ProcessSwitch { new_pdba: Gpa::new(0x1000) },
+        state: VcpuSnapshot::capture(&Vcpu::new(VcpuId(0))),
+    }
+}
+
+fn bench_em(c: &mut Criterion) {
+    let mut group = c.benchmark_group("em_delivery");
+    let ev = event();
+
+    for auditors in [1usize, 4] {
+        let mut em = EventMultiplexer::new();
+        for _ in 0..auditors {
+            em.register(Box::new(CountingAuditor::new()));
+        }
+        let mut vm = Machine::new(VmConfig::new(1, 1 << 20), NoHv).into_parts().0;
+        group.bench_function(format!("sync_{auditors}_auditors"), |b| {
+            b.iter(|| em.dispatch(&mut vm, std::hint::black_box(&ev)))
+        });
+    }
+
+    let mut em = EventMultiplexer::new();
+    em.register_container(Box::new(|| Box::new(NullContainer)));
+    let mut vm = Machine::new(VmConfig::new(1, 1 << 20), NoHv).into_parts().0;
+    group.bench_function("container_enqueue", |b| {
+        b.iter(|| em.dispatch(&mut vm, std::hint::black_box(&ev)))
+    });
+    em.shutdown_containers();
+    group.finish();
+}
+
+criterion_group!(benches, bench_em);
+criterion_main!(benches);

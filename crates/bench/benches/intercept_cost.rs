@@ -1,0 +1,48 @@
+//! Criterion micro-benchmark: host-side simulation cost of the interception
+//! engine sets.
+//!
+//! Simulates a fixed syscall-heavy guest burst under no engines, the
+//! context-switch engines, and the full engine set, measuring how much
+//! *host* time the monitoring machinery adds per simulated operation (the
+//! simulator-author's analogue of the paper's guest-side Fig. 7).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hypertap_guestos::program::{FnProgram, UserOp, UserView};
+use hypertap_guestos::syscalls::Sysno;
+use hypertap_monitors::harness::{EngineSelection, TapVm};
+use hypertap_hvsim::clock::Duration;
+
+fn run_burst(engines: EngineSelection) {
+    let mut vm = TapVm::builder().vcpus(1).memory(192 << 20).engines(engines).build();
+    let w = vm.kernel.register_program(
+        "burst",
+        Box::new(|| {
+            let mut n = 0u32;
+            Box::new(FnProgram(move |_v: &UserView<'_>| {
+                n += 1;
+                if n > 300 {
+                    UserOp::sys(Sysno::Reboot, &[])
+                } else {
+                    UserOp::sys(Sysno::Getpid, &[])
+                }
+            }))
+        }),
+    );
+    let init = hypertap_workloads::make::install_init_running(&mut vm.kernel, w);
+    vm.kernel.set_init_program(init);
+    vm.run_for(Duration::from_secs(60));
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("intercept_cost");
+    group.sample_size(20);
+    group.bench_function("no_engines", |b| b.iter(|| run_burst(EngineSelection::none())));
+    group.bench_function("context_switch_engines", |b| {
+        b.iter(|| run_burst(EngineSelection::context_switch_only()))
+    });
+    group.bench_function("all_engines", |b| b.iter(|| run_burst(EngineSelection::all())));
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

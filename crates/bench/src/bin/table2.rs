@@ -1,0 +1,112 @@
+//! Table II — real-world rootkits evaluated with HRKD.
+//!
+//! For each of the ten rootkits, a fresh VM boots, a victim process starts
+//! (so HRKD's trusted view records its address space and kernel stack), the
+//! rootkit hides it, and HRKD cross-validates the trusted view against both
+//! untrusted views (traditional VMI and the in-guest `ps`). The table
+//! reports whether the hidden process was exposed.
+
+use hypertap_attacks::rootkits::all_rootkits;
+use hypertap_bench::report::table;
+use hypertap_guestos::module::ModuleSpec;
+use hypertap_guestos::program::{FnProgram, UserOp, UserView};
+use hypertap_guestos::syscalls::Sysno;
+use hypertap_monitors::harness::TapVm;
+use hypertap_monitors::hrkd::Hrkd;
+use hypertap_hvsim::clock::Duration;
+
+/// Runs one rootkit scenario; returns (detected_by_vmi_check,
+/// in_guest_ps_count_before, after).
+fn run_rootkit(spec: &ModuleSpec) -> (bool, usize, usize) {
+    let mut vm = TapVm::builder().hrkd().build();
+    let rk = vm.kernel.register_module(spec.clone());
+    let victim = vm.kernel.register_program(
+        "malware",
+        Box::new(|| Box::new(FnProgram(|_v: &UserView<'_>| UserOp::Compute(100_000)))),
+    );
+    let victim_raw = victim.0;
+    let init = vm.kernel.register_program(
+        "init",
+        Box::new(move || {
+            let mut stage = 0;
+            let mut vpid = 0u64;
+            Box::new(FnProgram(move |v: &UserView<'_>| {
+                stage += 1;
+                match stage {
+                    1 => UserOp::sys(Sysno::Spawn, &[victim_raw, 1000]),
+                    2 => {
+                        vpid = v.last_ret;
+                        UserOp::sys(Sysno::Nanosleep, &[50_000_000])
+                    }
+                    3 => UserOp::sys(Sysno::ListProcs, &[]),
+                    4 => UserOp::Emit("ps-before".into(), format!("{}", v.procs.len())),
+                    5 => UserOp::sys(Sysno::InstallModule, &[rk, vpid]),
+                    6 => UserOp::sys(Sysno::ListProcs, &[]),
+                    7 => UserOp::Emit("ps-after".into(), format!("{}", v.procs.len())),
+                    _ => UserOp::sys(Sysno::Nanosleep, &[3_600_000_000_000]),
+                }
+            }))
+        }),
+    );
+    vm.kernel.set_init_program(init);
+    vm.run_for(Duration::from_millis(500));
+
+    let mail = vm.kernel.drain_mailbox(hypertap_guestos::task::Pid(1));
+    let grab = |tag: &str| -> usize {
+        mail.iter()
+            .find(|e| e.tag == tag)
+            .and_then(|e| e.detail.parse().ok())
+            .unwrap_or(0)
+    };
+    let (before, after) = (grab("ps-before"), grab("ps-after"));
+
+    let now = vm.now();
+    let (vmstate, kvm) = vm.machine.parts_mut();
+    let hrkd = kvm.em.auditor_mut::<Hrkd>().expect("registered");
+    let vmi_report = hrkd.cross_validate_vmi(vmstate, now);
+    let in_guest_report = hrkd.cross_validate_in_guest(vmstate, now, after.saturating_sub(3));
+    // `after` counts init + kflushd×2 + victim-if-visible; user processes
+    // with address spaces are init + victim, so subtract the kthreads and
+    // ninja-less baseline of 3 non-user rows (init itself has a PDBA and is
+    // counted on both sides).
+    let detected = !vmi_report.is_clean() || !in_guest_report.is_clean();
+    (detected, before, after)
+}
+
+fn main() {
+    println!("Table II — real-world rootkits evaluated with HRKD\n");
+    let mut rows = Vec::new();
+    let mut all_detected = true;
+    for spec in all_rootkits() {
+        let (detected, before, after) = run_rootkit(&spec);
+        all_detected &= detected;
+        let mechanisms = spec
+            .mechanisms
+            .iter()
+            .map(|m| m.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        rows.push(vec![
+            spec.name.clone(),
+            spec.target_os.clone(),
+            mechanisms,
+            format!("{before} -> {after}"),
+            if detected { "DETECTED".into() } else { "missed".into() },
+        ]);
+    }
+    println!(
+        "{}",
+        table(
+            &["Rootkit", "Target OS", "Hiding technique(s)", "in-guest ps rows", "HRKD"],
+            &rows
+        )
+    );
+    println!(
+        "{}",
+        if all_detected {
+            "All rootkits detected (paper: all were detected)."
+        } else {
+            "MISMATCH: some rootkits evaded HRKD."
+        }
+    );
+}

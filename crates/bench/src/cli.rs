@@ -1,0 +1,82 @@
+//! A minimal `--flag value` command-line parser for the experiment
+//! binaries (keeps the dependency set to the approved list).
+
+use std::collections::HashMap;
+
+/// Parsed flags.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    flags: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Args {
+    /// Parses the process's arguments. `--key value` pairs become flags;
+    /// bare `--key` (followed by another flag or nothing) become switches.
+    pub fn parse() -> Args {
+        Args::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit iterator (testable).
+    pub fn parse_from<I: IntoIterator<Item = String>>(iter: I) -> Args {
+        let mut out = Args::default();
+        let items: Vec<String> = iter.into_iter().collect();
+        let mut i = 0;
+        while i < items.len() {
+            let item = &items[i];
+            if let Some(key) = item.strip_prefix("--") {
+                let next_is_value = items.get(i + 1).map(|n| !n.starts_with("--")).unwrap_or(false);
+                if next_is_value {
+                    out.flags.insert(key.to_owned(), items[i + 1].clone());
+                    i += 2;
+                } else {
+                    out.switches.push(key.to_owned());
+                    i += 1;
+                }
+            } else {
+                i += 1;
+            }
+        }
+        out
+    }
+
+    /// A flag's value parsed into any `FromStr` type, or `default`.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.flags.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    /// A flag's raw string value.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    /// Whether a bare switch was present.
+    pub fn has(&self, key: &str) -> bool {
+        self.switches.iter().any(|s| s == key) || self.flags.contains_key(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Args {
+        Args::parse_from(s.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_flags_and_switches() {
+        let a = args(&["--seed", "7", "--full", "--out", "x.json"]);
+        assert_eq!(a.get::<u64>("seed", 0), 7);
+        assert!(a.has("full"));
+        assert_eq!(a.get_str("out"), Some("x.json"));
+        assert!(!a.has("missing"));
+        assert_eq!(a.get::<u64>("missing", 42), 42);
+    }
+
+    #[test]
+    fn bad_values_fall_back_to_default() {
+        let a = args(&["--seed", "notanumber"]);
+        assert_eq!(a.get::<u64>("seed", 5), 5);
+    }
+}

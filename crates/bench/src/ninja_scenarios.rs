@@ -1,0 +1,318 @@
+//! Trial runner for the three-Ninjas detection experiments (paper §VIII-C).
+//!
+//! One trial = one freshly booted VM with the chosen Ninja variant
+//! monitoring it, a crowd of `spam_idles` innocent processes, and a single
+//! privilege-escalation attack launched at a seed-randomised phase. The
+//! trial reports whether the monitor caught the attack.
+
+use hypertap_attacks::exploit::{AttackConfig, AttackProgram, ATTACK_DONE_TAG};
+use hypertap_attacks::rootkits;
+use hypertap_guestos::program::{FnProgram, UserOp, UserView};
+use hypertap_guestos::syscalls::Sysno;
+use hypertap_monitors::harness::{EngineSelection, TapVm};
+use hypertap_monitors::ninja::hninja::HNinja;
+use hypertap_monitors::ninja::htninja::HtNinja;
+use hypertap_monitors::ninja::oninja::{ONinja, DETECT_TAG};
+use hypertap_monitors::ninja::rules::NinjaRules;
+use hypertap_hvsim::clock::Duration;
+use hypertap_hvsim::machine::RunExit;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which Ninja is on duty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NinjaVariant {
+    /// The original in-guest poller with the given check interval
+    /// (0 = continuous scanning, the paper's "0-second checking interval").
+    ONinja {
+        /// Interval between scans, nanoseconds.
+        interval_ns: u64,
+    },
+    /// Hypervisor-level passive VMI poller.
+    HNinja {
+        /// Polling interval.
+        interval: Duration,
+    },
+    /// HyperTap's active version.
+    HtNinja,
+}
+
+/// Attack style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttackStyle {
+    /// Escalate, act, exit fast — no rootkit.
+    Transient,
+    /// Escalate, act, hide with a rootkit (the paper's combined attack).
+    RootkitCombined,
+}
+
+/// One trial's specification.
+#[derive(Debug, Clone, Copy)]
+pub struct NinjaTrial {
+    /// The monitor under test.
+    pub variant: NinjaVariant,
+    /// Number of innocent idle processes spawned before the attack.
+    pub spam_idles: usize,
+    /// Attack style.
+    pub attack: AttackStyle,
+    /// Seed (controls the attack's launch phase).
+    pub seed: u64,
+}
+
+/// One timeline event observed during a traced trial (Fig. 6).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulated time, nanoseconds.
+    pub time_ns: u64,
+    /// What happened.
+    pub what: String,
+}
+
+/// Runs one trial; returns whether the monitor detected the attack.
+pub fn run_ninja_trial(trial: &NinjaTrial) -> bool {
+    run_trial_inner(trial, false).0
+}
+
+/// Runs one trial with full event tracing (attack milestones + monitor
+/// checks), for the Fig. 6 timelines.
+pub fn run_ninja_trial_traced(
+    variant: NinjaVariant,
+    spam_idles: usize,
+    attack: AttackStyle,
+    seed: u64,
+) -> (Vec<TraceEvent>, bool) {
+    let trial = NinjaTrial { variant, spam_idles, attack, seed };
+    let (detected, events) = run_trial_inner(&trial, true);
+    (events, detected)
+}
+
+fn run_trial_inner(trial: &NinjaTrial, traced: bool) -> (bool, Vec<TraceEvent>) {
+    let mut rng = StdRng::seed_from_u64(trial.seed);
+    let phase_ns: u64 = rng.gen_range(0..1_000_000_000);
+
+    let mut builder = TapVm::builder().vcpus(2).memory(512 << 20);
+    builder = match trial.variant {
+        NinjaVariant::ONinja { .. } => builder.engines(EngineSelection::none()),
+        NinjaVariant::HNinja { interval } => builder
+            .engines(EngineSelection::none())
+            .em_tick(Duration::from_millis(1))
+            .hninja(NinjaRules::new(), interval),
+        NinjaVariant::HtNinja => builder.htninja(NinjaRules::new()),
+    };
+    let mut vm = builder.build();
+
+    // Guest-side programs.
+    let rk = vm
+        .kernel
+        .register_module(rootkits::rootkit_by_name("SucKIT").expect("table 2"));
+    let mut attack_cfg = match trial.attack {
+        AttackStyle::Transient => AttackConfig::transient(),
+        AttackStyle::RootkitCombined => AttackConfig::rootkit_combined(rk),
+    };
+    attack_cfg.verbose = traced;
+    let attack = vm.kernel.register_program(
+        "exploit",
+        Box::new(move || Box::new(AttackProgram::new(attack_cfg.clone()))),
+    );
+    let idle = vm.kernel.register_program(
+        "idle",
+        Box::new(|| hypertap_workloads::idle_program(3_600_000_000_000)),
+    );
+    let oninja_prog = match trial.variant {
+        NinjaVariant::ONinja { interval_ns } => Some(vm.kernel.register_program(
+            "ninja",
+            Box::new(move || {
+                let n = ONinja::new(NinjaRules::new(), interval_ns, false);
+                Box::new(if traced { n.with_trace() } else { n })
+            }),
+        )),
+        _ => None,
+    };
+
+    // The attacker's shell: settle, spawn spam, wait out the phase delay,
+    // launch the exploit.
+    let (attack_raw, idle_raw) = (attack.0, idle.0);
+    let spam = trial.spam_idles as u64;
+    let shell = vm.kernel.register_program(
+        "sh",
+        Box::new(move || {
+            let mut stage = 0u64;
+            Box::new(FnProgram(move |_v: &UserView<'_>| {
+                stage += 1;
+                if stage == 1 {
+                    return UserOp::sys(Sysno::Nanosleep, &[200_000_000]);
+                }
+                if stage <= 1 + spam {
+                    return UserOp::sys(Sysno::Spawn, &[idle_raw, u64::MAX]);
+                }
+                if stage == 2 + spam {
+                    return UserOp::sys(Sysno::Nanosleep, &[300_000_000 + phase_ns]);
+                }
+                if stage == 3 + spam {
+                    return UserOp::sys(Sysno::Spawn, &[attack_raw, u64::MAX]);
+                }
+                UserOp::sys(Sysno::Nanosleep, &[3_600_000_000_000])
+            }))
+        }),
+    );
+
+    let (shell_raw, oninja_raw) = (shell.0, oninja_prog.map(|p| p.0));
+    let init = vm.kernel.register_program(
+        "init",
+        Box::new(move || {
+            let mut stage = 0u64;
+            Box::new(FnProgram(move |_v: &UserView<'_>| {
+                stage += 1;
+                match (stage, oninja_raw) {
+                    (1, Some(n)) => UserOp::sys(Sysno::Spawn, &[n, 0]),
+                    (1, None) | (2, Some(_)) => UserOp::sys(Sysno::Spawn, &[shell_raw, 1000]),
+                    _ => UserOp::sys(Sysno::Nanosleep, &[3_600_000_000_000]),
+                }
+            }))
+        }),
+    );
+    vm.kernel.set_init_program(init);
+
+    // Run until the attack completes (plus a short grace so a scan that is
+    // mid-flight when the attack ends can finish its current check).
+    let mut detected = false;
+    let mut attack_done = false;
+    let mut grace_left = 3u32;
+    let mut events: Vec<TraceEvent> = Vec::new();
+    for _ in 0..4000 {
+        let run = vm.run_for(Duration::from_millis(5));
+        for (_pid, ev) in vm.kernel.drain_all_mailboxes() {
+            if ev.tag == DETECT_TAG {
+                detected = true;
+            }
+            if ev.tag == ATTACK_DONE_TAG {
+                attack_done = true;
+            }
+            if traced {
+                let what = match ev.tag.as_str() {
+                    "attack-escalated" => Some("ATTACK: escalated to root".to_string()),
+                    "attack-hidden" => Some("ATTACK: hidden by rootkit".to_string()),
+                    t if t == ATTACK_DONE_TAG => Some("ATTACK: finished, exiting".to_string()),
+                    "oninja-scan" => Some("O-Ninja: scan begins".to_string()),
+                    t if t == DETECT_TAG => {
+                        Some(format!("O-Ninja: DETECTED pid {}", ev.detail))
+                    }
+                    _ => None,
+                };
+                if let Some(what) = what {
+                    events.push(TraceEvent { time_ns: ev.time.as_nanos(), what });
+                }
+            }
+        }
+        if attack_done {
+            grace_left = grace_left.saturating_sub(1);
+            if grace_left == 0 {
+                break;
+            }
+        }
+        if run == RunExit::AllIdle || run == RunExit::Shutdown {
+            break;
+        }
+    }
+    let detected = match trial.variant {
+        NinjaVariant::ONinja { .. } => detected,
+        NinjaVariant::HNinja { .. } => {
+            let n = vm.auditor::<HNinja>().expect("registered");
+            if traced {
+                for t in n.scan_times() {
+                    events.push(TraceEvent {
+                        time_ns: t.as_nanos(),
+                        what: "H-Ninja: checks the task list".to_string(),
+                    });
+                }
+                for d in n.detections() {
+                    events.push(TraceEvent {
+                        time_ns: d.time.as_nanos(),
+                        what: format!("H-Ninja: DETECTED pid {} ({})", d.pid, d.comm),
+                    });
+                }
+            }
+            n.detections().iter().any(|d| d.comm == "exploit")
+        }
+        NinjaVariant::HtNinja => {
+            let n = vm.auditor::<HtNinja>().expect("registered");
+            if traced {
+                for d in n.detections() {
+                    events.push(TraceEvent {
+                        time_ns: d.time.as_nanos(),
+                        what: format!("HT-Ninja: DETECTED pid {} via {}", d.pid, d.via),
+                    });
+                }
+            }
+            n.detections().iter().any(|d| d.comm == "exploit")
+        }
+    };
+    events.sort_by_key(|e| e.time_ns);
+    // Trim the boring boot prefix: keep from just before the first attack
+    // event.
+    if traced {
+        if let Some(first_attack) = events.iter().position(|e| e.what.starts_with("ATTACK")) {
+            let from = first_attack.saturating_sub(2);
+            events.drain(..from);
+        }
+    }
+    (detected, events)
+}
+
+/// Runs `trials` independent trials in parallel, returning the detection
+/// probability.
+pub fn detection_probability(
+    variant: NinjaVariant,
+    spam_idles: usize,
+    attack: AttackStyle,
+    trials: usize,
+    seed_base: u64,
+) -> f64 {
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let specs: Vec<NinjaTrial> = (0..trials)
+        .map(|i| NinjaTrial { variant, spam_idles, attack, seed: seed_base + i as u64 })
+        .collect();
+    let queue = std::sync::Mutex::new(specs);
+    let detected = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let spec = queue.lock().expect("queue").pop();
+                let Some(spec) = spec else { break };
+                if run_ninja_trial(&spec) {
+                    detected.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    detected.load(std::sync::atomic::Ordering::Relaxed) as f64 / trials as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn htninja_always_detects() {
+        for seed in 0..3 {
+            let t = NinjaTrial {
+                variant: NinjaVariant::HtNinja,
+                spam_idles: 0,
+                attack: AttackStyle::RootkitCombined,
+                seed,
+            };
+            assert!(run_ninja_trial(&t), "HT-Ninja must catch seed {seed}");
+        }
+    }
+
+    #[test]
+    fn oninja_with_long_interval_misses_transient() {
+        let t = NinjaTrial {
+            variant: NinjaVariant::ONinja { interval_ns: 1_000_000_000 },
+            spam_idles: 0,
+            attack: AttackStyle::Transient,
+            seed: 5,
+        };
+        assert!(!run_ninja_trial(&t), "a 1 s poller cannot catch a 300 µs attack");
+    }
+}

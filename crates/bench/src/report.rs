@@ -1,0 +1,93 @@
+//! Plain-text report formatting: fixed-width tables, percentage bars,
+//! CDF listings. The experiment binaries print with these so their output
+//! diffs cleanly against EXPERIMENTS.md.
+
+/// Renders a table: header row + data rows, columns padded to fit.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{:<width$}", cell, width = widths[i]));
+        }
+        line.trim_end().to_owned()
+    };
+    let headers_owned: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&headers_owned, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// A horizontal percentage bar, `width` characters at 100%.
+pub fn bar(fraction: f64, width: usize) -> String {
+    let filled = ((fraction.clamp(0.0, 1.0)) * width as f64).round() as usize;
+    format!("{}{}", "#".repeat(filled), ".".repeat(width - filled))
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(fraction: f64) -> String {
+    format!("{:.1}%", fraction * 100.0)
+}
+
+/// Prints an empirical CDF as (x, F(x)) pairs at the given x values.
+pub fn cdf_table(label: &str, sorted_samples: &[f64], xs: &[f64]) -> String {
+    let mut rows = Vec::new();
+    for &x in xs {
+        let f = if sorted_samples.is_empty() {
+            0.0
+        } else {
+            sorted_samples.partition_point(|&v| v <= x) as f64 / sorted_samples.len() as f64
+        };
+        rows.push(vec![format!("{x:.0}"), pct(f), bar(f, 40)]);
+    }
+    format!("{label} (n = {})\n{}", sorted_samples.len(), table(&["t (s)", "CDF", ""], &rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(
+            &["name", "value"],
+            &[vec!["a".into(), "1".into()], vec!["longer".into(), "22".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines[0], "name    value");
+        assert_eq!(lines[2], "a       1");
+        assert_eq!(lines[3], "longer  22");
+    }
+
+    #[test]
+    fn bars_and_percentages() {
+        assert_eq!(bar(0.5, 10), "#####.....");
+        assert_eq!(bar(0.0, 4), "....");
+        assert_eq!(bar(1.5, 4), "####", "clamped");
+        assert_eq!(pct(0.123), "12.3%");
+    }
+
+    #[test]
+    fn cdf_table_counts() {
+        let out = cdf_table("latency", &[1.0, 2.0, 3.0], &[2.0, 10.0]);
+        assert!(out.contains("n = 3"));
+        assert!(out.contains("66.7%"));
+        assert!(out.contains("100.0%"));
+    }
+}

@@ -1,0 +1,242 @@
+//! The audit phase: the [`Auditor`] trait and findings plumbing.
+//!
+//! In HyperTap the audit phase of each monitor is implemented and operated
+//! independently of the shared logging phase. An auditor subscribes to the
+//! event classes it needs, receives each matching [`Event`] together with
+//! mutable access to the VM (so it can inspect guest memory through the
+//! hypervisor's eyes, pause the VM during an attack, or request suppression
+//! of the intercepted operation), and reports [`Finding`]s through a
+//! [`FindingSink`].
+
+use crate::event::{Event, EventMask};
+use hypertap_hvsim::clock::SimTime;
+use hypertap_hvsim::machine::VmState;
+use std::any::Any;
+use std::fmt;
+
+/// Severity of a finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational observation.
+    Info,
+    /// Suspicious but not conclusive.
+    Warning,
+    /// A policy violation or failure was detected.
+    Alert,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Alert => "ALERT",
+        })
+    }
+}
+
+/// A report produced by an auditor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Name of the reporting auditor.
+    pub auditor: String,
+    /// Simulated time at which the finding was made.
+    pub time: SimTime,
+    /// Severity.
+    pub severity: Severity,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Finding {
+    /// Convenience constructor.
+    pub fn new(
+        auditor: impl Into<String>,
+        time: SimTime,
+        severity: Severity,
+        message: impl Into<String>,
+    ) -> Self {
+        Finding { auditor: auditor.into(), time, severity, message: message.into() }
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} {}] {}: {}", self.time, self.severity, self.auditor, self.message)
+    }
+}
+
+/// Where auditors report findings and request actions on the intercepted
+/// operation.
+pub trait FindingSink {
+    /// Records a finding.
+    fn report(&mut self, finding: Finding);
+
+    /// Asks the hypervisor to suppress the intercepted operation (only
+    /// meaningful during synchronous, blocking delivery — the paper's
+    /// "auditor may pause its target VM during analysis" enforcement hook).
+    fn request_suppress(&mut self) {}
+}
+
+impl FindingSink for Vec<Finding> {
+    fn report(&mut self, finding: Finding) {
+        self.push(finding);
+    }
+}
+
+/// An independent RnS monitor's audit phase.
+///
+/// Implementations must also provide [`Auditor::as_any`]/[`Auditor::as_any_mut`]
+/// so harnesses can query auditor-specific state after a run (the pattern the
+/// Event Multiplexer's [`crate::em::EventMultiplexer::auditor`] accessor
+/// uses).
+pub trait Auditor {
+    /// The auditor's name (used in findings).
+    fn name(&self) -> &str;
+
+    /// The event classes this auditor wants delivered.
+    fn subscriptions(&self) -> EventMask;
+
+    /// Handles one event. `vm` is the live VM state: auditors may read guest
+    /// memory, pause the VM, or reprogram protections through it.
+    fn on_event(&mut self, vm: &mut VmState, event: &Event, sink: &mut dyn FindingSink);
+
+    /// Periodic callback driven by the multiplexer's host timer. Auditors
+    /// with time-based policies (hang watchdogs, pollers) use this.
+    fn on_tick(&mut self, _vm: &mut VmState, _now: SimTime, _sink: &mut dyn FindingSink) {}
+
+    /// Upcast for read-only state queries.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Upcast for mutable state queries.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// A minimal auditor that counts the events it receives. Used in examples,
+/// tests and as the simplest template for writing auditors.
+#[derive(Debug, Default)]
+pub struct CountingAuditor {
+    mask: EventMask,
+    events: u64,
+    ticks: u64,
+}
+
+impl CountingAuditor {
+    /// Counts every event class.
+    pub fn new() -> Self {
+        CountingAuditor { mask: EventMask::ALL, events: 0, ticks: 0 }
+    }
+
+    /// Counts only the given classes.
+    pub fn with_mask(mask: EventMask) -> Self {
+        CountingAuditor { mask, events: 0, ticks: 0 }
+    }
+
+    /// Number of events delivered so far.
+    pub fn events_seen(&self) -> u64 {
+        self.events
+    }
+
+    /// Number of timer ticks delivered so far.
+    pub fn ticks_seen(&self) -> u64 {
+        self.ticks
+    }
+}
+
+impl Auditor for CountingAuditor {
+    fn name(&self) -> &str {
+        "counting"
+    }
+
+    fn subscriptions(&self) -> EventMask {
+        self.mask
+    }
+
+    fn on_event(&mut self, _vm: &mut VmState, _event: &Event, _sink: &mut dyn FindingSink) {
+        self.events += 1;
+    }
+
+    fn on_tick(&mut self, _vm: &mut VmState, _now: SimTime, _sink: &mut dyn FindingSink) {
+        self.ticks += 1;
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventClass, EventKind, VmId};
+    use hypertap_hvsim::exit::VcpuSnapshot;
+    use hypertap_hvsim::machine::{VmConfig, VmState};
+    use hypertap_hvsim::mem::Gpa;
+    use hypertap_hvsim::vcpu::{Vcpu, VcpuId};
+
+    fn dummy_event() -> Event {
+        let vcpu = Vcpu::new(VcpuId(0));
+        Event {
+            vm: VmId(0),
+            vcpu: VcpuId(0),
+            time: SimTime::from_millis(1),
+            kind: EventKind::ProcessSwitch { new_pdba: Gpa::new(0x1000) },
+            state: VcpuSnapshot::capture(&vcpu),
+        }
+    }
+
+    fn dummy_vm() -> VmState {
+        // VmState has no public constructor; build through a machine.
+        struct NoHv;
+        impl hypertap_hvsim::machine::Hypervisor for NoHv {
+            fn handle_exit(
+                &mut self,
+                _vm: &mut VmState,
+                _exit: &hypertap_hvsim::exit::VmExit,
+            ) -> hypertap_hvsim::exit::ExitAction {
+                hypertap_hvsim::exit::ExitAction::Resume
+            }
+        }
+        let m = hypertap_hvsim::machine::Machine::new(VmConfig::new(1, 1 << 20), NoHv);
+        m.into_parts().0
+    }
+
+    #[test]
+    fn counting_auditor_counts() {
+        let mut a = CountingAuditor::new();
+        let mut vm = dummy_vm();
+        let mut sink: Vec<Finding> = Vec::new();
+        a.on_event(&mut vm, &dummy_event(), &mut sink);
+        a.on_event(&mut vm, &dummy_event(), &mut sink);
+        a.on_tick(&mut vm, SimTime::from_millis(2), &mut sink);
+        assert_eq!(a.events_seen(), 2);
+        assert_eq!(a.ticks_seen(), 1);
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn with_mask_limits_subscription() {
+        let a = CountingAuditor::with_mask(EventMask::only(EventClass::Syscall));
+        assert!(a.subscriptions().contains(EventClass::Syscall));
+        assert!(!a.subscriptions().contains(EventClass::Io));
+    }
+
+    #[test]
+    fn vec_is_a_sink() {
+        let mut sink: Vec<Finding> = Vec::new();
+        sink.report(Finding::new("t", SimTime::ZERO, Severity::Alert, "boom"));
+        assert_eq!(sink.len(), 1);
+        assert_eq!(sink[0].severity, Severity::Alert);
+        assert!(sink[0].to_string().contains("ALERT"));
+    }
+
+    #[test]
+    fn severity_orders() {
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Alert);
+    }
+}

@@ -1,0 +1,165 @@
+//! OS-state derivation rooted at architectural invariants — the **trusted**
+//! view (paper §IV-B).
+//!
+//! Instead of starting from guest-kernel globals (which rootkits forge),
+//! derivation starts from registers the hardware itself maintains:
+//!
+//! ```text
+//! TR (VMCS)  ──►  TSS  ──►  RSP0 (kernel stack top)
+//!                              │ align down to the stack base
+//!                              ▼
+//!                        thread_info  ──►  task_struct
+//! ```
+//!
+//! Every pointer in that chain is anchored by an architectural invariant
+//! (TR/TSS) or by a *layout* convention (stack alignment, field offsets)
+//! that cannot be changed without rebuilding the guest kernel. The derived
+//! [`TaskView`] therefore identifies the genuinely running task even when
+//! the task has been unlinked from every kernel list.
+
+use crate::profile::{OsProfile, TaskView};
+use crate::vmi::{self, VmiError};
+use hypertap_hvsim::cpu::TSS_RSP0_OFFSET;
+use hypertap_hvsim::machine::VmState;
+use hypertap_hvsim::mem::{Gpa, GuestMemory, Gva};
+use hypertap_hvsim::vcpu::VcpuId;
+
+/// Derives the task currently running on `vcpu`, starting from the trusted
+/// TR register.
+///
+/// # Errors
+///
+/// Returns [`VmiError`] if any step of the chain fails to translate — which
+/// in a healthy guest only happens during early boot, before the kernel has
+/// set up its TSS.
+pub fn current_task(vm: &VmState, vcpu: VcpuId, profile: &OsProfile) -> Result<TaskView, VmiError> {
+    let v = vm.vcpu(vcpu);
+    let cr3 = v.cr3();
+    let tr = v.tr_base();
+    let rsp0 = vmi::read_u64(&vm.mem, cr3, tr.offset(TSS_RSP0_OFFSET))?;
+    task_from_kernel_stack(&vm.mem, cr3, profile, rsp0)
+}
+
+/// Derives the task owning the kernel stack whose top is `rsp0`. Used with
+/// the value carried by a thread-switch event (the RSP0 just written to the
+/// TSS), which identifies the task *being switched in*.
+///
+/// # Errors
+///
+/// Returns [`VmiError`] if the `thread_info` or `task_struct` reads fail.
+pub fn task_from_kernel_stack(
+    mem: &GuestMemory,
+    cr3: Gpa,
+    profile: &OsProfile,
+    rsp0: u64,
+) -> Result<TaskView, VmiError> {
+    let ti = profile.thread_info_base(rsp0);
+    let task_gva = Gva::new(vmi::read_u64(mem, cr3, ti.offset(profile.ti_task))?);
+    vmi::read_task(mem, cr3, profile, task_gva)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypertap_hvsim::exit::{ExitAction, VmExit};
+    use hypertap_hvsim::machine::{Hypervisor, Machine, VmConfig};
+    use hypertap_hvsim::mem::{Gfn, PAGE_SIZE};
+    use hypertap_hvsim::paging::{self, AddressSpaceBuilder, FrameAllocator};
+
+    struct NoHv;
+    impl Hypervisor for NoHv {
+        fn handle_exit(&mut self, _vm: &mut VmState, _exit: &VmExit) -> ExitAction {
+            ExitAction::Resume
+        }
+    }
+
+    fn profile(head: Gva) -> OsProfile {
+        OsProfile {
+            task_list_head: head,
+            ts_pid: 0,
+            ts_state: 8,
+            ts_uid: 16,
+            ts_euid: 24,
+            ts_parent: 32,
+            ts_next: 40,
+            ts_prev: 48,
+            ts_pdba: 56,
+            ts_kstack: 64,
+            ts_comm: 72,
+            ts_comm_len: 16,
+            ts_size: 88,
+            ti_task: 0,
+            kernel_stack_size: 8192,
+        }
+    }
+
+    /// Builds a VM whose memory contains a TSS, a 2-page kernel stack with a
+    /// thread_info at its base, and a task_struct — then points TR at the
+    /// TSS, exactly as a booted guest would.
+    #[test]
+    fn derivation_chain_end_to_end() {
+        let mut m = Machine::new(VmConfig::new(1, 32 << 20), NoHv);
+        let vm = m.vm_mut();
+        let mut falloc = FrameAllocator::new(Gfn::new(16), Gfn::new((32 << 20) / PAGE_SIZE));
+        let mut asb = AddressSpaceBuilder::new(&mut vm.mem, &mut falloc);
+
+        let tss = Gva::new(0x3800_0000);
+        let stack_base = Gva::new(0x3900_0000); // 8 KiB aligned
+        let task = Gva::new(0x3a00_0000);
+        let head = Gva::new(0x3b00_0000);
+        asb.map_fresh_range(&mut vm.mem, &mut falloc, tss, 1);
+        asb.map_fresh_range(&mut vm.mem, &mut falloc, stack_base, 2);
+        asb.map_fresh_range(&mut vm.mem, &mut falloc, task, 1);
+        asb.map_fresh_range(&mut vm.mem, &mut falloc, head, 1);
+        let cr3 = asb.pdba();
+
+        let p = profile(head);
+        let rsp0 = stack_base.value() + p.kernel_stack_size; // stack top
+        let w = |vm: &mut VmState, gva: Gva, v: u64| {
+            let gpa = paging::walk(&vm.mem, cr3, gva).unwrap();
+            vm.mem.write_u64(gpa, v);
+        };
+        // TSS.RSP0 -> stack top; thread_info.task -> task_struct.
+        w(vm, tss.offset(TSS_RSP0_OFFSET), rsp0);
+        w(vm, stack_base.offset(p.ti_task), task.value());
+        w(vm, task.offset(p.ts_pid), 42);
+        w(vm, task.offset(p.ts_euid), 0);
+        w(vm, task.offset(p.ts_uid), 1000);
+        w(vm, task.offset(p.ts_kstack), rsp0);
+        let gpa = paging::walk(&vm.mem, cr3, task.offset(p.ts_comm)).unwrap();
+        vm.mem.write(gpa, b"exploit\0");
+
+        vm.vcpu_mut(VcpuId(0)).set_cr3(cr3);
+        vm.vcpu_mut(VcpuId(0)).set_tr_base(tss);
+
+        let t = current_task(vm, VcpuId(0), &p).unwrap();
+        assert_eq!(t.pid, 42);
+        assert_eq!(t.comm, "exploit");
+        assert!(t.is_root());
+        assert_eq!(t.kstack, rsp0);
+
+        // The same task is reachable directly from the RSP0 value, as the
+        // thread-switch auditing path does.
+        let t2 = task_from_kernel_stack(&vm.mem, cr3, &p, rsp0).unwrap();
+        assert_eq!(t2, t);
+
+        // Mid-stack RSP values still resolve (alignment masking).
+        let t3 = task_from_kernel_stack(&vm.mem, cr3, &p, rsp0 - 0x123).unwrap();
+        assert_eq!(t3.pid, 42);
+    }
+
+    #[test]
+    fn unmapped_tss_fails_cleanly() {
+        let mut m = Machine::new(VmConfig::new(1, 32 << 20), NoHv);
+        let vm = m.vm_mut();
+        let mut falloc = FrameAllocator::new(Gfn::new(16), Gfn::new((32 << 20) / PAGE_SIZE));
+        let asb = AddressSpaceBuilder::new(&mut vm.mem, &mut falloc);
+        vm.vcpu_mut(VcpuId(0)).set_cr3(asb.pdba());
+        vm.vcpu_mut(VcpuId(0)).set_tr_base(Gva::new(0x3800_0000));
+        let p = profile(Gva::new(0x3b00_0000));
+        assert!(matches!(
+            current_task(vm, VcpuId(0), &p),
+            Err(VmiError::PageFault(_))
+        ));
+    }
+}

@@ -1,0 +1,478 @@
+//! The Event Multiplexer (EM) — HyperTap's unified delivery hub.
+//!
+//! The EM receives every decoded event from the Event Forwarder exactly once
+//! (the "blocking logging" phase) and fans it out to the registered
+//! auditors. Two delivery paths exist, matching the paper's Fig. 2:
+//!
+//! * **Synchronous auditors** ([`crate::audit::Auditor`]) run in-line during
+//!   exit handling, with mutable access to the VM. This is the *blocking*
+//!   mode: an auditor can pause the VM or suppress the intercepted
+//!   operation before it takes architectural effect. Deterministic; the
+//!   default for experiments.
+//! * **Audit containers** ([`ContainerAuditor`]) run on their own host
+//!   threads behind a channel, mirroring the paper's LXC-container
+//!   deployment: delivery is non-blocking for the guest, and a panicking
+//!   auditor is caught, counted and restarted from its factory without
+//!   affecting the VM, other auditors, or the host — the lightweight fault
+//!   isolation argued for in §V-C.
+//!
+//! The EM also samples the raw exit stream to the Remote Health Checker
+//! (§V-C): if the monitoring stack itself dies, the RHC's heartbeat gap
+//! raises the alarm.
+
+use crate::audit::{Auditor, Finding, FindingSink};
+use crate::event::{Event, EventMask};
+use crate::rhc::{HeartbeatSample, RhcTransport};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use hypertap_hvsim::clock::SimTime;
+use hypertap_hvsim::machine::VmState;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::thread::JoinHandle;
+
+/// An auditor that runs inside an audit container (own thread, no VM
+/// access). Containerised audit is inherently after-the-fact: it can detect
+/// and report, but not block the intercepted operation.
+pub trait ContainerAuditor: Send {
+    /// Name used in findings.
+    fn name(&self) -> &str;
+
+    /// Event classes to deliver.
+    fn subscriptions(&self) -> EventMask;
+
+    /// Handles one event, returning any findings.
+    fn on_event(&mut self, event: &Event) -> Vec<Finding>;
+
+    /// Periodic callback, returning any findings.
+    fn on_tick(&mut self, _now: SimTime) -> Vec<Finding> {
+        Vec::new()
+    }
+}
+
+/// Factory that (re)builds a container auditor; used for restart after a
+/// panic.
+pub type ContainerFactory = Box<dyn Fn() -> Box<dyn ContainerAuditor> + Send>;
+
+enum ContainerMsg {
+    Event(Event),
+    Tick(SimTime),
+    Stop,
+}
+
+struct Container {
+    name: String,
+    mask: EventMask,
+    tx: Sender<ContainerMsg>,
+    handle: Option<JoinHandle<u64>>, // returns restart count
+}
+
+/// Delivery statistics (queried by benchmarks and tests).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeliveryStats {
+    /// Events delivered to synchronous auditors (per-auditor deliveries).
+    pub sync_delivered: u64,
+    /// Events enqueued to containers (per-container deliveries).
+    pub container_enqueued: u64,
+    /// Events that matched no subscription at all.
+    pub unclaimed: u64,
+    /// Exit-stream samples forwarded to the RHC.
+    pub rhc_samples: u64,
+}
+
+struct RhcHook {
+    transport: Box<dyn RhcTransport>,
+    every: u64,
+    seen: u64,
+    seq: u64,
+}
+
+#[derive(Default)]
+struct LocalSink {
+    findings: Vec<Finding>,
+    suppress: bool,
+}
+
+impl FindingSink for LocalSink {
+    fn report(&mut self, finding: Finding) {
+        self.findings.push(finding);
+    }
+    fn request_suppress(&mut self) {
+        self.suppress = true;
+    }
+}
+
+/// The multiplexer itself.
+pub struct EventMultiplexer {
+    auditors: Vec<Box<dyn Auditor>>,
+    containers: Vec<Container>,
+    findings: Vec<Finding>,
+    container_findings_rx: Receiver<Finding>,
+    container_findings_tx: Sender<Finding>,
+    stats: DeliveryStats,
+    rhc: Option<RhcHook>,
+}
+
+impl std::fmt::Debug for EventMultiplexer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventMultiplexer")
+            .field("auditors", &self.auditors.len())
+            .field("containers", &self.containers.len())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for EventMultiplexer {
+    fn default() -> Self {
+        EventMultiplexer::new()
+    }
+}
+
+impl EventMultiplexer {
+    /// Creates an empty multiplexer.
+    pub fn new() -> Self {
+        let (tx, rx) = unbounded();
+        EventMultiplexer {
+            auditors: Vec::new(),
+            containers: Vec::new(),
+            findings: Vec::new(),
+            container_findings_rx: rx,
+            container_findings_tx: tx,
+            stats: DeliveryStats::default(),
+            rhc: None,
+        }
+    }
+
+    /// Registers a synchronous auditor.
+    pub fn register(&mut self, auditor: Box<dyn Auditor>) {
+        self.auditors.push(auditor);
+    }
+
+    /// Number of registered synchronous auditors.
+    pub fn auditor_count(&self) -> usize {
+        self.auditors.len()
+    }
+
+    /// Looks up a registered synchronous auditor by concrete type.
+    pub fn auditor<A: Auditor + 'static>(&self) -> Option<&A> {
+        self.auditors.iter().find_map(|a| a.as_any().downcast_ref::<A>())
+    }
+
+    /// Mutable lookup of a registered synchronous auditor by concrete type.
+    pub fn auditor_mut<A: Auditor + 'static>(&mut self) -> Option<&mut A> {
+        self.auditors.iter_mut().find_map(|a| a.as_any_mut().downcast_mut::<A>())
+    }
+
+    /// Spawns an audit container from a factory. The factory is re-invoked
+    /// to rebuild the auditor if it panics (failure isolation).
+    pub fn register_container(&mut self, factory: ContainerFactory) {
+        let prototype = factory();
+        let name = prototype.name().to_owned();
+        let mask = prototype.subscriptions();
+        let (tx, rx) = unbounded::<ContainerMsg>();
+        let findings_tx = self.container_findings_tx.clone();
+        let handle = std::thread::spawn(move || {
+            let mut auditor = prototype;
+            let mut restarts = 0u64;
+            while let Ok(msg) = rx.recv() {
+                let result = catch_unwind(AssertUnwindSafe(|| match &msg {
+                    ContainerMsg::Event(e) => auditor.on_event(e),
+                    ContainerMsg::Tick(now) => auditor.on_tick(*now),
+                    ContainerMsg::Stop => Vec::new(),
+                }));
+                if matches!(msg, ContainerMsg::Stop) {
+                    break;
+                }
+                match result {
+                    Ok(findings) => {
+                        for f in findings {
+                            let _ = findings_tx.send(f);
+                        }
+                    }
+                    Err(_) => {
+                        // The container absorbed the failure: rebuild the
+                        // auditor and keep serving. The VM, the EM and the
+                        // other auditors never notice.
+                        restarts += 1;
+                        auditor = factory();
+                    }
+                }
+            }
+            restarts
+        });
+        self.containers.push(Container { name, mask, tx, handle: Some(handle) });
+    }
+
+    /// Number of running audit containers.
+    pub fn container_count(&self) -> usize {
+        self.containers.len()
+    }
+
+    /// Attaches a Remote Health Checker transport: every `every`-th exit is
+    /// forwarded as a heartbeat sample.
+    pub fn attach_rhc(&mut self, transport: Box<dyn RhcTransport>, every: u64) {
+        assert!(every > 0, "sampling period must be positive");
+        self.rhc = Some(RhcHook { transport, every, seen: 0, seq: 0 });
+    }
+
+    /// Dispatches one event to everything subscribed. Returns `true` if any
+    /// synchronous auditor requested suppression of the intercepted
+    /// operation.
+    pub fn dispatch(&mut self, vm: &mut VmState, event: &Event) -> bool {
+        let class = event.class();
+        let mut suppress = false;
+        let mut claimed = false;
+        for i in 0..self.auditors.len() {
+            if !self.auditors[i].subscriptions().contains(class) {
+                continue;
+            }
+            claimed = true;
+            let mut sink = LocalSink::default();
+            self.auditors[i].on_event(vm, event, &mut sink);
+            self.findings.append(&mut sink.findings);
+            suppress |= sink.suppress;
+            self.stats.sync_delivered += 1;
+        }
+        for c in &self.containers {
+            if c.mask.contains(class) {
+                claimed = true;
+                let _ = c.tx.send(ContainerMsg::Event(*event));
+                self.stats.container_enqueued += 1;
+            }
+        }
+        if !claimed {
+            self.stats.unclaimed += 1;
+        }
+        suppress
+    }
+
+    /// Periodic tick from the host timer; drives time-based auditors.
+    pub fn tick(&mut self, vm: &mut VmState, now: SimTime) {
+        for i in 0..self.auditors.len() {
+            let mut sink = LocalSink::default();
+            self.auditors[i].on_tick(vm, now, &mut sink);
+            self.findings.append(&mut sink.findings);
+        }
+        for c in &self.containers {
+            let _ = c.tx.send(ContainerMsg::Tick(now));
+        }
+    }
+
+    /// Notes one raw VM Exit for RHC sampling.
+    pub fn note_exit(&mut self, time: SimTime) {
+        if let Some(hook) = &mut self.rhc {
+            hook.seen += 1;
+            if hook.seen % hook.every == 0 {
+                hook.seq += 1;
+                hook.transport
+                    .send(&HeartbeatSample { time_ns: time.as_nanos(), seq: hook.seq });
+                self.stats.rhc_samples += 1;
+            }
+        }
+    }
+
+    /// Drains every finding accumulated so far (synchronous auditors and
+    /// containers alike).
+    pub fn drain_findings(&mut self) -> Vec<Finding> {
+        let mut out = std::mem::take(&mut self.findings);
+        while let Ok(f) = self.container_findings_rx.try_recv() {
+            out.push(f);
+        }
+        out
+    }
+
+    /// Delivery statistics.
+    pub fn stats(&self) -> DeliveryStats {
+        self.stats
+    }
+
+    /// Stops all containers, returning `(name, restart_count)` per container.
+    pub fn shutdown_containers(&mut self) -> Vec<(String, u64)> {
+        let mut out = Vec::new();
+        for c in &mut self.containers {
+            let _ = c.tx.send(ContainerMsg::Stop);
+        }
+        for c in &mut self.containers {
+            if let Some(h) = c.handle.take() {
+                let restarts = h.join().unwrap_or(0);
+                out.push((c.name.clone(), restarts));
+            }
+        }
+        self.containers.clear();
+        out
+    }
+}
+
+impl Drop for EventMultiplexer {
+    fn drop(&mut self) {
+        // Destructors must not fail or block indefinitely: send Stop
+        // best-effort and detach.
+        for c in &mut self.containers {
+            let _ = c.tx.send(ContainerMsg::Stop);
+            c.handle.take();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audit::{CountingAuditor, Severity};
+    use crate::event::{EventClass, EventKind, VmId};
+    use hypertap_hvsim::exit::VcpuSnapshot;
+    use hypertap_hvsim::machine::{Machine, VmConfig};
+    use hypertap_hvsim::mem::Gpa;
+    use hypertap_hvsim::vcpu::{Vcpu, VcpuId};
+
+    fn vm_state() -> VmState {
+        struct NoHv;
+        impl hypertap_hvsim::machine::Hypervisor for NoHv {
+            fn handle_exit(
+                &mut self,
+                _vm: &mut VmState,
+                _exit: &hypertap_hvsim::exit::VmExit,
+            ) -> hypertap_hvsim::exit::ExitAction {
+                hypertap_hvsim::exit::ExitAction::Resume
+            }
+        }
+        Machine::new(VmConfig::new(1, 1 << 20), NoHv).into_parts().0
+    }
+
+    fn ev(kind: EventKind) -> Event {
+        Event {
+            vm: VmId(0),
+            vcpu: VcpuId(0),
+            time: SimTime::from_millis(1),
+            kind,
+            state: VcpuSnapshot::capture(&Vcpu::new(VcpuId(0))),
+        }
+    }
+
+    #[test]
+    fn dispatch_respects_subscriptions() {
+        let mut em = EventMultiplexer::new();
+        em.register(Box::new(CountingAuditor::with_mask(EventMask::only(EventClass::Syscall))));
+        em.register(Box::new(CountingAuditor::new())); // subscribes to all
+        let mut vm = vm_state();
+        em.dispatch(&mut vm, &ev(EventKind::ProcessSwitch { new_pdba: Gpa::new(1) }));
+        em.dispatch(
+            &mut vm,
+            &ev(EventKind::Syscall {
+                gate: crate::event::SyscallGate::Sysenter,
+                number: 1,
+                args: [0; 5],
+            }),
+        );
+        assert_eq!(em.stats().sync_delivered, 3);
+        let all = em.auditor::<CountingAuditor>().unwrap();
+        // auditor::<T> returns the FIRST match: the syscall-only one.
+        assert_eq!(all.events_seen(), 1);
+    }
+
+    #[test]
+    fn unclaimed_events_are_counted() {
+        let mut em = EventMultiplexer::new();
+        let mut vm = vm_state();
+        em.dispatch(&mut vm, &ev(EventKind::ProcessSwitch { new_pdba: Gpa::new(1) }));
+        assert_eq!(em.stats().unclaimed, 1);
+    }
+
+    struct PanickyContainer {
+        countdown: u32,
+    }
+
+    impl ContainerAuditor for PanickyContainer {
+        fn name(&self) -> &str {
+            "panicky"
+        }
+        fn subscriptions(&self) -> EventMask {
+            EventMask::ALL
+        }
+        fn on_event(&mut self, event: &Event) -> Vec<Finding> {
+            if self.countdown == 0 {
+                panic!("auditor bug!");
+            }
+            self.countdown -= 1;
+            vec![Finding::new("panicky", event.time, Severity::Info, "ok")]
+        }
+    }
+
+    #[test]
+    fn container_panics_are_isolated_and_restarted() {
+        let mut em = EventMultiplexer::new();
+        em.register_container(Box::new(|| Box::new(PanickyContainer { countdown: 1 })));
+        let mut vm = vm_state();
+        for _ in 0..4 {
+            em.dispatch(&mut vm, &ev(EventKind::ProcessSwitch { new_pdba: Gpa::new(1) }));
+        }
+        let restarts = em.shutdown_containers();
+        assert_eq!(restarts.len(), 1);
+        // countdown=1: ok, panic, (restart) ok, panic => 2 restarts, 2 findings.
+        assert_eq!(restarts[0].1, 2);
+        let findings = em.drain_findings();
+        assert_eq!(findings.len(), 2);
+        assert!(findings.iter().all(|f| f.auditor == "panicky"));
+    }
+
+    #[test]
+    fn sync_findings_are_collected() {
+        struct Alerter;
+        impl Auditor for Alerter {
+            fn name(&self) -> &str {
+                "alerter"
+            }
+            fn subscriptions(&self) -> EventMask {
+                EventMask::ALL
+            }
+            fn on_event(&mut self, _vm: &mut VmState, event: &Event, sink: &mut dyn FindingSink) {
+                sink.report(Finding::new("alerter", event.time, Severity::Alert, "seen"));
+                sink.request_suppress();
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+        let mut em = EventMultiplexer::new();
+        em.register(Box::new(Alerter));
+        let mut vm = vm_state();
+        let suppress = em.dispatch(&mut vm, &ev(EventKind::ProcessSwitch { new_pdba: Gpa::new(1) }));
+        assert!(suppress, "auditor requested suppression");
+        let findings = em.drain_findings();
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].severity, Severity::Alert);
+    }
+
+    #[test]
+    fn tick_reaches_auditors() {
+        let mut em = EventMultiplexer::new();
+        em.register(Box::new(CountingAuditor::new()));
+        let mut vm = vm_state();
+        em.tick(&mut vm, SimTime::from_millis(5));
+        em.tick(&mut vm, SimTime::from_millis(10));
+        assert_eq!(em.auditor::<CountingAuditor>().unwrap().ticks_seen(), 2);
+    }
+
+    struct VecTransport(std::sync::Arc<std::sync::Mutex<Vec<HeartbeatSample>>>);
+    impl RhcTransport for VecTransport {
+        fn send(&mut self, sample: &HeartbeatSample) {
+            self.0.lock().unwrap().push(sample.clone());
+        }
+    }
+
+    #[test]
+    fn rhc_sampling_every_nth_exit() {
+        let samples = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let mut em = EventMultiplexer::new();
+        em.attach_rhc(Box::new(VecTransport(samples.clone())), 3);
+        for i in 1..=10u64 {
+            em.note_exit(SimTime::from_nanos(i * 100));
+        }
+        let got = samples.lock().unwrap();
+        assert_eq!(got.len(), 3); // exits 3, 6, 9
+        assert_eq!(got[0].seq, 1);
+        assert_eq!(got[2].time_ns, 900);
+        assert_eq!(em.stats().rhc_samples, 3);
+    }
+}

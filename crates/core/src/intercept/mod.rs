@@ -1,0 +1,114 @@
+//! Hardware-invariant interception engines (paper §VI, Table I, Fig. 3).
+//!
+//! Each engine owns one guest-event family: it programs the VM-exit controls
+//! and/or EPT permissions needed to make the corresponding guest operations
+//! trap, and decodes the resulting VM Exits into typed [`EventKind`]s. The
+//! engines are the only components that touch exit controls, so co-deployed
+//! monitors can never conflict over them — the unified-logging argument of
+//! the paper's §IV-A.
+//!
+//! | Engine | Paper | Guest event | VM Exit | Invariant |
+//! |---|---|---|---|---|
+//! | [`ProcessSwitchEngine`] | §VI-A1, Fig. 3A | process context switch | `CR_ACCESS` | CR3 always holds the running process's PDBA |
+//! | [`ThreadSwitchEngine`] | §VI-A2, Fig. 3B | thread switch | `EPT_VIOLATION` | TR points at the TSS; `TSS.RSP0` is unique per thread |
+//! | [`TssIntegrityEngine`] | Fig. 3C | TSS relocation | (any) | TR must not move after boot |
+//! | [`IntSyscallEngine`] | §VI-B1, Fig. 3D | interrupt-based syscall | `EXCEPTION` | software interrupts are the only legacy ring gate |
+//! | [`FastSyscallEngine`] | §VI-B2, Fig. 3E | fast syscall | `WRMSR` + `EPT_VIOLATION` | `SYSENTER` target lives in an MSR; MSR writes trap |
+//! | [`IoEngine`] | §VI-C | I/O accesses | `IO_INST`, `EPT_VIOLATION`, `EXTERNAL_INT`, `APIC_ACCESS` | I/O must use architectural channels |
+//! | [`FineGrainedEngine`] | §VI-D | memory access / instruction execution | `EPT_VIOLATION` | EPT permissions bind all guest-physical accesses |
+
+use crate::event::EventKind;
+use hypertap_hvsim::exit::{ExitAction, VmExit};
+use hypertap_hvsim::machine::VmState;
+
+mod fine;
+mod io;
+mod process;
+mod syscall;
+mod thread;
+mod tss;
+
+pub use fine::{perm_watching, FineGrainedEngine};
+pub use io::IoEngine;
+pub use process::{ProcessCounter, ProcessSwitchEngine};
+pub use syscall::{FastSyscallEngine, IntSyscallEngine};
+pub use thread::ThreadSwitchEngine;
+pub use tss::TssIntegrityEngine;
+
+/// One row of the paper's Table I, as self-described by an engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Table1Row {
+    /// Monitoring category (Table I column 1).
+    pub category: &'static str,
+    /// Guest event (column 2).
+    pub guest_event: &'static str,
+    /// Related VM Exit type(s) (column 3).
+    pub vm_exit: &'static str,
+    /// The architectural invariant relied upon (column 4).
+    pub invariant: &'static str,
+}
+
+/// An interception engine: the logging-phase component for one guest-event
+/// family.
+pub trait InterceptEngine {
+    /// Engine name.
+    fn name(&self) -> &'static str;
+
+    /// The Table I rows this engine implements.
+    fn table1_rows(&self) -> &'static [Table1Row];
+
+    /// Programs the exit controls / EPT protections this engine needs.
+    fn enable(&mut self, vm: &mut VmState);
+
+    /// Reverts the programming done by [`InterceptEngine::enable`].
+    fn disable(&mut self, vm: &mut VmState);
+
+    /// Inspects one VM Exit, emitting zero or more decoded events. The
+    /// default action is [`ExitAction::Resume`] (emulate and continue).
+    fn on_exit(
+        &mut self,
+        vm: &mut VmState,
+        exit: &VmExit,
+        emit: &mut dyn FnMut(EventKind),
+    ) -> ExitAction;
+
+    /// Upcast for engines with runtime configuration (e.g. the fine-grained
+    /// watcher's frame list).
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Shared scaffolding for engine tests: a machine whose hypervisor runs
+    //! a single engine and collects its events.
+
+    use super::*;
+    use crate::event::EventKind;
+    use hypertap_hvsim::machine::{Hypervisor, Machine, VmConfig};
+
+    /// Hypervisor driving exactly one engine.
+    pub struct SingleEngineHv {
+        pub engine: Box<dyn InterceptEngine>,
+        pub events: Vec<(hypertap_hvsim::vcpu::VcpuId, EventKind)>,
+    }
+
+    impl Hypervisor for SingleEngineHv {
+        fn handle_exit(&mut self, vm: &mut VmState, exit: &VmExit) -> ExitAction {
+            let mut out = Vec::new();
+            let action = self.engine.on_exit(vm, exit, &mut |k| out.push(k));
+            self.events.extend(out.into_iter().map(|k| (exit.vcpu, k)));
+            action
+        }
+    }
+
+    /// A 2-vCPU machine with the engine installed and enabled.
+    pub fn machine_with(engine: Box<dyn InterceptEngine>) -> Machine<SingleEngineHv> {
+        let mut m = Machine::new(
+            VmConfig::new(2, 64 << 20),
+            SingleEngineHv { engine, events: Vec::new() },
+        );
+        let (vm, hv) = m.parts_mut();
+        hv.engine.enable(vm);
+        m
+    }
+}

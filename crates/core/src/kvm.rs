@@ -1,0 +1,207 @@
+//! The KVM hypervisor model with HyperTap's Event Forwarder integrated.
+//!
+//! In the paper, HyperTap adds fewer than 100 lines to the KVM kernel module:
+//! an Event Forwarder (EF) hooked into the VM-exit dispatch path that ships
+//! each exit (plus relevant guest state) to the Event Multiplexer. [`Kvm`]
+//! plays that role here: it implements [`Hypervisor`] for the simulator,
+//! routes every exit through the installed interception engines, wraps the
+//! decoded events with the trusted state snapshot, and forwards them to its
+//! embedded [`EventMultiplexer`].
+
+use crate::em::EventMultiplexer;
+use crate::event::{Event, VmId};
+use crate::intercept::{InterceptEngine, Table1Row};
+use hypertap_hvsim::clock::SimTime;
+use hypertap_hvsim::exit::{ExitAction, VmExit};
+use hypertap_hvsim::machine::{Hypervisor, TimerId, VmState};
+
+/// The hypervisor: exit dispatch + Event Forwarder + Event Multiplexer.
+pub struct Kvm {
+    engines: Vec<Box<dyn InterceptEngine>>,
+    /// The Event Multiplexer — register auditors and containers here.
+    pub em: EventMultiplexer,
+    vm_id: VmId,
+    forwarded_events: u64,
+}
+
+impl std::fmt::Debug for Kvm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Kvm")
+            .field("vm_id", &self.vm_id)
+            .field("engines", &self.engines.iter().map(|e| e.name()).collect::<Vec<_>>())
+            .field("forwarded_events", &self.forwarded_events)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Kvm {
+    fn default() -> Self {
+        Kvm::new()
+    }
+}
+
+impl Kvm {
+    /// A hypervisor for VM 0 with no engines installed.
+    pub fn new() -> Self {
+        Kvm {
+            engines: Vec::new(),
+            em: EventMultiplexer::new(),
+            vm_id: VmId(0),
+            forwarded_events: 0,
+        }
+    }
+
+    /// A hypervisor tagged with an explicit VM id.
+    pub fn with_vm_id(vm_id: VmId) -> Self {
+        Kvm { vm_id, ..Kvm::new() }
+    }
+
+    /// Installs and enables an interception engine.
+    pub fn install(&mut self, vm: &mut VmState, mut engine: Box<dyn InterceptEngine>) {
+        engine.enable(vm);
+        self.engines.push(engine);
+    }
+
+    /// Disables and removes the engine with the given name. Returns whether
+    /// it was found.
+    pub fn uninstall(&mut self, vm: &mut VmState, name: &str) -> bool {
+        if let Some(pos) = self.engines.iter().position(|e| e.name() == name) {
+            let mut engine = self.engines.remove(pos);
+            engine.disable(vm);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Names of the installed engines.
+    pub fn engine_names(&self) -> Vec<&'static str> {
+        self.engines.iter().map(|e| e.name()).collect()
+    }
+
+    /// Mutable access to an installed engine by name (for engines with
+    /// runtime configuration like the fine-grained watcher).
+    pub fn engine_mut(&mut self, name: &str) -> Option<&mut (dyn InterceptEngine + '_)> {
+        self.engines
+            .iter_mut()
+            .find(|e| e.name() == name)
+            .map(|e| e.as_mut() as &mut dyn InterceptEngine)
+    }
+
+    /// The Table I rows contributed by every installed engine, in
+    /// installation order — the data behind the `table1` experiment binary.
+    pub fn table1(&self) -> Vec<Table1Row> {
+        self.engines.iter().flat_map(|e| e.table1_rows().iter().copied()).collect()
+    }
+
+    /// Total decoded events forwarded to the EM so far.
+    pub fn forwarded_events(&self) -> u64 {
+        self.forwarded_events
+    }
+}
+
+impl Hypervisor for Kvm {
+    fn handle_exit(&mut self, vm: &mut VmState, exit: &VmExit) -> ExitAction {
+        let mut action = ExitAction::Resume;
+        // 1. Logging phase: every engine inspects the exit; decoded events
+        //    are collected in order. This is the blocking part of the
+        //    pipeline, shared by all monitors.
+        let mut kinds = Vec::new();
+        for engine in &mut self.engines {
+            if engine.on_exit(vm, exit, &mut |k| kinds.push(k)) == ExitAction::Suppress {
+                action = ExitAction::Suppress;
+            }
+        }
+        // 2. Forward to the EM; auditors run their (independent) audit
+        //    phases. A synchronous auditor may request suppression.
+        for kind in kinds {
+            self.forwarded_events += 1;
+            let event = Event {
+                vm: self.vm_id,
+                vcpu: exit.vcpu,
+                time: exit.time,
+                kind,
+                state: exit.state,
+            };
+            if self.em.dispatch(vm, &event) {
+                action = ExitAction::Suppress;
+            }
+        }
+        // 3. RHC heartbeat sampling sees the raw exit stream.
+        self.em.note_exit(exit.time);
+        action
+    }
+
+    fn on_timer(&mut self, vm: &mut VmState, _timer: TimerId, now: SimTime) {
+        self.em.tick(vm, now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audit::CountingAuditor;
+    use crate::intercept::{IntSyscallEngine, IoEngine, ProcessSwitchEngine};
+    use hypertap_hvsim::cpu::{CpuCtx, StepOutcome};
+    use hypertap_hvsim::machine::{GuestProgram, Machine, VmConfig};
+    use hypertap_hvsim::mem::Gpa;
+
+    struct Switcher;
+    impl GuestProgram for Switcher {
+        fn step(&mut self, cpu: &mut CpuCtx<'_>) -> StepOutcome {
+            cpu.write_cr3(Gpa::new(0x1000));
+            StepOutcome::Continue
+        }
+    }
+
+    #[test]
+    fn install_enable_and_forward() {
+        let mut m = Machine::new(VmConfig::new(1, 1 << 20), Kvm::new());
+        let (vm, kvm) = m.parts_mut();
+        kvm.install(vm, Box::new(ProcessSwitchEngine::new()));
+        kvm.em.register(Box::new(CountingAuditor::new()));
+        m.run_steps(&mut Switcher, 5);
+        assert_eq!(m.hypervisor().forwarded_events(), 5);
+        assert_eq!(
+            m.hypervisor().em.auditor::<CountingAuditor>().unwrap().events_seen(),
+            5
+        );
+    }
+
+    #[test]
+    fn uninstall_reverts_controls() {
+        let mut m = Machine::new(VmConfig::new(1, 1 << 20), Kvm::new());
+        let (vm, kvm) = m.parts_mut();
+        kvm.install(vm, Box::new(ProcessSwitchEngine::new()));
+        assert!(vm.controls().cr3_load_exiting());
+        assert!(kvm.uninstall(vm, "process-switch"));
+        assert!(!vm.controls().cr3_load_exiting());
+        assert!(!kvm.uninstall(vm, "process-switch"));
+        m.run_steps(&mut Switcher, 3);
+        assert_eq!(m.hypervisor().forwarded_events(), 0);
+    }
+
+    #[test]
+    fn table1_aggregates_engine_rows() {
+        let mut m = Machine::new(VmConfig::new(1, 1 << 20), Kvm::new());
+        let (vm, kvm) = m.parts_mut();
+        kvm.install(vm, Box::new(ProcessSwitchEngine::new()));
+        kvm.install(vm, Box::new(IntSyscallEngine::new()));
+        kvm.install(vm, Box::new(IoEngine::new()));
+        let rows = kvm.table1();
+        assert_eq!(rows.len(), 1 + 1 + 4);
+        assert!(rows.iter().any(|r| r.vm_exit == "CR_ACCESS"));
+        assert!(rows.iter().any(|r| r.guest_event == "Programmed I/O"));
+    }
+
+    #[test]
+    fn engine_names_in_install_order() {
+        let mut m = Machine::new(VmConfig::new(1, 1 << 20), Kvm::new());
+        let (vm, kvm) = m.parts_mut();
+        kvm.install(vm, Box::new(IoEngine::new()));
+        kvm.install(vm, Box::new(ProcessSwitchEngine::new()));
+        assert_eq!(kvm.engine_names(), vec!["io-access", "process-switch"]);
+        assert!(kvm.engine_mut("io-access").is_some());
+        assert!(kvm.engine_mut("nope").is_none());
+    }
+}

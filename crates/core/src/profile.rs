@@ -1,0 +1,188 @@
+//! Guest OS profiles: the struct-layout knowledge used to derive OS state.
+//!
+//! HyperTap proposes using architectural invariants as the *root of trust*
+//! when deriving OS state (paper §IV-B): the hypervisor starts from a
+//! register it can trust (TR, CR3, RSP) and then follows OS-defined data
+//! structures whose *layout* — not content — it must know. An [`OsProfile`]
+//! is that layout knowledge: byte offsets of `task_struct` fields, the
+//! `thread_info` location convention, and the kernel's task-list head.
+//!
+//! As the paper argues, an attacker would have to change the layout of
+//! kernel structures (not merely their values) to evade profile-based
+//! derivation, which requires relinking the kernel — far harder than the
+//! pointer games DKOM rootkits play.
+
+use hypertap_hvsim::mem::Gva;
+
+/// Byte offsets and conventions describing one guest OS build.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OsProfile {
+    /// GVA of a kernel slot holding the GVA of the first `task_struct`
+    /// (the analogue of Linux's `init_task`-anchored list).
+    pub task_list_head: Gva,
+    /// Offset of the PID field.
+    pub ts_pid: u64,
+    /// Offset of the scheduler-state field.
+    pub ts_state: u64,
+    /// Offset of the real user id.
+    pub ts_uid: u64,
+    /// Offset of the effective user id.
+    pub ts_euid: u64,
+    /// Offset of the parent pointer (GVA of the parent's `task_struct`).
+    pub ts_parent: u64,
+    /// Offset of the next pointer (GVA of the next `task_struct`; 0 = tail).
+    pub ts_next: u64,
+    /// Offset of the prev pointer (GVA; 0 = head).
+    pub ts_prev: u64,
+    /// Offset of the process page-directory base (the PDBA loaded into CR3).
+    pub ts_pdba: u64,
+    /// Offset of the kernel-stack-top field (the value loaded into
+    /// `TSS.RSP0` when this task runs).
+    pub ts_kstack: u64,
+    /// Offset of the command-name buffer.
+    pub ts_comm: u64,
+    /// Size of the command-name buffer in bytes.
+    pub ts_comm_len: u64,
+    /// Total size of `task_struct` in bytes.
+    pub ts_size: u64,
+    /// Offset of the `task_struct` pointer within `thread_info`.
+    pub ti_task: u64,
+    /// Kernel stack size; stacks are aligned to this, with `thread_info` at
+    /// the base — so `thread_info = (RSP0 - 1) & !(size - 1)`.
+    pub kernel_stack_size: u64,
+}
+
+impl OsProfile {
+    /// The `thread_info` base for a kernel stack pointer, per the stack
+    /// alignment convention.
+    pub fn thread_info_base(&self, rsp0: u64) -> Gva {
+        debug_assert!(self.kernel_stack_size.is_power_of_two());
+        Gva::new(rsp0.wrapping_sub(1) & !(self.kernel_stack_size - 1))
+    }
+}
+
+/// Scheduler state of a task, as encoded in the guest's `state` field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TaskState {
+    /// Runnable or running.
+    Running,
+    /// Sleeping (interruptible).
+    Sleeping,
+    /// Exited but not reaped.
+    Zombie,
+    /// Unrecognised encoding.
+    Unknown(u64),
+}
+
+impl TaskState {
+    /// Decodes the guest encoding (0 running, 1 sleeping, 2 zombie).
+    pub fn from_raw(raw: u64) -> Self {
+        match raw {
+            0 => TaskState::Running,
+            1 => TaskState::Sleeping,
+            2 => TaskState::Zombie,
+            other => TaskState::Unknown(other),
+        }
+    }
+
+    /// The single-letter code `/proc` uses (`R`, `S`, `Z`, `?`).
+    pub fn code(self) -> char {
+        match self {
+            TaskState::Running => 'R',
+            TaskState::Sleeping => 'S',
+            TaskState::Zombie => 'Z',
+            TaskState::Unknown(_) => '?',
+        }
+    }
+}
+
+/// A decoded view of one `task_struct`, produced either by (untrusted) VMI
+/// list walking or by (trusted) architectural derivation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskView {
+    /// GVA of the `task_struct` this view was decoded from.
+    pub gva: Gva,
+    /// Process id.
+    pub pid: u64,
+    /// Scheduler state.
+    pub state: TaskState,
+    /// Real user id.
+    pub uid: u64,
+    /// Effective user id.
+    pub euid: u64,
+    /// GVA of the parent's `task_struct` (0 for the initial task).
+    pub parent: Gva,
+    /// The process's page-directory base (PDBA).
+    pub pdba: u64,
+    /// The task's kernel stack top (its `TSS.RSP0` identity).
+    pub kstack: u64,
+    /// Command name.
+    pub comm: String,
+}
+
+impl TaskView {
+    /// Whether this task runs with root privileges.
+    pub fn is_root(&self) -> bool {
+        self.euid == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> OsProfile {
+        OsProfile {
+            task_list_head: Gva::new(0x100),
+            ts_pid: 0,
+            ts_state: 8,
+            ts_uid: 16,
+            ts_euid: 24,
+            ts_parent: 32,
+            ts_next: 40,
+            ts_prev: 48,
+            ts_pdba: 56,
+            ts_kstack: 64,
+            ts_comm: 72,
+            ts_comm_len: 16,
+            ts_size: 88,
+            ti_task: 0,
+            kernel_stack_size: 8192,
+        }
+    }
+
+    #[test]
+    fn thread_info_base_masks_to_stack_base() {
+        let p = profile();
+        // A stack occupying [0x4000, 0x6000): RSP0 is the top.
+        assert_eq!(p.thread_info_base(0x6000), Gva::new(0x4000));
+        // Mid-stack pointers mask to the same base.
+        assert_eq!(p.thread_info_base(0x5abc), Gva::new(0x4000));
+    }
+
+    #[test]
+    fn task_state_codes() {
+        assert_eq!(TaskState::from_raw(0), TaskState::Running);
+        assert_eq!(TaskState::from_raw(1).code(), 'S');
+        assert_eq!(TaskState::from_raw(2).code(), 'Z');
+        assert_eq!(TaskState::from_raw(9).code(), '?');
+    }
+
+    #[test]
+    fn root_check_uses_euid() {
+        let mut t = TaskView {
+            gva: Gva::new(0),
+            pid: 1,
+            state: TaskState::Running,
+            uid: 1000,
+            euid: 0,
+            parent: Gva::new(0),
+            pdba: 0,
+            kstack: 0,
+            comm: "sh".into(),
+        };
+        assert!(t.is_root());
+        t.euid = 1000;
+        assert!(!t.is_root());
+    }
+}

@@ -1,0 +1,275 @@
+//! The Remote Health Checker (RHC) — who watches the watchers?
+//!
+//! The Event Multiplexer samples the VM-exit stream and ships every N-th
+//! exit as a heartbeat to an RHC running on a *separate machine* (paper
+//! Fig. 2). A healthy guest generates a continuous exit stream, so a gap
+//! longer than the configured timeout means either the guest, the
+//! hypervisor, or the monitoring stack itself has died — the RHC raises a
+//! liveness alarm either way.
+//!
+//! Two transports are provided: an in-process one for deterministic
+//! simulation, and a real TCP transport ([`TcpTransport`] / [`RhcServer`])
+//! carrying newline-delimited JSON, used by the `remote_health` example and
+//! its integration test to demonstrate genuine out-of-machine checking.
+
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::fmt;
+use std::io::{BufRead, BufReader, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::rc::Rc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// One heartbeat: a sampled VM exit.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HeartbeatSample {
+    /// Simulated time of the sampled exit, in nanoseconds.
+    pub time_ns: u64,
+    /// Monotonic sample sequence number.
+    pub seq: u64,
+}
+
+/// A channel capable of delivering heartbeat samples to an RHC.
+pub trait RhcTransport {
+    /// Delivers one sample. Transports must not block the caller for long —
+    /// delivery is on the logging path.
+    fn send(&mut self, sample: &HeartbeatSample);
+}
+
+/// A liveness alarm raised by the checker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RhcAlert {
+    /// Wall-clock (simulated) nanoseconds at which the check ran.
+    pub checked_at_ns: u64,
+    /// Time of the last heartbeat received, if any.
+    pub last_heartbeat_ns: Option<u64>,
+}
+
+impl fmt::Display for RhcAlert {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.last_heartbeat_ns {
+            Some(t) => write!(
+                f,
+                "monitoring stack silent since {}ns (checked at {}ns)",
+                t, self.checked_at_ns
+            ),
+            None => write!(f, "no heartbeat ever received (checked at {}ns)", self.checked_at_ns),
+        }
+    }
+}
+
+/// The health checker: receives samples, measures inter-arrival gaps.
+#[derive(Debug)]
+pub struct RemoteHealthChecker {
+    timeout_ns: u64,
+    last: Option<HeartbeatSample>,
+    received: u64,
+    alerts: Vec<RhcAlert>,
+}
+
+impl RemoteHealthChecker {
+    /// A checker that alarms after `timeout_ns` of silence.
+    pub fn new(timeout_ns: u64) -> Self {
+        RemoteHealthChecker { timeout_ns, last: None, received: 0, alerts: Vec::new() }
+    }
+
+    /// Ingests one sample.
+    pub fn on_sample(&mut self, sample: HeartbeatSample) {
+        self.received += 1;
+        self.last = Some(sample);
+    }
+
+    /// Number of samples received.
+    pub fn received(&self) -> u64 {
+        self.received
+    }
+
+    /// Runs a liveness check at (simulated) time `now_ns`; records and
+    /// returns an alert if the silence exceeds the timeout.
+    pub fn check(&mut self, now_ns: u64) -> Option<RhcAlert> {
+        let stale = match &self.last {
+            Some(s) => now_ns.saturating_sub(s.time_ns) > self.timeout_ns,
+            None => now_ns > self.timeout_ns,
+        };
+        if stale {
+            let alert = RhcAlert {
+                checked_at_ns: now_ns,
+                last_heartbeat_ns: self.last.as_ref().map(|s| s.time_ns),
+            };
+            self.alerts.push(alert.clone());
+            Some(alert)
+        } else {
+            None
+        }
+    }
+
+    /// All alerts raised so far.
+    pub fn alerts(&self) -> &[RhcAlert] {
+        &self.alerts
+    }
+}
+
+/// In-process transport: delivers directly into a shared checker. Used in
+/// deterministic simulations where the "remote machine" is a host-side
+/// object.
+#[derive(Debug, Clone)]
+pub struct InProcTransport {
+    checker: Rc<RefCell<RemoteHealthChecker>>,
+}
+
+impl InProcTransport {
+    /// Wraps a shared checker.
+    pub fn new(checker: Rc<RefCell<RemoteHealthChecker>>) -> Self {
+        InProcTransport { checker }
+    }
+}
+
+impl RhcTransport for InProcTransport {
+    fn send(&mut self, sample: &HeartbeatSample) {
+        self.checker.borrow_mut().on_sample(sample.clone());
+    }
+}
+
+/// TCP transport: serialises each sample as one JSON line.
+#[derive(Debug)]
+pub struct TcpTransport {
+    stream: TcpStream,
+}
+
+impl TcpTransport {
+    /// Connects to an RHC server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(TcpTransport { stream })
+    }
+}
+
+impl RhcTransport for TcpTransport {
+    fn send(&mut self, sample: &HeartbeatSample) {
+        // Best-effort: a dead RHC must not take the monitoring stack down.
+        if let Ok(mut line) = serde_json::to_string(sample) {
+            line.push('\n');
+            let _ = self.stream.write_all(line.as_bytes());
+        }
+    }
+}
+
+/// A TCP RHC server: accepts one connection per monitored machine and feeds
+/// a thread-safe checker.
+#[derive(Debug)]
+pub struct RhcServer {
+    addr: SocketAddr,
+    checker: Arc<Mutex<RemoteHealthChecker>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl RhcServer {
+    /// Binds to an ephemeral local port and starts accepting.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind errors.
+    pub fn start(timeout_ns: u64) -> std::io::Result<Self> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let checker = Arc::new(Mutex::new(RemoteHealthChecker::new(timeout_ns)));
+        let sink = checker.clone();
+        let handle = std::thread::spawn(move || {
+            // One connection at a time is enough for the reproduction.
+            while let Ok((stream, _)) = listener.accept() {
+                let reader = BufReader::new(stream);
+                for line in reader.lines() {
+                    let Ok(line) = line else { break };
+                    if let Ok(sample) = serde_json::from_str::<HeartbeatSample>(&line) {
+                        sink.lock().expect("checker lock").on_sample(sample);
+                    }
+                }
+            }
+        });
+        Ok(RhcServer { addr, checker, handle: Some(handle) })
+    }
+
+    /// The address clients should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared access to the checker (for running `check` and reading stats).
+    pub fn checker(&self) -> Arc<Mutex<RemoteHealthChecker>> {
+        self.checker.clone()
+    }
+}
+
+impl Drop for RhcServer {
+    fn drop(&mut self) {
+        // The accept loop ends when the listener errors at process exit; we
+        // deliberately detach rather than block in a destructor.
+        if let Some(h) = self.handle.take() {
+            drop(h);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checker_alarm_on_silence() {
+        let mut c = RemoteHealthChecker::new(1_000_000); // 1 ms
+        assert!(c.check(500_000).is_none(), "within timeout, nothing yet");
+        let alert = c.check(2_000_000).expect("no heartbeat ever");
+        assert_eq!(alert.last_heartbeat_ns, None);
+        c.on_sample(HeartbeatSample { time_ns: 2_100_000, seq: 1 });
+        assert!(c.check(2_500_000).is_none());
+        let alert = c.check(4_000_000).expect("stale heartbeat");
+        assert_eq!(alert.last_heartbeat_ns, Some(2_100_000));
+        assert_eq!(c.alerts().len(), 2);
+        assert_eq!(c.received(), 1);
+    }
+
+    #[test]
+    fn in_proc_transport_delivers() {
+        let checker = Rc::new(RefCell::new(RemoteHealthChecker::new(1_000)));
+        let mut t = InProcTransport::new(checker.clone());
+        t.send(&HeartbeatSample { time_ns: 10, seq: 1 });
+        t.send(&HeartbeatSample { time_ns: 20, seq: 2 });
+        assert_eq!(checker.borrow().received(), 2);
+    }
+
+    #[test]
+    fn tcp_round_trip() {
+        let server = RhcServer::start(1_000_000).unwrap();
+        let mut client = TcpTransport::connect(server.addr()).unwrap();
+        for seq in 1..=5u64 {
+            client.send(&HeartbeatSample { time_ns: seq * 100, seq });
+        }
+        drop(client); // flush + EOF
+        // Wait for the server thread to drain the connection.
+        let checker = server.checker();
+        for _ in 0..200 {
+            if checker.lock().unwrap().received() == 5 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        let mut c = checker.lock().unwrap();
+        assert_eq!(c.received(), 5);
+        assert!(c.check(550).is_none());
+        assert!(c.check(2_000_000).is_some());
+    }
+
+    #[test]
+    fn sample_json_round_trip() {
+        let s = HeartbeatSample { time_ns: 42, seq: 7 };
+        let json = serde_json::to_string(&s).unwrap();
+        let back: HeartbeatSample = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

@@ -1,0 +1,300 @@
+//! Campaign orchestration: spec generation, parallel execution, summaries.
+
+use crate::runner::{run_trial, RunnerConfig};
+use crate::spec::{FaultKind, Outcome, TrialResult, TrialSpec, Workload};
+use hypertap_guestos::klocks::SITE_COUNT;
+use serde::{Deserialize, Serialize};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+
+/// Campaign-wide configuration.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Sites to inject (subset of 0..374).
+    pub sites: Vec<u32>,
+    /// Workloads to run.
+    pub workloads: Vec<Workload>,
+    /// Kernel preemption configurations.
+    pub preemption: Vec<bool>,
+    /// Persistence modes (transient = false, persistent = true).
+    pub persistence: Vec<bool>,
+    /// Trial-runner timing.
+    pub runner: RunnerConfig,
+    /// Base RNG seed (trial seeds derive from it deterministically).
+    pub seed: u64,
+    /// Worker threads (0 = all available).
+    pub threads: usize,
+    /// When true (the default), only inject sites on each workload's
+    /// profiled execution path, as the paper's campaign did. When false,
+    /// inject every sampled site under every workload (many trials land in
+    /// the "not activated" bucket).
+    pub profiled_sites_only: bool,
+}
+
+/// The default campaign shape: every `stride`-th site, all four workloads,
+/// both kernels, both persistence modes.
+pub fn default_campaign(stride: usize) -> CampaignConfig {
+    let mut stride = stride.max(1);
+    // The catalogue interleaves subsystems mod 8; a stride sharing a factor
+    // with 8 would sample only a subset of subsystems.
+    if stride > 1 && stride.is_multiple_of(2) {
+        stride += 1;
+    }
+    CampaignConfig {
+        sites: (0..SITE_COUNT as u32).step_by(stride).collect(),
+        workloads: Workload::ALL.to_vec(),
+        preemption: vec![false, true],
+        persistence: vec![false, true],
+        runner: RunnerConfig::default(),
+        seed: 42,
+        threads: 0,
+        profiled_sites_only: true,
+    }
+}
+
+impl CampaignConfig {
+    /// Expands the configuration into the full trial list.
+    pub fn specs(&self) -> Vec<TrialSpec> {
+        let mut out = Vec::new();
+        let mut n = 0u64;
+        let catalogue = hypertap_guestos::klocks::LockTable::new();
+        for &site in &self.sites {
+            for &workload in &self.workloads {
+                if self.profiled_sites_only
+                    && !workload
+                        .profiled_subsystems()
+                        .contains(&catalogue.site(site as usize).subsystem)
+                {
+                    continue;
+                }
+                for &preemptible in &self.preemption {
+                    for &persistent in &self.persistence {
+                        n += 1;
+                        out.push(TrialSpec {
+                            site,
+                            fault: FaultKind::for_site(site),
+                            persistent,
+                            workload,
+                            preemptible,
+                            seed: self.seed.wrapping_mul(0x9E37_79B9).wrapping_add(n),
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Runs every trial of a campaign, fanning out over worker threads.
+/// `progress` is called after each completed trial with (done, total).
+pub fn run_campaign(
+    cfg: &CampaignConfig,
+    progress: impl Fn(usize, usize) + Send + Sync,
+) -> Vec<TrialResult> {
+    let specs = cfg.specs();
+    let total = specs.len();
+    let threads = if cfg.threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    } else {
+        cfg.threads
+    };
+    let queue = Arc::new(Mutex::new(specs.into_iter().enumerate().collect::<Vec<_>>()));
+    let (tx, rx) = mpsc::channel::<(usize, TrialResult)>();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let queue = queue.clone();
+            let tx = tx.clone();
+            let runner = cfg.runner.clone();
+            scope.spawn(move || loop {
+                let next = queue.lock().expect("queue lock").pop();
+                let Some((idx, spec)) = next else { break };
+                let result = run_trial(&spec, &runner);
+                if tx.send((idx, result)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        let mut results: Vec<Option<TrialResult>> = (0..total).map(|_| None).collect();
+        let mut done = 0usize;
+        while let Ok((idx, r)) = rx.recv() {
+            results[idx] = Some(r);
+            done += 1;
+            progress(done, total);
+        }
+        results.into_iter().map(|r| r.expect("every trial completed")).collect()
+    })
+}
+
+/// One row of the Fig. 4 summary: outcome counts for a (workload, kernel,
+/// persistence) cell.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Fig4Row {
+    /// Workload.
+    pub workload: Workload,
+    /// Kernel preemption.
+    pub preemptible: bool,
+    /// Fault persistence.
+    pub persistent: bool,
+    /// Trials in this cell.
+    pub trials: usize,
+    /// Outcome counts: not activated, not manifested, not detected,
+    /// partial hang, full hang.
+    pub not_activated: usize,
+    /// See above.
+    pub not_manifested: usize,
+    /// See above.
+    pub not_detected: usize,
+    /// See above.
+    pub partial_hang: usize,
+    /// See above.
+    pub full_hang: usize,
+}
+
+impl Fig4Row {
+    /// Fraction of *activated* faults that manifested as failures.
+    pub fn manifestation_rate(&self) -> f64 {
+        let activated = self.trials - self.not_activated;
+        if activated == 0 {
+            return 0.0;
+        }
+        (self.not_detected + self.partial_hang + self.full_hang) as f64 / activated as f64
+    }
+
+    /// GOSHD's coverage over manifested failures.
+    pub fn coverage(&self) -> f64 {
+        let manifested = self.not_detected + self.partial_hang + self.full_hang;
+        if manifested == 0 {
+            return 1.0;
+        }
+        (self.partial_hang + self.full_hang) as f64 / manifested as f64
+    }
+
+    /// Fraction of detected hangs that stayed partial.
+    pub fn partial_fraction(&self) -> f64 {
+        let detected = self.partial_hang + self.full_hang;
+        if detected == 0 {
+            return 0.0;
+        }
+        self.partial_hang as f64 / detected as f64
+    }
+}
+
+/// Summarises trial results into Fig. 4 rows (one per workload × kernel ×
+/// persistence cell, in a stable order).
+pub fn fig4_rows(results: &[TrialResult]) -> Vec<Fig4Row> {
+    let mut rows = Vec::new();
+    for &workload in &Workload::ALL {
+        for &preemptible in &[false, true] {
+            for &persistent in &[false, true] {
+                let cell: Vec<&TrialResult> = results
+                    .iter()
+                    .filter(|r| {
+                        r.spec.workload == workload
+                            && r.spec.preemptible == preemptible
+                            && r.spec.persistent == persistent
+                    })
+                    .collect();
+                if cell.is_empty() {
+                    continue;
+                }
+                let count = |o: Outcome| cell.iter().filter(|r| r.outcome == o).count();
+                rows.push(Fig4Row {
+                    workload,
+                    preemptible,
+                    persistent,
+                    trials: cell.len(),
+                    not_activated: count(Outcome::NotActivated),
+                    not_manifested: count(Outcome::NotManifested),
+                    not_detected: count(Outcome::NotDetected),
+                    partial_hang: count(Outcome::PartialHang),
+                    full_hang: count(Outcome::FullHang),
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Extracts the Fig. 5 latency samples: (first-hang detection latencies,
+/// full-hang latencies), in seconds.
+pub fn fig5_latencies(results: &[TrialResult]) -> (Vec<f64>, Vec<f64>) {
+    let mut first = Vec::new();
+    let mut full = Vec::new();
+    for r in results {
+        if let Some(l) = r.detection_latency_ns {
+            first.push(l as f64 / 1e9);
+        }
+        if let Some(l) = r.full_hang_latency_ns {
+            full.push(l as f64 / 1e9);
+        }
+    }
+    first.sort_by(f64::total_cmp);
+    full.sort_by(f64::total_cmp);
+    (first, full)
+}
+
+/// Empirical CDF evaluation: fraction of samples ≤ x.
+pub fn cdf_at(sorted: &[f64], x: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let n = sorted.partition_point(|&v| v <= x);
+    n as f64 / sorted.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_expansion_counts() {
+        let mut cfg = default_campaign(47); // 8 sites, one per subsystem
+        cfg.workloads = vec![Workload::Hanoi];
+        cfg.preemption = vec![false];
+        cfg.persistence = vec![true];
+        // Hanoi's profile covers 4 of the 8 subsystems.
+        assert_eq!(cfg.specs().len(), 4);
+        let mut unprofiled = default_campaign(47);
+        unprofiled.profiled_sites_only = false;
+        assert_eq!(unprofiled.specs().len(), 8 * 4 * 2 * 2);
+    }
+
+    #[test]
+    fn seeds_are_distinct() {
+        let cfg = default_campaign(47);
+        let specs = cfg.specs();
+        let mut seeds: Vec<u64> = specs.iter().map(|s| s.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), specs.len());
+    }
+
+    #[test]
+    fn fig4_row_math() {
+        let row = Fig4Row {
+            workload: Workload::Hanoi,
+            preemptible: false,
+            persistent: true,
+            trials: 100,
+            not_activated: 10,
+            not_manifested: 15,
+            not_detected: 1,
+            partial_hang: 20,
+            full_hang: 54,
+        };
+        assert!((row.manifestation_rate() - 75.0 / 90.0).abs() < 1e-9);
+        assert!((row.coverage() - 74.0 / 75.0).abs() < 1e-9);
+        assert!((row.partial_fraction() - 20.0 / 74.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cdf_evaluation() {
+        let samples = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(cdf_at(&samples, 0.5), 0.0);
+        assert_eq!(cdf_at(&samples, 2.0), 0.5);
+        assert_eq!(cdf_at(&samples, 10.0), 1.0);
+        assert_eq!(cdf_at(&[], 1.0), 0.0);
+    }
+}

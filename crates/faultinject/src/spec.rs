@@ -1,0 +1,216 @@
+//! Trial specifications and results.
+
+use hypertap_guestos::fault::FaultType;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The workload running while a fault is injected (paper §VIII-A2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Workload {
+    /// "Tower of Hanoi" recursive program.
+    Hanoi,
+    /// Serial compilation of libxml.
+    MakeJ1,
+    /// Two-way parallel compilation of libxml.
+    MakeJ2,
+    /// HTTP server under ApacheBench-style load.
+    HttpServer,
+}
+
+impl Workload {
+    /// All four workloads, in the paper's order.
+    pub const ALL: [Workload; 4] =
+        [Workload::Hanoi, Workload::MakeJ1, Workload::MakeJ2, Workload::HttpServer];
+
+    /// The kernel subsystems this workload's execution path exercises
+    /// (the paper profiled the kernel under each workload and injected into
+    /// locations on the execution path).
+    pub fn profiled_subsystems(self) -> &'static [&'static str] {
+        match self {
+            Workload::Hanoi => &["vfs", "ext3", "block", "mm"],
+            Workload::MakeJ1 | Workload::MakeJ2 => &["vfs", "ext3", "block", "mm", "sched"],
+            Workload::HttpServer => &["vfs", "ext3", "block", "mm", "sched", "net"],
+        }
+    }
+}
+
+impl fmt::Display for Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Workload::Hanoi => "Hanoi Tower",
+            Workload::MakeJ1 => "make -j1",
+            Workload::MakeJ2 => "make -j2",
+            Workload::HttpServer => "HTTP server",
+        })
+    }
+}
+
+/// A serialisable mirror of [`FaultType`] (the guest crate stays
+/// serde-free).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Missing spinlock release.
+    MissingUnlock,
+    /// Wrong lock ordering.
+    WrongOrder,
+    /// Missing unlock/lock pair.
+    MissingUnlockLockPair,
+    /// Missing interrupt-state restoration.
+    MissingIrqRestore,
+}
+
+impl From<FaultKind> for FaultType {
+    fn from(k: FaultKind) -> FaultType {
+        match k {
+            FaultKind::MissingUnlock => FaultType::MissingUnlock,
+            FaultKind::WrongOrder => FaultType::WrongOrder,
+            FaultKind::MissingUnlockLockPair => FaultType::MissingUnlockLockPair,
+            FaultKind::MissingIrqRestore => FaultType::MissingIrqRestore,
+        }
+    }
+}
+
+impl FaultKind {
+    /// Deterministic per-site fault assignment. Interrupt-state faults only
+    /// make sense at irqsave sites; the remaining three causes round-robin
+    /// over the rest (mirroring how the paper's injector matched fault
+    /// types to suitable locations).
+    pub fn for_site(site: u32) -> FaultKind {
+        let catalogue = hypertap_guestos::klocks::LockTable::new();
+        let irqsave = catalogue.site(site as usize).irqsave;
+        if irqsave && site % 12 == 5 {
+            // Half of the irqsave sites get the interrupt-state fault.
+            return FaultKind::MissingIrqRestore;
+        }
+        match site % 3 {
+            0 => FaultKind::MissingUnlock,
+            1 => FaultKind::WrongOrder,
+            _ => FaultKind::MissingUnlockLockPair,
+        }
+    }
+}
+
+/// One injection trial.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrialSpec {
+    /// Catalogue site (0..374).
+    pub site: u32,
+    /// The fault injected there.
+    pub fault: FaultKind,
+    /// Persistent (every execution) or transient (first execution only).
+    pub persistent: bool,
+    /// The workload running during injection.
+    pub workload: Workload,
+    /// Kernel preemption configuration.
+    pub preemptible: bool,
+    /// RNG seed for this trial (workload arrival times etc.).
+    pub seed: u64,
+}
+
+/// Classified outcome of a trial (paper §VIII-A2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Outcome {
+    /// The workload never executed the faulty code.
+    NotActivated,
+    /// The fault ran but nothing observable failed.
+    NotManifested,
+    /// The external probe saw an unresponsive VM; GOSHD stayed silent.
+    NotDetected,
+    /// A proper subset of vCPUs hung (detected by GOSHD).
+    PartialHang,
+    /// All vCPUs hung within the observation window (detected by GOSHD).
+    FullHang,
+}
+
+impl Outcome {
+    /// Whether the fault manifested as a failure.
+    pub fn manifested(self) -> bool {
+        matches!(self, Outcome::NotDetected | Outcome::PartialHang | Outcome::FullHang)
+    }
+
+    /// Whether GOSHD detected it.
+    pub fn detected(self) -> bool {
+        matches!(self, Outcome::PartialHang | Outcome::FullHang)
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Outcome::NotActivated => "not activated",
+            Outcome::NotManifested => "not manifested",
+            Outcome::NotDetected => "not detected",
+            Outcome::PartialHang => "partial hang",
+            Outcome::FullHang => "full hang",
+        })
+    }
+}
+
+/// The measured result of one trial.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrialResult {
+    /// The trial's specification.
+    pub spec: TrialSpec,
+    /// Classified outcome.
+    pub outcome: Outcome,
+    /// Number of fault activations observed.
+    pub activations: u64,
+    /// Simulated time of the first activation (ns), if any.
+    pub activated_at_ns: Option<u64>,
+    /// Simulated time of GOSHD's first alarm (ns), if any.
+    pub first_alarm_ns: Option<u64>,
+    /// Detection latency: first alarm − activation (ns).
+    pub detection_latency_ns: Option<u64>,
+    /// Simulated time at which the hang became full (ns), if it did.
+    pub full_hang_at_ns: Option<u64>,
+    /// Full-hang latency: full alarm − activation (ns).
+    pub full_hang_latency_ns: Option<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_kinds_match_site_attributes() {
+        let catalogue = hypertap_guestos::klocks::LockTable::new();
+        let mut counts = std::collections::HashMap::new();
+        for site in 0..hypertap_guestos::klocks::SITE_COUNT as u32 {
+            let kind = FaultKind::for_site(site);
+            *counts.entry(kind).or_insert(0usize) += 1;
+            if kind == FaultKind::MissingIrqRestore {
+                assert!(
+                    catalogue.site(site as usize).irqsave,
+                    "irq-restore faults only make sense at irqsave sites (site {site})"
+                );
+            }
+        }
+        // All four causes appear in the campaign.
+        assert_eq!(counts.len(), 4, "{counts:?}");
+    }
+
+    #[test]
+    fn outcome_classification_predicates() {
+        assert!(!Outcome::NotActivated.manifested());
+        assert!(!Outcome::NotManifested.manifested());
+        assert!(Outcome::NotDetected.manifested());
+        assert!(!Outcome::NotDetected.detected());
+        assert!(Outcome::PartialHang.detected());
+        assert!(Outcome::FullHang.detected());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let spec = TrialSpec {
+            site: 42,
+            fault: FaultKind::WrongOrder,
+            persistent: true,
+            workload: Workload::MakeJ2,
+            preemptible: false,
+            seed: 7,
+        };
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: TrialSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+    }
+}

@@ -1,0 +1,164 @@
+//! The guest's emulated devices: disk, NIC and console.
+//!
+//! Device models are intentionally thin — what matters for the monitoring
+//! experiments is that guest I/O goes through the architectural channels
+//! (port I/O → `IO_INST` exits, interrupts → `EXTERNAL_INT` exits) with
+//! realistic frequency, and that harnesses can read throughput counters.
+
+use hypertap_hvsim::device::Device;
+use std::any::Any;
+use std::collections::VecDeque;
+
+/// Disk controller port range base.
+pub const DISK_PORT_BASE: u16 = 0x1f0;
+/// Disk data port (one access per sector transferred).
+pub const DISK_PORT_DATA: u16 = 0x1f0;
+/// NIC port range base.
+pub const NIC_PORT_BASE: u16 = 0x300;
+/// NIC data port.
+pub const NIC_PORT_DATA: u16 = 0x300;
+/// NIC rx-queue-length port.
+pub const NIC_PORT_RXLEN: u16 = 0x301;
+/// Console output port.
+pub const CONSOLE_PORT: u16 = 0x3f8;
+/// External interrupt vector used by the NIC.
+pub const NIC_IRQ_VECTOR: u8 = 0x21;
+/// Sector size: one data-port access moves this many bytes.
+pub const SECTOR_SIZE: u64 = 512;
+
+/// A simple programmed-I/O disk: counts sectors moved in each direction.
+#[derive(Debug, Default)]
+pub struct DiskDevice {
+    /// Sectors written by the guest.
+    pub sectors_written: u64,
+    /// Sectors read by the guest.
+    pub sectors_read: u64,
+}
+
+impl Device for DiskDevice {
+    fn name(&self) -> &str {
+        "disk"
+    }
+
+    fn pio_read(&mut self, _port: u16) -> u64 {
+        self.sectors_read += 1;
+        0xDA7A
+    }
+
+    fn pio_write(&mut self, _port: u16, _value: u64) {
+        self.sectors_written += 1;
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// A NIC with a receive queue fed by the harness (the "external load
+/// generator") and transmit counting.
+#[derive(Debug, Default)]
+pub struct NicDevice {
+    /// Pending inbound requests (byte sizes).
+    pub rx_queue: VecDeque<u64>,
+    /// Bytes transmitted by the guest.
+    pub tx_bytes: u64,
+    /// Bytes received by the guest.
+    pub rx_bytes: u64,
+}
+
+impl NicDevice {
+    /// Enqueues an inbound request of `bytes` (the harness pairs this with
+    /// scheduling [`NIC_IRQ_VECTOR`] on the VM).
+    pub fn push_rx(&mut self, bytes: u64) {
+        self.rx_queue.push_back(bytes);
+    }
+}
+
+impl Device for NicDevice {
+    fn name(&self) -> &str {
+        "nic"
+    }
+
+    fn pio_read(&mut self, port: u16) -> u64 {
+        match port {
+            NIC_PORT_DATA => match self.rx_queue.pop_front() {
+                Some(bytes) => {
+                    self.rx_bytes += bytes;
+                    bytes
+                }
+                None => 0,
+            },
+            NIC_PORT_RXLEN => self.rx_queue.len() as u64,
+            _ => 0xFF,
+        }
+    }
+
+    fn pio_write(&mut self, port: u16, value: u64) {
+        if port == NIC_PORT_DATA {
+            self.tx_bytes += value;
+        }
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Console device: collects bytes the guest prints.
+#[derive(Debug, Default)]
+pub struct ConsoleDevice {
+    /// Everything printed so far.
+    pub output: Vec<u8>,
+}
+
+impl Device for ConsoleDevice {
+    fn name(&self) -> &str {
+        "console"
+    }
+
+    fn pio_write(&mut self, _port: u16, value: u64) {
+        self.output.push(value as u8);
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disk_counts_sectors() {
+        let mut d = DiskDevice::default();
+        d.pio_write(DISK_PORT_DATA, 0);
+        d.pio_write(DISK_PORT_DATA, 0);
+        let _ = d.pio_read(DISK_PORT_DATA);
+        assert_eq!(d.sectors_written, 2);
+        assert_eq!(d.sectors_read, 1);
+    }
+
+    #[test]
+    fn nic_queue_fifo() {
+        let mut n = NicDevice::default();
+        n.push_rx(100);
+        n.push_rx(200);
+        assert_eq!(n.pio_read(NIC_PORT_RXLEN), 2);
+        assert_eq!(n.pio_read(NIC_PORT_DATA), 100);
+        assert_eq!(n.pio_read(NIC_PORT_DATA), 200);
+        assert_eq!(n.pio_read(NIC_PORT_DATA), 0, "empty queue reads zero");
+        assert_eq!(n.rx_bytes, 300);
+        n.pio_write(NIC_PORT_DATA, 512);
+        assert_eq!(n.tx_bytes, 512);
+    }
+
+    #[test]
+    fn console_collects_output() {
+        let mut c = ConsoleDevice::default();
+        for b in b"ok" {
+            c.pio_write(CONSOLE_PORT, *b as u64);
+        }
+        assert_eq!(c.output, b"ok");
+    }
+}

@@ -1,0 +1,167 @@
+//! The fault-injection hook the kernel consults at every lock site.
+//!
+//! The four fault types are the hang causes identified by Cotroneo et al.
+//! (the paper's reference 34) and used in the HyperTap Fig. 4/5 campaign. A fault is
+//! *transient* (activated once, at the first execution of its site) or
+//! *persistent* (activated at every execution).
+
+use std::fmt;
+
+/// The injected locking-discipline fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultType {
+    /// The exit path forgets to release a spinlock: every later acquirer
+    /// spins forever.
+    MissingUnlock,
+    /// The code acquires two locks in the wrong order, enabling an ABBA
+    /// deadlock with a correctly ordered path.
+    WrongOrder,
+    /// A missing unlock/lock pair: the code believes it holds a lock it
+    /// never (re-)acquired, so its later release corrupts someone else's
+    /// critical section.
+    MissingUnlockLockPair,
+    /// `spin_unlock_irqrestore` forgets the restore: the vCPU's interrupts
+    /// stay disabled, starving the scheduler tick.
+    MissingIrqRestore,
+}
+
+impl FaultType {
+    /// All fault types, in campaign order.
+    pub const ALL: [FaultType; 4] = [
+        FaultType::MissingUnlock,
+        FaultType::WrongOrder,
+        FaultType::MissingUnlockLockPair,
+        FaultType::MissingIrqRestore,
+    ];
+
+    /// Whether the fault triggers on the acquire side of the site (versus
+    /// the release side).
+    pub fn triggers_on_acquire(self) -> bool {
+        matches!(self, FaultType::WrongOrder | FaultType::MissingUnlockLockPair)
+    }
+}
+
+impl fmt::Display for FaultType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FaultType::MissingUnlock => "missing-unlock",
+            FaultType::WrongOrder => "wrong-order",
+            FaultType::MissingUnlockLockPair => "missing-unlock-lock-pair",
+            FaultType::MissingIrqRestore => "missing-irq-restore",
+        })
+    }
+}
+
+/// Consulted by the kernel at every lock-site execution.
+pub trait FaultHook {
+    /// Returns the fault to apply at this execution of `site` (`acquire`
+    /// tells which side is executing), or `None` for correct behaviour.
+    fn check(&mut self, site: u32, acquire: bool) -> Option<FaultType>;
+
+    /// Number of times the fault actually activated.
+    fn activations(&self) -> u64 {
+        0
+    }
+}
+
+/// The default hook: a correct kernel.
+#[derive(Debug, Default, Clone)]
+pub struct NoFaults;
+
+impl FaultHook for NoFaults {
+    fn check(&mut self, _site: u32, _acquire: bool) -> Option<FaultType> {
+        None
+    }
+}
+
+/// One injected fault at one site.
+#[derive(Debug, Clone)]
+pub struct SingleFault {
+    site: u32,
+    fault: FaultType,
+    persistent: bool,
+    activations: u64,
+}
+
+impl SingleFault {
+    /// A fault of `fault` type at catalogue site `site`.
+    pub fn new(site: u32, fault: FaultType, persistent: bool) -> Self {
+        SingleFault { site, fault, persistent, activations: 0 }
+    }
+
+    /// The fault type.
+    pub fn fault(&self) -> FaultType {
+        self.fault
+    }
+
+    /// The target site.
+    pub fn site(&self) -> u32 {
+        self.site
+    }
+}
+
+impl FaultHook for SingleFault {
+    fn check(&mut self, site: u32, acquire: bool) -> Option<FaultType> {
+        if site != self.site || acquire != self.fault.triggers_on_acquire() {
+            return None;
+        }
+        if !self.persistent && self.activations > 0 {
+            return None;
+        }
+        self.activations += 1;
+        Some(self.fault)
+    }
+
+    fn activations(&self) -> u64 {
+        self.activations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transient_fires_once() {
+        let mut f = SingleFault::new(10, FaultType::MissingUnlock, false);
+        assert_eq!(f.check(10, false), Some(FaultType::MissingUnlock));
+        assert_eq!(f.check(10, false), None);
+        assert_eq!(f.activations(), 1);
+    }
+
+    #[test]
+    fn persistent_fires_always() {
+        let mut f = SingleFault::new(10, FaultType::MissingUnlock, true);
+        assert!(f.check(10, false).is_some());
+        assert!(f.check(10, false).is_some());
+        assert_eq!(f.activations(), 2);
+    }
+
+    #[test]
+    fn wrong_site_or_side_does_not_fire() {
+        let mut f = SingleFault::new(10, FaultType::MissingUnlock, true);
+        assert_eq!(f.check(11, false), None);
+        assert_eq!(f.check(10, true), None, "missing-unlock triggers on release");
+        let mut g = SingleFault::new(10, FaultType::WrongOrder, true);
+        assert_eq!(g.check(10, false), None, "wrong-order triggers on acquire");
+        assert!(g.check(10, true).is_some());
+    }
+
+    #[test]
+    fn trigger_sides() {
+        assert!(!FaultType::MissingUnlock.triggers_on_acquire());
+        assert!(FaultType::WrongOrder.triggers_on_acquire());
+        assert!(FaultType::MissingUnlockLockPair.triggers_on_acquire());
+        assert!(!FaultType::MissingIrqRestore.triggers_on_acquire());
+    }
+
+    #[test]
+    fn no_faults_is_silent() {
+        let mut n = NoFaults;
+        for s in 0..374 {
+            assert_eq!(n.check(s, true), None);
+            assert_eq!(n.check(s, false), None);
+        }
+        assert_eq!(n.activations(), 0);
+    }
+}

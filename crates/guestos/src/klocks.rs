@@ -1,0 +1,259 @@
+//! Kernel spinlocks and the lock-site catalogue — the fault-injection
+//! surface.
+//!
+//! The hang experiments in the paper (following Cotroneo et al., reference 34 of the paper) inject
+//! faults into the locking discipline of the kernel: missing spinlock
+//! releases, wrong lock orderings, missing unlock/lock pairs, and missing
+//! interrupt-state restorations. To reproduce that, the simulated kernel's
+//! syscall paths execute explicit **lock sites**: static program points that
+//! acquire or release a specific lock, annotated with whether the site sits
+//! inside a non-preemptible section and whether it saves/restores the
+//! interrupt flag. The catalogue enumerates 374 sites (the paper's count)
+//! spread across core kernel code and the frequently used subsystems it
+//! names (ext3, char, block).
+
+use crate::task::Pid;
+
+/// Index of a kernel lock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LockId(pub u32);
+
+/// One static lock-acquisition/release point in kernel code.
+#[derive(Debug, Clone)]
+pub struct LockSite {
+    /// Site index (0..374).
+    pub id: u32,
+    /// The lock this site operates on.
+    pub lock: LockId,
+    /// Subsystem the site belongs to.
+    pub subsystem: &'static str,
+    /// Whether the surrounding section is non-preemptible even on a
+    /// preemptible kernel build (nested locking, irq context, etc.). The
+    /// paper notes that "most critical sections in the kernel are
+    /// non-preemptible".
+    pub nonpreempt: bool,
+    /// Whether the acquisition saves and disables the interrupt flag
+    /// (`spin_lock_irqsave`).
+    pub irqsave: bool,
+}
+
+/// Runtime state of one kernel spinlock.
+#[derive(Debug, Clone, Default)]
+pub struct SpinLock {
+    /// Current owner, if held.
+    pub owner: Option<Pid>,
+    /// Total successful acquisitions (statistics).
+    pub acquisitions: u64,
+    /// Total contended acquisition attempts (statistics).
+    pub contentions: u64,
+    /// Set when a foreign release corrupted the lock word; the next
+    /// legitimate release is lost (the classic double-release corruption).
+    pub corrupted: bool,
+}
+
+/// The kernel's lock table plus the static site catalogue.
+#[derive(Debug)]
+pub struct LockTable {
+    locks: Vec<SpinLock>,
+    sites: Vec<LockSite>,
+}
+
+/// Number of fault-injectable lock sites, matching the paper's campaign.
+pub const SITE_COUNT: usize = 374;
+
+/// Subsystems the sites are distributed over (paper: "core functions of the
+/// Linux kernel and ... frequently used kernel modules, such as ext3, char,
+/// and block").
+pub const SUBSYSTEMS: [&str; 8] =
+    ["sched", "vfs", "ext3", "block", "char", "mm", "pipe", "net"];
+
+impl LockTable {
+    /// Builds the full catalogue: 374 sites over [`SUBSYSTEMS`], with a pool
+    /// of locks per subsystem. Deterministic — the same catalogue is built
+    /// every run.
+    pub fn new() -> Self {
+        let mut sites = Vec::with_capacity(SITE_COUNT);
+        let mut locks = Vec::new();
+        // Each subsystem gets a handful of locks; sites rotate over them.
+        let locks_per_subsystem = 6usize;
+        for _ in 0..SUBSYSTEMS.len() * locks_per_subsystem {
+            locks.push(SpinLock::default());
+        }
+        for id in 0..SITE_COUNT as u32 {
+            let sub_idx = (id as usize) % SUBSYSTEMS.len();
+            let lock_in_sub = (id as usize / SUBSYSTEMS.len()) % locks_per_subsystem;
+            let lock = LockId((sub_idx * locks_per_subsystem + lock_in_sub) as u32);
+            sites.push(LockSite {
+                id,
+                lock,
+                subsystem: SUBSYSTEMS[sub_idx],
+                // ~85% of sites are in non-preemptible sections.
+                nonpreempt: id % 7 != 0,
+                // ~1 in 6 sites is an irqsave site.
+                irqsave: id % 6 == 5,
+            });
+        }
+        LockTable { locks, sites }
+    }
+
+    /// The site catalogue.
+    pub fn sites(&self) -> &[LockSite] {
+        &self.sites
+    }
+
+    /// A site by index.
+    pub fn site(&self, idx: usize) -> &LockSite {
+        &self.sites[idx]
+    }
+
+    /// Number of distinct locks.
+    pub fn lock_count(&self) -> usize {
+        self.locks.len()
+    }
+
+    /// Whether a lock is currently held.
+    pub fn is_held(&self, lock: LockId) -> bool {
+        self.locks[lock.0 as usize].owner.is_some()
+    }
+
+    /// The current owner of a lock.
+    pub fn owner(&self, lock: LockId) -> Option<Pid> {
+        self.locks[lock.0 as usize].owner
+    }
+
+    /// Attempts to acquire; returns true on success, false if contended.
+    pub fn try_acquire(&mut self, lock: LockId, who: Pid) -> bool {
+        let l = &mut self.locks[lock.0 as usize];
+        match l.owner {
+            None => {
+                l.owner = Some(who);
+                l.acquisitions += 1;
+                true
+            }
+            Some(owner) if owner == who => {
+                // Recursive acquisition of a non-recursive spinlock:
+                // self-deadlock. Model as contention (the caller spins
+                // forever) — this is precisely one way real kernels hang.
+                l.contentions += 1;
+                false
+            }
+            Some(_) => {
+                l.contentions += 1;
+                false
+            }
+        }
+    }
+
+    /// Releases a lock.
+    ///
+    /// Releasing a lock not held by `who` (the consequence of a missing
+    /// unlock/lock-pair fault) *corrupts* the lock word: the lock is forced
+    /// open (letting a second task into the critical section), and the next
+    /// legitimate release is lost — after which the lock is stuck held
+    /// forever, the way real double-release corruption wedges a kernel.
+    /// Returns whether `who` actually owned the lock.
+    pub fn release(&mut self, lock: LockId, who: Pid) -> bool {
+        let l = &mut self.locks[lock.0 as usize];
+        match l.owner {
+            Some(o) if o == who => {
+                if l.corrupted {
+                    // Lost update: the release never lands.
+                    l.corrupted = false;
+                } else {
+                    l.owner = None;
+                }
+                true
+            }
+            _ => {
+                l.owner = None;
+                l.corrupted = true;
+                false
+            }
+        }
+    }
+
+    /// Force-releases every lock owned by a dying task **except** those
+    /// leaked by an injected fault (the caller supplies the leak set).
+    pub fn release_all_owned(&mut self, who: Pid, leaked: &[LockId]) {
+        for (i, l) in self.locks.iter_mut().enumerate() {
+            if l.owner == Some(who) && !leaked.contains(&LockId(i as u32)) {
+                l.owner = None;
+            }
+        }
+    }
+}
+
+impl Default for LockTable {
+    fn default() -> Self {
+        LockTable::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_has_374_sites() {
+        let t = LockTable::new();
+        assert_eq!(t.sites().len(), SITE_COUNT);
+        // Every subsystem is represented.
+        for sub in SUBSYSTEMS {
+            assert!(t.sites().iter().any(|s| s.subsystem == sub));
+        }
+        // Sites reference valid locks.
+        assert!(t.sites().iter().all(|s| (s.lock.0 as usize) < t.lock_count()));
+    }
+
+    #[test]
+    fn majority_of_sites_nonpreemptible() {
+        let t = LockTable::new();
+        let np = t.sites().iter().filter(|s| s.nonpreempt).count();
+        let frac = np as f64 / SITE_COUNT as f64;
+        assert!(frac > 0.8 && frac < 0.9, "non-preemptible fraction {frac}");
+    }
+
+    #[test]
+    fn acquire_release_cycle() {
+        let mut t = LockTable::new();
+        let l = LockId(0);
+        assert!(t.try_acquire(l, Pid(1)));
+        assert!(t.is_held(l));
+        assert_eq!(t.owner(l), Some(Pid(1)));
+        assert!(!t.try_acquire(l, Pid(2)), "contended");
+        assert!(t.release(l, Pid(1)));
+        assert!(t.try_acquire(l, Pid(2)));
+    }
+
+    #[test]
+    fn recursive_acquisition_self_deadlocks() {
+        let mut t = LockTable::new();
+        let l = LockId(3);
+        assert!(t.try_acquire(l, Pid(1)));
+        assert!(!t.try_acquire(l, Pid(1)), "self-deadlock, not re-entry");
+    }
+
+    #[test]
+    fn foreign_release_corrupts_and_next_release_is_lost() {
+        let mut t = LockTable::new();
+        let l = LockId(5);
+        assert!(t.try_acquire(l, Pid(1)));
+        assert!(!t.release(l, Pid(2)), "released by non-owner");
+        assert!(!t.is_held(l), "the lock is corrupted open");
+        // The next owner's release is lost: the lock wedges shut.
+        assert!(t.try_acquire(l, Pid(3)));
+        assert!(t.release(l, Pid(3)), "the owner believes it released");
+        assert!(t.is_held(l), "but the corrupted lock stays held forever");
+        assert_eq!(t.owner(l), Some(Pid(3)));
+    }
+
+    #[test]
+    fn release_all_respects_leaks() {
+        let mut t = LockTable::new();
+        assert!(t.try_acquire(LockId(0), Pid(1)));
+        assert!(t.try_acquire(LockId(1), Pid(1)));
+        t.release_all_owned(Pid(1), &[LockId(1)]);
+        assert!(!t.is_held(LockId(0)));
+        assert!(t.is_held(LockId(1)), "the leaked lock stays held forever");
+    }
+}

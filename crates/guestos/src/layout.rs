@@ -1,0 +1,143 @@
+//! The guest kernel's memory layout — the contract between the simulated
+//! kernel and everything that introspects it.
+//!
+//! All kernel data structures live in **guest memory** at the offsets
+//! defined here, so hypervisor-side code (VMI, HyperTap's derivation) and
+//! in-guest attackers (rootkits) operate on the same bytes. The layout is
+//! deliberately Linux-shaped: a `task_struct` linked list anchored at a
+//! known head, per-task kernel stacks with a `thread_info` at the stack
+//! base, one TSS per vCPU.
+
+use hypertap_core::profile::OsProfile;
+use hypertap_hvsim::mem::{Gva, PAGE_SIZE};
+
+/// Start of the kernel's virtual region (shared by every address space).
+pub const KERNEL_BASE: Gva = Gva::new(0x3000_0000);
+/// Size of the kernel virtual region: 64 MiB.
+pub const KERNEL_SIZE: u64 = 64 << 20;
+/// End (exclusive) of the kernel virtual region.
+pub const KERNEL_END: Gva = Gva::new(0x3000_0000 + (64 << 20));
+
+/// Kernel text page: contains the syscall entry points and serves as the
+/// "known GVA" probed by the process-counting validity test (it is mapped in
+/// every live address space).
+pub const KERNEL_TEXT: Gva = KERNEL_BASE;
+/// The `SYSENTER` entry point (inside the kernel text page).
+pub const SYSENTER_ENTRY: Gva = Gva::new(0x3000_0100);
+
+/// Slot holding the GVA of the first `task_struct` (the task-list head).
+pub const TASK_LIST_HEAD: Gva = Gva::new(0x3001_0000);
+
+/// Base of the per-vCPU TSS array; each TSS gets its own page so EPT
+/// write-protection is per-vCPU.
+pub const TSS_BASE: Gva = Gva::new(0x3002_0000);
+
+/// The TSS virtual address for a vCPU.
+pub fn tss_gva(vcpu: usize) -> Gva {
+    TSS_BASE.offset(vcpu as u64 * PAGE_SIZE)
+}
+
+/// Start of the kernel heap (task structs, kernel stacks, buffers).
+pub const KERNEL_HEAP: Gva = Gva::new(0x3100_0000);
+
+/// Kernel stack size (two pages); stacks are aligned to this, with the
+/// `thread_info` at the base — the derivation chain depends on it.
+pub const KERNEL_STACK_SIZE: u64 = 8 * 1024;
+
+/// Base of user text in every process image.
+pub const USER_TEXT: Gva = Gva::new(0x0040_0000);
+/// Base of the user stack region.
+pub const USER_STACK_TOP: Gva = Gva::new(0x0100_0000);
+
+/// `task_struct` field offsets (bytes).
+pub mod task_struct {
+    /// Process id.
+    pub const PID: u64 = 0x00;
+    /// Scheduler state (0 running, 1 sleeping, 2 zombie).
+    pub const STATE: u64 = 0x08;
+    /// Real user id.
+    pub const UID: u64 = 0x10;
+    /// Effective user id.
+    pub const EUID: u64 = 0x18;
+    /// GVA of the parent's `task_struct` (0 for init).
+    pub const PARENT: u64 = 0x20;
+    /// GVA of the next `task_struct` in the list (0 = tail).
+    pub const NEXT: u64 = 0x28;
+    /// GVA of the previous `task_struct` (0 = first).
+    pub const PREV: u64 = 0x30;
+    /// The process's page-directory base address (loaded into CR3).
+    pub const PDBA: u64 = 0x38;
+    /// The task's kernel-stack top (loaded into `TSS.RSP0` when running).
+    pub const KSTACK: u64 = 0x40;
+    /// Command-name buffer.
+    pub const COMM: u64 = 0x48;
+    /// Length of the command-name buffer.
+    pub const COMM_LEN: u64 = 16;
+    /// Total structure size (rounded for alignment).
+    pub const SIZE: u64 = 0x60;
+}
+
+/// `thread_info` field offsets (bytes). Lives at the base of each kernel
+/// stack.
+pub mod thread_info {
+    /// GVA of the owning `task_struct`.
+    pub const TASK: u64 = 0x00;
+    /// Structure size.
+    pub const SIZE: u64 = 0x10;
+}
+
+/// The [`OsProfile`] describing this kernel build, handed to HyperTap's
+/// derivation and VMI layers.
+pub fn os_profile() -> OsProfile {
+    OsProfile {
+        task_list_head: TASK_LIST_HEAD,
+        ts_pid: task_struct::PID,
+        ts_state: task_struct::STATE,
+        ts_uid: task_struct::UID,
+        ts_euid: task_struct::EUID,
+        ts_parent: task_struct::PARENT,
+        ts_next: task_struct::NEXT,
+        ts_prev: task_struct::PREV,
+        ts_pdba: task_struct::PDBA,
+        ts_kstack: task_struct::KSTACK,
+        ts_comm: task_struct::COMM,
+        ts_comm_len: task_struct::COMM_LEN,
+        ts_size: task_struct::SIZE,
+        ti_task: thread_info::TASK,
+        kernel_stack_size: KERNEL_STACK_SIZE,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_matches_layout() {
+        let p = os_profile();
+        assert_eq!(p.ts_pid, 0);
+        assert_eq!(p.ts_next, task_struct::NEXT);
+        assert_eq!(p.kernel_stack_size, KERNEL_STACK_SIZE);
+        assert_eq!(p.task_list_head, TASK_LIST_HEAD);
+    }
+
+    #[test]
+    fn layout_does_not_overlap() {
+        assert!(KERNEL_TEXT < TASK_LIST_HEAD);
+        assert!(TASK_LIST_HEAD < TSS_BASE);
+        assert!(tss_gva(8) < KERNEL_HEAP);
+        assert!(KERNEL_HEAP < KERNEL_END);
+        assert!(USER_STACK_TOP < KERNEL_BASE);
+    }
+
+    #[test]
+    fn stack_size_is_power_of_two() {
+        assert!(KERNEL_STACK_SIZE.is_power_of_two());
+    }
+
+    #[test]
+    fn tss_pages_are_distinct() {
+        assert_eq!(tss_gva(0).page_base(), tss_gva(0));
+        assert_ne!(tss_gva(0).page_base(), tss_gva(1).page_base());
+    }
+}

@@ -1,0 +1,47 @@
+//! # hypertap-guestos — a simulated multiprocessor guest kernel
+//!
+//! The guest operating system substrate of the HyperTap reproduction. It is
+//! a deliberately Linux-shaped kernel that runs as a
+//! [`hypertap_hvsim::machine::GuestProgram`] on the HAV simulator:
+//!
+//! * **Scheduling** — per-slice round robin over a shared runqueue with
+//!   optional kernel preemption (CONFIG_PREEMPT), driven by a per-vCPU
+//!   local-APIC timer tick; every dispatch rewrites `TSS.RSP0` (and CR3 for
+//!   address-space changes), producing the architectural context-switch
+//!   footprint HyperTap monitors.
+//! * **Processes** — `task_struct`s serialized into guest memory as a
+//!   doubly-linked list ([`layout`]), per-process page directories sharing
+//!   the kernel mapping, per-task kernel stacks with `thread_info` at the
+//!   base. User code is scripted through [`program::UserProgram`] and can
+//!   only act via system calls through the real gates.
+//! * **Locking** — explicit kernel lock sites ([`klocks`], [`kpath`]) whose
+//!   discipline the fault injector corrupts to reproduce the paper's hang
+//!   campaign (Fig. 4/5).
+//! * **Attack surface** — a planted privilege-escalation bug
+//!   (`vuln_escalate`), loadable process-hiding modules ([`module`]), a
+//!   `/proc` side channel (`read_proc_stat`), and in-guest process
+//!   enumeration that honestly walks the (corruptible) in-memory list.
+
+pub mod devices;
+pub mod fault;
+pub mod kernel;
+pub mod klocks;
+pub mod kpath;
+pub mod layout;
+pub mod module;
+pub mod program;
+pub mod syscalls;
+pub mod task;
+
+/// Glob import of the commonly used guest types.
+pub mod prelude {
+    pub use crate::fault::{FaultHook, FaultType, NoFaults, SingleFault};
+    pub use crate::kernel::{Kernel, KernelConfig, KernelStats, ProcStat, SyscallGateKind};
+    pub use crate::layout::os_profile;
+    pub use crate::module::{HideMechanism, ModuleSpec};
+    pub use crate::program::{FnProgram, ProgId, ScriptProgram, UserOp, UserProgram, UserView};
+    pub use crate::syscalls::Sysno;
+    pub use crate::task::{Pid, ProcEntry, RunState, Task, UserEvent};
+}
+
+pub use prelude::*;

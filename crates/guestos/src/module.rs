@@ -1,0 +1,83 @@
+//! Loadable kernel modules — the vehicle rootkits use to get into the
+//! kernel.
+//!
+//! A module is described declaratively: which process it hides and through
+//! which mechanisms. The kernel's `install_module` syscall (root only)
+//! applies the mechanisms, mutating the same state a real rootkit would:
+//! the **in-guest** task list bytes (DKOM / kmem patching) or the syscall
+//! dispatch path used by process enumeration (hijacking). Nothing here can
+//! touch CR3 loads or TSS rewrites — which is precisely why HRKD's
+//! architectural counting survives every mechanism.
+
+use std::fmt;
+
+/// A hiding technique, as catalogued in the paper's Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HideMechanism {
+    /// Direct Kernel Object Manipulation: unlink the `task_struct` from the
+    /// in-memory task list.
+    Dkom,
+    /// Hijack the system calls used for process enumeration, filtering the
+    /// hidden pid out of results.
+    SyscallHijack,
+    /// Patch kernel memory through a `/dev/kmem`-style channel — in effect
+    /// another route to the same list unlinking as DKOM.
+    KmemPatch,
+    /// Relocate the vCPU's TSS to an attacker-controlled decoy, pointing
+    /// monitoring at forged thread state (defeated by the Fig. 3C
+    /// integrity check).
+    TssRelocate,
+}
+
+impl fmt::Display for HideMechanism {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            HideMechanism::Dkom => "DKOM",
+            HideMechanism::SyscallHijack => "Hijack system calls",
+            HideMechanism::KmemPatch => "kmem",
+            HideMechanism::TssRelocate => "TSS relocation",
+        })
+    }
+}
+
+/// A loadable module specification (for this reproduction, always a
+/// process-hiding rootkit).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModuleSpec {
+    /// Module/rootkit name.
+    pub name: String,
+    /// The OS family the original targets (reporting only).
+    pub target_os: String,
+    /// Hiding techniques applied on load.
+    pub mechanisms: Vec<HideMechanism>,
+}
+
+impl ModuleSpec {
+    /// Creates a spec.
+    pub fn new(
+        name: impl Into<String>,
+        target_os: impl Into<String>,
+        mechanisms: Vec<HideMechanism>,
+    ) -> Self {
+        ModuleSpec { name: name.into(), target_os: target_os.into(), mechanisms }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_table2_vocabulary() {
+        assert_eq!(HideMechanism::Dkom.to_string(), "DKOM");
+        assert_eq!(HideMechanism::SyscallHijack.to_string(), "Hijack system calls");
+        assert_eq!(HideMechanism::KmemPatch.to_string(), "kmem");
+    }
+
+    #[test]
+    fn spec_builder() {
+        let s = ModuleSpec::new("FU", "Win XP, Vista", vec![HideMechanism::Dkom]);
+        assert_eq!(s.name, "FU");
+        assert_eq!(s.mechanisms, vec![HideMechanism::Dkom]);
+    }
+}

@@ -1,0 +1,148 @@
+//! User programs: scripted state machines driving the guest's processes.
+//!
+//! A user program cannot touch the machine directly — it yields a stream of
+//! [`UserOp`]s that the kernel executes on its behalf, with system calls
+//! passing through the real architectural gates (and therefore through
+//! HyperTap's interception). This mirrors how actual processes only
+//! interact with the world via the syscall ABI.
+
+use crate::syscalls::Sysno;
+use crate::task::ProcEntry;
+use hypertap_hvsim::clock::SimTime;
+
+/// One operation yielded by a user program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UserOp {
+    /// Burn user-mode compute time (nanoseconds).
+    Compute(u64),
+    /// Invoke a system call with up to five arguments.
+    Syscall(Sysno, [u64; 5]),
+    /// Emit an observable message to the harness mailbox (free: models
+    /// output the experiment inspects, like a detector writing its log).
+    Emit(String, String),
+    /// Terminate with the given exit code.
+    Exit(u64),
+}
+
+impl UserOp {
+    /// Shorthand for a syscall with fewer than five arguments.
+    pub fn sys(n: Sysno, args: &[u64]) -> UserOp {
+        let mut a = [0u64; 5];
+        a[..args.len()].copy_from_slice(args);
+        UserOp::Syscall(n, a)
+    }
+}
+
+/// The process's view of itself when deciding its next operation: the
+/// return value of the last syscall plus the user-space buffers the kernel
+/// filled (the process listing).
+#[derive(Debug)]
+pub struct UserView<'a> {
+    /// Return value of the previous syscall (0 initially).
+    pub last_ret: u64,
+    /// Current simulated time (what `gettimeofday` would say).
+    pub now: SimTime,
+    /// This process's pid.
+    pub pid: u64,
+    /// This process's real uid.
+    pub uid: u64,
+    /// This process's effective uid.
+    pub euid: u64,
+    /// The buffer filled by the most recent `ListProcs` syscall.
+    pub procs: &'a [ProcEntry],
+}
+
+/// A user program: a resumable state machine.
+///
+/// `next_op` is called each time the process is scheduled and ready for a
+/// new operation.
+pub trait UserProgram {
+    /// Produces the next operation.
+    fn next_op(&mut self, view: &UserView<'_>) -> UserOp;
+}
+
+/// A program that replays a fixed script, then exits.
+#[derive(Debug, Clone)]
+pub struct ScriptProgram {
+    script: Vec<UserOp>,
+    pc: usize,
+    exit_code: u64,
+}
+
+impl ScriptProgram {
+    /// Creates a program from a list of operations; an implicit
+    /// `Exit(exit_code)` follows the last one.
+    pub fn new(script: Vec<UserOp>, exit_code: u64) -> Self {
+        ScriptProgram { script, pc: 0, exit_code }
+    }
+}
+
+impl UserProgram for ScriptProgram {
+    fn next_op(&mut self, _view: &UserView<'_>) -> UserOp {
+        match self.script.get(self.pc) {
+            Some(op) => {
+                self.pc += 1;
+                op.clone()
+            }
+            None => UserOp::Exit(self.exit_code),
+        }
+    }
+}
+
+/// A program defined by a closure (handy for tests and small workloads).
+pub struct FnProgram<F>(pub F);
+
+impl<F: FnMut(&UserView<'_>) -> UserOp> UserProgram for FnProgram<F> {
+    fn next_op(&mut self, view: &UserView<'_>) -> UserOp {
+        (self.0)(view)
+    }
+}
+
+/// A factory producing fresh program instances for `spawn`.
+pub type ProgramFactory = Box<dyn FnMut() -> Box<dyn UserProgram>>;
+
+/// Identifier of a registered program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProgId(pub u64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(ret: u64) -> UserView<'static> {
+        UserView { last_ret: ret, now: SimTime::ZERO, pid: 1, uid: 0, euid: 0, procs: &[] }
+    }
+
+    #[test]
+    fn script_replays_then_exits() {
+        let mut p = ScriptProgram::new(
+            vec![UserOp::Compute(10), UserOp::sys(Sysno::Getpid, &[])],
+            7,
+        );
+        assert_eq!(p.next_op(&view(0)), UserOp::Compute(10));
+        assert_eq!(p.next_op(&view(0)), UserOp::Syscall(Sysno::Getpid, [0; 5]));
+        assert_eq!(p.next_op(&view(0)), UserOp::Exit(7));
+        assert_eq!(p.next_op(&view(0)), UserOp::Exit(7));
+    }
+
+    #[test]
+    fn sys_shorthand_pads_args() {
+        assert_eq!(
+            UserOp::sys(Sysno::Write, &[1, 2]),
+            UserOp::Syscall(Sysno::Write, [1, 2, 0, 0, 0])
+        );
+    }
+
+    #[test]
+    fn fn_program_sees_ret() {
+        let mut p = FnProgram(|v: &UserView<'_>| {
+            if v.last_ret == 0 {
+                UserOp::sys(Sysno::Getpid, &[])
+            } else {
+                UserOp::Exit(v.last_ret)
+            }
+        });
+        assert!(matches!(p.next_op(&view(0)), UserOp::Syscall(..)));
+        assert_eq!(p.next_op(&view(5)), UserOp::Exit(5));
+    }
+}

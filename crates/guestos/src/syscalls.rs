@@ -1,0 +1,209 @@
+//! System-call numbers and classification.
+//!
+//! The numbering follows 32-bit Linux where a syscall has a classic
+//! equivalent (`exit`=1, `fork`=2, `read`=3, `write`=4 ...); model-specific
+//! calls (spawn-by-program-id, the deliberately vulnerable escalation path,
+//! module loading) live above 200.
+
+use std::fmt;
+
+/// System calls implemented by the simulated kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u64)]
+pub enum Sysno {
+    /// Terminate the calling process (arg0 = exit code).
+    Exit = 1,
+    /// Read from a file descriptor (arg0 = fd, arg1 = len).
+    Read = 3,
+    /// Write to a file descriptor (arg0 = fd, arg1 = len).
+    Write = 4,
+    /// Open a file (arg0 = file id).
+    Open = 5,
+    /// Close a file descriptor (arg0 = fd).
+    Close = 6,
+    /// Wait for any child to exit; returns the reaped pid.
+    Waitpid = 7,
+    /// Reposition a file offset (arg0 = fd, arg1 = offset).
+    Lseek = 19,
+    /// Return the caller's pid.
+    Getpid = 20,
+    /// Set uid/euid (root only; arg0 = new uid).
+    Setuid = 23,
+    /// Return the caller's real uid.
+    Getuid = 24,
+    /// Send a kill signal (arg0 = pid).
+    Kill = 37,
+    /// Create a pipe; returns a pipe id.
+    Pipe = 42,
+    /// Return the caller's effective uid.
+    Geteuid = 49,
+    /// Power off the machine (init only).
+    Reboot = 88,
+    /// Enumerate processes (the `/proc` + `getdents` path used by `ps`).
+    /// Results come from the kernel's walk of its **in-guest** task list.
+    ListProcs = 141,
+    /// Sleep (arg0 = nanoseconds).
+    Nanosleep = 162,
+    /// Read another process's `/proc/PID/stat` (arg0 = pid); returns the
+    /// packed (state, rip) side-channel view.
+    ReadProcStat = 201,
+    /// Spawn a new process from a registered program (arg0 = program id,
+    /// arg1 = uid or `u64::MAX` to inherit). Model-level `fork`+`execve`.
+    Spawn = 202,
+    /// The planted privilege-escalation kernel bug (models CVE-2013-1763 /
+    /// CVE-2010-3847): grants euid 0 with no credential check.
+    VulnEscalate = 203,
+    /// Load a registered kernel module (arg0 = module id, arg1 = aux) —
+    /// requires euid 0; this is how rootkits get into the kernel.
+    InstallModule = 204,
+    /// Acquire a user-level sleeping lock (arg0 = lock id).
+    UserLock = 205,
+    /// Release a user-level sleeping lock (arg0 = lock id).
+    UserUnlock = 206,
+    /// Receive from the network (blocks for a request); returns bytes.
+    NetRecv = 207,
+    /// Send to the network (arg0 = bytes).
+    NetSend = 208,
+    /// Write a byte to the console (arg0 = byte).
+    ConsolePutc = 209,
+}
+
+impl Sysno {
+    /// Decodes a raw syscall number.
+    pub fn from_raw(raw: u64) -> Option<Sysno> {
+        use Sysno::*;
+        Some(match raw {
+            1 => Exit,
+            3 => Read,
+            4 => Write,
+            5 => Open,
+            6 => Close,
+            7 => Waitpid,
+            19 => Lseek,
+            20 => Getpid,
+            23 => Setuid,
+            24 => Getuid,
+            37 => Kill,
+            42 => Pipe,
+            49 => Geteuid,
+            88 => Reboot,
+            141 => ListProcs,
+            162 => Nanosleep,
+            201 => ReadProcStat,
+            202 => Spawn,
+            203 => VulnEscalate,
+            204 => InstallModule,
+            205 => UserLock,
+            206 => UserUnlock,
+            207 => NetRecv,
+            208 => NetSend,
+            209 => ConsolePutc,
+            _ => return None,
+        })
+    }
+
+    /// The raw number (what lands in RAX).
+    pub fn raw(self) -> u64 {
+        self as u64
+    }
+
+    /// Whether this is one of the I/O-related calls HT-Ninja checks on
+    /// (the paper lists open, read, write and lseek).
+    pub fn is_io(self) -> bool {
+        matches!(
+            self,
+            Sysno::Open | Sysno::Read | Sysno::Write | Sysno::Lseek | Sysno::NetRecv | Sysno::NetSend
+        )
+    }
+}
+
+impl fmt::Display for Sysno {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Sysno::Exit => "exit",
+            Sysno::Read => "read",
+            Sysno::Write => "write",
+            Sysno::Open => "open",
+            Sysno::Close => "close",
+            Sysno::Waitpid => "waitpid",
+            Sysno::Lseek => "lseek",
+            Sysno::Getpid => "getpid",
+            Sysno::Setuid => "setuid",
+            Sysno::Getuid => "getuid",
+            Sysno::Kill => "kill",
+            Sysno::Pipe => "pipe",
+            Sysno::Geteuid => "geteuid",
+            Sysno::Reboot => "reboot",
+            Sysno::ListProcs => "listprocs",
+            Sysno::Nanosleep => "nanosleep",
+            Sysno::ReadProcStat => "readprocstat",
+            Sysno::Spawn => "spawn",
+            Sysno::VulnEscalate => "vuln_escalate",
+            Sysno::InstallModule => "install_module",
+            Sysno::UserLock => "user_lock",
+            Sysno::UserUnlock => "user_unlock",
+            Sysno::NetRecv => "net_recv",
+            Sysno::NetSend => "net_send",
+            Sysno::ConsolePutc => "console_putc",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_round_trip() {
+        for s in [
+            Sysno::Exit,
+            Sysno::Read,
+            Sysno::Write,
+            Sysno::Open,
+            Sysno::Close,
+            Sysno::Waitpid,
+            Sysno::Lseek,
+            Sysno::Getpid,
+            Sysno::Setuid,
+            Sysno::Getuid,
+            Sysno::Kill,
+            Sysno::Pipe,
+            Sysno::Geteuid,
+            Sysno::Reboot,
+            Sysno::ListProcs,
+            Sysno::Nanosleep,
+            Sysno::ReadProcStat,
+            Sysno::Spawn,
+            Sysno::VulnEscalate,
+            Sysno::InstallModule,
+            Sysno::UserLock,
+            Sysno::UserUnlock,
+            Sysno::NetRecv,
+            Sysno::NetSend,
+            Sysno::ConsolePutc,
+        ] {
+            assert_eq!(Sysno::from_raw(s.raw()), Some(s));
+        }
+        assert_eq!(Sysno::from_raw(9999), None);
+    }
+
+    #[test]
+    fn linux_numbers_match() {
+        assert_eq!(Sysno::Exit.raw(), 1);
+        assert_eq!(Sysno::Read.raw(), 3);
+        assert_eq!(Sysno::Write.raw(), 4);
+        assert_eq!(Sysno::Lseek.raw(), 19);
+        assert_eq!(Sysno::Nanosleep.raw(), 162);
+    }
+
+    #[test]
+    fn io_classification_matches_paper() {
+        for s in [Sysno::Open, Sysno::Read, Sysno::Write, Sysno::Lseek] {
+            assert!(s.is_io(), "{s} is I/O-related per the paper");
+        }
+        assert!(!Sysno::Getpid.is_io());
+        assert!(!Sysno::Nanosleep.is_io());
+        assert!(!Sysno::ListProcs.is_io());
+    }
+}

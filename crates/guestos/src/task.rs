@@ -1,0 +1,196 @@
+//! Host-side task bookkeeping.
+//!
+//! The kernel keeps a host-side mirror of each task for scheduling (Rust
+//! state machines can't live in guest memory), but every field that
+//! monitoring or attacks read — pid, uid/euid, state, parent, list links,
+//! PDBA, kernel-stack top, command name — is also serialized into the
+//! guest-memory `task_struct`, and the guest copy is the one VMI, HyperTap
+//! derivation, in-guest `ps` and rootkits operate on.
+
+use crate::program::UserProgram;
+use hypertap_hvsim::clock::SimTime;
+use hypertap_hvsim::mem::{Gfn, Gpa, Gva};
+use hypertap_hvsim::vcpu::VcpuId;
+use std::fmt;
+
+/// A process/thread identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pid(pub u64);
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid {}", self.0)
+    }
+}
+
+/// Scheduler state of a task (host-side, richer than the guest encoding).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunState {
+    /// On a runqueue or running.
+    Ready,
+    /// Sleeping until the given time.
+    Sleeping(SimTime),
+    /// Waiting for any child to exit.
+    WaitingChild,
+    /// Blocked on a user-level (sleeping) lock.
+    WaitingUserLock(u32),
+    /// Waiting for an I/O completion interrupt.
+    WaitingIo,
+    /// Spin-waiting on a kernel spinlock at the given lock-site index.
+    Spinning(usize),
+    /// Exited, not yet reaped.
+    Zombie,
+    /// Fully dead; slot kept for pid bookkeeping.
+    Dead,
+}
+
+impl RunState {
+    /// The guest `task_struct.state` encoding (0 running, 1 sleeping,
+    /// 2 zombie). Spinning counts as running — it burns CPU.
+    pub fn guest_encoding(&self) -> u64 {
+        match self {
+            RunState::Ready | RunState::Spinning(_) => 0,
+            RunState::Sleeping(_)
+            | RunState::WaitingChild
+            | RunState::WaitingUserLock(_)
+            | RunState::WaitingIo => 1,
+            RunState::Zombie | RunState::Dead => 2,
+        }
+    }
+}
+
+/// What a task is currently doing, from the scheduler's perspective.
+#[derive(Debug)]
+pub enum ExecContext {
+    /// Executing user code (the boxed program's state machine).
+    User,
+    /// Executing a kernel path (syscall body or kernel-thread body).
+    Kernel(crate::kpath::KernelExec),
+}
+
+/// One task: a user process or a kernel thread.
+pub struct Task {
+    /// Process id.
+    pub pid: Pid,
+    /// GVA of this task's `task_struct` in guest memory.
+    pub ts_gva: Gva,
+    /// Command name (≤ 15 bytes significant).
+    pub comm: String,
+    /// Real uid.
+    pub uid: u64,
+    /// Effective uid.
+    pub euid: u64,
+    /// Parent pid (0 = none).
+    pub ppid: Option<Pid>,
+    /// Scheduler state.
+    pub state: RunState,
+    /// Page-directory base; `None` for kernel threads (they borrow the
+    /// previous address space, exactly as the paper's footnote 3 describes).
+    pub pdba: Option<Gpa>,
+    /// Kernel stack top (the value written to `TSS.RSP0`); unique per task.
+    pub kstack_top: Gva,
+    /// User program driving this task (None for kernel threads).
+    pub program: Option<Box<dyn UserProgram>>,
+    /// Kernel-thread body (periodic daemon work), if a kthread.
+    pub kthread_period: Option<hypertap_hvsim::clock::Duration>,
+    /// Execution context.
+    pub exec: ExecContext,
+    /// Remaining user compute units being drained in chunks.
+    pub pending_compute: u64,
+    /// Last syscall return value (fed back to the user program).
+    pub last_ret: u64,
+    /// Nesting depth of held spinlocks (preemption disabled while > 0).
+    pub preempt_count: u32,
+    /// Saved interrupt flag for irqsave sections.
+    pub saved_if: Option<bool>,
+    /// Preferred vCPU (set for kernel daemons; user tasks float).
+    pub affinity: Option<VcpuId>,
+    /// Remaining scheduler-slice ticks.
+    pub slice_left: u32,
+    /// User-visible instruction pointer (for the `/proc` side channel).
+    pub user_rip: Gva,
+    /// Messages emitted by the user program (drained by harnesses).
+    pub mailbox: Vec<UserEvent>,
+    /// Frames owned by this task's user image (freed on exit).
+    pub user_frames: Vec<Gfn>,
+    /// File descriptor table: fd -> (file id, offset).
+    pub fds: Vec<Option<(u32, u64)>>,
+    /// Set when a getdents/proc-list syscall completes (host-side shortcut
+    /// for the user buffer; contents always derive from the in-guest walk).
+    pub proc_snapshot: Vec<ProcEntry>,
+    /// Time this task was created.
+    pub spawned_at: SimTime,
+    /// Set when another task killed this one; honoured at the next safe
+    /// point (kernel-exit boundary).
+    pub kill_pending: bool,
+    /// Count of user ops executed (drives the synthetic user RIP).
+    pub op_counter: u64,
+    /// User-mode stack pointer restored on syscall return.
+    pub user_stack: Gva,
+    /// Pids of exited children not yet collected by `waitpid`.
+    pub pending_child_exits: Vec<u64>,
+    /// Number of live children.
+    pub children_alive: u32,
+}
+
+impl fmt::Debug for Task {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Task")
+            .field("pid", &self.pid)
+            .field("comm", &self.comm)
+            .field("state", &self.state)
+            .field("uid", &self.uid)
+            .field("euid", &self.euid)
+            .finish_non_exhaustive()
+    }
+}
+
+/// One row of an in-guest process listing (`ps` output), produced by the
+/// kernel's walk of its in-memory task list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcEntry {
+    /// Process id.
+    pub pid: u64,
+    /// Real uid.
+    pub uid: u64,
+    /// Effective uid.
+    pub euid: u64,
+    /// Parent pid.
+    pub ppid: u64,
+    /// Parent's real uid (resolved during the walk).
+    pub parent_uid: u64,
+    /// Command name.
+    pub comm: String,
+}
+
+/// A message emitted by a user program for the harness to read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UserEvent {
+    /// Simulated time of emission.
+    pub time: SimTime,
+    /// Free-form tag.
+    pub tag: String,
+    /// Free-form payload.
+    pub detail: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guest_encoding_of_states() {
+        assert_eq!(RunState::Ready.guest_encoding(), 0);
+        assert_eq!(RunState::Spinning(3).guest_encoding(), 0);
+        assert_eq!(RunState::Sleeping(SimTime::ZERO).guest_encoding(), 1);
+        assert_eq!(RunState::WaitingChild.guest_encoding(), 1);
+        assert_eq!(RunState::WaitingIo.guest_encoding(), 1);
+        assert_eq!(RunState::Zombie.guest_encoding(), 2);
+        assert_eq!(RunState::Dead.guest_encoding(), 2);
+    }
+
+    #[test]
+    fn pid_display() {
+        assert_eq!(Pid(7).to_string(), "pid 7");
+    }
+}

@@ -1,0 +1,296 @@
+//! Integration tests for kernel semantics that the experiments lean on:
+//! blocking syscalls, user locks, kill, preemption, network wake-ups and
+//! `/proc` visibility.
+
+use hypertap_guestos::prelude::*;
+use hypertap_guestos::program::UserView;
+use hypertap_hvsim::clock::{Duration, SimTime};
+use hypertap_hvsim::machine::{Hypervisor, Machine, RunExit, VmConfig, VmState};
+use hypertap_hvsim::vcpu::VcpuId;
+
+struct NoHv;
+impl Hypervisor for NoHv {
+    fn handle_exit(
+        &mut self,
+        _vm: &mut VmState,
+        _exit: &hypertap_hvsim::exit::VmExit,
+    ) -> hypertap_hvsim::exit::ExitAction {
+        hypertap_hvsim::exit::ExitAction::Resume
+    }
+}
+
+fn machine(vcpus: usize) -> Machine<NoHv> {
+    Machine::new(VmConfig::new(vcpus, 256 << 20), NoHv)
+}
+
+/// `nanosleep` actually sleeps: the process resumes after (not before) the
+/// requested duration, and only once.
+#[test]
+fn nanosleep_wakes_once_after_duration() {
+    let mut m = machine(1);
+    let mut k = Kernel::new(KernelConfig::new(1));
+    let init = k.register_program(
+        "init",
+        Box::new(|| {
+            let mut stage = 0;
+            Box::new(FnProgram(move |v: &UserView<'_>| {
+                stage += 1;
+                match stage {
+                    1 => UserOp::sys(Sysno::Nanosleep, &[250_000_000]),
+                    2 => UserOp::Emit("awake".into(), format!("{}", v.now.as_nanos())),
+                    _ => UserOp::sys(Sysno::Nanosleep, &[3_600_000_000_000]),
+                }
+            }))
+        }),
+    );
+    k.set_init_program(init);
+    m.run_until(&mut k, SimTime::from_secs(2));
+    let mail = k.drain_mailbox(Pid(1));
+    assert_eq!(mail.len(), 1);
+    let woke_at: u64 = mail[0].detail.parse().unwrap();
+    assert!(woke_at >= 250_000_000, "woke too early: {woke_at}");
+    assert!(woke_at < 400_000_000, "woke far too late: {woke_at}");
+}
+
+/// User locks block and hand over in FIFO order.
+#[test]
+fn user_locks_block_and_wake_fifo() {
+    let mut m = machine(1);
+    let mut k = Kernel::new(KernelConfig::new(1));
+    // Holder takes lock 3, sleeps 100ms, releases.
+    let holder = k.register_program(
+        "holder",
+        Box::new(|| {
+            Box::new(ScriptProgram::new(
+                vec![
+                    UserOp::sys(Sysno::UserLock, &[3]),
+                    UserOp::Emit("got".into(), "holder".into()),
+                    UserOp::sys(Sysno::Nanosleep, &[100_000_000]),
+                    UserOp::sys(Sysno::UserUnlock, &[3]),
+                    UserOp::sys(Sysno::Nanosleep, &[3_600_000_000_000]),
+                ],
+                0,
+            ))
+        }),
+    );
+    let waiter = k.register_program(
+        "waiter",
+        Box::new(|| {
+            Box::new(ScriptProgram::new(
+                vec![
+                    UserOp::sys(Sysno::Nanosleep, &[10_000_000]), // let holder win
+                    UserOp::sys(Sysno::UserLock, &[3]),
+                    UserOp::Emit("got".into(), "waiter".into()),
+                    UserOp::sys(Sysno::UserUnlock, &[3]),
+                    UserOp::sys(Sysno::Nanosleep, &[3_600_000_000_000]),
+                ],
+                0,
+            ))
+        }),
+    );
+    let (h, w) = (holder.0, waiter.0);
+    let init = k.register_program(
+        "init",
+        Box::new(move || {
+            let mut stage = 0;
+            Box::new(FnProgram(move |_v: &UserView<'_>| {
+                stage += 1;
+                match stage {
+                    1 => UserOp::sys(Sysno::Spawn, &[h, 1000]),
+                    2 => UserOp::sys(Sysno::Spawn, &[w, 1000]),
+                    _ => UserOp::sys(Sysno::Nanosleep, &[3_600_000_000_000]),
+                }
+            }))
+        }),
+    );
+    k.set_init_program(init);
+    m.run_until(&mut k, SimTime::from_secs(1));
+    let mut got: Vec<(SimTime, String)> = Vec::new();
+    for (_pid, e) in k.drain_all_mailboxes() {
+        if e.tag == "got" {
+            got.push((e.time, e.detail));
+        }
+    }
+    got.sort();
+    assert_eq!(got.len(), 2);
+    assert_eq!(got[0].1, "holder");
+    assert_eq!(got[1].1, "waiter");
+    assert!(
+        got[1].0.saturating_since(got[0].0) >= Duration::from_millis(100),
+        "the waiter only got the lock after the holder released"
+    );
+}
+
+/// `kill` terminates another process; its pid leaves both the scheduler
+/// and the in-guest list, and its memory is recycled.
+#[test]
+fn kill_reaps_target() {
+    let mut m = machine(1);
+    let mut k = Kernel::new(KernelConfig::new(1));
+    let victim = k.register_program(
+        "victim",
+        Box::new(|| Box::new(FnProgram(|_v: &UserView<'_>| UserOp::Compute(50_000)))),
+    );
+    let victim_raw = victim.0;
+    let init = k.register_program(
+        "init",
+        Box::new(move || {
+            let mut stage = 0;
+            let mut vpid = 0;
+            Box::new(FnProgram(move |v: &UserView<'_>| {
+                stage += 1;
+                match stage {
+                    1 => UserOp::sys(Sysno::Spawn, &[victim_raw, 1000]),
+                    2 => {
+                        vpid = v.last_ret;
+                        UserOp::sys(Sysno::Nanosleep, &[50_000_000])
+                    }
+                    3 => UserOp::sys(Sysno::Kill, &[vpid]),
+                    4 => UserOp::sys(Sysno::ListProcs, &[]),
+                    5 => UserOp::Emit("procs".into(), format!("{}", v.procs.len())),
+                    _ => UserOp::sys(Sysno::Nanosleep, &[3_600_000_000_000]),
+                }
+            }))
+        }),
+    );
+    k.set_init_program(init);
+    m.run_until(&mut k, SimTime::from_secs(1));
+    // init + kflushd remain; the victim is gone everywhere.
+    assert_eq!(k.alive_pids(), vec![1, 2]);
+    let mail = k.drain_mailbox(Pid(1));
+    let procs: usize = mail.iter().find(|e| e.tag == "procs").unwrap().detail.parse().unwrap();
+    assert_eq!(procs, 2, "guest list agrees");
+}
+
+/// A leaked filesystem lock wedges the vCPU running the spinning task,
+/// while the other vCPU keeps scheduling — the partial-hang mechanism the
+/// Fig. 4 campaign measures at scale. (Waiters usually spin inside
+/// non-preemptible sections, so kernel preemption does not rescue the
+/// wedged vCPU itself; the campaign shows preemption's effect on the
+/// partial/full mix instead.)
+#[test]
+fn leaked_lock_wedges_one_vcpu_not_the_machine() {
+    let mut m = machine(2);
+    let mut k = Kernel::new(KernelConfig::new(2));
+    struct LeakVfs;
+    impl FaultHook for LeakVfs {
+        fn check(&mut self, site: u32, acquire: bool) -> Option<FaultType> {
+            let catalogue = hypertap_guestos::klocks::LockTable::new();
+            (!acquire && catalogue.site(site as usize).subsystem == "vfs")
+                .then_some(FaultType::MissingUnlock)
+        }
+        fn activations(&self) -> u64 {
+            1
+        }
+    }
+    k.set_fault_hook(Box::new(LeakVfs));
+    let writer = k.register_program(
+        "writer",
+        Box::new(|| {
+            Box::new(FnProgram(|_v: &UserView<'_>| UserOp::sys(Sysno::Write, &[0, 2048])))
+        }),
+    );
+    let beat = k.register_program(
+        "beat",
+        Box::new(|| {
+            let mut n = 0u64;
+            Box::new(FnProgram(move |_v: &UserView<'_>| {
+                n += 1;
+                if n.is_multiple_of(2) {
+                    UserOp::Emit("beat".into(), String::new())
+                } else {
+                    UserOp::sys(Sysno::Nanosleep, &[20_000_000])
+                }
+            }))
+        }),
+    );
+    let (w_raw, b_raw) = (writer.0, beat.0);
+    let init = k.register_program(
+        "init",
+        Box::new(move || {
+            let mut stage = 0;
+            Box::new(FnProgram(move |_v: &UserView<'_>| {
+                stage += 1;
+                match stage {
+                    1 => UserOp::sys(Sysno::Spawn, &[w_raw, 1000]),
+                    2 => UserOp::sys(Sysno::Spawn, &[b_raw, 1000]),
+                    _ => UserOp::sys(Sysno::Nanosleep, &[3_600_000_000_000]),
+                }
+            }))
+        }),
+    );
+    k.set_init_program(init);
+    m.run_until(&mut k, SimTime::from_secs(20));
+
+    // The heartbeat task kept running in the second half of the run...
+    let late_beats = k
+        .drain_all_mailboxes()
+        .iter()
+        .filter(|(_, e)| e.tag == "beat" && e.time > SimTime::from_secs(10))
+        .count();
+    assert!(late_beats > 50, "the machine is only partially hung ({late_beats} beats)");
+    // ...while one vCPU stopped dispatching entirely.
+    let now = m.vm().now();
+    let stalled = k
+        .last_dispatch()
+        .iter()
+        .filter(|t| now.saturating_since(**t) > Duration::from_secs(8))
+        .count();
+    assert_eq!(stalled, 1, "exactly one vCPU wedged: {:?}", k.last_dispatch());
+}
+
+/// NetRecv blocks until the NIC interrupt delivers a request.
+#[test]
+fn netrecv_blocks_until_irq() {
+    let mut m = machine(1);
+    let mut k = Kernel::new(KernelConfig::new(1));
+    let httpd = hypertap_workloads::http::install(&mut k);
+    let init = hypertap_workloads::make::install_init_running(&mut k, httpd);
+    k.set_init_program(init);
+    // Boot, then nothing arrives for a while.
+    m.run_until(&mut k, SimTime::from_millis(300));
+    assert_eq!(
+        k.drain_all_mailboxes().iter().filter(|(_, e)| e.tag == "http-served").count(),
+        0,
+        "no requests, no service"
+    );
+    // Offer three requests.
+    let now = m.vm().now();
+    hypertap_workloads::http::offer_load(
+        m.vm_mut(),
+        &k,
+        now,
+        100.0,
+        Duration::from_millis(30),
+        512,
+        9,
+    );
+    m.run_until(&mut k, SimTime::from_millis(900));
+    let served = k
+        .drain_all_mailboxes()
+        .iter()
+        .filter(|(_, e)| e.tag == "http-served")
+        .count();
+    assert!(served > 0, "requests were served after the interrupts arrived");
+}
+
+/// HLT with interrupts disabled deadlocks the vCPU — the machine reports
+/// AllIdle rather than spinning the host.
+#[test]
+fn hlt_with_interrupts_off_deadlocks() {
+    struct CliHlt;
+    impl hypertap_hvsim::machine::GuestProgram for CliHlt {
+        fn step(
+            &mut self,
+            cpu: &mut hypertap_hvsim::cpu::CpuCtx<'_>,
+        ) -> hypertap_hvsim::cpu::StepOutcome {
+            cpu.set_interrupts_enabled(false);
+            cpu.hlt();
+            hypertap_hvsim::cpu::StepOutcome::Continue
+        }
+    }
+    let mut m = machine(1);
+    m.vm_mut().schedule_irq(SimTime::from_millis(5), VcpuId(0), 0x20);
+    let r = m.run_until(&mut CliHlt, SimTime::from_secs(1));
+    assert_eq!(r, RunExit::AllIdle, "the IRQ cannot wake a CLI'd HLT");
+}

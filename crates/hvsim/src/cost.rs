@@ -1,0 +1,139 @@
+//! The simulated-time cost model.
+//!
+//! The paper's performance evaluation (Fig. 7) measures how much guest
+//! slowdown each HyperTap auditor induces. In this reproduction that
+//! slowdown has to come from somewhere: every mediated guest operation and
+//! every VM Exit advances the executing vCPU's clock by a configurable cost.
+//! The defaults below are calibrated to mid-2010s hardware figures (a VM
+//! Exit/Entry round trip of roughly 1.3 µs, device-emulating I/O exits a few
+//! µs) so that *relative* overheads land in the regimes the paper reports;
+//! absolute numbers are explicitly not the goal.
+
+use crate::clock::Duration;
+use crate::exit::VmExitKind;
+
+/// Per-operation and per-exit simulated-time costs.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    /// Base cost of any VM Exit + VM Entry world switch.
+    pub exit_base: Duration,
+    /// Extra handling cost for an EPT violation (page-walk + emulation).
+    pub ept_violation_extra: Duration,
+    /// Extra handling cost for a CR access exit.
+    pub cr_access_extra: Duration,
+    /// Extra handling cost for a WRMSR exit.
+    pub wrmsr_extra: Duration,
+    /// Extra handling cost for an exception exit.
+    pub exception_extra: Duration,
+    /// Extra handling cost for an I/O-instruction exit (device emulation).
+    pub io_extra: Duration,
+    /// Extra handling cost for an external-interrupt exit.
+    pub external_int_extra: Duration,
+    /// Extra handling cost for an APIC-access exit.
+    pub apic_extra: Duration,
+    /// Extra handling cost for a HLT exit.
+    pub hlt_extra: Duration,
+    /// Base cost of a guest memory access (one translated load/store).
+    pub mem_op: Duration,
+    /// Additional per-byte cost of guest memory accesses.
+    pub mem_per_byte_ns: u64,
+    /// Cost of one abstract compute unit (`CpuCtx::compute`).
+    pub compute_unit: Duration,
+    /// Cost of a non-exiting privileged register operation.
+    pub reg_op: Duration,
+}
+
+impl CostModel {
+    /// The calibrated default model (see module docs).
+    pub fn calibrated() -> Self {
+        CostModel {
+            exit_base: Duration::from_nanos(1_300),
+            ept_violation_extra: Duration::from_nanos(400),
+            cr_access_extra: Duration::from_nanos(250),
+            wrmsr_extra: Duration::from_nanos(250),
+            exception_extra: Duration::from_nanos(400),
+            io_extra: Duration::from_nanos(2_200),
+            external_int_extra: Duration::from_nanos(600),
+            apic_extra: Duration::from_nanos(400),
+            hlt_extra: Duration::from_nanos(200),
+            mem_op: Duration::from_nanos(30),
+            mem_per_byte_ns: 0,
+            compute_unit: Duration::from_nanos(1),
+            reg_op: Duration::from_nanos(20),
+        }
+    }
+
+    /// A free model: every cost is zero. Useful for logic-only tests where
+    /// simulated time is irrelevant.
+    pub fn free() -> Self {
+        CostModel {
+            exit_base: Duration::ZERO,
+            ept_violation_extra: Duration::ZERO,
+            cr_access_extra: Duration::ZERO,
+            wrmsr_extra: Duration::ZERO,
+            exception_extra: Duration::ZERO,
+            io_extra: Duration::ZERO,
+            external_int_extra: Duration::ZERO,
+            apic_extra: Duration::ZERO,
+            hlt_extra: Duration::ZERO,
+            mem_op: Duration::ZERO,
+            mem_per_byte_ns: 0,
+            compute_unit: Duration::ZERO,
+            reg_op: Duration::ZERO,
+        }
+    }
+
+    /// Total cost charged for one VM Exit of the given kind.
+    pub fn exit_cost(&self, kind: &VmExitKind) -> Duration {
+        let extra = match kind {
+            VmExitKind::CrAccess { .. } => self.cr_access_extra,
+            VmExitKind::EptViolation(_) => self.ept_violation_extra,
+            VmExitKind::Wrmsr { .. } => self.wrmsr_extra,
+            VmExitKind::Exception { .. } => self.exception_extra,
+            VmExitKind::IoInst { .. } => self.io_extra,
+            VmExitKind::ExternalInterrupt { .. } => self.external_int_extra,
+            VmExitKind::ApicAccess { .. } => self.apic_extra,
+            VmExitKind::Hlt => self.hlt_extra,
+        };
+        self.exit_base + extra
+    }
+
+    /// Cost of a guest memory access of `bytes` bytes.
+    pub fn mem_cost(&self, bytes: u64) -> Duration {
+        self.mem_op + Duration::from_nanos(self.mem_per_byte_ns * bytes)
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::calibrated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_cost_includes_base_and_extra() {
+        let m = CostModel::calibrated();
+        let c = m.exit_cost(&VmExitKind::Hlt);
+        assert_eq!(c, m.exit_base + m.hlt_extra);
+        let io = m.exit_cost(&VmExitKind::IoInst { port: 0, write: true, value: 0 });
+        assert!(io > c, "I/O exits cost more than HLT exits");
+    }
+
+    #[test]
+    fn free_model_charges_nothing() {
+        let m = CostModel::free();
+        assert_eq!(m.exit_cost(&VmExitKind::Hlt), Duration::ZERO);
+        assert_eq!(m.mem_cost(4096), Duration::ZERO);
+    }
+
+    #[test]
+    fn mem_cost_scales_with_bytes() {
+        let mut m = CostModel::calibrated();
+        m.mem_per_byte_ns = 2;
+        assert_eq!(m.mem_cost(10), m.mem_op + Duration::from_nanos(20));
+    }
+}

@@ -1,0 +1,222 @@
+//! Emulated I/O devices and the bus that routes accesses to them.
+//!
+//! The hypervisor multiplexes I/O for its guests: port I/O instructions exit
+//! unconditionally (`IO_INST`), and memory-mapped I/O regions are left
+//! unbacked in EPT so that accesses exit as `EPT_VIOLATION`s. After the exit
+//! is delivered (and HyperTap's Event Forwarder has logged it), the machine
+//! routes the access to the [`Device`] registered for that port or region.
+
+use crate::mem::Gpa;
+use std::any::Any;
+use std::fmt;
+use std::ops::Range;
+
+/// An emulated device.
+///
+/// Implementations model only what the monitoring experiments need: byte
+/// counters, request queues, interrupt raising. A device that does not
+/// support a given access style may rely on the default implementations
+/// (reads return the floating-bus value, writes are ignored).
+pub trait Device: fmt::Debug {
+    /// Human-readable device name (for reports).
+    fn name(&self) -> &str;
+
+    /// Handles an `IN` from one of the device's ports.
+    fn pio_read(&mut self, _port: u16) -> u64 {
+        0xFF
+    }
+
+    /// Handles an `OUT` to one of the device's ports.
+    fn pio_write(&mut self, _port: u16, _value: u64) {}
+
+    /// Handles a read from the device's MMIO region.
+    fn mmio_read(&mut self, _gpa: Gpa) -> u64 {
+        0xFF
+    }
+
+    /// Handles a write to the device's MMIO region.
+    fn mmio_write(&mut self, _gpa: Gpa, _value: u64) {}
+
+    /// Downcasting support so harnesses can inspect device state.
+    fn as_any(&mut self) -> &mut dyn Any;
+}
+
+/// Identifier of a registered device within an [`IoBus`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DeviceId(usize);
+
+/// Routes port and MMIO accesses to registered devices.
+#[derive(Debug, Default)]
+pub struct IoBus {
+    devices: Vec<Box<dyn Device>>,
+    pio_map: Vec<(Range<u16>, DeviceId)>,
+    mmio_map: Vec<(Range<u64>, DeviceId)>,
+}
+
+impl IoBus {
+    /// Creates an empty bus.
+    pub fn new() -> Self {
+        IoBus::default()
+    }
+
+    /// Registers a device, returning its id for mapping calls.
+    pub fn register(&mut self, device: Box<dyn Device>) -> DeviceId {
+        let id = DeviceId(self.devices.len());
+        self.devices.push(device);
+        id
+    }
+
+    /// Maps a half-open port range to a device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range overlaps an existing port mapping.
+    pub fn map_pio(&mut self, ports: Range<u16>, id: DeviceId) {
+        assert!(
+            !self
+                .pio_map
+                .iter()
+                .any(|(r, _)| r.start < ports.end && ports.start < r.end),
+            "overlapping port mapping {ports:?}"
+        );
+        self.pio_map.push((ports, id));
+    }
+
+    /// Maps a half-open guest-physical range to a device's MMIO window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range overlaps an existing MMIO mapping.
+    pub fn map_mmio(&mut self, range: Range<u64>, id: DeviceId) {
+        assert!(
+            !self
+                .mmio_map
+                .iter()
+                .any(|(r, _)| r.start < range.end && range.start < r.end),
+            "overlapping MMIO mapping {range:?}"
+        );
+        self.mmio_map.push((range, id));
+    }
+
+    /// The device mapped at a port, if any.
+    pub fn pio_device(&mut self, port: u16) -> Option<&mut dyn Device> {
+        let id = self
+            .pio_map
+            .iter()
+            .find(|(r, _)| r.contains(&port))
+            .map(|(_, id)| *id)?;
+        Some(self.devices[id.0].as_mut())
+    }
+
+    /// Whether a guest-physical address falls in any MMIO window.
+    pub fn is_mmio(&self, gpa: Gpa) -> bool {
+        self.mmio_map.iter().any(|(r, _)| r.contains(&gpa.value()))
+    }
+
+    /// The device mapped at a guest-physical address, if any.
+    pub fn mmio_device(&mut self, gpa: Gpa) -> Option<&mut dyn Device> {
+        let id = self
+            .mmio_map
+            .iter()
+            .find(|(r, _)| r.contains(&gpa.value()))
+            .map(|(_, id)| *id)?;
+        Some(self.devices[id.0].as_mut())
+    }
+
+    /// Mutable access to a registered device by id (for harness inspection).
+    pub fn device_mut(&mut self, id: DeviceId) -> &mut dyn Device {
+        self.devices[id.0].as_mut()
+    }
+}
+
+/// A trivial device that remembers the last value written and serves it back;
+/// useful for tests and as a template for real device models.
+#[derive(Debug, Default)]
+pub struct LatchDevice {
+    /// The most recently written value.
+    pub latch: u64,
+    /// Total number of accesses of any kind.
+    pub accesses: u64,
+}
+
+impl Device for LatchDevice {
+    fn name(&self) -> &str {
+        "latch"
+    }
+
+    fn pio_read(&mut self, _port: u16) -> u64 {
+        self.accesses += 1;
+        self.latch
+    }
+
+    fn pio_write(&mut self, _port: u16, value: u64) {
+        self.accesses += 1;
+        self.latch = value;
+    }
+
+    fn mmio_read(&mut self, _gpa: Gpa) -> u64 {
+        self.accesses += 1;
+        self.latch
+    }
+
+    fn mmio_write(&mut self, _gpa: Gpa, value: u64) {
+        self.accesses += 1;
+        self.latch = value;
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_pio_by_port_range() {
+        let mut bus = IoBus::new();
+        let id = bus.register(Box::<LatchDevice>::default());
+        bus.map_pio(0x60..0x64, id);
+        bus.pio_device(0x61).unwrap().pio_write(0x61, 42);
+        assert_eq!(bus.pio_device(0x63).unwrap().pio_read(0x63), 42);
+        assert!(bus.pio_device(0x64).is_none(), "end of range is exclusive");
+    }
+
+    #[test]
+    fn routes_mmio_by_gpa_range() {
+        let mut bus = IoBus::new();
+        let id = bus.register(Box::<LatchDevice>::default());
+        bus.map_mmio(0xfee0_0000..0xfee0_1000, id);
+        assert!(bus.is_mmio(Gpa::new(0xfee0_0800)));
+        assert!(!bus.is_mmio(Gpa::new(0xfee0_1000)));
+        bus.mmio_device(Gpa::new(0xfee0_0800))
+            .unwrap()
+            .mmio_write(Gpa::new(0xfee0_0800), 7);
+        assert_eq!(
+            bus.mmio_device(Gpa::new(0xfee0_0000)).unwrap().mmio_read(Gpa::new(0xfee0_0000)),
+            7
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping")]
+    fn overlapping_pio_rejected() {
+        let mut bus = IoBus::new();
+        let a = bus.register(Box::<LatchDevice>::default());
+        let b = bus.register(Box::<LatchDevice>::default());
+        bus.map_pio(0x10..0x20, a);
+        bus.map_pio(0x1f..0x30, b);
+    }
+
+    #[test]
+    fn downcast_via_as_any() {
+        let mut bus = IoBus::new();
+        let id = bus.register(Box::<LatchDevice>::default());
+        bus.map_pio(0..1, id);
+        bus.pio_device(0).unwrap().pio_write(0, 5);
+        let dev = bus.device_mut(id).as_any().downcast_mut::<LatchDevice>().unwrap();
+        assert_eq!(dev.latch, 5);
+        assert_eq!(dev.accesses, 1);
+    }
+}

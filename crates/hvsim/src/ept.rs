@@ -1,0 +1,205 @@
+//! Extended Page Tables (EPT): guest-physical access permissions.
+//!
+//! EPT is the hardware mechanism HyperTap uses both for thread-switch
+//! interception (write-protecting the pages holding TSS structures) and for
+//! fast-system-call interception (execute-protecting the page holding the
+//! `SYSENTER` entry point). The simulator models EPT as a per-frame
+//! permission map with a default of read+write+execute; a guest access that
+//! lacks the required permission raises an `EPT_VIOLATION` VM Exit carrying
+//! the guest-physical address, the faulting guest-virtual address, and the
+//! access kind — the same exit qualification information VT-x provides.
+
+use crate::mem::{Gfn, Gpa, Gva};
+use std::collections::HashMap;
+use std::fmt;
+
+/// The kind of memory access being attempted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Data read.
+    Read,
+    /// Data write.
+    Write,
+    /// Instruction fetch.
+    Execute,
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AccessKind::Read => "read",
+            AccessKind::Write => "write",
+            AccessKind::Execute => "execute",
+        })
+    }
+}
+
+/// Permission bits for one guest frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EptPerm {
+    read: bool,
+    write: bool,
+    execute: bool,
+}
+
+impl EptPerm {
+    /// Read + write + execute (the EPT default).
+    pub const RWX: EptPerm = EptPerm { read: true, write: true, execute: true };
+    /// Read + execute: the write-protection used for TSS tracking.
+    pub const RX: EptPerm = EptPerm { read: true, write: false, execute: true };
+    /// Read + write: the execute-protection used for SYSENTER tracking.
+    pub const RW: EptPerm = EptPerm { read: true, write: true, execute: false };
+    /// No access at all (used for MMIO trapping).
+    pub const NONE: EptPerm = EptPerm { read: false, write: false, execute: false };
+
+    /// Whether this permission allows the given access kind.
+    pub fn allows(self, kind: AccessKind) -> bool {
+        match kind {
+            AccessKind::Read => self.read,
+            AccessKind::Write => self.write,
+            AccessKind::Execute => self.execute,
+        }
+    }
+}
+
+impl Default for EptPerm {
+    fn default() -> Self {
+        EptPerm::RWX
+    }
+}
+
+impl fmt::Display for EptPerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}{}",
+            if self.read { 'r' } else { '-' },
+            if self.write { 'w' } else { '-' },
+            if self.execute { 'x' } else { '-' }
+        )
+    }
+}
+
+/// Exit-qualification payload of an EPT violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EptViolation {
+    /// The guest-physical address whose access faulted.
+    pub gpa: Gpa,
+    /// The guest-virtual address the guest used (when known).
+    pub gva: Option<Gva>,
+    /// The attempted access.
+    pub access: AccessKind,
+    /// For write accesses of at most 8 bytes, the value being written.
+    /// A real hypervisor obtains this by decoding the faulting instruction
+    /// when it emulates the access.
+    pub value: Option<u64>,
+}
+
+/// The EPT permission map: default RWX with sparse overrides.
+#[derive(Debug, Clone, Default)]
+pub struct Ept {
+    overrides: HashMap<Gfn, EptPerm>,
+}
+
+impl Ept {
+    /// Creates an EPT with every frame mapped read+write+execute.
+    pub fn new() -> Self {
+        Ept::default()
+    }
+
+    /// Current permission of a frame.
+    pub fn perm(&self, gfn: Gfn) -> EptPerm {
+        self.overrides.get(&gfn).copied().unwrap_or_default()
+    }
+
+    /// Sets the permission of a frame, returning the previous permission.
+    pub fn set_perm(&mut self, gfn: Gfn, perm: EptPerm) -> EptPerm {
+        let prev = self.perm(gfn);
+        if perm == EptPerm::RWX {
+            self.overrides.remove(&gfn);
+        } else {
+            self.overrides.insert(gfn, perm);
+        }
+        prev
+    }
+
+    /// Number of frames with non-default permissions.
+    pub fn restricted_frames(&self) -> usize {
+        self.overrides.len()
+    }
+
+    /// Checks an access; `Ok` if allowed, `Err` with the violation otherwise.
+    /// The returned violation carries no written value; callers that know it
+    /// (the instruction emulator) fill it in.
+    pub fn check(&self, gpa: Gpa, gva: Option<Gva>, access: AccessKind) -> Result<(), EptViolation> {
+        if self.perm(gpa.gfn()).allows(access) {
+            Ok(())
+        } else {
+            Err(EptViolation { gpa, gva, access, value: None })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_rwx() {
+        let ept = Ept::new();
+        for kind in [AccessKind::Read, AccessKind::Write, AccessKind::Execute] {
+            assert!(ept.check(Gpa::new(0x5000), None, kind).is_ok());
+        }
+        assert_eq!(ept.restricted_frames(), 0);
+    }
+
+    #[test]
+    fn write_protection_traps_writes_only() {
+        let mut ept = Ept::new();
+        ept.set_perm(Gfn::new(5), EptPerm::RX);
+        assert!(ept.check(Gpa::new(0x5000), None, AccessKind::Read).is_ok());
+        assert!(ept.check(Gpa::new(0x5000), None, AccessKind::Execute).is_ok());
+        let v = ept
+            .check(Gpa::new(0x5123), Some(Gva::new(0x1123)), AccessKind::Write)
+            .unwrap_err();
+        assert_eq!(v.gpa, Gpa::new(0x5123));
+        assert_eq!(v.gva, Some(Gva::new(0x1123)));
+        assert_eq!(v.access, AccessKind::Write);
+    }
+
+    #[test]
+    fn execute_protection_traps_fetches_only() {
+        let mut ept = Ept::new();
+        ept.set_perm(Gfn::new(9), EptPerm::RW);
+        assert!(ept.check(Gpa::new(0x9000), None, AccessKind::Read).is_ok());
+        assert!(ept.check(Gpa::new(0x9000), None, AccessKind::Write).is_ok());
+        assert!(ept.check(Gpa::new(0x9000), None, AccessKind::Execute).is_err());
+    }
+
+    #[test]
+    fn restoring_rwx_removes_override() {
+        let mut ept = Ept::new();
+        ept.set_perm(Gfn::new(1), EptPerm::NONE);
+        assert_eq!(ept.restricted_frames(), 1);
+        let prev = ept.set_perm(Gfn::new(1), EptPerm::RWX);
+        assert_eq!(prev, EptPerm::NONE);
+        assert_eq!(ept.restricted_frames(), 0);
+    }
+
+    #[test]
+    fn perm_display() {
+        assert_eq!(EptPerm::RWX.to_string(), "rwx");
+        assert_eq!(EptPerm::RX.to_string(), "r-x");
+        assert_eq!(EptPerm::RW.to_string(), "rw-");
+        assert_eq!(EptPerm::NONE.to_string(), "---");
+    }
+
+    #[test]
+    fn granularity_is_per_frame() {
+        let mut ept = Ept::new();
+        ept.set_perm(Gfn::new(2), EptPerm::RX);
+        // Last byte of frame 2 is protected; first byte of frame 3 is not.
+        assert!(ept.check(Gpa::new(0x2fff), None, AccessKind::Write).is_err());
+        assert!(ept.check(Gpa::new(0x3000), None, AccessKind::Write).is_ok());
+    }
+}

@@ -1,0 +1,433 @@
+//! VM Exits: the event-generation mechanism of Hardware-Assisted
+//! Virtualization.
+//!
+//! When the guest attempts a restricted operation, the (simulated) processor
+//! suspends the vCPU and transfers control to the hypervisor, delivering a
+//! [`VmExit`] that carries the exit reason, its qualification data, and a
+//! snapshot of the guest's architectural state (the VMCS guest-state area).
+//! Which operations are restricted is programmable through [`ExitControls`],
+//! mirroring the VMCS execution-control fields that HyperTap's interception
+//! engines program:
+//!
+//! | Control | VT-x analogue | Used by |
+//! |---|---|---|
+//! | `cr3_load_exiting` | "CR3-load exiting" processor control | process tracking (Fig. 3A) |
+//! | `exception_bitmap` | `EXCEPTION_BITMAP` | interrupt-based syscall interception (Fig. 3D) |
+//! | `msr_write_exiting` | MSR bitmaps | fast-syscall interception (Fig. 3E) |
+//!
+//! EPT permission violations, I/O instructions, external interrupts and APIC
+//! accesses exit unconditionally, as on real hardware.
+
+use crate::clock::{Duration, SimTime};
+use crate::ept::EptViolation;
+use crate::mem::{Gpa, Gva};
+use crate::vcpu::{Cpl, Gpr, Msr, Vcpu, VcpuId};
+use std::fmt;
+
+/// How the exiting exception was raised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExceptionType {
+    /// A software interrupt (`INT n`) — the legacy system-call gate.
+    SoftwareInterrupt,
+    /// A hardware-detected fault (e.g. a guest page fault).
+    Fault,
+}
+
+/// The reason and qualification data of a VM Exit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VmExitKind {
+    /// A control-register write (`CR_ACCESS`). For CR3 this is the process
+    /// context-switch event.
+    CrAccess {
+        /// Which control register (3 for CR3).
+        cr: u8,
+        /// The value being loaded.
+        value: u64,
+    },
+    /// A guest-physical access violated EPT permissions (`EPT_VIOLATION`).
+    EptViolation(EptViolation),
+    /// A write to a model-specific register (`WRMSR`).
+    Wrmsr {
+        /// The target MSR.
+        msr: Msr,
+        /// The value being written.
+        value: u64,
+    },
+    /// An exception selected by the exception bitmap (`EXCEPTION`).
+    Exception {
+        /// Interrupt/exception vector number.
+        vector: u8,
+        /// How it was raised.
+        ex_type: ExceptionType,
+    },
+    /// A port I/O instruction (`IO_INSTRUCTION`).
+    IoInst {
+        /// The I/O port.
+        port: u16,
+        /// True for `OUT`-family, false for `IN`-family.
+        write: bool,
+        /// The value written (for writes) or a placeholder (for reads).
+        value: u64,
+    },
+    /// A hardware interrupt arrived while in guest mode (`EXTERNAL_INTERRUPT`).
+    ExternalInterrupt {
+        /// The interrupt vector.
+        vector: u8,
+    },
+    /// An access to the virtual-APIC page (`APIC_ACCESS`).
+    ApicAccess {
+        /// Byte offset into the APIC page.
+        offset: u16,
+        /// True for a write.
+        write: bool,
+        /// The value written, if a write.
+        value: u64,
+    },
+    /// The guest executed `HLT`.
+    Hlt,
+}
+
+impl VmExitKind {
+    /// The coarse exit-reason name, as the paper's Table I spells them.
+    pub fn reason_name(&self) -> &'static str {
+        match self {
+            VmExitKind::CrAccess { .. } => "CR_ACCESS",
+            VmExitKind::EptViolation(_) => "EPT_VIOLATION",
+            VmExitKind::Wrmsr { .. } => "WRMSR",
+            VmExitKind::Exception { .. } => "EXCEPTION",
+            VmExitKind::IoInst { .. } => "IO_INST",
+            VmExitKind::ExternalInterrupt { .. } => "EXTERNAL_INT",
+            VmExitKind::ApicAccess { .. } => "APIC_ACCESS",
+            VmExitKind::Hlt => "HLT",
+        }
+    }
+
+    /// A small dense index for statistics arrays.
+    pub(crate) fn stat_slot(&self) -> usize {
+        match self {
+            VmExitKind::CrAccess { .. } => 0,
+            VmExitKind::EptViolation(_) => 1,
+            VmExitKind::Wrmsr { .. } => 2,
+            VmExitKind::Exception { .. } => 3,
+            VmExitKind::IoInst { .. } => 4,
+            VmExitKind::ExternalInterrupt { .. } => 5,
+            VmExitKind::ApicAccess { .. } => 6,
+            VmExitKind::Hlt => 7,
+        }
+    }
+
+    /// Number of distinct statistic slots.
+    pub(crate) const SLOTS: usize = 8;
+
+    /// Names corresponding to each slot, for reports.
+    pub const SLOT_NAMES: [&'static str; 8] = [
+        "CR_ACCESS",
+        "EPT_VIOLATION",
+        "WRMSR",
+        "EXCEPTION",
+        "IO_INST",
+        "EXTERNAL_INT",
+        "APIC_ACCESS",
+        "HLT",
+    ];
+}
+
+impl fmt::Display for VmExitKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmExitKind::CrAccess { cr, value } => write!(f, "CR_ACCESS cr{cr} <- {value:#x}"),
+            VmExitKind::EptViolation(v) => {
+                write!(f, "EPT_VIOLATION {} at {}", v.access, v.gpa)
+            }
+            VmExitKind::Wrmsr { msr, value } => write!(f, "WRMSR {msr} <- {value:#x}"),
+            VmExitKind::Exception { vector, .. } => write!(f, "EXCEPTION vector {vector:#x}"),
+            VmExitKind::IoInst { port, write, .. } => {
+                write!(f, "IO_INST port {port:#x} {}", if *write { "out" } else { "in" })
+            }
+            VmExitKind::ExternalInterrupt { vector } => write!(f, "EXTERNAL_INT vector {vector:#x}"),
+            VmExitKind::ApicAccess { offset, .. } => write!(f, "APIC_ACCESS offset {offset:#x}"),
+            VmExitKind::Hlt => f.write_str("HLT"),
+        }
+    }
+}
+
+/// The guest-state snapshot saved alongside an exit (the VMCS guest area).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VcpuSnapshot {
+    /// Guest CR3 at exit time (before the exiting operation takes effect).
+    pub cr3: Gpa,
+    /// Guest TR base at exit time.
+    pub tr_base: Gva,
+    /// Guest RSP at exit time.
+    pub rsp: Gva,
+    /// Guest RIP at exit time.
+    pub rip: Gva,
+    /// Guest privilege level at exit time.
+    pub cpl: Cpl,
+    gprs: [u64; 7],
+}
+
+impl VcpuSnapshot {
+    /// Captures the current state of a vCPU.
+    pub fn capture(vcpu: &Vcpu) -> Self {
+        let mut gprs = [0u64; 7];
+        for (slot, r) in Gpr::ALL.iter().enumerate() {
+            gprs[slot] = vcpu.gpr(*r);
+        }
+        VcpuSnapshot {
+            cr3: vcpu.cr3(),
+            tr_base: vcpu.tr_base(),
+            rsp: vcpu.rsp(),
+            rip: vcpu.rip(),
+            cpl: vcpu.cpl(),
+            gprs,
+        }
+    }
+
+    /// Reads a general-purpose register from the snapshot.
+    pub fn gpr(&self, r: Gpr) -> u64 {
+        let slot = Gpr::ALL.iter().position(|g| *g == r).expect("all GPRs present");
+        self.gprs[slot]
+    }
+}
+
+/// A VM Exit event, as delivered to the hypervisor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VmExit {
+    /// Which vCPU exited.
+    pub vcpu: VcpuId,
+    /// Simulated time of the exit.
+    pub time: SimTime,
+    /// Reason and qualification.
+    pub kind: VmExitKind,
+    /// Guest architectural state at the moment of the exit.
+    pub state: VcpuSnapshot,
+}
+
+/// What the hypervisor wants done after handling an exit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ExitAction {
+    /// Emulate the exiting operation (let its architectural effect happen)
+    /// and resume the guest. The common case.
+    #[default]
+    Resume,
+    /// Suppress the exiting operation: resume the guest *without* performing
+    /// the operation's architectural effect. Used by enforcement policies.
+    Suppress,
+}
+
+/// The programmable exit controls (VMCS execution controls + MSR/exception
+/// bitmaps).
+#[derive(Debug, Clone)]
+pub struct ExitControls {
+    cr3_load_exiting: bool,
+    exception_bitmap: [u64; 4],
+    msr_write_exiting: [bool; Msr::ALL.len()],
+}
+
+impl Default for ExitControls {
+    fn default() -> Self {
+        ExitControls {
+            cr3_load_exiting: false,
+            exception_bitmap: [0; 4],
+            msr_write_exiting: [false; Msr::ALL.len()],
+        }
+    }
+}
+
+impl ExitControls {
+    /// Creates controls with nothing optional enabled (a plain EPT guest:
+    /// CR3 loads, exceptions and MSR writes do not exit).
+    pub fn new() -> Self {
+        ExitControls::default()
+    }
+
+    /// Whether CR3 loads cause `CR_ACCESS` exits.
+    pub fn cr3_load_exiting(&self) -> bool {
+        self.cr3_load_exiting
+    }
+
+    /// Enables or disables CR3-load exiting.
+    pub fn set_cr3_load_exiting(&mut self, on: bool) {
+        self.cr3_load_exiting = on;
+    }
+
+    /// Whether the given exception vector causes `EXCEPTION` exits.
+    pub fn exception_exiting(&self, vector: u8) -> bool {
+        self.exception_bitmap[(vector / 64) as usize] & (1u64 << (vector % 64)) != 0
+    }
+
+    /// Selects whether `vector` causes `EXCEPTION` exits.
+    pub fn set_exception_exiting(&mut self, vector: u8, on: bool) {
+        let (word, bit) = ((vector / 64) as usize, vector % 64);
+        if on {
+            self.exception_bitmap[word] |= 1u64 << bit;
+        } else {
+            self.exception_bitmap[word] &= !(1u64 << bit);
+        }
+    }
+
+    /// Whether writes to `msr` cause `WRMSR` exits.
+    pub fn msr_write_exiting(&self, msr: Msr) -> bool {
+        self.msr_write_exiting[msr_slot(msr)]
+    }
+
+    /// Selects whether writes to `msr` cause `WRMSR` exits.
+    pub fn set_msr_write_exiting(&mut self, msr: Msr, on: bool) {
+        self.msr_write_exiting[msr_slot(msr)] = on;
+    }
+}
+
+fn msr_slot(msr: Msr) -> usize {
+    Msr::ALL.iter().position(|m| *m == msr).expect("all MSRs present")
+}
+
+/// Running statistics over VM Exits: counts per reason and the cumulative
+/// world-switch overhead charged to the guest. The Fig. 7 performance
+/// experiments read these.
+#[derive(Debug, Clone, Default)]
+pub struct ExitStats {
+    counts: [u64; VmExitKind::SLOTS],
+    overhead: Duration,
+}
+
+impl ExitStats {
+    /// Creates empty statistics.
+    pub fn new() -> Self {
+        ExitStats::default()
+    }
+
+    pub(crate) fn record(&mut self, kind: &VmExitKind, cost: Duration) {
+        self.counts[kind.stat_slot()] += 1;
+        self.overhead += cost;
+    }
+
+    /// Number of exits whose reason matches `name` (one of
+    /// [`VmExitKind::SLOT_NAMES`]).
+    pub fn count_by_name(&self, name: &str) -> u64 {
+        VmExitKind::SLOT_NAMES
+            .iter()
+            .position(|n| *n == name)
+            .map(|i| self.counts[i])
+            .unwrap_or(0)
+    }
+
+    /// Total number of exits of all kinds.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Cumulative world-switch overhead charged to guest time.
+    pub fn overhead(&self) -> Duration {
+        self.overhead
+    }
+
+    /// Iterates `(reason name, count)` pairs for non-zero reasons.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        VmExitKind::SLOT_NAMES
+            .iter()
+            .zip(self.counts.iter())
+            .filter(|(_, &c)| c > 0)
+            .map(|(n, &c)| (*n, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ept::AccessKind;
+
+    #[test]
+    fn controls_default_off() {
+        let c = ExitControls::new();
+        assert!(!c.cr3_load_exiting());
+        assert!(!c.exception_exiting(0x80));
+        assert!(!c.msr_write_exiting(Msr::SysenterEip));
+    }
+
+    #[test]
+    fn exception_bitmap_bits_are_independent() {
+        let mut c = ExitControls::new();
+        c.set_exception_exiting(0x80, true);
+        c.set_exception_exiting(0x2e, true);
+        assert!(c.exception_exiting(0x80));
+        assert!(c.exception_exiting(0x2e));
+        assert!(!c.exception_exiting(0x81));
+        c.set_exception_exiting(0x80, false);
+        assert!(!c.exception_exiting(0x80));
+        assert!(c.exception_exiting(0x2e));
+    }
+
+    #[test]
+    fn exception_bitmap_covers_all_vectors() {
+        let mut c = ExitControls::new();
+        c.set_exception_exiting(255, true);
+        c.set_exception_exiting(0, true);
+        assert!(c.exception_exiting(255));
+        assert!(c.exception_exiting(0));
+        assert!(!c.exception_exiting(128));
+    }
+
+    #[test]
+    fn msr_bitmap_per_register() {
+        let mut c = ExitControls::new();
+        c.set_msr_write_exiting(Msr::SysenterEip, true);
+        assert!(c.msr_write_exiting(Msr::SysenterEip));
+        assert!(!c.msr_write_exiting(Msr::SysenterEsp));
+    }
+
+    #[test]
+    fn stats_record_and_query() {
+        let mut s = ExitStats::new();
+        s.record(&VmExitKind::Hlt, Duration::from_nanos(100));
+        s.record(
+            &VmExitKind::CrAccess { cr: 3, value: 0x1000 },
+            Duration::from_nanos(200),
+        );
+        s.record(
+            &VmExitKind::CrAccess { cr: 3, value: 0x2000 },
+            Duration::from_nanos(200),
+        );
+        assert_eq!(s.count_by_name("CR_ACCESS"), 2);
+        assert_eq!(s.count_by_name("HLT"), 1);
+        assert_eq!(s.count_by_name("WRMSR"), 0);
+        assert_eq!(s.total(), 3);
+        assert_eq!(s.overhead().as_nanos(), 500);
+        let pairs: Vec<_> = s.iter().collect();
+        assert_eq!(pairs, vec![("CR_ACCESS", 2), ("HLT", 1)]);
+    }
+
+    #[test]
+    fn reason_names_match_table1_vocabulary() {
+        assert_eq!(
+            VmExitKind::CrAccess { cr: 3, value: 0 }.reason_name(),
+            "CR_ACCESS"
+        );
+        assert_eq!(
+            VmExitKind::EptViolation(EptViolation {
+                gpa: Gpa::new(0),
+                gva: None,
+                access: AccessKind::Write,
+                value: None,
+            })
+            .reason_name(),
+            "EPT_VIOLATION"
+        );
+        assert_eq!(
+            VmExitKind::Exception { vector: 0x80, ex_type: ExceptionType::SoftwareInterrupt }
+                .reason_name(),
+            "EXCEPTION"
+        );
+    }
+
+    #[test]
+    fn snapshot_captures_gprs() {
+        let mut v = Vcpu::new(VcpuId(0));
+        v.set_gpr(Gpr::Rax, 5);
+        v.set_gpr(Gpr::Rbx, 6);
+        let snap = VcpuSnapshot::capture(&v);
+        assert_eq!(snap.gpr(Gpr::Rax), 5);
+        assert_eq!(snap.gpr(Gpr::Rbx), 6);
+        assert_eq!(snap.cpl, Cpl::Kernel);
+    }
+}

@@ -1,0 +1,98 @@
+//! # hypertap-hvsim — a deterministic Hardware-Assisted Virtualization simulator
+//!
+//! This crate is the hardware substrate of the HyperTap reproduction (DSN
+//! 2014). The paper's framework relies on **hardware architectural
+//! invariants** — properties enforced by the x86 architecture and its
+//! virtualization extensions (Intel VT-x) that software inside a virtual
+//! machine cannot violate:
+//!
+//! * the CR3 register always points to the page-directory base of the
+//!   running process, and (with CR3-load exiting enabled) every write to it
+//!   causes a `CR_ACCESS` VM Exit;
+//! * the TR register always points to the Task-State Segment (TSS) of the
+//!   running task, and the kernel stack pointer stored at `TSS.RSP0` is
+//!   unique per thread — writes to an EPT write-protected TSS page cause
+//!   `EPT_VIOLATION` VM Exits;
+//! * ring transitions (system calls) must pass through architecturally
+//!   defined gates: software interrupts (`EXCEPTION` VM Exits when selected
+//!   by the exception bitmap) or `SYSENTER`, whose entry point lives in an
+//!   MSR that can only be changed by a trapping `WRMSR` instruction;
+//! * I/O must pass through port instructions (`IO_INST` exits), memory-mapped
+//!   regions (`EPT_VIOLATION` exits) or interrupts (`EXTERNAL_INT` /
+//!   `APIC_ACCESS` exits).
+//!
+//! Because real VT-x hardware is not available to this reproduction, the
+//! simulator makes those invariants **structural**: guest code built on
+//! [`cpu::CpuCtx`] has no way to switch address spaces, switch kernel stacks,
+//! enter ring 0, or perform I/O except through the mediated operations that
+//! raise the corresponding VM Exits. Guest *data* (page tables, task lists,
+//! the TSS) lives in simulated guest-physical memory, so in-guest attacks can
+//! corrupt operating-system state exactly as real rootkits do — while the
+//! architectural layer stays trustworthy.
+//!
+//! The simulation is single-threaded, discrete-event, and fully
+//! deterministic: simulated time is a [`clock::SimTime`] in nanoseconds, and
+//! every mediated operation advances it according to a calibrated
+//! [`cost::CostModel`], which is what makes the paper's performance
+//! experiments (Fig. 7) meaningful in simulation.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use hypertap_hvsim::prelude::*;
+//!
+//! // A trivial hypervisor that counts CR_ACCESS exits.
+//! #[derive(Default)]
+//! struct CountingHv {
+//!     cr_writes: u64,
+//! }
+//! impl Hypervisor for CountingHv {
+//!     fn handle_exit(&mut self, _vm: &mut VmState, exit: &VmExit) -> ExitAction {
+//!         if matches!(exit.kind, VmExitKind::CrAccess { .. }) {
+//!             self.cr_writes += 1;
+//!         }
+//!         ExitAction::Resume
+//!     }
+//! }
+//!
+//! // A trivial guest that writes CR3 once per step.
+//! struct Guest;
+//! impl GuestProgram for Guest {
+//!     fn step(&mut self, cpu: &mut CpuCtx<'_>) -> StepOutcome {
+//!         cpu.write_cr3(Gpa::new(0x1000));
+//!         StepOutcome::Continue
+//!     }
+//! }
+//!
+//! let mut machine = Machine::new(VmConfig::new(1, 16 << 20), CountingHv::default());
+//! machine.vm_mut().controls_mut().set_cr3_load_exiting(true);
+//! machine.run_steps(&mut Guest, 10);
+//! assert_eq!(machine.hypervisor().cr_writes, 10);
+//! ```
+
+pub mod clock;
+pub mod cost;
+pub mod cpu;
+pub mod device;
+pub mod ept;
+pub mod exit;
+pub mod machine;
+pub mod mem;
+pub mod paging;
+pub mod vcpu;
+
+/// Convenient glob import of the types needed to assemble a simulated VM.
+pub mod prelude {
+    pub use crate::clock::{Duration, SimTime};
+    pub use crate::cost::CostModel;
+    pub use crate::cpu::{CpuCtx, StepOutcome};
+    pub use crate::device::{Device, IoBus};
+    pub use crate::ept::{AccessKind, Ept, EptPerm};
+    pub use crate::exit::{ExitAction, ExitControls, ExitStats, VmExit, VmExitKind};
+    pub use crate::machine::{GuestProgram, Hypervisor, Machine, VmConfig, VmState};
+    pub use crate::mem::{Gfn, Gpa, GuestMemory, Gva, PAGE_SIZE};
+    pub use crate::paging::{AddressSpaceBuilder, FrameAllocator, PageFault};
+    pub use crate::vcpu::{Gpr, Msr, Vcpu, VcpuId};
+}
+
+pub use prelude::*;

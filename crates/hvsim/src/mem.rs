@@ -1,0 +1,333 @@
+//! Guest-physical memory and the address newtypes.
+//!
+//! Memory is a sparse map of 4 KiB frames, allocated lazily on first write.
+//! All multi-byte accessors are little-endian, matching x86. Accesses may
+//! cross page boundaries; they are split internally.
+//!
+//! Three address spaces are distinguished at the type level (the paper's
+//! Section III uses the same terminology):
+//!
+//! * [`Gva`] — *guest virtual address*: what guest software uses; translated
+//!   by the guest's own page tables (see [`crate::paging`]).
+//! * [`Gpa`] — *guest-physical address*: what the guest believes is physical;
+//!   translated by EPT (see [`crate::ept`]).
+//! * [`Gfn`] — *guest frame number*: a [`Gpa`] shifted down by the page size;
+//!   the granularity at which EPT permissions apply.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Size of a memory page/frame in bytes (4 KiB, as on x86).
+pub const PAGE_SIZE: u64 = 4096;
+
+/// A guest-virtual address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Gva(u64);
+
+impl Gva {
+    /// Creates a guest-virtual address from a raw value.
+    pub const fn new(addr: u64) -> Self {
+        Gva(addr)
+    }
+
+    /// The raw address value.
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+
+    /// The address of the start of the page containing this address.
+    pub const fn page_base(self) -> Gva {
+        Gva(self.0 & !(PAGE_SIZE - 1))
+    }
+
+    /// Byte offset of this address within its page.
+    pub const fn page_offset(self) -> u64 {
+        self.0 & (PAGE_SIZE - 1)
+    }
+
+    /// This address displaced by `delta` bytes.
+    pub const fn offset(self, delta: u64) -> Gva {
+        Gva(self.0 + delta)
+    }
+}
+
+impl fmt::Display for Gva {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "gva:{:#012x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Gva {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+/// A guest-physical address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Gpa(u64);
+
+impl Gpa {
+    /// The null guest-physical address.
+    pub const NULL: Gpa = Gpa(0);
+
+    /// Creates a guest-physical address from a raw value.
+    pub const fn new(addr: u64) -> Self {
+        Gpa(addr)
+    }
+
+    /// The raw address value.
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+
+    /// The frame containing this address.
+    pub const fn gfn(self) -> Gfn {
+        Gfn(self.0 / PAGE_SIZE)
+    }
+
+    /// Byte offset of this address within its frame.
+    pub const fn page_offset(self) -> u64 {
+        self.0 & (PAGE_SIZE - 1)
+    }
+
+    /// This address displaced by `delta` bytes.
+    pub const fn offset(self, delta: u64) -> Gpa {
+        Gpa(self.0 + delta)
+    }
+}
+
+impl fmt::Display for Gpa {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "gpa:{:#012x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Gpa {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+/// A guest frame number (a [`Gpa`] divided by [`PAGE_SIZE`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Gfn(u64);
+
+impl Gfn {
+    /// Creates a frame number from a raw value.
+    pub const fn new(n: u64) -> Self {
+        Gfn(n)
+    }
+
+    /// The raw frame number.
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+
+    /// The guest-physical address of the first byte of this frame.
+    pub const fn base(self) -> Gpa {
+        Gpa(self.0 * PAGE_SIZE)
+    }
+}
+
+impl fmt::Display for Gfn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "gfn:{:#x}", self.0)
+    }
+}
+
+/// Sparse guest-physical memory.
+///
+/// Frames are 4 KiB and zero-filled on first touch. `size` bounds the
+/// guest-physical address space: accesses at or beyond it panic, because in
+/// this simulator an out-of-range physical access is always a harness bug,
+/// never a modelled guest behaviour (guest bugs manifest as page faults or
+/// EPT violations before reaching physical memory).
+#[derive(Debug, Clone)]
+pub struct GuestMemory {
+    frames: HashMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
+    size: u64,
+}
+
+impl GuestMemory {
+    /// Creates `size` bytes of guest-physical memory (rounded up to a page).
+    pub fn new(size: u64) -> Self {
+        let size = size.div_ceil(PAGE_SIZE) * PAGE_SIZE;
+        GuestMemory {
+            frames: HashMap::new(),
+            size,
+        }
+    }
+
+    /// Total guest-physical memory size in bytes.
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// Number of frames that have actually been touched.
+    pub fn resident_frames(&self) -> usize {
+        self.frames.len()
+    }
+
+    fn check(&self, gpa: Gpa, len: u64) {
+        assert!(
+            gpa.value().checked_add(len).is_some_and(|end| end <= self.size),
+            "guest-physical access out of range: {} len {} (memory size {:#x})",
+            gpa,
+            len,
+            self.size
+        );
+    }
+
+    /// Reads `buf.len()` bytes starting at `gpa`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the memory size.
+    pub fn read(&self, gpa: Gpa, buf: &mut [u8]) {
+        self.check(gpa, buf.len() as u64);
+        let mut addr = gpa.value();
+        let mut done = 0usize;
+        while done < buf.len() {
+            let off = (addr % PAGE_SIZE) as usize;
+            let n = usize::min(buf.len() - done, PAGE_SIZE as usize - off);
+            match self.frames.get(&(addr / PAGE_SIZE)) {
+                Some(frame) => buf[done..done + n].copy_from_slice(&frame[off..off + n]),
+                None => buf[done..done + n].fill(0),
+            }
+            done += n;
+            addr += n as u64;
+        }
+    }
+
+    /// Writes `buf` starting at `gpa`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the memory size.
+    pub fn write(&mut self, gpa: Gpa, buf: &[u8]) {
+        self.check(gpa, buf.len() as u64);
+        let mut addr = gpa.value();
+        let mut done = 0usize;
+        while done < buf.len() {
+            let off = (addr % PAGE_SIZE) as usize;
+            let n = usize::min(buf.len() - done, PAGE_SIZE as usize - off);
+            let frame = self
+                .frames
+                .entry(addr / PAGE_SIZE)
+                .or_insert_with(|| Box::new([0u8; PAGE_SIZE as usize]));
+            frame[off..off + n].copy_from_slice(&buf[done..done + n]);
+            done += n;
+            addr += n as u64;
+        }
+    }
+
+    /// Reads a little-endian `u64` at `gpa`.
+    pub fn read_u64(&self, gpa: Gpa) -> u64 {
+        let mut buf = [0u8; 8];
+        self.read(gpa, &mut buf);
+        u64::from_le_bytes(buf)
+    }
+
+    /// Writes a little-endian `u64` at `gpa`.
+    pub fn write_u64(&mut self, gpa: Gpa, value: u64) {
+        self.write(gpa, &value.to_le_bytes());
+    }
+
+    /// Reads a little-endian `u32` at `gpa`.
+    pub fn read_u32(&self, gpa: Gpa) -> u32 {
+        let mut buf = [0u8; 4];
+        self.read(gpa, &mut buf);
+        u32::from_le_bytes(buf)
+    }
+
+    /// Writes a little-endian `u32` at `gpa`.
+    pub fn write_u32(&mut self, gpa: Gpa, value: u32) {
+        self.write(gpa, &value.to_le_bytes());
+    }
+
+    /// Zero-fills one whole frame. Used when the guest kernel frees a page
+    /// (e.g. a dead process's page directory), so that stale pointers into it
+    /// fail translation instead of yielding ghost data.
+    pub fn zero_frame(&mut self, gfn: Gfn) {
+        self.check(gfn.base(), PAGE_SIZE);
+        self.frames.remove(&gfn.value());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_filled_on_first_read() {
+        let mem = GuestMemory::new(1 << 20);
+        let mut buf = [0xffu8; 16];
+        mem.read(Gpa::new(0x2000), &mut buf);
+        assert_eq!(buf, [0u8; 16]);
+        assert_eq!(mem.resident_frames(), 0);
+    }
+
+    #[test]
+    fn read_back_what_was_written() {
+        let mut mem = GuestMemory::new(1 << 20);
+        mem.write(Gpa::new(0x1234), b"hello");
+        let mut buf = [0u8; 5];
+        mem.read(Gpa::new(0x1234), &mut buf);
+        assert_eq!(&buf, b"hello");
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut mem = GuestMemory::new(1 << 20);
+        let gpa = Gpa::new(PAGE_SIZE - 3);
+        mem.write(gpa, &[1, 2, 3, 4, 5, 6]);
+        let mut buf = [0u8; 6];
+        mem.read(gpa, &mut buf);
+        assert_eq!(buf, [1, 2, 3, 4, 5, 6]);
+        assert_eq!(mem.resident_frames(), 2);
+    }
+
+    #[test]
+    fn u64_round_trip_little_endian() {
+        let mut mem = GuestMemory::new(1 << 20);
+        mem.write_u64(Gpa::new(0x100), 0x1122334455667788);
+        assert_eq!(mem.read_u64(Gpa::new(0x100)), 0x1122334455667788);
+        let mut b = [0u8; 1];
+        mem.read(Gpa::new(0x100), &mut b);
+        assert_eq!(b[0], 0x88, "least significant byte first");
+    }
+
+    #[test]
+    fn zero_frame_erases() {
+        let mut mem = GuestMemory::new(1 << 20);
+        mem.write_u64(Gpa::new(0x3000), 42);
+        mem.zero_frame(Gfn::new(3));
+        assert_eq!(mem.read_u64(Gpa::new(0x3000)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let mem = GuestMemory::new(PAGE_SIZE);
+        let mut buf = [0u8; 2];
+        mem.read(Gpa::new(PAGE_SIZE - 1), &mut buf);
+    }
+
+    #[test]
+    fn address_newtypes() {
+        let gpa = Gpa::new(0x1abc);
+        assert_eq!(gpa.gfn(), Gfn::new(1));
+        assert_eq!(gpa.page_offset(), 0xabc);
+        assert_eq!(gpa.gfn().base(), Gpa::new(0x1000));
+        let gva = Gva::new(0x5fff);
+        assert_eq!(gva.page_base(), Gva::new(0x5000));
+        assert_eq!(gva.offset(1).value(), 0x6000);
+    }
+
+    #[test]
+    fn size_rounds_up_to_page() {
+        let mem = GuestMemory::new(1);
+        assert_eq!(mem.size(), PAGE_SIZE);
+    }
+}

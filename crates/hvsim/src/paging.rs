@@ -1,0 +1,388 @@
+//! Guest page tables, stored **in guest memory**.
+//!
+//! The x86 architectural invariant HyperTap exploits for process tracking is
+//! that CR3 always holds the Page-Directory Base Address (PDBA) of the
+//! running process. For that invariant to be *checkable* from the hypervisor
+//! (the validity test in the paper's Fig. 3A walks the page directory of each
+//! remembered PDBA), the paging structures must be real bytes in
+//! guest-physical memory — not host-side bookkeeping. This module provides:
+//!
+//! * a simple two-level, 4 KiB-page format (512-entry page directory and
+//!   512-entry page tables with 8-byte entries, covering a 1 GiB virtual
+//!   space — a compacted cousin of x86 PAE paging);
+//! * [`walk`], the translation function used both by the simulated MMU and by
+//!   hypervisor-side introspection (`gva_to_gpa` in the paper's pseudo-code);
+//! * [`AddressSpaceBuilder`], used by the guest kernel to construct address
+//!   spaces; and
+//! * [`FrameAllocator`], a bump-plus-free-list guest frame allocator.
+//!
+//! Entry format: bit 0 = present; bits 12.. = target frame base. All other
+//! bits are ignored (reserved).
+
+use crate::mem::{Gfn, Gpa, GuestMemory, Gva, PAGE_SIZE};
+use std::fmt;
+
+/// Bits of a GVA consumed by the page offset.
+const OFFSET_BITS: u32 = 12;
+/// Bits of a GVA consumed by the page-table index.
+const PT_BITS: u32 = 9;
+/// Bits of a GVA consumed by the page-directory index.
+const PD_BITS: u32 = 9;
+/// Present bit in directory/table entries.
+const ENTRY_PRESENT: u64 = 1;
+
+/// Highest GVA (exclusive) representable by the two-level format: 1 GiB.
+pub const VIRT_SPACE_SIZE: u64 = 1 << (OFFSET_BITS + PT_BITS + PD_BITS);
+
+/// A failed guest-virtual-address translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PageFault {
+    /// The address is beyond the supported virtual space.
+    OutOfRange(Gva),
+    /// The page-directory entry for the address is not present.
+    NotPresentPde(Gva),
+    /// The page-table entry for the address is not present.
+    NotPresentPte(Gva),
+}
+
+impl PageFault {
+    /// The faulting guest-virtual address.
+    pub fn gva(self) -> Gva {
+        match self {
+            PageFault::OutOfRange(g) | PageFault::NotPresentPde(g) | PageFault::NotPresentPte(g) => g,
+        }
+    }
+}
+
+impl fmt::Display for PageFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PageFault::OutOfRange(g) => write!(f, "page fault: {g} outside virtual space"),
+            PageFault::NotPresentPde(g) => write!(f, "page fault: directory entry not present for {g}"),
+            PageFault::NotPresentPte(g) => write!(f, "page fault: table entry not present for {g}"),
+        }
+    }
+}
+
+impl std::error::Error for PageFault {}
+
+fn pd_index(gva: Gva) -> u64 {
+    (gva.value() >> (OFFSET_BITS + PT_BITS)) & ((1 << PD_BITS) - 1)
+}
+
+fn pt_index(gva: Gva) -> u64 {
+    (gva.value() >> OFFSET_BITS) & ((1 << PT_BITS) - 1)
+}
+
+/// Translates a guest-virtual address under the page directory rooted at
+/// `pdba` by reading the paging structures from guest memory.
+///
+/// This is exactly the `gva_to_gpa` primitive in the paper's Fig. 3A: it
+/// works for the guest MMU and for hypervisor-side checks alike, because both
+/// read the same in-memory structures.
+///
+/// # Errors
+///
+/// Returns a [`PageFault`] describing the failing level if the address is
+/// unmapped.
+pub fn walk(mem: &GuestMemory, pdba: Gpa, gva: Gva) -> Result<Gpa, PageFault> {
+    if gva.value() >= VIRT_SPACE_SIZE {
+        return Err(PageFault::OutOfRange(gva));
+    }
+    let pde = mem.read_u64(pdba.offset(pd_index(gva) * 8));
+    if pde & ENTRY_PRESENT == 0 {
+        return Err(PageFault::NotPresentPde(gva));
+    }
+    let pt_base = Gpa::new(pde & !(PAGE_SIZE - 1));
+    let pte = mem.read_u64(pt_base.offset(pt_index(gva) * 8));
+    if pte & ENTRY_PRESENT == 0 {
+        return Err(PageFault::NotPresentPte(gva));
+    }
+    let frame = Gpa::new(pte & !(PAGE_SIZE - 1));
+    Ok(frame.offset(gva.page_offset()))
+}
+
+/// Guest-physical frame allocator: bump allocation with a free list.
+///
+/// Frames returned to the allocator are zeroed immediately, so any stale
+/// paging entry pointing into a freed frame reads as "not present" — the
+/// property the process-counting algorithm's validity test relies on to
+/// discard dead PDBAs.
+#[derive(Debug, Clone)]
+pub struct FrameAllocator {
+    next: u64,
+    limit: u64,
+    free: Vec<Gfn>,
+}
+
+impl FrameAllocator {
+    /// Creates an allocator handing out frames in `[first, limit)` (frame
+    /// numbers, not byte addresses).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `first >= limit`.
+    pub fn new(first: Gfn, limit: Gfn) -> Self {
+        assert!(first.value() < limit.value(), "empty frame range");
+        FrameAllocator {
+            next: first.value(),
+            limit: limit.value(),
+            free: Vec::new(),
+        }
+    }
+
+    /// Number of frames still available.
+    pub fn available(&self) -> u64 {
+        (self.limit - self.next) + self.free.len() as u64
+    }
+
+    /// Allocates one zeroed frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if guest-physical memory is exhausted — a harness sizing error,
+    /// not a modelled guest condition.
+    pub fn alloc(&mut self, mem: &mut GuestMemory) -> Gfn {
+        if let Some(gfn) = self.free.pop() {
+            return gfn;
+        }
+        assert!(self.next < self.limit, "guest frame allocator exhausted");
+        let gfn = Gfn::new(self.next);
+        self.next += 1;
+        mem.zero_frame(gfn);
+        gfn
+    }
+
+    /// Returns a frame to the allocator, zeroing it.
+    pub fn free(&mut self, mem: &mut GuestMemory, gfn: Gfn) {
+        mem.zero_frame(gfn);
+        self.free.push(gfn);
+    }
+}
+
+/// Builds and edits an address space (a page directory plus its page tables)
+/// in guest memory. Used by the simulated guest kernel; the hypervisor never
+/// needs it because it only *reads* paging structures via [`walk`].
+#[derive(Debug)]
+pub struct AddressSpaceBuilder {
+    pdba: Gpa,
+}
+
+impl AddressSpaceBuilder {
+    /// Allocates a fresh, empty page directory.
+    pub fn new(mem: &mut GuestMemory, falloc: &mut FrameAllocator) -> Self {
+        let pd = falloc.alloc(mem);
+        AddressSpaceBuilder { pdba: pd.base() }
+    }
+
+    /// Wraps an existing page directory for further editing.
+    pub fn from_pdba(pdba: Gpa) -> Self {
+        assert_eq!(pdba.page_offset(), 0, "PDBA must be page-aligned");
+        AddressSpaceBuilder { pdba }
+    }
+
+    /// The Page-Directory Base Address — the value the kernel loads into CR3.
+    pub fn pdba(&self) -> Gpa {
+        self.pdba
+    }
+
+    /// Maps the page containing `gva` to the frame `gfn`, allocating a page
+    /// table if needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gva` is outside the supported virtual space.
+    pub fn map(&mut self, mem: &mut GuestMemory, falloc: &mut FrameAllocator, gva: Gva, gfn: Gfn) {
+        assert!(gva.value() < VIRT_SPACE_SIZE, "gva outside virtual space");
+        let pde_addr = self.pdba.offset(pd_index(gva) * 8);
+        let pde = mem.read_u64(pde_addr);
+        let pt_base = if pde & ENTRY_PRESENT == 0 {
+            let pt = falloc.alloc(mem);
+            mem.write_u64(pde_addr, pt.base().value() | ENTRY_PRESENT);
+            pt.base()
+        } else {
+            Gpa::new(pde & !(PAGE_SIZE - 1))
+        };
+        mem.write_u64(
+            pt_base.offset(pt_index(gva) * 8),
+            gfn.base().value() | ENTRY_PRESENT,
+        );
+    }
+
+    /// Maps `pages` consecutive pages starting at `gva`, allocating fresh
+    /// frames for each, and returns the allocated frames.
+    pub fn map_fresh_range(
+        &mut self,
+        mem: &mut GuestMemory,
+        falloc: &mut FrameAllocator,
+        gva: Gva,
+        pages: u64,
+    ) -> Vec<Gfn> {
+        let mut frames = Vec::with_capacity(pages as usize);
+        for i in 0..pages {
+            let frame = falloc.alloc(mem);
+            self.map(mem, falloc, gva.offset(i * PAGE_SIZE), frame);
+            frames.push(frame);
+        }
+        frames
+    }
+
+    /// Copies the page-directory entries covering `[start, end)` from another
+    /// page directory, so both address spaces share the same page tables for
+    /// that range. This is how the guest kernel gives every process the same
+    /// kernel mapping (as Linux does) — and why a *kernel* GVA is a valid
+    /// probe address for the paper's PDBA validity test.
+    pub fn share_range_from(&mut self, mem: &mut GuestMemory, other_pdba: Gpa, start: Gva, end: Gva) {
+        assert!(end.value() <= VIRT_SPACE_SIZE);
+        let first = pd_index(start);
+        // `end` is exclusive; cover any partial final directory entry.
+        let last = pd_index(Gva::new(end.value() - 1));
+        for idx in first..=last {
+            let pde = mem.read_u64(other_pdba.offset(idx * 8));
+            mem.write_u64(self.pdba.offset(idx * 8), pde);
+        }
+    }
+
+    /// Tears down this address space: frees every *private* page table and
+    /// the directory itself. Page tables shared with `shared_with` (same
+    /// physical page table reachable from the other directory at the same
+    /// index) are left alone. Mapped data frames are the caller's to free.
+    pub fn destroy(
+        self,
+        mem: &mut GuestMemory,
+        falloc: &mut FrameAllocator,
+        shared_with: Option<Gpa>,
+    ) {
+        for idx in 0..(1u64 << PD_BITS) {
+            let pde = mem.read_u64(self.pdba.offset(idx * 8));
+            if pde & ENTRY_PRESENT == 0 {
+                continue;
+            }
+            let shared = shared_with
+                .map(|other| mem.read_u64(other.offset(idx * 8)) == pde)
+                .unwrap_or(false);
+            if !shared {
+                falloc.free(mem, Gpa::new(pde & !(PAGE_SIZE - 1)).gfn());
+            }
+        }
+        falloc.free(mem, self.pdba.gfn());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (GuestMemory, FrameAllocator) {
+        let mem = GuestMemory::new(64 << 20);
+        let falloc = FrameAllocator::new(Gfn::new(16), Gfn::new((64 << 20) / PAGE_SIZE));
+        (mem, falloc)
+    }
+
+    #[test]
+    fn unmapped_faults() {
+        let (mut mem, mut falloc) = setup();
+        let asb = AddressSpaceBuilder::new(&mut mem, &mut falloc);
+        assert!(matches!(
+            walk(&mem, asb.pdba(), Gva::new(0x4000)),
+            Err(PageFault::NotPresentPde(_))
+        ));
+    }
+
+    #[test]
+    fn map_then_walk() {
+        let (mut mem, mut falloc) = setup();
+        let mut asb = AddressSpaceBuilder::new(&mut mem, &mut falloc);
+        let frame = falloc.alloc(&mut mem);
+        asb.map(&mut mem, &mut falloc, Gva::new(0x40_0000), frame);
+        let gpa = walk(&mem, asb.pdba(), Gva::new(0x40_0123)).unwrap();
+        assert_eq!(gpa, frame.base().offset(0x123));
+    }
+
+    #[test]
+    fn sibling_page_unmapped() {
+        let (mut mem, mut falloc) = setup();
+        let mut asb = AddressSpaceBuilder::new(&mut mem, &mut falloc);
+        let frame = falloc.alloc(&mut mem);
+        asb.map(&mut mem, &mut falloc, Gva::new(0x40_0000), frame);
+        // Same directory entry, different table entry: PTE-level fault.
+        assert!(matches!(
+            walk(&mem, asb.pdba(), Gva::new(0x40_1000)),
+            Err(PageFault::NotPresentPte(_))
+        ));
+    }
+
+    #[test]
+    fn out_of_range_faults() {
+        let (mut mem, mut falloc) = setup();
+        let asb = AddressSpaceBuilder::new(&mut mem, &mut falloc);
+        assert!(matches!(
+            walk(&mem, asb.pdba(), Gva::new(VIRT_SPACE_SIZE)),
+            Err(PageFault::OutOfRange(_))
+        ));
+    }
+
+    #[test]
+    fn shared_kernel_range_visible_in_both_spaces() {
+        let (mut mem, mut falloc) = setup();
+        let kernel_base = Gva::new(0x3000_0000);
+        let mut kpd = AddressSpaceBuilder::new(&mut mem, &mut falloc);
+        let kframe = falloc.alloc(&mut mem);
+        kpd.map(&mut mem, &mut falloc, kernel_base, kframe);
+        mem.write_u64(kframe.base(), 0xdead_beef);
+
+        let mut upd = AddressSpaceBuilder::new(&mut mem, &mut falloc);
+        upd.share_range_from(&mut mem, kpd.pdba(), kernel_base, Gva::new(0x3000_0000 + PAGE_SIZE));
+
+        let gpa = walk(&mem, upd.pdba(), kernel_base).unwrap();
+        assert_eq!(mem.read_u64(gpa), 0xdead_beef);
+    }
+
+    #[test]
+    fn destroy_invalidates_walks_and_respects_sharing() {
+        let (mut mem, mut falloc) = setup();
+        let kernel_base = Gva::new(0x3000_0000);
+        let mut kpd = AddressSpaceBuilder::new(&mut mem, &mut falloc);
+        let kframe = falloc.alloc(&mut mem);
+        kpd.map(&mut mem, &mut falloc, kernel_base, kframe);
+
+        let mut upd = AddressSpaceBuilder::new(&mut mem, &mut falloc);
+        upd.share_range_from(&mut mem, kpd.pdba(), kernel_base, Gva::new(0x3000_0000 + PAGE_SIZE));
+        let uframe = falloc.alloc(&mut mem);
+        upd.map(&mut mem, &mut falloc, Gva::new(0x1000), uframe);
+        let updba = upd.pdba();
+
+        let avail_before = falloc.available();
+        upd.destroy(&mut mem, &mut falloc, Some(kpd.pdba()));
+        // Freed: the user page table + the directory (but NOT the shared kernel PT).
+        assert_eq!(falloc.available(), avail_before + 2);
+        // The stale PDBA no longer translates anything — the Fig. 3A validity test.
+        assert!(walk(&mem, updba, kernel_base).is_err());
+        assert!(walk(&mem, updba, Gva::new(0x1000)).is_err());
+        // The kernel's own view is intact.
+        assert!(walk(&mem, kpd.pdba(), kernel_base).is_ok());
+    }
+
+    #[test]
+    fn allocator_recycles_and_zeroes() {
+        let (mut mem, mut falloc) = setup();
+        let a = falloc.alloc(&mut mem);
+        mem.write_u64(a.base(), 7);
+        falloc.free(&mut mem, a);
+        let b = falloc.alloc(&mut mem);
+        assert_eq!(b, a, "free list is LIFO");
+        assert_eq!(mem.read_u64(b.base()), 0, "recycled frame is zeroed");
+    }
+
+    #[test]
+    fn map_fresh_range_is_contiguous_virtually() {
+        let (mut mem, mut falloc) = setup();
+        let mut asb = AddressSpaceBuilder::new(&mut mem, &mut falloc);
+        let frames = asb.map_fresh_range(&mut mem, &mut falloc, Gva::new(0x10_0000), 3);
+        assert_eq!(frames.len(), 3);
+        for (i, f) in frames.iter().enumerate() {
+            let gpa = walk(&mem, asb.pdba(), Gva::new(0x10_0000 + i as u64 * PAGE_SIZE)).unwrap();
+            assert_eq!(gpa, f.base());
+        }
+    }
+}

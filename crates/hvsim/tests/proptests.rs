@@ -1,0 +1,133 @@
+//! Property-based tests for the simulator's core data structures: guest
+//! memory, guest paging and EPT permissions, each checked against a simple
+//! reference model.
+
+use hypertap_hvsim::ept::{AccessKind, Ept, EptPerm};
+use hypertap_hvsim::mem::{Gfn, Gpa, GuestMemory, Gva, PAGE_SIZE};
+use hypertap_hvsim::paging::{self, AddressSpaceBuilder, FrameAllocator};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+const MEM_SIZE: u64 = 32 << 20;
+
+proptest! {
+    /// Guest memory behaves like a flat byte array: reads return the last
+    /// bytes written, across arbitrary (possibly page-crossing) ranges.
+    #[test]
+    fn memory_matches_flat_model(
+        writes in prop::collection::vec(
+            (0u64..MEM_SIZE - 64, prop::collection::vec(any::<u8>(), 1..64)),
+            1..40
+        ),
+        probe in 0u64..MEM_SIZE - 64,
+    ) {
+        let mut mem = GuestMemory::new(MEM_SIZE);
+        let mut model = HashMap::<u64, u8>::new();
+        for (addr, bytes) in &writes {
+            mem.write(Gpa::new(*addr), bytes);
+            for (i, b) in bytes.iter().enumerate() {
+                model.insert(addr + i as u64, *b);
+            }
+        }
+        let mut buf = [0u8; 64];
+        mem.read(Gpa::new(probe), &mut buf);
+        for (i, got) in buf.iter().enumerate() {
+            let expect = model.get(&(probe + i as u64)).copied().unwrap_or(0);
+            prop_assert_eq!(*got, expect, "byte at {:#x}", probe + i as u64);
+        }
+    }
+
+    /// u64 accessors agree with byte-level little-endian writes.
+    #[test]
+    fn memory_u64_is_little_endian(addr in 0u64..MEM_SIZE - 8, value: u64) {
+        let mut mem = GuestMemory::new(MEM_SIZE);
+        mem.write_u64(Gpa::new(addr), value);
+        let mut bytes = [0u8; 8];
+        mem.read(Gpa::new(addr), &mut bytes);
+        prop_assert_eq!(u64::from_le_bytes(bytes), value);
+        prop_assert_eq!(mem.read_u64(Gpa::new(addr)), value);
+    }
+
+    /// The page walker agrees with a model map over arbitrary mapping
+    /// sequences, and unmapped pages fault.
+    #[test]
+    fn paging_matches_model(
+        pages in prop::collection::vec(0u64..512, 1..30),
+        probes in prop::collection::vec((0u64..512, 0u64..PAGE_SIZE), 1..20),
+    ) {
+        let mut mem = GuestMemory::new(MEM_SIZE);
+        let mut falloc = FrameAllocator::new(Gfn::new(16), Gfn::new(MEM_SIZE / PAGE_SIZE));
+        let mut asb = AddressSpaceBuilder::new(&mut mem, &mut falloc);
+        let mut model = HashMap::<u64, Gfn>::new();
+        for page in &pages {
+            let gva = Gva::new(page * PAGE_SIZE);
+            let frame = falloc.alloc(&mut mem);
+            asb.map(&mut mem, &mut falloc, gva, frame);
+            model.insert(*page, frame);
+        }
+        for (page, offset) in &probes {
+            let gva = Gva::new(page * PAGE_SIZE + offset);
+            match (paging::walk(&mem, asb.pdba(), gva), model.get(page)) {
+                (Ok(gpa), Some(frame)) => {
+                    prop_assert_eq!(gpa, frame.base().offset(*offset));
+                }
+                (Err(_), None) => {}
+                (got, want) => prop_assert!(false, "walk {gva}: {got:?} vs model {want:?}"),
+            }
+        }
+    }
+
+    /// EPT permission checks agree with the stored permission for every
+    /// access kind, and restoring RWX always clears the override.
+    #[test]
+    fn ept_matches_model(
+        ops in prop::collection::vec((0u64..256, 0u8..4), 1..50),
+        probes in prop::collection::vec(0u64..256, 1..20),
+    ) {
+        let mut ept = Ept::new();
+        let mut model = HashMap::<u64, EptPerm>::new();
+        for (gfn, p) in &ops {
+            let perm = match p {
+                0 => EptPerm::RWX,
+                1 => EptPerm::RX,
+                2 => EptPerm::RW,
+                _ => EptPerm::NONE,
+            };
+            ept.set_perm(Gfn::new(*gfn), perm);
+            if perm == EptPerm::RWX {
+                model.remove(gfn);
+            } else {
+                model.insert(*gfn, perm);
+            }
+        }
+        prop_assert_eq!(ept.restricted_frames(), model.len());
+        for gfn in &probes {
+            let perm = model.get(gfn).copied().unwrap_or(EptPerm::RWX);
+            for kind in [AccessKind::Read, AccessKind::Write, AccessKind::Execute] {
+                let allowed = ept.check(Gfn::new(*gfn).base(), None, kind).is_ok();
+                prop_assert_eq!(allowed, perm.allows(kind), "gfn {} {}", gfn, kind);
+            }
+        }
+    }
+
+    /// Frame allocation never hands out the same live frame twice, and
+    /// freed frames come back zeroed.
+    #[test]
+    fn allocator_uniqueness(frees in prop::collection::vec(any::<bool>(), 1..60)) {
+        let mut mem = GuestMemory::new(MEM_SIZE);
+        let mut falloc = FrameAllocator::new(Gfn::new(16), Gfn::new(MEM_SIZE / PAGE_SIZE));
+        let mut live = Vec::new();
+        for free in frees {
+            if free && !live.is_empty() {
+                let f = live.swap_remove(0);
+                mem.write_u64(f, 0xdead);
+                falloc.free(&mut mem, f.gfn());
+            } else {
+                let f = falloc.alloc(&mut mem).base();
+                prop_assert_eq!(mem.read_u64(f), 0, "fresh frames are zeroed");
+                prop_assert!(!live.contains(&f), "double allocation of {f}");
+                live.push(f);
+            }
+        }
+    }
+}

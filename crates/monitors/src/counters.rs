@@ -1,0 +1,221 @@
+//! Hypervisor-level event-rate counters for out-of-band failure detection —
+//! the paper's §VII-D pointer to Vigilant-style monitors (its reference
+//! 21): "failure detection based on machine learning can be applied to the
+//! events and states logged by HyperTap".
+//!
+//! The auditor aggregates the unified event stream into fixed-width
+//! intervals of per-class, per-vCPU counts — exactly "the counters it
+//! provides (different types of events and states, which directly reflect
+//! the operations of guest VMs)". A pluggable classifier consumes the
+//! interval vectors; the built-in one is a simple rate-floor detector
+//! (events dry up ⇒ suspicious), standing in for the learned model.
+
+use hypertap_core::audit::{Auditor, Finding, FindingSink, Severity};
+use hypertap_core::event::{Event, EventClass, EventMask};
+use hypertap_hvsim::clock::{Duration, SimTime};
+use hypertap_hvsim::machine::VmState;
+use std::any::Any;
+
+/// Per-interval feature vector: event counts by class, plus per-vCPU
+/// context-switch counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntervalSample {
+    /// Interval end time.
+    pub end: SimTime,
+    /// Counts indexed by [`EventClass::ALL`] order.
+    pub by_class: [u64; EventClass::ALL.len()],
+    /// Context-switch events per vCPU.
+    pub switches_per_vcpu: Vec<u64>,
+}
+
+impl IntervalSample {
+    /// Count for one class.
+    pub fn class(&self, c: EventClass) -> u64 {
+        let idx = EventClass::ALL.iter().position(|x| *x == c).expect("all classes indexed");
+        self.by_class[idx]
+    }
+
+    /// Total events in the interval.
+    pub fn total(&self) -> u64 {
+        self.by_class.iter().sum()
+    }
+}
+
+/// The counter auditor.
+#[derive(Debug)]
+pub struct EventCounters {
+    interval: Duration,
+    vcpus: usize,
+    current_start: Option<SimTime>,
+    by_class: [u64; EventClass::ALL.len()],
+    switches_per_vcpu: Vec<u64>,
+    samples: Vec<IntervalSample>,
+    /// Alarm when an interval's total falls below this (0 disables).
+    pub min_events_per_interval: u64,
+}
+
+impl EventCounters {
+    /// Creates the auditor with the given aggregation interval.
+    pub fn new(interval: Duration, vcpus: usize) -> Self {
+        EventCounters {
+            interval,
+            vcpus,
+            current_start: None,
+            by_class: [0; EventClass::ALL.len()],
+            switches_per_vcpu: vec![0; vcpus],
+            samples: Vec::new(),
+            min_events_per_interval: 0,
+        }
+    }
+
+    /// Enables the built-in rate-floor classifier.
+    pub fn with_rate_floor(mut self, min_events: u64) -> Self {
+        self.min_events_per_interval = min_events;
+        self
+    }
+
+    /// Completed interval samples (the feature vectors a learned model
+    /// would consume).
+    pub fn samples(&self) -> &[IntervalSample] {
+        &self.samples
+    }
+
+    fn roll(&mut self, end: SimTime, sink: &mut dyn FindingSink) {
+        let sample = IntervalSample {
+            end,
+            by_class: std::mem::take(&mut self.by_class),
+            switches_per_vcpu: std::mem::replace(
+                &mut self.switches_per_vcpu,
+                vec![0; self.vcpus],
+            ),
+        };
+        if self.min_events_per_interval > 0 && sample.total() < self.min_events_per_interval {
+            sink.report(Finding::new(
+                "event-counters",
+                end,
+                Severity::Warning,
+                format!(
+                    "event rate collapsed: {} events in the last {}",
+                    sample.total(),
+                    self.interval
+                ),
+            ));
+        }
+        self.samples.push(sample);
+    }
+}
+
+impl Auditor for EventCounters {
+    fn name(&self) -> &str {
+        "event-counters"
+    }
+
+    fn subscriptions(&self) -> EventMask {
+        EventMask::ALL
+    }
+
+    fn on_event(&mut self, _vm: &mut VmState, event: &Event, _sink: &mut dyn FindingSink) {
+        let idx = EventClass::ALL
+            .iter()
+            .position(|c| *c == event.class())
+            .expect("all classes indexed");
+        self.by_class[idx] += 1;
+        if matches!(event.class(), EventClass::ProcessSwitch | EventClass::ThreadSwitch) {
+            if let Some(slot) = self.switches_per_vcpu.get_mut(event.vcpu.0) {
+                *slot += 1;
+            }
+        }
+    }
+
+    fn on_tick(&mut self, _vm: &mut VmState, now: SimTime, sink: &mut dyn FindingSink) {
+        let start = *self.current_start.get_or_insert(now);
+        if now.saturating_since(start) >= self.interval {
+            self.current_start = Some(now);
+            self.roll(now, sink);
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypertap_core::event::{EventKind, VmId};
+    use hypertap_hvsim::exit::VcpuSnapshot;
+    use hypertap_hvsim::machine::{Machine, VmConfig};
+    use hypertap_hvsim::mem::Gpa;
+    use hypertap_hvsim::vcpu::{Vcpu, VcpuId};
+
+    fn vm_state() -> VmState {
+        struct NoHv;
+        impl hypertap_hvsim::machine::Hypervisor for NoHv {
+            fn handle_exit(
+                &mut self,
+                _vm: &mut VmState,
+                _exit: &hypertap_hvsim::exit::VmExit,
+            ) -> hypertap_hvsim::exit::ExitAction {
+                hypertap_hvsim::exit::ExitAction::Resume
+            }
+        }
+        Machine::new(VmConfig::new(2, 1 << 20), NoHv).into_parts().0
+    }
+
+    fn switch(vcpu: usize, t_ms: u64) -> Event {
+        Event {
+            vm: VmId(0),
+            vcpu: VcpuId(vcpu),
+            time: SimTime::from_millis(t_ms),
+            kind: EventKind::ProcessSwitch { new_pdba: Gpa::new(0x1000) },
+            state: VcpuSnapshot::capture(&Vcpu::new(VcpuId(vcpu))),
+        }
+    }
+
+    #[test]
+    fn aggregates_per_interval_and_per_vcpu() {
+        let mut c = EventCounters::new(Duration::from_millis(10), 2);
+        let mut vm = vm_state();
+        let mut sink: Vec<Finding> = Vec::new();
+        c.on_tick(&mut vm, SimTime::from_millis(0), &mut sink);
+        for t in 0..8 {
+            c.on_event(&mut vm, &switch(t as usize % 2, t), &mut sink);
+        }
+        c.on_tick(&mut vm, SimTime::from_millis(10), &mut sink);
+        assert_eq!(c.samples().len(), 1);
+        let s = &c.samples()[0];
+        assert_eq!(s.class(EventClass::ProcessSwitch), 8);
+        assert_eq!(s.total(), 8);
+        assert_eq!(s.switches_per_vcpu, vec![4, 4]);
+    }
+
+    #[test]
+    fn rate_floor_alarm_fires_on_silence() {
+        let mut c = EventCounters::new(Duration::from_millis(10), 2).with_rate_floor(5);
+        let mut vm = vm_state();
+        let mut sink: Vec<Finding> = Vec::new();
+        c.on_tick(&mut vm, SimTime::from_millis(0), &mut sink);
+        c.on_event(&mut vm, &switch(0, 1), &mut sink);
+        c.on_tick(&mut vm, SimTime::from_millis(10), &mut sink);
+        assert_eq!(sink.len(), 1, "1 event < floor of 5");
+        assert!(sink[0].message.contains("collapsed"));
+    }
+
+    #[test]
+    fn healthy_rate_stays_quiet() {
+        let mut c = EventCounters::new(Duration::from_millis(10), 2).with_rate_floor(5);
+        let mut vm = vm_state();
+        let mut sink: Vec<Finding> = Vec::new();
+        c.on_tick(&mut vm, SimTime::from_millis(0), &mut sink);
+        for t in 0..6 {
+            c.on_event(&mut vm, &switch(0, t), &mut sink);
+        }
+        c.on_tick(&mut vm, SimTime::from_millis(10), &mut sink);
+        assert!(sink.is_empty());
+    }
+}

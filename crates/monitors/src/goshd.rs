@@ -1,0 +1,329 @@
+//! Guest OS Hang Detection (GOSHD) — paper §VII-A.
+//!
+//! The guest OS is *hung* on a vCPU when it ceases to schedule tasks there.
+//! GOSHD subscribes to HyperTap's context-switch events (process switches
+//! from CR3 loads, thread switches from `TSS.RSP0` writes — the
+//! `CR_ACCESS`/`EPT_VIOLATION` mechanisms guarantee no switch is missed) and
+//! declares a vCPU hung when no switch arrives for a threshold period. The
+//! paper sets the threshold to **twice the profiled maximum scheduling time
+//! slice** to stay conservative.
+//!
+//! Because vCPUs are monitored independently, GOSHD distinguishes **partial
+//! hangs** (a proper subset of vCPUs hung — invisible to heartbeat-style
+//! detectors, whose heartbeat task keeps running on a healthy vCPU) from
+//! **full hangs**.
+
+use hypertap_core::audit::{Auditor, Finding, FindingSink, Severity};
+use hypertap_core::event::{Event, EventClass, EventMask};
+use hypertap_hvsim::clock::{Duration, SimTime};
+use hypertap_hvsim::machine::VmState;
+use hypertap_hvsim::vcpu::VcpuId;
+use std::any::Any;
+
+/// GOSHD configuration.
+#[derive(Debug, Clone)]
+pub struct GoshdConfig {
+    /// Hang threshold: declare a vCPU hung after this long without a
+    /// context switch. The paper uses 2 × the profiled maximum time slice
+    /// (4 s for their SUSE guest).
+    pub threshold: Duration,
+}
+
+impl Default for GoshdConfig {
+    fn default() -> Self {
+        GoshdConfig::paper_default()
+    }
+}
+
+impl GoshdConfig {
+    /// The paper's configuration: profiled maximum slice of 2 s, threshold
+    /// of twice that.
+    pub fn paper_default() -> Self {
+        GoshdConfig { threshold: Duration::from_secs(4) }
+    }
+
+    /// Derives the threshold from a profiled maximum scheduling slice.
+    pub fn from_profiled_slice(max_slice: Duration) -> Self {
+        GoshdConfig { threshold: max_slice.saturating_mul(2) }
+    }
+}
+
+/// Whether an alarm covers part or all of the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HangScope {
+    /// At least one vCPU is hung, at least one is healthy.
+    Partial,
+    /// Every vCPU is hung.
+    Full,
+}
+
+/// One hang alarm.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HangAlarm {
+    /// The newly hung vCPU.
+    pub vcpu: VcpuId,
+    /// When GOSHD raised the alarm.
+    pub detected_at: SimTime,
+    /// The last context switch observed on that vCPU.
+    pub last_switch: SimTime,
+    /// Scope at detection time.
+    pub scope: HangScope,
+}
+
+/// The GOSHD auditor.
+#[derive(Debug)]
+pub struct Goshd {
+    threshold: Duration,
+    last_switch: Vec<Option<SimTime>>,
+    baseline: Option<SimTime>,
+    hung: Vec<bool>,
+    alarms: Vec<HangAlarm>,
+}
+
+impl Goshd {
+    /// Creates GOSHD for a machine with `vcpus` vCPUs.
+    pub fn new(vcpus: usize, config: GoshdConfig) -> Self {
+        Goshd {
+            threshold: config.threshold,
+            last_switch: vec![None; vcpus],
+            baseline: None,
+            hung: vec![false; vcpus],
+            alarms: Vec::new(),
+        }
+    }
+
+    /// All alarms raised so far, in order.
+    pub fn alarms(&self) -> &[HangAlarm] {
+        &self.alarms
+    }
+
+    /// The first alarm, if any (detection latency measurements use this).
+    pub fn first_alarm(&self) -> Option<&HangAlarm> {
+        self.alarms.first()
+    }
+
+    /// Whether the given vCPU is currently flagged hung.
+    pub fn is_hung(&self, vcpu: VcpuId) -> bool {
+        self.hung.get(vcpu.0).copied().unwrap_or(false)
+    }
+
+    /// Current machine-level scope, if any vCPU is hung.
+    pub fn scope(&self) -> Option<HangScope> {
+        let hung = self.hung.iter().filter(|h| **h).count();
+        if hung == 0 {
+            None
+        } else if hung == self.hung.len() {
+            Some(HangScope::Full)
+        } else {
+            Some(HangScope::Partial)
+        }
+    }
+
+    /// Time at which the hang became full (all vCPUs flagged), if it did.
+    pub fn full_hang_at(&self) -> Option<SimTime> {
+        if self.scope() == Some(HangScope::Full) {
+            self.alarms.last().map(|a| a.detected_at)
+        } else {
+            None
+        }
+    }
+
+    fn effective_last(&self, vcpu: usize) -> Option<SimTime> {
+        self.last_switch[vcpu].or(self.baseline)
+    }
+}
+
+impl Auditor for Goshd {
+    fn name(&self) -> &str {
+        "goshd"
+    }
+
+    fn subscriptions(&self) -> EventMask {
+        EventMask::only(EventClass::ProcessSwitch).with(EventClass::ThreadSwitch)
+    }
+
+    fn on_event(&mut self, _vm: &mut VmState, event: &Event, _sink: &mut dyn FindingSink) {
+        if self.baseline.is_none() {
+            self.baseline = Some(event.time);
+        }
+        let v = event.vcpu.0;
+        if v < self.last_switch.len() {
+            self.last_switch[v] = Some(event.time);
+            // Note: the paper's GOSHD does not auto-clear alarms; a
+            // recovered vCPU stays flagged for the operator. We keep that
+            // latched behaviour.
+        }
+    }
+
+    fn on_tick(&mut self, _vm: &mut VmState, now: SimTime, sink: &mut dyn FindingSink) {
+        if self.baseline.is_none() {
+            self.baseline = Some(now);
+            return;
+        }
+        for v in 0..self.last_switch.len() {
+            if self.hung[v] {
+                continue;
+            }
+            let Some(last) = self.effective_last(v) else { continue };
+            if now.saturating_since(last) > self.threshold {
+                self.hung[v] = true;
+                let scope = self.scope().expect("just flagged one");
+                self.alarms.push(HangAlarm {
+                    vcpu: VcpuId(v),
+                    detected_at: now,
+                    last_switch: last,
+                    scope,
+                });
+                sink.report(Finding::new(
+                    "goshd",
+                    now,
+                    Severity::Alert,
+                    format!(
+                        "vcpu{v} hung: no context switch since {last} ({scope:?} hang)"
+                    ),
+                ));
+            }
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypertap_core::event::{EventKind, VmId};
+    use hypertap_hvsim::exit::VcpuSnapshot;
+    use hypertap_hvsim::machine::{Machine, VmConfig};
+    use hypertap_hvsim::mem::Gpa;
+    use hypertap_hvsim::vcpu::Vcpu;
+
+    fn vm_state() -> VmState {
+        struct NoHv;
+        impl hypertap_hvsim::machine::Hypervisor for NoHv {
+            fn handle_exit(
+                &mut self,
+                _vm: &mut VmState,
+                _exit: &hypertap_hvsim::exit::VmExit,
+            ) -> hypertap_hvsim::exit::ExitAction {
+                hypertap_hvsim::exit::ExitAction::Resume
+            }
+        }
+        Machine::new(VmConfig::new(2, 1 << 20), NoHv).into_parts().0
+    }
+
+    fn switch_event(vcpu: usize, t_ms: u64) -> Event {
+        Event {
+            vm: VmId(0),
+            vcpu: VcpuId(vcpu),
+            time: SimTime::from_millis(t_ms),
+            kind: EventKind::ProcessSwitch { new_pdba: Gpa::new(0x1000) },
+            state: VcpuSnapshot::capture(&Vcpu::new(VcpuId(vcpu))),
+        }
+    }
+
+    fn cfg_ms(ms: u64) -> GoshdConfig {
+        GoshdConfig { threshold: Duration::from_millis(ms) }
+    }
+
+    #[test]
+    fn healthy_vcpus_never_alarm() {
+        let mut g = Goshd::new(2, cfg_ms(100));
+        let mut vm = vm_state();
+        let mut sink: Vec<Finding> = Vec::new();
+        for t in (0..1000).step_by(50) {
+            g.on_event(&mut vm, &switch_event(0, t), &mut sink);
+            g.on_event(&mut vm, &switch_event(1, t), &mut sink);
+            g.on_tick(&mut vm, SimTime::from_millis(t), &mut sink);
+        }
+        assert!(g.alarms().is_empty());
+        assert_eq!(g.scope(), None);
+    }
+
+    #[test]
+    fn partial_then_full_hang() {
+        let mut g = Goshd::new(2, cfg_ms(100));
+        let mut vm = vm_state();
+        let mut sink: Vec<Finding> = Vec::new();
+        // Both vCPUs healthy until t=200; vCPU 1 dies after 200, vCPU 0
+        // after 500.
+        for t in (0..=200).step_by(50) {
+            g.on_event(&mut vm, &switch_event(0, t), &mut sink);
+            g.on_event(&mut vm, &switch_event(1, t), &mut sink);
+        }
+        for t in (250..=500).step_by(50) {
+            g.on_event(&mut vm, &switch_event(0, t), &mut sink);
+        }
+        for t in (0..=1000).step_by(10) {
+            g.on_tick(&mut vm, SimTime::from_millis(t), &mut sink);
+        }
+        assert_eq!(g.alarms().len(), 2);
+        let a0 = &g.alarms()[0];
+        assert_eq!(a0.vcpu, VcpuId(1));
+        assert_eq!(a0.scope, HangScope::Partial);
+        // Detected just past last_switch + threshold.
+        assert_eq!(a0.last_switch, SimTime::from_millis(200));
+        assert_eq!(a0.detected_at, SimTime::from_millis(310));
+        let a1 = &g.alarms()[1];
+        assert_eq!(a1.vcpu, VcpuId(0));
+        assert_eq!(a1.scope, HangScope::Full);
+        assert_eq!(g.scope(), Some(HangScope::Full));
+        assert!(g.full_hang_at().is_some());
+        assert_eq!(sink.len(), 2);
+        assert!(sink.iter().all(|f| f.severity == Severity::Alert));
+    }
+
+    #[test]
+    fn threshold_is_exclusive() {
+        let mut g = Goshd::new(1, cfg_ms(100));
+        let mut vm = vm_state();
+        let mut sink: Vec<Finding> = Vec::new();
+        g.on_event(&mut vm, &switch_event(0, 0), &mut sink);
+        g.on_tick(&mut vm, SimTime::from_millis(100), &mut sink);
+        assert!(g.alarms().is_empty(), "exactly the threshold: not yet hung");
+        g.on_tick(&mut vm, SimTime::from_millis(101), &mut sink);
+        assert_eq!(g.alarms().len(), 1);
+    }
+
+    #[test]
+    fn baseline_prevents_boot_false_alarm() {
+        // No events at all: the first tick establishes the baseline, so the
+        // alarm fires only a full threshold after monitoring started.
+        let mut g = Goshd::new(1, cfg_ms(100));
+        let mut vm = vm_state();
+        let mut sink: Vec<Finding> = Vec::new();
+        g.on_tick(&mut vm, SimTime::from_millis(500), &mut sink);
+        assert!(g.alarms().is_empty());
+        g.on_tick(&mut vm, SimTime::from_millis(550), &mut sink);
+        assert!(g.alarms().is_empty());
+        g.on_tick(&mut vm, SimTime::from_millis(601), &mut sink);
+        assert_eq!(g.alarms().len(), 1);
+    }
+
+    #[test]
+    fn config_from_profile() {
+        let c = GoshdConfig::from_profiled_slice(Duration::from_secs(2));
+        assert_eq!(c.threshold, Duration::from_secs(4));
+        assert_eq!(GoshdConfig::paper_default().threshold, Duration::from_secs(4));
+    }
+
+    #[test]
+    fn alarms_latch() {
+        let mut g = Goshd::new(1, cfg_ms(100));
+        let mut vm = vm_state();
+        let mut sink: Vec<Finding> = Vec::new();
+        g.on_event(&mut vm, &switch_event(0, 0), &mut sink);
+        g.on_tick(&mut vm, SimTime::from_millis(200), &mut sink);
+        assert!(g.is_hung(VcpuId(0)));
+        // Late recovery does not clear the alarm, and no duplicate fires.
+        g.on_event(&mut vm, &switch_event(0, 300), &mut sink);
+        g.on_tick(&mut vm, SimTime::from_millis(600), &mut sink);
+        assert_eq!(g.alarms().len(), 1);
+    }
+}

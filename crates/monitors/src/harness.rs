@@ -1,0 +1,347 @@
+//! Assembly harness: a monitored VM in a few lines.
+//!
+//! [`TapVmBuilder`] wires together the standard stack: a [`Machine`] whose
+//! hypervisor is the HyperTap-enabled [`Kvm`] with the full interception
+//! engine set installed, a simulated guest [`Kernel`], a host timer driving
+//! the Event Multiplexer's periodic auditors, and whichever monitors the
+//! caller selects.
+
+use hypertap_core::intercept::{
+    FastSyscallEngine, IntSyscallEngine, IoEngine, ProcessSwitchEngine, ThreadSwitchEngine,
+    TssIntegrityEngine,
+};
+use hypertap_core::kvm::Kvm;
+use hypertap_core::prelude::Finding;
+use hypertap_guestos::kernel::{Kernel, KernelConfig};
+use hypertap_guestos::layout;
+use crate::goshd::{Goshd, GoshdConfig};
+use crate::hrkd::Hrkd;
+use crate::ninja::hninja::HNinja;
+use crate::ninja::htninja::HtNinja;
+use crate::ninja::rules::NinjaRules;
+use hypertap_hvsim::clock::{Duration, SimTime};
+use hypertap_hvsim::machine::{Machine, RunExit, VmConfig};
+
+/// Which interception engines to install.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineSelection {
+    /// CR3-load interception (process switches).
+    pub process_switch: bool,
+    /// TSS write-protection (thread switches).
+    pub thread_switch: bool,
+    /// TSS-relocation integrity checking.
+    pub tss_integrity: bool,
+    /// Exception-bitmap syscall interception (`INT 0x80`).
+    pub int_syscall: bool,
+    /// WRMSR + execute-protection syscall interception (`SYSENTER`).
+    pub fast_syscall: bool,
+    /// I/O access decoding.
+    pub io: bool,
+    /// Fine-grained memory watching (§VI-D); frames are watched explicitly
+    /// at runtime (e.g. by [`crate::integrity::KernelIntegrity`]).
+    pub fine_grained: bool,
+}
+
+impl EngineSelection {
+    /// Everything on (the default).
+    pub fn all() -> Self {
+        EngineSelection {
+            process_switch: true,
+            thread_switch: true,
+            tss_integrity: true,
+            int_syscall: true,
+            fast_syscall: true,
+            io: true,
+            fine_grained: true,
+        }
+    }
+
+    /// Only what context-switch monitors (GOSHD, HRKD) need.
+    pub fn context_switch_only() -> Self {
+        EngineSelection {
+            process_switch: true,
+            thread_switch: true,
+            tss_integrity: false,
+            int_syscall: false,
+            fast_syscall: false,
+            io: false,
+            fine_grained: false,
+        }
+    }
+
+    /// Nothing at all (unmonitored baseline for overhead measurements).
+    pub fn none() -> Self {
+        EngineSelection {
+            process_switch: false,
+            thread_switch: false,
+            tss_integrity: false,
+            int_syscall: false,
+            fast_syscall: false,
+            io: false,
+            fine_grained: false,
+        }
+    }
+}
+
+impl Default for EngineSelection {
+    fn default() -> Self {
+        EngineSelection::all()
+    }
+}
+
+/// Builder for a monitored VM.
+pub struct TapVmBuilder {
+    vcpus: usize,
+    memory: u64,
+    kernel_cfg: Option<KernelConfig>,
+    engines: EngineSelection,
+    em_tick: Duration,
+    goshd: Option<GoshdConfig>,
+    hrkd: bool,
+    hrkd_period: Option<Duration>,
+    htninja: Option<NinjaRules>,
+    htninja_pause: bool,
+    hninja: Option<(NinjaRules, Duration)>,
+}
+
+impl TapVmBuilder {
+    /// Starts from the paper's default guest: 2 vCPUs, 1 GiB RAM,
+    /// non-preemptible kernel, all engines installed, no monitors.
+    pub fn new() -> Self {
+        TapVmBuilder {
+            vcpus: 2,
+            memory: 1 << 30,
+            kernel_cfg: None,
+            engines: EngineSelection::all(),
+            em_tick: Duration::from_millis(1),
+            goshd: None,
+            hrkd: false,
+            hrkd_period: None,
+            htninja: None,
+            htninja_pause: false,
+            hninja: None,
+        }
+    }
+
+    /// Sets the vCPU count.
+    pub fn vcpus(mut self, n: usize) -> Self {
+        self.vcpus = n;
+        self
+    }
+
+    /// Sets guest-physical memory size.
+    pub fn memory(mut self, bytes: u64) -> Self {
+        self.memory = bytes;
+        self
+    }
+
+    /// Supplies a custom kernel configuration (vCPU count is overridden to
+    /// match the machine's).
+    pub fn kernel(mut self, cfg: KernelConfig) -> Self {
+        self.kernel_cfg = Some(cfg);
+        self
+    }
+
+    /// Chooses which interception engines to install.
+    pub fn engines(mut self, sel: EngineSelection) -> Self {
+        self.engines = sel;
+        self
+    }
+
+    /// Sets the Event Multiplexer's host-timer period (drives `on_tick`).
+    pub fn em_tick(mut self, period: Duration) -> Self {
+        self.em_tick = period;
+        self
+    }
+
+    /// Registers GOSHD.
+    pub fn goshd(mut self, cfg: GoshdConfig) -> Self {
+        self.goshd = Some(cfg);
+        self
+    }
+
+    /// Registers HRKD (manual cross-validation; see
+    /// [`TapVmBuilder::hrkd_periodic`] for automatic checks).
+    pub fn hrkd(mut self) -> Self {
+        self.hrkd = true;
+        self
+    }
+
+    /// Registers HRKD with periodic automatic VMI cross-validation.
+    pub fn hrkd_periodic(mut self, period: Duration) -> Self {
+        self.hrkd = true;
+        self.hrkd_period = Some(period);
+        self
+    }
+
+    /// Registers HT-Ninja.
+    pub fn htninja(mut self, rules: NinjaRules) -> Self {
+        self.htninja = Some(rules);
+        self
+    }
+
+    /// Registers HT-Ninja with pause-on-detect enforcement.
+    pub fn htninja_pausing(mut self, rules: NinjaRules) -> Self {
+        self.htninja = Some(rules);
+        self.htninja_pause = true;
+        self
+    }
+
+    /// Registers H-Ninja (hypervisor-level passive VMI poller).
+    pub fn hninja(mut self, rules: NinjaRules, interval: Duration) -> Self {
+        self.hninja = Some((rules, interval));
+        self
+    }
+
+    /// Builds the monitored VM (guest not yet booted; it boots on the first
+    /// step of [`TapVm::run_for`]).
+    pub fn build(self) -> TapVm {
+        let mut machine = Machine::new(VmConfig::new(self.vcpus, self.memory), Kvm::new());
+        {
+            let (vm, kvm) = machine.parts_mut();
+            if self.engines.process_switch {
+                kvm.install(vm, Box::new(ProcessSwitchEngine::new()));
+            }
+            if self.engines.thread_switch {
+                kvm.install(vm, Box::new(ThreadSwitchEngine::new()));
+            }
+            if self.engines.tss_integrity {
+                kvm.install(vm, Box::new(TssIntegrityEngine::new()));
+            }
+            if self.engines.int_syscall {
+                kvm.install(vm, Box::new(IntSyscallEngine::new()));
+            }
+            if self.engines.fast_syscall {
+                kvm.install(vm, Box::new(FastSyscallEngine::new()));
+            }
+            if self.engines.io {
+                kvm.install(vm, Box::new(IoEngine::new()));
+            }
+            if self.engines.fine_grained {
+                kvm.install(vm, Box::new(
+                    hypertap_core::intercept::FineGrainedEngine::new(),
+                ));
+            }
+            vm.register_host_timer(self.em_tick);
+
+            let profile = layout::os_profile();
+            if let Some(cfg) = self.goshd {
+                kvm.em.register(Box::new(Goshd::new(self.vcpus, cfg)));
+            }
+            if self.hrkd {
+                let mut hrkd = Hrkd::new(profile.clone(), layout::KERNEL_TEXT);
+                if let Some(p) = self.hrkd_period {
+                    hrkd = hrkd.with_periodic_check(p);
+                }
+                kvm.em.register(Box::new(hrkd));
+            }
+            if let Some(rules) = self.htninja {
+                let mut n = HtNinja::new(profile.clone(), rules, self.vcpus);
+                if self.htninja_pause {
+                    n = n.with_pause_on_detect();
+                }
+                kvm.em.register(Box::new(n));
+            }
+            if let Some((rules, interval)) = self.hninja {
+                kvm.em.register(Box::new(HNinja::new(profile, rules, interval)));
+            }
+        }
+        let kcfg = match self.kernel_cfg {
+            Some(mut c) => {
+                c.vcpus = self.vcpus;
+                c
+            }
+            None => KernelConfig::new(self.vcpus),
+        };
+        TapVm { machine, kernel: Kernel::new(kcfg) }
+    }
+}
+
+impl Default for TapVmBuilder {
+    fn default() -> Self {
+        TapVmBuilder::new()
+    }
+}
+
+/// A monitored VM: machine (with the HyperTap hypervisor) plus guest kernel.
+pub struct TapVm {
+    /// The simulated machine; its hypervisor is the [`Kvm`] model.
+    pub machine: Machine<Kvm>,
+    /// The guest kernel (configure programs/modules before running).
+    pub kernel: Kernel,
+}
+
+impl TapVm {
+    /// Starts a builder.
+    pub fn builder() -> TapVmBuilder {
+        TapVmBuilder::new()
+    }
+
+    /// Runs the guest for `d` more simulated time (from the current clock).
+    pub fn run_for(&mut self, d: Duration) -> RunExit {
+        let deadline = self.machine.vm().now() + d;
+        self.machine.run_until(&mut self.kernel, deadline)
+    }
+
+    /// Runs the guest until an absolute simulated time.
+    pub fn run_until(&mut self, deadline: SimTime) -> RunExit {
+        self.machine.run_until(&mut self.kernel, deadline)
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.machine.vm().now()
+    }
+
+    /// Drains every finding the monitors produced so far.
+    pub fn drain_findings(&mut self) -> Vec<Finding> {
+        self.machine.hypervisor_mut().em.drain_findings()
+    }
+
+    /// Convenience accessor for a registered auditor by type.
+    pub fn auditor<A: hypertap_core::audit::Auditor + 'static>(&self) -> Option<&A> {
+        self.machine.hypervisor().em.auditor::<A>()
+    }
+
+    /// Mutable accessor for a registered auditor by type.
+    pub fn auditor_mut<A: hypertap_core::audit::Auditor + 'static>(&mut self) -> Option<&mut A> {
+        self.machine.hypervisor_mut().em.auditor_mut::<A>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_build() {
+        let vm = TapVm::builder().build();
+        assert_eq!(vm.machine.vm().vcpu_count(), 2);
+        assert_eq!(vm.machine.hypervisor().engine_names().len(), 7);
+    }
+
+    #[test]
+    fn engine_selection_respected() {
+        let vm = TapVm::builder().engines(EngineSelection::context_switch_only()).build();
+        let names = vm.machine.hypervisor().engine_names();
+        assert!(names.contains(&"process-switch"));
+        assert!(names.contains(&"thread-switch"));
+        assert!(!names.contains(&"fast-syscall"));
+        let none = TapVm::builder().engines(EngineSelection::none()).build();
+        assert!(none.machine.hypervisor().engine_names().is_empty());
+    }
+
+    #[test]
+    fn monitors_register() {
+        let vm = TapVm::builder()
+            .goshd(GoshdConfig::paper_default())
+            .hrkd()
+            .htninja(NinjaRules::new())
+            .hninja(NinjaRules::new(), Duration::from_millis(4))
+            .build();
+        assert!(vm.auditor::<Goshd>().is_some());
+        assert!(vm.auditor::<Hrkd>().is_some());
+        assert!(vm.auditor::<HtNinja>().is_some());
+        assert!(vm.auditor::<HNinja>().is_some());
+    }
+}

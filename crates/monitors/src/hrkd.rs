@@ -1,0 +1,313 @@
+//! Hidden Rootkit Detection (HRKD) — paper §VII-B.
+//!
+//! Rootkits hide processes by corrupting guest-kernel data structures (DKOM
+//! unlinking, syscall hijacking, kmem patching). HRKD side-steps the entire
+//! class: each time a process or thread is *scheduled*, the hardware must
+//! load its PDBA into CR3 / its kernel stack into `TSS.RSP0`, and HyperTap
+//! logs that — so HRKD's trusted sets of address spaces and kernel stacks
+//! reflect exactly what runs, regardless of what any list claims.
+//!
+//! Detection is by **cross-view validation**: the trusted (architectural)
+//! view is compared against untrusted views — the in-guest `ps` output or a
+//! traditional VMI list walk. An entry in the trusted view missing from an
+//! untrusted view is a hidden task.
+
+use hypertap_core::audit::{Auditor, Finding, FindingSink, Severity};
+use hypertap_core::derive;
+use hypertap_core::event::{Event, EventClass, EventKind, EventMask};
+use hypertap_core::intercept::ProcessCounter;
+use hypertap_core::profile::OsProfile;
+use hypertap_core::vmi;
+use hypertap_hvsim::clock::SimTime;
+use hypertap_hvsim::machine::VmState;
+use hypertap_hvsim::mem::{Gpa, Gva};
+use std::any::Any;
+use std::collections::BTreeSet;
+
+/// A cross-view discrepancy found by HRKD.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HrkdReport {
+    /// When the check ran.
+    pub time: SimTime,
+    /// Address spaces (PDBAs) running on the CPU but absent from the
+    /// untrusted view.
+    pub hidden_pdbas: Vec<u64>,
+    /// Kernel stacks (thread identities) running on the CPU but absent from
+    /// the untrusted view.
+    pub hidden_kstacks: Vec<u64>,
+    /// Which untrusted view was compared ("vmi" or "in-guest").
+    pub compared_against: &'static str,
+}
+
+impl HrkdReport {
+    /// Whether anything was hidden.
+    pub fn is_clean(&self) -> bool {
+        self.hidden_pdbas.is_empty() && self.hidden_kstacks.is_empty()
+    }
+}
+
+/// The HRKD auditor.
+#[derive(Debug)]
+pub struct Hrkd {
+    profile: OsProfile,
+    counter: ProcessCounter,
+    kstacks: BTreeSet<u64>,
+    known_gva: Gva,
+    first_pdba: Option<u64>,
+    reports: Vec<HrkdReport>,
+    check_period: Option<hypertap_hvsim::clock::Duration>,
+    last_check: SimTime,
+}
+
+impl Hrkd {
+    /// Creates HRKD. `known_gva` is a kernel address mapped in every live
+    /// address space (the Fig. 3A validity probe); `profile` describes the
+    /// guest for the untrusted VMI comparison view.
+    pub fn new(profile: OsProfile, known_gva: Gva) -> Self {
+        Hrkd {
+            profile,
+            counter: ProcessCounter::new(),
+            kstacks: BTreeSet::new(),
+            known_gva,
+            first_pdba: None,
+            reports: Vec::new(),
+            check_period: None,
+            last_check: SimTime::ZERO,
+        }
+    }
+
+    /// Enables automatic periodic cross-validation against VMI.
+    pub fn with_periodic_check(mut self, period: hypertap_hvsim::clock::Duration) -> Self {
+        self.check_period = Some(period);
+        self
+    }
+
+    /// The trusted count of live user address spaces (prunes dead PDBAs via
+    /// the validity probe, excludes the kernel's own directory).
+    pub fn trusted_process_count(&mut self, vm: &VmState) -> usize {
+        let n = self.counter.count_valid(&vm.mem, self.known_gva);
+        match self.first_pdba {
+            Some(k) if self.counter.contains(Gpa::new(k)) => n - 1,
+            _ => n,
+        }
+    }
+
+    /// The trusted set of live user PDBAs.
+    pub fn trusted_pdbas(&mut self, vm: &VmState) -> Vec<u64> {
+        self.counter.count_valid(&vm.mem, self.known_gva);
+        self.counter
+            .iter()
+            .map(|g| g.value())
+            .filter(|p| Some(*p) != self.first_pdba)
+            .collect()
+    }
+
+    /// The trusted set of live kernel stacks (threads), validated by
+    /// attempting the architectural derivation chain on each: a stack whose
+    /// `thread_info` no longer names a live task is pruned.
+    pub fn trusted_kstacks(&mut self, vm: &VmState) -> Vec<u64> {
+        let cr3 = vm.vcpu(hypertap_hvsim::vcpu::VcpuId(0)).cr3();
+        let profile = &self.profile;
+        let live: BTreeSet<u64> = self
+            .kstacks
+            .iter()
+            .copied()
+            .filter(|&rsp0| {
+                derive::task_from_kernel_stack(&vm.mem, cr3, profile, rsp0)
+                    .map(|t| t.pid != 0 && t.kstack == rsp0)
+                    .unwrap_or(false)
+            })
+            .collect();
+        self.kstacks = live.clone();
+        live.into_iter().collect()
+    }
+
+    /// Cross-validates the trusted views against traditional VMI (the list
+    /// walk a DKOM rootkit corrupts). Records and returns the report.
+    pub fn cross_validate_vmi(&mut self, vm: &VmState, now: SimTime) -> HrkdReport {
+        let cr3 = vm.vcpu(hypertap_hvsim::vcpu::VcpuId(0)).cr3();
+        let (vmi_pdbas, vmi_kstacks): (BTreeSet<u64>, BTreeSet<u64>) =
+            match vmi::list_tasks(&vm.mem, cr3, &self.profile, 8192) {
+                Ok(tasks) => (
+                    tasks.iter().filter(|t| t.pdba != 0).map(|t| t.pdba).collect(),
+                    tasks.iter().map(|t| t.kstack).collect(),
+                ),
+                Err(_) => (BTreeSet::new(), BTreeSet::new()),
+            };
+        let hidden_pdbas: Vec<u64> = self
+            .trusted_pdbas(vm)
+            .into_iter()
+            .filter(|p| !vmi_pdbas.contains(p))
+            .collect();
+        let hidden_kstacks: Vec<u64> = self
+            .trusted_kstacks(vm)
+            .into_iter()
+            .filter(|k| !vmi_kstacks.contains(k))
+            .collect();
+        let report =
+            HrkdReport { time: now, hidden_pdbas, hidden_kstacks, compared_against: "vmi" };
+        self.reports.push(report.clone());
+        report
+    }
+
+    /// Cross-validates the trusted process count against an in-guest view
+    /// (e.g. the pid list a `ps` process obtained). A shortfall in the
+    /// untrusted count reveals hiding; the report carries the trusted PDBAs
+    /// that could not be matched by count.
+    pub fn cross_validate_in_guest(
+        &mut self,
+        vm: &VmState,
+        now: SimTime,
+        in_guest_user_process_count: usize,
+    ) -> HrkdReport {
+        let trusted = self.trusted_pdbas(vm);
+        let hidden = trusted.len().saturating_sub(in_guest_user_process_count);
+        let report = HrkdReport {
+            time: now,
+            hidden_pdbas: trusted.into_iter().take(hidden).collect(),
+            hidden_kstacks: Vec::new(),
+            compared_against: "in-guest",
+        };
+        self.reports.push(report.clone());
+        report
+    }
+
+    /// All recorded reports.
+    pub fn reports(&self) -> &[HrkdReport] {
+        &self.reports
+    }
+
+    /// Reports that found something.
+    pub fn detections(&self) -> impl Iterator<Item = &HrkdReport> {
+        self.reports.iter().filter(|r| !r.is_clean())
+    }
+}
+
+impl Auditor for Hrkd {
+    fn name(&self) -> &str {
+        "hrkd"
+    }
+
+    fn subscriptions(&self) -> EventMask {
+        EventMask::only(EventClass::ProcessSwitch).with(EventClass::ThreadSwitch)
+    }
+
+    fn on_event(&mut self, _vm: &mut VmState, event: &Event, _sink: &mut dyn FindingSink) {
+        match event.kind {
+            EventKind::ProcessSwitch { new_pdba } => {
+                if self.first_pdba.is_none() {
+                    // The first CR3 the guest ever loads is the kernel's own
+                    // directory, not a user process.
+                    self.first_pdba = Some(new_pdba.value());
+                }
+                self.counter.observe(new_pdba);
+            }
+            EventKind::ThreadSwitch { kernel_stack } => {
+                self.kstacks.insert(kernel_stack);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_tick(&mut self, vm: &mut VmState, now: SimTime, sink: &mut dyn FindingSink) {
+        let Some(period) = self.check_period else { return };
+        if now.saturating_since(self.last_check) < period {
+            return;
+        }
+        self.last_check = now;
+        let report = self.cross_validate_vmi(vm, now);
+        if !report.is_clean() {
+            sink.report(Finding::new(
+                "hrkd",
+                now,
+                Severity::Alert,
+                format!(
+                    "hidden task(s): {} address space(s), {} kernel stack(s) \
+                     running but absent from the guest task list",
+                    report.hidden_pdbas.len(),
+                    report.hidden_kstacks.len()
+                ),
+            ));
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypertap_core::event::VmId;
+    use hypertap_hvsim::exit::VcpuSnapshot;
+    use hypertap_hvsim::machine::{Machine, VmConfig};
+    use hypertap_hvsim::vcpu::{Vcpu, VcpuId};
+
+    fn vm_state() -> VmState {
+        struct NoHv;
+        impl hypertap_hvsim::machine::Hypervisor for NoHv {
+            fn handle_exit(
+                &mut self,
+                _vm: &mut VmState,
+                _exit: &hypertap_hvsim::exit::VmExit,
+            ) -> hypertap_hvsim::exit::ExitAction {
+                hypertap_hvsim::exit::ExitAction::Resume
+            }
+        }
+        Machine::new(VmConfig::new(1, 1 << 20), NoHv).into_parts().0
+    }
+
+    fn profile() -> OsProfile {
+        hypertap_guestos::layout::os_profile()
+    }
+
+    fn ev(kind: EventKind) -> Event {
+        Event {
+            vm: VmId(0),
+            vcpu: VcpuId(0),
+            time: SimTime::from_millis(1),
+            kind,
+            state: VcpuSnapshot::capture(&Vcpu::new(VcpuId(0))),
+        }
+    }
+
+    #[test]
+    fn first_pdba_is_treated_as_kernel() {
+        let mut h = Hrkd::new(profile(), Gva::new(0x3000_0000));
+        let mut vm = vm_state();
+        let mut sink: Vec<Finding> = Vec::new();
+        h.on_event(&mut vm, &ev(EventKind::ProcessSwitch { new_pdba: Gpa::new(0x5000) }), &mut sink);
+        h.on_event(&mut vm, &ev(EventKind::ProcessSwitch { new_pdba: Gpa::new(0x6000) }), &mut sink);
+        // Neither PDBA validates against the probe (no page tables exist in
+        // this synthetic VM), so both are pruned — count 0 either way. The
+        // point here is only the kernel-directory exclusion logic.
+        assert_eq!(h.first_pdba, Some(0x5000));
+    }
+
+    #[test]
+    fn kstack_events_accumulate() {
+        let mut h = Hrkd::new(profile(), Gva::new(0x3000_0000));
+        let mut vm = vm_state();
+        let mut sink: Vec<Finding> = Vec::new();
+        h.on_event(&mut vm, &ev(EventKind::ThreadSwitch { kernel_stack: 0xA000 }), &mut sink);
+        h.on_event(&mut vm, &ev(EventKind::ThreadSwitch { kernel_stack: 0xB000 }), &mut sink);
+        h.on_event(&mut vm, &ev(EventKind::ThreadSwitch { kernel_stack: 0xA000 }), &mut sink);
+        assert_eq!(h.kstacks.len(), 2);
+    }
+
+    #[test]
+    fn in_guest_count_comparison() {
+        let mut h = Hrkd::new(profile(), Gva::new(0x3000_0000));
+        let vm = vm_state();
+        // With no observed PDBAs, any in-guest count is clean.
+        let r = h.cross_validate_in_guest(&vm, SimTime::ZERO, 5);
+        assert!(r.is_clean());
+        assert_eq!(h.reports().len(), 1);
+        assert_eq!(h.detections().count(), 0);
+    }
+}

@@ -1,0 +1,46 @@
+//! # hypertap-monitors — the example auditors of the HyperTap paper
+//!
+//! Three monitors demonstrate the framework (paper §VII):
+//!
+//! * [`goshd`] — **Guest OS Hang Detection**: a reliability monitor that
+//!   watches the per-vCPU stream of context-switch events and raises an
+//!   alarm when a vCPU stops scheduling for longer than a threshold,
+//!   distinguishing *partial* hangs (a proper subset of vCPUs) from *full*
+//!   hangs.
+//! * [`hrkd`] — **Hidden Rootkit Detection**: a security monitor that counts
+//!   processes and threads from architectural invariants (CR3 loads,
+//!   `TSS.RSP0` writes) and cross-validates the trusted counts against
+//!   untrusted views (in-guest `ps`, traditional VMI); a discrepancy reveals
+//!   a hidden task regardless of the hiding technique.
+//! * [`ninja`] — **Privilege Escalation Detection**: three implementations
+//!   of the Ninja checking rules — the original in-guest poller (O-Ninja),
+//!   a hypervisor-level passive VMI poller (H-Ninja) and the HyperTap
+//!   active-monitoring version (HT-Ninja) — used to demonstrate why active
+//!   monitoring on architectural invariants beats passive monitoring.
+//!
+//! GOSHD and HRKD deliberately consume the *same* logged events
+//! (context switches), demonstrating the unified-logging claim: one logging
+//! phase feeds a reliability monitor and a security monitor simultaneously.
+
+pub mod counters;
+pub mod goshd;
+pub mod harness;
+pub mod hrkd;
+pub mod integrity;
+pub mod ninja;
+pub mod syscall_ids;
+
+/// Glob import of the monitors.
+pub mod prelude {
+    pub use crate::harness::{EngineSelection, TapVm, TapVmBuilder};
+    pub use crate::goshd::{Goshd, GoshdConfig, HangAlarm, HangScope};
+    pub use crate::hrkd::{Hrkd, HrkdReport};
+    pub use crate::counters::{EventCounters, IntervalSample};
+    pub use crate::integrity::{CodePatchAttempt, KernelIntegrity};
+    pub use crate::syscall_ids::{Anomaly, IdsPhase, SyscallIds};
+    pub use crate::ninja::{
+        hninja::HNinja, htninja::HtNinja, oninja, rules::NinjaRules, Detection,
+    };
+}
+
+pub use prelude::*;

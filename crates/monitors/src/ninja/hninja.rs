@@ -1,0 +1,181 @@
+//! H-Ninja: Ninja re-hosted at the hypervisor with traditional VMI.
+//!
+//! Moving the poller out of the guest removes the `/proc` side channel (an
+//! attacker can no longer observe its schedule) and makes spamming less
+//! effective (its scan is a host-side memory walk). But it remains
+//! **passive** — it samples the guest's task list at an interval — and it
+//! still trusts guest-kernel data, so transient attacks that finish between
+//! polls and DKOM rootkits both defeat it.
+
+use super::rules::NinjaRules;
+use super::Detection;
+use hypertap_core::audit::{Auditor, Finding, FindingSink, Severity};
+use hypertap_core::event::{Event, EventMask};
+use hypertap_core::profile::OsProfile;
+use hypertap_core::vmi;
+use hypertap_hvsim::clock::{Duration, SimTime};
+use hypertap_hvsim::machine::VmState;
+use hypertap_hvsim::vcpu::VcpuId;
+use std::any::Any;
+use std::collections::BTreeSet;
+
+/// The H-Ninja auditor (event subscriptions: none — it polls).
+#[derive(Debug)]
+pub struct HNinja {
+    profile: OsProfile,
+    rules: NinjaRules,
+    interval: Duration,
+    last_check: Option<SimTime>,
+    detections: Vec<Detection>,
+    reported: BTreeSet<u64>,
+    scans: u64,
+    scan_times: Vec<SimTime>,
+}
+
+impl HNinja {
+    /// Creates H-Ninja polling at `interval`.
+    pub fn new(profile: OsProfile, rules: NinjaRules, interval: Duration) -> Self {
+        HNinja {
+            profile,
+            rules,
+            interval,
+            last_check: None,
+            detections: Vec::new(),
+            reported: BTreeSet::new(),
+            scans: 0,
+            scan_times: Vec::new(),
+        }
+    }
+
+    /// Detections so far.
+    pub fn detections(&self) -> &[Detection] {
+        &self.detections
+    }
+
+    /// Number of completed scans.
+    pub fn scans(&self) -> u64 {
+        self.scans
+    }
+
+    /// Times of the scans performed so far (bounded to the most recent
+    /// 10,000 for long runs).
+    pub fn scan_times(&self) -> &[SimTime] {
+        &self.scan_times
+    }
+
+    /// Runs one scan immediately (also used by the periodic tick).
+    pub fn scan(&mut self, vm: &VmState, now: SimTime) -> Vec<Detection> {
+        self.scans += 1;
+        if self.scan_times.len() < 10_000 {
+            self.scan_times.push(now);
+        }
+        let cr3 = vm.vcpu(VcpuId(0)).cr3();
+        let Ok(tasks) = vmi::list_tasks(&vm.mem, cr3, &self.profile, 8192) else {
+            return Vec::new();
+        };
+        let mut found = Vec::new();
+        for t in &tasks {
+            let parent_uid = vmi::parent_of(&vm.mem, cr3, &self.profile, t)
+                .ok()
+                .flatten()
+                .map(|p| p.uid)
+                .unwrap_or(0);
+            if self.rules.violates(t.euid, parent_uid, &t.comm) && !self.reported.contains(&t.pid)
+            {
+                self.reported.insert(t.pid);
+                let d = Detection {
+                    time: now,
+                    pid: t.pid,
+                    comm: t.comm.clone(),
+                    euid: t.euid,
+                    parent_uid,
+                    via: "poll",
+                };
+                self.detections.push(d.clone());
+                found.push(d);
+            }
+        }
+        found
+    }
+}
+
+impl Auditor for HNinja {
+    fn name(&self) -> &str {
+        "h-ninja"
+    }
+
+    fn subscriptions(&self) -> EventMask {
+        EventMask::NONE
+    }
+
+    fn on_event(&mut self, _vm: &mut VmState, _event: &Event, _sink: &mut dyn FindingSink) {}
+
+    fn on_tick(&mut self, vm: &mut VmState, now: SimTime, sink: &mut dyn FindingSink) {
+        let due = match self.last_check {
+            Some(last) => now.saturating_since(last) >= self.interval,
+            None => true,
+        };
+        if !due {
+            return;
+        }
+        self.last_check = Some(now);
+        for d in self.scan(vm, now) {
+            sink.report(Finding::new(
+                "h-ninja",
+                now,
+                Severity::Alert,
+                format!("privilege-escalated process pid {} ({})", d.pid, d.comm),
+            ));
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypertap_guestos::layout;
+
+    #[test]
+    fn subscribes_to_nothing() {
+        let n = HNinja::new(layout::os_profile(), NinjaRules::new(), Duration::from_millis(4));
+        assert!(n.subscriptions().is_empty());
+        assert_eq!(n.scans(), 0);
+        assert!(n.detections().is_empty());
+    }
+
+    #[test]
+    fn tick_respects_interval() {
+        struct NoHv;
+        impl hypertap_hvsim::machine::Hypervisor for NoHv {
+            fn handle_exit(
+                &mut self,
+                _vm: &mut VmState,
+                _exit: &hypertap_hvsim::exit::VmExit,
+            ) -> hypertap_hvsim::exit::ExitAction {
+                hypertap_hvsim::exit::ExitAction::Resume
+            }
+        }
+        let mut vm = hypertap_hvsim::machine::Machine::new(
+            hypertap_hvsim::machine::VmConfig::new(1, 1 << 20),
+            NoHv,
+        )
+        .into_parts()
+        .0;
+        let mut n =
+            HNinja::new(layout::os_profile(), NinjaRules::new(), Duration::from_millis(10));
+        let mut sink: Vec<Finding> = Vec::new();
+        for t in (0..=30).step_by(1) {
+            n.on_tick(&mut vm, SimTime::from_millis(t), &mut sink);
+        }
+        // Scans at t=0, 10, 20, 30.
+        assert_eq!(n.scans(), 4);
+    }
+}

@@ -1,0 +1,202 @@
+//! HT-Ninja: Ninja rebuilt on HyperTap's active monitoring.
+//!
+//! Two changes defeat every attack that breaks the passive versions
+//! (paper §VII-C):
+//!
+//! 1. **Active monitoring.** A process is checked at (i) its *first context
+//!    switch* — it cannot run at all without loading its PDBA into CR3 —
+//!    and (ii) *every I/O-related system call* (open/read/write/lseek), so
+//!    the check happens before any unauthorized file or network action.
+//!    There is no polling interval to hide inside.
+//! 2. **Architectural root of trust.** The checked identity is derived from
+//!    the TR/TSS chain (`TSS.RSP0` → `thread_info` → `task_struct`), not
+//!    from the `/proc` tree or the task list, so hiding a process from
+//!    those views changes nothing.
+
+use super::rules::NinjaRules;
+use super::Detection;
+use hypertap_core::audit::{Auditor, Finding, FindingSink, Severity};
+use hypertap_core::derive;
+use hypertap_core::event::{Event, EventClass, EventKind, EventMask};
+use hypertap_core::profile::{OsProfile, TaskView};
+use hypertap_core::vmi;
+use hypertap_hvsim::machine::VmState;
+use hypertap_hvsim::mem::Gpa;
+use std::any::Any;
+use std::collections::BTreeSet;
+
+/// Which syscall numbers count as I/O-related (the paper lists open, read,
+/// write, lseek).
+fn is_io_syscall(number: u64) -> bool {
+    hypertap_guestos::syscalls::Sysno::from_raw(number)
+        .map(|s| s.is_io())
+        .unwrap_or(false)
+}
+
+/// The HT-Ninja auditor.
+#[derive(Debug)]
+pub struct HtNinja {
+    profile: OsProfile,
+    rules: NinjaRules,
+    seen_pdbas: BTreeSet<u64>,
+    last_kstack: Vec<Option<u64>>,
+    detections: Vec<Detection>,
+    reported: BTreeSet<u64>,
+    pause_on_detect: bool,
+    checks: u64,
+}
+
+impl HtNinja {
+    /// Creates HT-Ninja for a machine with `vcpus` vCPUs.
+    pub fn new(profile: OsProfile, rules: NinjaRules, vcpus: usize) -> Self {
+        HtNinja {
+            profile,
+            rules,
+            seen_pdbas: BTreeSet::new(),
+            last_kstack: vec![None; vcpus],
+            detections: Vec::new(),
+            reported: BTreeSet::new(),
+            pause_on_detect: false,
+            checks: 0,
+        }
+    }
+
+    /// Makes HT-Ninja pause the VM when it detects an escalation (the
+    /// framework's enforcement hook).
+    pub fn with_pause_on_detect(mut self) -> Self {
+        self.pause_on_detect = true;
+        self
+    }
+
+    /// Detections so far.
+    pub fn detections(&self) -> &[Detection] {
+        &self.detections
+    }
+
+    /// Number of identity checks performed.
+    pub fn checks(&self) -> u64 {
+        self.checks
+    }
+
+    fn check_task(
+        &mut self,
+        vm: &mut VmState,
+        task: &TaskView,
+        cr3: Gpa,
+        via: &'static str,
+        time: hypertap_hvsim::clock::SimTime,
+        sink: &mut dyn FindingSink,
+    ) {
+        self.checks += 1;
+        let parent_uid = vmi::parent_of(&vm.mem, cr3, &self.profile, task)
+            .ok()
+            .flatten()
+            .map(|p| p.uid)
+            .unwrap_or(0);
+        if self.rules.violates(task.euid, parent_uid, &task.comm)
+            && !self.reported.contains(&task.pid)
+        {
+            self.reported.insert(task.pid);
+            self.detections.push(Detection {
+                time,
+                pid: task.pid,
+                comm: task.comm.clone(),
+                euid: task.euid,
+                parent_uid,
+                via,
+            });
+            sink.report(Finding::new(
+                "ht-ninja",
+                time,
+                Severity::Alert,
+                format!(
+                    "privilege-escalated process pid {} ({}) caught via {via}",
+                    task.pid, task.comm
+                ),
+            ));
+            if self.pause_on_detect {
+                vm.pause();
+            }
+        }
+    }
+}
+
+impl Auditor for HtNinja {
+    fn name(&self) -> &str {
+        "ht-ninja"
+    }
+
+    fn subscriptions(&self) -> EventMask {
+        EventMask::only(EventClass::ProcessSwitch)
+            .with(EventClass::ThreadSwitch)
+            .with(EventClass::Syscall)
+    }
+
+    fn on_event(&mut self, vm: &mut VmState, event: &Event, sink: &mut dyn FindingSink) {
+        let v = event.vcpu.0;
+        match event.kind {
+            EventKind::ThreadSwitch { kernel_stack }
+                if v < self.last_kstack.len() => {
+                    self.last_kstack[v] = Some(kernel_stack);
+                }
+            EventKind::ProcessSwitch { new_pdba } => {
+                if !self.seen_pdbas.insert(new_pdba.value()) {
+                    return; // not the first switch of this process
+                }
+                // First context switch: the kernel has just written the new
+                // task's stack into the TSS; derive its identity from that.
+                let Some(rsp0) = self.last_kstack.get(v).copied().flatten() else { return };
+                // The new PDBA maps the kernel region like any other.
+                if let Ok(task) =
+                    derive::task_from_kernel_stack(&vm.mem, new_pdba, &self.profile, rsp0)
+                {
+                    self.check_task(vm, &task, new_pdba, "first-switch", event.time, sink);
+                }
+            }
+            EventKind::Syscall { number, .. } if is_io_syscall(number) => {
+                // Derive the caller from the architectural chain: TR → TSS →
+                // kernel stack → thread_info → task_struct.
+                if let Ok(task) = derive::current_task(vm, event.vcpu, &self.profile) {
+                    let cr3 = vm.vcpu(event.vcpu).cr3();
+                    self.check_task(vm, &task, cr3, "io-syscall", event.time, sink);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypertap_guestos::layout;
+
+    #[test]
+    fn subscriptions_cover_switches_and_syscalls() {
+        let n = HtNinja::new(layout::os_profile(), NinjaRules::new(), 2);
+        let m = n.subscriptions();
+        assert!(m.contains(EventClass::ProcessSwitch));
+        assert!(m.contains(EventClass::ThreadSwitch));
+        assert!(m.contains(EventClass::Syscall));
+        assert!(!m.contains(EventClass::Io));
+    }
+
+    #[test]
+    fn io_syscall_classifier() {
+        use hypertap_guestos::syscalls::Sysno;
+        assert!(is_io_syscall(Sysno::Read.raw()));
+        assert!(is_io_syscall(Sysno::Write.raw()));
+        assert!(is_io_syscall(Sysno::Open.raw()));
+        assert!(is_io_syscall(Sysno::Lseek.raw()));
+        assert!(!is_io_syscall(Sysno::Getpid.raw()));
+        assert!(!is_io_syscall(9999));
+    }
+}

@@ -1,0 +1,39 @@
+//! The three Ninjas — privilege escalation detection (paper §VII-C, §VIII-C).
+//!
+//! Ninja is a real-world in-guest detector that periodically scans the
+//! process list for root processes whose parent is not an authorized
+//! ("magic group") user. The paper builds three versions to compare
+//! monitoring disciplines:
+//!
+//! | Version | Vantage point | Discipline | Defeated by |
+//! |---|---|---|---|
+//! | [`oninja`] (O-Ninja) | inside the guest | passive polling over `/proc` | transient attacks, `/proc` side channels, rootkits, spamming |
+//! | [`hninja::HNinja`] (H-Ninja) | hypervisor, traditional VMI | passive polling over the task list | transient attacks, DKOM rootkits |
+//! | [`htninja::HtNinja`] (HT-Ninja) | hypervisor, HyperTap | **active**, on context switches + I/O syscalls, rooted in TR/CR3 | — (within its model) |
+//!
+//! All three share the same checking [`rules::NinjaRules`]; only the logging
+//! discipline differs — which is exactly the paper's point.
+
+pub mod hninja;
+pub mod htninja;
+pub mod oninja;
+pub mod rules;
+
+use hypertap_hvsim::clock::SimTime;
+
+/// One privilege-escalation detection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Detection {
+    /// When the violation was noticed.
+    pub time: SimTime,
+    /// Pid of the offending process.
+    pub pid: u64,
+    /// Its command name.
+    pub comm: String,
+    /// Its effective uid (0).
+    pub euid: u64,
+    /// Its parent's real uid (outside the magic group).
+    pub parent_uid: u64,
+    /// Which check caught it ("first-switch", "io-syscall", "poll").
+    pub via: &'static str,
+}

@@ -1,0 +1,246 @@
+//! O-Ninja: the original, in-guest, passive Ninja.
+//!
+//! Runs as an ordinary guest process: enumerate `/proc` (ascending pid, as
+//! readdir does), then check each pid with a fresh `/proc/PID/stat` read,
+//! then sleep for the configured interval. Because it is an in-guest
+//! poller, it is subject to everything the paper throws at it: transient
+//! attacks slip between polls, `/proc` leaks its own schedule (the side
+//! channel of Table III), rootkits hide processes from its enumeration, and
+//! spamming stretches the per-scan time past the attack's lifetime.
+
+use super::rules::NinjaRules;
+use hypertap_guestos::kernel::ProcStat;
+use hypertap_guestos::program::{UserOp, UserProgram, UserView};
+use hypertap_guestos::syscalls::Sysno;
+
+/// The mailbox tag O-Ninja uses for detections.
+pub const DETECT_TAG: &str = "oninja-detect";
+
+/// Default user-space cost of checking one process (parsing its `/proc`
+/// tree), calibrated so a full scan of a ~31-process system takes tens of
+/// milliseconds, as the real Ninja's does.
+pub const DEFAULT_PARSE_NS: u64 = 1_200_000;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Phase {
+    /// Issue the `/proc` enumeration.
+    List,
+    /// Issue the stat for pid index `i` (capturing the listing when i == 0).
+    Stat(usize),
+    /// Interpret the stat result for pid index `i`.
+    Check(usize),
+    /// Burn the per-process parse cost, then continue from pid index `next`.
+    Parse(usize),
+    /// Kill the flagged pid, then continue from pid index `next`.
+    Kill(u64, usize),
+    /// Scan finished; sleep (or rescan immediately).
+    Sleep,
+}
+
+/// The O-Ninja guest program.
+pub struct ONinja {
+    rules: NinjaRules,
+    interval_ns: u64,
+    kill: bool,
+    parse_ns: u64,
+    trace: bool,
+    scan_emitted: bool,
+    phase: Phase,
+    pids: Vec<(u64, String)>,
+    reported: Vec<u64>,
+}
+
+impl ONinja {
+    /// Creates O-Ninja with the given check interval (0 = continuous
+    /// scanning) and whether to kill offenders. Per-process parse cost
+    /// defaults to [`DEFAULT_PARSE_NS`].
+    pub fn new(rules: NinjaRules, interval_ns: u64, kill: bool) -> Self {
+        ONinja {
+            rules,
+            interval_ns,
+            kill,
+            parse_ns: DEFAULT_PARSE_NS,
+            trace: false,
+            scan_emitted: false,
+            phase: Phase::List,
+            pids: Vec::new(),
+            reported: Vec::new(),
+        }
+    }
+
+    /// Overrides the per-process parse cost (tests use 0 for exact op
+    /// sequences).
+    pub fn with_parse_cost(mut self, parse_ns: u64) -> Self {
+        self.parse_ns = parse_ns;
+        self
+    }
+
+    /// Emits an `oninja-scan` mailbox event at the start of every scan
+    /// (used by the Fig. 6 timeline harness).
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+}
+
+impl UserProgram for ONinja {
+    fn next_op(&mut self, view: &UserView<'_>) -> UserOp {
+        loop {
+            match self.phase.clone() {
+                Phase::List => {
+                    if self.trace && !self.scan_emitted {
+                        self.scan_emitted = true;
+                        return UserOp::Emit("oninja-scan".into(), String::new());
+                    }
+                    self.scan_emitted = false;
+                    self.phase = Phase::Stat(0);
+                    return UserOp::sys(Sysno::ListProcs, &[]);
+                }
+                Phase::Stat(i) => {
+                    if i == 0 {
+                        // The listing just completed: capture it. Checks run
+                        // newest-process-first — the scan-position model of
+                        // Ninja's sweep over /proc (see crate docs).
+                        self.pids =
+                            view.procs.iter().rev().map(|e| (e.pid, e.comm.clone())).collect();
+                    }
+                    match self.pids.get(i) {
+                        Some((pid, _)) => {
+                            let pid = *pid;
+                            self.phase = Phase::Check(i);
+                            return UserOp::sys(Sysno::ReadProcStat, &[pid]);
+                        }
+                        None => {
+                            self.phase = Phase::Sleep;
+                        }
+                    }
+                }
+                Phase::Check(i) => {
+                    let (pid, comm) = self.pids[i].clone();
+                    self.phase = if self.parse_ns > 0 {
+                        Phase::Parse(i + 1)
+                    } else {
+                        Phase::Stat(i + 1)
+                    };
+                    if let Some(stat) = ProcStat::unpack(view.last_ret) {
+                        if self.rules.violates(stat.euid, stat.parent_uid, &comm)
+                            && !self.reported.contains(&pid)
+                        {
+                            self.reported.push(pid);
+                            if self.kill {
+                                self.phase = Phase::Kill(pid, i + 1);
+                            }
+                            return UserOp::Emit(DETECT_TAG.into(), format!("{pid}"));
+                        }
+                    }
+                }
+                Phase::Parse(next) => {
+                    self.phase = Phase::Stat(next);
+                    return UserOp::Compute(self.parse_ns);
+                }
+                Phase::Kill(pid, next) => {
+                    self.phase = Phase::Stat(next);
+                    return UserOp::sys(Sysno::Kill, &[pid]);
+                }
+                Phase::Sleep => {
+                    self.phase = Phase::List;
+                    if self.interval_ns > 0 {
+                        return UserOp::sys(Sysno::Nanosleep, &[self.interval_ns]);
+                    }
+                    // Continuous mode: immediately rescan.
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypertap_guestos::kernel::pack_proc_stat;
+    use hypertap_guestos::task::ProcEntry;
+    use hypertap_hvsim::clock::SimTime;
+
+    fn entry(pid: u64, euid: u64, parent_uid: u64, comm: &str) -> ProcEntry {
+        ProcEntry { pid, uid: euid, euid, ppid: 1, parent_uid, comm: comm.into() }
+    }
+
+    fn view<'a>(last_ret: u64, procs: &'a [ProcEntry]) -> UserView<'a> {
+        UserView { last_ret, now: SimTime::ZERO, pid: 9, uid: 0, euid: 0, procs }
+    }
+
+    #[test]
+    fn scans_list_then_stats_each_pid_newest_first() {
+        let mut n = ONinja::new(NinjaRules::new(), 1_000_000, false).with_parse_cost(0);
+        let procs = vec![entry(1, 0, 0, "init"), entry(5, 1000, 0, "sh")];
+        assert_eq!(n.next_op(&view(0, &[])), UserOp::sys(Sysno::ListProcs, &[]));
+        // Newest (highest pid) first.
+        assert_eq!(n.next_op(&view(2, &procs)), UserOp::sys(Sysno::ReadProcStat, &[5]));
+        let stat5 = pack_proc_stat(1000, 0, 1, 0);
+        assert_eq!(n.next_op(&view(stat5, &procs)), UserOp::sys(Sysno::ReadProcStat, &[1]));
+        let stat1 = pack_proc_stat(0, 0, 0, 0);
+        assert_eq!(
+            n.next_op(&view(stat1, &procs)),
+            UserOp::sys(Sysno::Nanosleep, &[1_000_000])
+        );
+        assert_eq!(n.next_op(&view(0, &procs)), UserOp::sys(Sysno::ListProcs, &[]));
+    }
+
+    #[test]
+    fn parse_cost_is_charged_between_checks() {
+        let mut n = ONinja::new(NinjaRules::new(), 0, false);
+        let procs = vec![entry(1, 0, 0, "init")];
+        let _ = n.next_op(&view(0, &[]));
+        let _ = n.next_op(&view(1, &procs));
+        let stat = pack_proc_stat(0, 0, 0, 0);
+        assert_eq!(n.next_op(&view(stat, &procs)), UserOp::Compute(DEFAULT_PARSE_NS));
+    }
+
+    #[test]
+    fn detects_escalated_process() {
+        let mut n = ONinja::new(NinjaRules::new(), 0, false).with_parse_cost(0);
+        let procs = vec![entry(7, 0, 1000, "evil")];
+        let _ = n.next_op(&view(0, &[]));
+        let _ = n.next_op(&view(1, &procs));
+        let stat = pack_proc_stat(0, 1000, 0, 0);
+        let op = n.next_op(&view(stat, &procs));
+        assert_eq!(op, UserOp::Emit(DETECT_TAG.into(), "7".into()));
+    }
+
+    #[test]
+    fn kill_mode_terminates_offender_after_reporting() {
+        let mut n = ONinja::new(NinjaRules::new(), 0, true).with_parse_cost(0);
+        let procs = vec![entry(7, 0, 1000, "evil")];
+        let _ = n.next_op(&view(0, &[]));
+        let _ = n.next_op(&view(1, &procs));
+        let stat = pack_proc_stat(0, 1000, 0, 0);
+        assert!(matches!(n.next_op(&view(stat, &procs)), UserOp::Emit(..)));
+        assert_eq!(n.next_op(&view(0, &procs)), UserOp::sys(Sysno::Kill, &[7]));
+    }
+
+    #[test]
+    fn hidden_pid_yields_no_detection() {
+        let mut n = ONinja::new(NinjaRules::new(), 0, false).with_parse_cost(0);
+        let procs = vec![entry(7, 0, 1000, "evil")];
+        let _ = n.next_op(&view(0, &[]));
+        let _ = n.next_op(&view(1, &procs));
+        // The stat came back "no such pid" (hidden meanwhile).
+        let op = n.next_op(&view(u64::MAX, &procs));
+        // Straight back to rescan (continuous mode), no detection.
+        assert_eq!(op, UserOp::sys(Sysno::ListProcs, &[]));
+    }
+
+    #[test]
+    fn reports_each_pid_once() {
+        let mut n = ONinja::new(NinjaRules::new(), 0, false).with_parse_cost(0);
+        let procs = vec![entry(7, 0, 1000, "evil")];
+        let stat = pack_proc_stat(0, 1000, 0, 0);
+        let _ = n.next_op(&view(0, &[]));
+        let _ = n.next_op(&view(1, &procs));
+        assert!(matches!(n.next_op(&view(stat, &procs)), UserOp::Emit(..)));
+        let _ = n.next_op(&view(0, &procs));
+        let _ = n.next_op(&view(1, &procs));
+        let op = n.next_op(&view(stat, &procs));
+        assert!(!matches!(op, UserOp::Emit(..)));
+    }
+}

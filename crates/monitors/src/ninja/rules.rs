@@ -1,0 +1,95 @@
+//! Ninja's checking rules, shared verbatim by all three implementations.
+//!
+//! A process violates the policy when it runs with root privileges but its
+//! parent process does not belong to an authorized user (Ninja's "magic"
+//! group), and the executable is not on the administrator's white list of
+//! legitimate setuid programs.
+
+use std::collections::BTreeSet;
+
+/// The rule configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NinjaRules {
+    magic_uids: BTreeSet<u64>,
+    whitelist: BTreeSet<String>,
+}
+
+impl NinjaRules {
+    /// Default rules: only uid 0 (root itself) is in the magic group and
+    /// nothing is whitelisted.
+    pub fn new() -> Self {
+        NinjaRules { magic_uids: BTreeSet::from([0]), whitelist: BTreeSet::new() }
+    }
+
+    /// Adds a uid to the magic group (builder style).
+    pub fn with_magic_uid(mut self, uid: u64) -> Self {
+        self.magic_uids.insert(uid);
+        self
+    }
+
+    /// Whitelists an executable name (builder style). As the paper notes,
+    /// whitelisted processes are a blind spot for every Ninja variant.
+    pub fn with_whitelisted(mut self, comm: impl Into<String>) -> Self {
+        self.whitelist.insert(comm.into());
+        self
+    }
+
+    /// Whether a uid belongs to the magic group.
+    pub fn is_magic(&self, uid: u64) -> bool {
+        self.magic_uids.contains(&uid)
+    }
+
+    /// Whether an executable name is whitelisted.
+    pub fn is_whitelisted(&self, comm: &str) -> bool {
+        self.whitelist.contains(comm)
+    }
+
+    /// The core check: is a process with this effective uid, parent uid and
+    /// command name privilege-escalated?
+    pub fn violates(&self, euid: u64, parent_uid: u64, comm: &str) -> bool {
+        euid == 0 && !self.is_magic(parent_uid) && !self.is_whitelisted(comm)
+    }
+}
+
+impl Default for NinjaRules {
+    fn default() -> Self {
+        NinjaRules::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_child_of_root_is_fine() {
+        let r = NinjaRules::new();
+        assert!(!r.violates(0, 0, "daemon"));
+    }
+
+    #[test]
+    fn root_child_of_user_is_violation() {
+        let r = NinjaRules::new();
+        assert!(r.violates(0, 1000, "sh"));
+    }
+
+    #[test]
+    fn non_root_is_never_violation() {
+        let r = NinjaRules::new();
+        assert!(!r.violates(1000, 1000, "sh"));
+    }
+
+    #[test]
+    fn magic_group_excuses() {
+        let r = NinjaRules::new().with_magic_uid(1000);
+        assert!(!r.violates(0, 1000, "sh"));
+        assert!(r.violates(0, 1001, "sh"));
+    }
+
+    #[test]
+    fn whitelist_excuses_by_name() {
+        let r = NinjaRules::new().with_whitelisted("sudo");
+        assert!(!r.violates(0, 1000, "sudo"), "the paper's setuid blind spot");
+        assert!(r.violates(0, 1000, "sh"));
+    }
+}

@@ -1,0 +1,244 @@
+//! System-call-sequence intrusion detection — the paper's §VII-D pointer to
+//! syscall-interposition security tools (its references 29–31, in the
+//! spirit of Kosoresow & Hofmeyr's trace-based IDS).
+//!
+//! The auditor consumes HyperTap's syscall events (already intercepted for
+//! HT-Ninja — unified logging means this monitor costs no additional exits)
+//! and keeps a sliding window of syscall numbers per process. In the
+//! **training** phase, observed n-grams populate the normal-behaviour
+//! database; in the **detection** phase, a window of calls containing an
+//! unseen n-gram raises an anomaly finding.
+//!
+//! Process identity comes from the architectural side: events are keyed by
+//! the vCPU's current address space (the CR3 captured in the event's
+//! trusted state snapshot), so a hidden process still gets its own trace.
+
+use hypertap_core::audit::{Auditor, Finding, FindingSink, Severity};
+use hypertap_core::event::{Event, EventClass, EventKind, EventMask};
+use hypertap_hvsim::clock::SimTime;
+use hypertap_hvsim::machine::VmState;
+use std::any::Any;
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+/// Length of the n-grams (Forrest-style short sequences).
+pub const NGRAM: usize = 3;
+
+/// One anomalous sequence observation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Anomaly {
+    /// When the unseen sequence completed.
+    pub time: SimTime,
+    /// The address space (PDBA) of the offending process.
+    pub pdba: u64,
+    /// The unseen n-gram of syscall numbers.
+    pub ngram: [u64; NGRAM],
+}
+
+/// Operating phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IdsPhase {
+    /// Learn n-grams into the normal database.
+    Training,
+    /// Flag n-grams missing from the database.
+    Detecting,
+}
+
+/// The syscall-sequence IDS auditor.
+#[derive(Debug)]
+pub struct SyscallIds {
+    phase: IdsPhase,
+    normal: BTreeSet<[u64; NGRAM]>,
+    windows: HashMap<u64, VecDeque<u64>>,
+    anomalies: Vec<Anomaly>,
+    reported: BTreeSet<(u64, [u64; NGRAM])>,
+}
+
+impl SyscallIds {
+    /// A fresh IDS in training mode.
+    pub fn new() -> Self {
+        SyscallIds {
+            phase: IdsPhase::Training,
+            normal: BTreeSet::new(),
+            windows: HashMap::new(),
+            anomalies: Vec::new(),
+            reported: BTreeSet::new(),
+        }
+    }
+
+    /// Switches phase (training ↔ detecting). Switching clears the
+    /// per-process windows so stale prefixes don't straddle the boundary.
+    pub fn set_phase(&mut self, phase: IdsPhase) {
+        self.phase = phase;
+        self.windows.clear();
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> IdsPhase {
+        self.phase
+    }
+
+    /// Size of the learned normal database.
+    pub fn normal_ngrams(&self) -> usize {
+        self.normal.len()
+    }
+
+    /// Anomalies flagged so far.
+    pub fn anomalies(&self) -> &[Anomaly] {
+        &self.anomalies
+    }
+}
+
+impl Default for SyscallIds {
+    fn default() -> Self {
+        SyscallIds::new()
+    }
+}
+
+impl Auditor for SyscallIds {
+    fn name(&self) -> &str {
+        "syscall-ids"
+    }
+
+    fn subscriptions(&self) -> EventMask {
+        EventMask::only(EventClass::Syscall)
+    }
+
+    fn on_event(&mut self, _vm: &mut VmState, event: &Event, sink: &mut dyn FindingSink) {
+        let EventKind::Syscall { number, .. } = event.kind else { return };
+        let pdba = event.state.cr3.value();
+        let window = self.windows.entry(pdba).or_default();
+        window.push_back(number);
+        if window.len() > NGRAM {
+            window.pop_front();
+        }
+        if window.len() < NGRAM {
+            return;
+        }
+        let mut ngram = [0u64; NGRAM];
+        for (slot, n) in ngram.iter_mut().zip(window.iter()) {
+            *slot = *n;
+        }
+        match self.phase {
+            IdsPhase::Training => {
+                self.normal.insert(ngram);
+            }
+            IdsPhase::Detecting => {
+                if !self.normal.contains(&ngram) && self.reported.insert((pdba, ngram)) {
+                    self.anomalies.push(Anomaly { time: event.time, pdba, ngram });
+                    sink.report(Finding::new(
+                        "syscall-ids",
+                        event.time,
+                        Severity::Warning,
+                        format!("unseen syscall sequence {ngram:?} in address space {pdba:#x}"),
+                    ));
+                }
+            }
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypertap_core::event::{SyscallGate, VmId};
+    use hypertap_hvsim::exit::VcpuSnapshot;
+    use hypertap_hvsim::machine::{Machine, VmConfig};
+    use hypertap_hvsim::mem::Gpa;
+    use hypertap_hvsim::vcpu::{Vcpu, VcpuId};
+
+    fn vm_state() -> VmState {
+        struct NoHv;
+        impl hypertap_hvsim::machine::Hypervisor for NoHv {
+            fn handle_exit(
+                &mut self,
+                _vm: &mut VmState,
+                _exit: &hypertap_hvsim::exit::VmExit,
+            ) -> hypertap_hvsim::exit::ExitAction {
+                hypertap_hvsim::exit::ExitAction::Resume
+            }
+        }
+        Machine::new(VmConfig::new(1, 1 << 20), NoHv).into_parts().0
+    }
+
+    fn syscall_event(pdba: u64, number: u64, t_us: u64) -> Event {
+        let mut vcpu = Vcpu::new(VcpuId(0));
+        vcpu.set_cr3(Gpa::new(pdba));
+        Event {
+            vm: VmId(0),
+            vcpu: VcpuId(0),
+            time: SimTime::from_micros(t_us),
+            kind: EventKind::Syscall { gate: SyscallGate::Sysenter, number, args: [0; 5] },
+            state: VcpuSnapshot::capture(&vcpu),
+        }
+    }
+
+    fn feed(ids: &mut SyscallIds, vm: &mut VmState, pdba: u64, seq: &[u64]) -> Vec<Finding> {
+        let mut sink = Vec::new();
+        for (i, n) in seq.iter().enumerate() {
+            ids.on_event(vm, &syscall_event(pdba, *n, i as u64), &mut sink);
+        }
+        sink
+    }
+
+    #[test]
+    fn trains_then_accepts_normal_traces() {
+        let mut ids = SyscallIds::new();
+        let mut vm = vm_state();
+        feed(&mut ids, &mut vm, 0x1000, &[5, 3, 4, 3, 4, 6]); // open read write read write close
+        assert!(ids.normal_ngrams() >= 4);
+        ids.set_phase(IdsPhase::Detecting);
+        let findings = feed(&mut ids, &mut vm, 0x1000, &[5, 3, 4, 3, 4, 6]);
+        assert!(findings.is_empty(), "the training trace is normal");
+        assert!(ids.anomalies().is_empty());
+    }
+
+    #[test]
+    fn flags_unseen_sequences() {
+        let mut ids = SyscallIds::new();
+        let mut vm = vm_state();
+        feed(&mut ids, &mut vm, 0x1000, &[5, 3, 4, 3, 4, 6]);
+        ids.set_phase(IdsPhase::Detecting);
+        // An exploit-shaped trace: escalate (203) mid-file-I/O.
+        let findings = feed(&mut ids, &mut vm, 0x2000, &[5, 3, 203, 4, 6]);
+        assert!(!findings.is_empty());
+        assert!(ids
+            .anomalies()
+            .iter()
+            .any(|a| a.ngram.contains(&203) && a.pdba == 0x2000));
+    }
+
+    #[test]
+    fn windows_are_per_address_space() {
+        let mut ids = SyscallIds::new();
+        let mut vm = vm_state();
+        feed(&mut ids, &mut vm, 0x1000, &[1, 2, 3]);
+        // Interleaved from another process: must not pollute 0x1000's window.
+        ids.set_phase(IdsPhase::Training);
+        feed(&mut ids, &mut vm, 0x1000, &[1, 2]);
+        feed(&mut ids, &mut vm, 0x2000, &[9, 9, 9]);
+        feed(&mut ids, &mut vm, 0x1000, &[3]);
+        assert!(ids.normal.contains(&[1, 2, 3]));
+        assert!(ids.normal.contains(&[9, 9, 9]));
+        assert!(!ids.normal.contains(&[2, 9, 9]), "no cross-process n-grams");
+    }
+
+    #[test]
+    fn each_anomaly_reported_once() {
+        let mut ids = SyscallIds::new();
+        let mut vm = vm_state();
+        feed(&mut ids, &mut vm, 0x1000, &[1, 2, 3]);
+        ids.set_phase(IdsPhase::Detecting);
+        let first = feed(&mut ids, &mut vm, 0x1000, &[7, 7, 7]);
+        let second = feed(&mut ids, &mut vm, 0x1000, &[7, 7, 7]);
+        assert!(!first.is_empty());
+        assert!(second.is_empty(), "duplicate anomalies are not re-reported");
+    }
+}

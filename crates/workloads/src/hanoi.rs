@@ -1,0 +1,103 @@
+//! The "Tower of Hanoi" workload: a recursive, CPU-bound program.
+//!
+//! The classic single-task compute workload from the paper's fault-injection
+//! campaign. Each simulated "move" costs a small compute burst; every 256th
+//! move writes a progress line (a little kernel/file activity, as a real
+//! program logging to stdout would generate). When a tower completes the
+//! program starts over, so the workload runs for the whole experiment.
+
+use hypertap_guestos::program::{UserOp, UserProgram, UserView};
+use hypertap_guestos::syscalls::Sysno;
+
+/// Tower of Hanoi as a user program.
+#[derive(Debug)]
+pub struct Hanoi {
+    /// Number of disks in the tower.
+    pub disks: u32,
+    per_move_ns: u64,
+    moves_done: u64,
+    total_moves: u64,
+    towers_completed: u64,
+    emit_done: bool,
+}
+
+impl Hanoi {
+    /// A tower of `disks` disks, costing `per_move_ns` per move.
+    pub fn new(disks: u32, per_move_ns: u64) -> Self {
+        Hanoi {
+            disks,
+            per_move_ns,
+            moves_done: 0,
+            total_moves: (1u64 << disks) - 1,
+            towers_completed: 0,
+            emit_done: false,
+        }
+    }
+
+    /// The paper-scale default: 2^18 - 1 moves per tower at ~1.5 µs each
+    /// (~0.4 s of guest CPU per tower).
+    pub fn paper_default() -> Self {
+        Hanoi::new(18, 1_500)
+    }
+}
+
+impl UserProgram for Hanoi {
+    fn next_op(&mut self, _view: &UserView<'_>) -> UserOp {
+        if self.moves_done >= self.total_moves {
+            self.moves_done = 0;
+            self.towers_completed += 1;
+            self.emit_done = true;
+        }
+        if self.emit_done {
+            self.emit_done = false;
+            return UserOp::Emit("hanoi-tower".into(), format!("{}", self.towers_completed));
+        }
+        self.moves_done += 1;
+        if self.moves_done.is_multiple_of(256) {
+            // Progress logging: a small write.
+            UserOp::sys(Sysno::Write, &[1, 64])
+        } else {
+            UserOp::Compute(self.per_move_ns)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypertap_hvsim::clock::SimTime;
+
+    fn view() -> UserView<'static> {
+        UserView { last_ret: 0, now: SimTime::ZERO, pid: 2, uid: 1000, euid: 1000, procs: &[] }
+    }
+
+    #[test]
+    fn emits_after_each_tower_and_restarts() {
+        let mut h = Hanoi::new(3, 100); // 7 moves
+        let mut ops = Vec::new();
+        for _ in 0..17 {
+            ops.push(h.next_op(&view()));
+        }
+        let emits = ops
+            .iter()
+            .filter(|o| matches!(o, UserOp::Emit(tag, _) if tag == "hanoi-tower"))
+            .count();
+        assert_eq!(emits, 2, "7 moves + emit, twice, in 16 ops");
+    }
+
+    #[test]
+    fn mostly_compute_with_periodic_writes() {
+        let mut h = Hanoi::new(10, 100); // 1023 moves
+        let mut writes = 0;
+        let mut computes = 0;
+        for _ in 0..1023 {
+            match h.next_op(&view()) {
+                UserOp::Compute(_) => computes += 1,
+                UserOp::Syscall(Sysno::Write, _) => writes += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(writes, 3, "every 256th move writes");
+        assert_eq!(computes, 1020);
+    }
+}

@@ -1,0 +1,139 @@
+//! The HTTP-server workload plus its external load generator.
+//!
+//! The server blocks in `net_recv`, and each inbound request (delivered by
+//! an external-interrupt + NIC-queue pair, like a packet from an
+//! ApacheBench machine) wakes it to parse, read the requested file from
+//! disk, and send the response. The load generator pre-schedules Poisson
+//! arrivals on the VM — it stands in for the separate ApacheBench host of
+//! the paper's setup.
+
+use hypertap_guestos::devices::{NicDevice, NIC_IRQ_VECTOR};
+use hypertap_guestos::kernel::Kernel;
+use hypertap_guestos::program::{ProgId, UserOp, UserProgram, UserView};
+use hypertap_guestos::syscalls::Sysno;
+use hypertap_hvsim::clock::{Duration, SimTime};
+use hypertap_hvsim::machine::VmState;
+use hypertap_hvsim::vcpu::VcpuId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The HTTP daemon.
+#[derive(Debug, Default)]
+pub struct Httpd {
+    stage: u32,
+    served: u64,
+}
+
+impl Httpd {
+    /// A fresh daemon.
+    pub fn new() -> Self {
+        Httpd::default()
+    }
+}
+
+impl UserProgram for Httpd {
+    fn next_op(&mut self, view: &UserView<'_>) -> UserOp {
+        self.stage += 1;
+        match self.stage {
+            1 => UserOp::sys(Sysno::NetRecv, &[1500]),
+            2 => {
+                if view.last_ret == 0 {
+                    // Spurious wake; wait again.
+                    self.stage = 0;
+                    UserOp::Compute(1_000)
+                } else {
+                    UserOp::Compute(50_000) // parse request
+                }
+            }
+            3 => UserOp::sys(Sysno::Open, &[42]),
+            4 => UserOp::sys(Sysno::Read, &[view.last_ret, 4096]),
+            5 => UserOp::sys(Sysno::NetSend, &[1024]),
+            6 => UserOp::sys(Sysno::Close, &[0]),
+            _ => {
+                self.stage = 0;
+                self.served += 1;
+                UserOp::Emit("http-served".into(), format!("{}", self.served))
+            }
+        }
+    }
+}
+
+/// Registers the HTTP server program.
+pub fn install(kernel: &mut Kernel) -> ProgId {
+    kernel.register_program("httpd", Box::new(|| Box::new(Httpd::new())))
+}
+
+/// Schedules `duration` of Poisson-arrival HTTP load at `rate_hz` onto a
+/// booted VM: each request is one entry in the NIC receive queue plus an
+/// external interrupt at its arrival time (delivered to vCPU 0, as a
+/// single-queue NIC would).
+///
+/// # Panics
+///
+/// Panics if the kernel has not booted yet (no NIC registered).
+pub fn offer_load(
+    vm: &mut VmState,
+    kernel: &Kernel,
+    start: SimTime,
+    rate_hz: f64,
+    duration: Duration,
+    request_bytes: u64,
+    seed: u64,
+) -> u64 {
+    let nic_id = kernel.nic_device_id().expect("kernel booted");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = start;
+    let end = start + duration;
+    let mut count = 0u64;
+    loop {
+        // Exponential inter-arrival times.
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let gap_ns = (-u.ln() / rate_hz * 1e9) as u64;
+        t += Duration::from_nanos(gap_ns.max(1));
+        if t >= end {
+            break;
+        }
+        let nic = vm
+            .io
+            .device_mut(nic_id)
+            .as_any()
+            .downcast_mut::<NicDevice>()
+            .expect("nic device");
+        nic.push_rx(request_bytes);
+        vm.schedule_irq(t, VcpuId(0), NIC_IRQ_VECTOR);
+        count += 1;
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(ret: u64) -> UserView<'static> {
+        UserView { last_ret: ret, now: SimTime::ZERO, pid: 2, uid: 1000, euid: 1000, procs: &[] }
+    }
+
+    #[test]
+    fn serves_a_request_end_to_end() {
+        let mut h = Httpd::new();
+        assert_eq!(h.next_op(&view(0)), UserOp::sys(Sysno::NetRecv, &[1500]));
+        assert!(matches!(h.next_op(&view(512)), UserOp::Compute(_)));
+        assert!(matches!(h.next_op(&view(0)), UserOp::Syscall(Sysno::Open, _)));
+        assert!(matches!(h.next_op(&view(1)), UserOp::Syscall(Sysno::Read, _)));
+        assert!(matches!(h.next_op(&view(4096)), UserOp::Syscall(Sysno::NetSend, _)));
+        assert!(matches!(h.next_op(&view(0)), UserOp::Syscall(Sysno::Close, _)));
+        assert!(matches!(h.next_op(&view(0)), UserOp::Emit(tag, _) if tag == "http-served"));
+        // Loops back to recv.
+        assert_eq!(h.next_op(&view(0)), UserOp::sys(Sysno::NetRecv, &[1500]));
+    }
+
+    #[test]
+    fn spurious_wake_retries() {
+        let mut h = Httpd::new();
+        let _ = h.next_op(&view(0)); // recv
+        let op = h.next_op(&view(0)); // woke with nothing
+        assert!(matches!(op, UserOp::Compute(_)));
+        assert_eq!(h.next_op(&view(0)), UserOp::sys(Sysno::NetRecv, &[1500]));
+    }
+}

@@ -1,0 +1,70 @@
+//! # hypertap-workloads — the guest workloads of the paper's evaluation
+//!
+//! Four macro workloads drive the fault-injection campaign (paper
+//! §VIII-A2):
+//!
+//! * [`hanoi`] — the "Tower of Hanoi" recursive program (CPU-bound,
+//!   single task);
+//! * [`make`] — serial (`make -j1`) and parallel (`make -j2`) compilation
+//!   of a libxml-sized source tree (process creation + file I/O);
+//! * [`http`] — an HTTP server fed by an external ApacheBench-style load
+//!   generator (interrupt-driven network I/O).
+//!
+//! And a UnixBench-style micro-benchmark suite ([`unixbench`]) reproduces
+//! the performance-overhead measurements of Fig. 7.
+//!
+//! Workloads are [`hypertap_guestos::program::UserProgram`]s: they act only
+//! through the syscall ABI, so everything they do generates the same
+//! architectural footprint (context switches, syscall gates, device I/O) a
+//! real workload would.
+
+pub mod hanoi;
+pub mod http;
+pub mod make;
+pub mod unixbench;
+
+use hypertap_guestos::program::{ScriptProgram, UserOp, UserProgram};
+use hypertap_guestos::syscalls::Sysno;
+
+/// A process that sleeps nearly forever (spam fodder, parents, parked
+/// shells).
+pub fn idle_program(sleep_ns: u64) -> Box<dyn UserProgram> {
+    Box::new(ScriptProgram::new(
+        vec![
+            UserOp::sys(Sysno::Nanosleep, &[sleep_ns]),
+            UserOp::sys(Sysno::Nanosleep, &[sleep_ns]),
+            UserOp::sys(Sysno::Nanosleep, &[sleep_ns]),
+        ],
+        0,
+    ))
+}
+
+/// A process that burns CPU in a loop forever (idle-spinner spam variant).
+pub fn busy_program(chunk_ns: u64) -> Box<dyn UserProgram> {
+    Box::new(hypertap_guestos::program::FnProgram(
+        move |_v: &hypertap_guestos::program::UserView<'_>| UserOp::Compute(chunk_ns),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypertap_guestos::program::UserView;
+    use hypertap_hvsim::clock::SimTime;
+
+    #[test]
+    fn idle_sleeps_then_exits() {
+        let mut p = idle_program(1_000);
+        let v = UserView { last_ret: 0, now: SimTime::ZERO, pid: 2, uid: 1000, euid: 1000, procs: &[] };
+        assert_eq!(p.next_op(&v), UserOp::sys(Sysno::Nanosleep, &[1_000]));
+    }
+
+    #[test]
+    fn busy_never_stops() {
+        let mut p = busy_program(500);
+        let v = UserView { last_ret: 0, now: SimTime::ZERO, pid: 2, uid: 1000, euid: 1000, procs: &[] };
+        for _ in 0..10 {
+            assert_eq!(p.next_op(&v), UserOp::Compute(500));
+        }
+    }
+}

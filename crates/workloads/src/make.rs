@@ -1,0 +1,168 @@
+//! The `make -jN` workload: (parallel) compilation of a libxml-sized tree.
+//!
+//! A coordinator ("make") spawns one compile job per source file, keeping at
+//! most `jobs` in flight, and reaps them with `waitpid` — exactly the
+//! process-creation + file-I/O mix of a real build. Each compile job
+//! ("cc1") opens its source, reads it in chunks, computes, writes the object
+//! file, and exits. When the build finishes the coordinator starts a fresh
+//! one, so the workload runs for the whole experiment.
+
+use hypertap_guestos::kernel::Kernel;
+use hypertap_guestos::program::{FnProgram, ProgId, UserOp, UserProgram, UserView};
+use hypertap_guestos::syscalls::Sysno;
+
+/// One compile job: open → read×4 → compute → write → close → exit.
+#[derive(Debug, Default)]
+pub struct CompileJob {
+    stage: u32,
+}
+
+impl CompileJob {
+    /// A fresh job.
+    pub fn new() -> Self {
+        CompileJob::default()
+    }
+}
+
+impl UserProgram for CompileJob {
+    fn next_op(&mut self, view: &UserView<'_>) -> UserOp {
+        self.stage += 1;
+        match self.stage {
+            1 => UserOp::sys(Sysno::Open, &[7]),
+            2..=5 => UserOp::sys(Sysno::Read, &[view.last_ret, 8192]),
+            6 => UserOp::Compute(18_000_000), // ~18 ms of cc1 work
+            7 => UserOp::sys(Sysno::Write, &[0, 16384]),
+            8 => UserOp::sys(Sysno::Close, &[0]),
+            _ => UserOp::Exit(0),
+        }
+    }
+}
+
+/// The `make` coordinator.
+#[derive(Debug)]
+pub struct Make {
+    job_prog: u64,
+    jobs: u64,
+    files_per_build: u64,
+    spawned: u64,
+    reaped: u64,
+    in_flight: u64,
+    builds_completed: u64,
+}
+
+impl Make {
+    /// A coordinator running `jobs` compile jobs in parallel over
+    /// `files_per_build` files. `job_prog` is the registered [`CompileJob`]
+    /// program id.
+    pub fn new(job_prog: ProgId, jobs: u64, files_per_build: u64) -> Self {
+        Make {
+            job_prog: job_prog.0,
+            jobs,
+            files_per_build,
+            spawned: 0,
+            reaped: 0,
+            in_flight: 0,
+            builds_completed: 0,
+        }
+    }
+}
+
+impl UserProgram for Make {
+    fn next_op(&mut self, _view: &UserView<'_>) -> UserOp {
+        if self.reaped >= self.files_per_build {
+            // Build done; start over.
+            self.builds_completed += 1;
+            self.spawned = 0;
+            self.reaped = 0;
+            return UserOp::Emit("make-build".into(), format!("{}", self.builds_completed));
+        }
+        if self.spawned < self.files_per_build && self.in_flight < self.jobs {
+            self.spawned += 1;
+            self.in_flight += 1;
+            return UserOp::sys(Sysno::Spawn, &[self.job_prog, u64::MAX]);
+        }
+        // All slots busy (or all files spawned): wait for a child.
+        self.reaped += 1;
+        self.in_flight = self.in_flight.saturating_sub(1);
+        UserOp::sys(Sysno::Waitpid, &[])
+    }
+}
+
+/// Registers `make -jN` into a kernel and returns the init program id.
+pub fn install(kernel: &mut Kernel, jobs: u64, files_per_build: u64) -> ProgId {
+    let job = kernel.register_program("cc1", Box::new(|| Box::new(CompileJob::new())));
+    let job_raw = job.0;
+    kernel.register_program(
+        if jobs > 1 { "make-j2" } else { "make-j1" },
+        Box::new(move || Box::new(Make::new(ProgId(job_raw), jobs, files_per_build))),
+    )
+}
+
+/// A generic "run program X as a user child" init: spawns the workload under
+/// uid 1000 and then idles (reaping as needed). Used by every experiment
+/// that wants init to stay out of the way.
+pub fn install_init_running(kernel: &mut Kernel, workload: ProgId) -> ProgId {
+    let w = workload.0;
+    kernel.register_program(
+        "init",
+        Box::new(move || {
+            let mut started = false;
+            Box::new(FnProgram(move |_v: &UserView<'_>| {
+                if !started {
+                    started = true;
+                    UserOp::sys(Sysno::Spawn, &[w, 1000])
+                } else {
+                    UserOp::sys(Sysno::Waitpid, &[])
+                }
+            }))
+        }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypertap_hvsim::clock::SimTime;
+
+    fn view(ret: u64) -> UserView<'static> {
+        UserView { last_ret: ret, now: SimTime::ZERO, pid: 2, uid: 1000, euid: 1000, procs: &[] }
+    }
+
+    #[test]
+    fn compile_job_sequence() {
+        let mut j = CompileJob::new();
+        assert_eq!(j.next_op(&view(0)), UserOp::sys(Sysno::Open, &[7]));
+        assert_eq!(j.next_op(&view(3)), UserOp::sys(Sysno::Read, &[3, 8192]));
+        for _ in 0..3 {
+            assert!(matches!(j.next_op(&view(3)), UserOp::Syscall(Sysno::Read, _)));
+        }
+        assert!(matches!(j.next_op(&view(0)), UserOp::Compute(_)));
+        assert!(matches!(j.next_op(&view(0)), UserOp::Syscall(Sysno::Write, _)));
+        assert!(matches!(j.next_op(&view(0)), UserOp::Syscall(Sysno::Close, _)));
+        assert_eq!(j.next_op(&view(0)), UserOp::Exit(0));
+    }
+
+    #[test]
+    fn serial_make_alternates_spawn_and_wait() {
+        let mut m = Make::new(ProgId(5), 1, 3);
+        assert_eq!(m.next_op(&view(0)), UserOp::sys(Sysno::Spawn, &[5, u64::MAX]));
+        assert_eq!(m.next_op(&view(10)), UserOp::sys(Sysno::Waitpid, &[]));
+        assert_eq!(m.next_op(&view(10)), UserOp::sys(Sysno::Spawn, &[5, u64::MAX]));
+        assert_eq!(m.next_op(&view(11)), UserOp::sys(Sysno::Waitpid, &[]));
+        assert_eq!(m.next_op(&view(11)), UserOp::sys(Sysno::Spawn, &[5, u64::MAX]));
+        assert_eq!(m.next_op(&view(12)), UserOp::sys(Sysno::Waitpid, &[]));
+        // Build complete.
+        assert!(matches!(m.next_op(&view(12)), UserOp::Emit(tag, _) if tag == "make-build"));
+        // And the next build starts.
+        assert!(matches!(m.next_op(&view(0)), UserOp::Syscall(Sysno::Spawn, _)));
+    }
+
+    #[test]
+    fn parallel_make_keeps_two_in_flight() {
+        let mut m = Make::new(ProgId(5), 2, 4);
+        assert!(matches!(m.next_op(&view(0)), UserOp::Syscall(Sysno::Spawn, _)));
+        assert!(matches!(m.next_op(&view(0)), UserOp::Syscall(Sysno::Spawn, _)));
+        assert!(matches!(m.next_op(&view(0)), UserOp::Syscall(Sysno::Waitpid, _)));
+        assert!(matches!(m.next_op(&view(0)), UserOp::Syscall(Sysno::Spawn, _)));
+    }
+}

@@ -1,0 +1,423 @@
+//! The UnixBench-style micro-benchmark suite (for the Fig. 7 overhead
+//! measurements).
+//!
+//! Each benchmark is a user program performing a fixed amount of work and
+//! then rebooting the VM; the harness measures the simulated completion
+//! time under different monitoring configurations and reports the relative
+//! slowdown. The suite covers the workload classes in the paper's Fig. 7:
+//! CPU-intensive loops, process creation, file copies at several buffer
+//! sizes, pipe throughput, pipe-based context switching, shell scripts, and
+//! raw system-call overhead.
+
+use hypertap_guestos::kernel::Kernel;
+use hypertap_guestos::program::{FnProgram, ProgId, UserOp, UserProgram, UserView};
+use hypertap_guestos::syscalls::Sysno;
+use std::fmt;
+
+/// One benchmark of the suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ubench {
+    /// Integer-heavy compute loop.
+    Dhrystone,
+    /// Floating-point-heavy compute loop.
+    Whetstone,
+    /// `execl` throughput (spawn + exec + exit).
+    Execl,
+    /// File copy with the given buffer size over the given block count.
+    FileCopy {
+        /// Copy buffer size in bytes.
+        bufsize: u64,
+        /// Number of buffers copied per iteration.
+        max_blocks: u64,
+    },
+    /// Pipe throughput (single process, write+read per iteration).
+    PipeThroughput,
+    /// Pipe-based context switching (two processes ping-pong).
+    PipeContextSwitch,
+    /// Process creation (fork + wait).
+    ProcessCreation,
+    /// Concurrent shell scripts (the given number in parallel).
+    ShellScripts(u32),
+    /// System-call overhead (getpid loop).
+    SyscallOverhead,
+}
+
+impl Ubench {
+    /// The full suite, in Fig. 7 row order.
+    pub fn suite() -> Vec<Ubench> {
+        vec![
+            Ubench::Dhrystone,
+            Ubench::Whetstone,
+            Ubench::Execl,
+            Ubench::FileCopy { bufsize: 1024, max_blocks: 2000 },
+            Ubench::FileCopy { bufsize: 256, max_blocks: 500 },
+            Ubench::FileCopy { bufsize: 4096, max_blocks: 8000 },
+            Ubench::PipeThroughput,
+            Ubench::PipeContextSwitch,
+            Ubench::ProcessCreation,
+            Ubench::ShellScripts(1),
+            Ubench::ShellScripts(8),
+            Ubench::SyscallOverhead,
+        ]
+    }
+
+    /// The workload class (used for the per-class summaries in the paper's
+    /// §IX prose: disk-I/O intensive, CPU intensive, context switching,
+    /// system call).
+    pub fn class(&self) -> &'static str {
+        match self {
+            Ubench::Dhrystone | Ubench::Whetstone => "cpu",
+            Ubench::FileCopy { .. } => "disk-io",
+            Ubench::PipeContextSwitch => "context-switch",
+            Ubench::SyscallOverhead | Ubench::PipeThroughput => "syscall",
+            Ubench::Execl | Ubench::ProcessCreation | Ubench::ShellScripts(_) => "process",
+        }
+    }
+}
+
+impl fmt::Display for Ubench {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ubench::Dhrystone => f.write_str("Dhrystone 2"),
+            Ubench::Whetstone => f.write_str("Double Whetstone"),
+            Ubench::Execl => f.write_str("Execl Throughput"),
+            Ubench::FileCopy { bufsize, max_blocks } => {
+                write!(f, "File Copy ({bufsize} bufsize, {max_blocks} max blocks)")
+            }
+            Ubench::PipeThroughput => f.write_str("Pipe Throughput"),
+            Ubench::PipeContextSwitch => f.write_str("Pipe-based Context Switching"),
+            Ubench::ProcessCreation => f.write_str("Process Creation"),
+            Ubench::ShellScripts(n) => write!(f, "Shell Scripts ({n} concurrent)"),
+            Ubench::SyscallOverhead => f.write_str("System Call Overhead"),
+        }
+    }
+}
+
+/// A compute-loop program: `iters` × `chunk_ns`, then done.
+struct ComputeLoop {
+    iters: u64,
+    chunk_ns: u64,
+    done: bool,
+}
+
+impl UserProgram for ComputeLoop {
+    fn next_op(&mut self, _v: &UserView<'_>) -> UserOp {
+        if self.iters == 0 {
+            if self.done {
+                return UserOp::Exit(0);
+            }
+            self.done = true;
+            return UserOp::Exit(0);
+        }
+        self.iters -= 1;
+        UserOp::Compute(self.chunk_ns)
+    }
+}
+
+/// A syscall-loop program with per-iteration user-space loop work (real
+/// UnixBench loops do argument setup, counters and timing checks around
+/// each call).
+struct SyscallLoop {
+    iters: u64,
+    op: fn(u64) -> UserOp,
+    state: u64,
+    pad_ns: u64,
+    padded: bool,
+}
+
+impl UserProgram for SyscallLoop {
+    fn next_op(&mut self, v: &UserView<'_>) -> UserOp {
+        if self.iters == 0 {
+            return UserOp::Exit(0);
+        }
+        if self.pad_ns > 0 && !self.padded {
+            self.padded = true;
+            return UserOp::Compute(self.pad_ns);
+        }
+        self.padded = false;
+        self.iters -= 1;
+        self.state = v.last_ret;
+        (self.op)(self.state)
+    }
+}
+
+/// File-copy program: open, then `max_blocks` × (read+write), close, exit.
+struct FileCopy {
+    bufsize: u64,
+    blocks_left: u64,
+    stage: u32,
+    reading: bool,
+}
+
+impl UserProgram for FileCopy {
+    fn next_op(&mut self, _v: &UserView<'_>) -> UserOp {
+        if self.stage == 0 {
+            self.stage = 1;
+            return UserOp::sys(Sysno::Open, &[9]);
+        }
+        if self.blocks_left == 0 {
+            if self.stage == 1 {
+                self.stage = 2;
+                return UserOp::sys(Sysno::Close, &[0]);
+            }
+            return UserOp::Exit(0);
+        }
+        if self.reading {
+            self.reading = false;
+            UserOp::sys(Sysno::Read, &[0, self.bufsize])
+        } else {
+            self.reading = true;
+            self.blocks_left -= 1;
+            UserOp::sys(Sysno::Write, &[1, self.bufsize])
+        }
+    }
+}
+
+/// Pipe ping-pong side: write, yield, repeat (forces a dispatch per
+/// iteration, like UnixBench's pipe-based context-switch test).
+struct PingPong {
+    iters: u64,
+    stage: u8,
+}
+
+impl UserProgram for PingPong {
+    fn next_op(&mut self, _v: &UserView<'_>) -> UserOp {
+        if self.iters == 0 {
+            return UserOp::Exit(0);
+        }
+        match self.stage {
+            0 => {
+                self.stage = 1;
+                // Per-iteration user work (message prep, bookkeeping).
+                UserOp::Compute(60_000)
+            }
+            1 => {
+                self.stage = 2;
+                // args[2] = 1 marks pipe I/O (no disk involvement).
+                UserOp::Syscall(Sysno::Write, [0, 512, 1, 0, 0])
+            }
+            _ => {
+                self.stage = 0;
+                self.iters -= 1;
+                UserOp::sys(Sysno::Nanosleep, &[0]) // yield to the partner
+            }
+        }
+    }
+}
+
+/// Spawn-wait loop (process creation / execl / shells).
+struct SpawnLoop {
+    child: u64,
+    iters: u64,
+    waiting: bool,
+}
+
+impl UserProgram for SpawnLoop {
+    fn next_op(&mut self, _v: &UserView<'_>) -> UserOp {
+        if self.iters == 0 {
+            return UserOp::Exit(0);
+        }
+        if self.waiting {
+            self.waiting = false;
+            self.iters -= 1;
+            UserOp::sys(Sysno::Waitpid, &[])
+        } else {
+            self.waiting = true;
+            UserOp::sys(Sysno::Spawn, &[self.child, u64::MAX])
+        }
+    }
+}
+
+/// Installs the benchmark into a kernel, returning the program id of a
+/// benchmark "driver" that performs the fixed work, emits
+/// `ubench-done`, and powers the machine off (so the harness can read the
+/// completion time from the machine clock).
+pub fn install(kernel: &mut Kernel, bench: Ubench) -> ProgId {
+    let body: ProgId = match bench {
+        Ubench::Dhrystone => kernel.register_program(
+            "dhrystone",
+            Box::new(|| Box::new(ComputeLoop { iters: 3_000, chunk_ns: 100_000, done: false })),
+        ),
+        Ubench::Whetstone => kernel.register_program(
+            "whetstone",
+            Box::new(|| Box::new(ComputeLoop { iters: 2_000, chunk_ns: 120_000, done: false })),
+        ),
+        Ubench::Execl => {
+            let noop =
+                kernel.register_program("execl-child", Box::new(|| {
+                    Box::new(ComputeLoop { iters: 1, chunk_ns: 50_000, done: false })
+                }));
+            kernel.register_program(
+                "execl",
+                Box::new(move || Box::new(SpawnLoop { child: noop.0, iters: 300, waiting: false })),
+            )
+        }
+        Ubench::FileCopy { bufsize, max_blocks } => kernel.register_program(
+            "filecopy",
+            Box::new(move || {
+                Box::new(FileCopy { bufsize, blocks_left: max_blocks, stage: 0, reading: true })
+            }),
+        ),
+        Ubench::PipeThroughput => kernel.register_program(
+            "pipe-tp",
+            Box::new(|| {
+                Box::new(SyscallLoop {
+                    iters: 6_000,
+                    op: |_| UserOp::Syscall(Sysno::Write, [0, 512, 1, 0, 0]),
+                    state: 0,
+                    pad_ns: 7_000,
+                    padded: false,
+                })
+            }),
+        ),
+        Ubench::PipeContextSwitch => {
+            let partner = kernel.register_program(
+                "pingpong-b",
+                Box::new(|| Box::new(PingPong { iters: 2_000, stage: 0 })),
+            );
+            let partner_raw = partner.0;
+            kernel.register_program(
+                "pingpong-a",
+                Box::new(move || {
+                    let mut spawned = false;
+                    let mut body = PingPong { iters: 2_000, stage: 0 };
+                    Box::new(FnProgram(move |v: &UserView<'_>| {
+                        if !spawned {
+                            spawned = true;
+                            return UserOp::sys(Sysno::Spawn, &[partner_raw, u64::MAX]);
+                        }
+                        body.next_op(v)
+                    }))
+                }),
+            )
+        }
+        Ubench::ProcessCreation => {
+            let noop = kernel.register_program("forked", Box::new(|| {
+                Box::new(ComputeLoop { iters: 1, chunk_ns: 10_000, done: false })
+            }));
+            kernel.register_program(
+                "proc-create",
+                Box::new(move || Box::new(SpawnLoop { child: noop.0, iters: 400, waiting: false })),
+            )
+        }
+        Ubench::ShellScripts(n) => {
+            let cmd = kernel.register_program("cmd", Box::new(|| {
+                let mut stage = 0u32;
+                Box::new(FnProgram(move |_v: &UserView<'_>| {
+                    stage += 1;
+                    match stage {
+                        1 => UserOp::sys(Sysno::Open, &[3]),
+                        2 => UserOp::sys(Sysno::Read, &[0, 2048]),
+                        3 => UserOp::Compute(500_000),
+                        4 => UserOp::sys(Sysno::Write, &[1, 1024]),
+                        5 => UserOp::sys(Sysno::Close, &[0]),
+                        _ => UserOp::Exit(0),
+                    }
+                }))
+            }));
+            let shell = kernel.register_program(
+                "sh",
+                Box::new(move || Box::new(SpawnLoop { child: cmd.0, iters: 40, waiting: false })),
+            );
+            let shell_raw = shell.0;
+            let n64 = n as u64;
+            kernel.register_program(
+                "shells",
+                Box::new(move || {
+                    let mut spawned = 0u64;
+                    let mut reaped = 0u64;
+                    Box::new(FnProgram(move |_v: &UserView<'_>| {
+                        if spawned < n64 {
+                            spawned += 1;
+                            UserOp::sys(Sysno::Spawn, &[shell_raw, u64::MAX])
+                        } else if reaped < n64 {
+                            reaped += 1;
+                            UserOp::sys(Sysno::Waitpid, &[])
+                        } else {
+                            UserOp::Exit(0)
+                        }
+                    }))
+                }),
+            )
+        }
+        Ubench::SyscallOverhead => kernel.register_program(
+            "syscall-loop",
+            Box::new(|| {
+                Box::new(SyscallLoop {
+                    iters: 10_000,
+                    op: |_| UserOp::sys(Sysno::Getpid, &[]),
+                    state: 0,
+                    pad_ns: 7_000,
+                    padded: false,
+                })
+            }),
+        ),
+    };
+    // The driver: run the body as a child, then power off.
+    let body_raw = body.0;
+    kernel.register_program(
+        "ubench-driver",
+        Box::new(move || {
+            let mut stage = 0u32;
+            Box::new(FnProgram(move |_v: &UserView<'_>| {
+                stage += 1;
+                match stage {
+                    1 => UserOp::sys(Sysno::Spawn, &[body_raw, 1000]),
+                    2 => UserOp::sys(Sysno::Waitpid, &[]),
+                    3 => UserOp::Emit("ubench-done".into(), String::new()),
+                    _ => UserOp::sys(Sysno::Reboot, &[]),
+                }
+            }))
+        }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_matches_fig7_rows() {
+        let suite = Ubench::suite();
+        assert_eq!(suite.len(), 12);
+        assert!(suite.iter().any(|b| matches!(b, Ubench::FileCopy { bufsize: 1024, .. })));
+        assert!(suite.iter().any(|b| matches!(b, Ubench::ShellScripts(8))));
+    }
+
+    #[test]
+    fn labels_are_informative() {
+        assert_eq!(
+            Ubench::FileCopy { bufsize: 1024, max_blocks: 2000 }.to_string(),
+            "File Copy (1024 bufsize, 2000 max blocks)"
+        );
+        assert_eq!(Ubench::ShellScripts(8).to_string(), "Shell Scripts (8 concurrent)");
+    }
+
+    #[test]
+    fn classes_partition_sensibly() {
+        assert_eq!(Ubench::Dhrystone.class(), "cpu");
+        assert_eq!(Ubench::FileCopy { bufsize: 256, max_blocks: 500 }.class(), "disk-io");
+        assert_eq!(Ubench::PipeContextSwitch.class(), "context-switch");
+        assert_eq!(Ubench::SyscallOverhead.class(), "syscall");
+    }
+
+    #[test]
+    fn file_copy_alternates_reads_and_writes() {
+        let mut fc = FileCopy { bufsize: 1024, blocks_left: 2, stage: 0, reading: true };
+        let v = UserView {
+            last_ret: 0,
+            now: hypertap_hvsim::clock::SimTime::ZERO,
+            pid: 2,
+            uid: 1000,
+            euid: 1000,
+            procs: &[],
+        };
+        assert!(matches!(fc.next_op(&v), UserOp::Syscall(Sysno::Open, _)));
+        assert!(matches!(fc.next_op(&v), UserOp::Syscall(Sysno::Read, _)));
+        assert!(matches!(fc.next_op(&v), UserOp::Syscall(Sysno::Write, _)));
+        assert!(matches!(fc.next_op(&v), UserOp::Syscall(Sysno::Read, _)));
+        assert!(matches!(fc.next_op(&v), UserOp::Syscall(Sysno::Write, _)));
+        assert!(matches!(fc.next_op(&v), UserOp::Syscall(Sysno::Close, _)));
+        assert_eq!(fc.next_op(&v), UserOp::Exit(0));
+    }
+}

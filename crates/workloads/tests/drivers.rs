@@ -1,0 +1,91 @@
+//! Regression tests for the workload drivers: every UnixBench-style
+//! benchmark must run to completion on a bare (unmonitored) stack, and the
+//! macro workloads must keep making progress indefinitely.
+
+use hypertap_guestos::kernel::{Kernel, KernelConfig};
+use hypertap_guestos::program::{FnProgram, UserOp, UserView};
+use hypertap_guestos::syscalls::Sysno;
+use hypertap_workloads::unixbench::{self, Ubench};
+use hypertap_hvsim::clock::SimTime;
+use hypertap_hvsim::exit::{ExitAction, VmExit};
+use hypertap_hvsim::machine::{Hypervisor, Machine, RunExit, VmConfig, VmState};
+
+struct NoHv;
+impl Hypervisor for NoHv {
+    fn handle_exit(&mut self, _vm: &mut VmState, _exit: &VmExit) -> ExitAction {
+        ExitAction::Resume
+    }
+}
+
+fn run_driver(bench: Ubench) -> SimTime {
+    let mut m = Machine::new(VmConfig::new(2, 512 << 20), NoHv);
+    let mut k = Kernel::new(KernelConfig::new(2));
+    let driver = unixbench::install(&mut k, bench);
+    let driver_raw = driver.0;
+    let init = k.register_program(
+        "init",
+        Box::new(move || {
+            let mut started = false;
+            Box::new(FnProgram(move |_v: &UserView<'_>| {
+                if !started {
+                    started = true;
+                    UserOp::sys(Sysno::Spawn, &[driver_raw, 0])
+                } else {
+                    UserOp::sys(Sysno::Waitpid, &[])
+                }
+            }))
+        }),
+    );
+    k.set_init_program(init);
+    let exit = m.run_until(&mut k, SimTime::from_secs(600));
+    assert_eq!(exit, RunExit::Shutdown, "{bench} must power off when done");
+    m.vm().now()
+}
+
+/// Every suite member completes, and in a sane amount of simulated time.
+#[test]
+fn all_unixbench_drivers_complete() {
+    for bench in Ubench::suite() {
+        let t = run_driver(bench);
+        assert!(
+            t > SimTime::from_millis(5),
+            "{bench} finished suspiciously fast: {t}"
+        );
+        assert!(t < SimTime::from_secs(30), "{bench} took too long: {t}");
+    }
+}
+
+/// The macro workloads (hanoi / make / http) loop forever, emitting
+/// progress markers — the property the fault-injection campaign relies on.
+#[test]
+fn macro_workloads_make_continuous_progress() {
+    let cases: Vec<(&str, Box<dyn Fn(&mut Kernel) -> hypertap_guestos::program::ProgId>)> = vec![
+        (
+            "hanoi-tower",
+            Box::new(|k: &mut Kernel| {
+                k.register_program(
+                    "hanoi",
+                    Box::new(|| Box::new(hypertap_workloads::hanoi::Hanoi::new(12, 1_500))),
+                )
+            }),
+        ),
+        (
+            "make-build",
+            Box::new(|k: &mut Kernel| hypertap_workloads::make::install(k, 2, 6)),
+        ),
+    ];
+    for (tag, install) in cases {
+        let mut m = Machine::new(VmConfig::new(2, 512 << 20), NoHv);
+        let mut k = Kernel::new(KernelConfig::new(2));
+        let w = install(&mut k);
+        let init = hypertap_workloads::make::install_init_running(&mut k, w);
+        k.set_init_program(init);
+        m.run_until(&mut k, SimTime::from_secs(5));
+        let marks = k
+            .drain_all_mailboxes()
+            .iter()
+            .filter(|(_, e)| e.tag == tag)
+            .count();
+        assert!(marks >= 2, "{tag}: expected repeated progress, got {marks}");
+    }
+}

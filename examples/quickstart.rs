@@ -1,0 +1,78 @@
+//! Quickstart: assemble a monitored VM and watch the unified event stream.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+//!
+//! Builds the standard HyperTap stack — the HAV simulator, the KVM model
+//! with the Event Forwarder, all six interception engines, and the Event
+//! Multiplexer — boots the simulated guest with a small workload, and
+//! prints what the monitoring plane saw.
+
+use hypertap::harness::TapVm;
+use hypertap::prelude::*;
+use hypertap_guestos::program::UserView;
+use hypertap_hvsim::clock::Duration;
+
+fn main() {
+    // 1. A 2-vCPU guest with every interception engine and two auditors.
+    let mut vm = TapVm::builder()
+        .vcpus(2)
+        .goshd(GoshdConfig::paper_default())
+        .hrkd()
+        .build();
+
+    // 2. Give the guest something to do: a writer process.
+    let writer = vm.kernel.register_program(
+        "writer",
+        Box::new(|| {
+            let mut n = 0u32;
+            Box::new(FnProgram(move |_v: &UserView<'_>| {
+                n += 1;
+                match n % 3 {
+                    1 => UserOp::sys(Sysno::Open, &[7]),
+                    2 => UserOp::sys(Sysno::Write, &[0, 4096]),
+                    _ => UserOp::sys(Sysno::Close, &[0]),
+                }
+            }))
+        }),
+    );
+    let init = hypertap::workloads::make::install_init_running(&mut vm.kernel, writer);
+    vm.kernel.set_init_program(init);
+
+    // 3. Run half a second of simulated time.
+    vm.run_for(Duration::from_millis(500));
+
+    // 4. What the hardware-invariant logging plane captured.
+    println!("guest booted: {}", vm.kernel.is_booted());
+    println!("simulated time: {}", vm.now());
+    println!("\nVM Exits by reason:");
+    for (reason, count) in vm.machine.vm().stats().iter() {
+        println!("  {reason:<14} {count}");
+    }
+    println!(
+        "\nevents forwarded to the Event Multiplexer: {}",
+        vm.machine.hypervisor().forwarded_events()
+    );
+    println!(
+        "context switches performed by the guest scheduler: {}",
+        vm.kernel.stats().context_switches
+    );
+
+    // 5. Auditor state: GOSHD saw a healthy machine; HRKD counted processes.
+    let goshd = vm.auditor::<Goshd>().expect("registered");
+    println!("\nGOSHD alarms: {} (healthy guest)", goshd.alarms().len());
+    let trusted = {
+        let (vmstate, kvm) = vm.machine.parts_mut();
+        let hrkd = kvm.em.auditor_mut::<Hrkd>().expect("registered");
+        hrkd.trusted_process_count(vmstate)
+    };
+    println!("HRKD trusted process count (from CR3 loads): {trusted}");
+    println!("guest's own view (live pids): {:?}", vm.kernel.alive_pids());
+
+    let findings = vm.drain_findings();
+    println!("\nfindings: {}", findings.len());
+    for f in findings {
+        println!("  {f}");
+    }
+}

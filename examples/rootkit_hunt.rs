@@ -1,0 +1,84 @@
+//! Hidden rootkit detection by cross-view validation (paper §VII-B).
+//!
+//! ```sh
+//! cargo run --example rootkit_hunt
+//! ```
+//!
+//! A SucKIT-style rootkit unlinks a running process from the guest's task
+//! list (DKOM via kmem). The in-guest `ps` and traditional VMI both lose
+//! sight of it — but the process still has to be scheduled, so its address
+//! space keeps appearing in CR3 and its kernel stack in `TSS.RSP0`. HRKD
+//! compares the architectural (trusted) view against the corruptible views
+//! and flags the discrepancy.
+
+use hypertap::harness::TapVm;
+use hypertap::prelude::*;
+use hypertap_guestos::layout;
+use hypertap_guestos::program::UserView;
+use hypertap_hvsim::clock::Duration;
+
+fn main() {
+    let mut vm = TapVm::builder().hrkd().build();
+    let rk = vm
+        .kernel
+        .register_module(rootkit_by_name("SucKIT").expect("in Table II"));
+
+    // The malware: a busy process the attacker wants invisible.
+    let malware = vm.kernel.register_program(
+        "cryptominer",
+        Box::new(|| Box::new(FnProgram(|_v: &UserView<'_>| UserOp::Compute(100_000)))),
+    );
+    let malware_raw = malware.0;
+    let init = vm.kernel.register_program(
+        "init",
+        Box::new(move || {
+            let mut stage = 0;
+            let mut pid = 0u64;
+            Box::new(FnProgram(move |v: &UserView<'_>| {
+                stage += 1;
+                match stage {
+                    1 => UserOp::sys(Sysno::Spawn, &[malware_raw, 1000]),
+                    2 => {
+                        pid = v.last_ret;
+                        UserOp::sys(Sysno::Nanosleep, &[100_000_000])
+                    }
+                    3 => UserOp::sys(Sysno::InstallModule, &[rk, pid]),
+                    _ => UserOp::sys(Sysno::Nanosleep, &[3_600_000_000_000]),
+                }
+            }))
+        }),
+    );
+    vm.kernel.set_init_program(init);
+    vm.run_for(Duration::from_millis(400));
+
+    // The two untrusted views.
+    let profile = layout::os_profile();
+    let cr3 = vm.machine.vm().vcpu(VcpuId(0)).cr3();
+    let vmi_view =
+        hypertap::framework::vmi::list_tasks(&vm.machine.vm().mem, cr3, &profile, 8192)
+            .expect("guest task list readable");
+    println!("traditional VMI sees {} tasks:", vmi_view.len());
+    for t in &vmi_view {
+        println!("  pid {:<3} uid {:<5} {}", t.pid, t.uid, t.comm);
+    }
+
+    // The kernel's own scheduler still runs the hidden process.
+    println!("\nscheduler-live pids (ground truth): {:?}", vm.kernel.alive_pids());
+
+    // HRKD's cross-view validation.
+    let now = vm.now();
+    let (vmstate, kvm) = vm.machine.parts_mut();
+    let hrkd = kvm.em.auditor_mut::<Hrkd>().expect("registered");
+    let report = hrkd.cross_validate_vmi(vmstate, now);
+    println!("\nHRKD cross-view report at {now}:");
+    println!("  address spaces running but missing from the task list: {:?}", report.hidden_pdbas);
+    println!("  kernel stacks running but missing from the task list:  {:?}", report.hidden_kstacks);
+    println!(
+        "\nverdict: {}",
+        if report.is_clean() {
+            "clean (unexpected!)"
+        } else {
+            "HIDDEN TASK DETECTED — a rootkit is unlinking kernel objects"
+        }
+    );
+}

@@ -1,0 +1,54 @@
+//! # hypertap — reliability and security monitoring of virtual machines
+//! using hardware architectural invariants
+//!
+//! Umbrella crate of the HyperTap reproduction (Pham et al., DSN 2014).
+//! It re-exports the workspace crates under stable names and provides the
+//! [`harness`] used by the examples, integration tests and experiment
+//! binaries to assemble a fully monitored virtual machine in a few lines:
+//!
+//! ```
+//! use hypertap::harness::TapVm;
+//! use hypertap_hvsim::clock::Duration;
+//!
+//! let mut vm = TapVm::builder()
+//!     .vcpus(2)
+//!     .goshd(Default::default())
+//!     .hrkd()
+//!     .build();
+//! vm.run_for(Duration::from_millis(500));
+//! assert!(vm.kernel.is_booted());
+//! assert!(vm.machine.hypervisor().forwarded_events() > 0);
+//! ```
+//!
+//! Layer map (bottom-up):
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`hvsim`] | hardware + HAV simulator (vCPUs, EPT, VM Exits) |
+//! | [`guestos`] | simulated guest kernel (scheduler, tasks, syscalls, locks) |
+//! | [`framework`] | HyperTap core: Event Forwarder/Multiplexer, interception engines, VMI, derivation, RHC |
+//! | [`monitors`] | GOSHD, HRKD, the three Ninjas |
+//! | [`attacks`] | rootkit models, exploits, side channels |
+//! | [`faultinject`] | the hang-failure fault-injection campaign |
+//! | [`workloads`] | Hanoi / make / HTTP / UnixBench-style workloads |
+
+pub use hypertap_attacks as attacks;
+pub use hypertap_core as framework;
+pub use hypertap_faultinject as faultinject;
+pub use hypertap_guestos as guestos;
+pub use hypertap_hvsim as hvsim;
+pub use hypertap_monitors as monitors;
+pub use hypertap_workloads as workloads;
+
+/// The assembly harness (re-exported from `hypertap-monitors`).
+pub use hypertap_monitors::harness;
+
+/// One-stop import for examples and tests.
+pub mod prelude {
+
+    pub use hypertap_attacks::prelude::*;
+    pub use hypertap_core::prelude::*;
+    pub use hypertap_guestos::prelude::*;
+    pub use hypertap_hvsim::prelude::*;
+    pub use hypertap_monitors::prelude::*;
+}

@@ -1,0 +1,165 @@
+//! Integration tests for the remaining attack surfaces: TSS relocation
+//! (Fig. 3C) and hidden kernel threads (the HRKD thread-level claim of
+//! Table II).
+
+use hypertap::harness::TapVm;
+use hypertap::prelude::*;
+use hypertap_core::event::EventClass;
+use hypertap_guestos::program::UserView;
+use hypertap_hvsim::clock::Duration;
+
+/// A rootkit that relocates the TSS is caught by the integrity engine:
+/// the saved-TR comparison on the next exit raises a `TssRelocated` event.
+#[test]
+fn tss_relocating_rootkit_is_caught() {
+    let mut vm = TapVm::builder().build();
+    vm.machine.hypervisor_mut().em.register(Box::new(CountingAuditor::with_mask(
+        EventMask::only(EventClass::Integrity),
+    )));
+    let rk = vm.kernel.register_module(ModuleSpec::new(
+        "tss-mover",
+        "Linux",
+        vec![HideMechanism::TssRelocate],
+    ));
+    let init = vm.kernel.register_program(
+        "init",
+        Box::new(move || {
+            let mut stage = 0;
+            Box::new(FnProgram(move |v: &UserView<'_>| {
+                stage += 1;
+                match stage {
+                    1 => UserOp::sys(Sysno::Nanosleep, &[50_000_000]),
+                    2 => UserOp::sys(Sysno::InstallModule, &[rk, v.pid]),
+                    _ => UserOp::sys(Sysno::Nanosleep, &[3_600_000_000_000]),
+                }
+            }))
+        }),
+    );
+    vm.kernel.set_init_program(init);
+    vm.run_for(Duration::from_millis(300));
+    let alerts = vm.auditor::<CountingAuditor>().unwrap().events_seen();
+    assert_eq!(alerts, 1, "exactly one TSS-relocation integrity alarm");
+}
+
+/// HRKD's thread-level trusted set exposes a hidden *kernel thread*: DKOM
+/// unlinks the daemon from the task list, but its kernel stack keeps
+/// showing up in `TSS.RSP0`.
+#[test]
+fn hrkd_detects_hidden_kernel_thread() {
+    let mut vm = TapVm::builder().hrkd().build();
+    let rk = vm
+        .kernel
+        .register_module(rootkit_by_name("PhalanX").expect("table 2"));
+    let init = vm.kernel.register_program(
+        "init",
+        Box::new(move || {
+            let mut stage = 0;
+            Box::new(FnProgram(move |_v: &UserView<'_>| {
+                stage += 1;
+                match stage {
+                    // Let the daemons run so HRKD observes their stacks.
+                    1 => UserOp::sys(Sysno::Nanosleep, &[400_000_000]),
+                    // Hide kflushd/0 (pid 2 — init is 1, daemons follow).
+                    2 => UserOp::sys(Sysno::InstallModule, &[rk, 2]),
+                    _ => UserOp::sys(Sysno::Nanosleep, &[3_600_000_000_000]),
+                }
+            }))
+        }),
+    );
+    vm.kernel.set_init_program(init);
+    vm.run_for(Duration::from_secs(1));
+
+    let now = vm.now();
+    let (vmstate, kvm) = vm.machine.parts_mut();
+    let hrkd = kvm.em.auditor_mut::<Hrkd>().expect("registered");
+    let report = hrkd.cross_validate_vmi(vmstate, now);
+    assert!(
+        !report.hidden_kstacks.is_empty(),
+        "the daemon's kernel stack is running but unlisted: {report:?}"
+    );
+    // Kernel threads have no address space of their own, so this is a
+    // *thread*-level detection (the PDBA set may stay clean).
+    let kstack = report.hidden_kstacks[0];
+    let daemon = vm.kernel.task_by_pid(Pid(2)).expect("daemon still scheduled");
+    assert_eq!(daemon.kstack_top.value(), kstack);
+}
+
+/// The side-channel-timed transient attack (paper §VIII-C1): the attacker
+/// measures O-Ninja's schedule through `/proc`, then strikes right after a
+/// check — evading even a short polling interval that random-phase attacks
+/// would sometimes lose to.
+#[test]
+fn side_channel_timed_attack_evades_oninja() {
+    use hypertap::harness::EngineSelection;
+    use hypertap_guestos::kernel::ProcStat;
+    use hypertap_monitors::ninja::oninja::{ONinja, DETECT_TAG};
+
+    let mut vm = TapVm::builder().engines(EngineSelection::none()).build();
+    // O-Ninja with a 100 ms interval: short enough that an untimed transient
+    // attack would occasionally be caught.
+    let ninja = vm.kernel.register_program(
+        "ninja",
+        Box::new(|| Box::new(ONinja::new(NinjaRules::new(), 100_000_000, false))),
+    );
+    // The timed attacker: watch the ninja's /proc stat; the moment it goes
+    // back to sleep after a check, escalate, act and exit — the next check
+    // is a full interval away.
+    let attacker = vm.kernel.register_program(
+        "timed-attacker",
+        Box::new(|| {
+            let mut last_state = None;
+            let mut stage = 0u32;
+            Box::new(FnProgram(move |v: &UserView<'_>| {
+                const NINJA_PID: u64 = 4; // init=1, kflushd=2,3, ninja=4
+                match stage {
+                    0 => {
+                        // Poll until we observe a run -> sleep transition.
+                        if let Some(stat) = ProcStat::unpack(v.last_ret) {
+                            if last_state == Some(0) && stat.state == 1 {
+                                stage = 1;
+                                return UserOp::sys(Sysno::VulnEscalate, &[]);
+                            }
+                            last_state = Some(stat.state);
+                        }
+                        UserOp::sys(Sysno::ReadProcStat, &[NINJA_PID])
+                    }
+                    1 => {
+                        stage = 2;
+                        UserOp::sys(Sysno::Write, &[0, 4096]) // the loot copy
+                    }
+                    2 => {
+                        stage = 3;
+                        UserOp::Emit(ATTACK_DONE_TAG.into(), String::new())
+                    }
+                    _ => UserOp::Exit(0),
+                }
+            }))
+        }),
+    );
+    let (ninja_raw, attacker_raw) = (ninja.0, attacker.0);
+    let init = vm.kernel.register_program(
+        "init",
+        Box::new(move || {
+            let mut stage = 0;
+            Box::new(FnProgram(move |_v: &UserView<'_>| {
+                stage += 1;
+                match stage {
+                    1 => UserOp::sys(Sysno::Spawn, &[ninja_raw, 0]),
+                    2 => UserOp::sys(Sysno::Spawn, &[attacker_raw, 1000]),
+                    _ => UserOp::sys(Sysno::Nanosleep, &[3_600_000_000_000]),
+                }
+            }))
+        }),
+    );
+    vm.kernel.set_init_program(init);
+    vm.run_for(Duration::from_secs(2));
+    let mails = vm.kernel.drain_all_mailboxes();
+    assert!(
+        mails.iter().any(|(_, e)| e.tag == ATTACK_DONE_TAG),
+        "the attack completed"
+    );
+    assert!(
+        mails.iter().all(|(_, e)| e.tag != DETECT_TAG),
+        "a perfectly timed transient attack is never caught by the poller"
+    );
+}

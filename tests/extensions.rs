@@ -1,0 +1,133 @@
+//! End-to-end tests for the §VII-D extension monitors riding the unified
+//! logging channel: the syscall-sequence IDS and the event-rate counters.
+
+use hypertap::harness::TapVm;
+use hypertap::prelude::*;
+use hypertap_guestos::program::UserView;
+use hypertap_monitors::counters::EventCounters;
+use hypertap_monitors::syscall_ids::{IdsPhase, SyscallIds};
+use hypertap_hvsim::clock::Duration;
+
+/// Train the IDS on a normal file-copy workload, then let the exploit run:
+/// its escalate-mid-I/O trace is flagged without any Ninja-style policy.
+#[test]
+fn syscall_ids_flags_the_exploit_trace() {
+    let mut vm = TapVm::builder().build();
+    vm.machine.hypervisor_mut().em.register(Box::new(SyscallIds::new()));
+
+    let rk = vm.kernel.register_module(rootkit_by_name("FU").unwrap());
+    let worker = vm.kernel.register_program(
+        "worker",
+        Box::new(|| {
+            let mut n = 0u32;
+            Box::new(FnProgram(move |_v: &UserView<'_>| {
+                n += 1;
+                match n % 4 {
+                    1 => UserOp::sys(Sysno::Open, &[7]),
+                    2 => UserOp::sys(Sysno::Read, &[0, 2048]),
+                    3 => UserOp::sys(Sysno::Write, &[0, 2048]),
+                    _ => UserOp::sys(Sysno::Close, &[0]),
+                }
+            }))
+        }),
+    );
+    let attack = vm.kernel.register_program(
+        "exploit",
+        Box::new(move || Box::new(AttackProgram::new(AttackConfig::rootkit_combined(rk)))),
+    );
+    let (worker_raw, attack_raw) = (worker.0, attack.0);
+    let init = vm.kernel.register_program(
+        "init",
+        Box::new(move || {
+            let mut stage = 0;
+            Box::new(FnProgram(move |_v: &UserView<'_>| {
+                stage += 1;
+                match stage {
+                    1 => UserOp::sys(Sysno::Spawn, &[worker_raw, 1000]),
+                    2 => UserOp::sys(Sysno::Nanosleep, &[1_000_000_000]),
+                    3 => UserOp::sys(Sysno::Spawn, &[attack_raw, 1000]),
+                    _ => UserOp::sys(Sysno::Waitpid, &[]),
+                }
+            }))
+        }),
+    );
+    vm.kernel.set_init_program(init);
+
+    // Phase 1: train on one second of normal behaviour.
+    vm.run_for(Duration::from_millis(900));
+    {
+        let ids = vm.auditor_mut::<SyscallIds>().unwrap();
+        assert!(ids.normal_ngrams() > 3, "training learned something");
+        ids.set_phase(IdsPhase::Detecting);
+    }
+    // Phase 2: the attack launches at t = 1 s.
+    vm.run_for(Duration::from_millis(600));
+    let ids = vm.auditor::<SyscallIds>().unwrap();
+    assert!(
+        !ids.anomalies().is_empty(),
+        "the exploit's vuln_escalate/install_module trace is unseen"
+    );
+    let findings = vm.drain_findings();
+    assert!(findings.iter().any(|f| f.auditor == "syscall-ids"));
+}
+
+/// The event counters see a busy guest, and their per-vCPU switch counts
+/// collapse when the guest hangs — the raw signal a Vigilant-style learned
+/// detector would consume.
+#[test]
+fn event_counters_reflect_guest_health() {
+    let mut vm = TapVm::builder().build();
+    vm.machine
+        .hypervisor_mut()
+        .em
+        .register(Box::new(EventCounters::new(Duration::from_millis(500), 2)));
+
+    let w = vm.kernel.register_program(
+        "writer",
+        Box::new(|| {
+            Box::new(FnProgram(|_v: &UserView<'_>| UserOp::sys(Sysno::Write, &[0, 4096])))
+        }),
+    );
+    let init = hypertap::workloads::make::install_init_running(&mut vm.kernel, w);
+    vm.kernel.set_init_program(init);
+    vm.run_for(Duration::from_secs(3));
+
+    let busy = {
+        let counters = vm.auditor::<EventCounters>().unwrap();
+        assert!(counters.samples().len() >= 4);
+        counters.samples().last().unwrap().clone()
+    };
+    assert!(busy.total() > 100, "a busy guest generates a dense event stream");
+    assert!(
+        busy.class(hypertap_core::event::EventClass::Syscall) > 0,
+        "syscall counts are populated"
+    );
+
+    // Now wedge the guest and watch the stream dry up.
+    struct LeakAll;
+    impl hypertap_guestos::fault::FaultHook for LeakAll {
+        fn check(
+            &mut self,
+            _site: u32,
+            acquire: bool,
+        ) -> Option<hypertap_guestos::fault::FaultType> {
+            (!acquire).then_some(hypertap_guestos::fault::FaultType::MissingUnlock)
+        }
+    }
+    vm.kernel.set_fault_hook(Box::new(LeakAll));
+    vm.run_for(Duration::from_secs(3));
+    let wedged = vm
+        .auditor::<EventCounters>()
+        .unwrap()
+        .samples()
+        .last()
+        .unwrap()
+        .clone();
+    let busy_switches: u64 = busy.switches_per_vcpu.iter().sum();
+    let wedged_switches: u64 = wedged.switches_per_vcpu.iter().sum();
+    assert!(busy_switches >= 2, "the healthy guest scheduled: {busy_switches}");
+    assert_eq!(
+        wedged_switches, 0,
+        "switch counters collapse on hang: {busy_switches} -> {wedged_switches}"
+    );
+}
