@@ -43,14 +43,8 @@ mod tests {
         assert_eq!(r.len(), 10);
         // Spot-check techniques against the paper's table.
         assert_eq!(rootkit_by_name("FU").unwrap().mechanisms, vec![HideMechanism::Dkom]);
-        assert!(rootkit_by_name("SucKIT")
-            .unwrap()
-            .mechanisms
-            .contains(&HideMechanism::KmemPatch));
-        assert!(rootkit_by_name("AFX")
-            .unwrap()
-            .mechanisms
-            .contains(&HideMechanism::SyscallHijack));
+        assert!(rootkit_by_name("SucKIT").unwrap().mechanisms.contains(&HideMechanism::KmemPatch));
+        assert!(rootkit_by_name("AFX").unwrap().mechanisms.contains(&HideMechanism::SyscallHijack));
         assert!(rootkit_by_name("nonexistent").is_none());
     }
 

@@ -27,10 +27,8 @@ impl Hypervisor for NoHv {
 fn booted_machine() -> (Machine<NoHv>, Kernel) {
     let mut m = Machine::new(VmConfig::new(2, 256 << 20), NoHv);
     let mut k = Kernel::new(KernelConfig::new(2));
-    let idle = k.register_program(
-        "idle",
-        Box::new(|| hypertap_workloads::idle_program(3_600_000_000_000)),
-    );
+    let idle = k
+        .register_program("idle", Box::new(|| hypertap_workloads::idle_program(3_600_000_000_000)));
     let idle_raw = idle.0;
     let init = k.register_program(
         "init",

@@ -9,8 +9,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use hypertap_guestos::program::{FnProgram, UserOp, UserView};
 use hypertap_guestos::syscalls::Sysno;
-use hypertap_monitors::harness::{EngineSelection, TapVm};
 use hypertap_hvsim::clock::Duration;
+use hypertap_monitors::harness::{EngineSelection, TapVm};
 
 fn run_burst(engines: EngineSelection) {
     let mut vm = TapVm::builder().vcpus(1).memory(192 << 20).engines(engines).build();

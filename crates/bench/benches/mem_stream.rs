@@ -1,0 +1,90 @@
+//! Criterion micro-benchmark: guest memory streaming through the full MMU
+//! path (`CpuCtx::read_u64_gva`) with the software TLB enabled vs disabled,
+//! for sequential and random GVA streams. A third `seed` arm replays the
+//! pre-TLB data path (HashMap-backed frames + uncached walk per access) so
+//! the before/after gap is measured on the same build.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hypertap_bench::seedpath::{self, SeedMemory};
+use hypertap_hvsim::cpu::CpuCtx;
+use hypertap_hvsim::ept::Ept;
+use hypertap_hvsim::exit::{ExitAction, VmExit};
+use hypertap_hvsim::machine::{Hypervisor, Machine, VmConfig, VmState};
+use hypertap_hvsim::mem::{Gfn, Gva, PAGE_SIZE};
+use hypertap_hvsim::paging::{AddressSpaceBuilder, FrameAllocator};
+use hypertap_hvsim::vcpu::VcpuId;
+use rand::{Rng, SeedableRng};
+
+const MEM_SIZE: u64 = 64 << 20;
+const MAPPED_PAGES: u64 = 512;
+
+struct NoHv;
+impl Hypervisor for NoHv {
+    fn handle_exit(&mut self, _vm: &mut VmState, _exit: &VmExit) -> ExitAction {
+        ExitAction::Resume
+    }
+}
+
+fn machine(tlb: bool) -> Machine<NoHv> {
+    let mut m = Machine::new(VmConfig::new(1, MEM_SIZE).with_tlb(tlb), NoHv);
+    let vm = m.vm_mut();
+    let mut falloc = FrameAllocator::new(Gfn::new(16), Gfn::new(MEM_SIZE / PAGE_SIZE));
+    let mut asb = AddressSpaceBuilder::new(&mut vm.mem, &mut falloc);
+    asb.map_fresh_range(&mut vm.mem, &mut falloc, Gva::new(0), MAPPED_PAGES);
+    vm.vcpu_mut(VcpuId(0)).set_cr3(asb.pdba());
+    m
+}
+
+fn addresses(sequential: bool) -> Vec<Gva> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    (0..4096u64)
+        .map(|i| {
+            if sequential {
+                Gva::new((i * 8) % (MAPPED_PAGES * PAGE_SIZE))
+            } else {
+                Gva::new(
+                    rng.gen_range(0..MAPPED_PAGES) * PAGE_SIZE + rng.gen_range(0..PAGE_SIZE - 8),
+                )
+            }
+        })
+        .collect()
+}
+
+fn bench_mem_stream(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mem_stream");
+    for (label, sequential) in [("sequential", true), ("random", false)] {
+        let gvas = addresses(sequential);
+
+        let mut seed = SeedMemory::new(MEM_SIZE);
+        let seed_pdba = seedpath::seed_address_space(&mut seed, MAPPED_PAGES);
+        let ept = Ept::new();
+        group.bench_function(format!("{label}_seed"), |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for gva in &gvas {
+                    acc ^= seedpath::seed_read_u64_gva(&seed, &ept, seed_pdba, *gva);
+                }
+                black_box(acc)
+            })
+        });
+
+        for (mode, tlb) in [("tlb", true), ("walk", false)] {
+            let mut m = machine(tlb);
+            group.bench_function(format!("{label}_{mode}"), |b| {
+                b.iter(|| {
+                    let (vm, hv) = m.parts_mut();
+                    let mut cpu = CpuCtx::new(vm, hv, VcpuId(0));
+                    let mut acc = 0u64;
+                    for gva in &gvas {
+                        acc ^= cpu.read_u64_gva(*gva).unwrap();
+                    }
+                    black_box(acc)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mem_stream);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Criterion micro-benchmark: the translation path with and without the
+//! software TLB.
+//!
+//! Compares a raw two-level page-table walk against the per-vCPU TLB for
+//! sequential (same few pages, high locality) and random (many pages,
+//! conflict-prone) GVA streams, and prints the achieved hit rates.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hypertap_hvsim::ept::Ept;
+use hypertap_hvsim::mem::{Gfn, GuestMemory, Gva, PAGE_SIZE};
+use hypertap_hvsim::paging::{self, AddressSpaceBuilder, FrameAllocator};
+use hypertap_hvsim::tlb::Tlb;
+use rand::{Rng, SeedableRng};
+
+const MEM_SIZE: u64 = 64 << 20;
+const MAPPED_PAGES: u64 = 512;
+
+fn setup() -> (GuestMemory, Ept, hypertap_hvsim::mem::Gpa) {
+    let mut mem = GuestMemory::new(MEM_SIZE);
+    let mut falloc = FrameAllocator::new(Gfn::new(16), Gfn::new(MEM_SIZE / PAGE_SIZE));
+    let mut asb = AddressSpaceBuilder::new(&mut mem, &mut falloc);
+    asb.map_fresh_range(&mut mem, &mut falloc, Gva::new(0), MAPPED_PAGES);
+    (mem, Ept::new(), asb.pdba())
+}
+
+fn addresses(sequential: bool) -> Vec<Gva> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    (0..4096u64)
+        .map(|i| {
+            if sequential {
+                Gva::new((i * 8) % (MAPPED_PAGES * PAGE_SIZE))
+            } else {
+                Gva::new(rng.gen_range(0..MAPPED_PAGES) * PAGE_SIZE + rng.gen_range(0..PAGE_SIZE))
+            }
+        })
+        .collect()
+}
+
+fn bench_tlb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tlb_hit_rate");
+
+    for (label, sequential) in [("sequential", true), ("random", false)] {
+        let gvas = addresses(sequential);
+
+        let (mem, _ept, pdba) = setup();
+        group.bench_function(format!("walk_{label}"), |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for gva in &gvas {
+                    acc ^= paging::walk(&mem, pdba, *gva).unwrap().value();
+                }
+                black_box(acc)
+            })
+        });
+
+        let (mut mem, ept, pdba) = setup();
+        let mut tlb = Tlb::new();
+        group.bench_function(format!("tlb_{label}"), |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for gva in &gvas {
+                    acc ^= tlb.translate(&mut mem, &ept, pdba, *gva).unwrap().0.value();
+                }
+                black_box(acc)
+            })
+        });
+        let s = tlb.stats();
+        println!("  {label}: hit rate {:.2}% over {} lookups", s.hit_rate() * 100.0, s.lookups());
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tlb);
+criterion_main!(benches);

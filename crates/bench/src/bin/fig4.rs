@@ -76,8 +76,16 @@ fn main() {
         "{}",
         table(
             &[
-                "workload", "kernel", "fault", "trials", "not act.", "not manif.", "not det.",
-                "partial", "full", "partial%"
+                "workload",
+                "kernel",
+                "fault",
+                "trials",
+                "not act.",
+                "not manif.",
+                "not det.",
+                "partial",
+                "full",
+                "partial%"
             ],
             &table_rows
         )

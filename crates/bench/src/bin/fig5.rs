@@ -32,7 +32,10 @@ fn main() {
             cfg = default_campaign(94);
             cfg.workloads = vec![Workload::Hanoi, Workload::MakeJ2];
         }
-        eprintln!("fig5: running {} trials (use `fig4 --save` + `--load` to reuse)", cfg.specs().len());
+        eprintln!(
+            "fig5: running {} trials (use `fig4 --save` + `--load` to reuse)",
+            cfg.specs().len()
+        );
         run_campaign(&cfg, |done, total| {
             if done % 32 == 0 || done == total {
                 eprint!("\r  {done}/{total} trials");
@@ -44,14 +47,8 @@ fn main() {
     let (first, full) = fig5_latencies(&results);
     let xs = [4.0, 8.0, 12.0, 16.0, 20.0, 24.0, 28.0, 32.0, 40.0, 50.0];
     println!("Fig. 5 — Guest OS Hang Detection latency\n");
-    println!(
-        "{}",
-        cdf_table("first-hang detection latency (paper's blue line)", &first, &xs)
-    );
-    println!(
-        "{}",
-        cdf_table("full-hang latency (paper's red line)", &full, &xs)
-    );
+    println!("{}", cdf_table("first-hang detection latency (paper's blue line)", &first, &xs));
+    println!("{}", cdf_table("full-hang latency (paper's red line)", &full, &xs));
     if !first.is_empty() {
         let at4 = first.partition_point(|&v| v <= 4.5) as f64 / first.len() as f64;
         println!(

@@ -8,7 +8,9 @@
 //! simulation.
 
 use hypertap_attacks::exploit::ATTACK_DONE_TAG;
-use hypertap_bench::ninja_scenarios::{run_ninja_trial_traced, AttackStyle, NinjaVariant, TraceEvent};
+use hypertap_bench::ninja_scenarios::{
+    run_ninja_trial_traced, AttackStyle, NinjaVariant, TraceEvent,
+};
 use hypertap_bench::report::table;
 use hypertap_hvsim::clock::Duration;
 
@@ -19,10 +21,7 @@ fn print_timeline(title: &str, events: &[TraceEvent], detected: bool) {
         .map(|e| vec![format!("{:>10.3} ms", e.time_ns as f64 / 1e6), e.what.clone()])
         .collect();
     println!("{}", table(&["time", "event"], &rows));
-    println!(
-        "outcome: attack {}\n",
-        if detected { "DETECTED" } else { "went unnoticed" }
-    );
+    println!("outcome: attack {}\n", if detected { "DETECTED" } else { "went unnoticed" });
 }
 
 fn main() {

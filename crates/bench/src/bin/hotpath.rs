@@ -1,0 +1,273 @@
+//! Hot-path before/after report: measures the translation path, guest
+//! memory streaming and Event Multiplexer fanout with the optimisations on
+//! and off, then writes `BENCH_hotpath.json` at the repository root.
+//!
+//! "Before" numbers are taken on the same build by disabling the cache in
+//! question (raw page-table walk instead of the TLB, subscribed delivery
+//! instead of the combined-mask fast skip), so the comparison isolates the
+//! hot-path change from unrelated compiler or machine drift.
+//!
+//! ```text
+//! cargo run --release -p hypertap-bench --bin hotpath
+//! ```
+
+use criterion::{black_box, Criterion};
+use hypertap_bench::seedpath::{self, SeedMemory};
+use hypertap_core::audit::CountingAuditor;
+use hypertap_core::em::EventMultiplexer;
+use hypertap_core::event::{Event, EventClass, EventKind, EventMask, VmId};
+use hypertap_hvsim::clock::SimTime;
+use hypertap_hvsim::cpu::CpuCtx;
+use hypertap_hvsim::ept::Ept;
+use hypertap_hvsim::exit::{ExitAction, VcpuSnapshot, VmExit};
+use hypertap_hvsim::machine::{Hypervisor, Machine, VmConfig, VmState};
+use hypertap_hvsim::mem::{Gfn, Gpa, GuestMemory, Gva, PAGE_SIZE};
+use hypertap_hvsim::paging::{self, AddressSpaceBuilder, FrameAllocator};
+use hypertap_hvsim::tlb::Tlb;
+use hypertap_hvsim::vcpu::{Vcpu, VcpuId};
+use rand::{Rng, SeedableRng};
+use serde::Value;
+
+const MEM_SIZE: u64 = 64 << 20;
+const MAPPED_PAGES: u64 = 512;
+const STREAM_LEN: u64 = 4096;
+
+struct NoHv;
+impl Hypervisor for NoHv {
+    fn handle_exit(&mut self, _vm: &mut VmState, _exit: &VmExit) -> ExitAction {
+        ExitAction::Resume
+    }
+}
+
+fn address_space(mem: &mut GuestMemory) -> Gpa {
+    let mut falloc = FrameAllocator::new(Gfn::new(16), Gfn::new(MEM_SIZE / PAGE_SIZE));
+    let mut asb = AddressSpaceBuilder::new(mem, &mut falloc);
+    asb.map_fresh_range(mem, &mut falloc, Gva::new(0), MAPPED_PAGES);
+    asb.pdba()
+}
+
+fn addresses(sequential: bool) -> Vec<Gva> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    (0..STREAM_LEN)
+        .map(|i| {
+            if sequential {
+                Gva::new((i * 8) % (MAPPED_PAGES * PAGE_SIZE))
+            } else {
+                Gva::new(
+                    rng.gen_range(0..MAPPED_PAGES) * PAGE_SIZE + rng.gen_range(0..PAGE_SIZE - 8),
+                )
+            }
+        })
+        .collect()
+}
+
+/// Seed-era walk vs current walk vs TLB, no CPU model around it.
+fn bench_translate(c: &mut Criterion) -> Vec<(String, f64)> {
+    let mut group = c.benchmark_group("translate");
+    let mut hit_rates = Vec::new();
+    for (label, sequential) in [("sequential", true), ("random", false)] {
+        let gvas = addresses(sequential);
+
+        let mut seed = SeedMemory::new(MEM_SIZE);
+        let seed_pdba = seedpath::seed_address_space(&mut seed, MAPPED_PAGES);
+        group.bench_function(format!("seed_{label}"), |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for gva in &gvas {
+                    acc ^= seedpath::seed_walk(&seed, seed_pdba, *gva).value();
+                }
+                black_box(acc)
+            })
+        });
+
+        let mut mem = GuestMemory::new(MEM_SIZE);
+        let pdba = address_space(&mut mem);
+        let ept = Ept::new();
+        group.bench_function(format!("walk_{label}"), |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for gva in &gvas {
+                    acc ^= paging::walk(&mem, pdba, *gva).unwrap().value();
+                }
+                black_box(acc)
+            })
+        });
+        let mut tlb = Tlb::new();
+        group.bench_function(format!("tlb_{label}"), |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for gva in &gvas {
+                    acc ^= tlb.translate(&mut mem, &ept, pdba, *gva).unwrap().0.value();
+                }
+                black_box(acc)
+            })
+        });
+        hit_rates.push((format!("tlb_{label}"), tlb.stats().hit_rate()));
+    }
+    group.finish();
+    hit_rates
+}
+
+/// Full MMU path: the seed data path (HashMap frames + uncached walk +
+/// EPT lookup per access) vs `CpuCtx::read_u64_gva` with the TLB disabled
+/// and enabled.
+fn bench_mem_stream(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mem_stream");
+    for (label, sequential) in [("sequential", true), ("random", false)] {
+        let gvas = addresses(sequential);
+
+        let mut seed = SeedMemory::new(MEM_SIZE);
+        let seed_pdba = seedpath::seed_address_space(&mut seed, MAPPED_PAGES);
+        let ept = Ept::new();
+        group.bench_function(format!("{label}_seed"), |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for gva in &gvas {
+                    acc ^= seedpath::seed_read_u64_gva(&seed, &ept, seed_pdba, *gva);
+                }
+                black_box(acc)
+            })
+        });
+
+        for (mode, tlb) in [("walk", false), ("tlb", true)] {
+            let mut m = Machine::new(VmConfig::new(1, MEM_SIZE).with_tlb(tlb), NoHv);
+            let pdba = address_space(&mut m.vm_mut().mem);
+            m.vm_mut().vcpu_mut(VcpuId(0)).set_cr3(pdba);
+            group.bench_function(format!("{label}_{mode}"), |b| {
+                b.iter(|| {
+                    let (vm, hv) = m.parts_mut();
+                    let mut cpu = CpuCtx::new(vm, hv, VcpuId(0));
+                    let mut acc = 0u64;
+                    for gva in &gvas {
+                        acc ^= cpu.read_u64_gva(*gva).unwrap();
+                    }
+                    black_box(acc)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn event() -> Event {
+    Event {
+        vm: VmId(0),
+        vcpu: VcpuId(0),
+        time: SimTime::from_millis(1),
+        kind: EventKind::ProcessSwitch { new_pdba: Gpa::new(0x1000) },
+        state: VcpuSnapshot::capture(&Vcpu::new(VcpuId(0))),
+    }
+}
+
+/// EM fanout: a dispatched-and-delivered event vs one the combined
+/// subscription mask rejects before any per-auditor work.
+fn bench_em(c: &mut Criterion) {
+    let mut group = c.benchmark_group("em_fanout");
+    let ev = event();
+
+    let mut em = EventMultiplexer::new();
+    for _ in 0..4 {
+        em.register(Box::new(CountingAuditor::new()));
+    }
+    let mut vm = Machine::new(VmConfig::new(1, 1 << 20), NoHv).into_parts().0;
+    group
+        .bench_function("dispatch_subscribed", |b| b.iter(|| em.dispatch(&mut vm, black_box(&ev))));
+
+    let mut em = EventMultiplexer::new();
+    for _ in 0..4 {
+        em.register(Box::new(CountingAuditor::with_mask(EventMask::only(EventClass::Syscall))));
+    }
+    let mut vm = Machine::new(VmConfig::new(1, 1 << 20), NoHv).into_parts().0;
+    group.bench_function("dispatch_fast_skip", |b| b.iter(|| em.dispatch(&mut vm, black_box(&ev))));
+    assert!(em.stats().fast_skipped > 0, "fast path never engaged");
+    group.finish();
+}
+
+fn lookup(results: &[(String, f64)], id: &str) -> f64 {
+    results
+        .iter()
+        .find(|(name, _)| name == id)
+        .unwrap_or_else(|| panic!("missing benchmark {id}"))
+        .1
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    let hit_rates = bench_translate(&mut c);
+    bench_mem_stream(&mut c);
+    bench_em(&mut c);
+
+    let results = c.results();
+    let speedup_pairs = [
+        ("translate_sequential", "translate/seed_sequential", "translate/tlb_sequential"),
+        ("translate_random", "translate/seed_random", "translate/tlb_random"),
+        (
+            "translate_sequential_vs_flat_walk",
+            "translate/walk_sequential",
+            "translate/tlb_sequential",
+        ),
+        ("mem_stream_sequential", "mem_stream/sequential_seed", "mem_stream/sequential_tlb"),
+        ("mem_stream_random", "mem_stream/random_seed", "mem_stream/random_tlb"),
+        (
+            "mem_stream_sequential_vs_flat_walk",
+            "mem_stream/sequential_walk",
+            "mem_stream/sequential_tlb",
+        ),
+        ("em_fast_skip", "em_fanout/dispatch_subscribed", "em_fanout/dispatch_fast_skip"),
+    ];
+
+    let benchmarks =
+        Value::Object(results.iter().map(|(name, ns)| (name.clone(), Value::F64(*ns))).collect());
+    let speedups = Value::Object(
+        speedup_pairs
+            .iter()
+            .map(|(key, before, after)| {
+                let before_ns = lookup(results, before);
+                let after_ns = lookup(results, after);
+                (
+                    key.to_string(),
+                    Value::Object(vec![
+                        ("before_ns".to_string(), Value::F64(before_ns)),
+                        ("after_ns".to_string(), Value::F64(after_ns)),
+                        ("speedup".to_string(), Value::F64(before_ns / after_ns)),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    let report = Value::Object(vec![
+        (
+            "generated_by".to_string(),
+            Value::Str("cargo run --release -p hypertap-bench --bin hotpath".to_string()),
+        ),
+        (
+            "note".to_string(),
+            Value::Str(
+                "median ns/iter over one 4096-access GVA stream (translate, mem_stream) \
+                 or one event dispatch (em_fanout); 'before' arms replay the seed data \
+                 path (HashMap frames + uncached walk) or disable the cache under test, \
+                 on the same build"
+                    .to_string(),
+            ),
+        ),
+        ("stream_accesses".to_string(), Value::U64(STREAM_LEN)),
+        ("benchmarks_ns_per_iter".to_string(), benchmarks),
+        (
+            "tlb_hit_rates".to_string(),
+            Value::Object(
+                hit_rates.into_iter().map(|(name, rate)| (name, Value::F64(rate))).collect(),
+            ),
+        ),
+        ("speedups".to_string(), speedups),
+    ]);
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hotpath.json");
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(path, json + "\n").expect("write BENCH_hotpath.json");
+    println!("\nwrote {path}");
+
+    for (key, before, after) in speedup_pairs {
+        let s = lookup(results, before) / lookup(results, after);
+        println!("  {key:<24} {s:>6.2}x");
+    }
+}

@@ -37,6 +37,9 @@ fn main() {
         .collect();
     println!(
         "{}",
-        table(&["Monitoring category", "Guest event", "Related VM Exit", "Architectural invariant"], &rows)
+        table(
+            &["Monitoring category", "Guest event", "Related VM Exit", "Architectural invariant"],
+            &rows
+        )
     );
 }

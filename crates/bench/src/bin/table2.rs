@@ -11,9 +11,9 @@ use hypertap_bench::report::table;
 use hypertap_guestos::module::ModuleSpec;
 use hypertap_guestos::program::{FnProgram, UserOp, UserView};
 use hypertap_guestos::syscalls::Sysno;
+use hypertap_hvsim::clock::Duration;
 use hypertap_monitors::harness::TapVm;
 use hypertap_monitors::hrkd::Hrkd;
-use hypertap_hvsim::clock::Duration;
 
 /// Runs one rootkit scenario; returns (detected_by_vmi_check,
 /// in_guest_ps_count_before, after).
@@ -53,10 +53,7 @@ fn run_rootkit(spec: &ModuleSpec) -> (bool, usize, usize) {
 
     let mail = vm.kernel.drain_mailbox(hypertap_guestos::task::Pid(1));
     let grab = |tag: &str| -> usize {
-        mail.iter()
-            .find(|e| e.tag == tag)
-            .and_then(|e| e.detail.parse().ok())
-            .unwrap_or(0)
+        mail.iter().find(|e| e.tag == tag).and_then(|e| e.detail.parse().ok()).unwrap_or(0)
     };
     let (before, after) = (grab("ps-before"), grab("ps-after"));
 
@@ -80,12 +77,8 @@ fn main() {
     for spec in all_rootkits() {
         let (detected, before, after) = run_rootkit(&spec);
         all_detected &= detected;
-        let mechanisms = spec
-            .mechanisms
-            .iter()
-            .map(|m| m.to_string())
-            .collect::<Vec<_>>()
-            .join(", ");
+        let mechanisms =
+            spec.mechanisms.iter().map(|m| m.to_string()).collect::<Vec<_>>().join(", ");
         rows.push(vec![
             spec.name.clone(),
             spec.target_os.clone(),
@@ -96,10 +89,7 @@ fn main() {
     }
     println!(
         "{}",
-        table(
-            &["Rootkit", "Target OS", "Hiding technique(s)", "in-guest ps rows", "HRKD"],
-            &rows
-        )
+        table(&["Rootkit", "Target OS", "Hiding technique(s)", "in-guest ps rows", "HRKD"], &rows)
     );
     println!(
         "{}",

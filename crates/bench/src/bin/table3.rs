@@ -16,19 +16,16 @@ use hypertap_bench::cli::Args;
 use hypertap_bench::report::table;
 use hypertap_guestos::program::{FnProgram, UserOp, UserView};
 use hypertap_guestos::syscalls::Sysno;
+use hypertap_hvsim::clock::Duration;
+use hypertap_hvsim::machine::RunExit;
 use hypertap_monitors::harness::{EngineSelection, TapVm};
 use hypertap_monitors::ninja::oninja::ONinja;
 use hypertap_monitors::ninja::rules::NinjaRules;
-use hypertap_hvsim::clock::Duration;
-use hypertap_hvsim::machine::RunExit;
 
 /// Measures one interval; returns the recovered wake-up gaps.
 fn measure_interval(interval_s: u64, samples: u64, poll_gap_ns: u64) -> Option<IntervalEstimate> {
-    let mut vm = TapVm::builder()
-        .vcpus(2)
-        .memory(256 << 20)
-        .engines(EngineSelection::none())
-        .build();
+    let mut vm =
+        TapVm::builder().vcpus(2).memory(256 << 20).engines(EngineSelection::none()).build();
     let ninja = vm.kernel.register_program(
         "ninja",
         Box::new(move || {

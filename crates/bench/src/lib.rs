@@ -19,4 +19,5 @@
 pub mod cli;
 pub mod ninja_scenarios;
 pub mod report;
+pub mod seedpath;
 pub mod ubench;

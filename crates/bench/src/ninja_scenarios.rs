@@ -9,13 +9,13 @@ use hypertap_attacks::exploit::{AttackConfig, AttackProgram, ATTACK_DONE_TAG};
 use hypertap_attacks::rootkits;
 use hypertap_guestos::program::{FnProgram, UserOp, UserView};
 use hypertap_guestos::syscalls::Sysno;
+use hypertap_hvsim::clock::Duration;
+use hypertap_hvsim::machine::RunExit;
 use hypertap_monitors::harness::{EngineSelection, TapVm};
 use hypertap_monitors::ninja::hninja::HNinja;
 use hypertap_monitors::ninja::htninja::HtNinja;
 use hypertap_monitors::ninja::oninja::{ONinja, DETECT_TAG};
 use hypertap_monitors::ninja::rules::NinjaRules;
-use hypertap_hvsim::clock::Duration;
-use hypertap_hvsim::machine::RunExit;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -102,9 +102,7 @@ fn run_trial_inner(trial: &NinjaTrial, traced: bool) -> (bool, Vec<TraceEvent>) 
     let mut vm = builder.build();
 
     // Guest-side programs.
-    let rk = vm
-        .kernel
-        .register_module(rootkits::rootkit_by_name("SucKIT").expect("table 2"));
+    let rk = vm.kernel.register_module(rootkits::rootkit_by_name("SucKIT").expect("table 2"));
     let mut attack_cfg = match trial.attack {
         AttackStyle::Transient => AttackConfig::transient(),
         AttackStyle::RootkitCombined => AttackConfig::rootkit_combined(rk),
@@ -114,10 +112,9 @@ fn run_trial_inner(trial: &NinjaTrial, traced: bool) -> (bool, Vec<TraceEvent>) 
         "exploit",
         Box::new(move || Box::new(AttackProgram::new(attack_cfg.clone()))),
     );
-    let idle = vm.kernel.register_program(
-        "idle",
-        Box::new(|| hypertap_workloads::idle_program(3_600_000_000_000)),
-    );
+    let idle = vm
+        .kernel
+        .register_program("idle", Box::new(|| hypertap_workloads::idle_program(3_600_000_000_000)));
     let oninja_prog = match trial.variant {
         NinjaVariant::ONinja { interval_ns } => Some(vm.kernel.register_program(
             "ninja",
@@ -194,9 +191,7 @@ fn run_trial_inner(trial: &NinjaTrial, traced: bool) -> (bool, Vec<TraceEvent>) 
                     "attack-hidden" => Some("ATTACK: hidden by rootkit".to_string()),
                     t if t == ATTACK_DONE_TAG => Some("ATTACK: finished, exiting".to_string()),
                     "oninja-scan" => Some("O-Ninja: scan begins".to_string()),
-                    t if t == DETECT_TAG => {
-                        Some(format!("O-Ninja: DETECTED pid {}", ev.detail))
-                    }
+                    t if t == DETECT_TAG => Some(format!("O-Ninja: DETECTED pid {}", ev.detail)),
                     _ => None,
                 };
                 if let Some(what) = what {

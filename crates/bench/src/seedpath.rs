@@ -1,0 +1,167 @@
+//! A faithful replica of the *seed* (pre-TLB) guest-memory hot path, kept
+//! around as the "before" arm of the hot-path benchmarks.
+//!
+//! The seed revision backed [`hypertap_hvsim::mem::GuestMemory`] with a
+//! `HashMap<u64, Box<Frame>>` and translated every access with a full
+//! two-level page-table walk (two `read_u64`s through the hash map) followed
+//! by an EPT permission lookup. This module reproduces exactly that data
+//! path — hash-map frame probes, chunked multi-byte accessors, per-access
+//! walk — so `BENCH_hotpath.json` can report before/after numbers measured
+//! on the same machine and compiler, instead of comparing against stale
+//! numbers from an older checkout.
+
+use hypertap_hvsim::ept::{Ept, EptPerm};
+use hypertap_hvsim::mem::{Gpa, Gva, PAGE_SIZE};
+
+const ENTRY_PRESENT: u64 = 1;
+
+/// The seed's `GuestMemory`: lazily allocated frames in a `HashMap`.
+pub struct SeedMemory {
+    frames: std::collections::HashMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
+    size: u64,
+}
+
+impl SeedMemory {
+    /// Creates `size` bytes of guest-physical memory.
+    pub fn new(size: u64) -> Self {
+        SeedMemory { frames: std::collections::HashMap::new(), size }
+    }
+
+    /// The seed's chunked read: one hash probe per page touched.
+    pub fn read(&self, gpa: Gpa, buf: &mut [u8]) {
+        assert!(gpa.value() + buf.len() as u64 <= self.size);
+        let mut addr = gpa.value();
+        let mut done = 0usize;
+        while done < buf.len() {
+            let off = (addr % PAGE_SIZE) as usize;
+            let n = usize::min(buf.len() - done, PAGE_SIZE as usize - off);
+            match self.frames.get(&(addr / PAGE_SIZE)) {
+                Some(frame) => buf[done..done + n].copy_from_slice(&frame[off..off + n]),
+                None => buf[done..done + n].fill(0),
+            }
+            done += n;
+            addr += n as u64;
+        }
+    }
+
+    /// The seed's chunked write.
+    pub fn write(&mut self, gpa: Gpa, buf: &[u8]) {
+        assert!(gpa.value() + buf.len() as u64 <= self.size);
+        let mut addr = gpa.value();
+        let mut done = 0usize;
+        while done < buf.len() {
+            let off = (addr % PAGE_SIZE) as usize;
+            let n = usize::min(buf.len() - done, PAGE_SIZE as usize - off);
+            let frame = self
+                .frames
+                .entry(addr / PAGE_SIZE)
+                .or_insert_with(|| Box::new([0u8; PAGE_SIZE as usize]));
+            frame[off..off + n].copy_from_slice(&buf[done..done + n]);
+            done += n;
+            addr += n as u64;
+        }
+    }
+
+    /// The seed's `read_u64`: buffer + chunk loop, no direct path.
+    pub fn read_u64(&self, gpa: Gpa) -> u64 {
+        let mut buf = [0u8; 8];
+        self.read(gpa, &mut buf);
+        u64::from_le_bytes(buf)
+    }
+
+    /// The seed's `write_u64`.
+    pub fn write_u64(&mut self, gpa: Gpa, value: u64) {
+        self.write(gpa, &value.to_le_bytes());
+    }
+}
+
+/// The seed's uncached two-level walk (same entry format as
+/// `hypertap_hvsim::paging`), panicking on faults — the benchmark only
+/// walks mapped pages.
+pub fn seed_walk(mem: &SeedMemory, pdba: Gpa, gva: Gva) -> Gpa {
+    let pde_addr = pdba.offset(((gva.value() >> 21) & 511) * 8);
+    let pde = mem.read_u64(pde_addr);
+    assert!(pde & ENTRY_PRESENT != 0, "unmapped PDE in seed walk");
+    let pt_base = Gpa::new(pde & !(PAGE_SIZE - 1));
+    let pte_addr = pt_base.offset(((gva.value() >> 12) & 511) * 8);
+    let pte = mem.read_u64(pte_addr);
+    assert!(pte & ENTRY_PRESENT != 0, "unmapped PTE in seed walk");
+    Gpa::new(pte & !(PAGE_SIZE - 1)).offset(gva.page_offset())
+}
+
+/// The seed's per-access read path: full walk, EPT permission lookup, then
+/// the chunked `u64` read.
+pub fn seed_read_u64_gva(mem: &SeedMemory, ept: &Ept, pdba: Gpa, gva: Gva) -> u64 {
+    let gpa = seed_walk(mem, pdba, gva);
+    let perm = ept.perm(gpa.gfn());
+    assert!(perm != EptPerm::NONE);
+    mem.read_u64(gpa)
+}
+
+/// Builds a linear address space in a [`SeedMemory`]: `pages` consecutive
+/// GVAs from 0 mapped to fresh frames. Returns the page-directory base.
+/// Frame layout mirrors what `AddressSpaceBuilder` produces.
+pub fn seed_address_space(mem: &mut SeedMemory, pages: u64) -> Gpa {
+    let mut next_free = 16u64;
+    let mut alloc = || {
+        let gfn = next_free;
+        next_free += 1;
+        gfn * PAGE_SIZE
+    };
+    let pdba = Gpa::new(alloc());
+    for page in 0..pages {
+        let gva = Gva::new(page * PAGE_SIZE);
+        // Data frame first, then the page table on demand — the same
+        // allocation order as `AddressSpaceBuilder::map_fresh_range`, so
+        // both arms produce identical frame numbers.
+        let frame = alloc();
+        let pde_addr = pdba.offset(((gva.value() >> 21) & 511) * 8);
+        let pde = mem.read_u64(pde_addr);
+        let pt_base = if pde & ENTRY_PRESENT == 0 {
+            let pt = alloc();
+            mem.write_u64(pde_addr, pt | ENTRY_PRESENT);
+            pt
+        } else {
+            pde & !(PAGE_SIZE - 1)
+        };
+        mem.write_u64(
+            Gpa::new(pt_base).offset(((gva.value() >> 12) & 511) * 8),
+            frame | ENTRY_PRESENT,
+        );
+    }
+    pdba
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypertap_hvsim::mem::{Gfn, GuestMemory};
+    use hypertap_hvsim::paging::{self, AddressSpaceBuilder, FrameAllocator};
+
+    /// The seed replica agrees with the real walker over a real address
+    /// space built the same way.
+    #[test]
+    fn seed_walk_matches_current_walker() {
+        const PAGES: u64 = 40;
+        let mut seed = SeedMemory::new(32 << 20);
+        let seed_pdba = seed_address_space(&mut seed, PAGES);
+
+        let mut mem = GuestMemory::new(32 << 20);
+        let mut falloc = FrameAllocator::new(Gfn::new(16), Gfn::new((32 << 20) / PAGE_SIZE));
+        let mut asb = AddressSpaceBuilder::new(&mut mem, &mut falloc);
+        asb.map_fresh_range(&mut mem, &mut falloc, Gva::new(0), PAGES);
+
+        for page in 0..PAGES {
+            let gva = Gva::new(page * PAGE_SIZE + 123);
+            let real = paging::walk(&mem, asb.pdba(), gva).unwrap();
+            assert_eq!(seed_walk(&seed, seed_pdba, gva), real, "page {page}");
+        }
+    }
+
+    #[test]
+    fn seed_memory_round_trips() {
+        let mut mem = SeedMemory::new(1 << 20);
+        mem.write_u64(Gpa::new(PAGE_SIZE - 4), 0x1122334455667788);
+        assert_eq!(mem.read_u64(Gpa::new(PAGE_SIZE - 4)), 0x1122334455667788);
+    }
+}

@@ -157,9 +157,6 @@ mod tests {
         vm.vcpu_mut(VcpuId(0)).set_cr3(asb.pdba());
         vm.vcpu_mut(VcpuId(0)).set_tr_base(Gva::new(0x3800_0000));
         let p = profile(Gva::new(0x3b00_0000));
-        assert!(matches!(
-            current_task(vm, VcpuId(0), &p),
-            Err(VmiError::PageFault(_))
-        ));
+        assert!(matches!(current_task(vm, VcpuId(0), &p), Err(VmiError::PageFault(_))));
     }
 }

@@ -19,14 +19,37 @@
 //! The EM also samples the raw exit stream to the Remote Health Checker
 //! (§V-C): if the monitoring stack itself dies, the RHC's heartbeat gap
 //! raises the alarm.
+//!
+//! # Hot path
+//!
+//! Fan-out sits on the exit path, so it is engineered to do no avoidable
+//! per-event work:
+//!
+//! * A **combined subscription mask** (union of every auditor's and
+//!   container's mask, maintained at registration time) lets events nobody
+//!   subscribed to short-circuit before any per-auditor or per-container
+//!   loop runs. Skips are counted in [`DeliveryStats::fast_skipped`].
+//! * Container delivery is **zero-copy**: one `Arc<Event>` is built per
+//!   event (lazily, only if some container is subscribed) and each
+//!   subscribed container receives a reference-count bump instead of a full
+//!   `Event` copy. This also shrinks every channel message — including
+//!   `Tick`, which previously paid for the largest enum variant (a whole
+//!   inline `Event`) on each send.
+//! * Findings from synchronous auditors accumulate into a single sink that
+//!   borrows the EM's own buffer via `mem::take`, instead of allocating a
+//!   fresh `Vec` per auditor per event.
+//! * [`EventMultiplexer::deliver_all`] dispatches a whole exit's decoded
+//!   events in one call, reusing the same sink across the batch — the path
+//!   the Event Forwarder ([`crate::kvm::Kvm`]) uses.
 
 use crate::audit::{Auditor, Finding, FindingSink};
 use crate::event::{Event, EventMask};
 use crate::rhc::{HeartbeatSample, RhcTransport};
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use hypertap_hvsim::clock::SimTime;
 use hypertap_hvsim::machine::VmState;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// An auditor that runs inside an audit container (own thread, no VM
@@ -53,7 +76,9 @@ pub trait ContainerAuditor: Send {
 pub type ContainerFactory = Box<dyn Fn() -> Box<dyn ContainerAuditor> + Send>;
 
 enum ContainerMsg {
-    Event(Event),
+    /// Shared, not copied: every subscribed container gets the same
+    /// allocation.
+    Event(Arc<Event>),
     Tick(SimTime),
     Stop,
 }
@@ -74,6 +99,9 @@ pub struct DeliveryStats {
     pub container_enqueued: u64,
     /// Events that matched no subscription at all.
     pub unclaimed: u64,
+    /// Unclaimed events rejected by the combined-mask check alone, before
+    /// any per-auditor or per-container work.
+    pub fast_skipped: u64,
     /// Exit-stream samples forwarded to the RHC.
     pub rhc_samples: u64,
 }
@@ -104,6 +132,9 @@ impl FindingSink for LocalSink {
 pub struct EventMultiplexer {
     auditors: Vec<Box<dyn Auditor>>,
     containers: Vec<Container>,
+    /// Union of every registered subscription; events outside it
+    /// short-circuit. Subscriptions are sampled at registration time.
+    combined_mask: EventMask,
     findings: Vec<Finding>,
     container_findings_rx: Receiver<Finding>,
     container_findings_tx: Sender<Finding>,
@@ -130,10 +161,11 @@ impl Default for EventMultiplexer {
 impl EventMultiplexer {
     /// Creates an empty multiplexer.
     pub fn new() -> Self {
-        let (tx, rx) = unbounded();
+        let (tx, rx) = channel();
         EventMultiplexer {
             auditors: Vec::new(),
             containers: Vec::new(),
+            combined_mask: EventMask::NONE,
             findings: Vec::new(),
             container_findings_rx: rx,
             container_findings_tx: tx,
@@ -144,6 +176,7 @@ impl EventMultiplexer {
 
     /// Registers a synchronous auditor.
     pub fn register(&mut self, auditor: Box<dyn Auditor>) {
+        self.combined_mask = self.combined_mask.union(auditor.subscriptions());
         self.auditors.push(auditor);
     }
 
@@ -168,7 +201,8 @@ impl EventMultiplexer {
         let prototype = factory();
         let name = prototype.name().to_owned();
         let mask = prototype.subscriptions();
-        let (tx, rx) = unbounded::<ContainerMsg>();
+        self.combined_mask = self.combined_mask.union(mask);
+        let (tx, rx) = channel::<ContainerMsg>();
         let findings_tx = self.container_findings_tx.clone();
         let handle = std::thread::spawn(move || {
             let mut auditor = prototype;
@@ -214,44 +248,63 @@ impl EventMultiplexer {
         self.rhc = Some(RhcHook { transport, every, seen: 0, seq: 0 });
     }
 
+    /// Fans one event out to subscribed auditors and containers, collecting
+    /// synchronous findings into `sink`.
+    fn fan_out(&mut self, vm: &mut VmState, event: &Event, sink: &mut LocalSink) {
+        let class = event.class();
+        if !self.combined_mask.contains(class) {
+            // Nobody anywhere subscribed: one mask test and we are done.
+            self.stats.unclaimed += 1;
+            self.stats.fast_skipped += 1;
+            return;
+        }
+        for a in &mut self.auditors {
+            if a.subscriptions().contains(class) {
+                a.on_event(vm, event, sink);
+                self.stats.sync_delivered += 1;
+            }
+        }
+        // One shared allocation per event, built only if some container is
+        // subscribed; each delivery is a refcount bump.
+        let mut shared: Option<Arc<Event>> = None;
+        for c in &self.containers {
+            if c.mask.contains(class) {
+                let arc = shared.get_or_insert_with(|| Arc::new(*event));
+                let _ = c.tx.send(ContainerMsg::Event(Arc::clone(arc)));
+                self.stats.container_enqueued += 1;
+            }
+        }
+    }
+
     /// Dispatches one event to everything subscribed. Returns `true` if any
     /// synchronous auditor requested suppression of the intercepted
     /// operation.
     pub fn dispatch(&mut self, vm: &mut VmState, event: &Event) -> bool {
-        let class = event.class();
-        let mut suppress = false;
-        let mut claimed = false;
-        for i in 0..self.auditors.len() {
-            if !self.auditors[i].subscriptions().contains(class) {
-                continue;
-            }
-            claimed = true;
-            let mut sink = LocalSink::default();
-            self.auditors[i].on_event(vm, event, &mut sink);
-            self.findings.append(&mut sink.findings);
-            suppress |= sink.suppress;
-            self.stats.sync_delivered += 1;
+        let mut sink = LocalSink { findings: std::mem::take(&mut self.findings), suppress: false };
+        self.fan_out(vm, event, &mut sink);
+        self.findings = sink.findings;
+        sink.suppress
+    }
+
+    /// Dispatches every event decoded from one exit in a single batch,
+    /// reusing one finding sink across the whole fan-out. Returns `true` if
+    /// any synchronous auditor requested suppression.
+    pub fn deliver_all(&mut self, vm: &mut VmState, events: &[Event]) -> bool {
+        let mut sink = LocalSink { findings: std::mem::take(&mut self.findings), suppress: false };
+        for event in events {
+            self.fan_out(vm, event, &mut sink);
         }
-        for c in &self.containers {
-            if c.mask.contains(class) {
-                claimed = true;
-                let _ = c.tx.send(ContainerMsg::Event(*event));
-                self.stats.container_enqueued += 1;
-            }
-        }
-        if !claimed {
-            self.stats.unclaimed += 1;
-        }
-        suppress
+        self.findings = sink.findings;
+        sink.suppress
     }
 
     /// Periodic tick from the host timer; drives time-based auditors.
     pub fn tick(&mut self, vm: &mut VmState, now: SimTime) {
-        for i in 0..self.auditors.len() {
-            let mut sink = LocalSink::default();
-            self.auditors[i].on_tick(vm, now, &mut sink);
-            self.findings.append(&mut sink.findings);
+        let mut sink = LocalSink { findings: std::mem::take(&mut self.findings), suppress: false };
+        for a in &mut self.auditors {
+            a.on_tick(vm, now, &mut sink);
         }
+        self.findings = sink.findings;
         for c in &self.containers {
             let _ = c.tx.send(ContainerMsg::Tick(now));
         }
@@ -263,8 +316,7 @@ impl EventMultiplexer {
             hook.seen += 1;
             if hook.seen % hook.every == 0 {
                 hook.seq += 1;
-                hook.transport
-                    .send(&HeartbeatSample { time_ns: time.as_nanos(), seq: hook.seq });
+                hook.transport.send(&HeartbeatSample { time_ns: time.as_nanos(), seq: hook.seq });
                 self.stats.rhc_samples += 1;
             }
         }
@@ -298,6 +350,10 @@ impl EventMultiplexer {
             }
         }
         self.containers.clear();
+        // Containers are gone; tighten the fast-path mask back down to the
+        // synchronous subscriptions.
+        self.combined_mask =
+            self.auditors.iter().map(|a| a.subscriptions()).fold(EventMask::NONE, EventMask::union);
         out
     }
 }
@@ -374,6 +430,35 @@ mod tests {
         let mut vm = vm_state();
         em.dispatch(&mut vm, &ev(EventKind::ProcessSwitch { new_pdba: Gpa::new(1) }));
         assert_eq!(em.stats().unclaimed, 1);
+        assert_eq!(em.stats().fast_skipped, 1);
+    }
+
+    #[test]
+    fn combined_mask_skips_unsubscribed_classes() {
+        let mut em = EventMultiplexer::new();
+        em.register(Box::new(CountingAuditor::with_mask(EventMask::only(EventClass::Syscall))));
+        let mut vm = vm_state();
+        // Not a syscall: rejected by the combined mask before the auditor
+        // loop runs.
+        em.dispatch(&mut vm, &ev(EventKind::ProcessSwitch { new_pdba: Gpa::new(1) }));
+        assert_eq!(em.stats().fast_skipped, 1);
+        assert_eq!(em.stats().unclaimed, 1);
+        assert_eq!(em.stats().sync_delivered, 0);
+    }
+
+    #[test]
+    fn deliver_all_batches_events() {
+        let mut em = EventMultiplexer::new();
+        em.register(Box::new(CountingAuditor::new()));
+        let mut vm = vm_state();
+        let events = [
+            ev(EventKind::ProcessSwitch { new_pdba: Gpa::new(1) }),
+            ev(EventKind::ThreadSwitch { kernel_stack: 0x2000 }),
+        ];
+        let suppress = em.deliver_all(&mut vm, &events);
+        assert!(!suppress);
+        assert_eq!(em.stats().sync_delivered, 2);
+        assert_eq!(em.auditor::<CountingAuditor>().unwrap().events_seen(), 2);
     }
 
     struct PanickyContainer {
@@ -437,7 +522,8 @@ mod tests {
         let mut em = EventMultiplexer::new();
         em.register(Box::new(Alerter));
         let mut vm = vm_state();
-        let suppress = em.dispatch(&mut vm, &ev(EventKind::ProcessSwitch { new_pdba: Gpa::new(1) }));
+        let suppress =
+            em.dispatch(&mut vm, &ev(EventKind::ProcessSwitch { new_pdba: Gpa::new(1) }));
         assert!(suppress, "auditor requested suppression");
         let findings = em.drain_findings();
         assert_eq!(findings.len(), 1);

@@ -248,6 +248,12 @@ impl EventMask {
         EventMask(self.0 | EventMask::only(class).0)
     }
 
+    /// The union of two masks — used by the EM to pre-compute the combined
+    /// subscription of every registered auditor and container.
+    pub const fn union(self, other: EventMask) -> EventMask {
+        EventMask(self.0 | other.0)
+    }
+
     /// Whether the mask contains a class.
     pub fn contains(self, class: EventClass) -> bool {
         self.0 & class.bit() != 0
@@ -317,6 +323,17 @@ mod tests {
     }
 
     #[test]
+    fn mask_union() {
+        let a = EventMask::only(EventClass::Syscall);
+        let b = EventMask::only(EventClass::Io);
+        let u = a.union(b);
+        assert!(u.contains(EventClass::Syscall));
+        assert!(u.contains(EventClass::Io));
+        assert!(!u.contains(EventClass::Memory));
+        assert_eq!(EventMask::NONE.union(EventMask::NONE), EventMask::NONE);
+    }
+
+    #[test]
     fn mask_from_iterator() {
         let m: EventMask = [EventClass::Memory, EventClass::Integrity].into_iter().collect();
         assert!(m.contains(EventClass::Memory));
@@ -330,22 +347,13 @@ mod tests {
             EventKind::ProcessSwitch { new_pdba: Gpa::new(0) }.class(),
             EventClass::ProcessSwitch
         );
-        assert_eq!(
-            EventKind::ThreadSwitch { kernel_stack: 0 }.class(),
-            EventClass::ThreadSwitch
-        );
+        assert_eq!(EventKind::ThreadSwitch { kernel_stack: 0 }.class(), EventClass::ThreadSwitch);
         assert_eq!(
             EventKind::Syscall { gate: SyscallGate::Sysenter, number: 1, args: [0; 5] }.class(),
             EventClass::Syscall
         );
-        assert_eq!(
-            EventKind::IoPort { port: 0, write: false, value: 0 }.class(),
-            EventClass::Io
-        );
-        assert_eq!(
-            EventKind::MmioAccess { gpa: Gpa::new(0), write: true }.class(),
-            EventClass::Io
-        );
+        assert_eq!(EventKind::IoPort { port: 0, write: false, value: 0 }.class(), EventClass::Io);
+        assert_eq!(EventKind::MmioAccess { gpa: Gpa::new(0), write: true }.class(), EventClass::Io);
         assert_eq!(EventKind::HardwareInterrupt { vector: 3 }.class(), EventClass::Interrupt);
         assert_eq!(
             EventKind::MemoryAccess {

@@ -19,13 +19,15 @@ static ROWS: [Table1Row; 2] = [
         category: "Low-level interception",
         guest_event: "Memory access",
         vm_exit: "EPT_VIOLATION",
-        invariant: "Accesses to memory regions with proper permissions cause EPT_VIOLATION VM Exits",
+        invariant:
+            "Accesses to memory regions with proper permissions cause EPT_VIOLATION VM Exits",
     },
     Table1Row {
         category: "Low-level interception",
         guest_event: "Instruction execution",
         vm_exit: "EPT_VIOLATION",
-        invariant: "Execution of instructions from non-executable regions causes EPT_VIOLATION VM Exits",
+        invariant:
+            "Execution of instructions from non-executable regions causes EPT_VIOLATION VM Exits",
     },
 ];
 
@@ -168,7 +170,7 @@ mod tests {
         let mut m = machine_with(Box::new(FineGrainedEngine::new()));
         let mut g = WriteGuest { booted: false };
         m.run_steps(&mut g, 1); // boot
-        // Find the data frame and watch writes to it.
+                                // Find the data frame and watch writes to it.
         let gpa = {
             let vm = m.vm();
             hypertap_hvsim::paging::walk(&vm.mem, vm.vcpu(VcpuId(0)).cr3(), Gva::new(DATA_GVA))

@@ -133,8 +133,7 @@ mod tests {
                 asb.map(&mut vm.mem, &mut falloc, self.mmio_gva, frame);
                 let id = vm.io.register(Box::<LatchDevice>::default());
                 vm.io.map_pio(0x1f0..0x1f8, id);
-                vm.io
-                    .map_mmio(frame.base().value()..frame.base().value() + 4096, id);
+                vm.io.map_mmio(frame.base().value()..frame.base().value() + 4096, id);
                 let pdba = asb.pdba();
                 cpu.write_cr3(pdba);
                 self.booted = true;

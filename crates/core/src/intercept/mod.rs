@@ -103,10 +103,8 @@ pub(crate) mod testutil {
 
     /// A 2-vCPU machine with the engine installed and enabled.
     pub fn machine_with(engine: Box<dyn InterceptEngine>) -> Machine<SingleEngineHv> {
-        let mut m = Machine::new(
-            VmConfig::new(2, 64 << 20),
-            SingleEngineHv { engine, events: Vec::new() },
-        );
+        let mut m =
+            Machine::new(VmConfig::new(2, 64 << 20), SingleEngineHv { engine, events: Vec::new() });
         let (vm, hv) = m.parts_mut();
         hv.engine.enable(vm);
         m

@@ -124,8 +124,7 @@ impl ProcessCounter {
     /// directly, which is the same computation without the save/restore
     /// dance.
     pub fn count_valid(&mut self, mem: &GuestMemory, known_gva: Gva) -> usize {
-        self.pdba_set
-            .retain(|&pdba| paging::walk(mem, Gpa::new(pdba), known_gva).is_ok());
+        self.pdba_set.retain(|&pdba| paging::walk(mem, Gpa::new(pdba), known_gva).is_ok());
         self.pdba_set.len()
     }
 

@@ -192,11 +192,14 @@ impl InterceptEngine for FastSyscallEngine {
             VmExitKind::Wrmsr { msr: Msr::SysenterEip, value } => {
                 self.protect_entry(vm, Gva::new(value), exit.state.cr3);
             }
-            VmExitKind::EptViolation(v) if v.access == AccessKind::Execute
-                && v.gva.is_some() && v.gva == self.syscall_entry => {
-                    let (number, args) = decode_syscall(&exit.state);
-                    emit(EventKind::Syscall { gate: SyscallGate::Sysenter, number, args });
-                }
+            VmExitKind::EptViolation(v)
+                if v.access == AccessKind::Execute
+                    && v.gva.is_some()
+                    && v.gva == self.syscall_entry =>
+            {
+                let (number, args) = decode_syscall(&exit.state);
+                emit(EventKind::Syscall { gate: SyscallGate::Sysenter, number, args });
+            }
             _ => {}
         }
         ExitAction::Resume

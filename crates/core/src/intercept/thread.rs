@@ -171,7 +171,8 @@ mod tests {
                 // one TSS per vCPU; pages containing them are protected).
                 let pdba = asb.pdba();
                 cpu.load_task_register(Gva::new(TSS_GVA));
-                cpu.vm_mut().vcpu_mut(VcpuId(1)).clock += hypertap_hvsim::clock::Duration::from_secs(3600); // park vCPU 1
+                cpu.vm_mut().vcpu_mut(VcpuId(1)).clock +=
+                    hypertap_hvsim::clock::Duration::from_secs(3600); // park vCPU 1
                 cpu.write_cr3(pdba); // first CR3 load arms the engine
                 self.booted = true;
                 return StepOutcome::Continue;

@@ -179,10 +179,11 @@ mod tests {
             i: 0,
         };
         m.run_steps(&mut g, 3);
-        assert!(m.hypervisor().events.iter().all(|(_, k)| !matches!(
-            k,
-            EventKind::TssRelocated { .. }
-        )));
+        assert!(m
+            .hypervisor()
+            .events
+            .iter()
+            .all(|(_, k)| !matches!(k, EventKind::TssRelocated { .. })));
     }
 
     #[test]

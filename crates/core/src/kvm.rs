@@ -112,18 +112,22 @@ impl Hypervisor for Kvm {
                 action = ExitAction::Suppress;
             }
         }
-        // 2. Forward to the EM; auditors run their (independent) audit
-        //    phases. A synchronous auditor may request suppression.
-        for kind in kinds {
-            self.forwarded_events += 1;
-            let event = Event {
-                vm: self.vm_id,
-                vcpu: exit.vcpu,
-                time: exit.time,
-                kind,
-                state: exit.state,
-            };
-            if self.em.dispatch(vm, &event) {
+        // 2. Forward to the EM in one batch; auditors run their
+        //    (independent) audit phases. A synchronous auditor may request
+        //    suppression.
+        if !kinds.is_empty() {
+            self.forwarded_events += kinds.len() as u64;
+            let events: Vec<Event> = kinds
+                .into_iter()
+                .map(|kind| Event {
+                    vm: self.vm_id,
+                    vcpu: exit.vcpu,
+                    time: exit.time,
+                    kind,
+                    state: exit.state,
+                })
+                .collect();
+            if self.em.deliver_all(vm, &events) {
                 action = ExitAction::Suppress;
             }
         }
@@ -162,10 +166,7 @@ mod tests {
         kvm.em.register(Box::new(CountingAuditor::new()));
         m.run_steps(&mut Switcher, 5);
         assert_eq!(m.hypervisor().forwarded_events(), 5);
-        assert_eq!(
-            m.hypervisor().em.auditor::<CountingAuditor>().unwrap().events_seen(),
-            5
-        );
+        assert_eq!(m.hypervisor().em.auditor::<CountingAuditor>().unwrap().events_seen(), 5);
     }
 
     #[test]

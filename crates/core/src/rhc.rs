@@ -251,7 +251,7 @@ mod tests {
             client.send(&HeartbeatSample { time_ns: seq * 100, seq });
         }
         drop(client); // flush + EOF
-        // Wait for the server thread to drain the connection.
+                      // Wait for the server thread to drain the connection.
         let checker = server.checker();
         for _ in 0..200 {
             if checker.lock().unwrap().received() == 5 {

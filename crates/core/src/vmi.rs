@@ -252,10 +252,7 @@ mod tests {
         // Make task3 point back at task1: an (attacker-made) cycle.
         let gpa = paging::walk(&mem, cr3, t[2].offset(profile.ts_next)).unwrap();
         mem.write_u64(gpa, t[0].value());
-        assert_eq!(
-            list_tasks(&mem, cr3, &profile, 10),
-            Err(VmiError::ListTooLong { max: 10 })
-        );
+        assert_eq!(list_tasks(&mem, cr3, &profile, 10), Err(VmiError::ListTooLong { max: 10 }));
     }
 
     #[test]
@@ -271,10 +268,7 @@ mod tests {
     fn unmapped_head_is_a_page_fault() {
         let (mem, cr3, mut profile, _) = build_world();
         profile.task_list_head = Gva::new(0x0900_0000);
-        assert!(matches!(
-            list_tasks(&mem, cr3, &profile, 10),
-            Err(VmiError::PageFault(_))
-        ));
+        assert!(matches!(list_tasks(&mem, cr3, &profile, 10), Err(VmiError::PageFault(_))));
     }
 
     #[test]

@@ -8,14 +8,14 @@
 //! outcome.
 
 use crate::spec::{Outcome, TrialResult, TrialSpec, Workload};
-use hypertap_monitors::harness::{EngineSelection, TapVm};
 use hypertap_guestos::fault::SingleFault;
 use hypertap_guestos::kernel::KernelConfig;
 use hypertap_guestos::program::{FnProgram, UserOp, UserView};
 use hypertap_guestos::syscalls::Sysno;
-use hypertap_monitors::goshd::{Goshd, GoshdConfig};
 use hypertap_hvsim::clock::{Duration, SimTime};
 use hypertap_hvsim::machine::RunExit;
+use hypertap_monitors::goshd::{Goshd, GoshdConfig};
+use hypertap_monitors::harness::{EngineSelection, TapVm};
 
 /// Timing configuration of the trial runner.
 #[derive(Debug, Clone)]
@@ -143,7 +143,9 @@ pub fn run_trial(spec: &TrialSpec, cfg: &RunnerConfig) -> TrialResult {
         );
         let now = vm.now();
         let (vmstate, _) = vm.machine.parts_mut();
-        hypertap_workloads::http::offer_load(vmstate, &vm.kernel, now, 300.0, total, 512, spec.seed);
+        hypertap_workloads::http::offer_load(
+            vmstate, &vm.kernel, now, 300.0, total, 512, spec.seed,
+        );
     }
 
     let started = vm.now();
@@ -157,12 +159,7 @@ pub fn run_trial(spec: &TrialSpec, cfg: &RunnerConfig) -> TrialResult {
         let run = vm.run_for(cfg.chunk);
         let now = vm.now();
         // Track probe heartbeats.
-        if vm
-            .kernel
-            .drain_all_mailboxes()
-            .iter()
-            .any(|(_, e)| e.tag == "sshd-beat")
-        {
+        if vm.kernel.drain_all_mailboxes().iter().any(|(_, e)| e.tag == "sshd-beat") {
             last_beat = now;
         }
         // Track activation.

@@ -125,7 +125,10 @@ pub struct KernelStats {
 
 /// Packs the `/proc/PID/stat` side-channel view into a u64.
 pub fn pack_proc_stat(euid: u64, parent_uid: u64, state: u64, rip_off: u64) -> u64 {
-    (euid & 0xFFFF) | ((parent_uid & 0xFFFF) << 16) | ((state & 0xF) << 32) | ((rip_off & 0xFFFFF) << 36)
+    (euid & 0xFFFF)
+        | ((parent_uid & 0xFFFF) << 16)
+        | ((state & 0xF) << 32)
+        | ((rip_off & 0xFFFFF) << 36)
 }
 
 /// The decoded `/proc/PID/stat` view.
@@ -256,11 +259,7 @@ impl Kernel {
     // ----- host-side configuration (before the run) -------------------------
 
     /// Registers a user program; `spawn` refers to it by the returned id.
-    pub fn register_program(
-        &mut self,
-        name: impl Into<String>,
-        factory: ProgramFactory,
-    ) -> ProgId {
+    pub fn register_program(&mut self, name: impl Into<String>, factory: ProgramFactory) -> ProgId {
         self.programs.push(Registered { name: name.into(), factory });
         ProgId(self.programs.len() as u64 - 1)
     }
@@ -316,9 +315,7 @@ impl Kernel {
 
     /// Looks up a live task by pid.
     pub fn task_by_pid(&self, pid: Pid) -> Option<&Task> {
-        self.tasks
-            .iter()
-            .find(|t| t.pid == pid && !matches!(t.state, RunState::Dead))
+        self.tasks.iter().find(|t| t.pid == pid && !matches!(t.state, RunState::Dead))
     }
 
     /// Pids of all live (non-dead, non-zombie) tasks.
@@ -433,9 +430,8 @@ impl Kernel {
         for v in 0..self.cfg.vcpus {
             let slot = self.create_kthread(cpu, &format!("kflushd/{v}"), VcpuId(v));
             // Stagger their wake-ups.
-            self.tasks[slot].state = RunState::Sleeping(
-                cpu.now() + Duration::from_millis(50 + 37 * v as u64),
-            );
+            self.tasks[slot].state =
+                RunState::Sleeping(cpu.now() + Duration::from_millis(50 + 37 * v as u64));
         }
 
         self.booted = true;
@@ -485,11 +481,8 @@ impl Kernel {
     fn write_and_link_ts(&mut self, cpu: &mut CpuCtx<'_>, slot: usize) {
         let (gva, pid, state, uid, euid, parent_gva, pdba, kstack, comm) = {
             let t = &self.tasks[slot];
-            let parent_gva = t
-                .ppid
-                .and_then(|p| self.task_by_pid(p))
-                .map(|p| p.ts_gva.value())
-                .unwrap_or(0);
+            let parent_gva =
+                t.ppid.and_then(|p| self.task_by_pid(p)).map(|p| p.ts_gva.value()).unwrap_or(0);
             (
                 t.ts_gva,
                 t.pid.0,
@@ -654,13 +647,10 @@ impl Kernel {
     // ----- scheduler -------------------------------------------------------------
 
     fn pick_next(&mut self, v: VcpuId) -> Option<usize> {
-        let pos = self
-            .runqueue
-            .iter()
-            .position(|&slot| match self.tasks[slot].affinity {
-                Some(a) => a == v,
-                None => true,
-            })?;
+        let pos = self.runqueue.iter().position(|&slot| match self.tasks[slot].affinity {
+            Some(a) => a == v,
+            None => true,
+        })?;
         self.runqueue.remove(pos)
     }
 
@@ -672,8 +662,7 @@ impl Kernel {
         let v = cpu.vcpu_id();
         let kstack_top = self.tasks[slot].kstack_top;
         let tss = layout::tss_gva(v.0);
-        cpu.write_u64_gva(tss.offset(TSS_RSP0_OFFSET), kstack_top.value())
-            .expect("TSS mapped");
+        cpu.write_u64_gva(tss.offset(TSS_RSP0_OFFSET), kstack_top.value()).expect("TSS mapped");
         cpu.wrmsr(Msr::SysenterEsp, kstack_top.value());
         if let Some(pdba) = self.tasks[slot].pdba {
             if cpu.cr3() != pdba {
@@ -702,7 +691,11 @@ impl Kernel {
             if in_use {
                 keep.push(pdba);
             } else {
-                AddressSpaceBuilder::from_pdba(pdba).destroy(&mut vm.mem, &mut falloc, Some(kernel_pd));
+                AddressSpaceBuilder::from_pdba(pdba).destroy(
+                    &mut vm.mem,
+                    &mut falloc,
+                    Some(kernel_pd),
+                );
             }
         }
         self.mm_graveyard = keep;
@@ -794,10 +787,7 @@ impl Kernel {
         let slot = match self.current[v.0] {
             Some(slot) => {
                 // Dead or blocked tasks vacate the CPU.
-                if !matches!(
-                    self.tasks[slot].state,
-                    RunState::Ready | RunState::Spinning(_)
-                ) {
+                if !matches!(self.tasks[slot].state, RunState::Ready | RunState::Spinning(_)) {
                     self.current[v.0] = None;
                     return StepOutcome::Continue;
                 }
@@ -833,9 +823,7 @@ impl Kernel {
             return StepOutcome::Continue;
         }
         if self.tasks[slot].pending_compute > 0 {
-            let chunk = self.tasks[slot]
-                .pending_compute
-                .min(self.cfg.compute_chunk_ns);
+            let chunk = self.tasks[slot].pending_compute.min(self.cfg.compute_chunk_ns);
             cpu.compute(chunk);
             self.tasks[slot].pending_compute -= chunk;
             return StepOutcome::Continue;
@@ -845,8 +833,10 @@ impl Kernel {
             Some(p) => p,
             None => {
                 // Kernel thread between bursts: it sleeps in wake_sleeper.
-                self.tasks[slot].state =
-                    RunState::Sleeping(cpu.now() + self.tasks[slot].kthread_period.unwrap_or(Duration::from_secs(3600)));
+                self.tasks[slot].state = RunState::Sleeping(
+                    cpu.now()
+                        + self.tasks[slot].kthread_period.unwrap_or(Duration::from_secs(3600)),
+                );
                 self.current[cpu.vcpu_id().0] = None;
                 return StepOutcome::Continue;
             }
@@ -1036,7 +1026,12 @@ impl Kernel {
         }
     }
 
-    fn acquired_side_effects(&mut self, cpu: &mut CpuCtx<'_>, slot: usize, site: &crate::klocks::LockSite) {
+    fn acquired_side_effects(
+        &mut self,
+        cpu: &mut CpuCtx<'_>,
+        slot: usize,
+        site: &crate::klocks::LockSite,
+    ) {
         self.tasks[slot].preempt_count += 1;
         if site.irqsave {
             self.tasks[slot].saved_if = Some(cpu.interrupts_enabled());
@@ -1103,7 +1098,12 @@ impl Kernel {
         self.advance_pc(slot);
     }
 
-    fn restore_irq_state(&mut self, cpu: &mut CpuCtx<'_>, slot: usize, site: &crate::klocks::LockSite) {
+    fn restore_irq_state(
+        &mut self,
+        cpu: &mut CpuCtx<'_>,
+        slot: usize,
+        site: &crate::klocks::LockSite,
+    ) {
         if site.irqsave {
             if let Some(saved) = self.tasks[slot].saved_if.take() {
                 cpu.set_interrupts_enabled(saved);
@@ -1180,7 +1180,13 @@ impl Kernel {
 
     /// Applies a completed syscall's semantics. Returns true if the task
     /// blocked (no return-to-user yet).
-    fn apply_syscall(&mut self, cpu: &mut CpuCtx<'_>, slot: usize, nr: Sysno, args: [u64; 5]) -> bool {
+    fn apply_syscall(
+        &mut self,
+        cpu: &mut CpuCtx<'_>,
+        slot: usize,
+        nr: Sysno,
+        args: [u64; 5],
+    ) -> bool {
         match nr {
             Sysno::Exit => {
                 self.do_exit(cpu, slot, args[0]);
@@ -1368,11 +1374,8 @@ impl Kernel {
         else {
             return false;
         };
-        let running_elsewhere = self
-            .current
-            .iter()
-            .enumerate()
-            .any(|(v, c)| *c == Some(slot) && v != cpu.vcpu_id().0);
+        let running_elsewhere =
+            self.current.iter().enumerate().any(|(v, c)| *c == Some(slot) && v != cpu.vcpu_id().0);
         if running_elsewhere {
             self.tasks[slot].kill_pending = true;
         } else {
@@ -1547,11 +1550,8 @@ impl Kernel {
                 cpu.compute(self.cfg.proc_entry_ns);
                 let euid = self.r(cpu, gva.offset(ts::EUID));
                 let parent = self.r(cpu, gva.offset(ts::PARENT));
-                let parent_uid = if parent != 0 {
-                    self.r(cpu, Gva::new(parent).offset(ts::UID))
-                } else {
-                    0
-                };
+                let parent_uid =
+                    if parent != 0 { self.r(cpu, Gva::new(parent).offset(ts::UID)) } else { 0 };
                 // State and RIP come from the live scheduler view.
                 let (state, rip_off) = self
                     .task_by_pid(pid)
@@ -1718,13 +1718,8 @@ mod tests {
         assert_eq!(t.euid, 0, "escalated");
         // The guest task_struct agrees (this is what VMI/derivation read).
         let profile = layout::os_profile();
-        let view = hypertap_core::vmi::list_tasks(
-            &m.vm().mem,
-            k.kernel_pd(),
-            &profile,
-            100,
-        )
-        .unwrap();
+        let view =
+            hypertap_core::vmi::list_tasks(&m.vm().mem, k.kernel_pd(), &profile, 100).unwrap();
         let init_view = view.iter().find(|t| t.pid == 1).unwrap();
         assert_eq!(init_view.euid, 0);
         assert_eq!(init_view.uid, 1000);
@@ -1744,11 +1739,7 @@ mod tests {
             }),
         );
         let sleeper_raw = sleeper.0;
-        let rk = k.register_module(ModuleSpec::new(
-            "testkit",
-            "Linux",
-            vec![HideMechanism::Dkom],
-        ));
+        let rk = k.register_module(ModuleSpec::new("testkit", "Linux", vec![HideMechanism::Dkom]));
         let init = k.register_program(
             "init",
             Box::new(move || {
@@ -1774,7 +1765,8 @@ mod tests {
         k.set_init_program(init);
         run_for(&mut m, &mut k, 2_000);
         let mail = k.drain_mailbox(Pid(1));
-        let before: usize = mail.iter().find(|e| e.tag == "before").unwrap().detail.parse().unwrap();
+        let before: usize =
+            mail.iter().find(|e| e.tag == "before").unwrap().detail.parse().unwrap();
         let after: usize = mail.iter().find(|e| e.tag == "after").unwrap().detail.parse().unwrap();
         assert_eq!(before, after + 1, "DKOM hid exactly one process from ps");
         // But the process is still scheduled (alive in kernel mirror).
@@ -1814,11 +1806,7 @@ mod tests {
         let site = kpath::site_for("vfs", 1) as u32;
         // Persistent missing unlock on every vfs variant site would be
         // broader; one site suffices because variants rotate and revisit.
-        k.set_fault_hook(Box::new(SingleFault::new(
-            site,
-            FaultType::MissingUnlock,
-            true,
-        )));
+        k.set_fault_hook(Box::new(SingleFault::new(site, FaultType::MissingUnlock, true)));
         run_for(&mut m, &mut k, 20_000);
         if k.fault_hook().activations() == 0 {
             // The rotating variant never hit this site in 20s — acceptable

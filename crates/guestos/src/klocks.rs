@@ -64,8 +64,7 @@ pub const SITE_COUNT: usize = 374;
 /// Subsystems the sites are distributed over (paper: "core functions of the
 /// Linux kernel and ... frequently used kernel modules, such as ext3, char,
 /// and block").
-pub const SUBSYSTEMS: [&str; 8] =
-    ["sched", "vfs", "ext3", "block", "char", "mm", "pipe", "net"];
+pub const SUBSYSTEMS: [&str; 8] = ["sched", "vfs", "ext3", "block", "char", "mm", "pipe", "net"];
 
 impl LockTable {
     /// Builds the full catalogue: 374 sites over [`SUBSYSTEMS`], with a pool

@@ -87,10 +87,7 @@ impl KernelExec {
 /// Deterministic; variants rotate over that subsystem's ~47 sites so a long
 /// workload run exercises many distinct fault-injection points.
 pub fn site_for(subsystem: &str, variant: u64) -> usize {
-    let sub_idx = SUBSYSTEMS
-        .iter()
-        .position(|s| *s == subsystem)
-        .expect("known subsystem");
+    let sub_idx = SUBSYSTEMS.iter().position(|s| *s == subsystem).expect("known subsystem");
     let per_sub = SITE_COUNT / SUBSYSTEMS.len() + 1;
     let k = (variant as usize) % per_sub;
     let idx = k * SUBSYSTEMS.len() + sub_idx;
@@ -221,10 +218,7 @@ pub fn kthread_path(variant: u64) -> Vec<PathStep> {
         // hang into a full one. The VFS entry layer is bypassed (writeback
         // starts below it), so leaked VFS locks leave daemons unharmed.
         steps.extend(locked(site_for("ext3", variant), &[Work(800)]));
-        steps.extend(locked(
-            site_for("block", variant),
-            &[DiskIo { bytes: 4096, write: true }],
-        ));
+        steps.extend(locked(site_for("block", variant), &[DiskIo { bytes: 4096, write: true }]));
     }
     steps
 }
@@ -307,13 +301,9 @@ mod tests {
     #[test]
     fn io_paths_move_bytes() {
         let steps = syscall_path(Sysno::Write, [3, 8192, 0, 0, 0], 0, 800);
-        assert!(steps
-            .iter()
-            .any(|s| matches!(s, PathStep::DiskIo { bytes: 8192, write: true })));
+        assert!(steps.iter().any(|s| matches!(s, PathStep::DiskIo { bytes: 8192, write: true })));
         let steps = syscall_path(Sysno::NetRecv, [1500, 0, 0, 0, 0], 0, 800);
-        assert!(steps
-            .iter()
-            .any(|s| matches!(s, PathStep::NicIo { bytes: 1500, write: false })));
+        assert!(steps.iter().any(|s| matches!(s, PathStep::NicIo { bytes: 1500, write: false })));
     }
 
     #[test]

@@ -115,10 +115,8 @@ mod tests {
 
     #[test]
     fn script_replays_then_exits() {
-        let mut p = ScriptProgram::new(
-            vec![UserOp::Compute(10), UserOp::sys(Sysno::Getpid, &[])],
-            7,
-        );
+        let mut p =
+            ScriptProgram::new(vec![UserOp::Compute(10), UserOp::sys(Sysno::Getpid, &[])], 7);
         assert_eq!(p.next_op(&view(0)), UserOp::Compute(10));
         assert_eq!(p.next_op(&view(0)), UserOp::Syscall(Sysno::Getpid, [0; 5]));
         assert_eq!(p.next_op(&view(0)), UserOp::Exit(7));

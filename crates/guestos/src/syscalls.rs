@@ -112,7 +112,12 @@ impl Sysno {
     pub fn is_io(self) -> bool {
         matches!(
             self,
-            Sysno::Open | Sysno::Read | Sysno::Write | Sysno::Lseek | Sysno::NetRecv | Sysno::NetSend
+            Sysno::Open
+                | Sysno::Read
+                | Sysno::Write
+                | Sysno::Lseek
+                | Sysno::NetRecv
+                | Sysno::NetSend
         )
     }
 }

@@ -186,9 +186,7 @@ fn leaked_lock_wedges_one_vcpu_not_the_machine() {
     k.set_fault_hook(Box::new(LeakVfs));
     let writer = k.register_program(
         "writer",
-        Box::new(|| {
-            Box::new(FnProgram(|_v: &UserView<'_>| UserOp::sys(Sysno::Write, &[0, 2048])))
-        }),
+        Box::new(|| Box::new(FnProgram(|_v: &UserView<'_>| UserOp::sys(Sysno::Write, &[0, 2048])))),
     );
     let beat = k.register_program(
         "beat",
@@ -266,11 +264,7 @@ fn netrecv_blocks_until_irq() {
         9,
     );
     m.run_until(&mut k, SimTime::from_millis(900));
-    let served = k
-        .drain_all_mailboxes()
-        .iter()
-        .filter(|(_, e)| e.tag == "http-served")
-        .count();
+    let served = k.drain_all_mailboxes().iter().filter(|(_, e)| e.tag == "http-served").count();
     assert!(served > 0, "requests were served after the interrupts arrived");
 }
 

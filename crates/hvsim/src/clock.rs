@@ -217,10 +217,7 @@ mod tests {
 
     #[test]
     fn sum_of_durations() {
-        let total: Duration = [1u64, 2, 3]
-            .iter()
-            .map(|&n| Duration::from_nanos(n))
-            .sum();
+        let total: Duration = [1u64, 2, 3].iter().map(|&n| Duration::from_nanos(n)).sum();
         assert_eq!(total.as_nanos(), 6);
     }
 

@@ -99,6 +99,7 @@ impl CostModel {
     }
 
     /// Cost of a guest memory access of `bytes` bytes.
+    #[inline]
     pub fn mem_cost(&self, bytes: u64) -> Duration {
         self.mem_op + Duration::from_nanos(self.mem_per_byte_ns * bytes)
     }

@@ -14,13 +14,13 @@
 //! address space, the task register, the kernel stack pointer in the TSS, or
 //! the privilege level without going through this module.
 
+use crate::clock::{Duration, SimTime};
 use crate::ept::AccessKind;
 use crate::exit::{ExceptionType, ExitAction, VcpuSnapshot, VmExit, VmExitKind};
 use crate::machine::{Hypervisor, VmState};
 use crate::mem::{Gpa, Gva};
 use crate::paging::{self, PageFault};
 use crate::vcpu::{Cpl, Gpr, Msr, Vcpu, VcpuId};
-use crate::clock::{Duration, SimTime};
 
 /// Byte offset of the ring-0 stack pointer (`RSP0`) within a TSS.
 ///
@@ -89,6 +89,7 @@ impl<'a> CpuCtx<'a> {
         self.vm.vcpu_mut(self.vcpu)
     }
 
+    #[inline]
     fn charge(&mut self, d: Duration) {
         self.vcpu_mut().clock += d;
     }
@@ -157,7 +158,9 @@ impl<'a> CpuCtx<'a> {
     }
 
     /// Loads CR3 — the architectural process context switch. Raises a
-    /// `CR_ACCESS` VM Exit when CR3-load exiting is enabled.
+    /// `CR_ACCESS` VM Exit when CR3-load exiting is enabled. As on hardware,
+    /// a CR3 load that takes effect flushes this vCPU's TLB (a suppressed
+    /// load has no architectural effect, so nothing is flushed).
     pub fn write_cr3(&mut self, pdba: Gpa) {
         self.charge(self.vm.cost().reg_op);
         if self.vm.controls().cr3_load_exiting() {
@@ -167,6 +170,7 @@ impl<'a> CpuCtx<'a> {
             }
         }
         self.vcpu_mut().set_cr3(pdba);
+        self.vm.flush_tlb(self.vcpu);
     }
 
     /// Current TR base (address of the running task's TSS).
@@ -196,7 +200,9 @@ impl<'a> CpuCtx<'a> {
     // ----- memory -----------------------------------------------------------
 
     /// Translates a guest-virtual address under the current CR3 by walking
-    /// the in-memory page tables.
+    /// the in-memory page tables. This is the uncached reference walk; the
+    /// MMU's data path goes through the per-vCPU software TLB instead (see
+    /// [`crate::tlb`]), which by construction returns the same results.
     ///
     /// # Errors
     ///
@@ -205,6 +211,7 @@ impl<'a> CpuCtx<'a> {
         paging::walk(&self.vm.mem, self.cr3(), gva)
     }
 
+    #[inline]
     fn access_checked(
         &mut self,
         gva: Gva,
@@ -212,7 +219,7 @@ impl<'a> CpuCtx<'a> {
         access: AccessKind,
         value: Option<u64>,
     ) -> Result<Option<Gpa>, PageFault> {
-        let gpa = self.translate(gva)?;
+        let (gpa, perm) = self.vm.translate_for(self.vcpu, gva)?;
         self.charge(self.vm.cost().mem_cost(len));
         if self.vm.io.is_mmio(gpa) {
             // MMIO regions are never RAM-backed: the access always exits.
@@ -223,8 +230,11 @@ impl<'a> CpuCtx<'a> {
             }
             return Ok(Some(gpa)); // caller routes to the device
         }
-        if let Err(mut violation) = self.vm.ept.check(gpa, Some(gva), access) {
-            violation.value = value;
+        // `perm` is the frame's current EPT permission (the TLB revalidates
+        // its cached copy against the EPT generation), so the common allowed
+        // case skips the permission-map lookup entirely.
+        if !perm.allows(access) {
+            let violation = crate::ept::EptViolation { gpa, gva: Some(gva), access, value };
             let action = self.fire_exit(VmExitKind::EptViolation(violation));
             if action == ExitAction::Suppress {
                 return Ok(None);
@@ -243,12 +253,7 @@ impl<'a> CpuCtx<'a> {
         match self.access_checked(gva, buf.len() as u64, AccessKind::Read, None)? {
             Some(gpa) => {
                 if self.vm.io.is_mmio(gpa) {
-                    let v = self
-                        .vm
-                        .io
-                        .mmio_device(gpa)
-                        .map(|d| d.mmio_read(gpa))
-                        .unwrap_or(0xFF);
+                    let v = self.vm.io.mmio_device(gpa).map(|d| d.mmio_read(gpa)).unwrap_or(0xFF);
                     let n = buf.len().min(8);
                     buf[..n].copy_from_slice(&v.to_le_bytes()[..n]);
                 } else {
@@ -288,13 +293,25 @@ impl<'a> CpuCtx<'a> {
 
     /// Reads a little-endian `u64` at a guest-virtual address.
     ///
+    /// Dedicated width-8 path: skips the byte-buffer plumbing of
+    /// [`CpuCtx::read_gva`] and goes straight to the memory's `u64` accessor
+    /// (behaviour is identical, including MMIO routing and suppression).
+    ///
     /// # Errors
     ///
     /// Returns a [`PageFault`] if translation fails.
+    #[inline]
     pub fn read_u64_gva(&mut self, gva: Gva) -> Result<u64, PageFault> {
-        let mut buf = [0u8; 8];
-        self.read_gva(gva, &mut buf)?;
-        Ok(u64::from_le_bytes(buf))
+        match self.access_checked(gva, 8, AccessKind::Read, None)? {
+            Some(gpa) => {
+                if self.vm.io.is_mmio(gpa) {
+                    Ok(self.vm.io.mmio_device(gpa).map(|d| d.mmio_read(gpa)).unwrap_or(0xFF))
+                } else {
+                    Ok(self.vm.mem.read_u64(gpa))
+                }
+            }
+            None => Ok(0),
+        }
     }
 
     /// Writes a little-endian `u64` at a guest-virtual address.
@@ -302,8 +319,18 @@ impl<'a> CpuCtx<'a> {
     /// # Errors
     ///
     /// Returns a [`PageFault`] if translation fails.
+    #[inline]
     pub fn write_u64_gva(&mut self, gva: Gva, value: u64) -> Result<(), PageFault> {
-        self.write_gva(gva, &value.to_le_bytes())
+        if let Some(gpa) = self.access_checked(gva, 8, AccessKind::Write, Some(value))? {
+            if self.vm.io.is_mmio(gpa) {
+                if let Some(d) = self.vm.io.mmio_device(gpa) {
+                    d.mmio_write(gpa, value);
+                }
+            } else {
+                self.vm.mem.write_u64(gpa, value);
+            }
+        }
+        Ok(())
     }
 
     /// Physical-mode memory read (paging off — early boot only).
@@ -470,7 +497,8 @@ impl<'a> CpuCtx<'a> {
     /// `APIC_ACCESS` exit (ICR write).
     pub fn send_ipi(&mut self, target: VcpuId, vector: u8) {
         let value = (vector as u64) | ((target.0 as u64) << 8);
-        let action = self.fire_exit(VmExitKind::ApicAccess { offset: APIC_ICR, write: true, value });
+        let action =
+            self.fire_exit(VmExitKind::ApicAccess { offset: APIC_ICR, write: true, value });
         if action == ExitAction::Suppress {
             return;
         }
@@ -524,8 +552,8 @@ mod tests {
     use crate::device::LatchDevice;
     use crate::ept::EptPerm;
     use crate::machine::{Machine, VmConfig};
-    use crate::paging::{AddressSpaceBuilder, FrameAllocator};
     use crate::mem::{Gfn, PAGE_SIZE};
+    use crate::paging::{AddressSpaceBuilder, FrameAllocator};
 
     /// Hypervisor recording exits, optionally suppressing some kinds.
     #[derive(Debug, Default)]
@@ -581,10 +609,7 @@ mod tests {
         assert!(m.hypervisor().exits.is_empty());
         m.vm_mut().controls_mut().set_cr3_load_exiting(true);
         with_cpu(&mut m, |cpu| cpu.write_cr3(Gpa::new(0x6000)));
-        assert_eq!(
-            m.hypervisor().exits,
-            vec![VmExitKind::CrAccess { cr: 3, value: 0x6000 }]
-        );
+        assert_eq!(m.hypervisor().exits, vec![VmExitKind::CrAccess { cr: 3, value: 0x6000 }]);
         assert_eq!(m.vm().vcpu(VcpuId(0)).cr3(), Gpa::new(0x6000));
     }
 
@@ -649,9 +674,7 @@ mod tests {
         let mut m = machine();
         let (tss_gva, tss_gpa) = setup_paged(&mut m);
         // Set up the TSS: RSP0 lives at offset 4.
-        m.vm_mut()
-            .mem
-            .write_u64(tss_gpa.offset(TSS_RSP0_OFFSET), 0xdead_0000);
+        m.vm_mut().mem.write_u64(tss_gpa.offset(TSS_RSP0_OFFSET), 0xdead_0000);
         m.vm_mut().controls_mut().set_exception_exiting(0x80, true);
         with_cpu(&mut m, |cpu| {
             cpu.load_task_register(tss_gva);
@@ -683,19 +706,13 @@ mod tests {
             cpu.iret(Gva::new(0));
             cpu.int_n(0x80).unwrap();
         });
-        assert!(m
-            .hypervisor()
-            .exits
-            .iter()
-            .all(|e| !matches!(e, VmExitKind::Exception { .. })));
+        assert!(m.hypervisor().exits.iter().all(|e| !matches!(e, VmExitKind::Exception { .. })));
     }
 
     #[test]
     fn wrmsr_exit_and_suppression() {
         let mut m = machine();
-        m.vm_mut()
-            .controls_mut()
-            .set_msr_write_exiting(Msr::SysenterEip, true);
+        m.vm_mut().controls_mut().set_msr_write_exiting(Msr::SysenterEip, true);
         with_cpu(&mut m, |cpu| cpu.wrmsr(Msr::SysenterEip, 0xc000_0000));
         assert_eq!(m.vm().vcpu(VcpuId(0)).msr(Msr::SysenterEip), 0xc000_0000);
         assert_eq!(m.hypervisor().exits.len(), 1);
@@ -747,12 +764,8 @@ mod tests {
             assert_eq!(cpu.pio_in(0x1f1), 0x55);
             assert_eq!(cpu.pio_in(0x999), 0xFF, "unmapped port floats high");
         });
-        let io_exits = m
-            .hypervisor()
-            .exits
-            .iter()
-            .filter(|e| matches!(e, VmExitKind::IoInst { .. }))
-            .count();
+        let io_exits =
+            m.hypervisor().exits.iter().filter(|e| matches!(e, VmExitKind::IoInst { .. })).count();
         assert_eq!(io_exits, 3);
     }
 
@@ -812,6 +825,87 @@ mod tests {
             .filter(|e| matches!(e, VmExitKind::ExternalInterrupt { .. }))
             .count();
         assert_eq!(int_exits, 1);
+    }
+
+    #[test]
+    fn repeated_gva_access_hits_tlb() {
+        let mut m = machine();
+        let (gva, _) = setup_paged(&mut m);
+        with_cpu(&mut m, |cpu| {
+            for i in 0..10 {
+                cpu.write_u64_gva(gva.offset(i * 8), i).unwrap();
+            }
+        });
+        let stats = m.vm().tlb_stats();
+        assert_eq!(stats.misses, 1, "one compulsory miss for the page");
+        assert_eq!(stats.hits, 9);
+    }
+
+    #[test]
+    fn cr3_load_flushes_tlb_unless_suppressed() {
+        let mut m = machine();
+        let (gva, _) = setup_paged(&mut m);
+        with_cpu(&mut m, |cpu| {
+            cpu.read_u64_gva(gva).unwrap();
+        });
+        assert_eq!(m.vm().tlb_stats().flushes, 1, "setup_paged loads CR3 once");
+        let cr3 = m.vm().vcpu(VcpuId(0)).cr3();
+        with_cpu(&mut m, |cpu| cpu.write_cr3(cr3));
+        assert_eq!(m.vm().tlb_stats().flushes, 2);
+        // A suppressed CR3 load has no architectural effect — no flush.
+        m.vm_mut().controls_mut().set_cr3_load_exiting(true);
+        m.hypervisor_mut().suppress_cr3 = true;
+        with_cpu(&mut m, |cpu| cpu.write_cr3(Gpa::new(0x9000)));
+        assert_eq!(m.vm().tlb_stats().flushes, 2);
+    }
+
+    #[test]
+    fn tlb_disabled_vm_behaves_identically() {
+        let run = |tlb: bool| {
+            let mut m = Machine::new(VmConfig::new(2, 32 << 20).with_tlb(tlb), TestHv::default());
+            let (gva, gpa) = setup_paged(&mut m);
+            m.vm_mut().ept.set_perm(gpa.gfn(), EptPerm::RX);
+            with_cpu(&mut m, |cpu| {
+                cpu.write_u64_gva(gva, 7).unwrap();
+                cpu.read_u64_gva(gva).unwrap();
+            });
+            (
+                m.vm().now(),
+                m.hypervisor().exits.clone(),
+                m.vm().mem.read_u64(gpa),
+                m.vm().tlb_stats().lookups(),
+            )
+        };
+        let (t_on, exits_on, val_on, lookups_on) = run(true);
+        let (t_off, exits_off, val_off, lookups_off) = run(false);
+        assert_eq!(t_on, t_off, "TLB must not change simulated time");
+        assert_eq!(exits_on, exits_off, "TLB must not change the exit stream");
+        assert_eq!(val_on, val_off);
+        assert!(lookups_on > 0);
+        assert_eq!(lookups_off, 0, "disabled TLB records nothing");
+    }
+
+    #[test]
+    fn page_table_edit_is_visible_through_tlb() {
+        let mut m = machine();
+        let gva = Gva::new(0x40_0000);
+        with_cpu(&mut m, |cpu| {
+            let mut falloc = FrameAllocator::new(Gfn::new(16), Gfn::new(1024));
+            let vm = cpu.vm_mut();
+            let mut asb = AddressSpaceBuilder::new(&mut vm.mem, &mut falloc);
+            let f1 = falloc.alloc(&mut vm.mem);
+            let f2 = falloc.alloc(&mut vm.mem);
+            asb.map(&mut vm.mem, &mut falloc, gva, f1);
+            cpu.write_cr3(asb.pdba());
+            cpu.write_u64_gva(gva, 0x11).unwrap();
+            // Remap the page without touching CR3 — only the tracked
+            // page-table write invalidates the cached translation.
+            let vm = cpu.vm_mut();
+            asb.map(&mut vm.mem, &mut falloc, gva, f2);
+            cpu.write_u64_gva(gva, 0x22).unwrap();
+            assert_eq!(cpu.vm().mem.read_u64(f1.base()), 0x11);
+            assert_eq!(cpu.vm().mem.read_u64(f2.base()), 0x22);
+        });
     }
 
     #[test]

@@ -73,10 +73,7 @@ impl IoBus {
     /// Panics if the range overlaps an existing port mapping.
     pub fn map_pio(&mut self, ports: Range<u16>, id: DeviceId) {
         assert!(
-            !self
-                .pio_map
-                .iter()
-                .any(|(r, _)| r.start < ports.end && ports.start < r.end),
+            !self.pio_map.iter().any(|(r, _)| r.start < ports.end && ports.start < r.end),
             "overlapping port mapping {ports:?}"
         );
         self.pio_map.push((ports, id));
@@ -89,10 +86,7 @@ impl IoBus {
     /// Panics if the range overlaps an existing MMIO mapping.
     pub fn map_mmio(&mut self, range: Range<u64>, id: DeviceId) {
         assert!(
-            !self
-                .mmio_map
-                .iter()
-                .any(|(r, _)| r.start < range.end && range.start < r.end),
+            !self.mmio_map.iter().any(|(r, _)| r.start < range.end && range.start < r.end),
             "overlapping MMIO mapping {range:?}"
         );
         self.mmio_map.push((range, id));
@@ -100,26 +94,19 @@ impl IoBus {
 
     /// The device mapped at a port, if any.
     pub fn pio_device(&mut self, port: u16) -> Option<&mut dyn Device> {
-        let id = self
-            .pio_map
-            .iter()
-            .find(|(r, _)| r.contains(&port))
-            .map(|(_, id)| *id)?;
+        let id = self.pio_map.iter().find(|(r, _)| r.contains(&port)).map(|(_, id)| *id)?;
         Some(self.devices[id.0].as_mut())
     }
 
     /// Whether a guest-physical address falls in any MMIO window.
+    #[inline]
     pub fn is_mmio(&self, gpa: Gpa) -> bool {
         self.mmio_map.iter().any(|(r, _)| r.contains(&gpa.value()))
     }
 
     /// The device mapped at a guest-physical address, if any.
     pub fn mmio_device(&mut self, gpa: Gpa) -> Option<&mut dyn Device> {
-        let id = self
-            .mmio_map
-            .iter()
-            .find(|(r, _)| r.contains(&gpa.value()))
-            .map(|(_, id)| *id)?;
+        let id = self.mmio_map.iter().find(|(r, _)| r.contains(&gpa.value())).map(|(_, id)| *id)?;
         Some(self.devices[id.0].as_mut())
     }
 
@@ -190,9 +177,7 @@ mod tests {
         bus.map_mmio(0xfee0_0000..0xfee0_1000, id);
         assert!(bus.is_mmio(Gpa::new(0xfee0_0800)));
         assert!(!bus.is_mmio(Gpa::new(0xfee0_1000)));
-        bus.mmio_device(Gpa::new(0xfee0_0800))
-            .unwrap()
-            .mmio_write(Gpa::new(0xfee0_0800), 7);
+        bus.mmio_device(Gpa::new(0xfee0_0800)).unwrap().mmio_write(Gpa::new(0xfee0_0800), 7);
         assert_eq!(
             bus.mmio_device(Gpa::new(0xfee0_0000)).unwrap().mmio_read(Gpa::new(0xfee0_0000)),
             7

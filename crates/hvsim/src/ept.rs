@@ -99,6 +99,11 @@ pub struct EptViolation {
 #[derive(Debug, Clone, Default)]
 pub struct Ept {
     overrides: HashMap<Gfn, EptPerm>,
+    /// Bumped on every permission edit. Software TLBs cache a frame's
+    /// [`EptPerm`] alongside the translation and revalidate it whenever this
+    /// generation moves — the simulator's analogue of the INVEPT a real
+    /// hypervisor issues after editing EPT entries.
+    generation: u64,
 }
 
 impl Ept {
@@ -108,6 +113,7 @@ impl Ept {
     }
 
     /// Current permission of a frame.
+    #[inline]
     pub fn perm(&self, gfn: Gfn) -> EptPerm {
         self.overrides.get(&gfn).copied().unwrap_or_default()
     }
@@ -120,7 +126,15 @@ impl Ept {
         } else {
             self.overrides.insert(gfn, perm);
         }
+        if perm != prev {
+            self.generation += 1;
+        }
         prev
+    }
+
+    /// The permission-edit generation (see the field documentation).
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Number of frames with non-default permissions.
@@ -131,7 +145,12 @@ impl Ept {
     /// Checks an access; `Ok` if allowed, `Err` with the violation otherwise.
     /// The returned violation carries no written value; callers that know it
     /// (the instruction emulator) fill it in.
-    pub fn check(&self, gpa: Gpa, gva: Option<Gva>, access: AccessKind) -> Result<(), EptViolation> {
+    pub fn check(
+        &self,
+        gpa: Gpa,
+        gva: Option<Gva>,
+        access: AccessKind,
+    ) -> Result<(), EptViolation> {
         if self.perm(gpa.gfn()).allows(access) {
             Ok(())
         } else {
@@ -159,9 +178,7 @@ mod tests {
         ept.set_perm(Gfn::new(5), EptPerm::RX);
         assert!(ept.check(Gpa::new(0x5000), None, AccessKind::Read).is_ok());
         assert!(ept.check(Gpa::new(0x5000), None, AccessKind::Execute).is_ok());
-        let v = ept
-            .check(Gpa::new(0x5123), Some(Gva::new(0x1123)), AccessKind::Write)
-            .unwrap_err();
+        let v = ept.check(Gpa::new(0x5123), Some(Gva::new(0x1123)), AccessKind::Write).unwrap_err();
         assert_eq!(v.gpa, Gpa::new(0x5123));
         assert_eq!(v.gva, Some(Gva::new(0x1123)));
         assert_eq!(v.access, AccessKind::Write);
@@ -184,6 +201,22 @@ mod tests {
         let prev = ept.set_perm(Gfn::new(1), EptPerm::RWX);
         assert_eq!(prev, EptPerm::NONE);
         assert_eq!(ept.restricted_frames(), 0);
+    }
+
+    #[test]
+    fn generation_moves_only_on_real_edits() {
+        let mut ept = Ept::new();
+        assert_eq!(ept.generation(), 0);
+        ept.set_perm(Gfn::new(7), EptPerm::RX);
+        assert_eq!(ept.generation(), 1);
+        // A no-op edit (same permission) does not invalidate TLB caches.
+        ept.set_perm(Gfn::new(7), EptPerm::RX);
+        assert_eq!(ept.generation(), 1);
+        ept.set_perm(Gfn::new(7), EptPerm::RWX);
+        assert_eq!(ept.generation(), 2);
+        // Restoring RWX on an already-default frame is a no-op too.
+        ept.set_perm(Gfn::new(8), EptPerm::RWX);
+        assert_eq!(ept.generation(), 2);
     }
 
     #[test]

@@ -144,7 +144,9 @@ impl fmt::Display for VmExitKind {
             VmExitKind::IoInst { port, write, .. } => {
                 write!(f, "IO_INST port {port:#x} {}", if *write { "out" } else { "in" })
             }
-            VmExitKind::ExternalInterrupt { vector } => write!(f, "EXTERNAL_INT vector {vector:#x}"),
+            VmExitKind::ExternalInterrupt { vector } => {
+                write!(f, "EXTERNAL_INT vector {vector:#x}")
+            }
             VmExitKind::ApicAccess { offset, .. } => write!(f, "APIC_ACCESS offset {offset:#x}"),
             VmExitKind::Hlt => f.write_str("HLT"),
         }
@@ -305,11 +307,7 @@ impl ExitStats {
     /// Number of exits whose reason matches `name` (one of
     /// [`VmExitKind::SLOT_NAMES`]).
     pub fn count_by_name(&self, name: &str) -> u64 {
-        VmExitKind::SLOT_NAMES
-            .iter()
-            .position(|n| *n == name)
-            .map(|i| self.counts[i])
-            .unwrap_or(0)
+        VmExitKind::SLOT_NAMES.iter().position(|n| *n == name).map(|i| self.counts[i]).unwrap_or(0)
     }
 
     /// Total number of exits of all kinds.
@@ -380,14 +378,8 @@ mod tests {
     fn stats_record_and_query() {
         let mut s = ExitStats::new();
         s.record(&VmExitKind::Hlt, Duration::from_nanos(100));
-        s.record(
-            &VmExitKind::CrAccess { cr: 3, value: 0x1000 },
-            Duration::from_nanos(200),
-        );
-        s.record(
-            &VmExitKind::CrAccess { cr: 3, value: 0x2000 },
-            Duration::from_nanos(200),
-        );
+        s.record(&VmExitKind::CrAccess { cr: 3, value: 0x1000 }, Duration::from_nanos(200));
+        s.record(&VmExitKind::CrAccess { cr: 3, value: 0x2000 }, Duration::from_nanos(200));
         assert_eq!(s.count_by_name("CR_ACCESS"), 2);
         assert_eq!(s.count_by_name("HLT"), 1);
         assert_eq!(s.count_by_name("WRMSR"), 0);
@@ -399,10 +391,7 @@ mod tests {
 
     #[test]
     fn reason_names_match_table1_vocabulary() {
-        assert_eq!(
-            VmExitKind::CrAccess { cr: 3, value: 0 }.reason_name(),
-            "CR_ACCESS"
-        );
+        assert_eq!(VmExitKind::CrAccess { cr: 3, value: 0 }.reason_name(), "CR_ACCESS");
         assert_eq!(
             VmExitKind::EptViolation(EptViolation {
                 gpa: Gpa::new(0),

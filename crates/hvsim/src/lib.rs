@@ -79,6 +79,7 @@ pub mod exit;
 pub mod machine;
 pub mod mem;
 pub mod paging;
+pub mod tlb;
 pub mod vcpu;
 
 /// Convenient glob import of the types needed to assemble a simulated VM.
@@ -92,6 +93,7 @@ pub mod prelude {
     pub use crate::machine::{GuestProgram, Hypervisor, Machine, VmConfig, VmState};
     pub use crate::mem::{Gfn, Gpa, GuestMemory, Gva, PAGE_SIZE};
     pub use crate::paging::{AddressSpaceBuilder, FrameAllocator, PageFault};
+    pub use crate::tlb::{Tlb, TlbStats};
     pub use crate::vcpu::{Gpr, Msr, Vcpu, VcpuId};
 }
 

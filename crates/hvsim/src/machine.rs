@@ -11,9 +11,11 @@ use crate::clock::{Duration, SimTime};
 use crate::cost::CostModel;
 use crate::cpu::{CpuCtx, StepOutcome};
 use crate::device::IoBus;
-use crate::ept::Ept;
+use crate::ept::{Ept, EptPerm};
 use crate::exit::{ExitAction, ExitControls, ExitStats, VmExit};
-use crate::mem::GuestMemory;
+use crate::mem::{Gpa, GuestMemory, Gva};
+use crate::paging::{self, PageFault};
+use crate::tlb::{Tlb, TlbStats};
 use crate::vcpu::{Vcpu, VcpuId};
 use std::collections::BinaryHeap;
 
@@ -70,17 +72,27 @@ pub struct VmConfig {
     pub memory: u64,
     /// Cost model for guest operations and exits.
     pub cost: CostModel,
+    /// Whether the per-vCPU software TLB caches translations (on by
+    /// default). Purely a host-side optimisation: simulated behaviour is
+    /// identical either way (see [`crate::tlb`]).
+    pub tlb_enabled: bool,
 }
 
 impl VmConfig {
     /// A VM with the calibrated cost model.
     pub fn new(vcpus: usize, memory: u64) -> Self {
-        VmConfig { vcpus, memory, cost: CostModel::calibrated() }
+        VmConfig { vcpus, memory, cost: CostModel::calibrated(), tlb_enabled: true }
     }
 
     /// Replaces the cost model (builder style).
     pub fn with_cost(mut self, cost: CostModel) -> Self {
         self.cost = cost;
+        self
+    }
+
+    /// Enables or disables the software TLB (builder style).
+    pub fn with_tlb(mut self, enabled: bool) -> Self {
+        self.tlb_enabled = enabled;
         self
     }
 }
@@ -103,6 +115,8 @@ pub struct VmState {
     timers: Vec<HostTimer>,
     irq_schedule: BinaryHeap<ScheduledIrq>,
     pub(crate) apic_timers: Vec<ApicTimer>,
+    tlbs: Vec<Tlb>,
+    tlb_enabled: bool,
 }
 
 impl VmState {
@@ -121,6 +135,8 @@ impl VmState {
             timers: Vec::new(),
             irq_schedule: BinaryHeap::new(),
             apic_timers: vec![ApicTimer::default(); config.vcpus],
+            tlbs: (0..config.vcpus).map(|_| Tlb::new()).collect(),
+            tlb_enabled: config.tlb_enabled,
         }
     }
 
@@ -166,6 +182,45 @@ impl VmState {
 
     pub(crate) fn stats_mut(&mut self) -> &mut ExitStats {
         &mut self.stats
+    }
+
+    /// Whether the software TLB is in use.
+    pub fn tlb_enabled(&self) -> bool {
+        self.tlb_enabled
+    }
+
+    /// TLB counters aggregated across all vCPUs (all zero when disabled).
+    pub fn tlb_stats(&self) -> TlbStats {
+        let mut total = TlbStats::default();
+        for t in &self.tlbs {
+            total.merge(&t.stats());
+        }
+        total
+    }
+
+    /// Translates `gva` for `vcpu` under its current CR3, through the
+    /// vCPU's TLB when enabled, and returns the guest-physical address with
+    /// the frame's current EPT permission. The MMU's hot path.
+    #[inline]
+    pub(crate) fn translate_for(
+        &mut self,
+        vcpu: VcpuId,
+        gva: Gva,
+    ) -> Result<(Gpa, EptPerm), PageFault> {
+        let cr3 = self.vcpus[vcpu.0].cr3();
+        if self.tlb_enabled {
+            self.tlbs[vcpu.0].translate(&mut self.mem, &self.ept, cr3, gva)
+        } else {
+            let gpa = paging::walk(&self.mem, cr3, gva)?;
+            Ok((gpa, self.ept.perm(gpa.gfn())))
+        }
+    }
+
+    /// Flushes `vcpu`'s TLB (called on CR3 loads).
+    pub(crate) fn flush_tlb(&mut self, vcpu: VcpuId) {
+        if self.tlb_enabled {
+            self.tlbs[vcpu.0].flush();
+        }
     }
 
     /// The earliest vCPU clock — the VM's conservative notion of "now".
@@ -240,18 +295,8 @@ impl VmState {
     /// The earliest pending wake-up event (host timer, APIC timer or
     /// scheduled IRQ), if any.
     fn next_event_time(&self) -> Option<SimTime> {
-        let timer = self
-            .timers
-            .iter()
-            .filter(|t| !t.cancelled)
-            .map(|t| t.next_due)
-            .min();
-        let apic = self
-            .apic_timers
-            .iter()
-            .filter(|t| t.period.is_some())
-            .map(|t| t.next_due)
-            .min();
+        let timer = self.timers.iter().filter(|t| !t.cancelled).map(|t| t.next_due).min();
+        let apic = self.apic_timers.iter().filter(|t| t.period.is_some()).map(|t| t.next_due).min();
         let irq = self.irq_schedule.peek().map(|s| s.due);
         [timer, apic, irq].into_iter().flatten().min()
     }

@@ -1,6 +1,6 @@
 //! Guest-physical memory and the address newtypes.
 //!
-//! Memory is a sparse map of 4 KiB frames, allocated lazily on first write.
+//! Memory is a flat table of 4 KiB frames, allocated lazily on first write.
 //! All multi-byte accessors are little-endian, matching x86. Accesses may
 //! cross page boundaries; they are split internally.
 //!
@@ -13,12 +13,23 @@
 //!   translated by EPT (see [`crate::ept`]).
 //! * [`Gfn`] — *guest frame number*: a [`Gpa`] shifted down by the page size;
 //!   the granularity at which EPT permissions apply.
+//!
+//! # Hot path
+//!
+//! Frame lookup is a direct index into a `Vec<Option<Box<Frame>>>` rather
+//! than a hash-map probe: one bounds check and one pointer chase per access.
+//! The table also participates in TLB coherence (see [`crate::tlb`]): frames
+//! holding paging structures can be *tracked* via
+//! [`GuestMemory::track_paging_frame`]. Writes to tracked frames bump a
+//! global paging generation and stamp the frame's own write generation, which
+//! lets a software TLB detect page-table edits without snooping every store.
 
-use std::collections::HashMap;
 use std::fmt;
 
 /// Size of a memory page/frame in bytes (4 KiB, as on x86).
 pub const PAGE_SIZE: u64 = 4096;
+
+type Frame = Box<[u8; PAGE_SIZE as usize]>;
 
 /// A guest-virtual address.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -136,7 +147,7 @@ impl fmt::Display for Gfn {
     }
 }
 
-/// Sparse guest-physical memory.
+/// Guest-physical memory with lazily allocated frames.
 ///
 /// Frames are 4 KiB and zero-filled on first touch. `size` bounds the
 /// guest-physical address space: accesses at or beyond it panic, because in
@@ -145,17 +156,38 @@ impl fmt::Display for Gfn {
 /// EPT violations before reaching physical memory).
 #[derive(Debug, Clone)]
 pub struct GuestMemory {
-    frames: HashMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
+    /// Direct frame table indexed by frame number. Untouched frames are
+    /// `None` and read as zeros.
+    frames: Vec<Option<Frame>>,
+    /// Number of `Some` entries in `frames`.
+    resident: usize,
     size: u64,
+    /// Frames currently known to hold paging structures (page directories or
+    /// page tables) of some live address space. Writes to these frames are
+    /// the only guest stores that can invalidate a TLB entry.
+    tracked: Vec<bool>,
+    /// Per-frame generation of the last write to a *tracked* frame. A TLB
+    /// entry filled at generation `g` remains valid as long as both paging
+    /// structures it walked through have `write_gens <= g`.
+    write_gens: Vec<u64>,
+    /// Global counter bumped on every write to a tracked frame. TLBs compare
+    /// a snapshot of this against the current value to skip per-frame checks
+    /// entirely when no page table anywhere has changed.
+    paging_gen: u64,
 }
 
 impl GuestMemory {
     /// Creates `size` bytes of guest-physical memory (rounded up to a page).
     pub fn new(size: u64) -> Self {
         let size = size.div_ceil(PAGE_SIZE) * PAGE_SIZE;
+        let nframes = (size / PAGE_SIZE) as usize;
         GuestMemory {
-            frames: HashMap::new(),
+            frames: vec![None; nframes],
+            resident: 0,
             size,
+            tracked: vec![false; nframes],
+            write_gens: vec![0; nframes],
+            paging_gen: 0,
         }
     }
 
@@ -166,7 +198,7 @@ impl GuestMemory {
 
     /// Number of frames that have actually been touched.
     pub fn resident_frames(&self) -> usize {
-        self.frames.len()
+        self.resident
     }
 
     fn check(&self, gpa: Gpa, len: u64) {
@@ -177,6 +209,26 @@ impl GuestMemory {
             len,
             self.size
         );
+    }
+
+    /// Marks `gfn` as holding a paging structure. Idempotent. Called by the
+    /// TLB fill path for every page directory and page table it walks
+    /// through; never needs to be un-tracked explicitly because
+    /// [`GuestMemory::zero_frame`] clears it when the frame is freed.
+    pub fn track_paging_frame(&mut self, gfn: Gfn) {
+        self.check(gfn.base(), PAGE_SIZE);
+        self.tracked[gfn.value() as usize] = true;
+    }
+
+    /// The global paging-structure write generation.
+    pub fn paging_gen(&self) -> u64 {
+        self.paging_gen
+    }
+
+    /// Generation of the last tracked write to `gfn` (0 if never written
+    /// while tracked).
+    pub fn frame_write_gen(&self, gfn: Gfn) -> u64 {
+        self.write_gens[gfn.value() as usize]
     }
 
     /// Reads `buf.len()` bytes starting at `gpa`.
@@ -191,7 +243,7 @@ impl GuestMemory {
         while done < buf.len() {
             let off = (addr % PAGE_SIZE) as usize;
             let n = usize::min(buf.len() - done, PAGE_SIZE as usize - off);
-            match self.frames.get(&(addr / PAGE_SIZE)) {
+            match &self.frames[(addr / PAGE_SIZE) as usize] {
                 Some(frame) => buf[done..done + n].copy_from_slice(&frame[off..off + n]),
                 None => buf[done..done + n].fill(0),
             }
@@ -210,12 +262,19 @@ impl GuestMemory {
         let mut addr = gpa.value();
         let mut done = 0usize;
         while done < buf.len() {
+            let idx = (addr / PAGE_SIZE) as usize;
             let off = (addr % PAGE_SIZE) as usize;
             let n = usize::min(buf.len() - done, PAGE_SIZE as usize - off);
-            let frame = self
-                .frames
-                .entry(addr / PAGE_SIZE)
-                .or_insert_with(|| Box::new([0u8; PAGE_SIZE as usize]));
+            if self.tracked[idx] {
+                self.paging_gen += 1;
+                self.write_gens[idx] = self.paging_gen;
+            }
+            let slot = &mut self.frames[idx];
+            if slot.is_none() {
+                *slot = Some(Box::new([0u8; PAGE_SIZE as usize]));
+                self.resident += 1;
+            }
+            let frame = slot.as_mut().expect("just ensured present");
             frame[off..off + n].copy_from_slice(&buf[done..done + n]);
             done += n;
             addr += n as u64;
@@ -223,14 +282,48 @@ impl GuestMemory {
     }
 
     /// Reads a little-endian `u64` at `gpa`.
+    ///
+    /// Non-page-crossing reads (the overwhelmingly common case: page-table
+    /// entries are naturally aligned, and guest code mostly is too) take a
+    /// direct path — one frame index, one 8-byte load.
+    #[inline]
     pub fn read_u64(&self, gpa: Gpa) -> u64 {
+        let off = gpa.page_offset() as usize;
+        if off + 8 <= PAGE_SIZE as usize {
+            self.check(gpa, 8);
+            return match &self.frames[(gpa.value() / PAGE_SIZE) as usize] {
+                Some(frame) => u64::from_le_bytes(frame[off..off + 8].try_into().unwrap()),
+                None => 0,
+            };
+        }
         let mut buf = [0u8; 8];
         self.read(gpa, &mut buf);
         u64::from_le_bytes(buf)
     }
 
     /// Writes a little-endian `u64` at `gpa`.
+    ///
+    /// Non-page-crossing writes take a direct path; the paging-structure
+    /// generation bookkeeping is identical to [`GuestMemory::write`].
+    #[inline]
     pub fn write_u64(&mut self, gpa: Gpa, value: u64) {
+        let off = gpa.page_offset() as usize;
+        if off + 8 <= PAGE_SIZE as usize {
+            self.check(gpa, 8);
+            let idx = (gpa.value() / PAGE_SIZE) as usize;
+            if self.tracked[idx] {
+                self.paging_gen += 1;
+                self.write_gens[idx] = self.paging_gen;
+            }
+            let slot = &mut self.frames[idx];
+            if slot.is_none() {
+                *slot = Some(Box::new([0u8; PAGE_SIZE as usize]));
+                self.resident += 1;
+            }
+            let frame = slot.as_mut().expect("just ensured present");
+            frame[off..off + 8].copy_from_slice(&value.to_le_bytes());
+            return;
+        }
         self.write(gpa, &value.to_le_bytes());
     }
 
@@ -248,10 +341,20 @@ impl GuestMemory {
 
     /// Zero-fills one whole frame. Used when the guest kernel frees a page
     /// (e.g. a dead process's page directory), so that stale pointers into it
-    /// fail translation instead of yielding ghost data.
+    /// fail translation instead of yielding ghost data. If the frame held a
+    /// paging structure, the erasure counts as a paging-structure write (and
+    /// tracking ends: the frame may be reused for ordinary data).
     pub fn zero_frame(&mut self, gfn: Gfn) {
         self.check(gfn.base(), PAGE_SIZE);
-        self.frames.remove(&gfn.value());
+        let idx = gfn.value() as usize;
+        if self.frames[idx].take().is_some() {
+            self.resident -= 1;
+        }
+        if self.tracked[idx] {
+            self.tracked[idx] = false;
+            self.paging_gen += 1;
+            self.write_gens[idx] = self.paging_gen;
+        }
     }
 }
 
@@ -329,5 +432,51 @@ mod tests {
     fn size_rounds_up_to_page() {
         let mem = GuestMemory::new(1);
         assert_eq!(mem.size(), PAGE_SIZE);
+    }
+
+    #[test]
+    fn untracked_writes_do_not_move_paging_gen() {
+        let mut mem = GuestMemory::new(1 << 20);
+        mem.write_u64(Gpa::new(0x5000), 7);
+        assert_eq!(mem.paging_gen(), 0);
+    }
+
+    #[test]
+    fn tracked_writes_bump_generations() {
+        let mut mem = GuestMemory::new(1 << 20);
+        mem.track_paging_frame(Gfn::new(4));
+        let g0 = mem.paging_gen();
+        mem.write_u64(Gpa::new(0x4000), 1);
+        assert!(mem.paging_gen() > g0);
+        assert_eq!(mem.frame_write_gen(Gfn::new(4)), mem.paging_gen());
+        // Writes elsewhere leave the frame's own generation alone.
+        let g1 = mem.frame_write_gen(Gfn::new(4));
+        mem.write_u64(Gpa::new(0x8000), 2);
+        assert_eq!(mem.frame_write_gen(Gfn::new(4)), g1);
+    }
+
+    #[test]
+    fn zero_frame_ends_tracking_with_a_final_bump() {
+        let mut mem = GuestMemory::new(1 << 20);
+        mem.track_paging_frame(Gfn::new(4));
+        mem.write_u64(Gpa::new(0x4000), 1);
+        let g = mem.paging_gen();
+        mem.zero_frame(Gfn::new(4));
+        assert!(mem.paging_gen() > g, "freeing a paging frame is an edit");
+        // The frame is no longer tracked: ordinary reuse is invisible.
+        let g2 = mem.paging_gen();
+        mem.write_u64(Gpa::new(0x4000), 9);
+        assert_eq!(mem.paging_gen(), g2);
+    }
+
+    #[test]
+    fn cross_page_tracked_write_stamps_both_frames() {
+        let mut mem = GuestMemory::new(1 << 20);
+        mem.track_paging_frame(Gfn::new(1));
+        mem.track_paging_frame(Gfn::new(2));
+        mem.write(Gpa::new(2 * PAGE_SIZE - 4), &[0xau8; 8]);
+        assert!(mem.frame_write_gen(Gfn::new(1)) > 0);
+        assert!(mem.frame_write_gen(Gfn::new(2)) > 0);
+        assert_ne!(mem.frame_write_gen(Gfn::new(1)), mem.frame_write_gen(Gfn::new(2)));
     }
 }

@@ -49,7 +49,9 @@ impl PageFault {
     /// The faulting guest-virtual address.
     pub fn gva(self) -> Gva {
         match self {
-            PageFault::OutOfRange(g) | PageFault::NotPresentPde(g) | PageFault::NotPresentPte(g) => g,
+            PageFault::OutOfRange(g)
+            | PageFault::NotPresentPde(g)
+            | PageFault::NotPresentPte(g) => g,
         }
     }
 }
@@ -58,7 +60,9 @@ impl fmt::Display for PageFault {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PageFault::OutOfRange(g) => write!(f, "page fault: {g} outside virtual space"),
-            PageFault::NotPresentPde(g) => write!(f, "page fault: directory entry not present for {g}"),
+            PageFault::NotPresentPde(g) => {
+                write!(f, "page fault: directory entry not present for {g}")
+            }
             PageFault::NotPresentPte(g) => write!(f, "page fault: table entry not present for {g}"),
         }
     }
@@ -86,20 +90,51 @@ fn pt_index(gva: Gva) -> u64 {
 /// Returns a [`PageFault`] describing the failing level if the address is
 /// unmapped.
 pub fn walk(mem: &GuestMemory, pdba: Gpa, gva: Gva) -> Result<Gpa, PageFault> {
+    walk_traced(mem, pdba, gva).map(|t| t.gpa)
+}
+
+/// The result of a [`walk_traced`] translation: the target address plus the
+/// frames of the two paging structures the walk read. A software TLB needs
+/// those frames to know which guest stores can invalidate the cached
+/// translation (see [`crate::tlb`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalkTrace {
+    /// The translated guest-physical address.
+    pub gpa: Gpa,
+    /// Frame holding the page-directory entry that was read.
+    pub pd_gfn: Gfn,
+    /// Frame holding the page-table entry that was read.
+    pub pt_gfn: Gfn,
+}
+
+/// Like [`walk`], but also reports which paging-structure frames the
+/// translation depended on.
+///
+/// # Errors
+///
+/// Returns a [`PageFault`] describing the failing level if the address is
+/// unmapped.
+pub fn walk_traced(mem: &GuestMemory, pdba: Gpa, gva: Gva) -> Result<WalkTrace, PageFault> {
     if gva.value() >= VIRT_SPACE_SIZE {
         return Err(PageFault::OutOfRange(gva));
     }
-    let pde = mem.read_u64(pdba.offset(pd_index(gva) * 8));
+    let pde_addr = pdba.offset(pd_index(gva) * 8);
+    let pde = mem.read_u64(pde_addr);
     if pde & ENTRY_PRESENT == 0 {
         return Err(PageFault::NotPresentPde(gva));
     }
     let pt_base = Gpa::new(pde & !(PAGE_SIZE - 1));
-    let pte = mem.read_u64(pt_base.offset(pt_index(gva) * 8));
+    let pte_addr = pt_base.offset(pt_index(gva) * 8);
+    let pte = mem.read_u64(pte_addr);
     if pte & ENTRY_PRESENT == 0 {
         return Err(PageFault::NotPresentPte(gva));
     }
     let frame = Gpa::new(pte & !(PAGE_SIZE - 1));
-    Ok(frame.offset(gva.page_offset()))
+    Ok(WalkTrace {
+        gpa: frame.offset(gva.page_offset()),
+        pd_gfn: pde_addr.gfn(),
+        pt_gfn: pte_addr.gfn(),
+    })
 }
 
 /// Guest-physical frame allocator: bump allocation with a free list.
@@ -124,11 +159,7 @@ impl FrameAllocator {
     /// Panics if `first >= limit`.
     pub fn new(first: Gfn, limit: Gfn) -> Self {
         assert!(first.value() < limit.value(), "empty frame range");
-        FrameAllocator {
-            next: first.value(),
-            limit: limit.value(),
-            free: Vec::new(),
-        }
+        FrameAllocator { next: first.value(), limit: limit.value(), free: Vec::new() }
     }
 
     /// Number of frames still available.
@@ -203,10 +234,7 @@ impl AddressSpaceBuilder {
         } else {
             Gpa::new(pde & !(PAGE_SIZE - 1))
         };
-        mem.write_u64(
-            pt_base.offset(pt_index(gva) * 8),
-            gfn.base().value() | ENTRY_PRESENT,
-        );
+        mem.write_u64(pt_base.offset(pt_index(gva) * 8), gfn.base().value() | ENTRY_PRESENT);
     }
 
     /// Maps `pages` consecutive pages starting at `gva`, allocating fresh
@@ -232,7 +260,13 @@ impl AddressSpaceBuilder {
     /// that range. This is how the guest kernel gives every process the same
     /// kernel mapping (as Linux does) — and why a *kernel* GVA is a valid
     /// probe address for the paper's PDBA validity test.
-    pub fn share_range_from(&mut self, mem: &mut GuestMemory, other_pdba: Gpa, start: Gva, end: Gva) {
+    pub fn share_range_from(
+        &mut self,
+        mem: &mut GuestMemory,
+        other_pdba: Gpa,
+        start: Gva,
+        end: Gva,
+    ) {
         assert!(end.value() <= VIRT_SPACE_SIZE);
         let first = pd_index(start);
         // `end` is exclusive; cover any partial final directory entry.
@@ -361,6 +395,21 @@ mod tests {
         assert!(walk(&mem, updba, Gva::new(0x1000)).is_err());
         // The kernel's own view is intact.
         assert!(walk(&mem, kpd.pdba(), kernel_base).is_ok());
+    }
+
+    #[test]
+    fn walk_traced_reports_paging_frames() {
+        let (mut mem, mut falloc) = setup();
+        let mut asb = AddressSpaceBuilder::new(&mut mem, &mut falloc);
+        let frame = falloc.alloc(&mut mem);
+        asb.map(&mut mem, &mut falloc, Gva::new(0x40_0000), frame);
+        let t = walk_traced(&mem, asb.pdba(), Gva::new(0x40_0123)).unwrap();
+        assert_eq!(t.gpa, frame.base().offset(0x123));
+        assert_eq!(t.pd_gfn, asb.pdba().gfn());
+        // The PT frame is whatever the PDE points at.
+        let pde = mem.read_u64(asb.pdba().offset(pd_index(Gva::new(0x40_0000)) * 8));
+        assert_eq!(t.pt_gfn, Gpa::new(pde & !(PAGE_SIZE - 1)).gfn());
+        assert_ne!(t.pd_gfn, t.pt_gfn);
     }
 
     #[test]

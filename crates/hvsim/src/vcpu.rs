@@ -43,7 +43,8 @@ pub enum Gpr {
 
 impl Gpr {
     /// All general-purpose registers, in definition order.
-    pub const ALL: [Gpr; 7] = [Gpr::Rax, Gpr::Rbx, Gpr::Rcx, Gpr::Rdx, Gpr::Rsi, Gpr::Rdi, Gpr::Rbp];
+    pub const ALL: [Gpr; 7] =
+        [Gpr::Rax, Gpr::Rbx, Gpr::Rcx, Gpr::Rdx, Gpr::Rsi, Gpr::Rdi, Gpr::Rbp];
 
     fn index(self) -> usize {
         match self {

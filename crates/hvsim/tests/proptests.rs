@@ -5,6 +5,7 @@
 use hypertap_hvsim::ept::{AccessKind, Ept, EptPerm};
 use hypertap_hvsim::mem::{Gfn, Gpa, GuestMemory, Gva, PAGE_SIZE};
 use hypertap_hvsim::paging::{self, AddressSpaceBuilder, FrameAllocator};
+use hypertap_hvsim::tlb::Tlb;
 use proptest::prelude::*;
 use std::collections::HashMap;
 
@@ -106,6 +107,86 @@ proptest! {
             for kind in [AccessKind::Read, AccessKind::Write, AccessKind::Execute] {
                 let allowed = ept.check(Gfn::new(*gfn).base(), None, kind).is_ok();
                 prop_assert_eq!(allowed, perm.allows(kind), "gfn {} {}", gfn, kind);
+            }
+        }
+    }
+
+    /// The software TLB is coherent: under random interleavings of mapped
+    /// and unmapped accesses, CR3 switches, page-table edits (maps and raw
+    /// PTE clears) and EPT permission flips, a TLB-cached translation always
+    /// returns exactly what a fresh TLB-less walk (plus a fresh EPT lookup)
+    /// returns. Page-table edits deliberately do NOT flush the TLB: the
+    /// tracked-frame generations must catch them on their own.
+    #[test]
+    fn tlb_coherence(
+        ops in prop::collection::vec((0u8..5, 0u64..64, 0u64..PAGE_SIZE), 1..200),
+    ) {
+        let mut mem = GuestMemory::new(MEM_SIZE);
+        let mut ept = Ept::new();
+        let mut falloc = FrameAllocator::new(Gfn::new(16), Gfn::new(MEM_SIZE / PAGE_SIZE));
+        let spaces = [
+            AddressSpaceBuilder::new(&mut mem, &mut falloc).pdba(),
+            AddressSpaceBuilder::new(&mut mem, &mut falloc).pdba(),
+        ];
+        let mut current = 0usize;
+        let mut tlb = Tlb::new();
+        let mut mapped_frames: Vec<Gfn> = Vec::new();
+        for (kind, a, b) in &ops {
+            let cr3 = spaces[current];
+            match kind {
+                // An access: the TLB must agree with the reference walk.
+                0 => {
+                    let gva = Gva::new(a * PAGE_SIZE + b);
+                    let cached = tlb.translate(&mut mem, &ept, cr3, gva);
+                    let reference = paging::walk(&mem, cr3, gva)
+                        .map(|gpa| (gpa, ept.perm(gpa.gfn())));
+                    prop_assert_eq!(cached, reference, "divergence at {} (space {})", gva, current);
+                }
+                // A CR3 switch: architectural full flush.
+                1 => {
+                    current = (a % 2) as usize;
+                    tlb.flush();
+                }
+                // Map a page to a fresh frame (a page-table edit; no flush).
+                2 => {
+                    let frame = falloc.alloc(&mut mem);
+                    AddressSpaceBuilder::from_pdba(cr3)
+                        .map(&mut mem, &mut falloc, Gva::new(a * PAGE_SIZE), frame);
+                    mapped_frames.push(frame);
+                }
+                // Clear a PTE in place (an unmap the guest performs by raw
+                // store, bypassing any builder API; no flush).
+                3 => {
+                    let gva = Gva::new(a * PAGE_SIZE);
+                    let pde = mem.read_u64(cr3.offset((gva.value() >> 21) * 8));
+                    if pde & 1 != 0 {
+                        let pt_base = Gpa::new(pde & !(PAGE_SIZE - 1));
+                        let slot = ((gva.value() >> 12) & 511) * 8;
+                        mem.write_u64(pt_base.offset(slot), 0);
+                    }
+                }
+                // Flip an EPT permission on a mapped frame.
+                _ => {
+                    if let Some(&frame) = mapped_frames.get((*a as usize) % mapped_frames.len().max(1)) {
+                        let perm = match b % 4 {
+                            0 => EptPerm::RWX,
+                            1 => EptPerm::RX,
+                            2 => EptPerm::RW,
+                            _ => EptPerm::NONE,
+                        };
+                        ept.set_perm(frame, perm);
+                    }
+                }
+            }
+        }
+        // Final sweep: every page in both spaces agrees with the reference.
+        for (si, &cr3) in spaces.iter().enumerate() {
+            for page in 0..64u64 {
+                let gva = Gva::new(page * PAGE_SIZE);
+                let cached = tlb.translate(&mut mem, &ept, cr3, gva);
+                let reference = paging::walk(&mem, cr3, gva)
+                    .map(|gpa| (gpa, ept.perm(gpa.gfn())));
+                prop_assert_eq!(cached, reference, "final sweep {} (space {})", gva, si);
             }
         }
     }

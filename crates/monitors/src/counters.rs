@@ -84,10 +84,7 @@ impl EventCounters {
         let sample = IntervalSample {
             end,
             by_class: std::mem::take(&mut self.by_class),
-            switches_per_vcpu: std::mem::replace(
-                &mut self.switches_per_vcpu,
-                vec![0; self.vcpus],
-            ),
+            switches_per_vcpu: std::mem::replace(&mut self.switches_per_vcpu, vec![0; self.vcpus]),
         };
         if self.min_events_per_interval > 0 && sample.total() < self.min_events_per_interval {
             sink.report(Finding::new(
@@ -115,10 +112,8 @@ impl Auditor for EventCounters {
     }
 
     fn on_event(&mut self, _vm: &mut VmState, event: &Event, _sink: &mut dyn FindingSink) {
-        let idx = EventClass::ALL
-            .iter()
-            .position(|c| *c == event.class())
-            .expect("all classes indexed");
+        let idx =
+            EventClass::ALL.iter().position(|c| *c == event.class()).expect("all classes indexed");
         self.by_class[idx] += 1;
         if matches!(event.class(), EventClass::ProcessSwitch | EventClass::ThreadSwitch) {
             if let Some(slot) = self.switches_per_vcpu.get_mut(event.vcpu.0) {

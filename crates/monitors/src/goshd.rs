@@ -178,9 +178,7 @@ impl Auditor for Goshd {
                     "goshd",
                     now,
                     Severity::Alert,
-                    format!(
-                        "vcpu{v} hung: no context switch since {last} ({scope:?} hang)"
-                    ),
+                    format!("vcpu{v} hung: no context switch since {last} ({scope:?} hang)"),
                 ));
             }
         }

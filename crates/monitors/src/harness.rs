@@ -6,6 +6,11 @@
 //! the Event Multiplexer's periodic auditors, and whichever monitors the
 //! caller selects.
 
+use crate::goshd::{Goshd, GoshdConfig};
+use crate::hrkd::Hrkd;
+use crate::ninja::hninja::HNinja;
+use crate::ninja::htninja::HtNinja;
+use crate::ninja::rules::NinjaRules;
 use hypertap_core::intercept::{
     FastSyscallEngine, IntSyscallEngine, IoEngine, ProcessSwitchEngine, ThreadSwitchEngine,
     TssIntegrityEngine,
@@ -14,11 +19,6 @@ use hypertap_core::kvm::Kvm;
 use hypertap_core::prelude::Finding;
 use hypertap_guestos::kernel::{Kernel, KernelConfig};
 use hypertap_guestos::layout;
-use crate::goshd::{Goshd, GoshdConfig};
-use crate::hrkd::Hrkd;
-use crate::ninja::hninja::HNinja;
-use crate::ninja::htninja::HtNinja;
-use crate::ninja::rules::NinjaRules;
 use hypertap_hvsim::clock::{Duration, SimTime};
 use hypertap_hvsim::machine::{Machine, RunExit, VmConfig};
 
@@ -102,6 +102,7 @@ pub struct TapVmBuilder {
     htninja: Option<NinjaRules>,
     htninja_pause: bool,
     hninja: Option<(NinjaRules, Duration)>,
+    tlb: Option<bool>,
 }
 
 impl TapVmBuilder {
@@ -120,6 +121,7 @@ impl TapVmBuilder {
             htninja: None,
             htninja_pause: false,
             hninja: None,
+            tlb: None,
         }
     }
 
@@ -193,10 +195,21 @@ impl TapVmBuilder {
         self
     }
 
+    /// Enables or disables the simulator's per-vCPU software TLB. When not
+    /// called, the TLB is on unless the `HYPERTAP_NO_TLB` environment
+    /// variable is set — the knob the determinism checks use to diff
+    /// experiment output with and without translation caching.
+    pub fn tlb(mut self, enabled: bool) -> Self {
+        self.tlb = Some(enabled);
+        self
+    }
+
     /// Builds the monitored VM (guest not yet booted; it boots on the first
     /// step of [`TapVm::run_for`]).
     pub fn build(self) -> TapVm {
-        let mut machine = Machine::new(VmConfig::new(self.vcpus, self.memory), Kvm::new());
+        let tlb_enabled = self.tlb.unwrap_or_else(|| std::env::var_os("HYPERTAP_NO_TLB").is_none());
+        let mut machine =
+            Machine::new(VmConfig::new(self.vcpus, self.memory).with_tlb(tlb_enabled), Kvm::new());
         {
             let (vm, kvm) = machine.parts_mut();
             if self.engines.process_switch {
@@ -218,9 +231,7 @@ impl TapVmBuilder {
                 kvm.install(vm, Box::new(IoEngine::new()));
             }
             if self.engines.fine_grained {
-                kvm.install(vm, Box::new(
-                    hypertap_core::intercept::FineGrainedEngine::new(),
-                ));
+                kvm.install(vm, Box::new(hypertap_core::intercept::FineGrainedEngine::new()));
             }
             vm.register_host_timer(self.em_tick);
 

@@ -95,11 +95,7 @@ impl Hrkd {
     /// The trusted set of live user PDBAs.
     pub fn trusted_pdbas(&mut self, vm: &VmState) -> Vec<u64> {
         self.counter.count_valid(&vm.mem, self.known_gva);
-        self.counter
-            .iter()
-            .map(|g| g.value())
-            .filter(|p| Some(*p) != self.first_pdba)
-            .collect()
+        self.counter.iter().map(|g| g.value()).filter(|p| Some(*p) != self.first_pdba).collect()
     }
 
     /// The trusted set of live kernel stacks (threads), validated by
@@ -134,16 +130,10 @@ impl Hrkd {
                 ),
                 Err(_) => (BTreeSet::new(), BTreeSet::new()),
             };
-        let hidden_pdbas: Vec<u64> = self
-            .trusted_pdbas(vm)
-            .into_iter()
-            .filter(|p| !vmi_pdbas.contains(p))
-            .collect();
-        let hidden_kstacks: Vec<u64> = self
-            .trusted_kstacks(vm)
-            .into_iter()
-            .filter(|k| !vmi_kstacks.contains(k))
-            .collect();
+        let hidden_pdbas: Vec<u64> =
+            self.trusted_pdbas(vm).into_iter().filter(|p| !vmi_pdbas.contains(p)).collect();
+        let hidden_kstacks: Vec<u64> =
+            self.trusted_kstacks(vm).into_iter().filter(|k| !vmi_kstacks.contains(k)).collect();
         let report =
             HrkdReport { time: now, hidden_pdbas, hidden_kstacks, compared_against: "vmi" };
         self.reports.push(report.clone());
@@ -281,8 +271,16 @@ mod tests {
         let mut h = Hrkd::new(profile(), Gva::new(0x3000_0000));
         let mut vm = vm_state();
         let mut sink: Vec<Finding> = Vec::new();
-        h.on_event(&mut vm, &ev(EventKind::ProcessSwitch { new_pdba: Gpa::new(0x5000) }), &mut sink);
-        h.on_event(&mut vm, &ev(EventKind::ProcessSwitch { new_pdba: Gpa::new(0x6000) }), &mut sink);
+        h.on_event(
+            &mut vm,
+            &ev(EventKind::ProcessSwitch { new_pdba: Gpa::new(0x5000) }),
+            &mut sink,
+        );
+        h.on_event(
+            &mut vm,
+            &ev(EventKind::ProcessSwitch { new_pdba: Gpa::new(0x6000) }),
+            &mut sink,
+        );
         // Neither PDBA validates against the probe (no page tables exist in
         // this synthetic VM), so both are pruned — count 0 either way. The
         // point here is only the kernel-directory exclusion logic.

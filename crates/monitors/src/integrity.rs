@@ -91,12 +91,7 @@ impl Auditor for KernelIntegrity {
         if self.block {
             sink.request_suppress();
         }
-        self.attempts.push(CodePatchAttempt {
-            time: event.time,
-            gpa,
-            value,
-            blocked: self.block,
-        });
+        self.attempts.push(CodePatchAttempt { time: event.time, gpa, value, blocked: self.block });
         sink.report(Finding::new(
             "kernel-integrity",
             event.time,

@@ -32,15 +32,15 @@ pub mod syscall_ids;
 
 /// Glob import of the monitors.
 pub mod prelude {
-    pub use crate::harness::{EngineSelection, TapVm, TapVmBuilder};
-    pub use crate::goshd::{Goshd, GoshdConfig, HangAlarm, HangScope};
-    pub use crate::hrkd::{Hrkd, HrkdReport};
     pub use crate::counters::{EventCounters, IntervalSample};
+    pub use crate::goshd::{Goshd, GoshdConfig, HangAlarm, HangScope};
+    pub use crate::harness::{EngineSelection, TapVm, TapVmBuilder};
+    pub use crate::hrkd::{Hrkd, HrkdReport};
     pub use crate::integrity::{CodePatchAttempt, KernelIntegrity};
-    pub use crate::syscall_ids::{Anomaly, IdsPhase, SyscallIds};
     pub use crate::ninja::{
         hninja::HNinja, htninja::HtNinja, oninja, rules::NinjaRules, Detection,
     };
+    pub use crate::syscall_ids::{Anomaly, IdsPhase, SyscallIds};
 }
 
 pub use prelude::*;

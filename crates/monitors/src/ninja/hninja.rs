@@ -80,8 +80,7 @@ impl HNinja {
                 .flatten()
                 .map(|p| p.uid)
                 .unwrap_or(0);
-            if self.rules.violates(t.euid, parent_uid, &t.comm) && !self.reported.contains(&t.pid)
-            {
+            if self.rules.violates(t.euid, parent_uid, &t.comm) && !self.reported.contains(&t.pid) {
                 self.reported.insert(t.pid);
                 let d = Detection {
                     time: now,
@@ -169,8 +168,7 @@ mod tests {
         )
         .into_parts()
         .0;
-        let mut n =
-            HNinja::new(layout::os_profile(), NinjaRules::new(), Duration::from_millis(10));
+        let mut n = HNinja::new(layout::os_profile(), NinjaRules::new(), Duration::from_millis(10));
         let mut sink: Vec<Finding> = Vec::new();
         for t in (0..=30).step_by(1) {
             n.on_tick(&mut vm, SimTime::from_millis(t), &mut sink);

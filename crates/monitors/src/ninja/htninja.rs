@@ -28,9 +28,7 @@ use std::collections::BTreeSet;
 /// Which syscall numbers count as I/O-related (the paper lists open, read,
 /// write, lseek).
 fn is_io_syscall(number: u64) -> bool {
-    hypertap_guestos::syscalls::Sysno::from_raw(number)
-        .map(|s| s.is_io())
-        .unwrap_or(false)
+    hypertap_guestos::syscalls::Sysno::from_raw(number).map(|s| s.is_io()).unwrap_or(false)
 }
 
 /// The HT-Ninja auditor.
@@ -135,10 +133,9 @@ impl Auditor for HtNinja {
     fn on_event(&mut self, vm: &mut VmState, event: &Event, sink: &mut dyn FindingSink) {
         let v = event.vcpu.0;
         match event.kind {
-            EventKind::ThreadSwitch { kernel_stack }
-                if v < self.last_kstack.len() => {
-                    self.last_kstack[v] = Some(kernel_stack);
-                }
+            EventKind::ThreadSwitch { kernel_stack } if v < self.last_kstack.len() => {
+                self.last_kstack[v] = Some(kernel_stack);
+            }
             EventKind::ProcessSwitch { new_pdba } => {
                 if !self.seen_pdbas.insert(new_pdba.value()) {
                     return; // not the first switch of this process

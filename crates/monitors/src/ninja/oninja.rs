@@ -117,11 +117,8 @@ impl UserProgram for ONinja {
                 }
                 Phase::Check(i) => {
                     let (pid, comm) = self.pids[i].clone();
-                    self.phase = if self.parse_ns > 0 {
-                        Phase::Parse(i + 1)
-                    } else {
-                        Phase::Stat(i + 1)
-                    };
+                    self.phase =
+                        if self.parse_ns > 0 { Phase::Parse(i + 1) } else { Phase::Stat(i + 1) };
                     if let Some(stat) = ProcStat::unpack(view.last_ret) {
                         if self.rules.violates(stat.euid, stat.parent_uid, &comm)
                             && !self.reported.contains(&pid)
@@ -179,10 +176,7 @@ mod tests {
         let stat5 = pack_proc_stat(1000, 0, 1, 0);
         assert_eq!(n.next_op(&view(stat5, &procs)), UserOp::sys(Sysno::ReadProcStat, &[1]));
         let stat1 = pack_proc_stat(0, 0, 0, 0);
-        assert_eq!(
-            n.next_op(&view(stat1, &procs)),
-            UserOp::sys(Sysno::Nanosleep, &[1_000_000])
-        );
+        assert_eq!(n.next_op(&view(stat1, &procs)), UserOp::sys(Sysno::Nanosleep, &[1_000_000]));
         assert_eq!(n.next_op(&view(0, &procs)), UserOp::sys(Sysno::ListProcs, &[]));
     }
 

@@ -209,10 +209,7 @@ mod tests {
         // An exploit-shaped trace: escalate (203) mid-file-I/O.
         let findings = feed(&mut ids, &mut vm, 0x2000, &[5, 3, 203, 4, 6]);
         assert!(!findings.is_empty());
-        assert!(ids
-            .anomalies()
-            .iter()
-            .any(|a| a.ngram.contains(&203) && a.pdba == 0x2000));
+        assert!(ids.anomalies().iter().any(|a| a.ngram.contains(&203) && a.pdba == 0x2000));
     }
 
     #[test]

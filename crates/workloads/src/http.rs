@@ -93,12 +93,8 @@ pub fn offer_load(
         if t >= end {
             break;
         }
-        let nic = vm
-            .io
-            .device_mut(nic_id)
-            .as_any()
-            .downcast_mut::<NicDevice>()
-            .expect("nic device");
+        let nic =
+            vm.io.device_mut(nic_id).as_any().downcast_mut::<NicDevice>().expect("nic device");
         nic.push_rx(request_bytes);
         vm.schedule_irq(t, VcpuId(0), NIC_IRQ_VECTOR);
         count += 1;

@@ -55,14 +55,16 @@ mod tests {
     #[test]
     fn idle_sleeps_then_exits() {
         let mut p = idle_program(1_000);
-        let v = UserView { last_ret: 0, now: SimTime::ZERO, pid: 2, uid: 1000, euid: 1000, procs: &[] };
+        let v =
+            UserView { last_ret: 0, now: SimTime::ZERO, pid: 2, uid: 1000, euid: 1000, procs: &[] };
         assert_eq!(p.next_op(&v), UserOp::sys(Sysno::Nanosleep, &[1_000]));
     }
 
     #[test]
     fn busy_never_stops() {
         let mut p = busy_program(500);
-        let v = UserView { last_ret: 0, now: SimTime::ZERO, pid: 2, uid: 1000, euid: 1000, procs: &[] };
+        let v =
+            UserView { last_ret: 0, now: SimTime::ZERO, pid: 2, uid: 1000, euid: 1000, procs: &[] };
         for _ in 0..10 {
             assert_eq!(p.next_op(&v), UserOp::Compute(500));
         }

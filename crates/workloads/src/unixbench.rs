@@ -243,10 +243,10 @@ pub fn install(kernel: &mut Kernel, bench: Ubench) -> ProgId {
             Box::new(|| Box::new(ComputeLoop { iters: 2_000, chunk_ns: 120_000, done: false })),
         ),
         Ubench::Execl => {
-            let noop =
-                kernel.register_program("execl-child", Box::new(|| {
-                    Box::new(ComputeLoop { iters: 1, chunk_ns: 50_000, done: false })
-                }));
+            let noop = kernel.register_program(
+                "execl-child",
+                Box::new(|| Box::new(ComputeLoop { iters: 1, chunk_ns: 50_000, done: false })),
+            );
             kernel.register_program(
                 "execl",
                 Box::new(move || Box::new(SpawnLoop { child: noop.0, iters: 300, waiting: false })),
@@ -292,29 +292,33 @@ pub fn install(kernel: &mut Kernel, bench: Ubench) -> ProgId {
             )
         }
         Ubench::ProcessCreation => {
-            let noop = kernel.register_program("forked", Box::new(|| {
-                Box::new(ComputeLoop { iters: 1, chunk_ns: 10_000, done: false })
-            }));
+            let noop = kernel.register_program(
+                "forked",
+                Box::new(|| Box::new(ComputeLoop { iters: 1, chunk_ns: 10_000, done: false })),
+            );
             kernel.register_program(
                 "proc-create",
                 Box::new(move || Box::new(SpawnLoop { child: noop.0, iters: 400, waiting: false })),
             )
         }
         Ubench::ShellScripts(n) => {
-            let cmd = kernel.register_program("cmd", Box::new(|| {
-                let mut stage = 0u32;
-                Box::new(FnProgram(move |_v: &UserView<'_>| {
-                    stage += 1;
-                    match stage {
-                        1 => UserOp::sys(Sysno::Open, &[3]),
-                        2 => UserOp::sys(Sysno::Read, &[0, 2048]),
-                        3 => UserOp::Compute(500_000),
-                        4 => UserOp::sys(Sysno::Write, &[1, 1024]),
-                        5 => UserOp::sys(Sysno::Close, &[0]),
-                        _ => UserOp::Exit(0),
-                    }
-                }))
-            }));
+            let cmd = kernel.register_program(
+                "cmd",
+                Box::new(|| {
+                    let mut stage = 0u32;
+                    Box::new(FnProgram(move |_v: &UserView<'_>| {
+                        stage += 1;
+                        match stage {
+                            1 => UserOp::sys(Sysno::Open, &[3]),
+                            2 => UserOp::sys(Sysno::Read, &[0, 2048]),
+                            3 => UserOp::Compute(500_000),
+                            4 => UserOp::sys(Sysno::Write, &[1, 1024]),
+                            5 => UserOp::sys(Sysno::Close, &[0]),
+                            _ => UserOp::Exit(0),
+                        }
+                    }))
+                }),
+            );
             let shell = kernel.register_program(
                 "sh",
                 Box::new(move || Box::new(SpawnLoop { child: cmd.0, iters: 40, waiting: false })),

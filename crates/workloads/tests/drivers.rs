@@ -5,10 +5,10 @@
 use hypertap_guestos::kernel::{Kernel, KernelConfig};
 use hypertap_guestos::program::{FnProgram, UserOp, UserView};
 use hypertap_guestos::syscalls::Sysno;
-use hypertap_workloads::unixbench::{self, Ubench};
 use hypertap_hvsim::clock::SimTime;
 use hypertap_hvsim::exit::{ExitAction, VmExit};
 use hypertap_hvsim::machine::{Hypervisor, Machine, RunExit, VmConfig, VmState};
+use hypertap_workloads::unixbench::{self, Ubench};
 
 struct NoHv;
 impl Hypervisor for NoHv {
@@ -47,19 +47,18 @@ fn run_driver(bench: Ubench) -> SimTime {
 fn all_unixbench_drivers_complete() {
     for bench in Ubench::suite() {
         let t = run_driver(bench);
-        assert!(
-            t > SimTime::from_millis(5),
-            "{bench} finished suspiciously fast: {t}"
-        );
+        assert!(t > SimTime::from_millis(5), "{bench} finished suspiciously fast: {t}");
         assert!(t < SimTime::from_secs(30), "{bench} took too long: {t}");
     }
 }
 
 /// The macro workloads (hanoi / make / http) loop forever, emitting
 /// progress markers — the property the fault-injection campaign relies on.
+type ProgInstaller = Box<dyn Fn(&mut Kernel) -> hypertap_guestos::program::ProgId>;
+
 #[test]
 fn macro_workloads_make_continuous_progress() {
-    let cases: Vec<(&str, Box<dyn Fn(&mut Kernel) -> hypertap_guestos::program::ProgId>)> = vec![
+    let cases: Vec<(&str, ProgInstaller)> = vec![
         (
             "hanoi-tower",
             Box::new(|k: &mut Kernel| {
@@ -69,10 +68,7 @@ fn macro_workloads_make_continuous_progress() {
                 )
             }),
         ),
-        (
-            "make-build",
-            Box::new(|k: &mut Kernel| hypertap_workloads::make::install(k, 2, 6)),
-        ),
+        ("make-build", Box::new(|k: &mut Kernel| hypertap_workloads::make::install(k, 2, 6))),
     ];
     for (tag, install) in cases {
         let mut m = Machine::new(VmConfig::new(2, 512 << 20), NoHv);
@@ -81,11 +77,7 @@ fn macro_workloads_make_continuous_progress() {
         let init = hypertap_workloads::make::install_init_running(&mut k, w);
         k.set_init_program(init);
         m.run_until(&mut k, SimTime::from_secs(5));
-        let marks = k
-            .drain_all_mailboxes()
-            .iter()
-            .filter(|(_, e)| e.tag == tag)
-            .count();
+        let marks = k.drain_all_mailboxes().iter().filter(|(_, e)| e.tag == tag).count();
         assert!(marks >= 2, "{tag}: expected repeated progress, got {marks}");
     }
 }

@@ -31,18 +31,15 @@ fn main() {
     // The fault: the ext3 lock used by the write path is never released
     // again after its next exit path runs (persistent missing unlock).
     let site = kpath::site_for("ext3", 1) as u32;
-    vm.kernel
-        .set_fault_hook(Box::new(SingleFault::new(site, FaultType::MissingUnlock, true)));
+    vm.kernel.set_fault_hook(Box::new(SingleFault::new(site, FaultType::MissingUnlock, true)));
     println!("injected: missing spinlock release at catalogue site {site} (ext3)");
 
     // Let it run; poll GOSHD every simulated second.
     for sec in 1..=60u64 {
         vm.run_for(Duration::from_secs(1));
         let goshd = vm.auditor::<Goshd>().expect("registered");
-        let hung: Vec<String> = (0..2)
-            .filter(|&v| goshd.is_hung(VcpuId(v)))
-            .map(|v| format!("vcpu{v}"))
-            .collect();
+        let hung: Vec<String> =
+            (0..2).filter(|&v| goshd.is_hung(VcpuId(v))).map(|v| format!("vcpu{v}")).collect();
         let activations = vm.kernel.fault_hook().activations();
         println!(
             "t={sec:>2}s  fault activations: {activations:>3}  hung: [{}]  scope: {:?}",

@@ -16,11 +16,7 @@ use hypertap_hvsim::clock::Duration;
 
 fn main() {
     // 1. A 2-vCPU guest with every interception engine and two auditors.
-    let mut vm = TapVm::builder()
-        .vcpus(2)
-        .goshd(GoshdConfig::paper_default())
-        .hrkd()
-        .build();
+    let mut vm = TapVm::builder().vcpus(2).goshd(GoshdConfig::paper_default()).hrkd().build();
 
     // 2. Give the guest something to do: a writer process.
     let writer = vm.kernel.register_program(

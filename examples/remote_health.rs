@@ -31,7 +31,9 @@ fn main() {
         "writer",
         Box::new(|| {
             Box::new(hypertap_guestos::program::FnProgram(
-                |_v: &hypertap_guestos::program::UserView<'_>| UserOp::sys(Sysno::Write, &[0, 4096]),
+                |_v: &hypertap_guestos::program::UserView<'_>| {
+                    UserOp::sys(Sysno::Write, &[0, 4096])
+                },
             ))
         }),
     );

@@ -19,9 +19,7 @@ use hypertap_hvsim::clock::Duration;
 
 fn main() {
     let mut vm = TapVm::builder().hrkd().build();
-    let rk = vm
-        .kernel
-        .register_module(rootkit_by_name("SucKIT").expect("in Table II"));
+    let rk = vm.kernel.register_module(rootkit_by_name("SucKIT").expect("in Table II"));
 
     // The malware: a busy process the attacker wants invisible.
     let malware = vm.kernel.register_program(
@@ -54,9 +52,8 @@ fn main() {
     // The two untrusted views.
     let profile = layout::os_profile();
     let cr3 = vm.machine.vm().vcpu(VcpuId(0)).cr3();
-    let vmi_view =
-        hypertap::framework::vmi::list_tasks(&vm.machine.vm().mem, cr3, &profile, 8192)
-            .expect("guest task list readable");
+    let vmi_view = hypertap::framework::vmi::list_tasks(&vm.machine.vm().mem, cr3, &profile, 8192)
+        .expect("guest task list readable");
     println!("traditional VMI sees {} tasks:", vmi_view.len());
     for t in &vmi_view {
         println!("  pid {:<3} uid {:<5} {}", t.pid, t.uid, t.comm);
@@ -72,7 +69,10 @@ fn main() {
     let report = hrkd.cross_validate_vmi(vmstate, now);
     println!("\nHRKD cross-view report at {now}:");
     println!("  address spaces running but missing from the task list: {:?}", report.hidden_pdbas);
-    println!("  kernel stacks running but missing from the task list:  {:?}", report.hidden_kstacks);
+    println!(
+        "  kernel stacks running but missing from the task list:  {:?}",
+        report.hidden_kstacks
+    );
     println!(
         "\nverdict: {}",
         if report.is_clean() {

@@ -13,15 +13,13 @@ use hypertap_bench::ninja_scenarios::{run_ninja_trial_traced, AttackStyle, Ninja
 use hypertap_hvsim::clock::Duration;
 
 fn show(title: &str, variant: NinjaVariant, seed: u64) {
-    let (events, detected) = run_ninja_trial_traced(variant, 26, AttackStyle::RootkitCombined, seed);
+    let (events, detected) =
+        run_ninja_trial_traced(variant, 26, AttackStyle::RootkitCombined, seed);
     println!("=== {title} ===");
     for e in &events {
         println!("  {:>10.3} ms  {}", e.time_ns as f64 / 1e6, e.what);
     }
-    println!(
-        "  -> attack {}\n",
-        if detected { "DETECTED" } else { "went unnoticed" }
-    );
+    println!("  -> attack {}\n", if detected { "DETECTED" } else { "went unnoticed" });
 }
 
 fn main() {

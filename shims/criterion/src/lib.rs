@@ -1,0 +1,179 @@
+//! A minimal stand-in for the `criterion` benchmarking API.
+//!
+//! The workspace builds hermetically, so the bench harness surface the
+//! `crates/bench` benches use — `Criterion::benchmark_group`,
+//! `BenchmarkGroup::bench_function`/`sample_size`/`finish`, `Bencher::iter`,
+//! and the `criterion_group!`/`criterion_main!` macros — is provided in-tree.
+//!
+//! Measurement is simpler than upstream: each benchmark is warmed up, then
+//! timed over `sample_size` batches whose iteration count is calibrated to
+//! a per-batch wall-time floor; the median per-iteration time is reported.
+//! That is plenty to compare before/after on the same machine, which is all
+//! the hot-path work needs.
+
+use std::time::{Duration, Instant};
+
+const WARMUP: Duration = Duration::from_millis(150);
+const BATCH_FLOOR: Duration = Duration::from_millis(10);
+const DEFAULT_SAMPLES: usize = 30;
+
+/// Times one benchmark body.
+pub struct Bencher {
+    samples: usize,
+    /// Median ns/iter, filled in by [`Bencher::iter`].
+    result_ns: f64,
+}
+
+impl Bencher {
+    /// Runs `body` repeatedly and records the median per-iteration time.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut body: F) {
+        // Warm up and discover a batch size that runs long enough for the
+        // clock to resolve well.
+        let mut iters_per_batch: u64 = 1;
+        let warmup_start = Instant::now();
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters_per_batch {
+                std::hint::black_box(body());
+            }
+            let took = t.elapsed();
+            if warmup_start.elapsed() >= WARMUP && took >= BATCH_FLOOR {
+                break;
+            }
+            if took < BATCH_FLOOR {
+                iters_per_batch = iters_per_batch.saturating_mul(2);
+            }
+        }
+
+        let mut per_iter: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..iters_per_batch {
+                    std::hint::black_box(body());
+                }
+                t.elapsed().as_nanos() as f64 / iters_per_batch as f64
+            })
+            .collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        self.result_ns = per_iter[per_iter.len() / 2];
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed batches each benchmark records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark and prints its median per-iteration time.
+    pub fn bench_function<N: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: N,
+        mut f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, name.into());
+        let mut bencher = Bencher { samples: self.sample_size, result_ns: 0.0 };
+        f(&mut bencher);
+        println!("{:<50} {}", id, format_ns(bencher.result_ns));
+        self.criterion.results.push((id, bencher.result_ns));
+        self
+    }
+
+    /// Ends the group (upstream renders summaries here; we print as we go).
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point handed to each `criterion_group!` target function.
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<(String, f64)>,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<N: Into<String>>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: DEFAULT_SAMPLES, criterion: self }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<N: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: N,
+        mut f: F,
+    ) -> &mut Self {
+        let id = name.into();
+        let mut bencher = Bencher { samples: DEFAULT_SAMPLES, result_ns: 0.0 };
+        f(&mut bencher);
+        println!("{:<50} {}", id, format_ns(bencher.result_ns));
+        self.results.push((id, bencher.result_ns));
+        self
+    }
+
+    /// All `(benchmark id, median ns/iter)` pairs recorded so far.
+    pub fn results(&self) -> &[(String, f64)] {
+        &self.results
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1_000_000_000.0 {
+        format!("{:>10.3} s/iter", ns / 1_000_000_000.0)
+    } else if ns >= 1_000_000.0 {
+        format!("{:>10.3} ms/iter", ns / 1_000_000.0)
+    } else if ns >= 1_000.0 {
+        format!("{:>10.3} µs/iter", ns / 1_000.0)
+    } else {
+        format!("{:>10.1} ns/iter", ns)
+    }
+}
+
+/// Re-export matching upstream's path; benches may use either this or
+/// `std::hint::black_box`.
+pub use std::hint::black_box;
+
+/// Declares a benchmark group: a named function that runs each listed
+/// benchmark function against a shared [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `fn main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_a_positive_time() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(2);
+        group.bench_function("add", |b| b.iter(|| 1u64.wrapping_add(2)));
+        group.finish();
+        assert_eq!(c.results().len(), 1);
+        assert!(c.results()[0].1 > 0.0);
+    }
+}

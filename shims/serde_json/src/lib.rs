@@ -1,0 +1,366 @@
+//! JSON text front-end for the in-tree `serde` shim.
+//!
+//! Provides `to_string` / `to_string_pretty` / `from_str` over the shim's
+//! [`serde::Value`] interchange tree. The parser accepts standard JSON;
+//! the writer emits deterministic output (object fields in declaration
+//! order, which the shim's `Value::Object` preserves).
+
+use serde::{Deserialize, Serialize, Value};
+
+/// Serialization or parse failure.
+#[derive(Debug)]
+pub struct Error {
+    message: String,
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error { message: e.to_string() }
+    }
+}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Renders `value` as compact JSON.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Renders `value` as indented JSON.
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Parses JSON text into any `Deserialize` type.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T> {
+    let mut parser = Parser { bytes: text.as_bytes(), pos: 0 };
+    parser.skip_ws();
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.error("trailing characters after JSON value"));
+    }
+    Ok(T::from_value(&value)?)
+}
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>, depth: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(v) => out.push_str(&v.to_string()),
+        Value::I64(v) => out.push_str(&v.to_string()),
+        Value::F64(v) => {
+            if v.is_finite() {
+                out.push_str(&format!("{v:?}"));
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            write_seq(out, items.iter(), indent, depth, ('[', ']'), |o, v, d| {
+                write_value(o, v, indent, d)
+            })
+        }
+        Value::Object(fields) => {
+            write_seq(out, fields.iter(), indent, depth, ('{', '}'), |o, (k, v), d| {
+                write_escaped(o, k);
+                o.push(':');
+                if indent.is_some() {
+                    o.push(' ');
+                }
+                write_value(o, v, indent, d);
+            })
+        }
+    }
+}
+
+fn write_seq<I, T>(
+    out: &mut String,
+    items: I,
+    indent: Option<usize>,
+    depth: usize,
+    brackets: (char, char),
+    mut write_item: impl FnMut(&mut String, T, usize),
+) where
+    I: ExactSizeIterator<Item = T>,
+{
+    out.push(brackets.0);
+    let empty = items.len() == 0;
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(step) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', step * (depth + 1)));
+        }
+        write_item(out, item, depth + 1);
+    }
+    if !empty {
+        if let Some(step) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', step * depth));
+        }
+    }
+    out.push(brackets.1);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: &str) -> Error {
+        Error { message: format!("{message} at byte {}", self.pos) }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, expected: u8) -> Result<()> {
+        if self.peek() == Some(expected) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{}`", expected as char)))
+        }
+    }
+
+    fn eat_literal(&mut self, literal: &str) -> Result<()> {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{literal}`")))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value> {
+        match self.peek() {
+            Some(b'n') => self.eat_literal("null").map(|()| Value::Null),
+            Some(b't') => self.eat_literal("true").map(|()| Value::Bool(true)),
+            Some(b'f') => self.eat_literal("false").map(|()| Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.error("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(self.error("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.error("bad \\u escape"))?;
+                            out.push(
+                                char::from_u32(hex).ok_or_else(|| self.error("bad \\u escape"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.error("bad escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so the
+                    // bytes are valid UTF-8).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.error("invalid UTF-8"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+                None => return Err(self.error("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        let negative = self.peek() == Some(b'-');
+        if negative {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("invalid number"))?;
+        if float {
+            text.parse::<f64>().map(Value::F64).map_err(|_| self.error("invalid number"))
+        } else if negative {
+            text.parse::<i64>().map(Value::I64).map_err(|_| self.error("invalid number"))
+        } else {
+            text.parse::<u64>().map(Value::U64).map_err(|_| self.error("invalid number"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        assert_eq!(to_string(&42u64).unwrap(), "42");
+        assert_eq!(from_str::<u64>("42").unwrap(), 42);
+        assert_eq!(to_string(&-7i64).unwrap(), "-7");
+        assert_eq!(from_str::<i64>("-7").unwrap(), -7);
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert!(from_str::<bool>("true").unwrap());
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let original = "line\none\t\"quoted\" \\ back".to_owned();
+        let json = to_string(&original).unwrap();
+        assert_eq!(from_str::<String>(&json).unwrap(), original);
+    }
+
+    #[test]
+    fn vec_and_option_roundtrip() {
+        let v = vec![1u64, 2, 3];
+        assert_eq!(to_string(&v).unwrap(), "[1,2,3]");
+        assert_eq!(from_str::<Vec<u64>>("[1,2,3]").unwrap(), v);
+        assert_eq!(to_string(&Option::<u64>::None).unwrap(), "null");
+        assert_eq!(from_str::<Option<u64>>("null").unwrap(), None);
+    }
+
+    #[test]
+    fn whitespace_is_tolerated() {
+        assert_eq!(from_str::<Vec<u64>>(" [ 1 , 2 ] ").unwrap(), vec![1, 2]);
+    }
+
+    #[test]
+    fn pretty_output_indents() {
+        let v = vec![1u64, 2];
+        assert_eq!(to_string_pretty(&v).unwrap(), "[\n  1,\n  2\n]");
+    }
+
+    #[test]
+    fn float_roundtrip() {
+        let json = to_string(&1.5f64).unwrap();
+        assert_eq!(json, "1.5");
+        assert_eq!(from_str::<f64>("1.5").unwrap(), 1.5);
+        assert_eq!(from_str::<f64>("1e3").unwrap(), 1000.0);
+    }
+}

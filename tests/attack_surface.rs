@@ -13,9 +13,10 @@ use hypertap_hvsim::clock::Duration;
 #[test]
 fn tss_relocating_rootkit_is_caught() {
     let mut vm = TapVm::builder().build();
-    vm.machine.hypervisor_mut().em.register(Box::new(CountingAuditor::with_mask(
-        EventMask::only(EventClass::Integrity),
-    )));
+    vm.machine
+        .hypervisor_mut()
+        .em
+        .register(Box::new(CountingAuditor::with_mask(EventMask::only(EventClass::Integrity))));
     let rk = vm.kernel.register_module(ModuleSpec::new(
         "tss-mover",
         "Linux",
@@ -47,9 +48,7 @@ fn tss_relocating_rootkit_is_caught() {
 #[test]
 fn hrkd_detects_hidden_kernel_thread() {
     let mut vm = TapVm::builder().hrkd().build();
-    let rk = vm
-        .kernel
-        .register_module(rootkit_by_name("PhalanX").expect("table 2"));
+    let rk = vm.kernel.register_module(rootkit_by_name("PhalanX").expect("table 2"));
     let init = vm.kernel.register_program(
         "init",
         Box::new(move || {
@@ -154,10 +153,7 @@ fn side_channel_timed_attack_evades_oninja() {
     vm.kernel.set_init_program(init);
     vm.run_for(Duration::from_secs(2));
     let mails = vm.kernel.drain_all_mailboxes();
-    assert!(
-        mails.iter().any(|(_, e)| e.tag == ATTACK_DONE_TAG),
-        "the attack completed"
-    );
+    assert!(mails.iter().any(|(_, e)| e.tag == ATTACK_DONE_TAG), "the attack completed");
     assert!(
         mails.iter().all(|(_, e)| e.tag != DETECT_TAG),
         "a perfectly timed transient attack is never caught by the poller"

@@ -4,9 +4,9 @@
 use hypertap::harness::TapVm;
 use hypertap::prelude::*;
 use hypertap_guestos::program::UserView;
+use hypertap_hvsim::clock::Duration;
 use hypertap_monitors::counters::EventCounters;
 use hypertap_monitors::syscall_ids::{IdsPhase, SyscallIds};
-use hypertap_hvsim::clock::Duration;
 
 /// Train the IDS on a normal file-copy workload, then let the exploit run:
 /// its escalate-mid-I/O trace is flagged without any Ninja-style policy.
@@ -84,9 +84,7 @@ fn event_counters_reflect_guest_health() {
 
     let w = vm.kernel.register_program(
         "writer",
-        Box::new(|| {
-            Box::new(FnProgram(|_v: &UserView<'_>| UserOp::sys(Sysno::Write, &[0, 4096])))
-        }),
+        Box::new(|| Box::new(FnProgram(|_v: &UserView<'_>| UserOp::sys(Sysno::Write, &[0, 4096])))),
     );
     let init = hypertap::workloads::make::install_init_running(&mut vm.kernel, w);
     vm.kernel.set_init_program(init);
@@ -116,13 +114,7 @@ fn event_counters_reflect_guest_health() {
     }
     vm.kernel.set_fault_hook(Box::new(LeakAll));
     vm.run_for(Duration::from_secs(3));
-    let wedged = vm
-        .auditor::<EventCounters>()
-        .unwrap()
-        .samples()
-        .last()
-        .unwrap()
-        .clone();
+    let wedged = vm.auditor::<EventCounters>().unwrap().samples().last().unwrap().clone();
     let busy_switches: u64 = busy.switches_per_vcpu.iter().sum();
     let wedged_switches: u64 = wedged.switches_per_vcpu.iter().sum();
     assert!(busy_switches >= 2, "the healthy guest scheduled: {busy_switches}");

@@ -18,9 +18,7 @@ fn boot_produces_all_event_classes() {
     // A workload that exercises syscalls and disk I/O.
     let w = vm.kernel.register_program(
         "writer",
-        Box::new(|| {
-            Box::new(FnProgram(|_v: &UserView<'_>| UserOp::sys(Sysno::Write, &[0, 4096])))
-        }),
+        Box::new(|| Box::new(FnProgram(|_v: &UserView<'_>| UserOp::sys(Sysno::Write, &[0, 4096])))),
     );
     let init = hypertap_workloads::make::install_init_running(&mut vm.kernel, w);
     vm.kernel.set_init_program(init);
@@ -40,17 +38,11 @@ fn boot_produces_all_event_classes() {
 #[test]
 fn goshd_no_false_alarms_on_healthy_guest() {
     let mut vm = TapVm::builder()
-        .goshd(hypertap_monitors::goshd::GoshdConfig {
-            threshold: Duration::from_secs(2),
-        })
+        .goshd(hypertap_monitors::goshd::GoshdConfig { threshold: Duration::from_secs(2) })
         .build();
     vm.run_for(Duration::from_secs(20));
     let goshd = vm.auditor::<Goshd>().unwrap();
-    assert!(
-        goshd.alarms().is_empty(),
-        "healthy guest must not alarm: {:?}",
-        goshd.alarms()
-    );
+    assert!(goshd.alarms().is_empty(), "healthy guest must not alarm: {:?}", goshd.alarms());
 }
 
 /// GOSHD detects a hang injected by leaking a hot kernel lock, and the
@@ -58,16 +50,12 @@ fn goshd_no_false_alarms_on_healthy_guest() {
 #[test]
 fn goshd_detects_injected_hang() {
     let mut vm = TapVm::builder()
-        .goshd(hypertap_monitors::goshd::GoshdConfig {
-            threshold: Duration::from_secs(2),
-        })
+        .goshd(hypertap_monitors::goshd::GoshdConfig { threshold: Duration::from_secs(2) })
         .build();
     // Two writers (they hammer the vfs/ext3/block paths) on 2 vCPUs.
     let w = vm.kernel.register_program(
         "writer",
-        Box::new(|| {
-            Box::new(FnProgram(|_v: &UserView<'_>| UserOp::sys(Sysno::Write, &[0, 4096])))
-        }),
+        Box::new(|| Box::new(FnProgram(|_v: &UserView<'_>| UserOp::sys(Sysno::Write, &[0, 4096])))),
     );
     let w_raw = w.0;
     let init = vm.kernel.register_program(
@@ -87,7 +75,11 @@ fn goshd_detects_injected_hang() {
     // Leak every vfs lock release persistently: the writers will hang.
     struct LeakVfs;
     impl hypertap_guestos::fault::FaultHook for LeakVfs {
-        fn check(&mut self, site: u32, acquire: bool) -> Option<hypertap_guestos::fault::FaultType> {
+        fn check(
+            &mut self,
+            site: u32,
+            acquire: bool,
+        ) -> Option<hypertap_guestos::fault::FaultType> {
             let table = hypertap_guestos::klocks::LockTable::new();
             if !acquire && table.site(site as usize).subsystem == "vfs" {
                 Some(hypertap_guestos::fault::FaultType::MissingUnlock)
@@ -112,9 +104,7 @@ fn goshd_detects_injected_hang() {
 #[test]
 fn hrkd_detects_dkom_hidden_process() {
     let mut vm = TapVm::builder().hrkd().build();
-    let rk = vm
-        .kernel
-        .register_module(rootkit_by_name("SucKIT").expect("table 2 rootkit"));
+    let rk = vm.kernel.register_module(rootkit_by_name("SucKIT").expect("table 2 rootkit"));
     // A busy victim process that gets hidden.
     let victim = vm.kernel.register_program(
         "victim",
@@ -162,9 +152,7 @@ fn hrkd_detects_dkom_hidden_process() {
 #[test]
 fn htninja_catches_escalation_despite_rootkit() {
     let mut vm = TapVm::builder().htninja(NinjaRules::new()).build();
-    let rk = vm
-        .kernel
-        .register_module(rootkit_by_name("FU").expect("table 2 rootkit"));
+    let rk = vm.kernel.register_module(rootkit_by_name("FU").expect("table 2 rootkit"));
     let attack = vm.kernel.register_program(
         "exploit",
         Box::new(move || Box::new(AttackProgram::new(AttackConfig::rootkit_combined(rk)))),
@@ -206,10 +194,7 @@ fn tss_relocation_is_flagged() {
     vm.run_for(Duration::from_millis(100));
     // Simulate a malicious TR move on vCPU 1 (host-side stand-in for a
     // hypothetical in-guest LTR attack).
-    vm.machine
-        .vm_mut()
-        .vcpu_mut(VcpuId(1))
-        .set_tr_base(Gva::new(0x3333_0000));
+    vm.machine.vm_mut().vcpu_mut(VcpuId(1)).set_tr_base(Gva::new(0x3333_0000));
     let (vmstate, kvm) = vm.machine.parts_mut();
     kvm.em.register(Box::new(CountingAuditor::with_mask(EventMask::only(
         hypertap_core::event::EventClass::Integrity,

@@ -58,10 +58,7 @@ fn audit_containers_receive_and_survive_panics() {
     }
 
     let mut vm = TapVm::builder().engines(EngineSelection::context_switch_only()).build();
-    vm.machine
-        .hypervisor_mut()
-        .em
-        .register_container(Box::new(|| Box::new(Flaky { seen: 0 })));
+    vm.machine.hypervisor_mut().em.register_container(Box::new(|| Box::new(Flaky { seen: 0 })));
     vm.run_for(Duration::from_secs(2));
 
     let enqueued = vm.machine.hypervisor().em.stats().container_enqueued;
@@ -105,13 +102,8 @@ fn kernel_integrity_blocks_code_patching() {
     vm.machine.run_steps(&mut patcher, 1);
 
     assert_eq!(before, read_text(&vm), "the patch was suppressed");
-    let attempts = vm
-        .machine
-        .hypervisor()
-        .em
-        .auditor::<KernelIntegrity>()
-        .expect("registered")
-        .attempts();
+    let attempts =
+        vm.machine.hypervisor().em.auditor::<KernelIntegrity>().expect("registered").attempts();
     assert_eq!(attempts.len(), 1, "the attempt was recorded");
     assert!(attempts[0].blocked);
     assert_eq!(attempts[0].value, Some(0xBADC0DE));
@@ -178,10 +170,7 @@ fn rhc_alarms_when_the_event_stream_stops() {
 
     let checker = Rc::new(RefCell::new(RemoteHealthChecker::new(1_000_000_000)));
     let mut vm = TapVm::builder().build();
-    vm.machine
-        .hypervisor_mut()
-        .em
-        .attach_rhc(Box::new(InProcTransport::new(checker.clone())), 32);
+    vm.machine.hypervisor_mut().em.attach_rhc(Box::new(InProcTransport::new(checker.clone())), 32);
     vm.run_for(Duration::from_secs(2));
 
     let now_ns = vm.now().as_nanos();
