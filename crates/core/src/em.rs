@@ -75,6 +75,26 @@ pub trait ContainerAuditor: Send {
 /// panic.
 pub type ContainerFactory = Box<dyn Fn() -> Box<dyn ContainerAuditor> + Send>;
 
+/// A passive observer at the Event Forwarder boundary.
+///
+/// A tap sees every event the EM receives — *before* subscription
+/// filtering, so even events no auditor claimed are observed — plus every
+/// periodic tick, in exactly the interleaving the auditors experienced.
+/// Trace recorders (`hypertap-replay`) attach here: replaying the recorded
+/// (event | tick) stream into a fresh EM reproduces the audit phase
+/// bit-for-bit without re-running the simulator.
+///
+/// Taps must not mutate anything the guest can observe; they are the
+/// record half of record–replay, and a tap with side effects would make
+/// the recorded history diverge from the unrecorded one.
+pub trait EventTap {
+    /// Called once per forwarded event, before fan-out.
+    fn on_event(&mut self, event: &Event);
+
+    /// Called once per EM periodic tick, before auditors run.
+    fn on_tick(&mut self, _now: SimTime) {}
+}
+
 enum ContainerMsg {
     /// Shared, not copied: every subscribed container gets the same
     /// allocation.
@@ -140,6 +160,7 @@ pub struct EventMultiplexer {
     container_findings_tx: Sender<Finding>,
     stats: DeliveryStats,
     rhc: Option<RhcHook>,
+    tap: Option<Box<dyn EventTap>>,
 }
 
 impl std::fmt::Debug for EventMultiplexer {
@@ -171,7 +192,20 @@ impl EventMultiplexer {
             container_findings_tx: tx,
             stats: DeliveryStats::default(),
             rhc: None,
+            tap: None,
         }
+    }
+
+    /// Attaches an [`EventTap`] observing the full pre-filter event and
+    /// tick stream. At most one tap is attached; a previous tap is
+    /// returned so callers can chain or finish it.
+    pub fn attach_tap(&mut self, tap: Box<dyn EventTap>) -> Option<Box<dyn EventTap>> {
+        self.tap.replace(tap)
+    }
+
+    /// Detaches the tap, if any.
+    pub fn detach_tap(&mut self) -> Option<Box<dyn EventTap>> {
+        self.tap.take()
     }
 
     /// Registers a synchronous auditor.
@@ -251,6 +285,9 @@ impl EventMultiplexer {
     /// Fans one event out to subscribed auditors and containers, collecting
     /// synchronous findings into `sink`.
     fn fan_out(&mut self, vm: &mut VmState, event: &Event, sink: &mut LocalSink) {
+        if let Some(tap) = &mut self.tap {
+            tap.on_event(event);
+        }
         let class = event.class();
         if !self.combined_mask.contains(class) {
             // Nobody anywhere subscribed: one mask test and we are done.
@@ -300,6 +337,9 @@ impl EventMultiplexer {
 
     /// Periodic tick from the host timer; drives time-based auditors.
     pub fn tick(&mut self, vm: &mut VmState, now: SimTime) {
+        if let Some(tap) = &mut self.tap {
+            tap.on_tick(now);
+        }
         let mut sink = LocalSink { findings: std::mem::take(&mut self.findings), suppress: false };
         for a in &mut self.auditors {
             a.on_tick(vm, now, &mut sink);
@@ -496,6 +536,36 @@ mod tests {
         let findings = em.drain_findings();
         assert_eq!(findings.len(), 2);
         assert!(findings.iter().all(|f| f.auditor == "panicky"));
+    }
+
+    #[test]
+    fn tap_sees_prefilter_stream_and_ticks() {
+        #[derive(Default)]
+        struct Log(std::sync::Arc<std::sync::Mutex<Vec<String>>>);
+        impl EventTap for Log {
+            fn on_event(&mut self, event: &Event) {
+                self.0.lock().unwrap().push(format!("ev {}", event.kind));
+            }
+            fn on_tick(&mut self, now: SimTime) {
+                self.0.lock().unwrap().push(format!("tick {now}"));
+            }
+        }
+        let log = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let mut em = EventMultiplexer::new();
+        em.attach_tap(Box::new(Log(log.clone())));
+        // No auditors at all: the event is fast-skipped, but the tap still
+        // observes it (the recorder must capture the *full* stream).
+        let mut vm = vm_state();
+        em.dispatch(&mut vm, &ev(EventKind::ProcessSwitch { new_pdba: Gpa::new(1) }));
+        em.tick(&mut vm, SimTime::from_millis(7));
+        assert_eq!(em.stats().fast_skipped, 1);
+        let got = log.lock().unwrap().clone();
+        assert_eq!(
+            got,
+            vec!["ev process switch -> gpa:0x0000000001".to_string(), "tick 0.007000s".to_string()]
+        );
+        assert!(em.detach_tap().is_some());
+        assert!(em.detach_tap().is_none());
     }
 
     #[test]

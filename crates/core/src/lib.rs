@@ -73,7 +73,7 @@ pub mod vmi;
 /// Glob import of the framework's main types.
 pub mod prelude {
     pub use crate::audit::{Auditor, CountingAuditor, Finding, FindingSink, Severity};
-    pub use crate::em::{DeliveryStats, EventMultiplexer};
+    pub use crate::em::{DeliveryStats, EventMultiplexer, EventTap};
     pub use crate::event::{Event, EventClass, EventKind, EventMask, SyscallGate, VmId};
     pub use crate::intercept::{
         FastSyscallEngine, FineGrainedEngine, IntSyscallEngine, InterceptEngine, IoEngine,

@@ -191,6 +191,27 @@ impl VcpuSnapshot {
         let slot = Gpr::ALL.iter().position(|g| *g == r).expect("all GPRs present");
         self.gprs[slot]
     }
+
+    /// The raw GPR file, in [`Gpr::ALL`] order. Trace recorders serialize
+    /// snapshots through this together with [`VcpuSnapshot::from_parts`].
+    pub fn gprs_raw(&self) -> [u64; 7] {
+        self.gprs
+    }
+
+    /// Rebuilds a snapshot from its serialized parts (`gprs` in
+    /// [`Gpr::ALL`] order). The inverse of field access +
+    /// [`VcpuSnapshot::gprs_raw`]; replay engines use it to reconstruct the
+    /// trusted state captured at record time.
+    pub fn from_parts(
+        cr3: Gpa,
+        tr_base: Gva,
+        rsp: Gva,
+        rip: Gva,
+        cpl: Cpl,
+        gprs: [u64; 7],
+    ) -> Self {
+        VcpuSnapshot { cr3, tr_base, rsp, rip, cpl, gprs }
+    }
 }
 
 /// A VM Exit event, as delivered to the hypervisor.

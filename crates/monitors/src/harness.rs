@@ -289,7 +289,22 @@ impl TapVm {
     }
 
     /// Runs the guest for `d` more simulated time (from the current clock).
+    ///
+    /// `d == Duration::ZERO` is a documented no-op: the run loop is never
+    /// entered, the guest does not step (so a fresh VM does **not** boot),
+    /// and [`RunExit::Deadline`] is returned immediately. Callers that
+    /// compute durations should treat a zero result as a bug in their
+    /// arithmetic — a debug assertion flags it so the mistake surfaces in
+    /// tests instead of as silently-skipped boot assertions downstream.
     pub fn run_for(&mut self, d: Duration) -> RunExit {
+        debug_assert!(
+            d > Duration::ZERO,
+            "TapVm::run_for(Duration::ZERO) is a no-op: the guest cannot step and a \
+             fresh VM will not boot; pass a positive duration"
+        );
+        if d == Duration::ZERO {
+            return RunExit::Deadline;
+        }
         let deadline = self.machine.vm().now() + d;
         self.machine.run_until(&mut self.kernel, deadline)
     }
@@ -340,6 +355,32 @@ mod tests {
         assert!(!names.contains(&"fast-syscall"));
         let none = TapVm::builder().engines(EngineSelection::none()).build();
         assert!(none.machine.hypervisor().engine_names().is_empty());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "run_for(Duration::ZERO) is a no-op")]
+    fn run_for_zero_is_flagged_in_debug() {
+        let mut vm = TapVm::builder().build();
+        vm.run_for(Duration::ZERO);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn run_for_zero_is_a_no_op_in_release() {
+        let mut vm = TapVm::builder().build();
+        let before = vm.now();
+        assert_eq!(vm.run_for(Duration::ZERO), RunExit::Deadline);
+        assert_eq!(vm.now(), before, "zero duration must not advance time");
+        assert!(!vm.kernel.is_booted(), "zero duration must not step (or boot) the guest");
+    }
+
+    #[test]
+    fn run_for_positive_duration_boots_and_advances() {
+        let mut vm = TapVm::builder().build();
+        vm.run_for(Duration::from_millis(50));
+        assert!(vm.kernel.is_booted());
+        assert!(vm.now() >= SimTime::from_millis(50));
     }
 
     #[test]

@@ -1,0 +1,103 @@
+//! Differential conformance fuzzer.
+//!
+//! Samples seeded guest scenarios and runs each under configuration pairs
+//! that must be logging-equivalent — software TLB on/off (exact), fine vs
+//! coarse interception (projected onto the shared classes), and extra
+//! never-firing exception-bitmap vectors (exact) — then diffs the recorded
+//! traces and cross-checks that replaying the baseline trace reproduces
+//! the live verdict.
+//!
+//! ```text
+//! cargo run --release -p hypertap-replay --bin conformance -- \
+//!     --scenarios 100 --seed 42
+//! ```
+//!
+//! `--inject-divergence <index>` is the harness self-test: it tampers a
+//! copy of each baseline trace (shifting one record's time by 1 ns) and
+//! requires the differ to detect and report it — exiting nonzero if the
+//! known-bad trace slips through.
+
+use hypertap_bench::cli::Args;
+use hypertap_replay::diff::{diff_traces, DiffPolicy};
+use hypertap_replay::replay::replay_trace;
+use hypertap_replay::scenario::{conformance_pairs, register_auditors, run_scenario, Scenario};
+
+fn main() {
+    let args = Args::parse();
+    let scenarios = args.get::<u64>("scenarios", 25);
+    let seed = args.get::<u64>("seed", 42);
+    let inject = args.get_str("inject-divergence").map(|v| v.parse::<u64>().unwrap_or(0));
+
+    println!("== HyperTap differential conformance ==");
+    println!("scenarios: {scenarios}   base seed: {seed}");
+
+    let pairs = conformance_pairs();
+    let mut runs = 0u64;
+    let mut divergences = 0u64;
+    let mut replay_mismatches = 0u64;
+    let mut injected_detected = 0u64;
+    let mut total_events = 0u64;
+
+    for ordinal in 0..scenarios {
+        let scenario = Scenario::sample(seed, ordinal);
+        let (base_trace, live_verdict) = run_scenario(&scenario, &pairs[0].0);
+        total_events += base_trace.event_count();
+
+        for (left, right, policy) in &pairs {
+            let (other_trace, _) = run_scenario(&scenario, right);
+            runs += 1;
+            let label = format!("{} vs {}", left.label, right.label);
+            if let Some(d) = diff_traces(&base_trace, &other_trace, *policy) {
+                divergences += 1;
+                println!("DIVERGENT {:<24} {}", scenario.name, label);
+                println!("{d}");
+            }
+        }
+
+        // Replay cross-check: audit without the simulator, same verdict.
+        let replayed = replay_trace(&base_trace, |em| register_auditors(em, scenario.vcpus));
+        if replayed != live_verdict {
+            replay_mismatches += 1;
+            println!("REPLAY MISMATCH {:<24}", scenario.name);
+            println!("  live:     {live_verdict:?}");
+            println!("  replayed: {replayed:?}");
+        }
+
+        if let Some(at) = inject {
+            let mut tampered = base_trace.clone();
+            tampered.tamper(at);
+            match diff_traces(&base_trace, &tampered, DiffPolicy::Exact) {
+                Some(d) => {
+                    injected_detected += 1;
+                    if ordinal == 0 {
+                        println!("injected divergence detected in {}:", scenario.name);
+                        println!("{d}");
+                    }
+                }
+                None => {
+                    println!("MISSED injected divergence at index {at} in {}", scenario.name);
+                }
+            }
+        }
+    }
+
+    println!(
+        "{runs} config-pair runs over {scenarios} scenarios ({total_events} baseline events): \
+         {divergences} divergences, {replay_mismatches} replay mismatches"
+    );
+    if let Some(at) = inject {
+        println!(
+            "self-test: injected divergence at index {at} detected in \
+             {injected_detected}/{scenarios} scenarios"
+        );
+        if injected_detected != scenarios {
+            eprintln!("self-test FAILED: tampered traces were not all detected");
+            std::process::exit(2);
+        }
+    }
+    if divergences > 0 || replay_mismatches > 0 {
+        eprintln!("conformance FAILED");
+        std::process::exit(1);
+    }
+    println!("conformance OK");
+}

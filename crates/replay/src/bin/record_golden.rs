@@ -1,0 +1,36 @@
+//! Regenerates the checked-in golden traces.
+//!
+//! ```text
+//! cargo run --release -p hypertap-replay --bin record-golden
+//! ```
+//!
+//! Writes `crates/replay/golden/<name>.htrz` for each golden scenario.
+//! Run this only when a deliberate behaviour change invalidates the
+//! fixtures, and review the byte-size deltas in the commit.
+
+use hypertap_replay::golden::{golden_path, golden_scenarios};
+use hypertap_replay::scenario::{run_scenario, BASE};
+use hypertap_replay::trace::compress;
+
+fn main() {
+    for scenario in golden_scenarios() {
+        let (trace, verdict) = run_scenario(&scenario, &BASE);
+        let raw = trace.encode();
+        let packed = compress(&raw);
+        let path = golden_path(&scenario.name);
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).expect("create golden dir");
+        }
+        std::fs::write(&path, &packed).expect("write golden trace");
+        println!(
+            "{:<16} {:>7} events {:>6} ticks {:>8} raw B {:>8} packed B  findings {:>3}  -> {}",
+            scenario.name,
+            trace.event_count(),
+            trace.tick_count(),
+            raw.len(),
+            packed.len(),
+            verdict.findings.len(),
+            path.display()
+        );
+    }
+}

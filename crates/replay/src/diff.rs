@@ -1,0 +1,181 @@
+//! Trace differencing: the heart of the conformance check.
+//!
+//! Two configurations are *conformant* when the event streams they log are
+//! equal under a policy:
+//!
+//! * [`DiffPolicy::Exact`] — byte-for-byte identical streams. Used for
+//!   knobs that must not be observable at all: the software TLB (PR 1's
+//!   invariant) and exit-control bits for vectors the guest never raises.
+//! * [`DiffPolicy::Projected`] — identical after projecting both streams
+//!   onto an [`EventMask`]. Used for engine-set pairs: a coarse
+//!   interception configuration legitimately logs fewer event *classes*
+//!   than a fine one, but on the shared classes the two streams must agree
+//!   on everything — ordering, timestamps, payloads, and snapshots.
+
+use crate::trace::{Trace, TraceRecord};
+use hypertap_core::event::EventMask;
+use std::fmt;
+
+/// How two traces are compared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiffPolicy {
+    /// Streams must match record-for-record, ticks included.
+    Exact,
+    /// Streams are first projected: only events whose class is in the mask
+    /// are kept (ticks are always kept — the EM timer is part of the
+    /// logging contract). The projections must then match exactly.
+    Projected(EventMask),
+}
+
+/// The first point at which two traces disagree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Index of the first divergent record in the (projected) stream.
+    pub index: u64,
+    /// The left trace's record at that index, rendered (`<end of trace>`
+    /// if the left stream ended first).
+    pub left: String,
+    /// The right trace's record at that index, rendered.
+    pub right: String,
+    /// Up to the three records preceding the divergence (shared prefix),
+    /// rendered — context for the report.
+    pub context: Vec<String>,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "first divergent event at index {}:", self.index)?;
+        for c in &self.context {
+            writeln!(f, "      ... {c}")?;
+        }
+        writeln!(f, "  left:  {}", self.left)?;
+        write!(f, "  right: {}", self.right)
+    }
+}
+
+fn project(trace: &Trace, policy: DiffPolicy) -> Vec<&TraceRecord> {
+    trace
+        .records
+        .iter()
+        .filter(|r| match (policy, r) {
+            (DiffPolicy::Exact, _) => true,
+            (DiffPolicy::Projected(_), TraceRecord::Tick(_)) => true,
+            (DiffPolicy::Projected(mask), TraceRecord::Event(e)) => mask.contains(e.class()),
+        })
+        .collect()
+}
+
+/// Compares two traces under a policy. Returns `None` when conformant,
+/// otherwise the first divergence with context.
+pub fn diff_traces(left: &Trace, right: &Trace, policy: DiffPolicy) -> Option<Divergence> {
+    let a = project(left, policy);
+    let b = project(right, policy);
+    let end = "<end of trace>".to_string();
+    let n = a.len().max(b.len());
+    for i in 0..n {
+        let (la, lb) = (a.get(i), b.get(i));
+        if la.map(|r| **r) == lb.map(|r| **r) {
+            continue;
+        }
+        let context = a[i.saturating_sub(3)..i].iter().map(|r| r.to_string()).collect();
+        let mut left = la.map_or(end.clone(), |r| r.to_string());
+        let mut right = lb.map_or(end, |r| r.to_string());
+        if left == right {
+            // The difference is below display resolution (e.g. a
+            // sub-microsecond time shift): fall back to the full debug
+            // form so the report actually shows it.
+            left = la.map(|r| format!("{r:?}")).unwrap_or(left);
+            right = lb.map(|r| format!("{r:?}")).unwrap_or(right);
+        }
+        return Some(Divergence { index: i as u64, left, right, context });
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceHeader;
+    use hypertap_core::event::{Event, EventClass, EventKind, VmId};
+    use hypertap_hvsim::clock::SimTime;
+    use hypertap_hvsim::exit::VcpuSnapshot;
+    use hypertap_hvsim::mem::{Gpa, Gva};
+    use hypertap_hvsim::vcpu::{Cpl, VcpuId};
+
+    fn ev(ns: u64, kind: EventKind) -> TraceRecord {
+        TraceRecord::Event(Event {
+            vm: VmId(0),
+            vcpu: VcpuId(0),
+            time: SimTime::from_nanos(ns),
+            kind,
+            state: VcpuSnapshot::from_parts(
+                Gpa::new(0x1000),
+                Gva::new(0),
+                Gva::new(0),
+                Gva::new(0),
+                Cpl::Kernel,
+                [0; 7],
+            ),
+        })
+    }
+
+    fn trace(records: Vec<TraceRecord>) -> Trace {
+        Trace { header: TraceHeader::new(1, 0, "diff-unit", "x"), records }
+    }
+
+    #[test]
+    fn identical_traces_are_conformant() {
+        let t = trace(vec![
+            ev(10, EventKind::ProcessSwitch { new_pdba: Gpa::new(0x1000) }),
+            TraceRecord::Tick(SimTime::from_nanos(20)),
+        ]);
+        assert_eq!(diff_traces(&t, &t, DiffPolicy::Exact), None);
+    }
+
+    #[test]
+    fn first_divergence_index_and_context_are_reported() {
+        let shared = [
+            ev(10, EventKind::ProcessSwitch { new_pdba: Gpa::new(0x1000) }),
+            ev(20, EventKind::ThreadSwitch { kernel_stack: 0xAA }),
+            ev(30, EventKind::ProcessSwitch { new_pdba: Gpa::new(0x2000) }),
+        ];
+        let mut a = shared.to_vec();
+        let mut b = shared.to_vec();
+        a.push(ev(40, EventKind::ProcessSwitch { new_pdba: Gpa::new(0x3000) }));
+        b.push(ev(40, EventKind::ProcessSwitch { new_pdba: Gpa::new(0x4000) }));
+        let d = diff_traces(&trace(a), &trace(b), DiffPolicy::Exact).expect("diverges");
+        assert_eq!(d.index, 3);
+        assert_eq!(d.context.len(), 3);
+        assert!(d.left.contains("0x0000003000"), "left: {}", d.left);
+        assert!(d.right.contains("0x0000004000"), "right: {}", d.right);
+    }
+
+    #[test]
+    fn length_mismatch_diverges_at_the_shorter_end() {
+        let a = trace(vec![ev(10, EventKind::ProcessSwitch { new_pdba: Gpa::new(0x1000) })]);
+        let b = trace(vec![
+            ev(10, EventKind::ProcessSwitch { new_pdba: Gpa::new(0x1000) }),
+            TraceRecord::Tick(SimTime::from_nanos(20)),
+        ]);
+        let d = diff_traces(&a, &b, DiffPolicy::Exact).expect("diverges");
+        assert_eq!(d.index, 1);
+        assert_eq!(d.left, "<end of trace>");
+    }
+
+    #[test]
+    fn projection_hides_unshared_classes_but_not_shared_payloads() {
+        let mask = EventMask::only(EventClass::ProcessSwitch);
+        let a = trace(vec![
+            ev(10, EventKind::ProcessSwitch { new_pdba: Gpa::new(0x1000) }),
+            ev(15, EventKind::IoPort { port: 0x3f8, write: true, value: 1 }),
+        ]);
+        let b = trace(vec![ev(10, EventKind::ProcessSwitch { new_pdba: Gpa::new(0x1000) })]);
+        // The I/O event is outside the mask: conformant.
+        assert_eq!(diff_traces(&a, &b, DiffPolicy::Projected(mask)), None);
+        // But it IS a divergence under Exact.
+        assert!(diff_traces(&a, &b, DiffPolicy::Exact).is_some());
+        // A payload difference inside the mask still diverges.
+        let c = trace(vec![ev(10, EventKind::ProcessSwitch { new_pdba: Gpa::new(0x9999) })]);
+        assert!(diff_traces(&b, &c, DiffPolicy::Projected(mask)).is_some());
+    }
+}

@@ -1,0 +1,118 @@
+//! Golden-trace regression fixtures.
+//!
+//! Five deterministic scenarios — one per repo example — recorded under the
+//! baseline configuration, RLE-compressed, and checked in under
+//! `crates/replay/golden/`. The regression test (`tests/replay_golden.rs`)
+//! re-runs each scenario live and asserts the freshly recorded bytes equal
+//! the checked-in bytes, then replays the golden trace and asserts the
+//! verdict matches the live one. Any change to the forwarding path, the
+//! engines, the guest kernel's scheduling, or the codec that alters the
+//! logged stream shows up as a byte diff here.
+//!
+//! The HTTP workload is deliberately absent: its load model goes through
+//! `f64::ln`, whose last bit is not guaranteed identical across libm
+//! builds, and golden traces must be stable across toolchains.
+
+use crate::scenario::{Scenario, WorkloadMix};
+use hypertap_attacks::rootkits::all_rootkits;
+use hypertap_guestos::kpath;
+use hypertap_hvsim::clock::Duration;
+use std::path::PathBuf;
+
+/// Where the compressed golden traces live: `golden/` inside this crate,
+/// resolved at compile time so callers from any workspace member agree.
+pub const GOLDEN_DIR: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/golden");
+
+/// Path of the golden trace file for a scenario name.
+pub fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(GOLDEN_DIR).join(format!("{name}.htrz"))
+}
+
+fn rootkit_index(name: &str) -> usize {
+    all_rootkits()
+        .iter()
+        .position(|r| r.name == name)
+        .unwrap_or_else(|| panic!("rootkit {name:?} is in the Table II catalogue"))
+}
+
+/// The five fixed golden scenarios, named after the repo examples whose
+/// setup they mirror.
+pub fn golden_scenarios() -> Vec<Scenario> {
+    vec![
+        // examples/quickstart.rs: a syscall-heavy writer under full
+        // monitoring.
+        Scenario {
+            name: "quickstart".to_string(),
+            seed: 0x5EED_0001,
+            vcpus: 2,
+            preemptible: true,
+            duration: Duration::from_millis(200),
+            mix: WorkloadMix::Writer,
+            fault: None,
+            rootkit: None,
+        },
+        // examples/hang_detection.rs: parallel make with a persistent
+        // missing-unlock fault in ext3 — the GOSHD bread-and-butter run.
+        Scenario {
+            name: "hang_detection".to_string(),
+            seed: 0x5EED_0002,
+            vcpus: 2,
+            preemptible: false,
+            duration: Duration::from_millis(300),
+            mix: WorkloadMix::MakeJ2,
+            fault: Some((kpath::site_for("ext3", 1) as u32, true)),
+            rootkit: None,
+        },
+        // examples/rootkit_hunt.rs: SucKIT hiding a compute-bound process.
+        Scenario {
+            name: "rootkit_hunt".to_string(),
+            seed: 0x5EED_0003,
+            vcpus: 2,
+            preemptible: true,
+            duration: Duration::from_millis(250),
+            mix: WorkloadMix::Writer,
+            fault: None,
+            rootkit: Some(rootkit_index("SucKIT")),
+        },
+        // examples/three_ninjas.rs: compute workload plus a DKOM rootkit.
+        Scenario {
+            name: "three_ninjas".to_string(),
+            seed: 0x5EED_0004,
+            vcpus: 1,
+            preemptible: true,
+            duration: Duration::from_millis(250),
+            mix: WorkloadMix::Hanoi,
+            fault: None,
+            rootkit: Some(rootkit_index("FU")),
+        },
+        // examples/remote_health.rs: mixed interactive + compute load on a
+        // single vCPU.
+        Scenario {
+            name: "remote_health".to_string(),
+            seed: 0x5EED_0005,
+            vcpus: 1,
+            preemptible: false,
+            duration: Duration::from_millis(200),
+            mix: WorkloadMix::WriterPlusHanoi,
+            fault: None,
+            rootkit: None,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_scenarios_are_five_and_uniquely_named() {
+        let scenarios = golden_scenarios();
+        assert_eq!(scenarios.len(), 5);
+        let names: std::collections::HashSet<_> =
+            scenarios.iter().map(|s| s.name.clone()).collect();
+        assert_eq!(names.len(), 5);
+        for s in &scenarios {
+            assert!(golden_path(&s.name).to_string_lossy().ends_with(".htrz"));
+        }
+    }
+}

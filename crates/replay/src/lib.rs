@@ -1,0 +1,47 @@
+//! Deterministic record–replay and differential conformance testing for
+//! the HyperTap monitoring stack.
+//!
+//! The paper's passive monitoring guarantee (§IV) is that the logging
+//! layer observes the guest without perturbing it: monitoring-plane knobs
+//! — the software TLB, the engine decode set, extra never-firing
+//! exit-control bits — must not change what gets logged. This crate turns
+//! that guarantee into a testable contract:
+//!
+//! * [`recorder`] — an [`EventTap`](hypertap_core::em::EventTap) at the
+//!   Event Forwarder boundary records the full pre-subscription stream.
+//! * [`trace`] — a compact versioned binary codec (delta-encoded, sync
+//!   barriers, trailing seek index, optional RLE compression).
+//! * [`replay`] — re-feeds a trace into a fresh Event Multiplexer and
+//!   auditor set *without the simulator* and extracts a [`Verdict`]
+//!   that must equal the live run's bit-for-bit.
+//! * [`diff`] — finds the first divergent record between two traces,
+//!   exactly or after projection onto a shared event-class mask.
+//! * [`scenario`] — seeded random guest scenarios (program mixes, lock
+//!   faults, rootkit insertions) and the configuration variants under
+//!   differential test.
+//! * [`golden`] — five checked-in regression traces mirroring the repo
+//!   examples.
+//!
+//! The `conformance` binary drives the loop:
+//! `cargo run --release -p hypertap-replay --bin conformance -- --scenarios 100 --seed 42`.
+//!
+//! [`Verdict`]: crate::replay::Verdict
+
+pub mod diff;
+pub mod golden;
+pub mod recorder;
+pub mod replay;
+pub mod scenario;
+pub mod trace;
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::diff::{diff_traces, DiffPolicy, Divergence};
+    pub use crate::golden::{golden_path, golden_scenarios};
+    pub use crate::recorder::TraceRecorder;
+    pub use crate::replay::{replay_trace, Verdict};
+    pub use crate::scenario::{
+        conformance_pairs, register_auditors, run_scenario, ConfigVariant, Scenario, BASE,
+    };
+    pub use crate::trace::{compress, decompress, Trace, TraceError, TraceHeader, TraceRecord};
+}

@@ -1,0 +1,189 @@
+//! The replay engine: auditors without the simulator.
+//!
+//! Replay rebuilds an Event Multiplexer, registers the same auditors a live
+//! run used, and re-feeds a recorded trace — events through
+//! `deliver_all`, ticks through `tick` — against an inert placeholder
+//! `VmState`. Auditors that only consume the event stream (GOSHD entirely;
+//! HRKD's event-driven half) then reproduce the live run's verdict
+//! bit-for-bit, which decouples audit-phase regression testing from guest
+//! execution: a broken auditor bisects against a fixed trace instead of a
+//! whole simulation.
+//!
+//! Auditors that read live guest memory (periodic HRKD cross-validation,
+//! the VMI Ninjas) are outside replay's contract — the trace records
+//! architectural state at exits, not full memory images — and are not
+//! registered in replayable scenarios.
+
+use crate::trace::{Trace, TraceRecord};
+use hypertap_core::audit::CountingAuditor;
+use hypertap_core::em::EventMultiplexer;
+use hypertap_core::event::EventClass;
+use hypertap_hvsim::exit::{ExitAction, VmExit};
+use hypertap_hvsim::machine::{Hypervisor, Machine, VmConfig, VmState};
+use hypertap_monitors::goshd::Goshd;
+use serde::{Deserialize, Serialize};
+
+/// A hypervisor model that does nothing: replay never runs the machine, it
+/// only needs a structurally valid [`VmState`] to satisfy auditor
+/// signatures.
+struct InertHv;
+
+impl Hypervisor for InertHv {
+    fn handle_exit(&mut self, _vm: &mut VmState, _exit: &VmExit) -> ExitAction {
+        ExitAction::Resume
+    }
+}
+
+/// A placeholder [`VmState`] for replay delivery. Small (1 MiB of guest
+/// memory) — replayable auditors never read it.
+pub fn placeholder_vm(vcpus: usize) -> VmState {
+    Machine::new(VmConfig::new(vcpus.max(1), 1 << 20), InertHv).into_parts().0
+}
+
+/// The observable outcome of a run — live or replayed — reduced to the
+/// state the paper's detectors expose. Two runs that agree on a `Verdict`
+/// agreed on every finding, every GOSHD alarm, and every per-class event
+/// count.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Verdict {
+    /// Scenario label (from the trace header).
+    pub scenario: String,
+    /// Configuration label (from the trace header).
+    pub config: String,
+    /// Total events in the stream.
+    pub events_total: u64,
+    /// Total EM ticks in the stream.
+    pub ticks_total: u64,
+    /// Event counts per class, in [`EventClass::ALL`] order.
+    pub class_counts: Vec<u64>,
+    /// Every finding the auditors reported, in order, rendered.
+    pub findings: Vec<String>,
+    /// Every GOSHD hang alarm, in order, rendered.
+    pub goshd_alarms: Vec<String>,
+    /// Events seen by the subscribed [`CountingAuditor`] (post-filter).
+    pub counted_events: u64,
+}
+
+impl Verdict {
+    /// Extracts the verdict from an EM that just finished consuming the
+    /// given trace (live or replayed). Drains the EM's findings.
+    pub fn collect(em: &mut EventMultiplexer, trace: &Trace) -> Verdict {
+        let mut class_counts = vec![0u64; EventClass::ALL.len()];
+        for ev in trace.events() {
+            let idx = EventClass::ALL
+                .iter()
+                .position(|c| *c == ev.class())
+                .expect("every class is in ALL");
+            class_counts[idx] += 1;
+        }
+        let findings = em.drain_findings().iter().map(|f| f.to_string()).collect();
+        let goshd_alarms = em
+            .auditor::<Goshd>()
+            .map(|g| {
+                g.alarms()
+                    .iter()
+                    .map(|a| {
+                        format!(
+                            "{} hung at {} (last switch {}, {:?})",
+                            a.vcpu, a.detected_at, a.last_switch, a.scope
+                        )
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        let counted_events =
+            em.auditor::<CountingAuditor>().map(|c| c.events_seen()).unwrap_or_default();
+        Verdict {
+            scenario: trace.header.scenario.clone(),
+            config: trace.header.config.clone(),
+            events_total: trace.event_count(),
+            ticks_total: trace.tick_count(),
+            class_counts,
+            findings,
+            goshd_alarms,
+            counted_events,
+        }
+    }
+}
+
+/// Re-feeds a recorded trace into a fresh EM and returns the verdict.
+///
+/// `register` receives the empty EM and must install the same auditor set
+/// the live run used (replayable auditors only — see the module docs).
+pub fn replay_trace(trace: &Trace, register: impl FnOnce(&mut EventMultiplexer)) -> Verdict {
+    let mut em = EventMultiplexer::new();
+    register(&mut em);
+    let mut vm = placeholder_vm(trace.header.vcpus as usize);
+    for rec in &trace.records {
+        match rec {
+            TraceRecord::Event(ev) => {
+                em.deliver_all(&mut vm, std::slice::from_ref(ev));
+            }
+            TraceRecord::Tick(t) => em.tick(&mut vm, *t),
+        }
+    }
+    Verdict::collect(&mut em, trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{TraceHeader, TraceRecord};
+    use hypertap_core::event::{Event, EventKind, VmId};
+    use hypertap_hvsim::clock::{Duration, SimTime};
+    use hypertap_hvsim::exit::VcpuSnapshot;
+    use hypertap_hvsim::mem::{Gpa, Gva};
+    use hypertap_hvsim::vcpu::{Cpl, VcpuId};
+    use hypertap_monitors::goshd::GoshdConfig;
+
+    fn switch_at(ns: u64, pdba: u64) -> TraceRecord {
+        TraceRecord::Event(Event {
+            vm: VmId(0),
+            vcpu: VcpuId(0),
+            time: SimTime::from_nanos(ns),
+            kind: EventKind::ProcessSwitch { new_pdba: Gpa::new(pdba) },
+            state: VcpuSnapshot::from_parts(
+                Gpa::new(pdba),
+                Gva::new(0),
+                Gva::new(0),
+                Gva::new(0),
+                Cpl::Kernel,
+                [0; 7],
+            ),
+        })
+    }
+
+    #[test]
+    fn goshd_raises_the_same_alarm_from_a_synthetic_trace() {
+        // One early context switch, then silence long past the threshold:
+        // GOSHD must alarm during replay exactly as it would live.
+        let mut records = vec![switch_at(1_000_000, 0x1000)];
+        for sec in 1..=6u64 {
+            records.push(TraceRecord::Tick(SimTime::from_secs(sec)));
+        }
+        let trace = Trace { header: TraceHeader::new(1, 7, "synthetic", "default"), records };
+        let verdict = replay_trace(&trace, |em| {
+            em.register(Box::new(Goshd::new(1, GoshdConfig { threshold: Duration::from_secs(4) })));
+            em.register(Box::new(CountingAuditor::new()));
+        });
+        assert_eq!(verdict.events_total, 1);
+        assert_eq!(verdict.ticks_total, 6);
+        assert_eq!(verdict.counted_events, 1);
+        assert_eq!(verdict.goshd_alarms.len(), 1, "alarms: {:?}", verdict.goshd_alarms);
+        assert!(!verdict.findings.is_empty(), "GOSHD reports the hang as a finding");
+        assert_eq!(verdict.class_counts[0], 1); // ProcessSwitch is class 0
+    }
+
+    #[test]
+    fn verdict_is_deterministic_across_replays() {
+        let trace = Trace {
+            header: TraceHeader::new(1, 7, "synthetic", "default"),
+            records: (0..50).map(|i| switch_at(1_000 * (i + 1), 0x1000 * (i % 5 + 1))).collect(),
+        };
+        let reg = |em: &mut EventMultiplexer| {
+            em.register(Box::new(Goshd::new(1, GoshdConfig::paper_default())));
+            em.register(Box::new(CountingAuditor::new()));
+        };
+        assert_eq!(replay_trace(&trace, reg), replay_trace(&trace, reg));
+    }
+}

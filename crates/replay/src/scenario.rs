@@ -1,0 +1,347 @@
+//! Randomized guest scenarios and interception-configuration variants.
+//!
+//! The conformance fuzzer samples a [`Scenario`] — a seeded program mix,
+//! optionally a locking-discipline fault from the `hypertap-faultinject`
+//! catalogue and a rootkit insertion from `hypertap-attacks` — and runs it
+//! under several [`ConfigVariant`]s. The scenario fully determines guest
+//! behaviour; the variant only changes monitoring-plane knobs that must
+//! not be observable in the logged stream (or only by projection).
+
+use crate::diff::DiffPolicy;
+use crate::recorder::TraceRecorder;
+use crate::replay::Verdict;
+use crate::trace::{Trace, TraceHeader};
+use hypertap_attacks::rootkits::all_rootkits;
+use hypertap_core::audit::CountingAuditor;
+use hypertap_core::em::EventMultiplexer;
+use hypertap_core::event::{EventClass, EventMask};
+use hypertap_faultinject::spec::FaultKind;
+use hypertap_guestos::fault::SingleFault;
+use hypertap_guestos::kernel::KernelConfig;
+use hypertap_guestos::klocks::SITE_COUNT;
+use hypertap_guestos::layout;
+use hypertap_guestos::program::{FnProgram, UserOp, UserView};
+use hypertap_guestos::syscalls::Sysno;
+use hypertap_hvsim::clock::Duration;
+use hypertap_monitors::goshd::{Goshd, GoshdConfig};
+use hypertap_monitors::harness::{EngineSelection, TapVm};
+use hypertap_monitors::hrkd::Hrkd;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The guest program mix of a scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadMix {
+    /// A syscall-heavy writer loop.
+    Writer,
+    /// The Tower-of-Hanoi compute workload.
+    Hanoi,
+    /// Serial compilation.
+    MakeJ1,
+    /// Two-way parallel compilation.
+    MakeJ2,
+    /// Writer and Hanoi side by side.
+    WriterPlusHanoi,
+}
+
+impl WorkloadMix {
+    /// All mixes, in sampling order.
+    pub const ALL: [WorkloadMix; 5] = [
+        WorkloadMix::Writer,
+        WorkloadMix::Hanoi,
+        WorkloadMix::MakeJ1,
+        WorkloadMix::MakeJ2,
+        WorkloadMix::WriterPlusHanoi,
+    ];
+
+    fn label(self) -> &'static str {
+        match self {
+            WorkloadMix::Writer => "writer",
+            WorkloadMix::Hanoi => "hanoi",
+            WorkloadMix::MakeJ1 => "make-j1",
+            WorkloadMix::MakeJ2 => "make-j2",
+            WorkloadMix::WriterPlusHanoi => "writer+hanoi",
+        }
+    }
+}
+
+/// One sampled guest scenario. Everything the guest does is a pure
+/// function of this description.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Display name (`s<ordinal>/<mix>` for sampled scenarios).
+    pub name: String,
+    /// Seed controlling every sampled choice below.
+    pub seed: u64,
+    /// vCPU count.
+    pub vcpus: usize,
+    /// Kernel preemption configuration.
+    pub preemptible: bool,
+    /// Simulated run length.
+    pub duration: Duration,
+    /// The program mix.
+    pub mix: WorkloadMix,
+    /// A fault-injection spec: catalogue site + persistence, with the
+    /// fault type derived per-site exactly as the campaign derives it.
+    pub fault: Option<(u32, bool)>,
+    /// Index into [`all_rootkits`] of a rootkit to insert mid-run.
+    pub rootkit: Option<usize>,
+}
+
+impl Scenario {
+    /// Samples scenario number `ordinal` from the fuzzer's base seed.
+    pub fn sample(base_seed: u64, ordinal: u64) -> Scenario {
+        let seed = base_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(ordinal);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mix = WorkloadMix::ALL[rng.gen_range(0usize..WorkloadMix::ALL.len())];
+        let vcpus = rng.gen_range(1usize..3);
+        let preemptible = rng.gen_range(0u32..2) == 1;
+        let duration = Duration::from_millis(rng.gen_range(150u64..400));
+        let fault = if rng.gen_range(0u32..3) == 0 {
+            Some((rng.gen_range(0u32..SITE_COUNT as u32), rng.gen_range(0u32..2) == 1))
+        } else {
+            None
+        };
+        let rootkit = if rng.gen_range(0u32..4) == 0 {
+            Some(rng.gen_range(0usize..all_rootkits().len()))
+        } else {
+            None
+        };
+        Scenario {
+            name: format!("s{ordinal}/{}", mix.label()),
+            seed,
+            vcpus,
+            preemptible,
+            duration,
+            mix,
+            fault,
+            rootkit,
+        }
+    }
+}
+
+/// A monitoring-plane configuration under test.
+#[derive(Debug, Clone)]
+pub struct ConfigVariant {
+    /// Display label, also written into the trace header.
+    pub label: &'static str,
+    /// Software TLB on or off (PR 1's byte-identical invariant).
+    pub tlb: bool,
+    /// Full engine set (fine) or the context-switch + syscall subset
+    /// (coarse). Both program the same exit controls; they differ only in
+    /// which classes they decode.
+    pub fine: bool,
+    /// Extra exception-bitmap vectors to force-enable. Chosen among
+    /// vectors the simulated guest never raises, so the exit stream — and
+    /// therefore the trace — must not change at all.
+    pub extra_vectors: &'static [u8],
+}
+
+/// The baseline configuration every pair compares against.
+pub const BASE: ConfigVariant =
+    ConfigVariant { label: "tlb-on/fine", tlb: true, fine: true, extra_vectors: &[] };
+
+/// Baseline with the software TLB off.
+pub const NO_TLB: ConfigVariant =
+    ConfigVariant { label: "tlb-off/fine", tlb: false, fine: true, extra_vectors: &[] };
+
+/// Baseline with the coarse engine subset.
+pub const COARSE: ConfigVariant =
+    ConfigVariant { label: "tlb-on/coarse", tlb: true, fine: false, extra_vectors: &[] };
+
+/// Baseline with never-firing exception vectors added to the exit
+/// controls (0x21 / 0x7f / 0xf1: nothing in the simulated guest raises
+/// them; 0x80 is the syscall gate and stays untouched).
+pub const EXTRA_BITMAP: ConfigVariant = ConfigVariant {
+    label: "tlb-on/extra-bitmap",
+    tlb: true,
+    fine: true,
+    extra_vectors: &[0x21, 0x7f, 0xf1],
+};
+
+/// The configuration pairs the fuzzer differences, with their policies.
+pub fn conformance_pairs() -> Vec<(ConfigVariant, ConfigVariant, DiffPolicy)> {
+    vec![
+        (BASE, NO_TLB, DiffPolicy::Exact),
+        (BASE, COARSE, DiffPolicy::Projected(shared_classes())),
+        (BASE, EXTRA_BITMAP, DiffPolicy::Exact),
+    ]
+}
+
+/// The classes both fine and coarse configurations decode.
+pub fn shared_classes() -> EventMask {
+    EventMask::only(EventClass::ProcessSwitch)
+        .with(EventClass::ThreadSwitch)
+        .with(EventClass::Syscall)
+}
+
+fn coarse_selection() -> EngineSelection {
+    let mut sel = EngineSelection::all();
+    sel.tss_integrity = false;
+    sel.io = false;
+    sel.fine_grained = false;
+    sel
+}
+
+/// Registers the replayable auditor set used by every conformance run:
+/// GOSHD (paper threshold), event-driven HRKD, and a counting auditor.
+/// Live runs and replays must call this identically for verdicts to be
+/// comparable.
+pub fn register_auditors(em: &mut EventMultiplexer, vcpus: usize) {
+    em.register(Box::new(Goshd::new(vcpus, GoshdConfig::paper_default())));
+    em.register(Box::new(Hrkd::new(layout::os_profile(), layout::KERNEL_TEXT)));
+    em.register(Box::new(CountingAuditor::new()));
+}
+
+/// Builds the scenario's guest inside a fresh monitored VM.
+fn install_guest(vm: &mut TapVm, scenario: &Scenario) {
+    let writer = vm.kernel.register_program(
+        "writer",
+        Box::new(|| {
+            let mut n = 0u32;
+            Box::new(FnProgram(move |_v: &UserView<'_>| {
+                n += 1;
+                match n % 3 {
+                    1 => UserOp::sys(Sysno::Open, &[7]),
+                    2 => UserOp::sys(Sysno::Write, &[0, 4096]),
+                    _ => UserOp::sys(Sysno::Close, &[0]),
+                }
+            }))
+        }),
+    );
+    let hanoi = vm.kernel.register_program(
+        "hanoi",
+        Box::new(|| Box::new(hypertap_workloads::hanoi::Hanoi::paper_default())),
+    );
+    let workloads: Vec<u64> = match scenario.mix {
+        WorkloadMix::Writer => vec![writer.0],
+        WorkloadMix::Hanoi => vec![hanoi.0],
+        WorkloadMix::MakeJ1 => vec![hypertap_workloads::make::install(&mut vm.kernel, 1, 12).0],
+        WorkloadMix::MakeJ2 => vec![hypertap_workloads::make::install(&mut vm.kernel, 2, 12).0],
+        WorkloadMix::WriterPlusHanoi => vec![writer.0, hanoi.0],
+    };
+
+    let rootkit = scenario.rootkit.map(|idx| {
+        let spec = all_rootkits().swap_remove(idx);
+        let module = vm.kernel.register_module(spec);
+        let malware = vm.kernel.register_program(
+            "malware",
+            Box::new(|| Box::new(FnProgram(|_v: &UserView<'_>| UserOp::Compute(100_000)))),
+        );
+        (module, malware.0)
+    });
+
+    let init = vm.kernel.register_program(
+        "init",
+        Box::new(move || {
+            let workloads = workloads.clone();
+            let mut stage = 0usize;
+            let mut malware_pid = 0u64;
+            Box::new(FnProgram(move |v: &UserView<'_>| {
+                stage += 1;
+                // Spawn each workload, then (optionally) the malware and
+                // its hiding rootkit, then settle into a wait loop.
+                if stage <= workloads.len() {
+                    return UserOp::sys(Sysno::Spawn, &[workloads[stage - 1], 1000]);
+                }
+                if let Some((module, malware)) = rootkit {
+                    match stage - workloads.len() {
+                        1 => return UserOp::sys(Sysno::Spawn, &[malware, 1000]),
+                        2 => {
+                            malware_pid = v.last_ret;
+                            return UserOp::sys(Sysno::Nanosleep, &[20_000_000]);
+                        }
+                        3 => return UserOp::sys(Sysno::InstallModule, &[module, malware_pid]),
+                        _ => {}
+                    }
+                }
+                UserOp::sys(Sysno::Waitpid, &[])
+            }))
+        }),
+    );
+    vm.kernel.set_init_program(init);
+
+    if let Some((site, persistent)) = scenario.fault {
+        let fault = FaultKind::for_site(site);
+        vm.kernel.set_fault_hook(Box::new(SingleFault::new(site, fault.into(), persistent)));
+    }
+}
+
+/// Runs a scenario under a configuration variant, recording the forwarded
+/// stream at the EM tap point. Returns the trace and the live verdict.
+pub fn run_scenario(scenario: &Scenario, variant: &ConfigVariant) -> (Trace, Verdict) {
+    let engines = if variant.fine { EngineSelection::all() } else { coarse_selection() };
+    let mut vm = TapVm::builder()
+        .vcpus(scenario.vcpus)
+        .memory(1 << 28)
+        .kernel(KernelConfig::new(scenario.vcpus).with_preemption(scenario.preemptible))
+        .engines(engines)
+        .tlb(variant.tlb)
+        .build();
+    for &v in variant.extra_vectors {
+        vm.machine.vm_mut().controls_mut().set_exception_exiting(v, true);
+    }
+    register_auditors(&mut vm.machine.hypervisor_mut().em, scenario.vcpus);
+    install_guest(&mut vm, scenario);
+
+    let recorder = TraceRecorder::new(TraceHeader::new(
+        scenario.vcpus as u64,
+        scenario.seed,
+        scenario.name.clone(),
+        variant.label,
+    ));
+    vm.machine.hypervisor_mut().em.attach_tap(recorder.tap());
+    vm.run_for(scenario.duration);
+    vm.machine.hypervisor_mut().em.detach_tap();
+
+    let trace = recorder.finish();
+    let verdict = Verdict::collect(&mut vm.machine.hypervisor_mut().em, &trace);
+    (trace, verdict)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diff::diff_traces;
+    use crate::replay::replay_trace;
+
+    #[test]
+    fn sampling_is_deterministic_and_varied() {
+        let a = Scenario::sample(42, 3);
+        let b = Scenario::sample(42, 3);
+        assert_eq!(a.seed, b.seed);
+        assert_eq!(a.mix, b.mix);
+        assert_eq!(a.duration, b.duration);
+        let mixes: std::collections::HashSet<&'static str> =
+            (0..32).map(|i| Scenario::sample(42, i).mix.label()).collect();
+        assert!(mixes.len() >= 3, "sampler should cover several mixes, got {mixes:?}");
+    }
+
+    #[test]
+    fn same_scenario_same_config_is_byte_identical() {
+        let s = Scenario::sample(7, 0);
+        let (t1, v1) = run_scenario(&s, &BASE);
+        let (t2, v2) = run_scenario(&s, &BASE);
+        assert_eq!(t1.encode(), t2.encode(), "identical runs must produce identical traces");
+        assert_eq!(v1, v2);
+        assert!(t1.event_count() > 0, "the guest must actually produce events");
+    }
+
+    #[test]
+    fn tlb_pair_is_conformant_and_replay_matches_live() {
+        let s = Scenario::sample(7, 1);
+        let (base, live) = run_scenario(&s, &BASE);
+        let (other, _) = run_scenario(&s, &NO_TLB);
+        assert_eq!(diff_traces(&base, &other, DiffPolicy::Exact), None);
+        let replayed = replay_trace(&base, |em| register_auditors(em, s.vcpus));
+        assert_eq!(replayed, live, "replay must reproduce the live verdict bit-for-bit");
+    }
+
+    #[test]
+    fn coarse_pair_is_conformant_under_projection() {
+        let s = Scenario::sample(7, 2);
+        let (base, _) = run_scenario(&s, &BASE);
+        let (coarse, _) = run_scenario(&s, &COARSE);
+        assert_eq!(diff_traces(&base, &coarse, DiffPolicy::Projected(shared_classes())), None);
+    }
+}

@@ -1,0 +1,1066 @@
+//! The versioned binary trace format.
+//!
+//! A trace is the full record of what the Event Forwarder handed the Event
+//! Multiplexer during one run: every decoded [`Event`] (with the trusted
+//! [`VcpuSnapshot`] captured at its VM Exit) plus every EM periodic tick, in
+//! delivery order. The format is designed around two properties:
+//!
+//! * **Compactness.** Integers are LEB128 varints, event times are
+//!   zigzag-encoded deltas from the previous record, and vCPU snapshots are
+//!   delta-encoded against the previous snapshot of the *same* vCPU with a
+//!   changed-field bitmask — consecutive exits of one vCPU usually change
+//!   only RIP and a register or two.
+//! * **Seekability.** Every [`SYNC_INTERVAL`] records the encoder emits a
+//!   *sync barrier*: the per-vCPU delta state is reset and the next record
+//!   is written in absolute form (absolute timestamp, full snapshot). The
+//!   trailing index lists every barrier's record ordinal, byte offset and
+//!   timestamp, so a reader can decode from any barrier without touching
+//!   the bytes before it.
+//!
+//! Layout:
+//!
+//! ```text
+//! "HTRC"  varint(version) varint(vcpus) varint(seed)
+//!         str(scenario) str(config)
+//! records: 0x01 delta event | 0x02 delta tick | 0x03 sync event
+//!          | 0x04 sync tick, ... , 0xFF end
+//! index:  varint(count) { varint(ordinal) varint(offset) varint(time_ns) }*
+//! "HTRE"
+//! ```
+//!
+//! Decoding never panics on malformed input: every failure mode is a
+//! structured [`TraceError`].
+
+use hypertap_core::event::{Event, EventKind, SyscallGate, VmId};
+use hypertap_hvsim::clock::SimTime;
+use hypertap_hvsim::ept::AccessKind;
+use hypertap_hvsim::exit::VcpuSnapshot;
+use hypertap_hvsim::mem::{Gpa, Gva};
+use hypertap_hvsim::vcpu::{Cpl, VcpuId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Leading magic of an uncompressed trace.
+pub const TRACE_MAGIC: [u8; 4] = *b"HTRC";
+/// Trailing magic sealing the index.
+const END_MAGIC: [u8; 4] = *b"HTRE";
+/// Leading magic of an RLE-compressed trace (golden files on disk).
+pub const COMPRESSED_MAGIC: [u8; 4] = *b"HTRZ";
+/// Current format version.
+pub const TRACE_VERSION: u64 = 1;
+/// Records between sync barriers (index granularity).
+pub const SYNC_INTERVAL: usize = 256;
+
+const REC_EVENT_DELTA: u8 = 0x01;
+const REC_TICK_DELTA: u8 = 0x02;
+const REC_EVENT_SYNC: u8 = 0x03;
+const REC_TICK_SYNC: u8 = 0x04;
+const REC_END: u8 = 0xFF;
+
+/// Structured decode failure. Carries the byte offset at which decoding
+/// stopped so corrupt golden files are diagnosable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// The input does not start with `HTRC`.
+    BadMagic,
+    /// The input does not end with the `HTRE` seal.
+    BadTrailer,
+    /// A version this reader does not understand.
+    UnsupportedVersion(u64),
+    /// Input ended inside a field.
+    UnexpectedEof { offset: usize },
+    /// A varint ran past 10 bytes.
+    VarintOverflow { offset: usize },
+    /// An unknown record or field tag.
+    BadTag { offset: usize, tag: u8 },
+    /// A structurally valid field with an impossible value.
+    BadValue { offset: usize, what: &'static str },
+    /// A string field was not UTF-8.
+    BadString { offset: usize },
+    /// A delta record referenced a vCPU with no snapshot base since the
+    /// last sync barrier.
+    MissingSnapshotBase { offset: usize, vcpu: usize },
+    /// Bytes remained after the trailer.
+    TrailingGarbage { offset: usize },
+    /// The compressed wrapper does not start with `HTRZ`.
+    BadCompressionMagic,
+    /// A compressed run ran past the end of input or output.
+    CorruptCompression { offset: usize },
+    /// Decompressed length does not match the header's claim.
+    LengthMismatch { expected: usize, got: usize },
+    /// An index entry points outside the record section.
+    BadIndexEntry { ordinal: u64 },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::BadMagic => f.write_str("not a trace: bad magic (want HTRC)"),
+            TraceError::BadTrailer => f.write_str("trace trailer missing (want HTRE)"),
+            TraceError::UnsupportedVersion(v) => write!(f, "unsupported trace version {v}"),
+            TraceError::UnexpectedEof { offset } => {
+                write!(f, "unexpected end of input at byte {offset}")
+            }
+            TraceError::VarintOverflow { offset } => write!(f, "varint overflow at byte {offset}"),
+            TraceError::BadTag { offset, tag } => {
+                write!(f, "unknown tag {tag:#04x} at byte {offset}")
+            }
+            TraceError::BadValue { offset, what } => write!(f, "bad {what} at byte {offset}"),
+            TraceError::BadString { offset } => write!(f, "non-UTF-8 string at byte {offset}"),
+            TraceError::MissingSnapshotBase { offset, vcpu } => {
+                write!(f, "delta for vcpu{vcpu} without snapshot base at byte {offset}")
+            }
+            TraceError::TrailingGarbage { offset } => {
+                write!(f, "trailing garbage after trailer at byte {offset}")
+            }
+            TraceError::BadCompressionMagic => {
+                f.write_str("not a compressed trace: bad magic (want HTRZ)")
+            }
+            TraceError::CorruptCompression { offset } => {
+                write!(f, "corrupt compression run at byte {offset}")
+            }
+            TraceError::LengthMismatch { expected, got } => {
+                write!(f, "decompressed length mismatch: header says {expected}, got {got}")
+            }
+            TraceError::BadIndexEntry { ordinal } => {
+                write!(f, "index entry for record {ordinal} points outside the record section")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Trace metadata: identifies what produced the record stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceHeader {
+    /// Format version (see [`TRACE_VERSION`]).
+    pub version: u64,
+    /// vCPU count of the recorded machine.
+    pub vcpus: u64,
+    /// Scenario seed (0 when not seed-derived).
+    pub seed: u64,
+    /// Scenario label (e.g. `quickstart`).
+    pub scenario: String,
+    /// Configuration label (e.g. `tlb-on/fine`).
+    pub config: String,
+}
+
+impl TraceHeader {
+    /// A header for the current version.
+    pub fn new(
+        vcpus: u64,
+        seed: u64,
+        scenario: impl Into<String>,
+        config: impl Into<String>,
+    ) -> Self {
+        TraceHeader {
+            version: TRACE_VERSION,
+            vcpus,
+            seed,
+            scenario: scenario.into(),
+            config: config.into(),
+        }
+    }
+}
+
+/// One entry of the record stream: a forwarded event or an EM tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceRecord {
+    /// A decoded guest operation delivered to the EM.
+    Event(Event),
+    /// An EM periodic tick at the given simulated time.
+    Tick(SimTime),
+}
+
+impl TraceRecord {
+    /// The record's simulated time.
+    pub fn time(&self) -> SimTime {
+        match self {
+            TraceRecord::Event(e) => e.time,
+            TraceRecord::Tick(t) => *t,
+        }
+    }
+}
+
+impl fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceRecord::Event(e) => write!(f, "{e}"),
+            TraceRecord::Tick(t) => write!(f, "[{t}] em tick"),
+        }
+    }
+}
+
+/// One sync barrier in the trailing index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexEntry {
+    /// Ordinal of the barrier record in the stream (0-based).
+    pub ordinal: u64,
+    /// Byte offset of the barrier record from the start of the trace.
+    pub offset: u64,
+    /// Absolute simulated time of the barrier record, in nanoseconds.
+    pub time_ns: u64,
+}
+
+/// The seek index: every sync barrier, in stream order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceIndex {
+    /// Barrier entries in ascending ordinal order.
+    pub entries: Vec<IndexEntry>,
+}
+
+impl TraceIndex {
+    /// The last barrier at or before `t` — the place to start decoding to
+    /// cover everything from `t` on.
+    pub fn seek(&self, t: SimTime) -> Option<&IndexEntry> {
+        self.entries.iter().rev().find(|e| e.time_ns <= t.as_nanos())
+    }
+}
+
+/// A recorded run: header plus the ordered record stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// Metadata.
+    pub header: TraceHeader,
+    /// Events and ticks in delivery order.
+    pub records: Vec<TraceRecord>,
+}
+
+impl Trace {
+    /// Number of event records.
+    pub fn event_count(&self) -> u64 {
+        self.records.iter().filter(|r| matches!(r, TraceRecord::Event(_))).count() as u64
+    }
+
+    /// Number of tick records.
+    pub fn tick_count(&self) -> u64 {
+        self.records.iter().filter(|r| matches!(r, TraceRecord::Tick(_))).count() as u64
+    }
+
+    /// Deliberately corrupts the record at `index` (modulo the stream
+    /// length) by shifting its time one nanosecond forward. Used by the
+    /// conformance fuzzer's `--inject-divergence` self-test: a harness
+    /// that cannot detect a known-bad trace proves nothing.
+    pub fn tamper(&mut self, index: u64) {
+        if self.records.is_empty() {
+            return;
+        }
+        let i = (index as usize) % self.records.len();
+        match &mut self.records[i] {
+            TraceRecord::Event(e) => e.time = SimTime::from_nanos(e.time.as_nanos() + 1),
+            TraceRecord::Tick(t) => *t = SimTime::from_nanos(t.as_nanos() + 1),
+        }
+    }
+
+    /// Iterates over the event records.
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        self.records.iter().filter_map(|r| match r {
+            TraceRecord::Event(e) => Some(e),
+            TraceRecord::Tick(_) => None,
+        })
+    }
+
+    /// Serializes the trace (records + index + trailer).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut enc = Enc { buf: Vec::new() };
+        enc.buf.extend_from_slice(&TRACE_MAGIC);
+        enc.varint(self.header.version);
+        enc.varint(self.header.vcpus);
+        enc.varint(self.header.seed);
+        enc.string(&self.header.scenario);
+        enc.string(&self.header.config);
+
+        let mut index = Vec::new();
+        let mut snaps: HashMap<usize, VcpuSnapshot> = HashMap::new();
+        let mut last_ns = 0u64;
+        let mut since_sync = SYNC_INTERVAL; // force a barrier on the first record
+        for (ordinal, rec) in self.records.iter().enumerate() {
+            let barrier = since_sync >= SYNC_INTERVAL;
+            if barrier {
+                snaps.clear();
+                since_sync = 0;
+                index.push(IndexEntry {
+                    ordinal: ordinal as u64,
+                    offset: enc.buf.len() as u64,
+                    time_ns: rec.time().as_nanos(),
+                });
+            }
+            since_sync += 1;
+            match rec {
+                TraceRecord::Tick(t) => {
+                    if barrier {
+                        enc.byte(REC_TICK_SYNC);
+                        enc.varint(t.as_nanos());
+                    } else {
+                        enc.byte(REC_TICK_DELTA);
+                        enc.varint(zigzag(t.as_nanos().wrapping_sub(last_ns) as i64));
+                    }
+                    last_ns = t.as_nanos();
+                }
+                TraceRecord::Event(e) => {
+                    // Outside a barrier a vCPU's first appearance still needs
+                    // a full snapshot; it is written in sync form but is not
+                    // an index target (the barrier before it is).
+                    let full = barrier || !snaps.contains_key(&e.vcpu.0);
+                    enc.byte(if full { REC_EVENT_SYNC } else { REC_EVENT_DELTA });
+                    enc.varint(e.vcpu.0 as u64);
+                    if full {
+                        enc.varint(e.time.as_nanos());
+                    } else {
+                        enc.varint(zigzag(e.time.as_nanos().wrapping_sub(last_ns) as i64));
+                    }
+                    enc.varint(e.vm.0 as u64);
+                    enc.kind(&e.kind);
+                    if full {
+                        enc.snapshot_full(&e.state);
+                    } else {
+                        // `full` is false only when the map has the base.
+                        let prev = snaps[&e.vcpu.0];
+                        enc.snapshot_delta(&prev, &e.state);
+                    }
+                    snaps.insert(e.vcpu.0, e.state);
+                    last_ns = e.time.as_nanos();
+                }
+            }
+        }
+        enc.byte(REC_END);
+        enc.varint(index.len() as u64);
+        for entry in &index {
+            enc.varint(entry.ordinal);
+            enc.varint(entry.offset);
+            enc.varint(entry.time_ns);
+        }
+        enc.buf.extend_from_slice(&END_MAGIC);
+        enc.buf
+    }
+
+    /// Deserializes a trace, discarding the index.
+    pub fn decode(bytes: &[u8]) -> Result<Trace, TraceError> {
+        Trace::decode_with_index(bytes).map(|(t, _)| t)
+    }
+
+    /// Deserializes a trace together with its seek index. The index is
+    /// validated against the decoded records.
+    pub fn decode_with_index(bytes: &[u8]) -> Result<(Trace, TraceIndex), TraceError> {
+        let mut dec = Dec { bytes, pos: 0 };
+        let magic = dec.take(4)?;
+        if magic != TRACE_MAGIC {
+            return Err(TraceError::BadMagic);
+        }
+        let version = dec.varint()?;
+        if version != TRACE_VERSION {
+            return Err(TraceError::UnsupportedVersion(version));
+        }
+        let vcpus = dec.varint()?;
+        let seed = dec.varint()?;
+        let scenario = dec.string()?;
+        let config = dec.string()?;
+        let header = TraceHeader { version, vcpus, seed, scenario, config };
+
+        let mut records = Vec::new();
+        let mut offsets = Vec::new();
+        let mut snaps: HashMap<usize, VcpuSnapshot> = HashMap::new();
+        let mut last_ns = 0u64;
+        loop {
+            let rec_offset = dec.pos;
+            let tag = dec.byte()?;
+            match tag {
+                REC_END => break,
+                REC_TICK_SYNC => {
+                    last_ns = dec.varint()?;
+                    offsets.push(rec_offset);
+                    records.push(TraceRecord::Tick(SimTime::from_nanos(last_ns)));
+                }
+                REC_TICK_DELTA => {
+                    last_ns = apply_delta(last_ns, dec.varint()?);
+                    offsets.push(rec_offset);
+                    records.push(TraceRecord::Tick(SimTime::from_nanos(last_ns)));
+                }
+                REC_EVENT_SYNC | REC_EVENT_DELTA => {
+                    let vcpu = dec.varint()? as usize;
+                    last_ns = if tag == REC_EVENT_SYNC {
+                        dec.varint()?
+                    } else {
+                        apply_delta(last_ns, dec.varint()?)
+                    };
+                    let vm = dec.varint()?;
+                    if vm > u32::MAX as u64 {
+                        return Err(TraceError::BadValue { offset: rec_offset, what: "vm id" });
+                    }
+                    let kind = dec.kind()?;
+                    let state = if tag == REC_EVENT_SYNC {
+                        dec.snapshot_full()?
+                    } else {
+                        let base = *snaps
+                            .get(&vcpu)
+                            .ok_or(TraceError::MissingSnapshotBase { offset: rec_offset, vcpu })?;
+                        dec.snapshot_delta(&base)?
+                    };
+                    snaps.insert(vcpu, state);
+                    offsets.push(rec_offset);
+                    records.push(TraceRecord::Event(Event {
+                        vm: VmId(vm as u32),
+                        vcpu: VcpuId(vcpu),
+                        time: SimTime::from_nanos(last_ns),
+                        kind,
+                        state,
+                    }));
+                }
+                _ => return Err(TraceError::BadTag { offset: rec_offset, tag }),
+            }
+        }
+
+        let count = dec.varint()?;
+        let mut index = TraceIndex::default();
+        for _ in 0..count {
+            let ordinal = dec.varint()?;
+            let offset = dec.varint()?;
+            let time_ns = dec.varint()?;
+            let valid = offsets.get(ordinal as usize).is_some_and(|&o| o as u64 == offset)
+                && records.get(ordinal as usize).is_some_and(|r| r.time().as_nanos() == time_ns);
+            if !valid {
+                return Err(TraceError::BadIndexEntry { ordinal });
+            }
+            index.entries.push(IndexEntry { ordinal, offset, time_ns });
+        }
+        let trailer = dec.take(4)?;
+        if trailer != END_MAGIC {
+            return Err(TraceError::BadTrailer);
+        }
+        if dec.pos != bytes.len() {
+            return Err(TraceError::TrailingGarbage { offset: dec.pos });
+        }
+        Ok((Trace { header, records }, index))
+    }
+
+    /// Decodes the record suffix starting at a sync barrier, without
+    /// touching any byte before it — the seek path. The entry must come
+    /// from this trace's own index.
+    pub fn decode_from(bytes: &[u8], entry: &IndexEntry) -> Result<Vec<TraceRecord>, TraceError> {
+        let start = entry.offset as usize;
+        if start >= bytes.len() {
+            return Err(TraceError::BadIndexEntry { ordinal: entry.ordinal });
+        }
+        let mut dec = Dec { bytes, pos: start };
+        let mut records = Vec::new();
+        let mut snaps: HashMap<usize, VcpuSnapshot> = HashMap::new();
+        let mut last_ns = 0u64;
+        let mut first = true;
+        loop {
+            let rec_offset = dec.pos;
+            let tag = dec.byte()?;
+            if first && tag != REC_EVENT_SYNC && tag != REC_TICK_SYNC {
+                return Err(TraceError::BadValue {
+                    offset: rec_offset,
+                    what: "seek target (not a sync record)",
+                });
+            }
+            first = false;
+            match tag {
+                REC_END => break,
+                REC_TICK_SYNC => {
+                    last_ns = dec.varint()?;
+                    records.push(TraceRecord::Tick(SimTime::from_nanos(last_ns)));
+                }
+                REC_TICK_DELTA => {
+                    last_ns = apply_delta(last_ns, dec.varint()?);
+                    records.push(TraceRecord::Tick(SimTime::from_nanos(last_ns)));
+                }
+                REC_EVENT_SYNC | REC_EVENT_DELTA => {
+                    let vcpu = dec.varint()? as usize;
+                    last_ns = if tag == REC_EVENT_SYNC {
+                        dec.varint()?
+                    } else {
+                        apply_delta(last_ns, dec.varint()?)
+                    };
+                    let vm = dec.varint()?;
+                    if vm > u32::MAX as u64 {
+                        return Err(TraceError::BadValue { offset: rec_offset, what: "vm id" });
+                    }
+                    let kind = dec.kind()?;
+                    let state = if tag == REC_EVENT_SYNC {
+                        dec.snapshot_full()?
+                    } else {
+                        let base = *snaps
+                            .get(&vcpu)
+                            .ok_or(TraceError::MissingSnapshotBase { offset: rec_offset, vcpu })?;
+                        dec.snapshot_delta(&base)?
+                    };
+                    snaps.insert(vcpu, state);
+                    records.push(TraceRecord::Event(Event {
+                        vm: VmId(vm as u32),
+                        vcpu: VcpuId(vcpu),
+                        time: SimTime::from_nanos(last_ns),
+                        kind,
+                        state,
+                    }));
+                }
+                _ => return Err(TraceError::BadTag { offset: rec_offset, tag }),
+            }
+        }
+        Ok(records)
+    }
+}
+
+fn zigzag(n: i64) -> u64 {
+    ((n << 1) ^ (n >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Wrapping delta application: together with the wrapping subtraction on
+/// the encode side this round-trips *any* pair of u64 timestamps exactly,
+/// while keeping ordinary monotone traces one-or-two-byte compact.
+fn apply_delta(last_ns: u64, encoded: u64) -> u64 {
+    last_ns.wrapping_add(unzigzag(encoded) as u64)
+}
+
+// ---------------------------------------------------------------------------
+// Encoder
+// ---------------------------------------------------------------------------
+
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn byte(&mut self, b: u8) {
+        self.buf.push(b);
+    }
+
+    fn varint(&mut self, mut v: u64) {
+        loop {
+            let b = (v & 0x7F) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(b);
+                return;
+            }
+            self.buf.push(b | 0x80);
+        }
+    }
+
+    fn string(&mut self, s: &str) {
+        self.varint(s.len() as u64);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    fn kind(&mut self, kind: &EventKind) {
+        match kind {
+            EventKind::ProcessSwitch { new_pdba } => {
+                self.byte(0);
+                self.varint(new_pdba.value());
+            }
+            EventKind::ThreadSwitch { kernel_stack } => {
+                self.byte(1);
+                self.varint(*kernel_stack);
+            }
+            EventKind::Syscall { gate, number, args } => {
+                self.byte(2);
+                match gate {
+                    SyscallGate::Interrupt(v) => {
+                        self.byte(0);
+                        self.byte(*v);
+                    }
+                    SyscallGate::Sysenter => self.byte(1),
+                }
+                self.varint(*number);
+                for a in args {
+                    self.varint(*a);
+                }
+            }
+            EventKind::IoPort { port, write, value } => {
+                self.byte(3);
+                self.varint(*port as u64);
+                self.byte(*write as u8);
+                self.varint(*value);
+            }
+            EventKind::MmioAccess { gpa, write } => {
+                self.byte(4);
+                self.varint(gpa.value());
+                self.byte(*write as u8);
+            }
+            EventKind::HardwareInterrupt { vector } => {
+                self.byte(5);
+                self.byte(*vector);
+            }
+            EventKind::ApicAccess { offset } => {
+                self.byte(6);
+                self.varint(*offset as u64);
+            }
+            EventKind::MemoryAccess { gpa, gva, access, value } => {
+                self.byte(7);
+                self.varint(gpa.value());
+                match gva {
+                    Some(g) => {
+                        self.byte(1);
+                        self.varint(g.value());
+                    }
+                    None => self.byte(0),
+                }
+                self.byte(match access {
+                    AccessKind::Read => 0,
+                    AccessKind::Write => 1,
+                    AccessKind::Execute => 2,
+                });
+                match value {
+                    Some(v) => {
+                        self.byte(1);
+                        self.varint(*v);
+                    }
+                    None => self.byte(0),
+                }
+            }
+            EventKind::TssRelocated { expected, found } => {
+                self.byte(8);
+                self.varint(expected.value());
+                self.varint(found.value());
+            }
+        }
+    }
+
+    fn snapshot_full(&mut self, s: &VcpuSnapshot) {
+        self.varint(s.cr3.value());
+        self.varint(s.tr_base.value());
+        self.varint(s.rsp.value());
+        self.varint(s.rip.value());
+        self.byte(cpl_code(s.cpl));
+        for g in s.gprs_raw() {
+            self.varint(g);
+        }
+    }
+
+    fn snapshot_delta(&mut self, prev: &VcpuSnapshot, s: &VcpuSnapshot) {
+        let mut mask = 0u8;
+        if s.cr3 != prev.cr3 {
+            mask |= 1 << 0;
+        }
+        if s.tr_base != prev.tr_base {
+            mask |= 1 << 1;
+        }
+        if s.rsp != prev.rsp {
+            mask |= 1 << 2;
+        }
+        if s.rip != prev.rip {
+            mask |= 1 << 3;
+        }
+        if s.cpl != prev.cpl {
+            mask |= 1 << 4;
+        }
+        let (gprs, prev_gprs) = (s.gprs_raw(), prev.gprs_raw());
+        let mut gpr_mask = 0u8;
+        for (i, (now, was)) in gprs.iter().zip(prev_gprs.iter()).enumerate() {
+            if now != was {
+                gpr_mask |= 1 << i;
+            }
+        }
+        self.byte(mask);
+        self.byte(gpr_mask);
+        if mask & (1 << 0) != 0 {
+            self.varint(s.cr3.value());
+        }
+        if mask & (1 << 1) != 0 {
+            self.varint(s.tr_base.value());
+        }
+        if mask & (1 << 2) != 0 {
+            self.varint(s.rsp.value());
+        }
+        if mask & (1 << 3) != 0 {
+            self.varint(s.rip.value());
+        }
+        if mask & (1 << 4) != 0 {
+            self.byte(cpl_code(s.cpl));
+        }
+        for (i, g) in gprs.iter().enumerate() {
+            if gpr_mask & (1 << i) != 0 {
+                self.varint(*g);
+            }
+        }
+    }
+}
+
+fn cpl_code(c: Cpl) -> u8 {
+    match c {
+        Cpl::Kernel => 0,
+        Cpl::User => 1,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Decoder
+// ---------------------------------------------------------------------------
+
+struct Dec<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn byte(&mut self) -> Result<u8, TraceError> {
+        let b = *self.bytes.get(self.pos).ok_or(TraceError::UnexpectedEof { offset: self.pos })?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], TraceError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or(TraceError::UnexpectedEof { offset: self.pos })?;
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn varint(&mut self) -> Result<u64, TraceError> {
+        let start = self.pos;
+        let mut v = 0u64;
+        for i in 0..10 {
+            let b = self.byte()?;
+            let payload = (b & 0x7F) as u64;
+            if i == 9 && payload > 1 {
+                return Err(TraceError::VarintOverflow { offset: start });
+            }
+            v |= payload << (7 * i);
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err(TraceError::VarintOverflow { offset: start })
+    }
+
+    fn string(&mut self) -> Result<String, TraceError> {
+        let start = self.pos;
+        let len = self.varint()? as usize;
+        let raw = self.take(len)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| TraceError::BadString { offset: start })
+    }
+
+    fn kind(&mut self) -> Result<EventKind, TraceError> {
+        let start = self.pos;
+        let tag = self.byte()?;
+        Ok(match tag {
+            0 => EventKind::ProcessSwitch { new_pdba: Gpa::new(self.varint()?) },
+            1 => EventKind::ThreadSwitch { kernel_stack: self.varint()? },
+            2 => {
+                let gate = match self.byte()? {
+                    0 => SyscallGate::Interrupt(self.byte()?),
+                    1 => SyscallGate::Sysenter,
+                    _ => return Err(TraceError::BadValue { offset: start, what: "syscall gate" }),
+                };
+                let number = self.varint()?;
+                let mut args = [0u64; 5];
+                for a in &mut args {
+                    *a = self.varint()?;
+                }
+                EventKind::Syscall { gate, number, args }
+            }
+            3 => {
+                let port = self.varint()?;
+                if port > u16::MAX as u64 {
+                    return Err(TraceError::BadValue { offset: start, what: "io port" });
+                }
+                let write = self.flag(start, "io direction")?;
+                EventKind::IoPort { port: port as u16, write, value: self.varint()? }
+            }
+            4 => {
+                let gpa = Gpa::new(self.varint()?);
+                EventKind::MmioAccess { gpa, write: self.flag(start, "mmio direction")? }
+            }
+            5 => EventKind::HardwareInterrupt { vector: self.byte()? },
+            6 => {
+                let offset = self.varint()?;
+                if offset > u16::MAX as u64 {
+                    return Err(TraceError::BadValue { offset: start, what: "apic offset" });
+                }
+                EventKind::ApicAccess { offset: offset as u16 }
+            }
+            7 => {
+                let gpa = Gpa::new(self.varint()?);
+                let gva = if self.flag(start, "gva presence")? {
+                    Some(Gva::new(self.varint()?))
+                } else {
+                    None
+                };
+                let access = match self.byte()? {
+                    0 => AccessKind::Read,
+                    1 => AccessKind::Write,
+                    2 => AccessKind::Execute,
+                    _ => return Err(TraceError::BadValue { offset: start, what: "access kind" }),
+                };
+                let value =
+                    if self.flag(start, "value presence")? { Some(self.varint()?) } else { None };
+                EventKind::MemoryAccess { gpa, gva, access, value }
+            }
+            8 => EventKind::TssRelocated {
+                expected: Gva::new(self.varint()?),
+                found: Gva::new(self.varint()?),
+            },
+            _ => return Err(TraceError::BadTag { offset: start, tag }),
+        })
+    }
+
+    fn flag(&mut self, offset: usize, what: &'static str) -> Result<bool, TraceError> {
+        match self.byte()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(TraceError::BadValue { offset, what }),
+        }
+    }
+
+    fn cpl(&mut self) -> Result<Cpl, TraceError> {
+        let offset = self.pos;
+        match self.byte()? {
+            0 => Ok(Cpl::Kernel),
+            1 => Ok(Cpl::User),
+            _ => Err(TraceError::BadValue { offset, what: "cpl" }),
+        }
+    }
+
+    fn snapshot_full(&mut self) -> Result<VcpuSnapshot, TraceError> {
+        let cr3 = Gpa::new(self.varint()?);
+        let tr_base = Gva::new(self.varint()?);
+        let rsp = Gva::new(self.varint()?);
+        let rip = Gva::new(self.varint()?);
+        let cpl = self.cpl()?;
+        let mut gprs = [0u64; 7];
+        for g in &mut gprs {
+            *g = self.varint()?;
+        }
+        Ok(VcpuSnapshot::from_parts(cr3, tr_base, rsp, rip, cpl, gprs))
+    }
+
+    fn snapshot_delta(&mut self, base: &VcpuSnapshot) -> Result<VcpuSnapshot, TraceError> {
+        let mask = self.byte()?;
+        let gpr_mask = self.byte()?;
+        if mask & 0xE0 != 0 || gpr_mask & 0x80 != 0 {
+            return Err(TraceError::BadValue { offset: self.pos - 2, what: "snapshot mask" });
+        }
+        let cr3 = if mask & (1 << 0) != 0 { Gpa::new(self.varint()?) } else { base.cr3 };
+        let tr_base = if mask & (1 << 1) != 0 { Gva::new(self.varint()?) } else { base.tr_base };
+        let rsp = if mask & (1 << 2) != 0 { Gva::new(self.varint()?) } else { base.rsp };
+        let rip = if mask & (1 << 3) != 0 { Gva::new(self.varint()?) } else { base.rip };
+        let cpl = if mask & (1 << 4) != 0 { self.cpl()? } else { base.cpl };
+        let mut gprs = base.gprs_raw();
+        for (i, g) in gprs.iter_mut().enumerate() {
+            if gpr_mask & (1 << i) != 0 {
+                *g = self.varint()?;
+            }
+        }
+        Ok(VcpuSnapshot::from_parts(cr3, tr_base, rsp, rip, cpl, gprs))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RLE compression (golden files on disk)
+// ---------------------------------------------------------------------------
+
+/// Wraps trace bytes in the simple byte-RLE used for checked-in golden
+/// traces: `HTRZ`, varint decompressed length, then runs — a control byte
+/// `< 0x80` means "the next `c + 1` bytes are literal", `>= 0x80` means
+/// "repeat the next byte `(c & 0x7F) + 3` times".
+pub fn compress(bytes: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(bytes.len() / 2 + 16);
+    out.extend_from_slice(&COMPRESSED_MAGIC);
+    let mut len = bytes.len() as u64;
+    loop {
+        let b = (len & 0x7F) as u8;
+        len >>= 7;
+        if len == 0 {
+            out.push(b);
+            break;
+        }
+        out.push(b | 0x80);
+    }
+    let mut i = 0;
+    let mut lit_start = 0;
+    let flush_literals = |out: &mut Vec<u8>, from: usize, to: usize| {
+        let mut s = from;
+        while s < to {
+            let n = (to - s).min(128);
+            out.push((n - 1) as u8);
+            out.extend_from_slice(&bytes[s..s + n]);
+            s += n;
+        }
+    };
+    while i < bytes.len() {
+        let b = bytes[i];
+        let mut run = 1;
+        while i + run < bytes.len() && bytes[i + run] == b && run < 130 {
+            run += 1;
+        }
+        if run >= 3 {
+            flush_literals(&mut out, lit_start, i);
+            out.push(0x80 | (run - 3) as u8);
+            out.push(b);
+            i += run;
+            lit_start = i;
+        } else {
+            i += run;
+        }
+    }
+    flush_literals(&mut out, lit_start, bytes.len());
+    out
+}
+
+/// Inverse of [`compress`]. Structured errors, no panics, and the output
+/// is bounded by the length claimed in the header.
+pub fn decompress(bytes: &[u8]) -> Result<Vec<u8>, TraceError> {
+    let mut dec = Dec { bytes, pos: 0 };
+    if dec.take(4).map_err(|_| TraceError::BadCompressionMagic)? != COMPRESSED_MAGIC {
+        return Err(TraceError::BadCompressionMagic);
+    }
+    let expected = dec.varint()? as usize;
+    let mut out = Vec::new();
+    while dec.pos < bytes.len() {
+        let at = dec.pos;
+        let c = dec.byte()?;
+        if c < 0x80 {
+            let lit = dec
+                .take(c as usize + 1)
+                .map_err(|_| TraceError::CorruptCompression { offset: at })?;
+            out.extend_from_slice(lit);
+        } else {
+            let n = (c & 0x7F) as usize + 3;
+            let b = dec.byte().map_err(|_| TraceError::CorruptCompression { offset: at })?;
+            out.resize(out.len() + n, b);
+        }
+        if out.len() > expected {
+            return Err(TraceError::LengthMismatch { expected, got: out.len() });
+        }
+    }
+    if out.len() != expected {
+        return Err(TraceError::LengthMismatch { expected, got: out.len() });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(seed: u64) -> VcpuSnapshot {
+        VcpuSnapshot::from_parts(
+            Gpa::new(seed * 0x1000),
+            Gva::new(0xffff_8000_0000 + seed),
+            Gva::new(0x7fff_0000 + seed * 8),
+            Gva::new(0x40_0000 + seed * 4),
+            if seed.is_multiple_of(2) { Cpl::Kernel } else { Cpl::User },
+            [seed, seed + 1, 0, 0, seed * 3, 0, 7],
+        )
+    }
+
+    fn sample_trace(n: usize) -> Trace {
+        let mut records = Vec::new();
+        for i in 0..n {
+            let t = SimTime::from_nanos(1_000 + i as u64 * 137);
+            if i % 7 == 3 {
+                records.push(TraceRecord::Tick(t));
+            } else {
+                records.push(TraceRecord::Event(Event {
+                    vm: VmId(0),
+                    vcpu: VcpuId(i % 2),
+                    time: t,
+                    kind: match i % 4 {
+                        0 => EventKind::ProcessSwitch { new_pdba: Gpa::new(0x1000 * i as u64) },
+                        1 => EventKind::Syscall {
+                            gate: SyscallGate::Interrupt(0x80),
+                            number: i as u64,
+                            args: [1, 2, 3, 4, 5],
+                        },
+                        2 => EventKind::ThreadSwitch { kernel_stack: 0xffff + i as u64 },
+                        _ => EventKind::IoPort { port: 0x3f8, write: true, value: i as u64 },
+                    },
+                    state: snap((i / 3) as u64),
+                }));
+            }
+        }
+        Trace { header: TraceHeader::new(2, 42, "unit", "tlb-on"), records }
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let trace = sample_trace(600);
+        let bytes = trace.encode();
+        let (back, index) = Trace::decode_with_index(&bytes).expect("decode");
+        assert_eq!(back, trace);
+        // 600 records at a 256-record sync interval → 3 barriers.
+        assert_eq!(index.entries.len(), 3);
+        assert_eq!(index.entries[0].ordinal, 0);
+    }
+
+    #[test]
+    fn delta_encoding_is_compact() {
+        let trace = sample_trace(600);
+        let bytes = trace.encode();
+        // Full snapshots alone would be ≥ 11 varints/event; the delta form
+        // should land well under 40 bytes per record on this stream.
+        assert!(
+            bytes.len() < trace.records.len() * 40,
+            "{} bytes for {} records",
+            bytes.len(),
+            trace.records.len()
+        );
+    }
+
+    #[test]
+    fn seek_decodes_identical_suffix() {
+        let trace = sample_trace(600);
+        let bytes = trace.encode();
+        let (full, index) = Trace::decode_with_index(&bytes).expect("decode");
+        let entry = index.entries.last().expect("barriers exist");
+        let suffix = Trace::decode_from(&bytes, entry).expect("seek decode");
+        assert_eq!(suffix.as_slice(), &full.records[entry.ordinal as usize..]);
+        let sought = index.seek(SimTime::from_nanos(entry.time_ns)).expect("seek hit");
+        assert_eq!(sought.ordinal, entry.ordinal);
+    }
+
+    #[test]
+    fn truncation_is_a_structured_error_everywhere() {
+        let bytes = sample_trace(40).encode();
+        for cut in 0..bytes.len() {
+            // Any structured error is fine; what's forbidden is a panic or
+            // a silent partial decode.
+            assert!(
+                Trace::decode(&bytes[..cut]).is_err(),
+                "truncated input at {cut} decoded successfully"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_rejected() {
+        assert_eq!(Trace::decode(b"NOPE"), Err(TraceError::BadMagic));
+        let mut bytes = sample_trace(5).encode();
+        bytes[4] = 0x63; // version 99
+        assert_eq!(Trace::decode(&bytes), Err(TraceError::UnsupportedVersion(99)));
+    }
+
+    #[test]
+    fn compression_round_trips() {
+        let bytes = sample_trace(300).encode();
+        let z = compress(&bytes);
+        assert_eq!(decompress(&z).expect("decompress"), bytes);
+        // Degenerate inputs.
+        assert_eq!(decompress(&compress(&[])).expect("empty"), Vec::<u8>::new());
+        let runs = vec![0u8; 1000];
+        let z = compress(&runs);
+        assert!(z.len() < 30, "pure run should collapse, got {} bytes", z.len());
+        assert_eq!(decompress(&z).expect("runs"), runs);
+    }
+
+    #[test]
+    fn corrupt_compression_is_structured() {
+        assert_eq!(decompress(b"????"), Err(TraceError::BadCompressionMagic));
+        let z = compress(&sample_trace(50).encode());
+        assert!(decompress(&z[..z.len() - 3]).is_err());
+        let mut lying = z.clone();
+        let n = lying.len();
+        lying.truncate(n - 1);
+        assert!(decompress(&lying).is_err());
+    }
+}

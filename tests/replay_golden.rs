@@ -1,0 +1,49 @@
+//! Golden-trace regression: the forwarded event stream for five fixed
+//! scenarios must stay byte-identical to the checked-in fixtures, and
+//! replaying a fixture must reproduce the live verdict.
+//!
+//! If a deliberate behaviour change breaks this test, regenerate the
+//! fixtures with `cargo run --release -p hypertap-replay --bin
+//! record-golden` and review the deltas in the commit.
+
+use hypertap_replay::golden::{golden_path, golden_scenarios};
+use hypertap_replay::replay::replay_trace;
+use hypertap_replay::scenario::{register_auditors, run_scenario, BASE};
+use hypertap_replay::trace::{compress, decompress, Trace};
+
+#[test]
+fn live_runs_match_checked_in_golden_traces_byte_for_byte() {
+    for scenario in golden_scenarios() {
+        let path = golden_path(&scenario.name);
+        let checked_in = std::fs::read(&path).unwrap_or_else(|e| {
+            panic!("missing golden fixture {} ({e}); run record-golden", path.display())
+        });
+        let (trace, _) = run_scenario(&scenario, &BASE);
+        let fresh = compress(&trace.encode());
+        assert_eq!(
+            fresh,
+            checked_in,
+            "{}: live trace diverged from golden fixture ({} vs {} bytes); if the \
+             behaviour change is intentional, regenerate with record-golden",
+            scenario.name,
+            fresh.len(),
+            checked_in.len()
+        );
+    }
+}
+
+#[test]
+fn replaying_golden_traces_reproduces_live_verdicts() {
+    for scenario in golden_scenarios() {
+        let bytes = decompress(&std::fs::read(golden_path(&scenario.name)).expect("fixture"))
+            .expect("golden fixture decompresses");
+        let golden = Trace::decode(&bytes).expect("golden fixture decodes");
+        let (_, live) = run_scenario(&scenario, &BASE);
+        let replayed = replay_trace(&golden, |em| register_auditors(em, scenario.vcpus));
+        assert_eq!(
+            replayed, live,
+            "{}: replaying the golden trace must reproduce the live verdict",
+            scenario.name
+        );
+    }
+}
