@@ -160,8 +160,10 @@ fn event() -> Event {
 }
 
 /// EM fanout: a dispatched-and-delivered event vs one the combined
-/// subscription mask rejects before any per-auditor work.
-fn bench_em(c: &mut Criterion) {
+/// subscription mask rejects before any per-auditor work. Returns a
+/// metrics snapshot of a separate instrumented dispatch run (the bench
+/// arms themselves run uninstrumented so their numbers stay clean).
+fn bench_em(c: &mut Criterion) -> Value {
     let mut group = c.benchmark_group("em_fanout");
     let ev = event();
 
@@ -181,6 +183,21 @@ fn bench_em(c: &mut Criterion) {
     group.bench_function("dispatch_fast_skip", |b| b.iter(|| em.dispatch(&mut vm, black_box(&ev))));
     assert!(em.stats().fast_skipped > 0, "fast path never engaged");
     group.finish();
+
+    // Separate instrumented pass: 1024 dispatches with the dispatch-latency
+    // histogram on, exported through the registry (the report embeds the
+    // same JSON schema `--metrics` emits elsewhere).
+    let mut em = EventMultiplexer::new();
+    em.register(Box::new(CountingAuditor::new()));
+    em.set_metrics_enabled(true);
+    let mut vm = Machine::new(VmConfig::new(1, 1 << 20), NoHv).into_parts().0;
+    for _ in 0..1024 {
+        em.dispatch(&mut vm, black_box(&ev));
+    }
+    let mut reg = hypertap_core::metrics::MetricsRegistry::new();
+    em.collect_metrics(&mut reg);
+    use serde::Serialize as _;
+    reg.to_value()
 }
 
 fn lookup(results: &[(String, f64)], id: &str) -> f64 {
@@ -195,7 +212,7 @@ fn main() {
     let mut c = Criterion::default();
     let hit_rates = bench_translate(&mut c);
     bench_mem_stream(&mut c);
-    bench_em(&mut c);
+    let em_metrics = bench_em(&mut c);
 
     let results = c.results();
     let speedup_pairs = [
@@ -259,6 +276,7 @@ fn main() {
             ),
         ),
         ("speedups".to_string(), speedups),
+        ("em_metrics".to_string(), em_metrics),
     ]);
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hotpath.json");

@@ -70,7 +70,7 @@ pub struct TraceEvent {
 
 /// Runs one trial; returns whether the monitor detected the attack.
 pub fn run_ninja_trial(trial: &NinjaTrial) -> bool {
-    run_trial_inner(trial, false).0
+    run_trial_inner(trial, false, false).0
 }
 
 /// Runs one trial with full event tracing (attack milestones + monitor
@@ -82,15 +82,33 @@ pub fn run_ninja_trial_traced(
     seed: u64,
 ) -> (Vec<TraceEvent>, bool) {
     let trial = NinjaTrial { variant, spam_idles, attack, seed };
-    let (detected, events) = run_trial_inner(&trial, true);
+    let (detected, events, _) = run_trial_inner(&trial, true, false);
     (events, detected)
 }
 
-fn run_trial_inner(trial: &NinjaTrial, traced: bool) -> (bool, Vec<TraceEvent>) {
+/// Runs one traced trial with metrics instrumentation on, additionally
+/// returning the end-of-run metrics snapshot (used by `three_ninjas
+/// --metrics`).
+pub fn run_ninja_trial_instrumented(
+    variant: NinjaVariant,
+    spam_idles: usize,
+    attack: AttackStyle,
+    seed: u64,
+) -> (Vec<TraceEvent>, bool, hypertap_core::metrics::MetricsRegistry) {
+    let trial = NinjaTrial { variant, spam_idles, attack, seed };
+    let (detected, events, reg) = run_trial_inner(&trial, true, true);
+    (events, detected, reg.expect("metrics requested"))
+}
+
+fn run_trial_inner(
+    trial: &NinjaTrial,
+    traced: bool,
+    metrics: bool,
+) -> (bool, Vec<TraceEvent>, Option<hypertap_core::metrics::MetricsRegistry>) {
     let mut rng = StdRng::seed_from_u64(trial.seed);
     let phase_ns: u64 = rng.gen_range(0..1_000_000_000);
 
-    let mut builder = TapVm::builder().vcpus(2).memory(512 << 20);
+    let mut builder = TapVm::builder().vcpus(2).memory(512 << 20).metrics(metrics);
     builder = match trial.variant {
         NinjaVariant::ONinja { .. } => builder.engines(EngineSelection::none()),
         NinjaVariant::HNinja { interval } => builder
@@ -251,7 +269,8 @@ fn run_trial_inner(trial: &NinjaTrial, traced: bool) -> (bool, Vec<TraceEvent>) 
             events.drain(..from);
         }
     }
-    (detected, events)
+    let snapshot = metrics.then(|| vm.metrics_snapshot());
+    (detected, events, snapshot)
 }
 
 /// Runs `trials` independent trials in parallel, returning the detection

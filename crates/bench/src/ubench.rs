@@ -65,6 +65,7 @@ impl HotpathStats {
     /// Accumulates another stats block into this one.
     pub fn merge(&mut self, other: &HotpathStats) {
         self.tlb.merge(&other.tlb);
+        self.em.events_in += other.em.events_in;
         self.em.sync_delivered += other.em.sync_delivered;
         self.em.container_enqueued += other.em.container_enqueued;
         self.em.unclaimed += other.em.unclaimed;

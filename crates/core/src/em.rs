@@ -42,12 +42,14 @@
 //!   events in one call, reusing the same sink across the batch — the path
 //!   the Event Forwarder ([`crate::kvm::Kvm`]) uses.
 
-use crate::audit::{Auditor, Finding, FindingSink};
+use crate::audit::{Auditor, Finding, FindingSink, Severity};
 use crate::event::{Event, EventMask};
+use crate::metrics::{Histogram, MetricsRegistry};
 use crate::rhc::{HeartbeatSample, RhcTransport};
 use hypertap_hvsim::clock::SimTime;
 use hypertap_hvsim::machine::VmState;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -108,11 +110,19 @@ struct Container {
     mask: EventMask,
     tx: Sender<ContainerMsg>,
     handle: Option<JoinHandle<u64>>, // returns restart count
+    /// Messages sent but not yet processed by the worker (Stop excluded).
+    /// Incremented host-side on send, decremented by the worker thread —
+    /// a live queue-depth gauge for the snapshot exporter.
+    depth: Arc<AtomicU64>,
+    /// Events enqueued to this container over its lifetime.
+    enqueued: u64,
 }
 
 /// Delivery statistics (queried by benchmarks and tests).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DeliveryStats {
+    /// Events that entered fan-out (pre-filter, one per forwarded event).
+    pub events_in: u64,
     /// Events delivered to synchronous auditors (per-auditor deliveries).
     pub sync_delivered: u64,
     /// Events enqueued to containers (per-container deliveries).
@@ -161,6 +171,18 @@ pub struct EventMultiplexer {
     stats: DeliveryStats,
     rhc: Option<RhcHook>,
     tap: Option<Box<dyn EventTap>>,
+    /// Host-side instrumentation switch: gates the wall-clock dispatch
+    /// latency histogram. All other counters are plain integers and stay
+    /// on unconditionally. Never observable by the simulation either way.
+    metrics_enabled: bool,
+    /// Events delivered per synchronous auditor, parallel to `auditors`.
+    per_auditor_delivered: Vec<u64>,
+    /// Host wall-clock latency of one `fan_out` call, nanoseconds.
+    dispatch_latency: Histogram,
+    /// Findings drained so far, tallied by [`Severity`] discriminant.
+    findings_by_severity: [u64; 3],
+    /// Findings drained so far, tallied by reporting auditor name.
+    findings_by_auditor: Vec<(String, u64)>,
 }
 
 impl std::fmt::Debug for EventMultiplexer {
@@ -193,7 +215,24 @@ impl EventMultiplexer {
             stats: DeliveryStats::default(),
             rhc: None,
             tap: None,
+            metrics_enabled: false,
+            per_auditor_delivered: Vec::new(),
+            dispatch_latency: Histogram::latency_ns(),
+            findings_by_severity: [0; 3],
+            findings_by_auditor: Vec::new(),
         }
+    }
+
+    /// Enables or disables the host wall-clock dispatch-latency histogram.
+    /// Purely host-side; the simulated event stream is identical either way
+    /// (enforced by the metrics-on/off conformance pair).
+    pub fn set_metrics_enabled(&mut self, on: bool) {
+        self.metrics_enabled = on;
+    }
+
+    /// Whether dispatch-latency instrumentation is on.
+    pub fn metrics_enabled(&self) -> bool {
+        self.metrics_enabled
     }
 
     /// Attaches an [`EventTap`] observing the full pre-filter event and
@@ -212,6 +251,7 @@ impl EventMultiplexer {
     pub fn register(&mut self, auditor: Box<dyn Auditor>) {
         self.combined_mask = self.combined_mask.union(auditor.subscriptions());
         self.auditors.push(auditor);
+        self.per_auditor_delivered.push(0);
     }
 
     /// Number of registered synchronous auditors.
@@ -238,6 +278,8 @@ impl EventMultiplexer {
         self.combined_mask = self.combined_mask.union(mask);
         let (tx, rx) = channel::<ContainerMsg>();
         let findings_tx = self.container_findings_tx.clone();
+        let depth = Arc::new(AtomicU64::new(0));
+        let worker_depth = Arc::clone(&depth);
         let handle = std::thread::spawn(move || {
             let mut auditor = prototype;
             let mut restarts = 0u64;
@@ -250,6 +292,7 @@ impl EventMultiplexer {
                 if matches!(msg, ContainerMsg::Stop) {
                     break;
                 }
+                worker_depth.fetch_sub(1, Ordering::Relaxed);
                 match result {
                     Ok(findings) => {
                         for f in findings {
@@ -267,7 +310,14 @@ impl EventMultiplexer {
             }
             restarts
         });
-        self.containers.push(Container { name, mask, tx, handle: Some(handle) });
+        self.containers.push(Container {
+            name,
+            mask,
+            tx,
+            handle: Some(handle),
+            depth,
+            enqueued: 0,
+        });
     }
 
     /// Number of running audit containers.
@@ -283,11 +333,24 @@ impl EventMultiplexer {
     }
 
     /// Fans one event out to subscribed auditors and containers, collecting
-    /// synchronous findings into `sink`.
+    /// synchronous findings into `sink`. Wraps the real fan-out with the
+    /// (host wall-clock, simulation-invisible) dispatch-latency probe.
     fn fan_out(&mut self, vm: &mut VmState, event: &Event, sink: &mut LocalSink) {
+        if !self.metrics_enabled {
+            self.fan_out_inner(vm, event, sink);
+            return;
+        }
+        let started = std::time::Instant::now();
+        self.fan_out_inner(vm, event, sink);
+        let elapsed = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        self.dispatch_latency.observe(elapsed);
+    }
+
+    fn fan_out_inner(&mut self, vm: &mut VmState, event: &Event, sink: &mut LocalSink) {
         if let Some(tap) = &mut self.tap {
             tap.on_event(event);
         }
+        self.stats.events_in += 1;
         let class = event.class();
         if !self.combined_mask.contains(class) {
             // Nobody anywhere subscribed: one mask test and we are done.
@@ -295,19 +358,22 @@ impl EventMultiplexer {
             self.stats.fast_skipped += 1;
             return;
         }
-        for a in &mut self.auditors {
+        for (i, a) in self.auditors.iter_mut().enumerate() {
             if a.subscriptions().contains(class) {
                 a.on_event(vm, event, sink);
                 self.stats.sync_delivered += 1;
+                self.per_auditor_delivered[i] += 1;
             }
         }
         // One shared allocation per event, built only if some container is
         // subscribed; each delivery is a refcount bump.
         let mut shared: Option<Arc<Event>> = None;
-        for c in &self.containers {
+        for c in &mut self.containers {
             if c.mask.contains(class) {
                 let arc = shared.get_or_insert_with(|| Arc::new(*event));
+                c.depth.fetch_add(1, Ordering::Relaxed);
                 let _ = c.tx.send(ContainerMsg::Event(Arc::clone(arc)));
+                c.enqueued += 1;
                 self.stats.container_enqueued += 1;
             }
         }
@@ -346,6 +412,7 @@ impl EventMultiplexer {
         }
         self.findings = sink.findings;
         for c in &self.containers {
+            c.depth.fetch_add(1, Ordering::Relaxed);
             let _ = c.tx.send(ContainerMsg::Tick(now));
         }
     }
@@ -369,12 +436,137 @@ impl EventMultiplexer {
         while let Ok(f) = self.container_findings_rx.try_recv() {
             out.push(f);
         }
+        for f in &out {
+            self.findings_by_severity[f.severity as usize] += 1;
+            match self.findings_by_auditor.iter_mut().find(|(name, _)| *name == f.auditor) {
+                Some((_, n)) => *n += 1,
+                None => self.findings_by_auditor.push((f.auditor.clone(), 1)),
+            }
+        }
         out
     }
 
     /// Delivery statistics.
     pub fn stats(&self) -> DeliveryStats {
         self.stats
+    }
+
+    /// Events delivered to the named synchronous auditor.
+    pub fn delivered_to(&self, name: &str) -> Option<u64> {
+        self.auditors.iter().position(|a| a.name() == name).map(|i| self.per_auditor_delivered[i])
+    }
+
+    /// The host-side dispatch-latency histogram (empty unless metrics are
+    /// enabled).
+    pub fn dispatch_latency(&self) -> &Histogram {
+        &self.dispatch_latency
+    }
+
+    /// Messages currently queued to the named container (sent, not yet
+    /// processed by its worker thread).
+    pub fn container_queue_depth(&self, name: &str) -> Option<u64> {
+        self.containers.iter().find(|c| c.name == name).map(|c| c.depth.load(Ordering::Relaxed))
+    }
+
+    /// Exports the EM's delivery, latency, container and findings counters
+    /// into a snapshot registry.
+    pub fn collect_metrics(&self, reg: &mut MetricsRegistry) {
+        reg.counter(
+            "hypertap_em_events_in_total",
+            "events entering EM fan-out (pre-filter)",
+            self.stats.events_in,
+        );
+        reg.counter(
+            "hypertap_em_sync_delivered_total",
+            "per-auditor synchronous deliveries",
+            self.stats.sync_delivered,
+        );
+        reg.counter(
+            "hypertap_em_container_enqueued_total",
+            "per-container event enqueues",
+            self.stats.container_enqueued,
+        );
+        reg.counter(
+            "hypertap_em_unclaimed_total",
+            "events matching no subscription",
+            self.stats.unclaimed,
+        );
+        reg.counter(
+            "hypertap_em_fast_skipped_total",
+            "events rejected by the combined-mask check alone",
+            self.stats.fast_skipped,
+        );
+        reg.gauge(
+            "hypertap_em_fast_skip_ratio",
+            "fraction of incoming events short-circuited by the combined mask",
+            self.stats.fast_skipped as f64 / self.stats.events_in.max(1) as f64,
+        );
+        for (i, a) in self.auditors.iter().enumerate() {
+            reg.counter_with(
+                "hypertap_em_delivered_total",
+                &[("auditor", a.name())],
+                "events delivered per synchronous auditor",
+                self.per_auditor_delivered[i],
+            );
+        }
+        for c in &self.containers {
+            reg.counter_with(
+                "hypertap_container_enqueued_total",
+                &[("container", &c.name)],
+                "events enqueued per audit container",
+                c.enqueued,
+            );
+        }
+        for c in &self.containers {
+            reg.gauge_with(
+                "hypertap_container_queue_depth",
+                &[("container", &c.name)],
+                "messages sent to the container but not yet processed",
+                c.depth.load(Ordering::Relaxed) as f64,
+            );
+        }
+        for (sev, label) in
+            [(Severity::Info, "info"), (Severity::Warning, "warning"), (Severity::Alert, "alert")]
+        {
+            reg.counter_with(
+                "hypertap_findings_total",
+                &[("severity", label)],
+                "drained findings by severity",
+                self.findings_by_severity[sev as usize],
+            );
+        }
+        for (name, n) in &self.findings_by_auditor {
+            reg.counter_with(
+                "hypertap_findings_by_auditor_total",
+                &[("auditor", name)],
+                "drained findings by reporting auditor",
+                *n,
+            );
+        }
+        if !self.dispatch_latency.is_empty() {
+            reg.histogram(
+                "hypertap_em_dispatch_ns",
+                "host wall-clock latency of one EM fan-out call, nanoseconds",
+                &self.dispatch_latency,
+            );
+        }
+        if let Some(hook) = &self.rhc {
+            reg.counter(
+                "hypertap_rhc_exits_seen_total",
+                "raw exits observed by the RHC sampling hook",
+                hook.seen,
+            );
+            reg.counter(
+                "hypertap_rhc_samples_sent_total",
+                "heartbeat samples forwarded to the RHC transport",
+                hook.seq,
+            );
+            reg.gauge(
+                "hypertap_rhc_sampling_period",
+                "exits per heartbeat sample",
+                hook.every as f64,
+            );
+        }
     }
 
     /// Stops all containers, returning `(name, restart_count)` per container.
@@ -630,5 +822,213 @@ mod tests {
         assert_eq!(got[0].seq, 1);
         assert_eq!(got[2].time_ns, 900);
         assert_eq!(em.stats().rhc_samples, 3);
+    }
+
+    #[test]
+    fn rhc_sampling_every_exit() {
+        // every=1 boundary: each exit is a sample, seq tracks exits exactly.
+        let samples = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let mut em = EventMultiplexer::new();
+        em.attach_rhc(Box::new(VecTransport(samples.clone())), 1);
+        for i in 1..=5u64 {
+            em.note_exit(SimTime::from_nanos(i));
+        }
+        let got = samples.lock().unwrap();
+        assert_eq!(got.len(), 5);
+        assert_eq!(got.iter().map(|s| s.seq).collect::<Vec<_>>(), vec![1, 2, 3, 4, 5]);
+        assert_eq!(em.stats().rhc_samples, 5);
+    }
+
+    #[test]
+    fn rhc_sampling_seen_grows_without_wraparound() {
+        // Long stream, even period: exactly seen/every samples, strictly
+        // increasing seq, no modulo aliasing as `seen` grows.
+        let samples = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let mut em = EventMultiplexer::new();
+        em.attach_rhc(Box::new(VecTransport(samples.clone())), 2);
+        for i in 1..=1000u64 {
+            em.note_exit(SimTime::from_nanos(i * 10));
+        }
+        let got = samples.lock().unwrap();
+        assert_eq!(got.len(), 500);
+        assert!(got.windows(2).all(|w| w[1].seq == w[0].seq + 1));
+        assert_eq!(got[0].seq, 1);
+        assert_eq!(got[499].seq, 500);
+        assert_eq!(got[499].time_ns, 10_000);
+    }
+
+    struct QuietContainer;
+    impl ContainerAuditor for QuietContainer {
+        fn name(&self) -> &str {
+            "quiet"
+        }
+        fn subscriptions(&self) -> EventMask {
+            EventMask::ALL
+        }
+        fn on_event(&mut self, _event: &Event) -> Vec<Finding> {
+            Vec::new()
+        }
+    }
+
+    #[test]
+    fn shutdown_containers_tightens_combined_mask() {
+        let mut em = EventMultiplexer::new();
+        em.register(Box::new(CountingAuditor::with_mask(EventMask::only(EventClass::Syscall))));
+        em.register_container(Box::new(|| Box::new(QuietContainer)));
+        let mut vm = vm_state();
+
+        // While the ALL-mask container lives, a ProcessSwitch is claimed.
+        em.dispatch(&mut vm, &ev(EventKind::ProcessSwitch { new_pdba: Gpa::new(1) }));
+        assert_eq!(em.stats().container_enqueued, 1);
+        assert_eq!(em.stats().fast_skipped, 0);
+
+        // After shutdown the combined mask must fall back to the sync
+        // auditors' union — the same event is now fast-skipped.
+        em.shutdown_containers();
+        assert_eq!(em.container_count(), 0);
+        em.dispatch(&mut vm, &ev(EventKind::ProcessSwitch { new_pdba: Gpa::new(2) }));
+        assert_eq!(em.stats().fast_skipped, 1);
+        assert_eq!(em.stats().container_enqueued, 1, "no further container deliveries");
+
+        // Syscalls still reach the surviving synchronous auditor.
+        em.dispatch(
+            &mut vm,
+            &ev(EventKind::Syscall {
+                gate: crate::event::SyscallGate::Sysenter,
+                number: 3,
+                args: [0; 5],
+            }),
+        );
+        assert_eq!(em.stats().sync_delivered, 1);
+    }
+
+    #[test]
+    fn dispatch_latency_records_only_when_enabled() {
+        let mut em = EventMultiplexer::new();
+        em.register(Box::new(CountingAuditor::new()));
+        let mut vm = vm_state();
+        em.dispatch(&mut vm, &ev(EventKind::ProcessSwitch { new_pdba: Gpa::new(1) }));
+        assert!(em.dispatch_latency().is_empty(), "disabled by default");
+
+        em.set_metrics_enabled(true);
+        assert!(em.metrics_enabled());
+        for _ in 0..4 {
+            em.dispatch(&mut vm, &ev(EventKind::ProcessSwitch { new_pdba: Gpa::new(2) }));
+        }
+        assert_eq!(em.dispatch_latency().count(), 4);
+        // Delivery behaviour is identical either way.
+        assert_eq!(em.stats().events_in, 5);
+        assert_eq!(em.stats().sync_delivered, 5);
+    }
+
+    #[test]
+    fn per_auditor_counts_and_metrics_export() {
+        let mut em = EventMultiplexer::new();
+        em.register(Box::new(CountingAuditor::with_mask(EventMask::only(EventClass::Syscall))));
+        em.register(Box::new(CountingAuditor::new()));
+        let mut vm = vm_state();
+        em.dispatch(&mut vm, &ev(EventKind::ProcessSwitch { new_pdba: Gpa::new(1) }));
+        em.dispatch(
+            &mut vm,
+            &ev(EventKind::Syscall {
+                gate: crate::event::SyscallGate::Sysenter,
+                number: 1,
+                args: [0; 5],
+            }),
+        );
+        // Both CountingAuditors share the name "counting": delivered_to
+        // resolves to the first (syscall-only) registration.
+        assert_eq!(em.delivered_to("counting"), Some(1));
+        assert_eq!(em.delivered_to("nope"), None);
+
+        let mut reg = MetricsRegistry::new();
+        em.collect_metrics(&mut reg);
+        assert_eq!(reg.find("hypertap_em_events_in_total", &[]).unwrap().as_counter(), Some(2));
+        assert_eq!(
+            reg.find("hypertap_em_sync_delivered_total", &[]).unwrap().as_counter(),
+            Some(3)
+        );
+        assert_eq!(reg.find("hypertap_em_fast_skip_ratio", &[]).unwrap().as_gauge(), Some(0.0));
+        assert!(reg.find("hypertap_em_delivered_total", &[("auditor", "counting")]).is_some());
+        // Snapshot survives the JSON round-trip CI enforces.
+        let back = MetricsRegistry::from_json(&reg.to_json()).unwrap();
+        assert_eq!(back, reg);
+    }
+
+    #[test]
+    fn findings_are_tallied_by_severity_and_auditor() {
+        struct Alerter;
+        impl Auditor for Alerter {
+            fn name(&self) -> &str {
+                "alerter"
+            }
+            fn subscriptions(&self) -> EventMask {
+                EventMask::ALL
+            }
+            fn on_event(&mut self, _vm: &mut VmState, event: &Event, sink: &mut dyn FindingSink) {
+                sink.report(Finding::new("alerter", event.time, Severity::Alert, "seen"));
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+        let mut em = EventMultiplexer::new();
+        em.register(Box::new(Alerter));
+        let mut vm = vm_state();
+        em.dispatch(&mut vm, &ev(EventKind::ProcessSwitch { new_pdba: Gpa::new(1) }));
+        em.dispatch(&mut vm, &ev(EventKind::ProcessSwitch { new_pdba: Gpa::new(2) }));
+        assert_eq!(em.drain_findings().len(), 2);
+        let mut reg = MetricsRegistry::new();
+        em.collect_metrics(&mut reg);
+        assert_eq!(
+            reg.find("hypertap_findings_total", &[("severity", "alert")]).unwrap().as_counter(),
+            Some(2)
+        );
+        assert_eq!(
+            reg.find("hypertap_findings_total", &[("severity", "info")]).unwrap().as_counter(),
+            Some(0)
+        );
+        assert_eq!(
+            reg.find("hypertap_findings_by_auditor_total", &[("auditor", "alerter")])
+                .unwrap()
+                .as_counter(),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn container_queue_depth_drains_to_zero() {
+        let mut em = EventMultiplexer::new();
+        em.register_container(Box::new(|| Box::new(QuietContainer)));
+        let mut vm = vm_state();
+        for _ in 0..8 {
+            em.dispatch(&mut vm, &ev(EventKind::ProcessSwitch { new_pdba: Gpa::new(1) }));
+        }
+        // The worker drains asynchronously; after shutdown (which joins)
+        // the queue must be empty. `shutdown_containers` clears the list,
+        // so sample the gauge just before by polling.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while em.container_queue_depth("quiet") != Some(0) {
+            assert!(std::time::Instant::now() < deadline, "queue never drained");
+            std::thread::yield_now();
+        }
+        let mut reg = MetricsRegistry::new();
+        em.collect_metrics(&mut reg);
+        assert_eq!(
+            reg.find("hypertap_container_enqueued_total", &[("container", "quiet")])
+                .unwrap()
+                .as_counter(),
+            Some(8)
+        );
+        assert_eq!(
+            reg.find("hypertap_container_queue_depth", &[("container", "quiet")])
+                .unwrap()
+                .as_gauge(),
+            Some(0.0)
+        );
+        em.shutdown_containers();
     }
 }

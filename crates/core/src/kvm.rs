@@ -11,6 +11,7 @@
 use crate::em::EventMultiplexer;
 use crate::event::{Event, VmId};
 use crate::intercept::{InterceptEngine, Table1Row};
+use crate::metrics::{MetricsRegistry, Spans};
 use hypertap_hvsim::clock::SimTime;
 use hypertap_hvsim::exit::{ExitAction, VmExit};
 use hypertap_hvsim::machine::{Hypervisor, TimerId, VmState};
@@ -22,6 +23,9 @@ pub struct Kvm {
     pub em: EventMultiplexer,
     vm_id: VmId,
     forwarded_events: u64,
+    /// Host wall-clock spans over the exit→decode→fan-out path. Disabled
+    /// (one branch per exit) unless metrics are switched on.
+    spans: Spans,
 }
 
 impl std::fmt::Debug for Kvm {
@@ -48,7 +52,31 @@ impl Kvm {
             em: EventMultiplexer::new(),
             vm_id: VmId(0),
             forwarded_events: 0,
+            spans: Spans::new(false),
         }
+    }
+
+    /// Switches host-side instrumentation (pipeline spans + EM dispatch
+    /// latency) on or off. Never observable by the simulation.
+    pub fn set_metrics_enabled(&mut self, on: bool) {
+        self.spans.set_enabled(on);
+        self.em.set_metrics_enabled(on);
+    }
+
+    /// Exports the Event Forwarder's counters, the pipeline-stage span
+    /// histograms, and the embedded EM's metrics into a snapshot registry.
+    pub fn collect_metrics(&self, reg: &mut MetricsRegistry) {
+        reg.counter(
+            "hypertap_ef_forwarded_events_total",
+            "decoded events forwarded by the Event Forwarder to the EM",
+            self.forwarded_events,
+        );
+        self.spans.collect(
+            "hypertap_pipeline_ns",
+            "host wall-clock latency per exit-pipeline stage, nanoseconds",
+            reg,
+        );
+        self.em.collect_metrics(reg);
     }
 
     /// A hypervisor tagged with an explicit VM id.
@@ -106,12 +134,14 @@ impl Hypervisor for Kvm {
         // 1. Logging phase: every engine inspects the exit; decoded events
         //    are collected in order. This is the blocking part of the
         //    pipeline, shared by all monitors.
+        let decode_started = self.spans.start();
         let mut kinds = Vec::new();
         for engine in &mut self.engines {
             if engine.on_exit(vm, exit, &mut |k| kinds.push(k)) == ExitAction::Suppress {
                 action = ExitAction::Suppress;
             }
         }
+        self.spans.record("decode", decode_started);
         // 2. Forward to the EM in one batch; auditors run their
         //    (independent) audit phases. A synchronous auditor may request
         //    suppression.
@@ -127,7 +157,10 @@ impl Hypervisor for Kvm {
                     state: exit.state,
                 })
                 .collect();
-            if self.em.deliver_all(vm, &events) {
+            let fanout_started = self.spans.start();
+            let suppress = self.em.deliver_all(vm, &events);
+            self.spans.record("fanout", fanout_started);
+            if suppress {
                 action = ExitAction::Suppress;
             }
         }
@@ -204,5 +237,40 @@ mod tests {
         assert_eq!(kvm.engine_names(), vec!["io-access", "process-switch"]);
         assert!(kvm.engine_mut("io-access").is_some());
         assert!(kvm.engine_mut("nope").is_none());
+    }
+
+    #[test]
+    fn metrics_capture_pipeline_spans_without_changing_delivery() {
+        let run = |metrics: bool| {
+            let mut m = Machine::new(VmConfig::new(1, 1 << 20), Kvm::new());
+            let (vm, kvm) = m.parts_mut();
+            kvm.install(vm, Box::new(ProcessSwitchEngine::new()));
+            kvm.em.register(Box::new(CountingAuditor::new()));
+            kvm.set_metrics_enabled(metrics);
+            m.run_steps(&mut Switcher, 5);
+            m
+        };
+        let plain = run(false);
+        let instrumented = run(true);
+        // Identical observable behaviour...
+        assert_eq!(
+            plain.hypervisor().forwarded_events(),
+            instrumented.hypervisor().forwarded_events()
+        );
+        assert_eq!(plain.hypervisor().em.stats(), instrumented.hypervisor().em.stats());
+        // ...but only the instrumented run recorded spans.
+        let mut reg = crate::metrics::MetricsRegistry::new();
+        instrumented.hypervisor().collect_metrics(&mut reg);
+        let decode = reg.find("hypertap_pipeline_ns", &[("stage", "decode")]).expect("decode span");
+        assert_eq!(decode.as_histogram().unwrap().count(), 5);
+        assert!(reg.find("hypertap_pipeline_ns", &[("stage", "fanout")]).is_some());
+        assert_eq!(
+            reg.find("hypertap_ef_forwarded_events_total", &[]).unwrap().as_counter(),
+            Some(5)
+        );
+
+        let mut plain_reg = crate::metrics::MetricsRegistry::new();
+        plain.hypervisor().collect_metrics(&mut plain_reg);
+        assert!(plain_reg.find("hypertap_pipeline_ns", &[("stage", "decode")]).is_none());
     }
 }

@@ -32,6 +32,12 @@
 //! * [`rhc`] — the **Remote Health Checker**: samples of the event stream
 //!   are shipped to an external observer that alarms when the stream stops,
 //!   watching the liveness of the monitoring stack itself.
+//! * [`metrics`] — zero-dependency observability: a [`metrics::MetricsRegistry`]
+//!   of counters/gauges/histograms, span timing for the
+//!   exit→decode→fan-out→audit path, and JSON + Prometheus exporters. Host
+//!   bookkeeping only — provably side-effect-free on the simulation (the
+//!   replay conformance suite diffs metrics-on vs metrics-off runs byte for
+//!   byte).
 //!
 //! ## Example: observing process switches from CR3 loads
 //!
@@ -66,6 +72,7 @@ pub mod em;
 pub mod event;
 pub mod intercept;
 pub mod kvm;
+pub mod metrics;
 pub mod profile;
 pub mod rhc;
 pub mod vmi;
@@ -80,6 +87,9 @@ pub mod prelude {
         ProcessSwitchEngine, ThreadSwitchEngine, TssIntegrityEngine,
     };
     pub use crate::kvm::Kvm;
+    pub use crate::metrics::{
+        collect_vm, Histogram, MetricValue, MetricsArg, MetricsRegistry, Spans,
+    };
     pub use crate::profile::OsProfile;
     pub use crate::rhc::{HeartbeatSample, RemoteHealthChecker, RhcTransport};
 }

@@ -12,12 +12,14 @@
 //! carrying newline-delimited JSON, used by the `remote_health` example and
 //! its integration test to demonstrate genuine out-of-machine checking.
 
+use crate::metrics::{Histogram, MetricsRegistry};
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 use std::fmt;
 use std::io::{BufRead, BufReader, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
@@ -64,19 +66,35 @@ impl fmt::Display for RhcAlert {
 pub struct RemoteHealthChecker {
     timeout_ns: u64,
     last: Option<HeartbeatSample>,
+    /// Time of the first `check` — silence is measured from here until the
+    /// first heartbeat arrives, so a checker attached at t≫timeout does not
+    /// false-alarm before it has actually waited one timeout.
+    started_at_ns: Option<u64>,
     received: u64,
     alerts: Vec<RhcAlert>,
+    /// Heartbeat inter-arrival gaps, simulated nanoseconds.
+    gaps: Histogram,
 }
 
 impl RemoteHealthChecker {
     /// A checker that alarms after `timeout_ns` of silence.
     pub fn new(timeout_ns: u64) -> Self {
-        RemoteHealthChecker { timeout_ns, last: None, received: 0, alerts: Vec::new() }
+        RemoteHealthChecker {
+            timeout_ns,
+            last: None,
+            started_at_ns: None,
+            received: 0,
+            alerts: Vec::new(),
+            gaps: Histogram::gap_ns(),
+        }
     }
 
     /// Ingests one sample.
     pub fn on_sample(&mut self, sample: HeartbeatSample) {
         self.received += 1;
+        if let Some(prev) = &self.last {
+            self.gaps.observe(sample.time_ns.saturating_sub(prev.time_ns));
+        }
         self.last = Some(sample);
     }
 
@@ -85,12 +103,44 @@ impl RemoteHealthChecker {
         self.received
     }
 
+    /// Observed heartbeat inter-arrival gaps (simulated nanoseconds; the
+    /// first sample has no predecessor and records nothing).
+    pub fn gap_histogram(&self) -> &Histogram {
+        &self.gaps
+    }
+
+    /// Exports the checker's counters and gap histogram into a snapshot
+    /// registry.
+    pub fn collect_metrics(&self, reg: &mut MetricsRegistry) {
+        reg.counter(
+            "hypertap_rhc_samples_received_total",
+            "heartbeat samples received by the checker",
+            self.received,
+        );
+        reg.counter(
+            "hypertap_rhc_alerts_total",
+            "liveness alarms raised by the checker",
+            self.alerts.len() as u64,
+        );
+        if !self.gaps.is_empty() {
+            reg.histogram(
+                "hypertap_rhc_gap_ns",
+                "heartbeat inter-arrival gap, simulated nanoseconds",
+                &self.gaps,
+            );
+        }
+    }
+
     /// Runs a liveness check at (simulated) time `now_ns`; records and
     /// returns an alert if the silence exceeds the timeout.
     pub fn check(&mut self, now_ns: u64) -> Option<RhcAlert> {
+        let started = *self.started_at_ns.get_or_insert(now_ns);
         let stale = match &self.last {
             Some(s) => now_ns.saturating_sub(s.time_ns) > self.timeout_ns,
-            None => now_ns > self.timeout_ns,
+            // No heartbeat yet: silence runs from the first check, not from
+            // simulated t=0 — a late-attached checker has not been waiting
+            // since boot.
+            None => now_ns.saturating_sub(started) > self.timeout_ns,
         };
         if stale {
             let alert = RhcAlert {
@@ -160,13 +210,47 @@ impl RhcTransport for TcpTransport {
     }
 }
 
-/// A TCP RHC server: accepts one connection per monitored machine and feeds
-/// a thread-safe checker.
+/// A TCP RHC server: accepts any number of monitored machines concurrently
+/// (one reader thread per connection) and feeds a shared thread-safe
+/// checker. [`RhcServer::stop`] shuts the whole server down cleanly;
+/// dropping without `stop` is best-effort and never blocks.
 #[derive(Debug)]
 pub struct RhcServer {
     addr: SocketAddr,
     checker: Arc<Mutex<RemoteHealthChecker>>,
+    shutdown: Arc<AtomicBool>,
     handle: Option<JoinHandle<()>>,
+}
+
+/// Reads newline-delimited JSON heartbeats from one client until EOF, a
+/// hard I/O error, or server shutdown. The short read timeout is what lets
+/// the thread notice the shutdown flag while a client is idle; a timeout
+/// leaves any partially-read line buffered for the next iteration.
+fn serve_connection(
+    stream: TcpStream,
+    sink: Arc<Mutex<RemoteHealthChecker>>,
+    shutdown: Arc<AtomicBool>,
+) {
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(25)));
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    while !shutdown.load(Ordering::SeqCst) {
+        match reader.read_line(&mut line) {
+            Ok(0) => break, // EOF: client closed cleanly.
+            Ok(_) => {
+                if let Ok(sample) = serde_json::from_str::<HeartbeatSample>(line.trim_end()) {
+                    sink.lock().expect("checker lock").on_sample(sample);
+                }
+                line.clear();
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) => {}
+            Err(_) => break,
+        }
+    }
 }
 
 impl RhcServer {
@@ -179,20 +263,29 @@ impl RhcServer {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
         let checker = Arc::new(Mutex::new(RemoteHealthChecker::new(timeout_ns)));
+        let shutdown = Arc::new(AtomicBool::new(false));
         let sink = checker.clone();
+        let stop_flag = shutdown.clone();
         let handle = std::thread::spawn(move || {
-            // One connection at a time is enough for the reproduction.
+            let mut readers: Vec<JoinHandle<()>> = Vec::new();
             while let Ok((stream, _)) = listener.accept() {
-                let reader = BufReader::new(stream);
-                for line in reader.lines() {
-                    let Ok(line) = line else { break };
-                    if let Ok(sample) = serde_json::from_str::<HeartbeatSample>(&line) {
-                        sink.lock().expect("checker lock").on_sample(sample);
-                    }
+                // `stop` wakes us with a throwaway connection after setting
+                // the flag; check it before serving.
+                if stop_flag.load(Ordering::SeqCst) {
+                    break;
                 }
+                let sink = sink.clone();
+                let conn_flag = stop_flag.clone();
+                readers.push(std::thread::spawn(move || {
+                    serve_connection(stream, sink, conn_flag);
+                }));
+                readers.retain(|h| !h.is_finished());
+            }
+            for h in readers {
+                let _ = h.join();
             }
         });
-        Ok(RhcServer { addr, checker, handle: Some(handle) })
+        Ok(RhcServer { addr, checker, shutdown, handle: Some(handle) })
     }
 
     /// The address clients should connect to.
@@ -204,15 +297,29 @@ impl RhcServer {
     pub fn checker(&self) -> Arc<Mutex<RemoteHealthChecker>> {
         self.checker.clone()
     }
+
+    /// Stops accepting, unblocks every reader, and joins the accept thread
+    /// (which in turn joins the readers). Idempotent.
+    pub fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
 }
 
 impl Drop for RhcServer {
     fn drop(&mut self) {
-        // The accept loop ends when the listener errors at process exit; we
-        // deliberately detach rather than block in a destructor.
-        if let Some(h) = self.handle.take() {
-            drop(h);
+        // Best-effort, never blocking: raise the flag and nudge the accept
+        // loop so the threads wind down on their own, but do not join in a
+        // destructor. Call `stop` for a synchronous shutdown.
+        self.shutdown.store(true, Ordering::SeqCst);
+        if self.handle.is_some() {
+            let _ = TcpStream::connect(self.addr);
         }
+        self.handle.take();
     }
 }
 
@@ -271,5 +378,86 @@ mod tests {
         let json = serde_json::to_string(&s).unwrap();
         let back: HeartbeatSample = serde_json::from_str(&json).unwrap();
         assert_eq!(back, s);
+    }
+
+    #[test]
+    fn late_attached_checker_waits_a_full_timeout_before_alarming() {
+        // Regression: a checker whose first check runs at t ≫ timeout used
+        // to compare absolute simulated time against the timeout and alarm
+        // immediately, despite having waited for no silence at all.
+        let mut c = RemoteHealthChecker::new(1_000_000); // 1 ms
+        let attach = 10_000_000_000; // attached at t = 10 s
+        assert!(c.check(attach).is_none(), "first check: no silence observed yet");
+        assert!(c.check(attach + 900_000).is_none(), "still within one timeout of start");
+        let alert = c.check(attach + 1_500_000).expect("one full timeout of silence");
+        assert_eq!(alert.last_heartbeat_ns, None);
+        assert_eq!(c.alerts().len(), 1);
+    }
+
+    #[test]
+    fn gap_histogram_tracks_inter_arrival() {
+        let mut c = RemoteHealthChecker::new(1_000_000);
+        for (i, t) in [100_000u64, 200_000, 350_000, 50_350_000].iter().enumerate() {
+            c.on_sample(HeartbeatSample { time_ns: *t, seq: i as u64 + 1 });
+        }
+        // 4 samples => 3 gaps: 100k, 150k, 50ms.
+        let h = c.gap_histogram();
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 100_000 + 150_000 + 50_000_000);
+        let mut reg = MetricsRegistry::new();
+        c.collect_metrics(&mut reg);
+        assert_eq!(
+            reg.find("hypertap_rhc_samples_received_total", &[]).unwrap().as_counter(),
+            Some(4)
+        );
+        assert_eq!(
+            reg.find("hypertap_rhc_gap_ns", &[]).unwrap().as_histogram().unwrap().count(),
+            3
+        );
+    }
+
+    #[test]
+    fn server_handles_two_concurrent_clients() {
+        // Regression: the accept loop used to serve one connection at a
+        // time, so a second monitored machine's heartbeats were not read
+        // until the first disconnected. Both clients here stay connected
+        // and interleave sends; all samples must arrive while both live.
+        let mut server = RhcServer::start(1_000_000).unwrap();
+        let mut a = TcpTransport::connect(server.addr()).unwrap();
+        let mut b = TcpTransport::connect(server.addr()).unwrap();
+        for seq in 1..=4u64 {
+            a.send(&HeartbeatSample { time_ns: seq * 100, seq });
+            b.send(&HeartbeatSample { time_ns: seq * 100 + 50, seq });
+        }
+        let checker = server.checker();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while checker.lock().unwrap().received() != 8 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "only {} of 8 samples arrived while both clients were connected",
+                checker.lock().unwrap().received()
+            );
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        // Clients are still open; a clean stop must not hang on them.
+        server.stop();
+        drop(a);
+        drop(b);
+    }
+
+    #[test]
+    fn server_stop_joins_and_is_idempotent() {
+        let mut server = RhcServer::start(1_000_000).unwrap();
+        let mut client = TcpTransport::connect(server.addr()).unwrap();
+        client.send(&HeartbeatSample { time_ns: 100, seq: 1 });
+        let checker = server.checker();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while checker.lock().unwrap().received() != 1 {
+            assert!(std::time::Instant::now() < deadline, "sample never arrived");
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        server.stop();
+        server.stop(); // second stop is a no-op
+        drop(server); // drop after stop must not block or panic
     }
 }

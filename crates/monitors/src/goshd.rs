@@ -160,6 +160,11 @@ impl Auditor for Goshd {
             self.baseline = Some(now);
             return;
         }
+        // Flag every newly hung vCPU first, then classify: the scope of a
+        // simultaneous hang is a property of the whole tick, not of the
+        // flagging order. (Classifying inside the loop mislabeled the
+        // first alarm of an all-vCPUs-at-once hang as Partial.)
+        let mut newly_hung = Vec::new();
         for v in 0..self.last_switch.len() {
             if self.hung[v] {
                 continue;
@@ -167,20 +172,26 @@ impl Auditor for Goshd {
             let Some(last) = self.effective_last(v) else { continue };
             if now.saturating_since(last) > self.threshold {
                 self.hung[v] = true;
-                let scope = self.scope().expect("just flagged one");
-                self.alarms.push(HangAlarm {
-                    vcpu: VcpuId(v),
-                    detected_at: now,
-                    last_switch: last,
-                    scope,
-                });
-                sink.report(Finding::new(
-                    "goshd",
-                    now,
-                    Severity::Alert,
-                    format!("vcpu{v} hung: no context switch since {last} ({scope:?} hang)"),
-                ));
+                newly_hung.push((v, last));
             }
+        }
+        if newly_hung.is_empty() {
+            return;
+        }
+        let scope = self.scope().expect("at least one vCPU was just flagged");
+        for (v, last) in newly_hung {
+            self.alarms.push(HangAlarm {
+                vcpu: VcpuId(v),
+                detected_at: now,
+                last_switch: last,
+                scope,
+            });
+            sink.report(Finding::new(
+                "goshd",
+                now,
+                Severity::Alert,
+                format!("vcpu{v} hung: no context switch since {last} ({scope:?} hang)"),
+            ));
         }
     }
 
@@ -323,5 +334,31 @@ mod tests {
         g.on_event(&mut vm, &switch_event(0, 300), &mut sink);
         g.on_tick(&mut vm, SimTime::from_millis(600), &mut sink);
         assert_eq!(g.alarms().len(), 1);
+    }
+
+    #[test]
+    fn simultaneous_full_hang_is_labeled_full_on_every_alarm() {
+        // Regression: both vCPUs die at the same instant and cross the
+        // threshold in the same tick. Flagging one at a time computed the
+        // scope mid-batch, mislabeling the first alarm Partial even though
+        // the machine hung whole.
+        let mut g = Goshd::new(2, cfg_ms(100));
+        let mut vm = vm_state();
+        let mut sink: Vec<Finding> = Vec::new();
+        g.on_event(&mut vm, &switch_event(0, 10), &mut sink);
+        g.on_event(&mut vm, &switch_event(1, 10), &mut sink);
+        // Silence from t=10ms on; one late tick sees both cross at once.
+        g.on_tick(&mut vm, SimTime::from_millis(500), &mut sink);
+        assert_eq!(g.alarms().len(), 2);
+        for alarm in g.alarms() {
+            assert_eq!(
+                alarm.scope,
+                HangScope::Full,
+                "a simultaneous whole-machine hang must never be reported Partial: {alarm:?}"
+            );
+        }
+        assert_eq!(g.scope(), Some(HangScope::Full));
+        assert_eq!(sink.len(), 2);
+        assert!(sink.iter().all(|f| f.message.contains("Full")));
     }
 }

@@ -103,6 +103,7 @@ pub struct TapVmBuilder {
     htninja_pause: bool,
     hninja: Option<(NinjaRules, Duration)>,
     tlb: Option<bool>,
+    metrics: bool,
 }
 
 impl TapVmBuilder {
@@ -122,6 +123,7 @@ impl TapVmBuilder {
             htninja_pause: false,
             hninja: None,
             tlb: None,
+            metrics: false,
         }
     }
 
@@ -204,6 +206,15 @@ impl TapVmBuilder {
         self
     }
 
+    /// Enables host-side metrics instrumentation (pipeline spans, EM
+    /// dispatch-latency histogram). Off by default; purely host-side either
+    /// way — the metrics-on/off replay conformance pair proves the
+    /// simulated event stream is byte-identical.
+    pub fn metrics(mut self, enabled: bool) -> Self {
+        self.metrics = enabled;
+        self
+    }
+
     /// Builds the monitored VM (guest not yet booted; it boots on the first
     /// step of [`TapVm::run_for`]).
     pub fn build(self) -> TapVm {
@@ -212,6 +223,7 @@ impl TapVmBuilder {
             Machine::new(VmConfig::new(self.vcpus, self.memory).with_tlb(tlb_enabled), Kvm::new());
         {
             let (vm, kvm) = machine.parts_mut();
+            kvm.set_metrics_enabled(self.metrics);
             if self.engines.process_switch {
                 kvm.install(vm, Box::new(ProcessSwitchEngine::new()));
             }
@@ -333,6 +345,16 @@ impl TapVm {
     pub fn auditor_mut<A: hypertap_core::audit::Auditor + 'static>(&mut self) -> Option<&mut A> {
         self.machine.hypervisor_mut().em.auditor_mut::<A>()
     }
+
+    /// Takes a full metrics snapshot of the monitored VM: simulator counters
+    /// (exit reasons, simulated exit cost, TLB), the Event Forwarder and
+    /// pipeline spans, and every EM delivery/findings counter.
+    pub fn metrics_snapshot(&self) -> hypertap_core::metrics::MetricsRegistry {
+        let mut reg = hypertap_core::metrics::MetricsRegistry::new();
+        hypertap_core::metrics::collect_vm(&mut reg, self.machine.vm());
+        self.machine.hypervisor().collect_metrics(&mut reg);
+        reg
+    }
 }
 
 #[cfg(test)]
@@ -395,5 +417,28 @@ mod tests {
         assert!(vm.auditor::<Hrkd>().is_some());
         assert!(vm.auditor::<HtNinja>().is_some());
         assert!(vm.auditor::<HNinja>().is_some());
+    }
+
+    #[test]
+    fn metrics_snapshot_covers_every_layer() {
+        let mut vm =
+            TapVm::builder().metrics(true).goshd(GoshdConfig::paper_default()).hrkd().build();
+        vm.run_for(Duration::from_millis(50));
+        let reg = vm.metrics_snapshot();
+        // Simulator layer: exit reasons + always-on TLB gauges.
+        assert!(reg
+            .entries()
+            .iter()
+            .any(|e| e.name == "hypertap_vm_exits_total" && e.value.as_counter().unwrap_or(0) > 0));
+        assert!(reg.find("hypertap_tlb_hit_rate", &[]).is_some());
+        // Event Forwarder + pipeline spans.
+        assert!(reg.find("hypertap_ef_forwarded_events_total", &[]).is_some());
+        assert!(reg.find("hypertap_pipeline_ns", &[("stage", "decode")]).is_some());
+        // EM layer, per-auditor series.
+        assert!(reg.find("hypertap_em_delivered_total", &[("auditor", "goshd")]).is_some());
+        // The snapshot survives both exporters.
+        let back = hypertap_core::metrics::MetricsRegistry::from_json(&reg.to_json()).unwrap();
+        assert_eq!(back, reg);
+        assert!(reg.to_prometheus().contains("# TYPE hypertap_tlb_hits_total counter"));
     }
 }

@@ -16,6 +16,10 @@
 //! copy of each baseline trace (shifting one record's time by 1 ns) and
 //! requires the differ to detect and report it — exiting nonzero if the
 //! known-bad trace slips through.
+//!
+//! `--pair <substring>` restricts the run to configuration pairs whose
+//! right-hand label contains the substring (e.g. `--pair metrics` for the
+//! metrics-on/off determinism check CI runs in isolation).
 
 use hypertap_bench::cli::Args;
 use hypertap_replay::diff::{diff_traces, DiffPolicy};
@@ -27,11 +31,21 @@ fn main() {
     let scenarios = args.get::<u64>("scenarios", 25);
     let seed = args.get::<u64>("seed", 42);
     let inject = args.get_str("inject-divergence").map(|v| v.parse::<u64>().unwrap_or(0));
+    let pair_filter = args.get_str("pair").map(str::to_owned);
 
     println!("== HyperTap differential conformance ==");
     println!("scenarios: {scenarios}   base seed: {seed}");
 
-    let pairs = conformance_pairs();
+    let mut pairs = conformance_pairs();
+    if let Some(filter) = &pair_filter {
+        pairs.retain(|(_, right, _)| right.label.contains(filter.as_str()));
+        if pairs.is_empty() {
+            eprintln!("--pair {filter:?} matched no configuration pair");
+            std::process::exit(2);
+        }
+        let labels: Vec<&str> = pairs.iter().map(|(_, r, _)| r.label).collect();
+        println!("pair filter {filter:?}: {labels:?}");
+    }
     let mut runs = 0u64;
     let mut divergences = 0u64;
     let mut replay_mismatches = 0u64;

@@ -135,19 +135,37 @@ pub struct ConfigVariant {
     /// vectors the simulated guest never raises, so the exit stream — and
     /// therefore the trace — must not change at all.
     pub extra_vectors: &'static [u8],
+    /// Host-side metrics instrumentation on or off. Host bookkeeping only;
+    /// the trace must be byte-identical either way.
+    pub metrics: bool,
 }
 
 /// The baseline configuration every pair compares against.
-pub const BASE: ConfigVariant =
-    ConfigVariant { label: "tlb-on/fine", tlb: true, fine: true, extra_vectors: &[] };
+pub const BASE: ConfigVariant = ConfigVariant {
+    label: "tlb-on/fine",
+    tlb: true,
+    fine: true,
+    extra_vectors: &[],
+    metrics: false,
+};
 
 /// Baseline with the software TLB off.
-pub const NO_TLB: ConfigVariant =
-    ConfigVariant { label: "tlb-off/fine", tlb: false, fine: true, extra_vectors: &[] };
+pub const NO_TLB: ConfigVariant = ConfigVariant {
+    label: "tlb-off/fine",
+    tlb: false,
+    fine: true,
+    extra_vectors: &[],
+    metrics: false,
+};
 
 /// Baseline with the coarse engine subset.
-pub const COARSE: ConfigVariant =
-    ConfigVariant { label: "tlb-on/coarse", tlb: true, fine: false, extra_vectors: &[] };
+pub const COARSE: ConfigVariant = ConfigVariant {
+    label: "tlb-on/coarse",
+    tlb: true,
+    fine: false,
+    extra_vectors: &[],
+    metrics: false,
+};
 
 /// Baseline with never-firing exception vectors added to the exit
 /// controls (0x21 / 0x7f / 0xf1: nothing in the simulated guest raises
@@ -157,6 +175,18 @@ pub const EXTRA_BITMAP: ConfigVariant = ConfigVariant {
     tlb: true,
     fine: true,
     extra_vectors: &[0x21, 0x7f, 0xf1],
+    metrics: false,
+};
+
+/// Baseline with full metrics instrumentation (pipeline spans, dispatch
+/// latency, per-auditor counters). All of it host-side wall-clock
+/// bookkeeping: the simulated stream must be byte-identical to [`BASE`].
+pub const METRICS_ON: ConfigVariant = ConfigVariant {
+    label: "tlb-on/metrics",
+    tlb: true,
+    fine: true,
+    extra_vectors: &[],
+    metrics: true,
 };
 
 /// The configuration pairs the fuzzer differences, with their policies.
@@ -165,6 +195,7 @@ pub fn conformance_pairs() -> Vec<(ConfigVariant, ConfigVariant, DiffPolicy)> {
         (BASE, NO_TLB, DiffPolicy::Exact),
         (BASE, COARSE, DiffPolicy::Projected(shared_classes())),
         (BASE, EXTRA_BITMAP, DiffPolicy::Exact),
+        (BASE, METRICS_ON, DiffPolicy::Exact),
     ]
 }
 
@@ -277,6 +308,7 @@ pub fn run_scenario(scenario: &Scenario, variant: &ConfigVariant) -> (Trace, Ver
         .kernel(KernelConfig::new(scenario.vcpus).with_preemption(scenario.preemptible))
         .engines(engines)
         .tlb(variant.tlb)
+        .metrics(variant.metrics)
         .build();
     for &v in variant.extra_vectors {
         vm.machine.vm_mut().controls_mut().set_exception_exiting(v, true);
@@ -343,5 +375,22 @@ mod tests {
         let (base, _) = run_scenario(&s, &BASE);
         let (coarse, _) = run_scenario(&s, &COARSE);
         assert_eq!(diff_traces(&base, &coarse, DiffPolicy::Projected(shared_classes())), None);
+    }
+
+    #[test]
+    fn metrics_pair_is_conformant_and_verdicts_match() {
+        // The tentpole's determinism proof, in miniature: a fully
+        // instrumented run (spans + dispatch latency + per-auditor
+        // counters) must record a byte-identical trace and reach the same
+        // verdict as the uninstrumented baseline, under the Exact policy.
+        let s = Scenario::sample(7, 3);
+        let (base, live) = run_scenario(&s, &BASE);
+        let (instrumented, live_metrics) = run_scenario(&s, &METRICS_ON);
+        assert_eq!(diff_traces(&base, &instrumented, DiffPolicy::Exact), None);
+        // Verdicts agree on everything but the config label.
+        let mut relabeled = live_metrics.clone();
+        relabeled.config = live.config.clone();
+        assert_eq!(relabeled, live);
+        assert!(base.event_count() > 0);
     }
 }

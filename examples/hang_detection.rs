@@ -17,10 +17,12 @@ use hypertap_guestos::kpath;
 use hypertap_hvsim::clock::Duration;
 
 fn main() {
+    let metrics = MetricsArg::from_env();
     let mut vm = TapVm::builder()
         .vcpus(2)
         .engines(EngineSelection::context_switch_only())
         .goshd(GoshdConfig::paper_default())
+        .metrics(metrics.is_some())
         .build();
 
     // Workload: make -j2 (two compile jobs in flight).
@@ -67,5 +69,9 @@ fn main() {
                 first.detected_at.saturating_since(first.last_switch)
             );
         }
+    }
+
+    if let Some(arg) = metrics {
+        arg.emit(&vm.metrics_snapshot());
     }
 }

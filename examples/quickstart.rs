@@ -8,6 +8,10 @@
 //! with the Event Forwarder, all six interception engines, and the Event
 //! Multiplexer — boots the simulated guest with a small workload, and
 //! prints what the monitoring plane saw.
+//!
+//! Pass `--metrics` to print a full observability snapshot (JSON and
+//! Prometheus text) at the end, or `--metrics=PATH` to write `PATH`
+//! (JSON) and `PATH.prom` (Prometheus) instead.
 
 use hypertap::harness::TapVm;
 use hypertap::prelude::*;
@@ -15,8 +19,15 @@ use hypertap_guestos::program::UserView;
 use hypertap_hvsim::clock::Duration;
 
 fn main() {
+    let metrics = MetricsArg::from_env();
+
     // 1. A 2-vCPU guest with every interception engine and two auditors.
-    let mut vm = TapVm::builder().vcpus(2).goshd(GoshdConfig::paper_default()).hrkd().build();
+    let mut vm = TapVm::builder()
+        .vcpus(2)
+        .goshd(GoshdConfig::paper_default())
+        .hrkd()
+        .metrics(metrics.is_some())
+        .build();
 
     // 2. Give the guest something to do: a writer process.
     let writer = vm.kernel.register_program(
@@ -70,5 +81,9 @@ fn main() {
     println!("\nfindings: {}", findings.len());
     for f in findings {
         println!("  {f}");
+    }
+
+    if let Some(arg) = metrics {
+        arg.emit(&vm.metrics_snapshot());
     }
 }

@@ -16,13 +16,15 @@ use hypertap::prelude::*;
 use hypertap_hvsim::clock::Duration;
 
 fn main() {
+    let metrics = MetricsArg::from_env();
+
     // The "separate machine": a TCP server with a 2-second (simulated)
     // silence threshold.
-    let server = RhcServer::start(2_000_000_000).expect("bind RHC server");
+    let mut server = RhcServer::start(2_000_000_000).expect("bind RHC server");
     println!("RHC server listening on {}", server.addr());
 
     // The monitored host connects its Event Multiplexer to the RHC.
-    let mut vm = TapVm::builder().build();
+    let mut vm = TapVm::builder().metrics(metrics.is_some()).build();
     let transport = TcpTransport::connect(server.addr()).expect("connect to RHC");
     vm.machine.hypervisor_mut().em.attach_rhc(Box::new(transport), 64);
 
@@ -61,9 +63,20 @@ fn main() {
     // stream stops and the next check past the threshold raises the alarm.
     println!("\n... monitoring stack goes silent ...");
     let later_ns = vm.now().as_nanos() + 5_000_000_000;
-    let mut c = checker.lock().expect("checker");
-    match c.check(later_ns) {
-        Some(alert) => println!("RHC ALARM: {alert}"),
-        None => println!("no alarm (unexpected)"),
+    {
+        let mut c = checker.lock().expect("checker");
+        match c.check(later_ns) {
+            Some(alert) => println!("RHC ALARM: {alert}"),
+            None => println!("no alarm (unexpected)"),
+        }
     }
+
+    if let Some(arg) = metrics {
+        // Both ends of the wire in one snapshot: the monitored VM's stack
+        // plus the remote checker's receive/gap/alert counters.
+        let mut reg = vm.metrics_snapshot();
+        checker.lock().expect("checker").collect_metrics(&mut reg);
+        arg.emit(&reg);
+    }
+    server.stop();
 }

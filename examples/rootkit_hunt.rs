@@ -18,7 +18,8 @@ use hypertap_guestos::program::UserView;
 use hypertap_hvsim::clock::Duration;
 
 fn main() {
-    let mut vm = TapVm::builder().hrkd().build();
+    let metrics = MetricsArg::from_env();
+    let mut vm = TapVm::builder().hrkd().metrics(metrics.is_some()).build();
     let rk = vm.kernel.register_module(rootkit_by_name("SucKIT").expect("in Table II"));
 
     // The malware: a busy process the attacker wants invisible.
@@ -81,4 +82,8 @@ fn main() {
             "HIDDEN TASK DETECTED — a rootkit is unlinking kernel objects"
         }
     );
+
+    if let Some(arg) = metrics {
+        arg.emit(&vm.metrics_snapshot());
+    }
 }

@@ -9,7 +9,10 @@
 //! versions race the attack's ~4 ms window, the active version does not
 //! race anything.
 
-use hypertap_bench::ninja_scenarios::{run_ninja_trial_traced, AttackStyle, NinjaVariant};
+use hypertap::prelude::MetricsArg;
+use hypertap_bench::ninja_scenarios::{
+    run_ninja_trial_instrumented, run_ninja_trial_traced, AttackStyle, NinjaVariant,
+};
 use hypertap_hvsim::clock::Duration;
 
 fn show(title: &str, variant: NinjaVariant, seed: u64) {
@@ -23,6 +26,7 @@ fn show(title: &str, variant: NinjaVariant, seed: u64) {
 }
 
 fn main() {
+    let metrics = MetricsArg::from_env();
     println!("One attack, three monitors (26 innocent processes, same attack shape)\n");
     show(
         "O-Ninja: in-guest, continuous /proc scanning",
@@ -40,4 +44,16 @@ fn main() {
          invoked by the hardware at the attack's own context switches and I/O\n\
          system calls, so there is no window to win."
     );
+
+    if let Some(arg) = metrics {
+        // Re-run the HT-Ninja trial with the observability layer on and
+        // export the full pipeline snapshot for that run.
+        let (_, _, reg) = run_ninja_trial_instrumented(
+            NinjaVariant::HtNinja,
+            26,
+            AttackStyle::RootkitCombined,
+            11,
+        );
+        arg.emit(&reg);
+    }
 }
