@@ -136,6 +136,20 @@ pub struct DeliveryStats {
     pub rhc_samples: u64,
 }
 
+impl DeliveryStats {
+    /// Adds another VM's counters field-wise — the fleet aggregator's
+    /// merge. Commutative, associative, and the default value is the
+    /// identity.
+    pub fn merge(&mut self, other: DeliveryStats) {
+        self.events_in += other.events_in;
+        self.sync_delivered += other.sync_delivered;
+        self.container_enqueued += other.container_enqueued;
+        self.unclaimed += other.unclaimed;
+        self.fast_skipped += other.fast_skipped;
+        self.rhc_samples += other.rhc_samples;
+    }
+}
+
 struct RhcHook {
     transport: Box<dyn RhcTransport>,
     every: u64,

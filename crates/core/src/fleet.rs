@@ -1,0 +1,515 @@
+//! Fleet monitoring: many independent monitored VMs sharded over workers.
+//!
+//! The paper pitches HyperTap as a *cloud-side* framework — one
+//! hypervisor-level logging layer covering every guest on a host — yet a
+//! single [`crate::kvm::Kvm`] monitors a single VM. This module adds the
+//! fleet layer: a [`FleetHost`] owns N independent simulated VMs (each with
+//! its own `VmState`, `Kvm`, `EventMultiplexer` and monitor set, keyed by
+//! [`VmId`]), shards them across a configurable pool of worker threads, and
+//! steps them in deterministic per-VM order. A [`FleetAggregator`] merges
+//! the per-VM [`DeliveryStats`], findings (tagged by [`VmId`]) and
+//! [`MetricsRegistry`] snapshots into one host-wide view.
+//!
+//! # Determinism contract
+//!
+//! Fleet VMs are **fully independent**: no simulated state is shared
+//! between them, and the host hands every VM the *same* slice schedule —
+//! build, then repeat [`FleetVm::step_slice`] until [`SliceOutcome::Done`]
+//! — regardless of how many workers the fleet runs on. Worker count only
+//! changes which host thread a VM's slices execute on, never what a slice
+//! does, so a fleet run with any worker count produces bit-identical
+//! per-VM findings, metrics-free observables and trace recordings to
+//! running each VM alone ([`run_vm_alone`]). The replay crate's fleet
+//! conformance suite and the fleet determinism proptest enforce this.
+//!
+//! # Sharding model
+//!
+//! Static modulo sharding: worker `w` of `W` owns every VM whose id `i`
+//! satisfies `i % W == w`, builds its VMs in ascending id order, then
+//! round-robins one slice per live VM (ascending id order) until all are
+//! done. There is no work stealing — rebalancing would not change any
+//! per-VM result (slices are per-VM), but static shards keep the schedule
+//! trivially auditable and the worker→VM map reproducible in logs.
+
+use crate::audit::Finding;
+use crate::em::DeliveryStats;
+use crate::event::VmId;
+use crate::metrics::MetricsRegistry;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// What one scheduling slice did to a fleet VM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SliceOutcome {
+    /// The VM consumed the slice and wants more.
+    Running,
+    /// The VM is finished (campaign deadline reached, guest shut down, or
+    /// nothing can ever run again). The host will call [`FleetVm::finish`]
+    /// and never step it again.
+    Done,
+}
+
+/// One monitored VM as the fleet host drives it.
+///
+/// Implementations are built *on* a worker thread by
+/// [`FleetWorkload::build_vm`] and never cross threads afterwards, so the
+/// trait deliberately has no `Send` bound — a `TapVm` (whose guest kernel
+/// holds non-`Send` program factories) qualifies.
+pub trait FleetVm {
+    /// Advances the VM by one scheduling slice of simulated time.
+    fn step_slice(&mut self) -> SliceOutcome;
+
+    /// Drains the VM into its report. Called exactly once per VM — after
+    /// [`SliceOutcome::Done`], or early when the fleet is stopped.
+    fn finish(&mut self) -> VmReport;
+}
+
+/// A recipe for the fleet's VMs: called once per [`VmId`], *on the worker
+/// thread that owns the VM*.
+///
+/// # Determinism
+///
+/// `build_vm` must be a pure function of the `VmId` (plus the workload's
+/// own immutable configuration). Anything else — host clocks, shared
+/// mutable state, ambient randomness — would break the fleet determinism
+/// contract, because worker count changes *when* and *where* each VM is
+/// built.
+pub trait FleetWorkload: Send + Sync {
+    /// Builds the VM with the given id.
+    fn build_vm(&self, vm: VmId) -> Box<dyn FleetVm>;
+}
+
+/// Everything one fleet VM produced, drained when the VM finishes.
+#[derive(Debug, Clone)]
+pub struct VmReport {
+    /// Which VM this is.
+    pub vm: VmId,
+    /// Every finding its monitors raised, in delivery order.
+    pub findings: Vec<Finding>,
+    /// Its Event Multiplexer's delivery counters.
+    pub stats: DeliveryStats,
+    /// Its full metrics snapshot (simulator + EF + EM layers).
+    pub metrics: MetricsRegistry,
+    /// Whether the guest halted (shutdown/pause/wedge) before its campaign
+    /// deadline.
+    pub halted: bool,
+    /// Opaque extra payload — e.g. the replay crate stores the VM's
+    /// encoded HTRC trace here. Empty when unused.
+    pub payload: Vec<u8>,
+}
+
+/// Fleet shape: how many VMs over how many workers.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetConfig {
+    /// Number of VMs, ids `0..vms`.
+    pub vms: usize,
+    /// Requested worker threads (clamped to `1..=vms`; a zero-VM fleet
+    /// spawns no workers at all).
+    pub workers: usize,
+}
+
+impl FleetConfig {
+    /// A fleet of `vms` VMs over `workers` threads.
+    pub fn new(vms: usize, workers: usize) -> Self {
+        FleetConfig { vms, workers }
+    }
+
+    /// The worker count actually spawned.
+    pub fn effective_workers(&self) -> usize {
+        self.workers.max(1).min(self.vms)
+    }
+}
+
+/// The collected result of a fleet run: per-VM reports in ascending
+/// [`VmId`] order.
+#[derive(Debug, Clone, Default)]
+pub struct FleetReport {
+    /// One report per VM, sorted by id.
+    pub per_vm: Vec<VmReport>,
+}
+
+impl FleetReport {
+    /// Merges every per-VM report into one aggregate view.
+    pub fn aggregate(&self) -> FleetAggregator {
+        let mut agg = FleetAggregator::new();
+        for r in &self.per_vm {
+            agg.absorb(r);
+        }
+        agg
+    }
+}
+
+/// A running fleet: worker threads stepping their VM shards.
+///
+/// Always joins its workers — via [`FleetHost::join`], [`FleetHost::stop`]
+/// or `Drop` — so a fleet can never leak threads (the same lifecycle
+/// discipline as `RhcServer::stop`).
+pub struct FleetHost {
+    handles: Vec<JoinHandle<Vec<VmReport>>>,
+    stop: Arc<AtomicBool>,
+    cfg: FleetConfig,
+}
+
+impl FleetHost {
+    /// Launches the fleet: spawns the worker pool and starts stepping.
+    pub fn launch(workload: Arc<dyn FleetWorkload>, cfg: FleetConfig) -> FleetHost {
+        let stop = Arc::new(AtomicBool::new(false));
+        let workers = cfg.effective_workers();
+        let mut handles = Vec::new();
+        if cfg.vms > 0 {
+            for w in 0..workers {
+                let shard: Vec<VmId> =
+                    (w..cfg.vms).step_by(workers).map(|i| VmId(i as u32)).collect();
+                let workload = Arc::clone(&workload);
+                let stop = Arc::clone(&stop);
+                let handle = std::thread::Builder::new()
+                    .name(format!("fleet-worker-{w}"))
+                    .spawn(move || worker_loop(&shard, &*workload, &stop))
+                    .expect("spawn fleet worker");
+                handles.push(handle);
+            }
+        }
+        FleetHost { handles, stop, cfg }
+    }
+
+    /// The fleet's shape.
+    pub fn config(&self) -> FleetConfig {
+        self.cfg
+    }
+
+    /// Number of worker threads actually spawned.
+    pub fn worker_count(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Waits for every VM to finish and returns the per-VM reports in
+    /// ascending [`VmId`] order.
+    pub fn join(mut self) -> FleetReport {
+        let mut per_vm = Vec::with_capacity(self.cfg.vms);
+        for handle in std::mem::take(&mut self.handles) {
+            match handle.join() {
+                Ok(reports) => per_vm.extend(reports),
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+        per_vm.sort_by_key(|r| r.vm.0);
+        FleetReport { per_vm }
+    }
+
+    /// Requests shutdown and joins every worker. VMs that had not finished
+    /// are drained early, so their (partial) reports still appear in the
+    /// result. Returns once all worker threads have exited — no thread
+    /// outlives the call.
+    pub fn stop(self) -> FleetReport {
+        self.stop.store(true, Ordering::SeqCst);
+        self.join()
+    }
+}
+
+impl Drop for FleetHost {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for handle in std::mem::take(&mut self.handles) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shard: &[VmId], workload: &dyn FleetWorkload, stop: &AtomicBool) -> Vec<VmReport> {
+    // Build in ascending id order, step round-robin in ascending id order:
+    // the per-VM slice schedule is identical for every worker count.
+    let mut vms: Vec<(VmId, Option<Box<dyn FleetVm>>)> =
+        shard.iter().map(|&id| (id, Some(workload.build_vm(id)))).collect();
+    let mut reports = Vec::with_capacity(vms.len());
+    let mut live = vms.len();
+    while live > 0 && !stop.load(Ordering::SeqCst) {
+        for (_, slot) in vms.iter_mut() {
+            let Some(vm) = slot.as_mut() else { continue };
+            if vm.step_slice() == SliceOutcome::Done {
+                reports.push(vm.finish());
+                *slot = None;
+                live -= 1;
+            }
+        }
+    }
+    // Early stop: drain what remains so partial reports are not lost.
+    for (_, slot) in vms.iter_mut() {
+        if let Some(vm) = slot.as_mut() {
+            reports.push(vm.finish());
+            *slot = None;
+        }
+    }
+    reports
+}
+
+/// Runs a whole fleet to completion: launch + join.
+pub fn run_fleet(workload: Arc<dyn FleetWorkload>, cfg: FleetConfig) -> FleetReport {
+    FleetHost::launch(workload, cfg).join()
+}
+
+/// Runs one VM of the workload alone on the calling thread — the
+/// sequential baseline the determinism contract compares fleet runs
+/// against. Uses the exact same build/step/finish cycle as a worker.
+pub fn run_vm_alone(workload: &dyn FleetWorkload, vm: VmId) -> VmReport {
+    let mut boxed = workload.build_vm(vm);
+    while boxed.step_slice() == SliceOutcome::Running {}
+    boxed.finish()
+}
+
+/// Merges per-VM reports into one host-wide view: [`DeliveryStats`] sum
+/// field-wise, findings accumulate tagged by [`VmId`] (in ascending-id
+/// order when fed from a [`FleetReport`]), and metrics snapshots merge via
+/// [`MetricsRegistry::merge`] (counters and histogram buckets add; gauges
+/// sum, so ratio-style gauges should be recomputed from merged counters).
+#[derive(Debug, Clone, Default)]
+pub struct FleetAggregator {
+    vms: u64,
+    halted: u64,
+    stats: DeliveryStats,
+    findings: Vec<(VmId, Finding)>,
+    metrics: MetricsRegistry,
+}
+
+impl FleetAggregator {
+    /// An empty aggregator.
+    pub fn new() -> Self {
+        FleetAggregator::default()
+    }
+
+    /// Folds one VM's report in.
+    pub fn absorb(&mut self, report: &VmReport) {
+        self.vms += 1;
+        if report.halted {
+            self.halted += 1;
+        }
+        self.stats.merge(report.stats);
+        self.findings.extend(report.findings.iter().map(|f| (report.vm, f.clone())));
+        self.metrics.merge(&report.metrics);
+    }
+
+    /// Number of VM reports absorbed.
+    pub fn vm_count(&self) -> u64 {
+        self.vms
+    }
+
+    /// How many of them halted before their deadline.
+    pub fn halted_count(&self) -> u64 {
+        self.halted
+    }
+
+    /// The summed delivery counters.
+    pub fn stats(&self) -> DeliveryStats {
+        self.stats
+    }
+
+    /// Every finding, tagged by the VM that raised it.
+    pub fn findings(&self) -> &[(VmId, Finding)] {
+        &self.findings
+    }
+
+    /// The merged metrics snapshot.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audit::Severity;
+    use hypertap_hvsim::clock::SimTime;
+    use std::sync::atomic::AtomicU64;
+
+    /// A deterministic stub VM: runs `slices` slices, then reports
+    /// id-derived findings, stats and metrics.
+    struct StubVm {
+        id: VmId,
+        remaining: u64,
+        taken: u64,
+        halt_after: Option<u64>,
+        halted: bool,
+    }
+
+    impl FleetVm for StubVm {
+        fn step_slice(&mut self) -> SliceOutcome {
+            self.taken += 1;
+            if let Some(h) = self.halt_after {
+                if self.taken >= h {
+                    self.halted = true;
+                    return SliceOutcome::Done;
+                }
+            }
+            if self.taken >= self.remaining {
+                SliceOutcome::Done
+            } else {
+                SliceOutcome::Running
+            }
+        }
+
+        fn finish(&mut self) -> VmReport {
+            let mut metrics = MetricsRegistry::new();
+            metrics.counter("stub_slices_total", "slices taken", self.taken);
+            VmReport {
+                vm: self.id,
+                findings: vec![Finding {
+                    auditor: "stub".to_owned(),
+                    time: SimTime::from_nanos(self.id.0 as u64 * 10 + self.taken),
+                    severity: Severity::Info,
+                    message: format!("vm {} took {} slices", self.id.0, self.taken),
+                }],
+                stats: DeliveryStats { events_in: self.taken * 3, ..Default::default() },
+                metrics,
+                halted: self.halted,
+                payload: self.id.0.to_le_bytes().to_vec(),
+            }
+        }
+    }
+
+    struct StubFleet {
+        /// VM i runs `2 + i % 5` slices; VM ids divisible by 7 halt early.
+        halters: bool,
+    }
+
+    impl FleetWorkload for StubFleet {
+        fn build_vm(&self, vm: VmId) -> Box<dyn FleetVm> {
+            let halt_after =
+                if self.halters && vm.0.is_multiple_of(7) && vm.0 > 0 { Some(1) } else { None };
+            Box::new(StubVm {
+                id: vm,
+                remaining: 2 + (vm.0 as u64) % 5,
+                taken: 0,
+                halt_after,
+                halted: false,
+            })
+        }
+    }
+
+    #[test]
+    fn zero_vms_is_an_empty_fleet() {
+        let host =
+            FleetHost::launch(Arc::new(StubFleet { halters: false }), FleetConfig::new(0, 8));
+        assert_eq!(host.worker_count(), 0);
+        let report = host.join();
+        assert!(report.per_vm.is_empty());
+        assert_eq!(report.aggregate().vm_count(), 0);
+    }
+
+    #[test]
+    fn one_vm_on_eight_workers() {
+        let report = run_fleet(Arc::new(StubFleet { halters: false }), FleetConfig::new(1, 8));
+        assert_eq!(report.per_vm.len(), 1);
+        assert_eq!(report.per_vm[0].vm, VmId(0));
+        assert_eq!(report.per_vm[0].stats.events_in, 6, "VM 0 runs 2 slices of 3 events");
+    }
+
+    #[test]
+    fn any_worker_count_matches_running_each_vm_alone() {
+        let workload = Arc::new(StubFleet { halters: true });
+        let vms = 13;
+        let baseline: Vec<VmReport> =
+            (0..vms).map(|i| run_vm_alone(&*workload, VmId(i as u32))).collect();
+        for workers in [1usize, 2, 4, 8] {
+            let report = run_fleet(
+                Arc::clone(&workload) as Arc<dyn FleetWorkload>,
+                FleetConfig::new(vms, workers),
+            );
+            assert_eq!(report.per_vm.len(), vms, "workers={workers}");
+            for (got, want) in report.per_vm.iter().zip(baseline.iter()) {
+                assert_eq!(got.vm, want.vm);
+                assert_eq!(got.findings, want.findings, "workers={workers}");
+                assert_eq!(got.stats, want.stats, "workers={workers}");
+                assert_eq!(got.metrics, want.metrics, "workers={workers}");
+                assert_eq!(got.payload, want.payload, "workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn halting_vm_finishes_early_and_is_counted() {
+        let report = run_fleet(Arc::new(StubFleet { halters: true }), FleetConfig::new(8, 4));
+        assert_eq!(report.per_vm.len(), 8);
+        let halted = &report.per_vm[7];
+        assert!(halted.halted, "vm 7 halts after one slice");
+        assert_eq!(halted.stats.events_in, 3);
+        let agg = report.aggregate();
+        assert_eq!(agg.halted_count(), 1);
+        assert_eq!(agg.vm_count(), 8);
+    }
+
+    /// A VM that never finishes on its own — only `stop()` can end it.
+    struct Endless(VmId, Arc<AtomicU64>);
+
+    impl FleetVm for Endless {
+        fn step_slice(&mut self) -> SliceOutcome {
+            self.1.fetch_add(1, Ordering::Relaxed);
+            std::thread::yield_now();
+            SliceOutcome::Running
+        }
+
+        fn finish(&mut self) -> VmReport {
+            VmReport {
+                vm: self.0,
+                findings: Vec::new(),
+                stats: DeliveryStats::default(),
+                metrics: MetricsRegistry::new(),
+                halted: false,
+                payload: Vec::new(),
+            }
+        }
+    }
+
+    struct EndlessFleet(Arc<AtomicU64>);
+
+    impl FleetWorkload for EndlessFleet {
+        fn build_vm(&self, vm: VmId) -> Box<dyn FleetVm> {
+            Box::new(Endless(vm, Arc::clone(&self.0)))
+        }
+    }
+
+    #[test]
+    fn stop_joins_all_workers_and_drains_partial_reports() {
+        let slices = Arc::new(AtomicU64::new(0));
+        let host =
+            FleetHost::launch(Arc::new(EndlessFleet(Arc::clone(&slices))), FleetConfig::new(6, 3));
+        assert_eq!(host.worker_count(), 3);
+        // Let the workers demonstrably make progress, then pull the plug.
+        while slices.load(Ordering::Relaxed) < 100 {
+            std::thread::yield_now();
+        }
+        let report = host.stop();
+        assert_eq!(report.per_vm.len(), 6, "stopped VMs must still be drained");
+        let ids: Vec<u32> = report.per_vm.iter().map(|r| r.vm.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn drop_without_join_does_not_leak_or_hang() {
+        let slices = Arc::new(AtomicU64::new(0));
+        let host =
+            FleetHost::launch(Arc::new(EndlessFleet(Arc::clone(&slices))), FleetConfig::new(2, 2));
+        while slices.load(Ordering::Relaxed) < 10 {
+            std::thread::yield_now();
+        }
+        drop(host); // must set the stop flag and join, not hang or leak
+    }
+
+    #[test]
+    fn aggregator_merges_stats_findings_and_metrics() {
+        let report = run_fleet(Arc::new(StubFleet { halters: false }), FleetConfig::new(5, 2));
+        let agg = report.aggregate();
+        // Slices: 2,3,4,5,6 → 20 slices → 60 events.
+        assert_eq!(agg.stats().events_in, 60);
+        assert_eq!(agg.findings().len(), 5);
+        assert!(agg.findings().iter().zip(report.per_vm.iter()).all(|((id, _), r)| *id == r.vm));
+        let merged = agg.metrics().find("stub_slices_total", &[]).unwrap();
+        assert_eq!(merged.as_counter(), Some(20));
+    }
+
+    #[test]
+    fn effective_workers_clamps() {
+        assert_eq!(FleetConfig::new(64, 8).effective_workers(), 8);
+        assert_eq!(FleetConfig::new(3, 8).effective_workers(), 3);
+        assert_eq!(FleetConfig::new(5, 0).effective_workers(), 1);
+    }
+}

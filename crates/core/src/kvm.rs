@@ -84,6 +84,11 @@ impl Kvm {
         Kvm { vm_id, ..Kvm::new() }
     }
 
+    /// The VM id stamped into every forwarded event.
+    pub fn vm_id(&self) -> VmId {
+        self.vm_id
+    }
+
     /// Installs and enables an interception engine.
     pub fn install(&mut self, vm: &mut VmState, mut engine: Box<dyn InterceptEngine>) {
         engine.enable(vm);

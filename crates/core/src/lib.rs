@@ -38,6 +38,11 @@
 //!   bookkeeping only — provably side-effect-free on the simulation (the
 //!   replay conformance suite diffs metrics-on vs metrics-off runs byte for
 //!   byte).
+//! * [`fleet`] — the cloud-side fleet layer: a [`fleet::FleetHost`] shards
+//!   N independent monitored VMs over a worker-thread pool with a
+//!   determinism contract (any worker count reproduces each VM's findings
+//!   and traces bit-for-bit), and a [`fleet::FleetAggregator`] merges
+//!   per-VM delivery stats, findings and metrics snapshots.
 //!
 //! ## Example: observing process switches from CR3 loads
 //!
@@ -70,6 +75,7 @@ pub mod audit;
 pub mod derive;
 pub mod em;
 pub mod event;
+pub mod fleet;
 pub mod intercept;
 pub mod kvm;
 pub mod metrics;
@@ -82,6 +88,10 @@ pub mod prelude {
     pub use crate::audit::{Auditor, CountingAuditor, Finding, FindingSink, Severity};
     pub use crate::em::{DeliveryStats, EventMultiplexer, EventTap};
     pub use crate::event::{Event, EventClass, EventKind, EventMask, SyscallGate, VmId};
+    pub use crate::fleet::{
+        run_fleet, run_vm_alone, FleetAggregator, FleetConfig, FleetHost, FleetReport, FleetVm,
+        FleetWorkload, SliceOutcome, VmReport,
+    };
     pub use crate::intercept::{
         FastSyscallEngine, FineGrainedEngine, IntSyscallEngine, InterceptEngine, IoEngine,
         ProcessSwitchEngine, ThreadSwitchEngine, TssIntegrityEngine,

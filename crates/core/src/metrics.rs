@@ -123,6 +123,35 @@ impl Histogram {
         *self.counts.last().expect("counts is never empty")
     }
 
+    /// Whether another histogram uses the same bucket bounds (the
+    /// precondition for [`Histogram::merge`]).
+    pub fn same_bounds(&self, other: &Histogram) -> bool {
+        self.bounds == other.bounds
+    }
+
+    /// Merges another histogram recorded over the **same bucket bounds**
+    /// into this one: per-bucket counts add, sums add (saturating, like
+    /// [`Histogram::observe`]). Because the buckets line up, every
+    /// observation lands in the same bucket after the merge as it did
+    /// before — the property the fleet aggregator relies on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket bounds differ; merging histograms of different
+    /// shapes silently would corrupt both distributions.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.same_bounds(other),
+            "cannot merge histograms with different bucket bounds ({:?} vs {:?})",
+            self.bounds,
+            other.bounds
+        );
+        for (c, o) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *c += o;
+        }
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
     fn from_parts(bounds: Vec<u64>, counts: Vec<u64>, sum: u64) -> Self {
         assert_eq!(counts.len(), bounds.len() + 1);
         Histogram { bounds, counts, sum }
@@ -276,6 +305,47 @@ impl MetricsRegistry {
                         .all(|((k, v), (lk, lv))| k == lk && v == lv)
             })
             .map(|e| &e.value)
+    }
+
+    /// Merges another snapshot into this one — the fleet aggregator's
+    /// combine step for per-VM registries.
+    ///
+    /// Series are matched by `(name, labels)`. For matching series:
+    /// counters add (saturating), histograms merge bucket-wise
+    /// ([`Histogram::merge`]), and gauges **sum** — correct for additive
+    /// gauges (queue depths, enabled-flags-as-counts) but not for ratios
+    /// like `hypertap_tlb_hit_rate`, which consumers should recompute from
+    /// the merged hit/miss counters instead. Series present only in
+    /// `other` are appended in `other`'s order, so merging registries with
+    /// the same series set (the per-VM snapshot case) is commutative and
+    /// associative, and the empty registry is the identity.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the same `(name, labels)` series has different kinds or
+    /// histogram bucket bounds on the two sides — those snapshots are not
+    /// of the same schema and merging them would be meaningless.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for entry in &other.entries {
+            let existing =
+                self.entries.iter_mut().find(|e| e.name == entry.name && e.labels == entry.labels);
+            match existing {
+                None => self.entries.push(entry.clone()),
+                Some(mine) => match (&mut mine.value, &entry.value) {
+                    (MetricValue::Counter(a), MetricValue::Counter(b)) => {
+                        *a = a.saturating_add(*b);
+                    }
+                    (MetricValue::Gauge(a), MetricValue::Gauge(b)) => *a += *b,
+                    (MetricValue::Histogram(a), MetricValue::Histogram(b)) => a.merge(b),
+                    (mine, theirs) => panic!(
+                        "cannot merge metric `{}`: kind {} vs {}",
+                        entry.name,
+                        mine.kind(),
+                        theirs.kind()
+                    ),
+                },
+            }
+        }
     }
 
     /// Renders the snapshot as indented JSON (the schema round-tripped by
@@ -750,6 +820,123 @@ mod tests {
         let mut reg = MetricsRegistry::new();
         spans.collect("hypertap_span_ns", "span latency", &mut reg);
         assert!(reg.find("hypertap_span_ns", &[("stage", "decode")]).is_some());
+    }
+
+    fn registry_from(counter: u64, gauge: f64, samples: &[u64]) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("m_total", "a counter", counter);
+        reg.gauge("m_depth", "an additive gauge", gauge);
+        let mut h = Histogram::new(&[10, 100, 1000]);
+        for &s in samples {
+            h.observe(s);
+        }
+        reg.histogram_with("m_ns", &[("stage", "x")], "a histogram", &h);
+        reg
+    }
+
+    #[test]
+    fn histogram_merge_adds_buckets_and_sum() {
+        let mut a = Histogram::new(&[10, 100]);
+        a.observe(5);
+        a.observe(500);
+        let mut b = Histogram::new(&[10, 100]);
+        b.observe(50);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 555);
+        assert_eq!(a.buckets().collect::<Vec<_>>(), vec![(10, 1), (100, 1)]);
+        assert_eq!(a.overflow(), 1);
+    }
+
+    #[test]
+    fn histogram_merge_keeps_boundary_values_in_their_bucket() {
+        // Observations exactly on a bucket's (inclusive) upper edge must
+        // land in the same bucket whether observed pre- or post-merge.
+        let bounds = [10u64, 100, 1000];
+        let mut merged = Histogram::new(&bounds);
+        let mut one_shot = Histogram::new(&bounds);
+        let (left, right) = ([10u64, 100, 1000], [11u64, 101, 1001]);
+        let mut a = Histogram::new(&bounds);
+        let mut b = Histogram::new(&bounds);
+        for v in left {
+            a.observe(v);
+            one_shot.observe(v);
+        }
+        for v in right {
+            b.observe(v);
+            one_shot.observe(v);
+        }
+        merged.merge(&a);
+        merged.merge(&b);
+        assert_eq!(merged, one_shot, "merge must preserve bucket placement");
+    }
+
+    #[test]
+    #[should_panic(expected = "different bucket bounds")]
+    fn histogram_merge_rejects_mismatched_bounds() {
+        let mut a = Histogram::new(&[10, 100]);
+        a.merge(&Histogram::new(&[10, 200]));
+    }
+
+    #[test]
+    fn registry_merge_is_commutative_for_shared_series() {
+        let a = registry_from(3, 1.5, &[5, 50]);
+        let b = registry_from(7, 2.5, &[500, 5000]);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.find("m_total", &[]).unwrap().as_counter(), Some(10));
+        assert_eq!(ab.find("m_depth", &[]).unwrap().as_gauge(), Some(4.0));
+        assert_eq!(ab.find("m_ns", &[("stage", "x")]).unwrap().as_histogram().unwrap().count(), 4);
+    }
+
+    #[test]
+    fn registry_merge_is_associative() {
+        let a = registry_from(1, 0.25, &[1]);
+        let b = registry_from(2, 0.5, &[20]);
+        let c = registry_from(4, 1.0, &[300]);
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn registry_merge_identity_on_empty() {
+        let a = registry_from(42, 3.0, &[7, 70, 700]);
+        let mut onto_empty = MetricsRegistry::new();
+        onto_empty.merge(&a);
+        assert_eq!(onto_empty, a, "merging into an empty registry copies it");
+        let mut with_empty = a.clone();
+        with_empty.merge(&MetricsRegistry::new());
+        assert_eq!(with_empty, a, "merging an empty registry changes nothing");
+    }
+
+    #[test]
+    fn registry_merge_appends_disjoint_series() {
+        let mut a = MetricsRegistry::new();
+        a.counter("only_a", "left", 1);
+        let mut b = MetricsRegistry::new();
+        b.counter("only_b", "right", 2);
+        a.merge(&b);
+        assert_eq!(a.find("only_a", &[]).unwrap().as_counter(), Some(1));
+        assert_eq!(a.find("only_b", &[]).unwrap().as_counter(), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "kind counter vs gauge")]
+    fn registry_merge_rejects_kind_mismatch() {
+        let mut a = MetricsRegistry::new();
+        a.counter("m", "as counter", 1);
+        let mut b = MetricsRegistry::new();
+        b.gauge("m", "as gauge", 1.0);
+        a.merge(&b);
     }
 
     #[test]

@@ -18,12 +18,16 @@
 //! the Fig. 4 breakdown.
 
 pub mod campaign;
+pub mod fleet;
 pub mod runner;
 pub mod spec;
 
 /// Glob import for campaign drivers.
 pub mod prelude {
     pub use crate::campaign::{default_campaign, run_campaign, CampaignConfig, Fig4Row};
+    pub use crate::fleet::{
+        run_fleet_campaign, FleetAttack, FleetCampaign, FleetCampaignSummary, FleetScenario,
+    };
     pub use crate::runner::{run_trial, RunnerConfig};
     pub use crate::spec::{Outcome, TrialResult, TrialSpec, Workload};
 }

@@ -16,7 +16,7 @@ use hypertap_core::intercept::{
     TssIntegrityEngine,
 };
 use hypertap_core::kvm::Kvm;
-use hypertap_core::prelude::Finding;
+use hypertap_core::prelude::{Finding, VmId};
 use hypertap_guestos::kernel::{Kernel, KernelConfig};
 use hypertap_guestos::layout;
 use hypertap_hvsim::clock::{Duration, SimTime};
@@ -104,6 +104,7 @@ pub struct TapVmBuilder {
     hninja: Option<(NinjaRules, Duration)>,
     tlb: Option<bool>,
     metrics: bool,
+    vm_id: VmId,
 }
 
 impl TapVmBuilder {
@@ -124,7 +125,16 @@ impl TapVmBuilder {
             hninja: None,
             tlb: None,
             metrics: false,
+            vm_id: VmId(0),
         }
+    }
+
+    /// Tags the hypervisor with an explicit VM id — stamped into every
+    /// forwarded event (and therefore every recorded trace), which is how
+    /// fleet members stay distinguishable after aggregation.
+    pub fn vm_id(mut self, id: VmId) -> Self {
+        self.vm_id = id;
+        self
     }
 
     /// Sets the vCPU count.
@@ -219,8 +229,10 @@ impl TapVmBuilder {
     /// step of [`TapVm::run_for`]).
     pub fn build(self) -> TapVm {
         let tlb_enabled = self.tlb.unwrap_or_else(|| std::env::var_os("HYPERTAP_NO_TLB").is_none());
-        let mut machine =
-            Machine::new(VmConfig::new(self.vcpus, self.memory).with_tlb(tlb_enabled), Kvm::new());
+        let mut machine = Machine::new(
+            VmConfig::new(self.vcpus, self.memory).with_tlb(tlb_enabled),
+            Kvm::with_vm_id(self.vm_id),
+        );
         {
             let (vm, kvm) = machine.parts_mut();
             kvm.set_metrics_enabled(self.metrics);

@@ -23,6 +23,7 @@
 //! phase feeds a reliability monitor and a security monitor simultaneously.
 
 pub mod counters;
+pub mod fleet;
 pub mod goshd;
 pub mod harness;
 pub mod hrkd;

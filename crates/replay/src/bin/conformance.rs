@@ -20,16 +20,51 @@
 //! `--pair <substring>` restricts the run to configuration pairs whose
 //! right-hand label contains the substring (e.g. `--pair metrics` for the
 //! metrics-on/off determinism check CI runs in isolation).
+//!
+//! `--fleet <vms>` switches to the fleet conformance pair instead: the
+//! same VM fleet is run on `--workers-left` (default 1) and
+//! `--workers-right` (default 8) worker threads, and every VM's findings,
+//! delivery stats and recorded trace must match byte for byte — the
+//! fleet determinism contract under real sharding.
 
 use hypertap_bench::cli::Args;
+use hypertap_hvsim::clock::Duration;
 use hypertap_replay::diff::{diff_traces, DiffPolicy};
+use hypertap_replay::fleet::{fleet_conformance_pair, ScenarioFleet};
 use hypertap_replay::replay::replay_trace;
 use hypertap_replay::scenario::{conformance_pairs, register_auditors, run_scenario, Scenario};
 
+fn run_fleet_mode(args: &Args, vms: usize, seed: u64) {
+    let workers_left = args.get::<usize>("workers-left", 1);
+    let workers_right = args.get::<usize>("workers-right", 8);
+    let cap_ms = args.get::<u64>("cap-ms", 60);
+    println!("== HyperTap fleet conformance ==");
+    println!(
+        "{vms} VMs   base seed: {seed}   workers: {workers_left} vs {workers_right}   \
+         cap: {cap_ms} ms"
+    );
+    let fleet = ScenarioFleet::new(seed).capped(Duration::from_millis(cap_ms));
+    match fleet_conformance_pair(&fleet, vms, workers_left, workers_right) {
+        Some(d) => {
+            println!("DIVERGENT vm {:?}: {}", d.vm, d.detail);
+            eprintln!("fleet conformance FAILED");
+            std::process::exit(1);
+        }
+        None => println!(
+            "fleet conformance OK: {vms} VMs bit-identical at {workers_left} and \
+             {workers_right} workers"
+        ),
+    }
+}
+
 fn main() {
     let args = Args::parse();
-    let scenarios = args.get::<u64>("scenarios", 25);
     let seed = args.get::<u64>("seed", 42);
+    if args.has("fleet") {
+        run_fleet_mode(&args, args.get::<usize>("fleet", 8), seed);
+        return;
+    }
+    let scenarios = args.get::<u64>("scenarios", 25);
     let inject = args.get_str("inject-divergence").map(|v| v.parse::<u64>().unwrap_or(0));
     let pair_filter = args.get_str("pair").map(str::to_owned);
 

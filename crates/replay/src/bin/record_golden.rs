@@ -4,10 +4,14 @@
 //! cargo run --release -p hypertap-replay --bin record-golden
 //! ```
 //!
-//! Writes `crates/replay/golden/<name>.htrz` for each golden scenario.
+//! Writes `crates/replay/golden/<name>.htrz` for each golden scenario,
+//! plus the 4-VM fleet archive `fleet_quad.htrz`.
 //! Run this only when a deliberate behaviour change invalidates the
 //! fixtures, and review the byte-size deltas in the commit.
 
+use hypertap_replay::fleet::{
+    encode_fleet_archive, fleet_traces, golden_fleet, run_scenario_fleet, GOLDEN_FLEET_NAME,
+};
 use hypertap_replay::golden::{golden_path, golden_scenarios};
 use hypertap_replay::scenario::{run_scenario, BASE};
 use hypertap_replay::trace::compress;
@@ -33,4 +37,20 @@ fn main() {
             path.display()
         );
     }
+
+    let (fleet, vms) = golden_fleet();
+    let report = run_scenario_fleet(&fleet, vms, 2);
+    let traces = fleet_traces(&report).expect("fleet payloads decode");
+    let raw = encode_fleet_archive(&traces);
+    let packed = compress(&raw);
+    let path = golden_path(GOLDEN_FLEET_NAME);
+    std::fs::write(&path, &packed).expect("write golden fleet archive");
+    println!(
+        "{:<16} {:>7} VMs {:>21} raw B {:>8} packed B  -> {}",
+        GOLDEN_FLEET_NAME,
+        traces.len(),
+        raw.len(),
+        packed.len(),
+        path.display()
+    );
 }

@@ -19,8 +19,11 @@
 //! * [`scenario`] — seeded random guest scenarios (program mixes, lock
 //!   faults, rootkit insertions) and the configuration variants under
 //!   differential test.
-//! * [`golden`] — five checked-in regression traces mirroring the repo
-//!   examples.
+//! * [`golden`] — checked-in regression traces mirroring the repo
+//!   examples, plus a recorded 4-VM fleet archive.
+//! * [`fleet`] — per-VM trace recording under the sharded
+//!   `hypertap_core::fleet` host, diffed against the sequential
+//!   single-VM baseline (the fleet determinism contract, §tested).
 //!
 //! The `conformance` binary drives the loop:
 //! `cargo run --release -p hypertap-replay --bin conformance -- --scenarios 100 --seed 42`.
@@ -28,6 +31,7 @@
 //! [`Verdict`]: crate::replay::Verdict
 
 pub mod diff;
+pub mod fleet;
 pub mod golden;
 pub mod recorder;
 pub mod replay;
@@ -37,11 +41,17 @@ pub mod trace;
 /// Convenience re-exports.
 pub mod prelude {
     pub use crate::diff::{diff_traces, DiffPolicy, Divergence};
+    pub use crate::fleet::{
+        decode_fleet_archive, diff_fleet_reports, encode_fleet_archive, fleet_conformance_pair,
+        fleet_traces, golden_fleet, run_member_alone, run_scenario_fleet, FleetDivergence,
+        ScenarioFleet, GOLDEN_FLEET_NAME,
+    };
     pub use crate::golden::{golden_path, golden_scenarios};
     pub use crate::recorder::TraceRecorder;
     pub use crate::replay::{replay_trace, Verdict};
     pub use crate::scenario::{
-        conformance_pairs, register_auditors, run_scenario, ConfigVariant, Scenario, BASE,
+        build_scenario_vm, conformance_pairs, register_auditors, run_scenario, ConfigVariant,
+        Scenario, BASE,
     };
     pub use crate::trace::{compress, decompress, Trace, TraceError, TraceHeader, TraceRecord};
 }

@@ -15,6 +15,7 @@ use hypertap_attacks::rootkits::all_rootkits;
 use hypertap_core::audit::CountingAuditor;
 use hypertap_core::em::EventMultiplexer;
 use hypertap_core::event::{EventClass, EventMask};
+use hypertap_core::prelude::VmId;
 use hypertap_faultinject::spec::FaultKind;
 use hypertap_guestos::fault::SingleFault;
 use hypertap_guestos::kernel::KernelConfig;
@@ -298,11 +299,18 @@ fn install_guest(vm: &mut TapVm, scenario: &Scenario) {
     }
 }
 
-/// Runs a scenario under a configuration variant, recording the forwarded
-/// stream at the EM tap point. Returns the trace and the live verdict.
-pub fn run_scenario(scenario: &Scenario, variant: &ConfigVariant) -> (Trace, Verdict) {
+/// Builds the scenario's monitored VM under a configuration variant,
+/// tagged with `id`. Guest programs, auditors and fault hooks are all
+/// installed; the caller only decides how to drive it (a single
+/// [`run_scenario`] pass, or slice-by-slice as a fleet member).
+///
+/// Single-VM runs pass [`VmId`]`(0)`, which is the builder default —
+/// the recorded stream is byte-identical to what this crate produced
+/// before fleets existed, so the golden fixtures stay valid.
+pub fn build_scenario_vm(scenario: &Scenario, variant: &ConfigVariant, id: VmId) -> TapVm {
     let engines = if variant.fine { EngineSelection::all() } else { coarse_selection() };
     let mut vm = TapVm::builder()
+        .vm_id(id)
         .vcpus(scenario.vcpus)
         .memory(1 << 28)
         .kernel(KernelConfig::new(scenario.vcpus).with_preemption(scenario.preemptible))
@@ -315,6 +323,13 @@ pub fn run_scenario(scenario: &Scenario, variant: &ConfigVariant) -> (Trace, Ver
     }
     register_auditors(&mut vm.machine.hypervisor_mut().em, scenario.vcpus);
     install_guest(&mut vm, scenario);
+    vm
+}
+
+/// Runs a scenario under a configuration variant, recording the forwarded
+/// stream at the EM tap point. Returns the trace and the live verdict.
+pub fn run_scenario(scenario: &Scenario, variant: &ConfigVariant) -> (Trace, Verdict) {
+    let mut vm = build_scenario_vm(scenario, variant, VmId(0));
 
     let recorder = TraceRecorder::new(TraceHeader::new(
         scenario.vcpus as u64,

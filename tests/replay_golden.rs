@@ -1,11 +1,16 @@
 //! Golden-trace regression: the forwarded event stream for five fixed
-//! scenarios must stay byte-identical to the checked-in fixtures, and
-//! replaying a fixture must reproduce the live verdict.
+//! scenarios — plus a 4-VM fleet archive — must stay byte-identical to
+//! the checked-in fixtures, and replaying a fixture must reproduce the
+//! live verdict.
 //!
 //! If a deliberate behaviour change breaks this test, regenerate the
 //! fixtures with `cargo run --release -p hypertap-replay --bin
 //! record-golden` and review the deltas in the commit.
 
+use hypertap_replay::fleet::{
+    decode_fleet_archive, encode_fleet_archive, fleet_traces, golden_fleet, run_scenario_fleet,
+    GOLDEN_FLEET_NAME,
+};
 use hypertap_replay::golden::{golden_path, golden_scenarios};
 use hypertap_replay::replay::replay_trace;
 use hypertap_replay::scenario::{register_auditors, run_scenario, BASE};
@@ -46,4 +51,30 @@ fn replaying_golden_traces_reproduces_live_verdicts() {
             scenario.name
         );
     }
+}
+
+#[test]
+fn fleet_run_matches_checked_in_golden_archive_byte_for_byte() {
+    let path = golden_path(GOLDEN_FLEET_NAME);
+    let checked_in = std::fs::read(&path).unwrap_or_else(|e| {
+        panic!("missing golden fleet fixture {} ({e}); run record-golden", path.display())
+    });
+    let (fleet, vms) = golden_fleet();
+    // A worker count the recorder did not use: the archive bytes must
+    // not depend on sharding.
+    let report = run_scenario_fleet(&fleet, vms, 3);
+    let traces = fleet_traces(&report).expect("fleet payloads decode");
+    let fresh = compress(&encode_fleet_archive(&traces));
+    assert_eq!(
+        fresh,
+        checked_in,
+        "fleet archive diverged from golden fixture ({} vs {} bytes); if the behaviour \
+         change is intentional, regenerate with record-golden",
+        fresh.len(),
+        checked_in.len()
+    );
+    let decoded = decode_fleet_archive(&decompress(&checked_in).expect("fixture decompresses"))
+        .expect("fixture decodes");
+    assert_eq!(decoded.len(), vms);
+    assert!(decoded.iter().all(|t| t.event_count() > 0), "every fleet VM logged events");
 }
