@@ -8,7 +8,7 @@
 //! of the intercepted operation), and reports [`Finding`]s through a
 //! [`FindingSink`].
 
-use crate::event::{Event, EventMask};
+use crate::event::{Event, EventMask, EventRef};
 use hypertap_hvsim::clock::SimTime;
 use hypertap_hvsim::machine::VmState;
 use std::any::Any;
@@ -46,17 +46,43 @@ pub struct Finding {
     pub severity: Severity,
     /// Human-readable description.
     pub message: String,
+    /// Causal provenance: the [`EventRef`]s of the forwarded events that
+    /// triggered this finding, in the order the auditor considered them.
+    /// Resolvable against the flight recorder or a recorded HTRC trace.
+    pub provenance: Vec<EventRef>,
 }
 
 impl Finding {
-    /// Convenience constructor.
+    /// Convenience constructor (empty provenance).
     pub fn new(
         auditor: impl Into<String>,
         time: SimTime,
         severity: Severity,
         message: impl Into<String>,
     ) -> Self {
-        Finding { auditor: auditor.into(), time, severity, message: message.into() }
+        Finding {
+            auditor: auditor.into(),
+            time,
+            severity,
+            message: message.into(),
+            provenance: Vec::new(),
+        }
+    }
+
+    /// Attaches causal provenance.
+    pub fn with_provenance(mut self, refs: Vec<EventRef>) -> Self {
+        self.provenance = refs;
+        self
+    }
+
+    /// Renders the finding together with its provenance, e.g.
+    /// `[310ms ALERT] goshd: vcpu0 hung ... (triggered by exits #4, #9)`.
+    pub fn explain(&self) -> String {
+        if self.provenance.is_empty() {
+            return format!("{self} (no recorded provenance)");
+        }
+        let refs = self.provenance.iter().map(|r| r.to_string()).collect::<Vec<_>>().join(", ");
+        format!("{self} (triggered by exits {refs})")
     }
 }
 
@@ -76,6 +102,19 @@ pub trait FindingSink {
     /// meaningful during synchronous, blocking delivery — the paper's
     /// "auditor may pause its target VM during analysis" enforcement hook).
     fn request_suppress(&mut self) {}
+
+    /// The [`EventRef`] of the event currently being delivered, if the sink
+    /// runs inside the Event Multiplexer's per-event fan-out (None during
+    /// ticks or when reporting outside the EM). Auditors use this to stamp
+    /// provenance as events arrive.
+    fn current_ref(&self) -> Option<EventRef> {
+        None
+    }
+
+    /// Records an auditor state transition (liveness flip, scan epoch,
+    /// privilege-track edge) into the VM's flight recorder. A no-op for
+    /// sinks without a recorder behind them.
+    fn note_transition(&mut self, _auditor: &str, _detail: String) {}
 }
 
 impl FindingSink for Vec<Finding> {

@@ -43,12 +43,14 @@
 //!   the Event Forwarder ([`crate::kvm::Kvm`]) uses.
 
 use crate::audit::{Auditor, Finding, FindingSink, Severity};
-use crate::event::{Event, EventMask};
+use crate::event::{Event, EventMask, EventRef};
+use crate::flight::{panic_message, FlightRecorder};
 use crate::metrics::{Histogram, MetricsRegistry};
 use crate::rhc::{HeartbeatSample, RhcTransport};
 use hypertap_hvsim::clock::SimTime;
 use hypertap_hvsim::machine::VmState;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
@@ -161,6 +163,13 @@ struct RhcHook {
 struct LocalSink {
     findings: Vec<Finding>,
     suppress: bool,
+    /// Ref of the event being fanned out right now (None during ticks);
+    /// auditors read it via [`FindingSink::current_ref`] to stamp
+    /// provenance.
+    current: Option<EventRef>,
+    /// Auditor state transitions reported during this fan-out; absorbed
+    /// into the flight recorder after the auditor loop returns.
+    transitions: Vec<(String, String)>,
 }
 
 impl FindingSink for LocalSink {
@@ -170,6 +179,22 @@ impl FindingSink for LocalSink {
     fn request_suppress(&mut self) {
         self.suppress = true;
     }
+    fn current_ref(&self) -> Option<EventRef> {
+        self.current
+    }
+    fn note_transition(&mut self, auditor: &str, detail: String) {
+        self.transitions.push((auditor.to_owned(), detail));
+    }
+}
+
+/// One recorded audit-container panic (satellite of the flight recorder:
+/// the restart path used to drop the payload on the floor).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContainerPanic {
+    /// Container name.
+    pub container: String,
+    /// The panic payload's message, best-effort.
+    pub message: String,
 }
 
 /// The multiplexer itself.
@@ -197,6 +222,22 @@ pub struct EventMultiplexer {
     findings_by_severity: [u64; 3],
     /// Findings drained so far, tallied by reporting auditor name.
     findings_by_auditor: Vec<(String, u64)>,
+    /// The per-VM black box: bounded ring of recent events, transitions,
+    /// findings, panics and spans. Always on; purely host-side (the
+    /// flight-on/off conformance pair proves the stream is unchanged).
+    flight: FlightRecorder,
+    /// Panic payloads forwarded by container workers on restart.
+    panic_rx: Receiver<(String, String)>,
+    panic_tx: Sender<(String, String)>,
+    /// Every recorded container panic, in drain order.
+    panic_log: Vec<ContainerPanic>,
+    /// Panic totals per container name.
+    panics_by_container: Vec<(String, u64)>,
+    /// When set, each container panic also serializes the flight recorder
+    /// to a `.htfr` file under this directory.
+    flight_dump_dir: Option<PathBuf>,
+    /// Dump files written so far.
+    flight_dump_paths: Vec<PathBuf>,
 }
 
 impl std::fmt::Debug for EventMultiplexer {
@@ -219,6 +260,7 @@ impl EventMultiplexer {
     /// Creates an empty multiplexer.
     pub fn new() -> Self {
         let (tx, rx) = channel();
+        let (panic_tx, panic_rx) = channel();
         EventMultiplexer {
             auditors: Vec::new(),
             containers: Vec::new(),
@@ -234,6 +276,13 @@ impl EventMultiplexer {
             dispatch_latency: Histogram::latency_ns(),
             findings_by_severity: [0; 3],
             findings_by_auditor: Vec::new(),
+            flight: FlightRecorder::default(),
+            panic_rx,
+            panic_tx,
+            panic_log: Vec::new(),
+            panics_by_container: Vec::new(),
+            flight_dump_dir: None,
+            flight_dump_paths: Vec::new(),
         }
     }
 
@@ -292,6 +341,8 @@ impl EventMultiplexer {
         self.combined_mask = self.combined_mask.union(mask);
         let (tx, rx) = channel::<ContainerMsg>();
         let findings_tx = self.container_findings_tx.clone();
+        let panic_tx = self.panic_tx.clone();
+        let worker_name = name.clone();
         let depth = Arc::new(AtomicU64::new(0));
         let worker_depth = Arc::clone(&depth);
         let handle = std::thread::spawn(move || {
@@ -313,11 +364,13 @@ impl EventMultiplexer {
                             let _ = findings_tx.send(f);
                         }
                     }
-                    Err(_) => {
+                    Err(payload) => {
                         // The container absorbed the failure: rebuild the
                         // auditor and keep serving. The VM, the EM and the
-                        // other auditors never notice.
+                        // other auditors never notice — but the payload is
+                        // preserved for metrics and the flight recorder.
                         restarts += 1;
+                        let _ = panic_tx.send((worker_name.clone(), panic_message(payload)));
                         auditor = factory();
                     }
                 }
@@ -364,6 +417,12 @@ impl EventMultiplexer {
         if let Some(tap) = &mut self.tap {
             tap.on_event(event);
         }
+        // The flight recorder shares the tap's pre-filter vantage point:
+        // the ref it assigns is the event's position in the forwarded
+        // stream, which is also its index among a recorded trace's event
+        // records. Sequencing advances even with recording disabled, so
+        // provenance is identical flight-on and flight-off.
+        sink.current = Some(self.flight.observe_event(event));
         self.stats.events_in += 1;
         let class = event.class();
         if !self.combined_mask.contains(class) {
@@ -393,12 +452,26 @@ impl EventMultiplexer {
         }
     }
 
+    /// Moves the transitions and new findings a fan-out produced into the
+    /// flight recorder, stamped at `time`.
+    fn absorb_flight(&mut self, sink: &mut LocalSink, since: usize, time: SimTime) {
+        for (auditor, detail) in sink.transitions.drain(..) {
+            self.flight.note_transition(time, &auditor, detail);
+        }
+        for f in &sink.findings[since..] {
+            self.flight.note_finding(f);
+        }
+    }
+
     /// Dispatches one event to everything subscribed. Returns `true` if any
     /// synchronous auditor requested suppression of the intercepted
     /// operation.
     pub fn dispatch(&mut self, vm: &mut VmState, event: &Event) -> bool {
-        let mut sink = LocalSink { findings: std::mem::take(&mut self.findings), suppress: false };
+        let mut sink =
+            LocalSink { findings: std::mem::take(&mut self.findings), ..LocalSink::default() };
+        let since = sink.findings.len();
         self.fan_out(vm, event, &mut sink);
+        self.absorb_flight(&mut sink, since, event.time);
         self.findings = sink.findings;
         sink.suppress
     }
@@ -407,9 +480,12 @@ impl EventMultiplexer {
     /// reusing one finding sink across the whole fan-out. Returns `true` if
     /// any synchronous auditor requested suppression.
     pub fn deliver_all(&mut self, vm: &mut VmState, events: &[Event]) -> bool {
-        let mut sink = LocalSink { findings: std::mem::take(&mut self.findings), suppress: false };
+        let mut sink =
+            LocalSink { findings: std::mem::take(&mut self.findings), ..LocalSink::default() };
         for event in events {
+            let since = sink.findings.len();
             self.fan_out(vm, event, &mut sink);
+            self.absorb_flight(&mut sink, since, event.time);
         }
         self.findings = sink.findings;
         sink.suppress
@@ -420,10 +496,14 @@ impl EventMultiplexer {
         if let Some(tap) = &mut self.tap {
             tap.on_tick(now);
         }
-        let mut sink = LocalSink { findings: std::mem::take(&mut self.findings), suppress: false };
+        self.flight.observe_tick(now);
+        let mut sink =
+            LocalSink { findings: std::mem::take(&mut self.findings), ..LocalSink::default() };
+        let since = sink.findings.len();
         for a in &mut self.auditors {
             a.on_tick(vm, now, &mut sink);
         }
+        self.absorb_flight(&mut sink, since, now);
         self.findings = sink.findings;
         for c in &self.containers {
             c.depth.fetch_add(1, Ordering::Relaxed);
@@ -446,8 +526,12 @@ impl EventMultiplexer {
     /// Drains every finding accumulated so far (synchronous auditors and
     /// containers alike).
     pub fn drain_findings(&mut self) -> Vec<Finding> {
+        self.poll_container_panics();
         let mut out = std::mem::take(&mut self.findings);
         while let Ok(f) = self.container_findings_rx.try_recv() {
+            // Synchronous findings were already recorded at fan-out time;
+            // container findings only become visible here.
+            self.flight.note_finding(&f);
             out.push(f);
         }
         for f in &out {
@@ -557,6 +641,29 @@ impl EventMultiplexer {
                 *n,
             );
         }
+        for (name, n) in &self.panics_by_container {
+            reg.counter_with(
+                "hypertap_container_panics_total",
+                &[("container", name)],
+                "audit-container panics caught and restarted",
+                *n,
+            );
+        }
+        reg.gauge(
+            "hypertap_flight_records",
+            "records currently retained by the flight recorder",
+            self.flight.len() as f64,
+        );
+        reg.gauge(
+            "hypertap_flight_capacity",
+            "flight recorder ring capacity",
+            self.flight.capacity() as f64,
+        );
+        reg.counter(
+            "hypertap_flight_dropped_total",
+            "flight records evicted to make room",
+            self.flight.dropped(),
+        );
         if !self.dispatch_latency.is_empty() {
             reg.histogram(
                 "hypertap_em_dispatch_ns",
@@ -583,6 +690,66 @@ impl EventMultiplexer {
         }
     }
 
+    /// Absorbs any panic payloads container workers have forwarded since
+    /// the last poll: tallies them for metrics, appends to the panic log
+    /// and the flight recorder, and (if a dump directory is configured)
+    /// writes a `.htfr` failure dump per panic.
+    fn poll_container_panics(&mut self) {
+        while let Ok((container, message)) = self.panic_rx.try_recv() {
+            let count =
+                match self.panics_by_container.iter_mut().find(|(name, _)| *name == container) {
+                    Some((_, n)) => {
+                        *n += 1;
+                        *n
+                    }
+                    None => {
+                        self.panics_by_container.push((container.clone(), 1));
+                        1
+                    }
+                };
+            self.flight.note_panic(&container, &message, count);
+            if let Some(dir) = &self.flight_dump_dir {
+                let path = dir
+                    .join(format!("flight-{container}-panic{count}-{}.htfr", std::process::id()));
+                let reason = format!("container-panic: {container}: {message}");
+                if std::fs::write(&path, self.flight.dump_bytes(&reason)).is_ok() {
+                    self.flight_dump_paths.push(path);
+                }
+            }
+            self.panic_log.push(ContainerPanic { container, message });
+        }
+    }
+
+    /// The per-VM flight recorder.
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// Mutable access to the flight recorder (capacity/enable knobs, span
+    /// recording from the Event Forwarder and fleet workers).
+    pub fn flight_mut(&mut self) -> &mut FlightRecorder {
+        &mut self.flight
+    }
+
+    /// Directs container-panic failure dumps into `dir` (`None` disables
+    /// dump files; in-memory recording is unaffected).
+    pub fn set_flight_dump_dir(&mut self, dir: Option<PathBuf>) {
+        self.flight_dump_dir = dir;
+    }
+
+    /// Paths of the `.htfr` failure dumps written so far.
+    pub fn flight_dump_paths(&self) -> &[PathBuf] {
+        &self.flight_dump_paths
+    }
+
+    /// Every container panic recorded so far (payload preserved). Call
+    /// after [`EventMultiplexer::shutdown_containers`] for a complete view;
+    /// while workers run, panics surface asynchronously at the next
+    /// [`EventMultiplexer::drain_findings`].
+    pub fn container_panics(&self) -> &[ContainerPanic] {
+        &self.panic_log
+    }
+
     /// Stops all containers, returning `(name, restart_count)` per container.
     pub fn shutdown_containers(&mut self) -> Vec<(String, u64)> {
         let mut out = Vec::new();
@@ -595,6 +762,9 @@ impl EventMultiplexer {
                 out.push((c.name.clone(), restarts));
             }
         }
+        // Workers are joined: every forwarded panic payload is now in the
+        // channel. Absorb them before the containers disappear.
+        self.poll_container_panics();
         self.containers.clear();
         // Containers are gone; tighten the fast-path mask back down to the
         // synchronous subscriptions.
@@ -742,6 +912,125 @@ mod tests {
         let findings = em.drain_findings();
         assert_eq!(findings.len(), 2);
         assert!(findings.iter().all(|f| f.auditor == "panicky"));
+    }
+
+    #[test]
+    fn container_panic_payloads_are_preserved() {
+        let mut em = EventMultiplexer::new();
+        em.register_container(Box::new(|| Box::new(PanickyContainer { countdown: 1 })));
+        let mut vm = vm_state();
+        for _ in 0..4 {
+            em.dispatch(&mut vm, &ev(EventKind::ProcessSwitch { new_pdba: Gpa::new(1) }));
+        }
+        em.shutdown_containers();
+        let panics = em.container_panics();
+        assert_eq!(panics.len(), 2);
+        assert!(panics.iter().all(|p| p.container == "panicky" && p.message == "auditor bug!"));
+        let mut reg = MetricsRegistry::new();
+        em.collect_metrics(&mut reg);
+        assert_eq!(
+            reg.find("hypertap_container_panics_total", &[("container", "panicky")])
+                .unwrap()
+                .as_counter(),
+            Some(2)
+        );
+        // The panic records (payload included) landed in the black box.
+        let dump = em.flight().dump("test");
+        let panic_records: Vec<_> = dump
+            .records
+            .iter()
+            .filter_map(|r| match r {
+                crate::flight::DumpRecord::Panic { container, message, count } => {
+                    Some((container.clone(), message.clone(), *count))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            panic_records,
+            vec![
+                ("panicky".into(), "auditor bug!".into(), 1),
+                ("panicky".into(), "auditor bug!".into(), 2)
+            ]
+        );
+    }
+
+    #[test]
+    fn container_panic_writes_flight_dump_file() {
+        let dir = std::env::temp_dir().join(format!("hypertap-flight-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dump dir");
+        let mut em = EventMultiplexer::new();
+        em.set_flight_dump_dir(Some(dir.clone()));
+        em.register_container(Box::new(|| Box::new(PanickyContainer { countdown: 0 })));
+        let mut vm = vm_state();
+        em.dispatch(&mut vm, &ev(EventKind::ProcessSwitch { new_pdba: Gpa::new(1) }));
+        em.shutdown_containers();
+        let paths = em.flight_dump_paths().to_vec();
+        assert_eq!(paths.len(), 1);
+        let bytes = std::fs::read(&paths[0]).expect("dump file exists");
+        let dump = crate::flight::FlightDump::decode(&bytes).expect("dump decodes");
+        assert!(dump.reason.contains("container-panic"), "{}", dump.reason);
+        assert!(dump.reason.contains("auditor bug!"), "{}", dump.reason);
+        assert!(
+            dump.records.iter().any(|r| matches!(r, crate::flight::DumpRecord::Event { .. })),
+            "dump retains the events leading up to the failure"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sync_findings_and_ticks_land_in_the_flight_ring() {
+        struct Alerter;
+        impl Auditor for Alerter {
+            fn name(&self) -> &str {
+                "alerter"
+            }
+            fn subscriptions(&self) -> EventMask {
+                EventMask::ALL
+            }
+            fn on_event(&mut self, _vm: &mut VmState, event: &Event, sink: &mut dyn FindingSink) {
+                let provenance: Vec<_> = sink.current_ref().into_iter().collect();
+                sink.note_transition("alerter", "armed".to_owned());
+                sink.report(
+                    Finding::new("alerter", event.time, Severity::Alert, "seen")
+                        .with_provenance(provenance),
+                );
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+        let mut em = EventMultiplexer::new();
+        em.register(Box::new(Alerter));
+        let mut vm = vm_state();
+        em.dispatch(&mut vm, &ev(EventKind::ProcessSwitch { new_pdba: Gpa::new(1) }));
+        em.tick(&mut vm, SimTime::from_millis(9));
+        let dump = em.flight().dump("test");
+        let kinds: Vec<_> = dump
+            .records
+            .iter()
+            .map(|r| match r {
+                crate::flight::DumpRecord::Event { .. } => "event",
+                crate::flight::DumpRecord::Transition { .. } => "transition",
+                crate::flight::DumpRecord::Finding { .. } => "finding",
+                crate::flight::DumpRecord::Tick { .. } => "tick",
+                _ => "other",
+            })
+            .collect();
+        assert_eq!(kinds, vec!["event", "transition", "finding", "tick"]);
+        assert!(matches!(
+            &dump.records[2],
+            crate::flight::DumpRecord::Finding { provenance, .. }
+                if provenance == &vec![crate::event::EventRef(0)]
+        ));
+        // The finding drained from the EM carries the same provenance.
+        let findings = em.drain_findings();
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].provenance, vec![crate::event::EventRef(0)]);
+        assert!(findings[0].explain().contains("triggered by exits #0"));
     }
 
     #[test]

@@ -29,6 +29,24 @@ impl fmt::Display for VmId {
     }
 }
 
+/// Position of one forwarded event in a VM's pre-filter event stream.
+///
+/// The Event Multiplexer assigns refs in arrival order starting at `#0`,
+/// at the same boundary where an [`crate::em::EventTap`] observes the
+/// stream. Because a recorded HTRC trace captures exactly that stream, an
+/// `EventRef` doubles as the index of the event among a trace's event
+/// records — replaying a trace reproduces every ref bit-for-bit, and a
+/// [`crate::audit::Finding`]'s provenance can be resolved against either
+/// the in-memory flight recorder or the trace on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventRef(pub u64);
+
+impl fmt::Display for EventRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
 /// Which architectural gate a system call came through.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SyscallGate {

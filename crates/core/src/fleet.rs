@@ -34,7 +34,9 @@
 use crate::audit::Finding;
 use crate::em::DeliveryStats;
 use crate::event::VmId;
+use crate::flight::panic_message;
 use crate::metrics::MetricsRegistry;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -63,6 +65,14 @@ pub trait FleetVm {
     /// Drains the VM into its report. Called exactly once per VM — after
     /// [`SliceOutcome::Done`], or early when the fleet is stopped.
     fn finish(&mut self) -> VmReport;
+
+    /// Serializes the VM's flight recorder (`.htfr` bytes) for a failure
+    /// dump, or `None` when the VM has no recorder. Called best-effort
+    /// after [`FleetVm::step_slice`] panics, before the failure is
+    /// rethrown on the host.
+    fn flight_dump(&mut self, _reason: &str) -> Option<Vec<u8>> {
+        None
+    }
 }
 
 /// A recipe for the fleet's VMs: called once per [`VmId`], *on the worker
@@ -146,9 +156,18 @@ impl FleetReport {
 /// or `Drop` — so a fleet can never leak threads (the same lifecycle
 /// discipline as `RhcServer::stop`).
 pub struct FleetHost {
-    handles: Vec<JoinHandle<Vec<VmReport>>>,
+    handles: Vec<JoinHandle<Result<Vec<VmReport>, WorkerFailure>>>,
     stop: Arc<AtomicBool>,
     cfg: FleetConfig,
+}
+
+/// Why a worker abandoned its shard: one VM's slice panicked. The worker
+/// grabs the VM's flight-recorder dump before unwinding so the host can
+/// reference it in the rethrown error.
+struct WorkerFailure {
+    vm: VmId,
+    message: String,
+    dump: Option<Vec<u8>>,
 }
 
 impl FleetHost {
@@ -189,7 +208,24 @@ impl FleetHost {
         let mut per_vm = Vec::with_capacity(self.cfg.vms);
         for handle in std::mem::take(&mut self.handles) {
             match handle.join() {
-                Ok(reports) => per_vm.extend(reports),
+                Ok(Ok(reports)) => per_vm.extend(reports),
+                Ok(Err(failure)) => {
+                    let mut msg = format!(
+                        "fleet worker panicked stepping {}: {}",
+                        failure.vm, failure.message
+                    );
+                    if let Some(bytes) = failure.dump {
+                        let path = std::env::temp_dir().join(format!(
+                            "hypertap-{}-worker-panic-{}.htfr",
+                            failure.vm,
+                            std::process::id()
+                        ));
+                        if std::fs::write(&path, bytes).is_ok() {
+                            msg.push_str(&format!(" (flight dump: {})", path.display()));
+                        }
+                    }
+                    panic!("{msg}");
+                }
                 Err(panic) => std::panic::resume_unwind(panic),
             }
         }
@@ -216,7 +252,11 @@ impl Drop for FleetHost {
     }
 }
 
-fn worker_loop(shard: &[VmId], workload: &dyn FleetWorkload, stop: &AtomicBool) -> Vec<VmReport> {
+fn worker_loop(
+    shard: &[VmId],
+    workload: &dyn FleetWorkload,
+    stop: &AtomicBool,
+) -> Result<Vec<VmReport>, WorkerFailure> {
     // Build in ascending id order, step round-robin in ascending id order:
     // the per-VM slice schedule is identical for every worker count.
     let mut vms: Vec<(VmId, Option<Box<dyn FleetVm>>)> =
@@ -224,9 +264,23 @@ fn worker_loop(shard: &[VmId], workload: &dyn FleetWorkload, stop: &AtomicBool) 
     let mut reports = Vec::with_capacity(vms.len());
     let mut live = vms.len();
     while live > 0 && !stop.load(Ordering::SeqCst) {
-        for (_, slot) in vms.iter_mut() {
+        for (id, slot) in vms.iter_mut() {
             let Some(vm) = slot.as_mut() else { continue };
-            if vm.step_slice() == SliceOutcome::Done {
+            let outcome = match catch_unwind(AssertUnwindSafe(|| vm.step_slice())) {
+                Ok(outcome) => outcome,
+                Err(payload) => {
+                    // The slice panicked: snapshot the VM's black box
+                    // (best-effort — the VM may be mid-mutation) and hand
+                    // the payload + dump to the host instead of unwinding
+                    // the whole worker anonymously.
+                    let message = panic_message(payload);
+                    let reason = format!("fleet-worker-panic: {id}: {message}");
+                    let dump =
+                        catch_unwind(AssertUnwindSafe(|| vm.flight_dump(&reason))).ok().flatten();
+                    return Err(WorkerFailure { vm: *id, message, dump });
+                }
+            };
+            if outcome == SliceOutcome::Done {
                 reports.push(vm.finish());
                 *slot = None;
                 live -= 1;
@@ -240,7 +294,7 @@ fn worker_loop(shard: &[VmId], workload: &dyn FleetWorkload, stop: &AtomicBool) 
             *slot = None;
         }
     }
-    reports
+    Ok(reports)
 }
 
 /// Runs a whole fleet to completion: launch + join.
@@ -357,6 +411,7 @@ mod tests {
                     time: SimTime::from_nanos(self.id.0 as u64 * 10 + self.taken),
                     severity: Severity::Info,
                     message: format!("vm {} took {} slices", self.id.0, self.taken),
+                    provenance: Vec::new(),
                 }],
                 stats: DeliveryStats { events_in: self.taken * 3, ..Default::default() },
                 metrics,
@@ -504,6 +559,67 @@ mod tests {
         assert!(agg.findings().iter().zip(report.per_vm.iter()).all(|((id, _), r)| *id == r.vm));
         let merged = agg.metrics().find("stub_slices_total", &[]).unwrap();
         assert_eq!(merged.as_counter(), Some(20));
+    }
+
+    /// A VM that panics on its third slice and carries a tiny flight
+    /// recorder for the failure dump.
+    struct Crasher {
+        id: VmId,
+        taken: u64,
+        flight: crate::flight::FlightRecorder,
+    }
+
+    impl FleetVm for Crasher {
+        fn step_slice(&mut self) -> SliceOutcome {
+            self.taken += 1;
+            if self.taken == 3 {
+                panic!("slice exploded on vm {}", self.id.0);
+            }
+            SliceOutcome::Running
+        }
+
+        fn finish(&mut self) -> VmReport {
+            VmReport {
+                vm: self.id,
+                findings: Vec::new(),
+                stats: DeliveryStats::default(),
+                metrics: MetricsRegistry::new(),
+                halted: false,
+                payload: Vec::new(),
+            }
+        }
+
+        fn flight_dump(&mut self, reason: &str) -> Option<Vec<u8>> {
+            Some(self.flight.dump_bytes(reason))
+        }
+    }
+
+    struct CrashFleet;
+
+    impl FleetWorkload for CrashFleet {
+        fn build_vm(&self, vm: VmId) -> Box<dyn FleetVm> {
+            Box::new(Crasher { id: vm, taken: 0, flight: crate::flight::FlightRecorder::new(8) })
+        }
+    }
+
+    #[test]
+    fn worker_panic_rethrows_with_a_flight_dump_reference() {
+        let result =
+            std::panic::catch_unwind(|| run_fleet(Arc::new(CrashFleet), FleetConfig::new(1, 1)));
+        let message = panic_message(result.expect_err("the worker panic must propagate"));
+        assert!(message.contains("fleet worker panicked stepping vm0"), "{message}");
+        assert!(message.contains("slice exploded on vm 0"), "{message}");
+        assert!(message.contains("flight dump: "), "{message}");
+        let path = message
+            .split("flight dump: ")
+            .nth(1)
+            .and_then(|rest| rest.strip_suffix(')'))
+            .expect("message references the dump path");
+        let bytes = std::fs::read(path).expect("dump file written");
+        let dump = crate::flight::FlightDump::decode(&bytes).expect("dump decodes");
+        assert!(dump.reason.contains("fleet-worker-panic: vm0"), "{}", dump.reason);
+        assert!(dump.reason.contains("slice exploded"), "{}", dump.reason);
+        let _ = std::fs::remove_file(path);
     }
 
     #[test]

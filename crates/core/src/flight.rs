@@ -1,0 +1,944 @@
+//! Per-VM flight recorder: a bounded black box for post-mortem forensics.
+//!
+//! The recorder sits at the Event Multiplexer's pre-filter boundary — the
+//! same point an [`crate::em::EventTap`] observes — and keeps a bounded
+//! ring of the most recent activity: forwarded events (each stamped with
+//! its [`EventRef`] sequence number), periodic ticks, auditor state
+//! transitions (GOSHD liveness flips, HRKD scan epochs, HT-Ninja
+//! privilege-track edges), findings with their causal provenance, audit
+//! container panics, and host-side pipeline / fleet-slice spans.
+//!
+//! Unlike the replay crate's [`crate::em::EventTap`] recorder, the flight
+//! recorder is **always on** and **allocation-lean**: events are `Copy`
+//! and land in a pre-sized ring; strings are only allocated for the rare
+//! record kinds (transitions, findings, panics). Recording is purely
+//! host-side state — the recorder-on/off conformance pair in the replay
+//! crate proves the simulated event stream is byte-identical either way.
+//!
+//! On failure — an auditor panic, a conformance divergence, or a fleet
+//! worker panic — the ring is serialized to a versioned `.htfr` dump
+//! ([`FlightDump`], format [`FLIGHT_VERSION`]) that the `flightdump`
+//! inspector pretty-prints or exports as Chrome trace-event JSON for
+//! `chrome://tracing` / Perfetto.
+
+use crate::audit::{Finding, Severity};
+use crate::event::{Event, EventClass, EventRef, VmId};
+use hypertap_hvsim::clock::SimTime;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Version stamped into every `.htfr` dump. Bump on any change to the
+/// record encoding; [`FlightDump::decode`] rejects versions it does not
+/// understand rather than misparsing them.
+pub const FLIGHT_VERSION: u32 = 1;
+
+/// Default ring capacity (records, not bytes).
+pub const DEFAULT_CAPACITY: usize = 256;
+
+const FLIGHT_MAGIC: &[u8; 4] = b"HTFR";
+
+const TAG_EVENT: u8 = 0x01;
+const TAG_TICK: u8 = 0x02;
+const TAG_TRANSITION: u8 = 0x03;
+const TAG_FINDING: u8 = 0x04;
+const TAG_PANIC: u8 = 0x05;
+const TAG_SPAN: u8 = 0x06;
+
+/// One in-memory ring entry. Events are kept as the `Copy` struct they
+/// arrived as; rendering to strings is deferred to dump time.
+#[derive(Debug, Clone)]
+enum RingRecord {
+    Event { seq: EventRef, event: Event },
+    Tick { time: SimTime },
+    Transition { time: SimTime, auditor: String, detail: String },
+    Finding(Finding),
+    Panic { container: String, message: String, count: u64 },
+    Span { name: &'static str, start: SimTime, duration_ns: u64, track: u32 },
+}
+
+/// The bounded per-VM flight recorder.
+///
+/// The event sequence counter advances even while recording is disabled:
+/// [`EventRef`]s are a property of the forwarded stream itself, so
+/// finding provenance is identical whether or not the black box is
+/// retaining history — which is exactly what the recorder-on/off
+/// conformance pair asserts.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    enabled: bool,
+    capacity: usize,
+    ring: VecDeque<RingRecord>,
+    next_seq: u64,
+    dropped: u64,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::new(DEFAULT_CAPACITY)
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder retaining at most `capacity` records, enabled.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "flight recorder capacity must be positive");
+        FlightRecorder {
+            enabled: true,
+            capacity,
+            ring: VecDeque::with_capacity(capacity.min(4096)),
+            next_seq: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Turns retention on or off. Sequence numbering continues either way.
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+    }
+
+    /// Whether the ring is retaining records.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Resizes the ring, discarding oldest records if it shrinks.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        assert!(capacity > 0, "flight recorder capacity must be positive");
+        self.capacity = capacity;
+        while self.ring.len() > self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+    }
+
+    /// The ring's capacity in records.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Records currently retained.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether the ring holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Records evicted to make room so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The ref the next forwarded event will receive.
+    pub fn next_ref(&self) -> EventRef {
+        EventRef(self.next_seq)
+    }
+
+    fn push(&mut self, record: RingRecord) {
+        if !self.enabled {
+            return;
+        }
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(record);
+    }
+
+    /// Assigns the next [`EventRef`] to a forwarded event and retains it.
+    /// Called once per event at the EM pre-filter boundary.
+    pub fn observe_event(&mut self, event: &Event) -> EventRef {
+        let seq = EventRef(self.next_seq);
+        self.next_seq += 1;
+        self.push(RingRecord::Event { seq, event: *event });
+        seq
+    }
+
+    /// Retains one EM periodic tick.
+    pub fn observe_tick(&mut self, time: SimTime) {
+        self.push(RingRecord::Tick { time });
+    }
+
+    /// Retains an auditor state transition (liveness flip, scan epoch,
+    /// privilege-track edge, ...).
+    pub fn note_transition(&mut self, time: SimTime, auditor: &str, detail: String) {
+        if !self.enabled {
+            return;
+        }
+        self.push(RingRecord::Transition { time, auditor: auditor.to_owned(), detail });
+    }
+
+    /// Retains a finding alongside the events that caused it.
+    pub fn note_finding(&mut self, finding: &Finding) {
+        if !self.enabled {
+            return;
+        }
+        self.push(RingRecord::Finding(finding.clone()));
+    }
+
+    /// Retains an audit-container panic (`count` is the container's panic
+    /// total including this one).
+    pub fn note_panic(&mut self, container: &str, message: &str, count: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.push(RingRecord::Panic {
+            container: container.to_owned(),
+            message: message.to_owned(),
+            count,
+        });
+    }
+
+    /// Retains a host-side span (pipeline stage, fleet worker slice)
+    /// anchored at simulated time `start` with a measured duration.
+    pub fn note_span(&mut self, name: &'static str, start: SimTime, duration_ns: u64, track: u32) {
+        self.push(RingRecord::Span { name, start, duration_ns, track });
+    }
+
+    /// Renders the ring into a serializable [`FlightDump`].
+    pub fn dump(&self, reason: &str) -> FlightDump {
+        let records = self
+            .ring
+            .iter()
+            .map(|r| match r {
+                RingRecord::Event { seq, event } => DumpRecord::Event {
+                    seq: seq.0,
+                    time: event.time,
+                    vm: event.vm,
+                    vcpu: event.vcpu.0 as u32,
+                    class: event.class(),
+                    detail: event.kind.to_string(),
+                },
+                RingRecord::Tick { time } => DumpRecord::Tick { time: *time },
+                RingRecord::Transition { time, auditor, detail } => DumpRecord::Transition {
+                    time: *time,
+                    auditor: auditor.clone(),
+                    detail: detail.clone(),
+                },
+                RingRecord::Finding(f) => DumpRecord::Finding {
+                    time: f.time,
+                    auditor: f.auditor.clone(),
+                    severity: f.severity,
+                    message: f.message.clone(),
+                    provenance: f.provenance.clone(),
+                },
+                RingRecord::Panic { container, message, count } => DumpRecord::Panic {
+                    container: container.clone(),
+                    message: message.clone(),
+                    count: *count,
+                },
+                RingRecord::Span { name, start, duration_ns, track } => DumpRecord::Span {
+                    name: (*name).to_owned(),
+                    start: *start,
+                    duration_ns: *duration_ns,
+                    track: *track,
+                },
+            })
+            .collect();
+        FlightDump {
+            version: FLIGHT_VERSION,
+            reason: reason.to_owned(),
+            capacity: self.capacity as u64,
+            next_seq: self.next_seq,
+            dropped: self.dropped,
+            records,
+        }
+    }
+
+    /// Renders and encodes the ring in one step.
+    pub fn dump_bytes(&self, reason: &str) -> Vec<u8> {
+        self.dump(reason).encode()
+    }
+}
+
+/// One decoded (or rendered) dump record. Events carry their rendered
+/// kind rather than the full snapshot: dumps are for humans and trace
+/// viewers, not for replay — replay fidelity belongs to HTRC traces.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DumpRecord {
+    /// A forwarded event with its [`EventRef`] sequence number.
+    Event { seq: u64, time: SimTime, vm: VmId, vcpu: u32, class: EventClass, detail: String },
+    /// An EM periodic tick.
+    Tick { time: SimTime },
+    /// An auditor state transition.
+    Transition { time: SimTime, auditor: String, detail: String },
+    /// A finding with its causal provenance.
+    Finding {
+        time: SimTime,
+        auditor: String,
+        severity: Severity,
+        message: String,
+        provenance: Vec<EventRef>,
+    },
+    /// An audit container panic.
+    Panic { container: String, message: String, count: u64 },
+    /// A host-side span (pipeline stage or fleet slice).
+    Span { name: String, start: SimTime, duration_ns: u64, track: u32 },
+}
+
+/// A serialized flight-recorder snapshot: the versioned `.htfr` format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightDump {
+    /// Format version ([`FLIGHT_VERSION`] when freshly dumped).
+    pub version: u32,
+    /// Why the dump was taken ("container-panic", "conformance-divergence",
+    /// "fleet-worker-panic", ...).
+    pub reason: String,
+    /// Ring capacity at dump time.
+    pub capacity: u64,
+    /// Sequence number the next event would have received — the total
+    /// number of events forwarded over the recorder's lifetime.
+    pub next_seq: u64,
+    /// Records evicted from the ring before the dump.
+    pub dropped: u64,
+    /// Retained records, oldest first.
+    pub records: Vec<DumpRecord>,
+}
+
+/// Decode failure for a `.htfr` blob.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlightError {
+    /// Not a flight dump at all.
+    BadMagic,
+    /// A version this build does not understand.
+    UnsupportedVersion(u32),
+    /// Truncated input.
+    UnexpectedEof { offset: usize },
+    /// Unknown record tag.
+    BadTag { offset: usize, tag: u8 },
+    /// A string field was not UTF-8.
+    BadUtf8 { offset: usize },
+    /// An out-of-range enum discriminant.
+    BadEnum { offset: usize, value: u8 },
+    /// Bytes left over after the last record.
+    TrailingGarbage { offset: usize },
+}
+
+impl fmt::Display for FlightError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlightError::BadMagic => write!(f, "not a HTFR flight dump (bad magic)"),
+            FlightError::UnsupportedVersion(v) => write!(f, "unsupported flight-dump version {v}"),
+            FlightError::UnexpectedEof { offset } => {
+                write!(f, "unexpected end of dump at offset {offset}")
+            }
+            FlightError::BadTag { offset, tag } => {
+                write!(f, "unknown record tag {tag:#04x} at offset {offset}")
+            }
+            FlightError::BadUtf8 { offset } => write!(f, "invalid UTF-8 at offset {offset}"),
+            FlightError::BadEnum { offset, value } => {
+                write!(f, "out-of-range discriminant {value} at offset {offset}")
+            }
+            FlightError::TrailingGarbage { offset } => {
+                write!(f, "trailing bytes after the last record (offset {offset})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FlightError {}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FlightError> {
+        let out = self
+            .bytes
+            .get(self.pos..self.pos + n)
+            .ok_or(FlightError::UnexpectedEof { offset: self.pos })?;
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, FlightError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, FlightError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, FlightError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn string(&mut self) -> Result<String, FlightError> {
+        let len = self.u32()? as usize;
+        let offset = self.pos;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| FlightError::BadUtf8 { offset })
+    }
+}
+
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn class_index(class: EventClass) -> u8 {
+    EventClass::ALL.iter().position(|c| *c == class).expect("every class is in ALL") as u8
+}
+
+fn severity_index(severity: Severity) -> u8 {
+    severity as u8
+}
+
+impl FlightDump {
+    /// Serializes the dump as `.htfr` bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(FLIGHT_MAGIC);
+        out.extend_from_slice(&self.version.to_le_bytes());
+        put_string(&mut out, &self.reason);
+        out.extend_from_slice(&self.capacity.to_le_bytes());
+        out.extend_from_slice(&self.next_seq.to_le_bytes());
+        out.extend_from_slice(&self.dropped.to_le_bytes());
+        out.extend_from_slice(&(self.records.len() as u64).to_le_bytes());
+        for record in &self.records {
+            match record {
+                DumpRecord::Event { seq, time, vm, vcpu, class, detail } => {
+                    out.push(TAG_EVENT);
+                    out.extend_from_slice(&seq.to_le_bytes());
+                    out.extend_from_slice(&time.as_nanos().to_le_bytes());
+                    out.extend_from_slice(&vm.0.to_le_bytes());
+                    out.extend_from_slice(&vcpu.to_le_bytes());
+                    out.push(class_index(*class));
+                    put_string(&mut out, detail);
+                }
+                DumpRecord::Tick { time } => {
+                    out.push(TAG_TICK);
+                    out.extend_from_slice(&time.as_nanos().to_le_bytes());
+                }
+                DumpRecord::Transition { time, auditor, detail } => {
+                    out.push(TAG_TRANSITION);
+                    out.extend_from_slice(&time.as_nanos().to_le_bytes());
+                    put_string(&mut out, auditor);
+                    put_string(&mut out, detail);
+                }
+                DumpRecord::Finding { time, auditor, severity, message, provenance } => {
+                    out.push(TAG_FINDING);
+                    out.extend_from_slice(&time.as_nanos().to_le_bytes());
+                    put_string(&mut out, auditor);
+                    out.push(severity_index(*severity));
+                    put_string(&mut out, message);
+                    out.extend_from_slice(&(provenance.len() as u32).to_le_bytes());
+                    for r in provenance {
+                        out.extend_from_slice(&r.0.to_le_bytes());
+                    }
+                }
+                DumpRecord::Panic { container, message, count } => {
+                    out.push(TAG_PANIC);
+                    put_string(&mut out, container);
+                    put_string(&mut out, message);
+                    out.extend_from_slice(&count.to_le_bytes());
+                }
+                DumpRecord::Span { name, start, duration_ns, track } => {
+                    out.push(TAG_SPAN);
+                    put_string(&mut out, name);
+                    out.extend_from_slice(&start.as_nanos().to_le_bytes());
+                    out.extend_from_slice(&duration_ns.to_le_bytes());
+                    out.extend_from_slice(&track.to_le_bytes());
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses `.htfr` bytes back into a dump.
+    pub fn decode(bytes: &[u8]) -> Result<FlightDump, FlightError> {
+        let mut c = Cursor { bytes, pos: 0 };
+        if c.take(4)? != FLIGHT_MAGIC {
+            return Err(FlightError::BadMagic);
+        }
+        let version = c.u32()?;
+        if version != FLIGHT_VERSION {
+            return Err(FlightError::UnsupportedVersion(version));
+        }
+        let reason = c.string()?;
+        let capacity = c.u64()?;
+        let next_seq = c.u64()?;
+        let dropped = c.u64()?;
+        let count = c.u64()? as usize;
+        let mut records = Vec::with_capacity(count.min(1 << 20));
+        for _ in 0..count {
+            let tag_offset = c.pos;
+            let tag = c.u8()?;
+            let record = match tag {
+                TAG_EVENT => {
+                    let seq = c.u64()?;
+                    let time = SimTime::from_nanos(c.u64()?);
+                    let vm = VmId(c.u32()?);
+                    let vcpu = c.u32()?;
+                    let class_offset = c.pos;
+                    let idx = c.u8()? as usize;
+                    let class = *EventClass::ALL
+                        .get(idx)
+                        .ok_or(FlightError::BadEnum { offset: class_offset, value: idx as u8 })?;
+                    let detail = c.string()?;
+                    DumpRecord::Event { seq, time, vm, vcpu, class, detail }
+                }
+                TAG_TICK => DumpRecord::Tick { time: SimTime::from_nanos(c.u64()?) },
+                TAG_TRANSITION => DumpRecord::Transition {
+                    time: SimTime::from_nanos(c.u64()?),
+                    auditor: c.string()?,
+                    detail: c.string()?,
+                },
+                TAG_FINDING => {
+                    let time = SimTime::from_nanos(c.u64()?);
+                    let auditor = c.string()?;
+                    let sev_offset = c.pos;
+                    let severity = match c.u8()? {
+                        0 => Severity::Info,
+                        1 => Severity::Warning,
+                        2 => Severity::Alert,
+                        v => return Err(FlightError::BadEnum { offset: sev_offset, value: v }),
+                    };
+                    let message = c.string()?;
+                    let n = c.u32()? as usize;
+                    let mut provenance = Vec::with_capacity(n.min(1 << 16));
+                    for _ in 0..n {
+                        provenance.push(EventRef(c.u64()?));
+                    }
+                    DumpRecord::Finding { time, auditor, severity, message, provenance }
+                }
+                TAG_PANIC => DumpRecord::Panic {
+                    container: c.string()?,
+                    message: c.string()?,
+                    count: c.u64()?,
+                },
+                TAG_SPAN => DumpRecord::Span {
+                    name: c.string()?,
+                    start: SimTime::from_nanos(c.u64()?),
+                    duration_ns: c.u64()?,
+                    track: c.u32()?,
+                },
+                tag => return Err(FlightError::BadTag { offset: tag_offset, tag }),
+            };
+            records.push(record);
+        }
+        if c.pos != bytes.len() {
+            return Err(FlightError::TrailingGarbage { offset: c.pos });
+        }
+        Ok(FlightDump { version, reason, capacity, next_seq, dropped, records })
+    }
+
+    /// Human-readable rendering: a header plus one line per record,
+    /// oldest first — the `flightdump` inspector's default output.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "HTFR v{} | reason: {} | {} records (capacity {}, {} dropped, {} events total)",
+            self.version,
+            self.reason,
+            self.records.len(),
+            self.capacity,
+            self.dropped,
+            self.next_seq,
+        );
+        for record in &self.records {
+            match record {
+                DumpRecord::Event { seq, time, vm, vcpu, class, detail } => {
+                    let _ = writeln!(out, "{seq:>8}  [{time} {vm} vcpu{vcpu}] {class}: {detail}");
+                }
+                DumpRecord::Tick { time } => {
+                    let _ = writeln!(out, "       -  [{time}] em tick");
+                }
+                DumpRecord::Transition { time, auditor, detail } => {
+                    let _ = writeln!(out, "       ~  [{time}] {auditor} transition: {detail}");
+                }
+                DumpRecord::Finding { time, auditor, severity, message, provenance } => {
+                    let refs = render_refs(provenance);
+                    let _ = writeln!(
+                        out,
+                        "       !  [{time} {severity}] {auditor}: {message} \
+                         (triggered by exits {refs})"
+                    );
+                }
+                DumpRecord::Panic { container, message, count } => {
+                    let _ = writeln!(
+                        out,
+                        "       X  container '{container}' panic #{count}: {message}"
+                    );
+                }
+                DumpRecord::Span { name, start, duration_ns, track } => {
+                    let _ = writeln!(
+                        out,
+                        "       =  [{start}] span {name} {duration_ns}ns (track {track})"
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Exports the dump as Chrome trace-event JSON (the
+    /// `{"traceEvents": [...]}` object form), loadable in
+    /// `chrome://tracing` and Perfetto. Spans become complete (`"X"`)
+    /// events, everything else instant (`"i"`) events; timestamps are
+    /// simulated time in microseconds.
+    pub fn to_chrome_json(&self) -> String {
+        use serde::Value;
+        let default_pid = self
+            .records
+            .iter()
+            .find_map(|r| match r {
+                DumpRecord::Event { vm, .. } => Some(u64::from(vm.0)),
+                _ => None,
+            })
+            .unwrap_or(0);
+        let ts = |t: SimTime| Value::F64(t.as_nanos() as f64 / 1000.0);
+        let mut events: Vec<Value> = Vec::with_capacity(self.records.len() + 1);
+        events.push(Value::Object(vec![
+            ("name".into(), Value::Str("process_name".into())),
+            ("ph".into(), Value::Str("M".into())),
+            ("ts".into(), Value::F64(0.0)),
+            ("pid".into(), Value::U64(default_pid)),
+            ("tid".into(), Value::U64(0)),
+            (
+                "args".into(),
+                Value::Object(vec![(
+                    "name".into(),
+                    Value::Str(format!("hypertap vm{default_pid}")),
+                )]),
+            ),
+        ]));
+        for record in &self.records {
+            let value = match record {
+                DumpRecord::Event { seq, time, vm, vcpu, class, detail } => Value::Object(vec![
+                    ("name".into(), Value::Str(detail.clone())),
+                    ("cat".into(), Value::Str(class.to_string())),
+                    ("ph".into(), Value::Str("i".into())),
+                    ("ts".into(), ts(*time)),
+                    ("pid".into(), Value::U64(u64::from(vm.0))),
+                    ("tid".into(), Value::U64(u64::from(*vcpu))),
+                    ("s".into(), Value::Str("t".into())),
+                    ("args".into(), Value::Object(vec![("seq".into(), Value::U64(*seq))])),
+                ]),
+                DumpRecord::Tick { time } => Value::Object(vec![
+                    ("name".into(), Value::Str("em-tick".into())),
+                    ("cat".into(), Value::Str("tick".into())),
+                    ("ph".into(), Value::Str("i".into())),
+                    ("ts".into(), ts(*time)),
+                    ("pid".into(), Value::U64(default_pid)),
+                    ("tid".into(), Value::U64(0)),
+                    ("s".into(), Value::Str("p".into())),
+                ]),
+                DumpRecord::Transition { time, auditor, detail } => Value::Object(vec![
+                    ("name".into(), Value::Str(format!("{auditor} transition"))),
+                    ("cat".into(), Value::Str("transition".into())),
+                    ("ph".into(), Value::Str("i".into())),
+                    ("ts".into(), ts(*time)),
+                    ("pid".into(), Value::U64(default_pid)),
+                    ("tid".into(), Value::U64(0)),
+                    ("s".into(), Value::Str("p".into())),
+                    (
+                        "args".into(),
+                        Value::Object(vec![("detail".into(), Value::Str(detail.clone()))]),
+                    ),
+                ]),
+                DumpRecord::Finding { time, auditor, severity, message, provenance } => {
+                    Value::Object(vec![
+                        ("name".into(), Value::Str(message.clone())),
+                        ("cat".into(), Value::Str("finding".into())),
+                        ("ph".into(), Value::Str("i".into())),
+                        ("ts".into(), ts(*time)),
+                        ("pid".into(), Value::U64(default_pid)),
+                        ("tid".into(), Value::U64(0)),
+                        ("s".into(), Value::Str("g".into())),
+                        (
+                            "args".into(),
+                            Value::Object(vec![
+                                ("auditor".into(), Value::Str(auditor.clone())),
+                                ("severity".into(), Value::Str(severity.to_string())),
+                                (
+                                    "provenance".into(),
+                                    Value::Array(
+                                        provenance.iter().map(|r| Value::U64(r.0)).collect(),
+                                    ),
+                                ),
+                            ]),
+                        ),
+                    ])
+                }
+                DumpRecord::Panic { container, message, count } => Value::Object(vec![
+                    ("name".into(), Value::Str(format!("panic: {message}"))),
+                    ("cat".into(), Value::Str("panic".into())),
+                    ("ph".into(), Value::Str("i".into())),
+                    ("ts".into(), Value::F64(0.0)),
+                    ("pid".into(), Value::U64(default_pid)),
+                    ("tid".into(), Value::U64(0)),
+                    ("s".into(), Value::Str("g".into())),
+                    (
+                        "args".into(),
+                        Value::Object(vec![
+                            ("container".into(), Value::Str(container.clone())),
+                            ("count".into(), Value::U64(*count)),
+                        ]),
+                    ),
+                ]),
+                DumpRecord::Span { name, start, duration_ns, track } => Value::Object(vec![
+                    ("name".into(), Value::Str(name.clone())),
+                    ("cat".into(), Value::Str("span".into())),
+                    ("ph".into(), Value::Str("X".into())),
+                    ("ts".into(), ts(*start)),
+                    ("dur".into(), Value::F64(*duration_ns as f64 / 1000.0)),
+                    ("pid".into(), Value::U64(default_pid)),
+                    ("tid".into(), Value::U64(u64::from(*track))),
+                ]),
+            };
+            events.push(value);
+        }
+        let top = Value::Object(vec![
+            ("traceEvents".into(), Value::Array(events)),
+            ("displayTimeUnit".into(), Value::Str("ms".into())),
+            (
+                "otherData".into(),
+                Value::Object(vec![
+                    ("format".into(), Value::Str("hypertap-flight".into())),
+                    ("version".into(), Value::U64(u64::from(self.version))),
+                    ("reason".into(), Value::Str(self.reason.clone())),
+                ]),
+            ),
+        ]);
+        serde_json::to_string_pretty(&top).expect("Value serialization is infallible")
+    }
+}
+
+/// Renders a provenance list like `#3, #17` (or `-` when empty).
+pub fn render_refs(refs: &[EventRef]) -> String {
+    if refs.is_empty() {
+        return "-".to_owned();
+    }
+    refs.iter().map(|r| r.to_string()).collect::<Vec<_>>().join(", ")
+}
+
+/// Best-effort extraction of a panic payload's message — the std panic
+/// machinery types payloads as `&str` or `String` in practice.
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(payload) => match payload.downcast::<&'static str>() {
+            Ok(s) => (*s).to_owned(),
+            Err(_) => "<non-string panic payload>".to_owned(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use hypertap_hvsim::exit::VcpuSnapshot;
+    use hypertap_hvsim::mem::Gpa;
+    use hypertap_hvsim::vcpu::{Vcpu, VcpuId};
+
+    fn ev(t_ms: u64) -> Event {
+        Event {
+            vm: VmId(0),
+            vcpu: VcpuId(0),
+            time: SimTime::from_millis(t_ms),
+            kind: EventKind::ProcessSwitch { new_pdba: Gpa::new(0x1000) },
+            state: VcpuSnapshot::capture(&Vcpu::new(VcpuId(0))),
+        }
+    }
+
+    fn event_seqs(dump: &FlightDump) -> Vec<u64> {
+        dump.records
+            .iter()
+            .filter_map(|r| match r {
+                DumpRecord::Event { seq, .. } => Some(*seq),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn refs_are_assigned_in_arrival_order() {
+        let mut fr = FlightRecorder::new(8);
+        for i in 0..3 {
+            assert_eq!(fr.observe_event(&ev(i)), EventRef(i));
+        }
+        assert_eq!(fr.next_ref(), EventRef(3));
+        assert_eq!(fr.len(), 3);
+        assert_eq!(fr.dropped(), 0);
+    }
+
+    #[test]
+    fn capacity_one_ring_keeps_only_the_newest_event() {
+        let mut fr = FlightRecorder::new(1);
+        for i in 0..10 {
+            fr.observe_event(&ev(i));
+        }
+        assert_eq!(fr.len(), 1);
+        assert_eq!(fr.dropped(), 9);
+        let dump = fr.dump("test");
+        assert_eq!(event_seqs(&dump), vec![9]);
+        assert_eq!(dump.next_seq, 10);
+    }
+
+    #[test]
+    fn exact_capacity_stream_drops_nothing() {
+        let mut fr = FlightRecorder::new(16);
+        for i in 0..16 {
+            fr.observe_event(&ev(i));
+        }
+        assert_eq!(fr.len(), 16);
+        assert_eq!(fr.dropped(), 0);
+        assert_eq!(event_seqs(&fr.dump("test")), (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ten_times_capacity_preserves_newest_events_and_seqs() {
+        let cap = 32u64;
+        let mut fr = FlightRecorder::new(cap as usize);
+        for i in 0..cap * 10 {
+            fr.observe_event(&ev(i));
+        }
+        assert_eq!(fr.len(), cap as usize);
+        assert_eq!(fr.dropped(), cap * 9);
+        let dump = fr.dump("test");
+        assert_eq!(event_seqs(&dump), (cap * 9..cap * 10).collect::<Vec<_>>());
+        assert_eq!(dump.next_seq, cap * 10);
+        assert_eq!(dump.dropped, cap * 9);
+    }
+
+    #[test]
+    fn shrinking_capacity_discards_oldest() {
+        let mut fr = FlightRecorder::new(8);
+        for i in 0..8 {
+            fr.observe_event(&ev(i));
+        }
+        fr.set_capacity(3);
+        assert_eq!(fr.capacity(), 3);
+        assert_eq!(event_seqs(&fr.dump("test")), vec![5, 6, 7]);
+        assert_eq!(fr.dropped(), 5);
+    }
+
+    #[test]
+    fn disabled_recorder_numbers_but_retains_nothing() {
+        let mut fr = FlightRecorder::new(8);
+        fr.set_enabled(false);
+        assert_eq!(fr.observe_event(&ev(1)), EventRef(0));
+        assert_eq!(fr.observe_event(&ev(2)), EventRef(1));
+        fr.observe_tick(SimTime::from_millis(3));
+        fr.note_transition(SimTime::from_millis(3), "goshd", "flip".into());
+        fr.note_finding(&Finding::new("goshd", SimTime::from_millis(3), Severity::Alert, "x"));
+        assert!(fr.is_empty());
+        assert_eq!(fr.next_ref(), EventRef(2), "sequencing continues while disabled");
+        fr.set_enabled(true);
+        assert_eq!(fr.observe_event(&ev(4)), EventRef(2));
+        assert_eq!(fr.len(), 1);
+    }
+
+    #[test]
+    fn dump_roundtrips_every_record_kind() {
+        let mut fr = FlightRecorder::new(16);
+        let r0 = fr.observe_event(&ev(1));
+        fr.observe_tick(SimTime::from_millis(2));
+        fr.note_transition(SimTime::from_millis(3), "goshd", "vcpu0 up->hung".into());
+        fr.note_finding(
+            &Finding::new("goshd", SimTime::from_millis(3), Severity::Alert, "vcpu0 hung")
+                .with_provenance(vec![r0]),
+        );
+        fr.note_panic("panicky", "auditor bug!", 2);
+        fr.note_span("decode", SimTime::from_millis(1), 1234, 0);
+        let dump = fr.dump("unit-test");
+        let bytes = dump.encode();
+        let back = FlightDump::decode(&bytes).expect("dump decodes");
+        assert_eq!(back, dump);
+        assert_eq!(back.version, FLIGHT_VERSION);
+        assert_eq!(back.reason, "unit-test");
+        assert_eq!(back.records.len(), 6);
+        assert!(matches!(
+            &back.records[3],
+            DumpRecord::Finding { provenance, .. } if provenance == &vec![EventRef(0)]
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_bad_input() {
+        assert_eq!(FlightDump::decode(b"NOPE"), Err(FlightError::BadMagic));
+        let mut bytes = FlightRecorder::new(4).dump_bytes("r");
+        bytes[4] = 99; // version
+        assert_eq!(FlightDump::decode(&bytes), Err(FlightError::UnsupportedVersion(99)));
+        let mut fr = FlightRecorder::new(4);
+        fr.observe_event(&ev(1));
+        let good = fr.dump_bytes("r");
+        assert!(FlightDump::decode(&good[..good.len() - 1]).is_err());
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert_eq!(
+            FlightDump::decode(&trailing),
+            Err(FlightError::TrailingGarbage { offset: good.len() })
+        );
+    }
+
+    #[test]
+    fn render_mentions_every_record() {
+        let mut fr = FlightRecorder::new(16);
+        let r = fr.observe_event(&ev(1));
+        fr.note_finding(
+            &Finding::new("goshd", SimTime::from_millis(5), Severity::Alert, "vcpu0 hung")
+                .with_provenance(vec![r]),
+        );
+        let text = fr.dump("render-test").render();
+        assert!(text.contains("HTFR v1"), "{text}");
+        assert!(text.contains("render-test"), "{text}");
+        assert!(text.contains("process switch"), "{text}");
+        assert!(text.contains("triggered by exits #0"), "{text}");
+    }
+
+    #[test]
+    fn chrome_export_has_the_required_fields() {
+        let mut fr = FlightRecorder::new(16);
+        let r = fr.observe_event(&ev(1));
+        fr.observe_tick(SimTime::from_millis(2));
+        fr.note_finding(
+            &Finding::new("goshd", SimTime::from_millis(3), Severity::Alert, "hung")
+                .with_provenance(vec![r]),
+        );
+        fr.note_span("fleet-slice", SimTime::from_millis(0), 5_000_000, 3);
+        let json = fr.dump("chrome-test").to_chrome_json();
+        let top: serde::Value = serde_json::from_str(&json).expect("export is valid JSON");
+        let events = match top.get("traceEvents") {
+            Some(serde::Value::Array(items)) => items,
+            other => panic!("traceEvents must be an array, got {other:?}"),
+        };
+        assert!(!events.is_empty());
+        let mut phases = Vec::new();
+        for e in events {
+            for field in ["name", "ph", "ts", "pid", "tid"] {
+                assert!(e.get(field).is_some(), "missing {field} in {e:?}");
+            }
+            let ph = match e.get("ph") {
+                Some(serde::Value::Str(s)) => s.clone(),
+                other => panic!("ph must be a string, got {other:?}"),
+            };
+            if ph == "X" {
+                assert!(e.get("dur").is_some(), "complete events need dur: {e:?}");
+            }
+            phases.push(ph);
+        }
+        assert!(phases.contains(&"X".to_owned()), "span exported");
+        assert!(phases.contains(&"i".to_owned()), "instants exported");
+        assert!(json.contains("\"finding\""), "finding category present");
+    }
+
+    #[test]
+    fn panic_message_extracts_str_and_string() {
+        let from_str = std::panic::catch_unwind(|| panic!("plain str")).unwrap_err();
+        assert_eq!(panic_message(from_str), "plain str");
+        let msg = "formatted 42".to_owned();
+        let from_string = std::panic::catch_unwind(move || std::panic::panic_any(msg)).unwrap_err();
+        assert_eq!(panic_message(from_string), "formatted 42");
+        let other = std::panic::catch_unwind(|| std::panic::panic_any(7u32)).unwrap_err();
+        assert_eq!(panic_message(other), "<non-string panic payload>");
+    }
+}

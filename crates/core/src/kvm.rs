@@ -146,7 +146,9 @@ impl Hypervisor for Kvm {
                 action = ExitAction::Suppress;
             }
         }
-        self.spans.record("decode", decode_started);
+        if let Some(ns) = self.spans.record("decode", decode_started) {
+            self.em.flight_mut().note_span("decode", exit.time, ns, exit.vcpu.0 as u32);
+        }
         // 2. Forward to the EM in one batch; auditors run their
         //    (independent) audit phases. A synchronous auditor may request
         //    suppression.
@@ -164,7 +166,9 @@ impl Hypervisor for Kvm {
                 .collect();
             let fanout_started = self.spans.start();
             let suppress = self.em.deliver_all(vm, &events);
-            self.spans.record("fanout", fanout_started);
+            if let Some(ns) = self.spans.record("fanout", fanout_started) {
+                self.em.flight_mut().note_span("fanout", exit.time, ns, exit.vcpu.0 as u32);
+            }
             if suppress {
                 action = ExitAction::Suppress;
             }

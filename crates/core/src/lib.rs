@@ -76,6 +76,7 @@ pub mod derive;
 pub mod em;
 pub mod event;
 pub mod fleet;
+pub mod flight;
 pub mod intercept;
 pub mod kvm;
 pub mod metrics;
@@ -87,11 +88,12 @@ pub mod vmi;
 pub mod prelude {
     pub use crate::audit::{Auditor, CountingAuditor, Finding, FindingSink, Severity};
     pub use crate::em::{DeliveryStats, EventMultiplexer, EventTap};
-    pub use crate::event::{Event, EventClass, EventKind, EventMask, SyscallGate, VmId};
+    pub use crate::event::{Event, EventClass, EventKind, EventMask, EventRef, SyscallGate, VmId};
     pub use crate::fleet::{
         run_fleet, run_vm_alone, FleetAggregator, FleetConfig, FleetHost, FleetReport, FleetVm,
         FleetWorkload, SliceOutcome, VmReport,
     };
+    pub use crate::flight::{FlightDump, FlightError, FlightRecorder, FLIGHT_VERSION};
     pub use crate::intercept::{
         FastSyscallEngine, FineGrainedEngine, IntSyscallEngine, InterceptEngine, IoEngine,
         ProcessSwitchEngine, ThreadSwitchEngine, TssIntegrityEngine,

@@ -425,9 +425,15 @@ fn render_labels(labels: &[(String, String)], le: Option<&str>) -> String {
     if labels.is_empty() && le.is_none() {
         return String::new();
     }
+    // The Prometheus exposition format requires backslash, double-quote
+    // and line-feed escaped inside label values — a raw newline would
+    // split the series line and corrupt the whole scrape.
     let mut parts: Vec<String> = labels
         .iter()
-        .map(|(k, v)| format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+        .map(|(k, v)| {
+            let escaped = v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n");
+            format!("{k}=\"{escaped}\"")
+        })
         .collect();
     if let Some(le) = le {
         parts.push(format!("le=\"{le}\""));
@@ -586,9 +592,11 @@ impl Spans {
     }
 
     /// Finishes a span started by [`Spans::start`], attributing the elapsed
-    /// host nanoseconds to `stage`.
-    pub fn record(&mut self, stage: &'static str, started: Option<Instant>) {
-        let Some(started) = started else { return };
+    /// host nanoseconds to `stage`. Returns the elapsed nanoseconds (so the
+    /// caller can forward the same measurement to the flight recorder), or
+    /// `None` when recording was disabled at [`Spans::start`] time.
+    pub fn record(&mut self, stage: &'static str, started: Option<Instant>) -> Option<u64> {
+        let started = started?;
         let elapsed = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
         match self.stages.iter_mut().find(|(name, _)| *name == stage) {
             Some((_, hist)) => hist.observe(elapsed),
@@ -598,6 +606,7 @@ impl Spans {
                 self.stages.push((stage, hist));
             }
         }
+        Some(elapsed)
     }
 
     /// The accumulated histogram for one stage, if it ever recorded.
@@ -804,17 +813,36 @@ mod tests {
     }
 
     #[test]
+    fn prometheus_escapes_hostile_label_values() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter_with("m", &[("evil", "a\\b\"c\nd")], "help", 1);
+        let text = reg.to_prometheus();
+        assert!(
+            text.contains("m{evil=\"a\\\\b\\\"c\\nd\"} 1\n"),
+            "backslash, quote and newline must all be escaped: {text:?}"
+        );
+        // No raw newline may survive inside a label value: every line must
+        // be a comment or a complete `series value` pair.
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.ends_with(" 1"),
+                "scrape line corrupted by unescaped newline: {line:?}"
+            );
+        }
+    }
+
+    #[test]
     fn spans_disabled_are_free_and_enabled_record() {
         let mut spans = Spans::new(false);
         let t = spans.start();
         assert!(t.is_none());
-        spans.record("decode", t);
+        assert!(spans.record("decode", t).is_none(), "disabled spans measure nothing");
         assert!(spans.stage("decode").is_none());
 
         spans.set_enabled(true);
         for _ in 0..3 {
             let t = spans.start();
-            spans.record("decode", t);
+            assert!(spans.record("decode", t).is_some(), "enabled spans return elapsed ns");
         }
         assert_eq!(spans.stage("decode").unwrap().count(), 3);
         let mut reg = MetricsRegistry::new();

@@ -63,6 +63,11 @@ impl FleetVm for FleetMember {
             return SliceOutcome::Done;
         }
         let before = self.vm.now();
+        let wall = if self.vm.machine.hypervisor().em.flight().is_enabled() {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        };
         let target = (before + self.slice).min(self.deadline);
         match self.vm.run_until(target) {
             // The guest powered off (Sysno::Reboot) or an auditor paused
@@ -83,6 +88,18 @@ impl FleetVm for FleetMember {
                 }
             }
         }
+        if let Some(wall) = wall {
+            // One span per slice regardless of worker count, so the ring's
+            // record count stays deterministic; only the duration is wall
+            // clock, and durations are never exported as metrics.
+            let ns = wall.elapsed().as_nanos() as u64;
+            self.vm.machine.hypervisor_mut().em.flight_mut().note_span(
+                "fleet-slice",
+                before,
+                ns,
+                self.id.0,
+            );
+        }
         if self.done {
             SliceOutcome::Done
         } else {
@@ -99,6 +116,10 @@ impl FleetVm for FleetMember {
             halted: self.halted,
             payload: Vec::new(),
         }
+    }
+
+    fn flight_dump(&mut self, reason: &str) -> Option<Vec<u8>> {
+        Some(self.vm.flight_dump(reason))
     }
 }
 

@@ -14,7 +14,7 @@
 //! **full hangs**.
 
 use hypertap_core::audit::{Auditor, Finding, FindingSink, Severity};
-use hypertap_core::event::{Event, EventClass, EventMask};
+use hypertap_core::event::{Event, EventClass, EventMask, EventRef};
 use hypertap_hvsim::clock::{Duration, SimTime};
 use hypertap_hvsim::machine::VmState;
 use hypertap_hvsim::vcpu::VcpuId;
@@ -75,7 +75,13 @@ pub struct HangAlarm {
 pub struct Goshd {
     threshold: Duration,
     last_switch: Vec<Option<SimTime>>,
+    /// Ref of the last switch event per vCPU — the exit a hang alarm's
+    /// provenance points at ("silent since exit #n").
+    last_switch_ref: Vec<Option<EventRef>>,
     baseline: Option<SimTime>,
+    /// Ref of the first event GOSHD saw; fallback provenance for a vCPU
+    /// that never switched at all.
+    baseline_ref: Option<EventRef>,
     hung: Vec<bool>,
     alarms: Vec<HangAlarm>,
 }
@@ -86,7 +92,9 @@ impl Goshd {
         Goshd {
             threshold: config.threshold,
             last_switch: vec![None; vcpus],
+            last_switch_ref: vec![None; vcpus],
             baseline: None,
+            baseline_ref: None,
             hung: vec![false; vcpus],
             alarms: Vec::new(),
         }
@@ -142,13 +150,15 @@ impl Auditor for Goshd {
         EventMask::only(EventClass::ProcessSwitch).with(EventClass::ThreadSwitch)
     }
 
-    fn on_event(&mut self, _vm: &mut VmState, event: &Event, _sink: &mut dyn FindingSink) {
+    fn on_event(&mut self, _vm: &mut VmState, event: &Event, sink: &mut dyn FindingSink) {
         if self.baseline.is_none() {
             self.baseline = Some(event.time);
+            self.baseline_ref = sink.current_ref();
         }
         let v = event.vcpu.0;
         if v < self.last_switch.len() {
             self.last_switch[v] = Some(event.time);
+            self.last_switch_ref[v] = sink.current_ref().or(self.last_switch_ref[v]);
             // Note: the paper's GOSHD does not auto-clear alarms; a
             // recovered vCPU stays flagged for the operator. We keep that
             // latched behaviour.
@@ -186,12 +196,21 @@ impl Auditor for Goshd {
                 last_switch: last,
                 scope,
             });
-            sink.report(Finding::new(
-                "goshd",
-                now,
-                Severity::Alert,
-                format!("vcpu{v} hung: no context switch since {last} ({scope:?} hang)"),
-            ));
+            sink.note_transition("goshd", format!("vcpu{v} liveness: live -> hung"));
+            // The alarm's cause is the last switch exit on that vCPU — the
+            // event whose missing successor crossed the threshold. A vCPU
+            // that never switched points at GOSHD's first observed exit.
+            let provenance: Vec<EventRef> =
+                self.last_switch_ref[v].or(self.baseline_ref).into_iter().collect();
+            sink.report(
+                Finding::new(
+                    "goshd",
+                    now,
+                    Severity::Alert,
+                    format!("vcpu{v} hung: no context switch since {last} ({scope:?} hang)"),
+                )
+                .with_provenance(provenance),
+            );
         }
     }
 
@@ -313,6 +332,70 @@ mod tests {
         assert!(g.alarms().is_empty());
         g.on_tick(&mut vm, SimTime::from_millis(601), &mut sink);
         assert_eq!(g.alarms().len(), 1);
+    }
+
+    /// A sink that numbers delivered events like the EM does, so auditor
+    /// provenance can be tested without a full pipeline.
+    #[derive(Default)]
+    struct RefSink {
+        findings: Vec<Finding>,
+        transitions: Vec<(String, String)>,
+        current: Option<EventRef>,
+    }
+
+    impl FindingSink for RefSink {
+        fn report(&mut self, finding: Finding) {
+            self.findings.push(finding);
+        }
+        fn current_ref(&self) -> Option<EventRef> {
+            self.current
+        }
+        fn note_transition(&mut self, auditor: &str, detail: String) {
+            self.transitions.push((auditor.to_owned(), detail));
+        }
+    }
+
+    #[test]
+    fn alarm_provenance_points_at_the_last_switch_exit() {
+        let mut g = Goshd::new(2, cfg_ms(100));
+        let mut vm = vm_state();
+        let mut sink = RefSink::default();
+        // vCPU 0 switches at refs #0 and #2, vCPU 1 only at #1, then both
+        // go silent.
+        for (r, (vcpu, t)) in [(0usize, 10u64), (1, 20), (0, 30)].iter().enumerate() {
+            sink.current = Some(EventRef(r as u64));
+            g.on_event(&mut vm, &switch_event(*vcpu, *t), &mut sink);
+        }
+        sink.current = None;
+        g.on_tick(&mut vm, SimTime::from_millis(500), &mut sink);
+        assert_eq!(sink.findings.len(), 2);
+        let by_vcpu = |needle: &str| {
+            sink.findings
+                .iter()
+                .find(|f| f.message.starts_with(needle))
+                .unwrap_or_else(|| panic!("missing alarm for {needle}"))
+        };
+        assert_eq!(by_vcpu("vcpu0").provenance, vec![EventRef(2)]);
+        assert_eq!(by_vcpu("vcpu1").provenance, vec![EventRef(1)]);
+        assert!(by_vcpu("vcpu0").explain().contains("triggered by exits #2"));
+        // Each flagged vCPU also produced a liveness-flip transition.
+        assert_eq!(sink.transitions.len(), 2);
+        assert!(sink.transitions.iter().all(|(a, d)| a == "goshd" && d.contains("live -> hung")));
+    }
+
+    #[test]
+    fn never_switching_vcpu_falls_back_to_baseline_provenance() {
+        let mut g = Goshd::new(2, cfg_ms(100));
+        let mut vm = vm_state();
+        let mut sink = RefSink::default();
+        // Only vCPU 0 ever switches; vCPU 1's alarm can only cite GOSHD's
+        // first observed exit.
+        sink.current = Some(EventRef(4));
+        g.on_event(&mut vm, &switch_event(0, 10), &mut sink);
+        sink.current = None;
+        g.on_tick(&mut vm, SimTime::from_millis(500), &mut sink);
+        let vcpu1 = sink.findings.iter().find(|f| f.message.starts_with("vcpu1")).unwrap();
+        assert_eq!(vcpu1.provenance, vec![EventRef(4)]);
     }
 
     #[test]

@@ -104,6 +104,8 @@ pub struct TapVmBuilder {
     hninja: Option<(NinjaRules, Duration)>,
     tlb: Option<bool>,
     metrics: bool,
+    flight: Option<bool>,
+    flight_capacity: Option<usize>,
     vm_id: VmId,
 }
 
@@ -125,6 +127,8 @@ impl TapVmBuilder {
             hninja: None,
             tlb: None,
             metrics: false,
+            flight: None,
+            flight_capacity: None,
             vm_id: VmId(0),
         }
     }
@@ -225,6 +229,20 @@ impl TapVmBuilder {
         self
     }
 
+    /// Enables or disables the EM's flight recorder (on by default).
+    /// Retention is purely host-side: event ordinals advance identically
+    /// either way, which the flight-on/off replay conformance pair proves.
+    pub fn flight(mut self, enabled: bool) -> Self {
+        self.flight = Some(enabled);
+        self
+    }
+
+    /// Sets the flight-recorder ring capacity (records retained).
+    pub fn flight_capacity(mut self, records: usize) -> Self {
+        self.flight_capacity = Some(records);
+        self
+    }
+
     /// Builds the monitored VM (guest not yet booted; it boots on the first
     /// step of [`TapVm::run_for`]).
     pub fn build(self) -> TapVm {
@@ -236,6 +254,12 @@ impl TapVmBuilder {
         {
             let (vm, kvm) = machine.parts_mut();
             kvm.set_metrics_enabled(self.metrics);
+            if let Some(on) = self.flight {
+                kvm.em.flight_mut().set_enabled(on);
+            }
+            if let Some(cap) = self.flight_capacity {
+                kvm.em.flight_mut().set_capacity(cap);
+            }
             if self.engines.process_switch {
                 kvm.install(vm, Box::new(ProcessSwitchEngine::new()));
             }
@@ -358,6 +382,12 @@ impl TapVm {
         self.machine.hypervisor_mut().em.auditor_mut::<A>()
     }
 
+    /// Serializes the flight recorder into a versioned `.htfr` dump —
+    /// the payload written to disk when something in the pipeline fails.
+    pub fn flight_dump(&self, reason: &str) -> Vec<u8> {
+        self.machine.hypervisor().em.flight().dump_bytes(reason)
+    }
+
     /// Takes a full metrics snapshot of the monitored VM: simulator counters
     /// (exit reasons, simulated exit cost, TLB), the Event Forwarder and
     /// pipeline spans, and every EM delivery/findings counter.
@@ -415,6 +445,23 @@ mod tests {
         vm.run_for(Duration::from_millis(50));
         assert!(vm.kernel.is_booted());
         assert!(vm.now() >= SimTime::from_millis(50));
+    }
+
+    #[test]
+    fn flight_knobs_configure_the_recorder() {
+        let on = TapVm::builder().flight_capacity(16).build();
+        let flight = &on.machine.hypervisor().em;
+        assert!(flight.flight().is_enabled(), "flight recorder is on by default");
+        assert_eq!(flight.flight().capacity(), 16);
+
+        let mut off = TapVm::builder().flight(false).build();
+        assert!(!off.machine.hypervisor().em.flight().is_enabled());
+        off.run_for(Duration::from_millis(10));
+        assert!(off.machine.hypervisor().em.flight().is_empty(), "disabled ring retains nothing");
+        // Ordinals still advance so provenance is unchanged by the knob.
+        assert!(off.machine.hypervisor().em.flight().next_ref().0 > 0);
+        let dump = off.flight_dump("smoke");
+        assert!(hypertap_core::prelude::FlightDump::decode(&dump).is_ok());
     }
 
     #[test]

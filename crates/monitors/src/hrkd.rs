@@ -14,7 +14,7 @@
 
 use hypertap_core::audit::{Auditor, Finding, FindingSink, Severity};
 use hypertap_core::derive;
-use hypertap_core::event::{Event, EventClass, EventKind, EventMask};
+use hypertap_core::event::{Event, EventClass, EventKind, EventMask, EventRef};
 use hypertap_core::intercept::ProcessCounter;
 use hypertap_core::profile::OsProfile;
 use hypertap_core::vmi;
@@ -22,7 +22,7 @@ use hypertap_hvsim::clock::SimTime;
 use hypertap_hvsim::machine::VmState;
 use hypertap_hvsim::mem::{Gpa, Gva};
 use std::any::Any;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// A cross-view discrepancy found by HRKD.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -57,6 +57,14 @@ pub struct Hrkd {
     reports: Vec<HrkdReport>,
     check_period: Option<hypertap_hvsim::clock::Duration>,
     last_check: SimTime,
+    /// Latest exit at which each PDBA was seen loaded into CR3 — the
+    /// provenance a hidden-task finding cites.
+    pdba_refs: BTreeMap<u64, EventRef>,
+    /// Latest exit at which each kernel stack was seen loaded into
+    /// `TSS.RSP0`.
+    kstack_refs: BTreeMap<u64, EventRef>,
+    /// Completed periodic scan epochs.
+    scan_epoch: u64,
 }
 
 impl Hrkd {
@@ -73,6 +81,9 @@ impl Hrkd {
             reports: Vec::new(),
             check_period: None,
             last_check: SimTime::ZERO,
+            pdba_refs: BTreeMap::new(),
+            kstack_refs: BTreeMap::new(),
+            scan_epoch: 0,
         }
     }
 
@@ -182,7 +193,7 @@ impl Auditor for Hrkd {
         EventMask::only(EventClass::ProcessSwitch).with(EventClass::ThreadSwitch)
     }
 
-    fn on_event(&mut self, _vm: &mut VmState, event: &Event, _sink: &mut dyn FindingSink) {
+    fn on_event(&mut self, _vm: &mut VmState, event: &Event, sink: &mut dyn FindingSink) {
         match event.kind {
             EventKind::ProcessSwitch { new_pdba } => {
                 if self.first_pdba.is_none() {
@@ -191,9 +202,15 @@ impl Auditor for Hrkd {
                     self.first_pdba = Some(new_pdba.value());
                 }
                 self.counter.observe(new_pdba);
+                if let Some(r) = sink.current_ref() {
+                    self.pdba_refs.insert(new_pdba.value(), r);
+                }
             }
             EventKind::ThreadSwitch { kernel_stack } => {
                 self.kstacks.insert(kernel_stack);
+                if let Some(r) = sink.current_ref() {
+                    self.kstack_refs.insert(kernel_stack, r);
+                }
             }
             _ => {}
         }
@@ -206,18 +223,44 @@ impl Auditor for Hrkd {
         }
         self.last_check = now;
         let report = self.cross_validate_vmi(vm, now);
+        self.scan_epoch += 1;
+        sink.note_transition(
+            "hrkd",
+            format!(
+                "scan epoch {}: {} hidden pdba(s), {} hidden kstack(s)",
+                self.scan_epoch,
+                report.hidden_pdbas.len(),
+                report.hidden_kstacks.len()
+            ),
+        );
         if !report.is_clean() {
-            sink.report(Finding::new(
-                "hrkd",
-                now,
-                Severity::Alert,
-                format!(
-                    "hidden task(s): {} address space(s), {} kernel stack(s) \
-                     running but absent from the guest task list",
-                    report.hidden_pdbas.len(),
-                    report.hidden_kstacks.len()
-                ),
-            ));
+            // Cite the exits that put each hidden task on the CPU: the
+            // scheduling events are the architectural proof of execution
+            // the corrupted guest list cannot erase.
+            let mut provenance: Vec<EventRef> = report
+                .hidden_pdbas
+                .iter()
+                .filter_map(|p| self.pdba_refs.get(p).copied())
+                .chain(
+                    report.hidden_kstacks.iter().filter_map(|k| self.kstack_refs.get(k).copied()),
+                )
+                .collect();
+            provenance.sort_unstable();
+            provenance.dedup();
+            sink.report(
+                Finding::new(
+                    "hrkd",
+                    now,
+                    Severity::Alert,
+                    format!(
+                        "hidden task(s): {} address space(s), {} kernel stack(s) \
+                         running but absent from the guest task list",
+                        report.hidden_pdbas.len(),
+                        report.hidden_kstacks.len()
+                    ),
+                )
+                .with_provenance(provenance),
+            );
         }
     }
 

@@ -17,7 +17,7 @@ use super::rules::NinjaRules;
 use super::Detection;
 use hypertap_core::audit::{Auditor, Finding, FindingSink, Severity};
 use hypertap_core::derive;
-use hypertap_core::event::{Event, EventClass, EventKind, EventMask};
+use hypertap_core::event::{Event, EventClass, EventKind, EventMask, EventRef};
 use hypertap_core::profile::{OsProfile, TaskView};
 use hypertap_core::vmi;
 use hypertap_hvsim::machine::VmState;
@@ -31,6 +31,14 @@ fn is_io_syscall(number: u64) -> bool {
     hypertap_guestos::syscalls::Sysno::from_raw(number).map(|s| s.is_io()).unwrap_or(false)
 }
 
+/// Why an identity check fired: the interception path, when, and the
+/// causal exits to cite if the check turns into a finding.
+struct CheckTrigger {
+    via: &'static str,
+    time: hypertap_hvsim::clock::SimTime,
+    provenance: Vec<EventRef>,
+}
+
 /// The HT-Ninja auditor.
 #[derive(Debug)]
 pub struct HtNinja {
@@ -38,6 +46,9 @@ pub struct HtNinja {
     rules: NinjaRules,
     seen_pdbas: BTreeSet<u64>,
     last_kstack: Vec<Option<u64>>,
+    /// Ref of the thread-switch exit that loaded each vCPU's current
+    /// kernel stack — half of a first-switch detection's provenance.
+    last_kstack_ref: Vec<Option<EventRef>>,
     detections: Vec<Detection>,
     reported: BTreeSet<u64>,
     pause_on_detect: bool,
@@ -52,6 +63,7 @@ impl HtNinja {
             rules,
             seen_pdbas: BTreeSet::new(),
             last_kstack: vec![None; vcpus],
+            last_kstack_ref: vec![None; vcpus],
             detections: Vec::new(),
             reported: BTreeSet::new(),
             pause_on_detect: false,
@@ -81,10 +93,10 @@ impl HtNinja {
         vm: &mut VmState,
         task: &TaskView,
         cr3: Gpa,
-        via: &'static str,
-        time: hypertap_hvsim::clock::SimTime,
+        trigger: CheckTrigger,
         sink: &mut dyn FindingSink,
     ) {
+        let CheckTrigger { via, time, provenance } = trigger;
         self.checks += 1;
         let parent_uid = vmi::parent_of(&vm.mem, cr3, &self.profile, task)
             .ok()
@@ -103,15 +115,25 @@ impl HtNinja {
                 parent_uid,
                 via,
             });
-            sink.report(Finding::new(
+            sink.note_transition(
                 "ht-ninja",
-                time,
-                Severity::Alert,
                 format!(
-                    "privilege-escalated process pid {} ({}) caught via {via}",
-                    task.pid, task.comm
+                    "privilege track: pid {} euid {} under parent uid {parent_uid} ({via})",
+                    task.pid, task.euid
                 ),
-            ));
+            );
+            sink.report(
+                Finding::new(
+                    "ht-ninja",
+                    time,
+                    Severity::Alert,
+                    format!(
+                        "privilege-escalated process pid {} ({}) caught via {via}",
+                        task.pid, task.comm
+                    ),
+                )
+                .with_provenance(provenance),
+            );
             if self.pause_on_detect {
                 vm.pause();
             }
@@ -135,6 +157,7 @@ impl Auditor for HtNinja {
         match event.kind {
             EventKind::ThreadSwitch { kernel_stack } if v < self.last_kstack.len() => {
                 self.last_kstack[v] = Some(kernel_stack);
+                self.last_kstack_ref[v] = sink.current_ref();
             }
             EventKind::ProcessSwitch { new_pdba } => {
                 if !self.seen_pdbas.insert(new_pdba.value()) {
@@ -147,7 +170,19 @@ impl Auditor for HtNinja {
                 if let Ok(task) =
                     derive::task_from_kernel_stack(&vm.mem, new_pdba, &self.profile, rsp0)
                 {
-                    self.check_task(vm, &task, new_pdba, "first-switch", event.time, sink);
+                    // Cause chain: the TSS write that exposed the stack,
+                    // then the CR3 load that put the process on the CPU.
+                    let provenance: Vec<EventRef> = self
+                        .last_kstack_ref
+                        .get(v)
+                        .copied()
+                        .flatten()
+                        .into_iter()
+                        .chain(sink.current_ref())
+                        .collect();
+                    let trigger =
+                        CheckTrigger { via: "first-switch", time: event.time, provenance };
+                    self.check_task(vm, &task, new_pdba, trigger, sink);
                 }
             }
             EventKind::Syscall { number, .. } if is_io_syscall(number) => {
@@ -155,7 +190,12 @@ impl Auditor for HtNinja {
                 // kernel stack → thread_info → task_struct.
                 if let Ok(task) = derive::current_task(vm, event.vcpu, &self.profile) {
                     let cr3 = vm.vcpu(event.vcpu).cr3();
-                    self.check_task(vm, &task, cr3, "io-syscall", event.time, sink);
+                    let trigger = CheckTrigger {
+                        via: "io-syscall",
+                        time: event.time,
+                        provenance: sink.current_ref().into_iter().collect(),
+                    };
+                    self.check_task(vm, &task, cr3, trigger, sink);
                 }
             }
             _ => {}

@@ -5,7 +5,11 @@
 //! coarse interception (projected onto the shared classes), and extra
 //! never-firing exception-bitmap vectors (exact) — then diffs the recorded
 //! traces and cross-checks that replaying the baseline trace reproduces
-//! the live verdict.
+//! the live verdict. The flight-recorder pair (retention on/off, exact)
+//! rides in the same table. When a pair diverges, both sides' flight
+//! recorders are dumped to `.htfr` files and the paths printed; every
+//! replayed verdict's finding provenance is validated against the trace
+//! it cites.
 //!
 //! ```text
 //! cargo run --release -p hypertap-replay --bin conformance -- \
@@ -31,8 +35,10 @@ use hypertap_bench::cli::Args;
 use hypertap_hvsim::clock::Duration;
 use hypertap_replay::diff::{diff_traces, DiffPolicy};
 use hypertap_replay::fleet::{fleet_conformance_pair, ScenarioFleet};
-use hypertap_replay::replay::replay_trace;
-use hypertap_replay::scenario::{conformance_pairs, register_auditors, run_scenario, Scenario};
+use hypertap_replay::replay::{replay_trace, validate_provenance};
+use hypertap_replay::scenario::{
+    conformance_pairs, register_auditors, run_scenario, scenario_flight_dump, Scenario,
+};
 
 fn run_fleet_mode(args: &Args, vms: usize, seed: u64) {
     let workers_left = args.get::<usize>("workers-left", 1);
@@ -84,6 +90,7 @@ fn main() {
     let mut runs = 0u64;
     let mut divergences = 0u64;
     let mut replay_mismatches = 0u64;
+    let mut provenance_failures = 0u64;
     let mut injected_detected = 0u64;
     let mut total_events = 0u64;
 
@@ -100,6 +107,21 @@ fn main() {
                 divergences += 1;
                 println!("DIVERGENT {:<24} {}", scenario.name, label);
                 println!("{d}");
+                // Post-mortem: dump both sides' flight recorders so the
+                // divergence can be inspected offline with `flightdump`.
+                for (side, variant) in [("left", left), ("right", right)] {
+                    let reason =
+                        format!("conformance-divergence: {} {label} ({side})", scenario.name);
+                    let bytes = scenario_flight_dump(&scenario, variant, &reason);
+                    let path = std::env::temp_dir().join(format!(
+                        "hypertap-divergence-{ordinal}-{side}-{}.htfr",
+                        std::process::id()
+                    ));
+                    match std::fs::write(&path, bytes) {
+                        Ok(()) => println!("  flight dump ({side}): {}", path.display()),
+                        Err(e) => println!("  flight dump ({side}) failed: {e}"),
+                    }
+                }
             }
         }
 
@@ -110,6 +132,10 @@ fn main() {
             println!("REPLAY MISMATCH {:<24}", scenario.name);
             println!("  live:     {live_verdict:?}");
             println!("  replayed: {replayed:?}");
+        }
+        if let Err(e) = validate_provenance(&replayed, &base_trace) {
+            provenance_failures += 1;
+            println!("PROVENANCE INVALID {:<24} {e}", scenario.name);
         }
 
         if let Some(at) = inject {
@@ -132,7 +158,8 @@ fn main() {
 
     println!(
         "{runs} config-pair runs over {scenarios} scenarios ({total_events} baseline events): \
-         {divergences} divergences, {replay_mismatches} replay mismatches"
+         {divergences} divergences, {replay_mismatches} replay mismatches, \
+         {provenance_failures} invalid provenances"
     );
     if let Some(at) = inject {
         println!(
@@ -144,7 +171,7 @@ fn main() {
             std::process::exit(2);
         }
     }
-    if divergences > 0 || replay_mismatches > 0 {
+    if divergences > 0 || replay_mismatches > 0 || provenance_failures > 0 {
         eprintln!("conformance FAILED");
         std::process::exit(1);
     }

@@ -91,6 +91,10 @@ impl FleetVm for RecordingMember {
         self.member.step_slice()
     }
 
+    fn flight_dump(&mut self, reason: &str) -> Option<Vec<u8>> {
+        self.member.flight_dump(reason)
+    }
+
     fn finish(&mut self) -> VmReport {
         self.member.vm_mut().machine.hypervisor_mut().em.detach_tap();
         let mut report = self.member.finish();

@@ -48,7 +48,7 @@ pub mod prelude {
     };
     pub use crate::golden::{golden_path, golden_scenarios};
     pub use crate::recorder::TraceRecorder;
-    pub use crate::replay::{replay_trace, Verdict};
+    pub use crate::replay::{replay_trace, validate_provenance, Verdict};
     pub use crate::scenario::{
         build_scenario_vm, conformance_pairs, register_auditors, run_scenario, ConfigVariant,
         Scenario, BASE,

@@ -58,6 +58,10 @@ pub struct Verdict {
     pub class_counts: Vec<u64>,
     /// Every finding the auditors reported, in order, rendered.
     pub findings: Vec<String>,
+    /// Causal provenance per finding: the pre-filter exit ordinals that
+    /// triggered it, resolvable against the trace's event records. Same
+    /// order as `findings`.
+    pub findings_provenance: Vec<Vec<u64>>,
     /// Every GOSHD hang alarm, in order, rendered.
     pub goshd_alarms: Vec<String>,
     /// Events seen by the subscribed [`CountingAuditor`] (post-filter).
@@ -76,7 +80,10 @@ impl Verdict {
                 .expect("every class is in ALL");
             class_counts[idx] += 1;
         }
-        let findings = em.drain_findings().iter().map(|f| f.to_string()).collect();
+        let drained = em.drain_findings();
+        let findings = drained.iter().map(|f| f.to_string()).collect();
+        let findings_provenance =
+            drained.iter().map(|f| f.provenance.iter().map(|r| r.0).collect()).collect();
         let goshd_alarms = em
             .auditor::<Goshd>()
             .map(|g| {
@@ -100,10 +107,34 @@ impl Verdict {
             ticks_total: trace.tick_count(),
             class_counts,
             findings,
+            findings_provenance,
             goshd_alarms,
             counted_events,
         }
     }
+}
+
+/// Cross-checks a verdict's provenance against the trace it came from:
+/// every finding must cite at least one exit, and every cited ordinal must
+/// identify an event the trace actually recorded (refs are assigned at the
+/// EM pre-filter boundary, which is exactly what the trace logs).
+pub fn validate_provenance(verdict: &Verdict, trace: &Trace) -> Result<(), String> {
+    let events = trace.event_count();
+    for (i, refs) in verdict.findings_provenance.iter().enumerate() {
+        let rendered = verdict.findings.get(i).map(String::as_str).unwrap_or("<missing>");
+        if refs.is_empty() {
+            return Err(format!("finding #{i} carries no provenance: {rendered}"));
+        }
+        for &r in refs {
+            if r >= events {
+                return Err(format!(
+                    "finding #{i} cites exit #{r} but the trace only has {events} events: \
+                     {rendered}"
+                ));
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Re-feeds a recorded trace into a fresh EM and returns the verdict.

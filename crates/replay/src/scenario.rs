@@ -139,6 +139,10 @@ pub struct ConfigVariant {
     /// Host-side metrics instrumentation on or off. Host bookkeeping only;
     /// the trace must be byte-identical either way.
     pub metrics: bool,
+    /// Flight-recorder retention on or off. The ring is host bookkeeping:
+    /// event ordinals (and so finding provenance) advance identically
+    /// either way, and the trace must be byte-identical.
+    pub flight: bool,
 }
 
 /// The baseline configuration every pair compares against.
@@ -148,6 +152,7 @@ pub const BASE: ConfigVariant = ConfigVariant {
     fine: true,
     extra_vectors: &[],
     metrics: false,
+    flight: true,
 };
 
 /// Baseline with the software TLB off.
@@ -157,6 +162,7 @@ pub const NO_TLB: ConfigVariant = ConfigVariant {
     fine: true,
     extra_vectors: &[],
     metrics: false,
+    flight: true,
 };
 
 /// Baseline with the coarse engine subset.
@@ -166,6 +172,7 @@ pub const COARSE: ConfigVariant = ConfigVariant {
     fine: false,
     extra_vectors: &[],
     metrics: false,
+    flight: true,
 };
 
 /// Baseline with never-firing exception vectors added to the exit
@@ -177,6 +184,7 @@ pub const EXTRA_BITMAP: ConfigVariant = ConfigVariant {
     fine: true,
     extra_vectors: &[0x21, 0x7f, 0xf1],
     metrics: false,
+    flight: true,
 };
 
 /// Baseline with full metrics instrumentation (pipeline spans, dispatch
@@ -188,6 +196,20 @@ pub const METRICS_ON: ConfigVariant = ConfigVariant {
     fine: true,
     extra_vectors: &[],
     metrics: true,
+    flight: true,
+};
+
+/// Baseline with flight-recorder retention switched off. Ordinal
+/// assignment still runs (provenance must not depend on the knob), so
+/// both the trace and the verdict — provenance included — must match
+/// [`BASE`] exactly.
+pub const FLIGHT_OFF: ConfigVariant = ConfigVariant {
+    label: "tlb-on/flight-off",
+    tlb: true,
+    fine: true,
+    extra_vectors: &[],
+    metrics: false,
+    flight: false,
 };
 
 /// The configuration pairs the fuzzer differences, with their policies.
@@ -197,6 +219,7 @@ pub fn conformance_pairs() -> Vec<(ConfigVariant, ConfigVariant, DiffPolicy)> {
         (BASE, COARSE, DiffPolicy::Projected(shared_classes())),
         (BASE, EXTRA_BITMAP, DiffPolicy::Exact),
         (BASE, METRICS_ON, DiffPolicy::Exact),
+        (BASE, FLIGHT_OFF, DiffPolicy::Exact),
     ]
 }
 
@@ -317,6 +340,7 @@ pub fn build_scenario_vm(scenario: &Scenario, variant: &ConfigVariant, id: VmId)
         .engines(engines)
         .tlb(variant.tlb)
         .metrics(variant.metrics)
+        .flight(variant.flight)
         .build();
     for &v in variant.extra_vectors {
         vm.machine.vm_mut().controls_mut().set_exception_exiting(v, true);
@@ -324,6 +348,20 @@ pub fn build_scenario_vm(scenario: &Scenario, variant: &ConfigVariant, id: VmId)
     register_auditors(&mut vm.machine.hypervisor_mut().em, scenario.vcpus);
     install_guest(&mut vm, scenario);
     vm
+}
+
+/// Re-runs a scenario under a variant and serializes its flight recorder
+/// into a `.htfr` dump — the post-mortem payload the conformance fuzzer
+/// writes when a pair diverges. Guests are deterministic, so the re-run
+/// reproduces the diverging run exactly; retention is forced on (it is
+/// host-side only, which the flight conformance pair proves) so the dump
+/// is populated even for `FLIGHT_OFF`.
+pub fn scenario_flight_dump(scenario: &Scenario, variant: &ConfigVariant, reason: &str) -> Vec<u8> {
+    let mut forced = variant.clone();
+    forced.flight = true;
+    let mut vm = build_scenario_vm(scenario, &forced, VmId(0));
+    vm.run_for(scenario.duration);
+    vm.flight_dump(reason)
 }
 
 /// Runs a scenario under a configuration variant, recording the forwarded
@@ -390,6 +428,22 @@ mod tests {
         let (base, _) = run_scenario(&s, &BASE);
         let (coarse, _) = run_scenario(&s, &COARSE);
         assert_eq!(diff_traces(&base, &coarse, DiffPolicy::Projected(shared_classes())), None);
+    }
+
+    #[test]
+    fn flight_pair_is_conformant_and_provenance_is_identical() {
+        // Switching off flight-recorder retention must change nothing the
+        // guest or the auditors can observe: byte-identical trace, and the
+        // same verdict — including every finding's provenance refs, since
+        // ordinal assignment runs whether or not records are retained.
+        let s = Scenario::sample(7, 4);
+        let (base, live) = run_scenario(&s, &BASE);
+        let (dark, live_dark) = run_scenario(&s, &FLIGHT_OFF);
+        assert_eq!(diff_traces(&base, &dark, DiffPolicy::Exact), None);
+        let mut relabeled = live_dark.clone();
+        relabeled.config = live.config.clone();
+        assert_eq!(relabeled, live);
+        assert_eq!(live_dark.findings_provenance, live.findings_provenance);
     }
 
     #[test]

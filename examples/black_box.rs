@@ -1,0 +1,72 @@
+//! The flight recorder as a black box: explain an alarm after the fact.
+//!
+//! ```sh
+//! cargo run --example black_box
+//! ```
+//!
+//! Boots a monitored guest, injects a missing-spinlock-release fault, and
+//! lets GOSHD catch the hang. Every finding carries causal provenance —
+//! the pre-filter exit ordinals that triggered it — and the always-on
+//! flight recorder retains the recent event/transition history, so the
+//! alarm can be explained end to end from a `.htfr` dump long after the
+//! run: which exits proved the vCPU alive last, when the liveness flip
+//! happened, and what the pipeline was doing around it.
+
+use hypertap::harness::{EngineSelection, TapVm};
+use hypertap::prelude::*;
+use hypertap_guestos::fault::SingleFault;
+use hypertap_guestos::kpath;
+use hypertap_hvsim::clock::Duration;
+
+fn main() {
+    let mut vm = TapVm::builder()
+        .vcpus(2)
+        .engines(EngineSelection::context_switch_only())
+        .goshd(GoshdConfig::paper_default())
+        .flight_capacity(1024)
+        .build();
+
+    let make = hypertap::workloads::make::install(&mut vm.kernel, 2, 24);
+    let init = hypertap::workloads::make::install_init_running(&mut vm.kernel, make);
+    vm.kernel.set_init_program(init);
+    let site = kpath::site_for("ext3", 1) as u32;
+    vm.kernel.set_fault_hook(Box::new(SingleFault::new(site, FaultType::MissingUnlock, true)));
+    println!("injected: missing spinlock release at catalogue site {site} (ext3)");
+
+    // Run in short slices; stop right after the first alarm so the causal
+    // history is still in the ring.
+    for _ in 0..300 {
+        vm.run_for(Duration::from_millis(100));
+        if vm.auditor::<Goshd>().map(|g| !g.alarms().is_empty()).unwrap_or(false) {
+            break;
+        }
+    }
+
+    println!("\nfindings, each explained by the exits that triggered it:");
+    for finding in vm.drain_findings() {
+        println!("  {}", finding.explain());
+    }
+
+    // The black box itself: a versioned, self-contained dump of the
+    // recent history — the same bytes the EM writes on an auditor panic
+    // and the fleet host writes when a worker dies.
+    let bytes = vm.flight_dump("black_box example: post-alarm snapshot");
+    let dump = FlightDump::decode(&bytes).expect("own dump decodes");
+    println!(
+        "\nflight dump: HTFR v{} | {} records retained, {} dropped, {} events total",
+        dump.version,
+        dump.records.len(),
+        dump.dropped,
+        dump.next_seq
+    );
+    let rendered = dump.render();
+    let tail: Vec<&str> = rendered.lines().rev().take(8).collect();
+    println!("last records (newest first):");
+    for line in tail {
+        println!("  {line}");
+    }
+    println!(
+        "\ninspect offline: write the bytes to a .htfr file and run\n  \
+         cargo run -p hypertap-bench --bin flightdump -- --in <file> [--export-chrome out.json]"
+    );
+}

@@ -7,14 +7,15 @@
 //! fixtures with `cargo run --release -p hypertap-replay --bin
 //! record-golden` and review the deltas in the commit.
 
+use hypertap_hvsim::clock::SimTime;
 use hypertap_replay::fleet::{
     decode_fleet_archive, encode_fleet_archive, fleet_traces, golden_fleet, run_scenario_fleet,
     GOLDEN_FLEET_NAME,
 };
 use hypertap_replay::golden::{golden_path, golden_scenarios};
-use hypertap_replay::replay::replay_trace;
+use hypertap_replay::replay::{replay_trace, validate_provenance};
 use hypertap_replay::scenario::{register_auditors, run_scenario, BASE};
-use hypertap_replay::trace::{compress, decompress, Trace};
+use hypertap_replay::trace::{compress, decompress, Trace, TraceRecord};
 
 #[test]
 fn live_runs_match_checked_in_golden_traces_byte_for_byte() {
@@ -51,6 +52,52 @@ fn replaying_golden_traces_reproduces_live_verdicts() {
             scenario.name
         );
     }
+}
+
+#[test]
+fn golden_replay_reproduces_finding_provenance_bit_for_bit() {
+    // Causal provenance is part of the verdict: replaying a golden trace
+    // must cite exactly the exit ordinals the live run cited, and every
+    // cited ordinal must exist in the trace.
+    for scenario in golden_scenarios() {
+        let bytes = decompress(&std::fs::read(golden_path(&scenario.name)).expect("fixture"))
+            .expect("golden fixture decompresses");
+        let golden = Trace::decode(&bytes).expect("golden fixture decodes");
+        let (_, live) = run_scenario(&scenario, &BASE);
+        let replayed = replay_trace(&golden, |em| register_auditors(em, scenario.vcpus));
+        assert_eq!(
+            replayed.findings_provenance, live.findings_provenance,
+            "{}: replayed provenance must match the live run bit-for-bit",
+            scenario.name
+        );
+        validate_provenance(&replayed, &golden).unwrap_or_else(|e| {
+            panic!("{}: provenance does not resolve against the trace: {e}", scenario.name)
+        });
+    }
+}
+
+#[test]
+fn hang_extended_golden_trace_yields_explained_alarms() {
+    // The golden scenarios are healthy guests, so they raise no alarms of
+    // their own. Append silent EM ticks far past the GOSHD threshold to
+    // the first golden trace: replay must now alarm, and every alarm must
+    // be explained by exit ordinals the trace actually contains.
+    let scenario = &golden_scenarios()[0];
+    let bytes = decompress(&std::fs::read(golden_path(&scenario.name)).expect("fixture"))
+        .expect("golden fixture decompresses");
+    let mut trace = Trace::decode(&bytes).expect("golden fixture decodes");
+    for sec in 10..=20u64 {
+        trace.records.push(TraceRecord::Tick(SimTime::from_secs(sec)));
+    }
+    let replayed = replay_trace(&trace, |em| register_auditors(em, scenario.vcpus));
+    assert!(!replayed.goshd_alarms.is_empty(), "silence past the threshold must alarm");
+    assert!(!replayed.findings.is_empty());
+    assert!(
+        replayed.findings_provenance.iter().all(|refs| !refs.is_empty()),
+        "every hang finding must cite the exit that last proved the vCPU alive: {:?}",
+        replayed.findings_provenance
+    );
+    validate_provenance(&replayed, &trace).expect("alarm provenance resolves against the trace");
 }
 
 #[test]
