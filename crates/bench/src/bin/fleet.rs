@@ -35,6 +35,7 @@ fn main() {
     let mut rows: Vec<Value> = Vec::new();
     let mut baseline_report = None;
     let mut wall_at_1 = 0.0f64;
+    let mut speedup_at_8 = 0.0f64;
 
     for workers in WORKER_COUNTS {
         let start = Instant::now();
@@ -66,11 +67,17 @@ fn main() {
         }
 
         let events_per_sec = summary.events_in as f64 / wall;
+        let events_per_sec_per_worker = events_per_sec / workers as f64;
         let speedup = wall_at_1 / wall;
+        if workers == 8 {
+            speedup_at_8 = speedup;
+        }
         println!(
-            "  {workers} workers: {:>7.1} ms wall  {:>12.0} events/sec  {:>5.2}x vs 1 worker",
+            "  {workers} workers: {:>7.1} ms wall  {:>12.0} events/sec \
+             ({:>11.0}/worker)  {:>5.2}x vs 1 worker",
             wall * 1e3,
             events_per_sec,
+            events_per_sec_per_worker,
             speedup
         );
         rows.push(Value::Object(vec![
@@ -78,6 +85,7 @@ fn main() {
             ("wall_ms".to_string(), Value::F64(wall * 1e3)),
             ("events_in".to_string(), Value::U64(summary.events_in)),
             ("events_per_sec".to_string(), Value::F64(events_per_sec)),
+            ("events_per_sec_per_worker".to_string(), Value::F64(events_per_sec_per_worker)),
             ("speedup_vs_1_worker".to_string(), Value::F64(speedup)),
             (
                 "findings".to_string(),
@@ -86,6 +94,28 @@ fn main() {
             ("halted_vms".to_string(), Value::U64(summary.halted)),
         ]));
     }
+
+    // The ≥3x-at-8-workers target only means anything when the host can
+    // actually run 8 workers in parallel; on smaller hosts the expectation
+    // is recorded as skipped instead of silently passing or flaking.
+    let enforced = host_parallelism >= 8;
+    let status = if !enforced {
+        format!("skipped (host_parallelism {host_parallelism} < 8)")
+    } else if speedup_at_8 >= 3.0 {
+        "met".to_string()
+    } else {
+        "missed".to_string()
+    };
+    println!(
+        "  expectation: >=3.00x at 8 workers — {status} (measured {speedup_at_8:.2}x, \
+         host parallelism {host_parallelism})"
+    );
+    let expectation = Value::Object(vec![
+        ("min_speedup_at_8_workers".to_string(), Value::F64(3.0)),
+        ("measured_speedup_at_8_workers".to_string(), Value::F64(speedup_at_8)),
+        ("enforced".to_string(), Value::Bool(enforced)),
+        ("status".to_string(), Value::Str(status.clone())),
+    ]);
 
     let report = Value::Object(vec![
         (
@@ -98,13 +128,15 @@ fn main() {
                 "wall-clock per worker count over the same deterministic campaign \
                  (per-VM findings and stats asserted identical across counts before \
                  reporting); realizable speedup is bounded by host_parallelism — on \
-                 a 1-core host all counts serialize and the curve is flat"
+                 a 1-core host all counts serialize and the curve is flat, so the \
+                 3x-at-8-workers expectation is only enforced on 8+-way hosts"
                     .to_string(),
             ),
         ),
         ("vms".to_string(), Value::U64(vms as u64)),
         ("base_seed".to_string(), Value::U64(seed)),
         ("host_parallelism".to_string(), Value::U64(host_parallelism as u64)),
+        ("expectation".to_string(), expectation),
         ("runs".to_string(), Value::Array(rows)),
     ]);
 
@@ -112,4 +144,10 @@ fn main() {
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
     std::fs::write(path, json + "\n").expect("write BENCH_fleet.json");
     println!("\nwrote {path}");
+
+    assert!(
+        !enforced || speedup_at_8 >= 3.0,
+        "8-worker speedup {speedup_at_8:.2}x below the 3x target on a \
+         {host_parallelism}-way host"
+    );
 }

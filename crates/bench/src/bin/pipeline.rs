@@ -1,0 +1,341 @@
+//! Batched exit-pipeline throughput: the forwarder→EM→auditor path
+//! delivered per event (the pre-rework path, replayed on the same build)
+//! versus in ring-staged batches, written to `BENCH_pipeline.json` at the
+//! repository root.
+//!
+//! Three EM-boundary arms measure the delivery stage in isolation, all
+//! fanning out to the same eight-auditor panel (one narrow subscription
+//! per event class plus one catch-all — the shape of the paper's monitor
+//! fleet):
+//!
+//! * `per_event` — the pre-rework path ([`hypertap_bench::prebatch`], the
+//!   superseded algorithm replayed on the same build), one event per exit
+//!   (the typical decode rate: one CR3 write or port access per VM exit):
+//!   a fresh `Vec<EventKind>` and a fresh `Vec<Event>` allocated per exit,
+//!   a fresh finding sink per delivery, and a full auditor-list
+//!   subscription scan per event.
+//! * `per_exit` — the same pre-rework body at eight events per exit, the
+//!   best case the old path could reach when a chatty exit decoded many
+//!   events at once.
+//! * `batched` — the reworked path: events staged into the fixed-capacity
+//!   [`Ring`] with reusable scratch and flushed through
+//!   `EventMultiplexer::deliver_batch` as wraparound-safe slice pairs,
+//!   fan-out driven by the precomputed per-class routing table.
+//!
+//! An end-to-end pair (`e2e/*`) runs the whole `Machine<Kvm>` loop with
+//! the batched pipeline on and off for grounding; its delta is smaller
+//! because guest stepping and decode dominate.
+//!
+//! ```text
+//! cargo run --release -p hypertap-bench --bin pipeline            # full
+//! cargo run --release -p hypertap-bench --bin pipeline -- --smoke # CI
+//! ```
+
+use criterion::{black_box, Criterion};
+use hypertap_bench::cli::Args;
+use hypertap_bench::prebatch::PreBatchEm;
+use hypertap_core::audit::{Auditor, CountingAuditor};
+use hypertap_core::em::EventMultiplexer;
+use hypertap_core::event::{Event, EventClass, EventKind, EventMask, VmId};
+use hypertap_core::kvm::Kvm;
+use hypertap_core::ring::Ring;
+use hypertap_hvsim::clock::SimTime;
+use hypertap_hvsim::cpu::{CpuCtx, StepOutcome};
+use hypertap_hvsim::exit::{ExitAction, VcpuSnapshot, VmExit};
+use hypertap_hvsim::machine::{GuestProgram, Hypervisor, Machine, VmConfig, VmState};
+use hypertap_hvsim::mem::Gpa;
+use hypertap_hvsim::vcpu::{Vcpu, VcpuId};
+use serde::Value;
+
+/// Events per timed iteration of each EM-boundary arm.
+const STREAM_LEN: usize = 4096;
+/// Ring capacity of the batched arm — matches the pipeline's ring.
+const BATCH: usize = 256;
+/// Events per exit in the `per_exit` arm.
+const EXIT_EVENTS: usize = 8;
+
+struct NoHv;
+impl Hypervisor for NoHv {
+    fn handle_exit(&mut self, _vm: &mut VmState, _exit: &VmExit) -> ExitAction {
+        ExitAction::Resume
+    }
+}
+
+fn stream() -> Vec<Event> {
+    let state = VcpuSnapshot::capture(&Vcpu::new(VcpuId(0)));
+    (0..STREAM_LEN)
+        .map(|i| Event {
+            vm: VmId(0),
+            vcpu: VcpuId(0),
+            time: SimTime::from_millis(i as u64),
+            kind: if i % 2 == 0 {
+                EventKind::ProcessSwitch { new_pdba: Gpa::new(0x1000 + (i as u64 % 8) * 0x1000) }
+            } else {
+                EventKind::IoPort { port: 0x3f8, write: true, value: 0x41 }
+            },
+            state,
+        })
+        .collect()
+}
+
+/// The monitor panel both arms deliver to: one narrowly-subscribed auditor
+/// per event class plus one subscribed to everything — the shape of the
+/// paper's monitor fleet (GOSHD on switches, HRKD on memory, ...), and the
+/// shape where per-event auditor-list scans hurt most.
+fn panel() -> Vec<Box<dyn Auditor>> {
+    let mut auditors: Vec<Box<dyn Auditor>> = EventClass::ALL
+        .iter()
+        .map(|&c| Box::new(CountingAuditor::with_mask(EventMask::only(c))) as Box<dyn Auditor>)
+        .collect();
+    auditors.push(Box::new(CountingAuditor::new()));
+    auditors
+}
+
+fn bench_vm() -> VmState {
+    Machine::new(VmConfig::new(1, 1 << 20), NoHv).into_parts().0
+}
+
+fn fresh_em() -> (EventMultiplexer, VmState) {
+    let mut em = EventMultiplexer::new();
+    for a in panel() {
+        em.register(a);
+    }
+    // Flight retention copies every event into the black-box ring — a
+    // fixed cost identical in every arm. Turn it off so the arms measure
+    // the delivery path itself (the e2e pair below keeps it on); the
+    // pre-batch replica disables retention the same way. Instrumentation
+    // stays ON in both delivery arms: a production monitor runs with the
+    // dispatch-latency probe live, and amortizing it from per-event to
+    // per-batch is part of the rework under test.
+    em.flight_mut().set_enabled(false);
+    em.set_metrics_enabled(true);
+    (em, bench_vm())
+}
+
+fn fresh_prebatch() -> (PreBatchEm, VmState) {
+    let mut em = PreBatchEm::new();
+    for a in panel() {
+        em.register(a);
+    }
+    em.set_metrics_enabled(true);
+    (em, bench_vm())
+}
+
+/// The EM-boundary arms: the pre-rework delivery path (fresh `Vec`s per
+/// exit, full auditor-list mask scan per event) at one and eight events
+/// per exit, versus ring-staged batches through the routing table.
+// The fresh-Vec-then-push shape in the before arms is the superseded
+// allocation pattern under test, not an accident.
+#[allow(clippy::vec_init_then_push)]
+fn bench_delivery(c: &mut Criterion, smoke: bool) {
+    let events = stream();
+    let mut group = c.benchmark_group("delivery");
+    if smoke {
+        group.sample_size(5);
+    }
+
+    let (mut em, mut vm) = fresh_prebatch();
+    group.bench_function("per_event", |b| {
+        b.iter(|| {
+            for event in &events {
+                // Pre-rework forwarder body, one decoded event per exit.
+                let mut kinds = Vec::new();
+                kinds.push(event.kind);
+                let batch: Vec<Event> =
+                    kinds.iter().map(|&kind| Event { kind, ..*event }).collect();
+                em.deliver_all(&mut vm, black_box(&batch));
+            }
+        })
+    });
+
+    let (mut em, mut vm) = fresh_prebatch();
+    group.bench_function("per_exit", |b| {
+        b.iter(|| {
+            for chunk in events.chunks(EXIT_EVENTS) {
+                let mut kinds = Vec::new();
+                kinds.extend(chunk.iter().map(|e| e.kind));
+                let batch: Vec<Event> =
+                    kinds.iter().zip(chunk).map(|(&kind, e)| Event { kind, ..*e }).collect();
+                em.deliver_all(&mut vm, black_box(&batch));
+            }
+        })
+    });
+
+    let (mut em, mut vm) = fresh_em();
+    let mut ring: Ring<Event> = Ring::new(BATCH);
+    group.bench_function("batched", |b| {
+        b.iter(|| {
+            for chunk in events.chunks(BATCH) {
+                let staged = ring.push_slice(black_box(chunk));
+                debug_assert_eq!(staged, chunk.len());
+                let (front, back) = ring.as_slices();
+                em.deliver_batch(&mut vm, front, back);
+                let n = ring.len();
+                ring.consume(n);
+            }
+        })
+    });
+    group.finish();
+}
+
+/// Two engines' worth of traffic per step, same workload as the core
+/// pipeline tests: a context switch and a port write, one event per exit.
+struct Chatty;
+impl GuestProgram for Chatty {
+    fn step(&mut self, cpu: &mut CpuCtx<'_>) -> StepOutcome {
+        cpu.write_cr3(Gpa::new(0x3000));
+        cpu.pio_out(0x3f8, 0x41);
+        StepOutcome::Continue
+    }
+}
+
+const E2E_STEPS: usize = 512;
+
+/// Whole-machine grounding: guest stepping + engine decode + delivery,
+/// with the batched pipeline on and off.
+fn bench_e2e(c: &mut Criterion, smoke: bool) -> u64 {
+    use hypertap_core::intercept::{IoEngine, ProcessSwitchEngine};
+    let mut group = c.benchmark_group("e2e");
+    if smoke {
+        group.sample_size(5);
+    }
+    let mut events_per_iter = 0;
+    for (label, batched) in [("forwarder_batched", true), ("forwarder_unbatched", false)] {
+        let mut m = Machine::new(VmConfig::new(1, 1 << 20), Kvm::new());
+        let (vm, kvm) = m.parts_mut();
+        kvm.set_batched(batched);
+        kvm.install(vm, Box::new(ProcessSwitchEngine::new()));
+        kvm.install(vm, Box::new(IoEngine::new()));
+        kvm.em.register(Box::new(CountingAuditor::new()));
+        let before = m.hypervisor().forwarded_events();
+        m.run_steps(&mut Chatty, E2E_STEPS);
+        events_per_iter = m.hypervisor().forwarded_events() - before;
+        group.bench_function(label, |b| b.iter(|| m.run_steps(&mut Chatty, E2E_STEPS)));
+    }
+    group.finish();
+    events_per_iter
+}
+
+fn lookup(results: &[(String, f64)], id: &str) -> f64 {
+    results
+        .iter()
+        .find(|(name, _)| name == id)
+        .unwrap_or_else(|| panic!("missing benchmark {id}"))
+        .1
+}
+
+fn main() {
+    let args = Args::parse();
+    let smoke = args.has("smoke");
+
+    let mut c = Criterion::default();
+    bench_delivery(&mut c, smoke);
+    let e2e_events = bench_e2e(&mut c, smoke);
+    let results = c.results();
+
+    // ns/iter → events/sec: each delivery iteration moves STREAM_LEN
+    // events; each e2e iteration forwards `e2e_events`.
+    let eps = |id: &str, per_iter: u64| per_iter as f64 * 1e9 / lookup(results, id);
+    let per_event_eps = eps("delivery/per_event", STREAM_LEN as u64);
+    let per_exit_eps = eps("delivery/per_exit", STREAM_LEN as u64);
+    let batched_eps = eps("delivery/batched", STREAM_LEN as u64);
+    let e2e_batched_eps = eps("e2e/forwarder_batched", e2e_events);
+    let e2e_unbatched_eps = eps("e2e/forwarder_unbatched", e2e_events);
+    let speedup = batched_eps / per_event_eps;
+
+    println!();
+    println!("  per_event  {per_event_eps:>14.0} events/sec");
+    println!("  per_exit   {per_exit_eps:>14.0} events/sec");
+    println!("  batched    {batched_eps:>14.0} events/sec   {speedup:.2}x vs per_event");
+    println!(
+        "  e2e        {e2e_batched_eps:>14.0} events/sec batched, \
+         {e2e_unbatched_eps:.0} unbatched"
+    );
+
+    let targets_met = speedup >= 3.0 && batched_eps >= 1e6;
+    let report = Value::Object(vec![
+        (
+            "generated_by".to_string(),
+            Value::Str("cargo run --release -p hypertap-bench --bin pipeline".to_string()),
+        ),
+        (
+            "note".to_string(),
+            Value::Str(
+                "median ns/iter over one 4096-event stream into an 8-auditor panel, \
+                 dispatch-latency instrumentation on; 'per_event' and 'per_exit' \
+                 replay the pre-rework path on the same build (fresh kind/event Vecs \
+                 per exit, fresh sink per delivery, full auditor-list subscription \
+                 scan and two host-clock reads per event); 'batched' stages the \
+                 stream through the fixed-capacity ring and flushes via deliver_batch \
+                 over the precomputed routing table, one latency observation per \
+                 batch; 'e2e' runs the whole Machine<Kvm> loop with the pipeline \
+                 on/off"
+                    .to_string(),
+            ),
+        ),
+        ("smoke".to_string(), Value::Bool(smoke)),
+        ("stream_events".to_string(), Value::U64(STREAM_LEN as u64)),
+        ("batch_capacity".to_string(), Value::U64(BATCH as u64)),
+        (
+            "benchmarks_ns_per_iter".to_string(),
+            Value::Object(
+                results.iter().map(|(name, ns)| (name.clone(), Value::F64(*ns))).collect(),
+            ),
+        ),
+        (
+            "events_per_sec".to_string(),
+            Value::Object(vec![
+                ("per_event".to_string(), Value::F64(per_event_eps)),
+                ("per_exit".to_string(), Value::F64(per_exit_eps)),
+                ("batched".to_string(), Value::F64(batched_eps)),
+                ("e2e_batched".to_string(), Value::F64(e2e_batched_eps)),
+                ("e2e_unbatched".to_string(), Value::F64(e2e_unbatched_eps)),
+            ]),
+        ),
+        (
+            "speedups".to_string(),
+            Value::Object(vec![
+                (
+                    "batched_vs_per_event".to_string(),
+                    Value::Object(vec![
+                        (
+                            "before_ns".to_string(),
+                            Value::F64(lookup(results, "delivery/per_event")),
+                        ),
+                        ("after_ns".to_string(), Value::F64(lookup(results, "delivery/batched"))),
+                        ("speedup".to_string(), Value::F64(speedup)),
+                    ]),
+                ),
+                ("batched_vs_per_exit".to_string(), Value::F64(batched_eps / per_exit_eps)),
+                (
+                    "e2e_batched_vs_unbatched".to_string(),
+                    Value::F64(e2e_batched_eps / e2e_unbatched_eps),
+                ),
+            ]),
+        ),
+        (
+            "targets".to_string(),
+            Value::Object(vec![
+                ("min_speedup_vs_per_event".to_string(), Value::F64(3.0)),
+                ("min_batched_events_per_sec".to_string(), Value::F64(1e6)),
+                ("met".to_string(), Value::Bool(targets_met)),
+            ]),
+        ),
+    ]);
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(path, json + "\n").expect("write BENCH_pipeline.json");
+    println!("\nwrote {path}");
+
+    if smoke {
+        // CI smoke runs on shared, throttled machines: report, don't gate.
+        println!("smoke mode: targets reported but not enforced (met: {targets_met})");
+    } else {
+        assert!(
+            speedup >= 3.0,
+            "batched delivery is only {speedup:.2}x the per-event path (target 3x)"
+        );
+        assert!(batched_eps >= 1e6, "batched delivery at {batched_eps:.0} events/sec (target 1M)");
+    }
+}

@@ -18,6 +18,7 @@
 
 pub mod cli;
 pub mod ninja_scenarios;
+pub mod prebatch;
 pub mod report;
 pub mod seedpath;
 pub mod ubench;

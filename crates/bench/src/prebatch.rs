@@ -1,0 +1,132 @@
+//! The pre-batching Event Multiplexer delivery path, reimplemented for the
+//! `pipeline` bench's before arms.
+//!
+//! Same idiom as [`crate::seedpath`]: the superseded algorithm is replayed
+//! on the current build, so the before/after comparison isolates the
+//! pipeline rework from compiler and machine drift. This is the EM fan-out
+//! as it stood before the routing table and `deliver_batch`: one combined
+//! subscription-mask test per event, then a scan over *every* registered
+//! auditor testing its `subscriptions()` mask, a fresh finding sink per
+//! delivery call, and flight absorption attempted per event.
+
+use hypertap_core::audit::{Auditor, Finding, FindingSink};
+use hypertap_core::event::{Event, EventMask, EventRef};
+use hypertap_core::flight::FlightRecorder;
+use hypertap_core::metrics::Histogram;
+use hypertap_hvsim::machine::VmState;
+
+/// The per-delivery sink the old path rebuilt for every call.
+#[derive(Default)]
+struct Sink {
+    findings: Vec<Finding>,
+    current: Option<EventRef>,
+    suppress: bool,
+}
+
+impl FindingSink for Sink {
+    fn report(&mut self, finding: Finding) {
+        self.findings.push(finding);
+    }
+
+    fn request_suppress(&mut self) {
+        self.suppress = true;
+    }
+
+    fn current_ref(&self) -> Option<EventRef> {
+        self.current
+    }
+}
+
+/// The pre-rework synchronous delivery core: auditor list + combined mask.
+pub struct PreBatchEm {
+    auditors: Vec<Box<dyn Auditor>>,
+    combined: EventMask,
+    flight: FlightRecorder,
+    findings: Vec<Finding>,
+    metrics_enabled: bool,
+    dispatch_latency: Histogram,
+    /// Events entering fan-out.
+    pub events_in: u64,
+    /// Per-auditor synchronous deliveries.
+    pub sync_delivered: u64,
+    /// Events no auditor was subscribed to.
+    pub unclaimed: u64,
+}
+
+impl Default for PreBatchEm {
+    fn default() -> Self {
+        PreBatchEm::new()
+    }
+}
+
+impl PreBatchEm {
+    /// An empty delivery core with flight retention off (the bench arms
+    /// measure the delivery path, not the black box).
+    pub fn new() -> Self {
+        let mut flight = FlightRecorder::default();
+        flight.set_enabled(false);
+        PreBatchEm {
+            auditors: Vec::new(),
+            combined: EventMask::NONE,
+            flight,
+            findings: Vec::new(),
+            metrics_enabled: false,
+            dispatch_latency: Histogram::latency_ns(),
+            events_in: 0,
+            sync_delivered: 0,
+            unclaimed: 0,
+        }
+    }
+
+    /// Registers a synchronous auditor, widening the combined mask.
+    pub fn register(&mut self, auditor: Box<dyn Auditor>) {
+        self.combined = self.combined.union(auditor.subscriptions());
+        self.auditors.push(auditor);
+    }
+
+    /// Switches the pre-rework per-event instrumentation on: the old
+    /// `fan_out` wrapper read the host clock twice and observed the
+    /// dispatch-latency histogram for *every* event (`deliver_batch` now
+    /// amortizes that to once per batch).
+    pub fn set_metrics_enabled(&mut self, on: bool) {
+        self.metrics_enabled = on;
+    }
+
+    /// The recorded per-event dispatch latencies.
+    pub fn dispatch_latency(&self) -> &Histogram {
+        &self.dispatch_latency
+    }
+
+    /// The pre-rework `deliver_all`: one fresh sink for the exit's events,
+    /// then per event a combined-mask test and a full scan of the auditor
+    /// list testing each auditor's subscription mask.
+    pub fn deliver_all(&mut self, vm: &mut VmState, events: &[Event]) -> bool {
+        let mut sink = Sink { findings: std::mem::take(&mut self.findings), ..Sink::default() };
+        for event in events {
+            let started = if self.metrics_enabled { Some(std::time::Instant::now()) } else { None };
+            let since = sink.findings.len();
+            sink.current = Some(self.flight.observe_event(event));
+            self.events_in += 1;
+            let class = event.class();
+            if self.combined.contains(class) {
+                for a in self.auditors.iter_mut() {
+                    if a.subscriptions().contains(class) {
+                        a.on_event(vm, event, &mut sink);
+                        self.sync_delivered += 1;
+                    }
+                }
+                for f in &sink.findings[since..] {
+                    self.flight.note_finding(f);
+                }
+            } else {
+                self.unclaimed += 1;
+            }
+            if let Some(started) = started {
+                let elapsed = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                self.dispatch_latency.observe(elapsed);
+            }
+        }
+        self.findings = sink.findings;
+        sink.suppress
+    }
+}

@@ -210,6 +210,20 @@ impl EventClass {
         EventClass::Integrity,
     ];
 
+    /// Dense index of the class in [`EventClass::ALL`] order — the key into
+    /// the EM's precomputed routing table.
+    pub fn index(self) -> usize {
+        match self {
+            EventClass::ProcessSwitch => 0,
+            EventClass::ThreadSwitch => 1,
+            EventClass::Syscall => 2,
+            EventClass::Io => 3,
+            EventClass::Interrupt => 4,
+            EventClass::Memory => 5,
+            EventClass::Integrity => 6,
+        }
+    }
+
     fn bit(self) -> u16 {
         match self {
             EventClass::ProcessSwitch => 1 << 0,
@@ -387,6 +401,13 @@ mod tests {
             EventKind::TssRelocated { expected: Gva::new(0), found: Gva::new(1) }.class(),
             EventClass::Integrity
         );
+    }
+
+    #[test]
+    fn class_index_matches_all_order() {
+        for (i, c) in EventClass::ALL.into_iter().enumerate() {
+            assert_eq!(c.index(), i, "{c} should sit at routing slot {i}");
+        }
     }
 
     #[test]

@@ -9,12 +9,62 @@
 //! embedded [`EventMultiplexer`].
 
 use crate::em::EventMultiplexer;
-use crate::event::{Event, VmId};
+use crate::event::{Event, EventKind, VmId};
 use crate::intercept::{InterceptEngine, Table1Row};
 use crate::metrics::{MetricsRegistry, Spans};
+use crate::ring::{Ring, RingStats};
 use hypertap_hvsim::clock::SimTime;
 use hypertap_hvsim::exit::{ExitAction, VmExit};
 use hypertap_hvsim::machine::{Hypervisor, TimerId, VmState};
+
+/// Capacity of the staging ring between the decode and fan-out stages.
+/// Sized far above any realistic per-exit event count so backpressure
+/// flushes are the exception, while keeping the resident footprint small
+/// (`Event` is a couple hundred bytes).
+const RING_CAPACITY: usize = 256;
+
+/// Counters of the batched exit pipeline (queried by benches and tests,
+/// exported as `hypertap_pipeline_*`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Batches delivered to the EM via the staging ring.
+    pub batches: u64,
+    /// Events that travelled through the batched path.
+    pub events: u64,
+    /// Early flushes forced because an exit decoded more events than the
+    /// ring had room for (backpressure).
+    pub backpressure_flushes: u64,
+}
+
+/// Reusable scratch owned by the Event Forwarder — the `EventBatch` layer.
+///
+/// Every buffer here is allocated once (construction or first-use warmup)
+/// and reused for the lifetime of the VM, so the steady-state exit path
+/// performs no heap allocation on either the batched or the fallback
+/// route. The counting-allocator test (`tests/alloc_steady_state.rs`) pins
+/// that property down.
+struct ExitPipeline {
+    /// Decoded kinds of the current exit; cleared (not dropped) per exit.
+    kinds: Vec<EventKind>,
+    /// Wrapped-event scratch for the unbatched fallback path.
+    events: Vec<Event>,
+    /// Staging ring between decode and EM fan-out (batched path). The head
+    /// keeps advancing across exits, so staged batches routinely straddle
+    /// the physical edge — the wraparound the proptests hammer.
+    ring: Ring<Event>,
+    stats: PipelineStats,
+}
+
+impl ExitPipeline {
+    fn new() -> Self {
+        ExitPipeline {
+            kinds: Vec::with_capacity(8),
+            events: Vec::with_capacity(8),
+            ring: Ring::new(RING_CAPACITY),
+            stats: PipelineStats::default(),
+        }
+    }
+}
 
 /// The hypervisor: exit dispatch + Event Forwarder + Event Multiplexer.
 pub struct Kvm {
@@ -26,6 +76,12 @@ pub struct Kvm {
     /// Host wall-clock spans over the exit→decode→fan-out path. Disabled
     /// (one branch per exit) unless metrics are switched on.
     spans: Spans,
+    /// Reusable decode/staging buffers (never observable by the guest).
+    pipeline: ExitPipeline,
+    /// Whether exits take the batched ring path (default) or the per-event
+    /// fallback. Both produce bit-identical streams — the `BATCHED_OFF`
+    /// conformance pair enforces it.
+    batched: bool,
 }
 
 impl std::fmt::Debug for Kvm {
@@ -53,7 +109,31 @@ impl Kvm {
             vm_id: VmId(0),
             forwarded_events: 0,
             spans: Spans::new(false),
+            pipeline: ExitPipeline::new(),
+            batched: true,
         }
+    }
+
+    /// Selects the batched ring path (default) or the per-event fallback.
+    /// Purely a host-side performance knob: the forwarded stream, verdicts
+    /// and provenance are bit-identical either way.
+    pub fn set_batched(&mut self, on: bool) {
+        self.batched = on;
+    }
+
+    /// Whether exits take the batched ring path.
+    pub fn batched(&self) -> bool {
+        self.batched
+    }
+
+    /// Counters of the batched exit pipeline.
+    pub fn pipeline_stats(&self) -> PipelineStats {
+        self.pipeline.stats
+    }
+
+    /// Counters of the decode→fan-out staging ring.
+    pub fn ring_stats(&self) -> RingStats {
+        self.pipeline.ring.stats()
     }
 
     /// Switches host-side instrumentation (pipeline spans + EM dispatch
@@ -75,6 +155,34 @@ impl Kvm {
             "hypertap_pipeline_ns",
             "host wall-clock latency per exit-pipeline stage, nanoseconds",
             reg,
+        );
+        reg.counter(
+            "hypertap_pipeline_batches_total",
+            "event batches delivered through the staging ring",
+            self.pipeline.stats.batches,
+        );
+        reg.counter(
+            "hypertap_pipeline_events_total",
+            "events that travelled the batched pipeline",
+            self.pipeline.stats.events,
+        );
+        reg.counter(
+            "hypertap_pipeline_backpressure_flushes_total",
+            "early batch flushes forced by a full staging ring",
+            self.pipeline.stats.backpressure_flushes,
+        );
+        let ring = self.pipeline.ring.stats();
+        reg.counter("hypertap_ring_pushed_total", "events staged into the ring", ring.pushed);
+        reg.counter("hypertap_ring_popped_total", "events consumed from the ring", ring.popped);
+        reg.counter(
+            "hypertap_ring_rejected_total",
+            "ring pushes refused at capacity (backpressure)",
+            ring.rejected,
+        );
+        reg.gauge(
+            "hypertap_ring_high_watermark",
+            "largest staging-ring occupancy observed",
+            ring.high_watermark as f64,
         );
         self.em.collect_metrics(reg);
     }
@@ -131,43 +239,105 @@ impl Kvm {
     pub fn forwarded_events(&self) -> u64 {
         self.forwarded_events
     }
+
+    /// Drains everything staged in the ring into the EM as one batch,
+    /// handing the (possibly edge-straddling) contents over as the ring's
+    /// two contiguous runs — zero-copy. Returns whether any synchronous
+    /// auditor requested suppression.
+    fn flush_ring(&mut self, vm: &mut VmState) -> bool {
+        let (front, back) = self.pipeline.ring.as_slices();
+        let suppress = self.em.deliver_batch(vm, front, back);
+        let staged = self.pipeline.ring.len();
+        self.pipeline.ring.consume(staged);
+        self.pipeline.stats.batches += 1;
+        suppress
+    }
+
+    /// Batched delivery of the current exit's decoded kinds: wrap each kind
+    /// into an [`Event`] straight into the staging ring, then flush the
+    /// whole batch to the EM in one call. The ring is always fully drained
+    /// before the exit returns — suppression must be decided synchronously,
+    /// which is why the batch boundary is one exit (see DESIGN.md).
+    fn deliver_batched(&mut self, vm: &mut VmState, exit: &VmExit) -> bool {
+        let mut suppress = false;
+        self.pipeline.stats.events += self.pipeline.kinds.len() as u64;
+        for i in 0..self.pipeline.kinds.len() {
+            if self.pipeline.ring.is_full() {
+                // Backpressure: deliver the staged prefix early (in order)
+                // to make room. Ordering is preserved — the prefix fans out
+                // before anything behind it is staged.
+                self.pipeline.stats.backpressure_flushes += 1;
+                suppress |= self.flush_ring(vm);
+            }
+            let event = Event {
+                vm: self.vm_id,
+                vcpu: exit.vcpu,
+                time: exit.time,
+                kind: self.pipeline.kinds[i],
+                state: exit.state,
+            };
+            let pushed = self.pipeline.ring.try_push(event);
+            debug_assert!(pushed.is_ok(), "ring has room after a backpressure flush");
+        }
+        suppress |= self.flush_ring(vm);
+        suppress
+    }
+
+    /// Per-event fallback delivery (`batched == false`): same wrapping, but
+    /// through the EM's `deliver_all` with the reusable scratch `Vec` —
+    /// still allocation-free in the steady state.
+    fn deliver_unbatched(&mut self, vm: &mut VmState, exit: &VmExit) -> bool {
+        let vm_id = self.vm_id;
+        let ExitPipeline { kinds, events, .. } = &mut self.pipeline;
+        events.clear();
+        events.extend(kinds.iter().map(|&kind| Event {
+            vm: vm_id,
+            vcpu: exit.vcpu,
+            time: exit.time,
+            kind,
+            state: exit.state,
+        }));
+        self.em.deliver_all(vm, &self.pipeline.events)
+    }
 }
 
 impl Hypervisor for Kvm {
     fn handle_exit(&mut self, vm: &mut VmState, exit: &VmExit) -> ExitAction {
         let mut action = ExitAction::Resume;
+        // One branch decides all span work for this exit; with spans off
+        // neither stage reads the host clock at all.
+        let spans_on = self.spans.is_enabled();
         // 1. Logging phase: every engine inspects the exit; decoded events
-        //    are collected in order. This is the blocking part of the
-        //    pipeline, shared by all monitors.
-        let decode_started = self.spans.start();
-        let mut kinds = Vec::new();
+        //    are collected in order into the reusable scratch buffer. This
+        //    is the blocking part of the pipeline, shared by all monitors.
+        let decode_started = if spans_on { self.spans.start() } else { None };
+        self.pipeline.kinds.clear();
+        let kinds = &mut self.pipeline.kinds;
         for engine in &mut self.engines {
             if engine.on_exit(vm, exit, &mut |k| kinds.push(k)) == ExitAction::Suppress {
                 action = ExitAction::Suppress;
             }
         }
-        if let Some(ns) = self.spans.record("decode", decode_started) {
-            self.em.flight_mut().note_span("decode", exit.time, ns, exit.vcpu.0 as u32);
+        if spans_on {
+            if let Some(ns) = self.spans.record("decode", decode_started) {
+                self.em.flight_mut().note_span("decode", exit.time, ns, exit.vcpu.0 as u32);
+            }
         }
         // 2. Forward to the EM in one batch; auditors run their
         //    (independent) audit phases. A synchronous auditor may request
         //    suppression.
-        if !kinds.is_empty() {
-            self.forwarded_events += kinds.len() as u64;
-            let events: Vec<Event> = kinds
-                .into_iter()
-                .map(|kind| Event {
-                    vm: self.vm_id,
-                    vcpu: exit.vcpu,
-                    time: exit.time,
-                    kind,
-                    state: exit.state,
-                })
-                .collect();
-            let fanout_started = self.spans.start();
-            let suppress = self.em.deliver_all(vm, &events);
-            if let Some(ns) = self.spans.record("fanout", fanout_started) {
-                self.em.flight_mut().note_span("fanout", exit.time, ns, exit.vcpu.0 as u32);
+        if !self.pipeline.kinds.is_empty() {
+            self.forwarded_events += self.pipeline.kinds.len() as u64;
+            let fanout_started = if spans_on { self.spans.start() } else { None };
+            let suppress = if self.batched {
+                self.deliver_batched(vm, exit)
+            } else {
+                self.deliver_unbatched(vm, exit)
+            };
+            if spans_on {
+                if let Some(ns) = self.spans.record("fanout", fanout_started) {
+                    self.em.flight_mut().note_span("fanout", exit.time, ns, exit.vcpu.0 as u32);
+                }
             }
             if suppress {
                 action = ExitAction::Suppress;
@@ -246,6 +416,82 @@ mod tests {
         assert_eq!(kvm.engine_names(), vec!["io-access", "process-switch"]);
         assert!(kvm.engine_mut("io-access").is_some());
         assert!(kvm.engine_mut("nope").is_none());
+    }
+
+    struct Chatty;
+    impl GuestProgram for Chatty {
+        fn step(&mut self, cpu: &mut CpuCtx<'_>) -> StepOutcome {
+            // Two engines' worth of traffic per step: a context switch and
+            // a port write.
+            cpu.write_cr3(Gpa::new(0x3000));
+            cpu.pio_out(0x3f8, 0x41);
+            StepOutcome::Continue
+        }
+    }
+
+    fn run_chatty(batched: bool, steps: usize) -> Machine<Kvm> {
+        let mut m = Machine::new(VmConfig::new(1, 1 << 20), Kvm::new());
+        let (vm, kvm) = m.parts_mut();
+        kvm.set_batched(batched);
+        kvm.install(vm, Box::new(ProcessSwitchEngine::new()));
+        kvm.install(vm, Box::new(IoEngine::new()));
+        kvm.em.register(Box::new(CountingAuditor::new()));
+        m.run_steps(&mut Chatty, steps);
+        m
+    }
+
+    #[test]
+    fn batched_and_unbatched_paths_are_equivalent() {
+        let on = run_chatty(true, 6);
+        let off = run_chatty(false, 6);
+        assert_eq!(on.hypervisor().forwarded_events(), off.hypervisor().forwarded_events());
+        assert_eq!(on.hypervisor().em.stats(), off.hypervisor().em.stats());
+        assert_eq!(
+            on.hypervisor().em.flight().dump("t").records,
+            off.hypervisor().em.flight().dump("t").records,
+            "flight streams (events, refs, order) must be bit-identical"
+        );
+        // Only the batched run exercises the ring.
+        let stats = on.hypervisor().pipeline_stats();
+        assert!(stats.batches >= 6, "at least one batch per eventful exit");
+        assert_eq!(stats.events, on.hypervisor().forwarded_events());
+        assert_eq!(off.hypervisor().pipeline_stats(), PipelineStats::default());
+        let ring = on.hypervisor().ring_stats();
+        assert_eq!(ring.pushed, stats.events);
+        assert_eq!(ring.popped, ring.pushed, "every staged event was delivered");
+        assert_eq!(ring.rejected, 0);
+    }
+
+    #[test]
+    fn disabled_spans_never_touch_the_host_clock() {
+        let m = run_chatty(true, 8);
+        assert_eq!(
+            m.hypervisor().spans.timestamps_taken(),
+            0,
+            "metrics off: no Instant::now() on the exit path"
+        );
+        let mut on = Machine::new(VmConfig::new(1, 1 << 20), Kvm::new());
+        let (vm, kvm) = on.parts_mut();
+        kvm.set_metrics_enabled(true);
+        kvm.install(vm, Box::new(ProcessSwitchEngine::new()));
+        on.run_steps(&mut Switcher, 3);
+        // decode + fanout per eventful exit.
+        assert_eq!(on.hypervisor().spans.timestamps_taken(), 6);
+    }
+
+    #[test]
+    fn pipeline_metrics_are_exported() {
+        let m = run_chatty(true, 4);
+        let mut reg = crate::metrics::MetricsRegistry::new();
+        m.hypervisor().collect_metrics(&mut reg);
+        let events = m.hypervisor().forwarded_events();
+        assert_eq!(
+            reg.find("hypertap_pipeline_events_total", &[]).unwrap().as_counter(),
+            Some(events)
+        );
+        assert_eq!(reg.find("hypertap_ring_pushed_total", &[]).unwrap().as_counter(), Some(events));
+        assert_eq!(reg.find("hypertap_ring_rejected_total", &[]).unwrap().as_counter(), Some(0));
+        assert!(reg.find("hypertap_ring_high_watermark", &[]).unwrap().as_gauge().unwrap() >= 1.0);
     }
 
     #[test]

@@ -82,6 +82,7 @@ pub mod kvm;
 pub mod metrics;
 pub mod profile;
 pub mod rhc;
+pub mod ring;
 pub mod vmi;
 
 /// Glob import of the framework's main types.
@@ -98,12 +99,13 @@ pub mod prelude {
         FastSyscallEngine, FineGrainedEngine, IntSyscallEngine, InterceptEngine, IoEngine,
         ProcessSwitchEngine, ThreadSwitchEngine, TssIntegrityEngine,
     };
-    pub use crate::kvm::Kvm;
+    pub use crate::kvm::{Kvm, PipelineStats};
     pub use crate::metrics::{
         collect_vm, Histogram, MetricValue, MetricsArg, MetricsRegistry, Spans,
     };
     pub use crate::profile::OsProfile;
     pub use crate::rhc::{HeartbeatSample, RemoteHealthChecker, RhcTransport};
+    pub use crate::ring::{Ring, RingStats};
 }
 
 pub use prelude::*;

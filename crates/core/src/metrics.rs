@@ -562,12 +562,15 @@ impl Deserialize for MetricsRegistry {
 pub struct Spans {
     enabled: bool,
     stages: Vec<(&'static str, Histogram)>,
+    /// Host timestamps actually taken by [`Spans::start`] — the regression
+    /// guard that a disabled recorder never touches the clock.
+    timestamps_taken: u64,
 }
 
 impl Spans {
     /// A recorder, enabled or not.
     pub fn new(enabled: bool) -> Self {
-        Spans { enabled, stages: Vec::new() }
+        Spans { enabled, stages: Vec::new(), timestamps_taken: 0 }
     }
 
     /// Turns recording on or off (accumulated stages are kept).
@@ -581,14 +584,23 @@ impl Spans {
     }
 
     /// Starts a span: returns a host timestamp when enabled, `None` (free)
-    /// when disabled.
+    /// when disabled. `Instant::now()` — a vDSO call, but still tens of
+    /// nanoseconds on the exit path — is only reached when enabled.
     #[inline]
-    pub fn start(&self) -> Option<Instant> {
+    pub fn start(&mut self) -> Option<Instant> {
         if self.enabled {
+            self.timestamps_taken += 1;
             Some(Instant::now())
         } else {
             None
         }
+    }
+
+    /// How many host timestamps [`Spans::start`] has actually taken. Stays
+    /// at zero for as long as the recorder is disabled — the property the
+    /// exit-path regression test pins down.
+    pub fn timestamps_taken(&self) -> u64 {
+        self.timestamps_taken
     }
 
     /// Finishes a span started by [`Spans::start`], attributing the elapsed
@@ -838,6 +850,7 @@ mod tests {
         assert!(t.is_none());
         assert!(spans.record("decode", t).is_none(), "disabled spans measure nothing");
         assert!(spans.stage("decode").is_none());
+        assert_eq!(spans.timestamps_taken(), 0, "disabled start never reads the clock");
 
         spans.set_enabled(true);
         for _ in 0..3 {
@@ -845,6 +858,7 @@ mod tests {
             assert!(spans.record("decode", t).is_some(), "enabled spans return elapsed ns");
         }
         assert_eq!(spans.stage("decode").unwrap().count(), 3);
+        assert_eq!(spans.timestamps_taken(), 3);
         let mut reg = MetricsRegistry::new();
         spans.collect("hypertap_span_ns", "span latency", &mut reg);
         assert!(reg.find("hypertap_span_ns", &[("stage", "decode")]).is_some());

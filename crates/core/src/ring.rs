@@ -1,0 +1,252 @@
+//! Fixed-capacity ring buffer between exit-pipeline stages.
+//!
+//! The batched exit pipeline ([`crate::kvm::Kvm`]) stages decoded events in
+//! a [`Ring`] between its decode stage (interception engines emitting
+//! [`crate::event::EventKind`]s) and its delivery stage (the Event
+//! Multiplexer fanning a whole batch out to the auditors). The ring is the
+//! classic single-producer/single-consumer shape: the decode stage only
+//! pushes at the tail, the delivery stage only pops at the head, and
+//! capacity is fixed at construction so the steady state never allocates.
+//! Both stages run on the VM's own thread (delivery must stay synchronous
+//! for suppression semantics — see the determinism argument in DESIGN.md),
+//! so no atomics are needed; the contract a cross-thread SPSC queue would
+//! enforce with acquire/release pairs is enforced here by `&mut` borrows.
+//!
+//! Wraparound is exercised continuously in production use: the head keeps
+//! advancing across batches, so batch contents regularly straddle the
+//! physical end of the buffer. [`Ring::as_slices`] exposes exactly that
+//! split — a wrapped batch comes back as two contiguous runs, which the EM
+//! consumes without copying events out of the buffer.
+//!
+//! Backpressure is explicit: [`Ring::try_push`] refuses instead of growing
+//! or overwriting, every refusal is counted, and the pipeline exports the
+//! counters through the metrics registry (`hypertap_ring_*` series).
+
+use std::collections::VecDeque;
+
+/// Producer/consumer counters of one ring, for the metrics exporter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RingStats {
+    /// Items accepted at the tail over the ring's lifetime.
+    pub pushed: u64,
+    /// Items consumed at the head over the ring's lifetime.
+    pub popped: u64,
+    /// Push attempts refused because the ring was full — each refusal is a
+    /// backpressure event the producer had to handle (the exit pipeline
+    /// responds by flushing the staged batch to the EM early).
+    pub rejected: u64,
+    /// The largest occupancy ever observed.
+    pub high_watermark: u64,
+}
+
+/// A fixed-capacity FIFO ring. Never grows, never overwrites: a push into a
+/// full ring is refused and counted.
+///
+/// Backed by a [`VecDeque`] whose buffer is reserved once at construction —
+/// a `VecDeque` *is* a head/tail ring; this wrapper pins its capacity,
+/// exposes batch push/pop with wraparound-safe slice access, and keeps the
+/// backpressure accounting the pipeline exports.
+#[derive(Debug)]
+pub struct Ring<T> {
+    buf: VecDeque<T>,
+    capacity: usize,
+    stats: RingStats,
+}
+
+impl<T> Ring<T> {
+    /// A ring holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        Ring { buf: VecDeque::with_capacity(capacity), capacity, stats: RingStats::default() }
+    }
+
+    /// The fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently staged.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Whether the ring is full (the next push would be refused).
+    pub fn is_full(&self) -> bool {
+        self.buf.len() == self.capacity
+    }
+
+    /// Free slots remaining.
+    pub fn free(&self) -> usize {
+        self.capacity - self.buf.len()
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> RingStats {
+        self.stats
+    }
+
+    /// Pushes one item at the tail. A full ring refuses and returns the
+    /// item, counting the rejection.
+    pub fn try_push(&mut self, item: T) -> Result<(), T> {
+        if self.is_full() {
+            self.stats.rejected += 1;
+            return Err(item);
+        }
+        self.buf.push_back(item);
+        self.stats.pushed += 1;
+        self.stats.high_watermark = self.stats.high_watermark.max(self.buf.len() as u64);
+        Ok(())
+    }
+
+    /// Pops one item from the head.
+    pub fn try_pop(&mut self) -> Option<T> {
+        let item = self.buf.pop_front();
+        if item.is_some() {
+            self.stats.popped += 1;
+        }
+        item
+    }
+
+    /// The staged batch as (up to) two contiguous runs in FIFO order — the
+    /// second run is non-empty exactly when the batch straddles the
+    /// physical end of the buffer. Consuming from these slices is zero-copy;
+    /// pair with [`Ring::consume`] once the items have been processed.
+    pub fn as_slices(&self) -> (&[T], &[T]) {
+        self.buf.as_slices()
+    }
+
+    /// Drops the `n` oldest staged items (they were processed in place via
+    /// [`Ring::as_slices`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the staged count.
+    pub fn consume(&mut self, n: usize) {
+        assert!(n <= self.buf.len(), "consume({n}) exceeds staged count {}", self.buf.len());
+        // pop_front (not drain): a full-range drain would snap the head
+        // back to slot 0, and the ring would never physically wrap.
+        for _ in 0..n {
+            self.buf.pop_front();
+        }
+        self.stats.popped += n as u64;
+    }
+
+    /// Pops up to `max` items from the head into `out` (appending), in FIFO
+    /// order. Returns how many were moved.
+    pub fn pop_into(&mut self, out: &mut Vec<T>, max: usize) -> usize {
+        let n = max.min(self.buf.len());
+        for _ in 0..n {
+            out.push(self.buf.pop_front().expect("n bounded by len"));
+        }
+        self.stats.popped += n as u64;
+        n
+    }
+
+    /// Discards everything staged without counting it as consumed work
+    /// (used on teardown; counted separately from `popped`).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+}
+
+impl<T: Copy> Ring<T> {
+    /// Pushes as many items from `items` as fit, in order, returning how
+    /// many were accepted. A partial acceptance counts one rejection (the
+    /// batch hit backpressure once, however many items were left over).
+    pub fn push_slice(&mut self, items: &[T]) -> usize {
+        let n = items.len().min(self.free());
+        self.buf.extend(items[..n].iter().copied());
+        self.stats.pushed += n as u64;
+        self.stats.high_watermark = self.stats.high_watermark.max(self.buf.len() as u64);
+        if n < items.len() {
+            self.stats.rejected += 1;
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_fifo() {
+        let mut r = Ring::new(4);
+        for i in 0..4 {
+            assert!(r.try_push(i).is_ok());
+        }
+        assert!(r.is_full());
+        assert_eq!(r.try_push(99), Err(99));
+        assert_eq!(r.stats().rejected, 1);
+        assert_eq!((0..4).map(|_| r.try_pop().unwrap()).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert!(r.is_empty());
+        assert_eq!(r.try_pop(), None);
+        let s = r.stats();
+        assert_eq!((s.pushed, s.popped, s.high_watermark), (4, 4, 4));
+    }
+
+    #[test]
+    fn slices_straddle_the_edge_after_wraparound() {
+        // The VecDeque may reserve more physical slots than the logical
+        // capacity, so the wrap point isn't at a fixed offset — keep the
+        // head advancing with mixed push/consume sizes until a staged
+        // batch straddles it, checking FIFO order against a model.
+        let mut r = Ring::new(4);
+        let mut model = VecDeque::new();
+        let mut next = 0u32;
+        let mut straddled = false;
+        for i in 0..200usize {
+            for _ in 0..(i % 3) + 1 {
+                if r.try_push(next).is_ok() {
+                    model.push_back(next);
+                }
+                next += 1;
+            }
+            let (a, b) = r.as_slices();
+            straddled |= !b.is_empty();
+            let got: Vec<u32> = a.iter().chain(b).copied().collect();
+            let want: Vec<u32> = model.iter().copied().collect();
+            assert_eq!(got, want, "FIFO order across the physical split");
+            let pop = (i * 7) % (r.len() + 1);
+            r.consume(pop);
+            for _ in 0..pop {
+                model.pop_front();
+            }
+        }
+        assert!(straddled, "head never wrapped a 4-slot ring in 200 mixed cycles");
+    }
+
+    #[test]
+    fn partial_push_slice_counts_one_rejection() {
+        let mut r = Ring::new(3);
+        assert_eq!(r.push_slice(&[1, 2, 3, 4, 5]), 3);
+        assert_eq!(r.stats().rejected, 1);
+        assert_eq!(r.stats().pushed, 3);
+        let mut out = Vec::new();
+        assert_eq!(r.pop_into(&mut out, 10), 3);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_is_refused() {
+        let _ = Ring::<u8>::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds staged count")]
+    fn over_consume_is_refused() {
+        let mut r = Ring::new(2);
+        r.try_push(1u8).unwrap();
+        r.consume(2);
+    }
+}

@@ -1,0 +1,193 @@
+//! Property-based tests for the exit-pipeline ring buffer: FIFO order under
+//! arbitrary push/consume interleavings (including wraparound), batch
+//! boundaries straddling the physical edge, full/empty transition
+//! accounting, and leak-freedom when a non-empty ring is dropped.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use hypertap_core::ring::Ring;
+use proptest::prelude::*;
+
+proptest! {
+    /// Under any interleaving of pushes, consumes and pops the ring agrees
+    /// item-for-item with an unbounded FIFO model, `as_slices` always
+    /// presents the staged batch in FIFO order across the physical split,
+    /// and the push/pop/reject counters balance with occupancy.
+    #[test]
+    fn ring_matches_fifo_model(
+        capacity in 1usize..16,
+        ops in prop::collection::vec((0usize..3, 0usize..16), 1..200),
+    ) {
+        let mut r = Ring::new(capacity);
+        let mut model: VecDeque<u32> = VecDeque::new();
+        let mut next = 0u32;
+        let mut expected_rejected = 0u64;
+        for (kind, amount) in ops {
+            match kind {
+                0 => {
+                    for _ in 0..amount {
+                        match r.try_push(next) {
+                            Ok(()) => model.push_back(next),
+                            Err(v) => {
+                                prop_assert_eq!(v, next, "refused push returns the item");
+                                expected_rejected += 1;
+                            }
+                        }
+                        next += 1;
+                    }
+                }
+                1 => {
+                    let n = amount.min(r.len());
+                    let (a, b) = r.as_slices();
+                    let staged: Vec<u32> = a.iter().chain(b).copied().collect();
+                    let want: Vec<u32> = model.iter().copied().collect();
+                    prop_assert_eq!(staged, want, "FIFO order across the physical split");
+                    r.consume(n);
+                    for _ in 0..n {
+                        model.pop_front();
+                    }
+                }
+                _ => {
+                    let mut out = Vec::new();
+                    let moved = r.pop_into(&mut out, amount);
+                    prop_assert_eq!(moved, out.len());
+                    for v in out {
+                        prop_assert_eq!(Some(v), model.pop_front());
+                    }
+                }
+            }
+            prop_assert_eq!(r.len(), model.len());
+            prop_assert_eq!(r.is_empty(), model.is_empty());
+            prop_assert_eq!(r.is_full(), model.len() == capacity);
+            prop_assert_eq!(r.free(), capacity - model.len());
+            let s = r.stats();
+            prop_assert_eq!(s.rejected, expected_rejected);
+            // Conservation: everything pushed is either still staged or
+            // was popped/consumed.
+            prop_assert_eq!(s.pushed - s.popped, model.len() as u64);
+            prop_assert!(s.high_watermark <= capacity as u64);
+        }
+    }
+
+    /// A small ring driven long enough must physically wrap: some staged
+    /// batch straddles the buffer edge and comes back from `as_slices` as
+    /// two non-empty runs whose concatenation is still FIFO-ordered.
+    #[test]
+    fn batches_straddle_the_edge(
+        capacity in 2usize..8,
+        seeds in prop::collection::vec((1usize..8, 0usize..8), 64..128),
+    ) {
+        let mut r = Ring::new(capacity);
+        let mut model: VecDeque<u32> = VecDeque::new();
+        let mut next = 0u32;
+        let mut straddled = false;
+        for (push_n, consume_seed) in seeds {
+            for _ in 0..push_n {
+                if r.try_push(next).is_ok() {
+                    model.push_back(next);
+                }
+                next += 1;
+            }
+            let (a, b) = r.as_slices();
+            if !a.is_empty() && !b.is_empty() {
+                straddled = true;
+                let glued: Vec<u32> = a.iter().chain(b).copied().collect();
+                let want: Vec<u32> = model.iter().copied().collect();
+                prop_assert_eq!(glued, want, "straddled batch stays FIFO");
+            }
+            // Keep the head advancing so the ring must eventually wrap:
+            // always consume at least one staged item when any is staged.
+            let n = (consume_seed % (r.len() + 1)).max(usize::from(!r.is_empty()));
+            r.consume(n);
+            for _ in 0..n {
+                model.pop_front();
+            }
+        }
+        prop_assert!(straddled, "head never wrapped a {}-slot ring", capacity);
+    }
+
+    /// Filling to capacity and draining to empty round-trips cleanly for
+    /// any capacity and any number of cycles: the full/empty predicates
+    /// flip exactly at the boundaries and no rejection is ever counted for
+    /// an in-capacity push.
+    #[test]
+    fn full_empty_transitions(capacity in 1usize..32, cycles in 1usize..8) {
+        let mut r = Ring::new(capacity);
+        let mut next = 0u32;
+        for _ in 0..cycles {
+            prop_assert!(r.is_empty());
+            for i in 0..capacity {
+                prop_assert!(!r.is_full());
+                prop_assert!(r.try_push(next).is_ok());
+                next += 1;
+                prop_assert_eq!(r.len(), i + 1);
+            }
+            prop_assert!(r.is_full());
+            prop_assert_eq!(r.try_push(next), Err(next));
+            for i in 0..capacity {
+                prop_assert!(!r.is_empty());
+                prop_assert!(r.try_pop().is_some());
+                prop_assert_eq!(r.len(), capacity - i - 1);
+            }
+            prop_assert!(r.is_empty());
+            prop_assert_eq!(r.try_pop(), None);
+        }
+        let s = r.stats();
+        prop_assert_eq!(s.pushed, (cycles * capacity) as u64);
+        prop_assert_eq!(s.popped, (cycles * capacity) as u64);
+        prop_assert_eq!(s.rejected, cycles as u64);
+        prop_assert_eq!(s.high_watermark, capacity as u64);
+    }
+
+    /// Dropping a ring (or clearing it) drops every staged item exactly
+    /// once — no leaks, no double drops — for any occupancy, including a
+    /// head that has wrapped partway around the buffer.
+    #[test]
+    fn drop_drains_without_leaks(
+        capacity in 1usize..16,
+        advance in 0usize..32,
+        staged in 0usize..16,
+        clear_first in any::<bool>(),
+    ) {
+        static LIVE: AtomicUsize = AtomicUsize::new(0);
+
+        struct Tracked;
+        impl Tracked {
+            fn new() -> Self {
+                LIVE.fetch_add(1, Ordering::SeqCst);
+                Tracked
+            }
+        }
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                LIVE.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+
+        prop_assert_eq!(LIVE.load(Ordering::SeqCst), 0);
+        {
+            let mut r = Ring::new(capacity);
+            // Advance the head so the staged run may straddle the edge.
+            // (A refused push returns the item, whose Drop balances LIVE.)
+            for _ in 0..advance {
+                drop(r.try_push(Tracked::new()));
+                drop(r.try_pop());
+            }
+            let mut accepted = 0usize;
+            for _ in 0..staged {
+                match r.try_push(Tracked::new()) {
+                    Ok(()) => accepted += 1,
+                    Err(t) => drop(t),
+                }
+            }
+            prop_assert_eq!(LIVE.load(Ordering::SeqCst), accepted);
+            if clear_first {
+                r.clear();
+                prop_assert_eq!(LIVE.load(Ordering::SeqCst), 0);
+                prop_assert!(r.is_empty());
+            }
+        }
+        prop_assert_eq!(LIVE.load(Ordering::SeqCst), 0, "drop leaked or double-dropped");
+    }
+}

@@ -143,6 +143,10 @@ pub struct ConfigVariant {
     /// event ordinals (and so finding provenance) advance identically
     /// either way, and the trace must be byte-identical.
     pub flight: bool,
+    /// Event Forwarder batched ring path (default) or per-event fallback.
+    /// A pure performance knob: event ordering, verdicts and provenance
+    /// must be bit-identical on both paths.
+    pub batched: bool,
 }
 
 /// The baseline configuration every pair compares against.
@@ -153,6 +157,7 @@ pub const BASE: ConfigVariant = ConfigVariant {
     extra_vectors: &[],
     metrics: false,
     flight: true,
+    batched: true,
 };
 
 /// Baseline with the software TLB off.
@@ -163,6 +168,7 @@ pub const NO_TLB: ConfigVariant = ConfigVariant {
     extra_vectors: &[],
     metrics: false,
     flight: true,
+    batched: true,
 };
 
 /// Baseline with the coarse engine subset.
@@ -173,6 +179,7 @@ pub const COARSE: ConfigVariant = ConfigVariant {
     extra_vectors: &[],
     metrics: false,
     flight: true,
+    batched: true,
 };
 
 /// Baseline with never-firing exception vectors added to the exit
@@ -185,6 +192,7 @@ pub const EXTRA_BITMAP: ConfigVariant = ConfigVariant {
     extra_vectors: &[0x21, 0x7f, 0xf1],
     metrics: false,
     flight: true,
+    batched: true,
 };
 
 /// Baseline with full metrics instrumentation (pipeline spans, dispatch
@@ -197,6 +205,7 @@ pub const METRICS_ON: ConfigVariant = ConfigVariant {
     extra_vectors: &[],
     metrics: true,
     flight: true,
+    batched: true,
 };
 
 /// Baseline with flight-recorder retention switched off. Ordinal
@@ -210,6 +219,20 @@ pub const FLIGHT_OFF: ConfigVariant = ConfigVariant {
     extra_vectors: &[],
     metrics: false,
     flight: false,
+    batched: true,
+};
+
+/// Baseline with the Event Forwarder's batched ring path switched off
+/// (per-event fallback). Batching is pure plumbing between decode and
+/// fan-out: the trace, verdict and provenance must match [`BASE`] exactly.
+pub const BATCHED_OFF: ConfigVariant = ConfigVariant {
+    label: "tlb-on/batch-off",
+    tlb: true,
+    fine: true,
+    extra_vectors: &[],
+    metrics: false,
+    flight: true,
+    batched: false,
 };
 
 /// The configuration pairs the fuzzer differences, with their policies.
@@ -220,6 +243,7 @@ pub fn conformance_pairs() -> Vec<(ConfigVariant, ConfigVariant, DiffPolicy)> {
         (BASE, EXTRA_BITMAP, DiffPolicy::Exact),
         (BASE, METRICS_ON, DiffPolicy::Exact),
         (BASE, FLIGHT_OFF, DiffPolicy::Exact),
+        (BASE, BATCHED_OFF, DiffPolicy::Exact),
     ]
 }
 
@@ -341,6 +365,7 @@ pub fn build_scenario_vm(scenario: &Scenario, variant: &ConfigVariant, id: VmId)
         .tlb(variant.tlb)
         .metrics(variant.metrics)
         .flight(variant.flight)
+        .batched(variant.batched)
         .build();
     for &v in variant.extra_vectors {
         vm.machine.vm_mut().controls_mut().set_exception_exiting(v, true);
@@ -444,6 +469,22 @@ mod tests {
         relabeled.config = live.config.clone();
         assert_eq!(relabeled, live);
         assert_eq!(live_dark.findings_provenance, live.findings_provenance);
+    }
+
+    #[test]
+    fn batched_pair_is_conformant_and_verdicts_match() {
+        // The tentpole's determinism proof: the batched ring path and the
+        // per-event fallback must record byte-identical traces and reach
+        // the same verdict — provenance refs included — under Exact.
+        let s = Scenario::sample(7, 5);
+        let (base, live) = run_scenario(&s, &BASE);
+        let (unbatched, live_unbatched) = run_scenario(&s, &BATCHED_OFF);
+        assert_eq!(diff_traces(&base, &unbatched, DiffPolicy::Exact), None);
+        let mut relabeled = live_unbatched.clone();
+        relabeled.config = live.config.clone();
+        assert_eq!(relabeled, live);
+        assert_eq!(live_unbatched.findings_provenance, live.findings_provenance);
+        assert!(base.event_count() > 0);
     }
 
     #[test]
