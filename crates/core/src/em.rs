@@ -107,6 +107,33 @@ pub trait EventTap {
     fn on_tick(&mut self, _now: SimTime) {}
 }
 
+/// Fans the single EM tap slot out to two taps, first then second, for
+/// callers that need to observe the stream twice in one pass — e.g. the
+/// scenario fuzzer recording a trace while folding a coverage map.
+pub struct TeeTap {
+    first: Box<dyn EventTap>,
+    second: Box<dyn EventTap>,
+}
+
+impl TeeTap {
+    /// Combines two taps; `first` sees every callback before `second`.
+    pub fn new(first: Box<dyn EventTap>, second: Box<dyn EventTap>) -> TeeTap {
+        TeeTap { first, second }
+    }
+}
+
+impl EventTap for TeeTap {
+    fn on_event(&mut self, event: &Event) {
+        self.first.on_event(event);
+        self.second.on_event(event);
+    }
+
+    fn on_tick(&mut self, now: SimTime) {
+        self.first.on_tick(now);
+        self.second.on_tick(now);
+    }
+}
+
 enum ContainerMsg {
     /// Shared, not copied: every subscribed container gets the same
     /// allocation.

@@ -72,6 +72,7 @@
 //! ```
 
 pub mod audit;
+pub mod coverage;
 pub mod derive;
 pub mod em;
 pub mod event;
@@ -88,7 +89,8 @@ pub mod vmi;
 /// Glob import of the framework's main types.
 pub mod prelude {
     pub use crate::audit::{Auditor, CountingAuditor, Finding, FindingSink, Severity};
-    pub use crate::em::{DeliveryStats, EventMultiplexer, EventTap};
+    pub use crate::coverage::{CoverageCollector, CoverageMap, StreamCoverage};
+    pub use crate::em::{DeliveryStats, EventMultiplexer, EventTap, TeeTap};
     pub use crate::event::{Event, EventClass, EventKind, EventMask, EventRef, SyscallGate, VmId};
     pub use crate::fleet::{
         run_fleet, run_vm_alone, FleetAggregator, FleetConfig, FleetHost, FleetReport, FleetVm,

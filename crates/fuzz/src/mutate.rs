@@ -1,0 +1,166 @@
+//! Structured mutations over scenario specs.
+//!
+//! A [`Scenario`] fully determines guest behaviour, so mutating its fields
+//! explores guest-state space directly: workload mixes, vCPU counts (up to
+//! [`MAX_VCPUS`] — beyond the blind sampler's 1–2), preemption, run
+//! length, fault-injection sites/persistence and rootkit insertion points.
+//! Mutations are values so the fuzzer can log the exact edit chain that
+//! produced each corpus entry.
+
+use hypertap_attacks::rootkits::all_rootkits;
+use hypertap_guestos::klocks::SITE_COUNT;
+use hypertap_hvsim::clock::Duration;
+use hypertap_replay::scenario::{Scenario, WorkloadMix};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::fmt;
+
+/// Largest vCPU count the mutators will request. The blind sampler stays
+/// at 1–2 vCPUs; scenarios above that are reachable only through guided
+/// mutation, which is part of what the guided-vs-blind comparison shows.
+pub const MAX_VCPUS: usize = 4;
+
+/// Shortest mutated run, in milliseconds.
+pub const MIN_DURATION_MS: u64 = 40;
+
+/// One structured edit of a scenario spec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioMutation {
+    /// Replace the workload mix.
+    Mix(WorkloadMix),
+    /// Set the vCPU count (1..=[`MAX_VCPUS`]).
+    Vcpus(usize),
+    /// Flip kernel preemption.
+    TogglePreemption,
+    /// Set the run length in milliseconds.
+    DurationMs(u64),
+    /// Install (or move) a lock-discipline fault.
+    Fault {
+        /// Catalogue site index.
+        site: u32,
+        /// Persistent or one-shot.
+        persistent: bool,
+    },
+    /// Remove the fault.
+    DropFault,
+    /// Install (or move) a rootkit insertion.
+    Rootkit(usize),
+    /// Remove the rootkit.
+    DropRootkit,
+}
+
+impl fmt::Display for ScenarioMutation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioMutation::Mix(m) => write!(f, "mix={}", m.label()),
+            ScenarioMutation::Vcpus(n) => write!(f, "vcpus={n}"),
+            ScenarioMutation::TogglePreemption => write!(f, "toggle-preempt"),
+            ScenarioMutation::DurationMs(ms) => write!(f, "duration={ms}ms"),
+            ScenarioMutation::Fault { site, persistent } => {
+                write!(f, "fault={site}{}", if *persistent { ",persistent" } else { ",transient" })
+            }
+            ScenarioMutation::DropFault => write!(f, "drop-fault"),
+            ScenarioMutation::Rootkit(i) => write!(f, "rootkit={i}"),
+            ScenarioMutation::DropRootkit => write!(f, "drop-rootkit"),
+        }
+    }
+}
+
+impl ScenarioMutation {
+    /// Samples a mutation; durations stay within
+    /// [[`MIN_DURATION_MS`], `cap.as_millis()`].
+    pub fn sample(rng: &mut StdRng, cap: Duration) -> ScenarioMutation {
+        let cap_ms = cap.as_millis().max(MIN_DURATION_MS + 1);
+        match rng.gen_range(0u32..8) {
+            0 => ScenarioMutation::Mix(
+                WorkloadMix::ALL[rng.gen_range(0usize..WorkloadMix::ALL.len())],
+            ),
+            1 => ScenarioMutation::Vcpus(rng.gen_range(1usize..MAX_VCPUS + 1)),
+            2 => ScenarioMutation::TogglePreemption,
+            3 => ScenarioMutation::DurationMs(rng.gen_range(MIN_DURATION_MS..cap_ms + 1)),
+            4 => ScenarioMutation::Fault {
+                site: rng.gen_range(0u32..SITE_COUNT as u32),
+                persistent: rng.gen_range(0u32..2) == 1,
+            },
+            5 => ScenarioMutation::DropFault,
+            6 => ScenarioMutation::Rootkit(rng.gen_range(0usize..all_rootkits().len())),
+            _ => ScenarioMutation::DropRootkit,
+        }
+    }
+
+    /// Applies the mutation in place (name and seed are left alone; the
+    /// caller renames admitted offspring).
+    pub fn apply(&self, s: &mut Scenario) {
+        match *self {
+            ScenarioMutation::Mix(m) => s.mix = m,
+            ScenarioMutation::Vcpus(n) => s.vcpus = n.clamp(1, MAX_VCPUS),
+            ScenarioMutation::TogglePreemption => s.preemptible = !s.preemptible,
+            ScenarioMutation::DurationMs(ms) => {
+                s.duration = Duration::from_millis(ms.max(MIN_DURATION_MS));
+            }
+            ScenarioMutation::Fault { site, persistent } => s.fault = Some((site, persistent)),
+            ScenarioMutation::DropFault => s.fault = None,
+            ScenarioMutation::Rootkit(i) => s.rootkit = Some(i % all_rootkits().len()),
+            ScenarioMutation::DropRootkit => s.rootkit = None,
+        }
+    }
+}
+
+/// Derives a mutated offspring of `base`: 1–3 sampled mutations, renamed
+/// to `name`. Returns the offspring and the applied edit chain.
+pub fn mutate_scenario(
+    rng: &mut StdRng,
+    base: &Scenario,
+    name: &str,
+    cap: Duration,
+) -> (Scenario, Vec<ScenarioMutation>) {
+    let mut s = base.clone();
+    let n = rng.gen_range(1usize..4);
+    let muts: Vec<ScenarioMutation> = (0..n).map(|_| ScenarioMutation::sample(rng, cap)).collect();
+    for m in &muts {
+        m.apply(&mut s);
+    }
+    s.name = name.to_owned();
+    (s, muts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn base() -> Scenario {
+        let mut s = Scenario::sample(1, 0);
+        s.duration = Duration::from_millis(100);
+        s
+    }
+
+    #[test]
+    fn mutations_keep_scenarios_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let cap = Duration::from_millis(120);
+        for i in 0..200 {
+            let (s, muts) = mutate_scenario(&mut rng, &base(), &format!("m{i}"), cap);
+            assert!((1..=MAX_VCPUS).contains(&s.vcpus), "vcpus after {muts:?}");
+            assert!(s.duration.as_millis() >= MIN_DURATION_MS);
+            assert!(s.duration.as_millis() <= cap.as_millis().max(base().duration.as_millis()));
+            if let Some((site, _)) = s.fault {
+                assert!((site as usize) < SITE_COUNT);
+            }
+            if let Some(idx) = s.rootkit {
+                assert!(idx < all_rootkits().len());
+            }
+            assert!(!muts.is_empty() && muts.len() <= 3);
+        }
+    }
+
+    #[test]
+    fn mutation_sampling_is_deterministic() {
+        let cap = Duration::from_millis(120);
+        let run = || {
+            let mut rng = StdRng::seed_from_u64(77);
+            (0..32).map(|_| ScenarioMutation::sample(&mut rng, cap)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

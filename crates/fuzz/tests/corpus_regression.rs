@@ -1,0 +1,97 @@
+//! Starter-corpus regression: every checked-in entry must replay cleanly
+//! (no divergence against a partner configuration, replay verdict equal to
+//! the live one) and must reproduce the exact coverage fingerprint the
+//! manifest was recorded with — on every run.
+
+use hypertap_fuzz::corpus::{load_corpus, InputKind, CORPUS_DIR};
+use hypertap_fuzz::harness::{observe_replay, observe_scenario, register_fuzz_auditors};
+use hypertap_replay::prelude::*;
+use hypertap_replay::scenario::NO_TLB;
+use std::path::Path;
+
+#[test]
+fn starter_corpus_replays_cleanly_with_stable_fingerprints() {
+    let items = load_corpus(Path::new(CORPUS_DIR)).expect("checked-in corpus loads");
+    assert!(items.len() >= 5, "starter corpus unexpectedly small: {} entries", items.len());
+    assert!(
+        items.iter().any(|i| matches!(i.kind, InputKind::Scenario(_)))
+            && items.iter().any(|i| matches!(i.kind, InputKind::Trace(_))),
+        "starter corpus must exercise both entry kinds"
+    );
+
+    for item in items {
+        match item.kind {
+            InputKind::Scenario(s) => {
+                let first = observe_scenario(&s, &BASE);
+                let second = observe_scenario(&s, &BASE);
+                assert_eq!(
+                    first.coverage.fingerprint(),
+                    second.coverage.fingerprint(),
+                    "{}: coverage fingerprint unstable across runs",
+                    item.name
+                );
+                assert_eq!(
+                    first.coverage.fingerprint(),
+                    item.fingerprint,
+                    "{}: coverage fingerprint drifted from the manifest; \
+                     rerun `scenariofuzz --record-corpus` if the drift is intended",
+                    item.name
+                );
+
+                // Zero divergences: partner config agrees on the stream,
+                // replay agrees on the verdict.
+                let (partner_trace, _) = run_scenario(&s, &NO_TLB);
+                assert_eq!(
+                    diff_traces(&first.trace, &partner_trace, DiffPolicy::Exact),
+                    None,
+                    "{}: diverges against {}",
+                    item.name,
+                    NO_TLB.label
+                );
+                let replayed = replay_trace(&first.trace, |em| register_fuzz_auditors(em, s.vcpus));
+                assert_eq!(
+                    replayed, first.verdict,
+                    "{}: replay verdict differs from live",
+                    item.name
+                );
+            }
+            InputKind::Trace(t) => {
+                let first = observe_replay(&t);
+                let second = observe_replay(&t);
+                assert_eq!(
+                    first.coverage.fingerprint(),
+                    second.coverage.fingerprint(),
+                    "{}: replay coverage fingerprint unstable",
+                    item.name
+                );
+                assert_eq!(
+                    first.coverage.fingerprint(),
+                    item.fingerprint,
+                    "{}: replay coverage fingerprint drifted from the manifest",
+                    item.name
+                );
+                assert_eq!(first.verdict, second.verdict, "{}: replay verdict unstable", item.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn live_and_replay_coverage_agree_on_corpus_scenarios() {
+    // The coverage map is a pure function of the deterministic run, so a
+    // recorded trace must fold to the same fingerprint whether coverage is
+    // collected live (EM tap + flight + verdict) or on the replay path.
+    let items = load_corpus(Path::new(CORPUS_DIR)).expect("checked-in corpus loads");
+    for item in items {
+        if let InputKind::Scenario(s) = item.kind {
+            let live = observe_scenario(&s, &BASE);
+            let replayed = observe_replay(&live.trace);
+            assert_eq!(
+                live.coverage.fingerprint(),
+                replayed.coverage.fingerprint(),
+                "{}: live and replay coverage disagree",
+                item.name
+            );
+        }
+    }
+}

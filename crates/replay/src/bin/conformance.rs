@@ -71,7 +71,15 @@ fn main() {
         return;
     }
     let scenarios = args.get::<u64>("scenarios", 25);
-    let inject = args.get_str("inject-divergence").map(|v| v.parse::<u64>().unwrap_or(0));
+    // A malformed index must not silently degrade to 0: the self-test
+    // would then "pass" while testing a different record than asked for.
+    let inject = args.get_str("inject-divergence").map(|v| match v.parse::<u64>() {
+        Ok(at) => at,
+        Err(e) => {
+            eprintln!("--inject-divergence expects a record index, got {v:?}: {e}");
+            std::process::exit(2);
+        }
+    });
     let pair_filter = args.get_str("pair").map(str::to_owned);
 
     println!("== HyperTap differential conformance ==");

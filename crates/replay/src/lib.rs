@@ -33,9 +33,11 @@
 pub mod diff;
 pub mod fleet;
 pub mod golden;
+pub mod mutate;
 pub mod recorder;
 pub mod replay;
 pub mod scenario;
+pub mod shrink;
 pub mod trace;
 
 /// Convenience re-exports.
@@ -47,11 +49,13 @@ pub mod prelude {
         ScenarioFleet, GOLDEN_FLEET_NAME,
     };
     pub use crate::golden::{golden_path, golden_scenarios};
+    pub use crate::mutate::{apply_all, cross_splice, TraceMutation};
     pub use crate::recorder::TraceRecorder;
     pub use crate::replay::{replay_trace, validate_provenance, Verdict};
     pub use crate::scenario::{
         build_scenario_vm, conformance_pairs, register_auditors, run_scenario, ConfigVariant,
         Scenario, BASE,
     };
+    pub use crate::shrink::{minimize_mutations, shrink_diverging_prefix, truncated, ShrunkPair};
     pub use crate::trace::{compress, decompress, Trace, TraceError, TraceHeader, TraceRecord};
 }

@@ -1,0 +1,242 @@
+//! Structured mutations over recorded HTRC traces.
+//!
+//! The scenario fuzzer perturbs recorded streams through the codec's own
+//! data model: every mutation is a small, named edit of `Trace::records`
+//! (truncate, drop, duplicate, splice, time perturbation, the classic
+//! 1 ns [`Trace::tamper`]). Mutations are values, so a fuzzing run can
+//! log exactly which edits produced an input, re-apply them later, and
+//! hand the list to the shrinker's mutation-set minimizer.
+//!
+//! All indices are taken modulo the stream length, mirroring `tamper` —
+//! a mutation sampled for one trace stays applicable to any other.
+
+use crate::trace::{Trace, TraceRecord};
+use hypertap_hvsim::clock::SimTime;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::fmt;
+
+/// One structured edit of a trace's record stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceMutation {
+    /// Keep only the first `keep` records.
+    Truncate {
+        /// Number of leading records to keep (modulo length + 1).
+        keep: u64,
+    },
+    /// Remove the record at `index`.
+    Remove {
+        /// Record index (modulo length).
+        index: u64,
+    },
+    /// Insert a copy of the record at `index` right after it.
+    Duplicate {
+        /// Record index (modulo length).
+        index: u64,
+    },
+    /// Overwrite the record at `dst` with a copy of the record at `src` —
+    /// an in-trace splice through the codec's record model.
+    Splice {
+        /// Destination index (modulo length).
+        dst: u64,
+        /// Source index (modulo length).
+        src: u64,
+    },
+    /// Shift the record at `index` forward in time by `delta_ns`
+    /// (wrapping, like the codec's delta arithmetic).
+    PerturbTime {
+        /// Record index (modulo length).
+        index: u64,
+        /// Nanoseconds to add to the record's time.
+        delta_ns: u64,
+    },
+    /// The conformance self-test's 1 ns shift ([`Trace::tamper`]).
+    Tamper {
+        /// Record index (modulo length).
+        index: u64,
+    },
+}
+
+impl fmt::Display for TraceMutation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceMutation::Truncate { keep } => write!(f, "truncate[keep={keep}]"),
+            TraceMutation::Remove { index } => write!(f, "remove[{index}]"),
+            TraceMutation::Duplicate { index } => write!(f, "duplicate[{index}]"),
+            TraceMutation::Splice { dst, src } => write!(f, "splice[{src}->{dst}]"),
+            TraceMutation::PerturbTime { index, delta_ns } => {
+                write!(f, "perturb[{index}+{delta_ns}ns]")
+            }
+            TraceMutation::Tamper { index } => write!(f, "tamper[{index}]"),
+        }
+    }
+}
+
+fn shift_time(record: &mut TraceRecord, delta_ns: u64) {
+    match record {
+        TraceRecord::Event(e) => {
+            e.time = SimTime::from_nanos(e.time.as_nanos().wrapping_add(delta_ns));
+        }
+        TraceRecord::Tick(t) => *t = SimTime::from_nanos(t.as_nanos().wrapping_add(delta_ns)),
+    }
+}
+
+impl TraceMutation {
+    /// Applies the mutation in place. A no-op on an empty trace.
+    pub fn apply(&self, trace: &mut Trace) {
+        let len = trace.records.len();
+        if len == 0 {
+            return;
+        }
+        match *self {
+            TraceMutation::Truncate { keep } => {
+                trace.records.truncate((keep as usize) % (len + 1));
+            }
+            TraceMutation::Remove { index } => {
+                trace.records.remove(index as usize % len);
+            }
+            TraceMutation::Duplicate { index } => {
+                let i = index as usize % len;
+                let copy = trace.records[i];
+                trace.records.insert(i + 1, copy);
+            }
+            TraceMutation::Splice { dst, src } => {
+                let copy = trace.records[src as usize % len];
+                trace.records[dst as usize % len] = copy;
+            }
+            TraceMutation::PerturbTime { index, delta_ns } => {
+                shift_time(&mut trace.records[index as usize % len], delta_ns);
+            }
+            TraceMutation::Tamper { index } => trace.tamper(index),
+        }
+    }
+
+    /// Samples a mutation for a trace of `len` records from a seeded RNG.
+    pub fn sample(rng: &mut StdRng, len: u64) -> TraceMutation {
+        let span = len.max(1);
+        match rng.gen_range(0u32..6) {
+            0 => TraceMutation::Truncate { keep: rng.gen_range(0u64..span + 1) },
+            1 => TraceMutation::Remove { index: rng.gen_range(0u64..span) },
+            2 => TraceMutation::Duplicate { index: rng.gen_range(0u64..span) },
+            3 => TraceMutation::Splice {
+                dst: rng.gen_range(0u64..span),
+                src: rng.gen_range(0u64..span),
+            },
+            4 => TraceMutation::PerturbTime {
+                index: rng.gen_range(0u64..span),
+                delta_ns: rng.gen_range(1u64..1_000_000),
+            },
+            _ => TraceMutation::Tamper { index: rng.gen_range(0u64..span) },
+        }
+    }
+}
+
+/// Applies a mutation list in order.
+pub fn apply_all(trace: &mut Trace, mutations: &[TraceMutation]) {
+    for m in mutations {
+        m.apply(trace);
+    }
+}
+
+/// Cross-trace splice: the first `cut_a` records of `a` followed by `b`'s
+/// records from `cut_b` on, under `a`'s header. Cuts are clamped to the
+/// respective stream lengths.
+pub fn cross_splice(a: &Trace, b: &Trace, cut_a: usize, cut_b: usize) -> Trace {
+    let mut records: Vec<TraceRecord> = a.records[..cut_a.min(a.records.len())].to_vec();
+    records.extend_from_slice(&b.records[cut_b.min(b.records.len())..]);
+    Trace { header: a.header.clone(), records }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceHeader;
+    use hypertap_core::event::{Event, EventKind, VmId};
+    use hypertap_hvsim::exit::VcpuSnapshot;
+    use hypertap_hvsim::mem::{Gpa, Gva};
+    use hypertap_hvsim::vcpu::{Cpl, VcpuId};
+    use rand::SeedableRng;
+
+    fn ev(ns: u64) -> TraceRecord {
+        TraceRecord::Event(Event {
+            vm: VmId(0),
+            vcpu: VcpuId(0),
+            time: SimTime::from_nanos(ns),
+            kind: EventKind::ProcessSwitch { new_pdba: Gpa::new(0x1000) },
+            state: VcpuSnapshot::from_parts(
+                Gpa::new(0x1000),
+                Gva::new(0),
+                Gva::new(0),
+                Gva::new(0),
+                Cpl::Kernel,
+                [0; 7],
+            ),
+        })
+    }
+
+    fn trace(n: u64) -> Trace {
+        Trace {
+            header: TraceHeader::new(1, 0, "mutate-unit", "x"),
+            records: (0..n).map(|i| ev(10 * (i + 1))).collect(),
+        }
+    }
+
+    #[test]
+    fn every_mutation_is_a_noop_on_an_empty_trace() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..32 {
+            let m = TraceMutation::sample(&mut rng, 0);
+            let mut t = trace(0);
+            m.apply(&mut t);
+            assert!(t.records.is_empty());
+        }
+    }
+
+    #[test]
+    fn structural_mutations_change_length_as_documented() {
+        let mut t = trace(5);
+        TraceMutation::Truncate { keep: 3 }.apply(&mut t);
+        assert_eq!(t.records.len(), 3);
+        TraceMutation::Remove { index: 1 }.apply(&mut t);
+        assert_eq!(t.records.len(), 2);
+        TraceMutation::Duplicate { index: 0 }.apply(&mut t);
+        assert_eq!(t.records.len(), 3);
+        assert_eq!(t.records[0], t.records[1]);
+    }
+
+    #[test]
+    fn splice_and_perturb_edit_in_place() {
+        let mut t = trace(4);
+        TraceMutation::Splice { dst: 3, src: 0 }.apply(&mut t);
+        assert_eq!(t.records[3], t.records[0]);
+        TraceMutation::PerturbTime { index: 2, delta_ns: 5 }.apply(&mut t);
+        assert_eq!(t.records[2].time().as_nanos(), 35);
+    }
+
+    #[test]
+    fn mutated_traces_round_trip_through_the_codec() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            let mut t = trace(20);
+            let muts: Vec<TraceMutation> =
+                (0..3).map(|_| TraceMutation::sample(&mut rng, 20)).collect();
+            apply_all(&mut t, &muts);
+            let decoded = Trace::decode(&t.encode()).expect("mutated trace re-encodes");
+            assert_eq!(decoded, t, "codec round-trip after {muts:?}");
+        }
+    }
+
+    #[test]
+    fn cross_splice_concatenates_under_the_left_header() {
+        let a = trace(3);
+        let b = trace(5);
+        let s = cross_splice(&a, &b, 2, 4);
+        assert_eq!(s.records.len(), 3);
+        assert_eq!(s.records[..2], a.records[..2]);
+        assert_eq!(s.records[2], b.records[4]);
+        assert_eq!(s.header, a.header);
+        // Cuts beyond either length clamp instead of panicking.
+        let clamped = cross_splice(&a, &b, 99, 99);
+        assert_eq!(clamped.records.len(), 3);
+    }
+}

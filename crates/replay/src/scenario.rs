@@ -55,7 +55,9 @@ impl WorkloadMix {
         WorkloadMix::WriterPlusHanoi,
     ];
 
-    fn label(self) -> &'static str {
+    /// The mix's stable label, used in scenario names and the fuzz
+    /// corpus's on-disk scenario format.
+    pub fn label(self) -> &'static str {
         match self {
             WorkloadMix::Writer => "writer",
             WorkloadMix::Hanoi => "hanoi",
@@ -63,6 +65,11 @@ impl WorkloadMix {
             WorkloadMix::MakeJ2 => "make-j2",
             WorkloadMix::WriterPlusHanoi => "writer+hanoi",
         }
+    }
+
+    /// The inverse of [`WorkloadMix::label`].
+    pub fn from_label(label: &str) -> Option<WorkloadMix> {
+        WorkloadMix::ALL.into_iter().find(|m| m.label() == label)
     }
 }
 

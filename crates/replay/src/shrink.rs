@@ -1,0 +1,222 @@
+//! Automatic divergence shrinking.
+//!
+//! When a configuration pair (or a tampered self-test trace) diverges, the
+//! full streams are thousands of records; the failure is one. The shrinker
+//! reduces a diverging pair to the *minimal prefix* that still diverges —
+//! generalizing the conformance fuzzer's `--inject-divergence` check, where
+//! a trace tampered at index *i* must shrink to at most *i* + 1 records —
+//! and reduces a mutation list to the *minimal subset* that still triggers
+//! the predicate (greedy ddmin).
+//!
+//! Prefix search is an exponential gallop plus binary search over the
+//! prefix length. For [`DiffPolicy::Exact`] the "still diverges" predicate
+//! is monotone in the prefix length (the first divergent record either is
+//! or is not included), so the search is exact; a final verify-and-grow
+//! pass keeps the result correct even for non-monotone projected cases.
+
+use crate::diff::{diff_traces, DiffPolicy, Divergence};
+use crate::mutate::{apply_all, TraceMutation};
+use crate::trace::Trace;
+
+/// A copy of `trace` keeping only the first `keep` records.
+pub fn truncated(trace: &Trace, keep: usize) -> Trace {
+    Trace {
+        header: trace.header.clone(),
+        records: trace.records[..keep.min(trace.records.len())].to_vec(),
+    }
+}
+
+/// A diverging pair shrunk to its minimal diverging prefix.
+#[derive(Debug, Clone)]
+pub struct ShrunkPair {
+    /// Records kept from each side (the shorter side may hold fewer).
+    pub keep: usize,
+    /// Left prefix.
+    pub left: Trace,
+    /// Right prefix.
+    pub right: Trace,
+    /// The divergence the prefix still exhibits.
+    pub divergence: Divergence,
+}
+
+/// Shrinks a diverging trace pair to the minimal prefix that still
+/// diverges under `policy`. Returns `None` when the full pair is already
+/// conformant — a non-diverging input has nothing to shrink.
+pub fn shrink_diverging_prefix(
+    left: &Trace,
+    right: &Trace,
+    policy: DiffPolicy,
+) -> Option<ShrunkPair> {
+    diff_traces(left, right, policy)?;
+    let max = left.records.len().max(right.records.len());
+    let diverges = |keep: usize| {
+        diff_traces(&truncated(left, keep), &truncated(right, keep), policy).is_some()
+    };
+
+    // Gallop to the first power-of-two-ish prefix that diverges, then
+    // binary search inside the last doubling.
+    let mut hi = 1usize;
+    while hi < max && !diverges(hi) {
+        hi = (hi * 2).min(max);
+    }
+    let mut lo = hi / 2 + 1;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if diverges(mid) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    // Verify-and-grow: under Exact the found prefix always diverges; a
+    // projected pair could in principle be non-monotone, in which case we
+    // walk forward to the nearest prefix that does (bounded by `max`,
+    // where divergence is given).
+    let mut keep = hi;
+    while keep < max && !diverges(keep) {
+        keep += 1;
+    }
+    let (l, r) = (truncated(left, keep), truncated(right, keep));
+    let divergence = diff_traces(&l, &r, policy)?;
+    Some(ShrunkPair { keep, left: l, right: r, divergence })
+}
+
+/// Reduces a mutation list to a minimal subset for which `still_fails`
+/// holds on `base` with the subset applied (greedy drop-one ddmin, run to
+/// a fixpoint). Returns `None` when the full list does not trigger the
+/// predicate in the first place.
+pub fn minimize_mutations<F>(
+    base: &Trace,
+    mutations: &[TraceMutation],
+    still_fails: F,
+) -> Option<Vec<TraceMutation>>
+where
+    F: Fn(&Trace) -> bool,
+{
+    let check = |muts: &[TraceMutation]| {
+        let mut t = base.clone();
+        apply_all(&mut t, muts);
+        still_fails(&t)
+    };
+    if !check(mutations) {
+        return None;
+    }
+    let mut kept: Vec<TraceMutation> = mutations.to_vec();
+    loop {
+        let mut progressed = false;
+        let mut i = 0;
+        while i < kept.len() {
+            let mut candidate = kept.clone();
+            candidate.remove(i);
+            if check(&candidate) {
+                kept = candidate;
+                progressed = true;
+            } else {
+                i += 1;
+            }
+        }
+        if !progressed {
+            return Some(kept);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{TraceHeader, TraceRecord};
+    use hypertap_core::event::{Event, EventKind, VmId};
+    use hypertap_hvsim::clock::SimTime;
+    use hypertap_hvsim::exit::VcpuSnapshot;
+    use hypertap_hvsim::mem::{Gpa, Gva};
+    use hypertap_hvsim::vcpu::{Cpl, VcpuId};
+
+    fn ev(ns: u64) -> TraceRecord {
+        TraceRecord::Event(Event {
+            vm: VmId(0),
+            vcpu: VcpuId(0),
+            time: SimTime::from_nanos(ns),
+            kind: EventKind::ProcessSwitch { new_pdba: Gpa::new(0x1000) },
+            state: VcpuSnapshot::from_parts(
+                Gpa::new(0x1000),
+                Gva::new(0),
+                Gva::new(0),
+                Gva::new(0),
+                Cpl::Kernel,
+                [0; 7],
+            ),
+        })
+    }
+
+    fn trace(n: u64) -> Trace {
+        Trace {
+            header: TraceHeader::new(1, 0, "shrink-unit", "x"),
+            records: (0..n).map(|i| ev(10 * (i + 1))).collect(),
+        }
+    }
+
+    #[test]
+    fn non_diverging_pair_has_nothing_to_shrink() {
+        let t = trace(16);
+        assert!(shrink_diverging_prefix(&t, &t, DiffPolicy::Exact).is_none());
+    }
+
+    #[test]
+    fn tamper_at_index_shrinks_to_that_prefix() {
+        let base = trace(64);
+        for at in [0u64, 1, 17, 63] {
+            let mut tampered = base.clone();
+            tampered.tamper(at);
+            let shrunk =
+                shrink_diverging_prefix(&base, &tampered, DiffPolicy::Exact).expect("diverges");
+            assert_eq!(shrunk.keep as u64, at + 1, "minimal prefix includes the tampered record");
+            assert_eq!(shrunk.divergence.index, at);
+            assert!(diff_traces(&shrunk.left, &shrunk.right, DiffPolicy::Exact).is_some());
+        }
+    }
+
+    #[test]
+    fn already_minimal_divergence_stays_at_one_record() {
+        let base = trace(8);
+        let mut tampered = base.clone();
+        tampered.tamper(0);
+        let shrunk =
+            shrink_diverging_prefix(&base, &tampered, DiffPolicy::Exact).expect("diverges");
+        assert_eq!(shrunk.keep, 1);
+        assert_eq!(shrunk.left.records.len(), 1);
+        assert_eq!(shrunk.right.records.len(), 1);
+    }
+
+    #[test]
+    fn length_divergence_shrinks_to_one_past_the_shorter_side() {
+        let long = trace(32);
+        let short = truncated(&long, 5);
+        let shrunk = shrink_diverging_prefix(&long, &short, DiffPolicy::Exact).expect("diverges");
+        assert_eq!(shrunk.keep, 6, "first prefix where one side has ended");
+        assert_eq!(shrunk.divergence.right, "<end of trace>");
+    }
+
+    #[test]
+    fn minimize_mutations_drops_redundant_edits() {
+        let base = trace(32);
+        // Only the tamper matters for "diverges from base at index 3";
+        // the two later perturbations are noise the minimizer must drop.
+        let muts = vec![
+            TraceMutation::PerturbTime { index: 20, delta_ns: 4 },
+            TraceMutation::Tamper { index: 3 },
+            TraceMutation::PerturbTime { index: 25, delta_ns: 9 },
+        ];
+        let minimal = minimize_mutations(&base, &muts, |t| {
+            diff_traces(&base, t, DiffPolicy::Exact).map(|d| d.index) == Some(3)
+        })
+        .expect("full list triggers");
+        assert_eq!(minimal, vec![TraceMutation::Tamper { index: 3 }]);
+    }
+
+    #[test]
+    fn minimize_mutations_rejects_a_non_triggering_list() {
+        let base = trace(8);
+        let muts = vec![TraceMutation::PerturbTime { index: 1, delta_ns: 2 }];
+        assert!(minimize_mutations(&base, &muts, |_| false).is_none());
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for the divergence shrinker: a trace tampered at
+//! index *i* must shrink to a still-diverging prefix of at most *i* + 1
+//! records, for arbitrary record mixes and arbitrary tamper positions.
+
+use hypertap_core::event::{Event, EventKind, VmId};
+use hypertap_hvsim::clock::SimTime;
+use hypertap_hvsim::exit::VcpuSnapshot;
+use hypertap_hvsim::mem::{Gpa, Gva};
+use hypertap_hvsim::vcpu::{Cpl, VcpuId};
+use hypertap_replay::diff::{diff_traces, DiffPolicy};
+use hypertap_replay::mutate::{apply_all, TraceMutation};
+use hypertap_replay::shrink::{minimize_mutations, shrink_diverging_prefix};
+use hypertap_replay::trace::{Trace, TraceHeader, TraceRecord};
+use proptest::prelude::*;
+
+fn record_of(kind_sel: u8, time_ns: u64, vcpu: u8) -> TraceRecord {
+    let kind = match kind_sel % 4 {
+        0 => return TraceRecord::Tick(SimTime::from_nanos(time_ns)),
+        1 => EventKind::ProcessSwitch { new_pdba: Gpa::new((time_ns & !0xFFF) | 0x1000) },
+        2 => EventKind::ThreadSwitch { kernel_stack: time_ns ^ 0xAA },
+        _ => EventKind::HardwareInterrupt { vector: kind_sel },
+    };
+    TraceRecord::Event(Event {
+        vm: VmId(0),
+        vcpu: VcpuId(vcpu as usize % 4),
+        time: SimTime::from_nanos(time_ns),
+        kind,
+        state: VcpuSnapshot::from_parts(
+            Gpa::new(0x1000),
+            Gva::new(time_ns),
+            Gva::new(0),
+            Gva::new(0),
+            Cpl::Kernel,
+            [0; 7],
+        ),
+    })
+}
+
+fn trace_of(raw: &[(u8, u64, u8)]) -> Trace {
+    Trace {
+        header: TraceHeader::new(4, 42, "shrink-proptest", "any"),
+        records: raw.iter().map(|&(k, t, v)| record_of(k, t, v)).collect(),
+    }
+}
+
+proptest! {
+    /// The satellite contract: tampering at index i (modulo length) makes
+    /// the pair diverge, and the shrinker returns a prefix that still
+    /// diverges and holds no more than i + 1 records.
+    #[test]
+    fn tampered_trace_shrinks_to_at_most_index_plus_one(
+        raw in prop::collection::vec((0u8..=255, 0u64..1_000_000, 0u8..=255), 1..120),
+        at in 0u64..10_000,
+    ) {
+        let base = trace_of(&raw);
+        let i = at % base.records.len() as u64;
+        let mut tampered = base.clone();
+        tampered.tamper(at);
+        let shrunk = shrink_diverging_prefix(&base, &tampered, DiffPolicy::Exact)
+            .expect("a tampered trace diverges from its base");
+        prop_assert!(
+            shrunk.keep as u64 <= i + 1,
+            "prefix of {} records for a tamper at index {i}",
+            shrunk.keep
+        );
+        prop_assert!(
+            diff_traces(&shrunk.left, &shrunk.right, DiffPolicy::Exact).is_some(),
+            "the shrunk prefix must still diverge"
+        );
+        prop_assert_eq!(shrunk.divergence.index, i, "divergence sits at the tampered record");
+    }
+
+    /// Mutation-set minimization never returns a superset and always
+    /// returns a subset that still triggers the predicate.
+    #[test]
+    fn minimized_mutation_sets_still_trigger(
+        raw in prop::collection::vec((0u8..=255, 0u64..1_000_000, 0u8..=255), 4..60),
+        tamper_at in 0u64..10_000,
+        noise_at in 0u64..10_000,
+        noise_delta in 1u64..1_000,
+    ) {
+        let base = trace_of(&raw);
+        let muts = vec![
+            TraceMutation::PerturbTime { index: noise_at, delta_ns: noise_delta },
+            TraceMutation::Tamper { index: tamper_at },
+        ];
+        let still_diverges = |t: &Trace| diff_traces(&base, t, DiffPolicy::Exact).is_some();
+        let minimal = minimize_mutations(&base, &muts, still_diverges)
+            .expect("tamper plus noise diverges");
+        prop_assert!(!minimal.is_empty(), "an empty mutation set cannot diverge from base");
+        prop_assert!(minimal.len() <= muts.len());
+        let mut t = base.clone();
+        apply_all(&mut t, &minimal);
+        prop_assert!(still_diverges(&t), "the minimized set must still diverge");
+    }
+}
