@@ -11,6 +11,7 @@
 use crate::event::{Event, EventMask, EventRef};
 use hypertap_hvsim::clock::SimTime;
 use hypertap_hvsim::machine::VmState;
+use hypertap_hvsim::snap::{SnapError, SnapReader, SnapWriter};
 use std::any::Any;
 use std::fmt;
 
@@ -23,6 +24,24 @@ pub enum Severity {
     Warning,
     /// A policy violation or failure was detected.
     Alert,
+}
+
+impl Severity {
+    /// The severity's stable wire discriminant (used by snapshots and the
+    /// flight-dump format alike).
+    pub fn to_byte(self) -> u8 {
+        self as u8
+    }
+
+    /// Decodes a wire discriminant written by [`Severity::to_byte`].
+    pub fn from_byte(b: u8) -> Option<Severity> {
+        match b {
+            0 => Some(Severity::Info),
+            1 => Some(Severity::Warning),
+            2 => Some(Severity::Alert),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for Severity {
@@ -73,6 +92,34 @@ impl Finding {
     pub fn with_provenance(mut self, refs: Vec<EventRef>) -> Self {
         self.provenance = refs;
         self
+    }
+
+    /// Serializes the finding for a machine snapshot.
+    pub(crate) fn save(&self, w: &mut SnapWriter) {
+        w.string(&self.auditor);
+        w.varint(self.time.as_nanos());
+        w.byte(self.severity.to_byte());
+        w.string(&self.message);
+        w.varint(self.provenance.len() as u64);
+        for r in &self.provenance {
+            w.varint(r.0);
+        }
+    }
+
+    /// Decodes a finding written by [`Finding::save`].
+    pub(crate) fn load(r: &mut SnapReader<'_>) -> Result<Finding, SnapError> {
+        let auditor = r.string()?;
+        let time = SimTime::from_nanos(r.varint()?);
+        let start = r.offset();
+        let severity = Severity::from_byte(r.byte()?)
+            .ok_or(SnapError::BadValue { offset: start, what: "finding severity" })?;
+        let message = r.string()?;
+        let n = r.count(1 << 16, "finding provenance refs")?;
+        let mut provenance = Vec::with_capacity(n);
+        for _ in 0..n {
+            provenance.push(EventRef(r.varint()?));
+        }
+        Ok(Finding { auditor, time, severity, message, provenance })
     }
 
     /// Renders the finding together with its provenance, e.g.
@@ -149,6 +196,30 @@ pub trait Auditor {
 
     /// Upcast for mutable state queries.
     fn as_any_mut(&mut self) -> &mut dyn Any;
+
+    /// Serializes the auditor's mutable runtime state (liveness machines,
+    /// scan epochs, learned baselines, counters) for a machine snapshot.
+    /// Stateless auditors return an empty blob (the default).
+    fn snapshot_state(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// Restores state produced by [`Auditor::snapshot_state`] into a freshly
+    /// built auditor of the same kind.
+    ///
+    /// # Errors
+    ///
+    /// Returns a structured [`SnapError`] on malformed bytes; the default
+    /// accepts only an empty blob.
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), SnapError> {
+        if bytes.is_empty() {
+            Ok(())
+        } else {
+            Err(SnapError::Unsupported {
+                what: format!("auditor '{}' has no restorable state", self.name()),
+            })
+        }
+    }
 }
 
 /// A minimal auditor that counts the events it receives. Used in examples,
@@ -205,6 +276,20 @@ impl Auditor for CountingAuditor {
 
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
+    }
+
+    fn snapshot_state(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        w.varint(self.events);
+        w.varint(self.ticks);
+        w.into_bytes()
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), SnapError> {
+        let mut r = SnapReader::new(bytes);
+        self.events = r.varint()?;
+        self.ticks = r.varint()?;
+        r.finish()
     }
 }
 

@@ -57,6 +57,7 @@ use crate::metrics::{Histogram, MetricsRegistry};
 use crate::rhc::{HeartbeatSample, RhcTransport};
 use hypertap_hvsim::clock::SimTime;
 use hypertap_hvsim::machine::VmState;
+use hypertap_hvsim::snap::{SnapError, SnapReader, SnapWriter};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -893,6 +894,174 @@ impl EventMultiplexer {
             self.auditors.iter().map(|a| a.subscriptions()).fold(EventMask::NONE, EventMask::union);
         self.rebuild_routing();
         out
+    }
+
+    /// Serializes the EM's deterministic audit-phase state for a machine
+    /// snapshot: delivery counters, undrained findings, findings tallies,
+    /// RHC sampling position, the flight recorder, and every synchronous
+    /// auditor's state (framed by name, in registration order).
+    ///
+    /// Not captured: the routing table and combined mask (rebuilt from the
+    /// auditor roster at registration), the attached tap (host-side; the
+    /// caller re-attaches after restore), and the wall-clock dispatch-latency
+    /// histogram (host instrumentation, invisible to the simulation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapError::Unsupported`] if audit containers are attached:
+    /// container workers run on free-running host threads whose in-flight
+    /// queue contents cannot be captured deterministically.
+    pub fn save_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        if !self.containers.is_empty() {
+            return Err(SnapError::Unsupported {
+                what: format!(
+                    "EM with {} audit container(s): container queues are asynchronous host \
+                     threads and cannot be snapshotted deterministically",
+                    self.containers.len()
+                ),
+            });
+        }
+        w.varint(self.stats.events_in);
+        w.varint(self.stats.sync_delivered);
+        w.varint(self.stats.container_enqueued);
+        w.varint(self.stats.unclaimed);
+        w.varint(self.stats.fast_skipped);
+        w.varint(self.stats.rhc_samples);
+        w.varint(self.per_auditor_delivered.len() as u64);
+        for n in &self.per_auditor_delivered {
+            w.varint(*n);
+        }
+        w.varint(self.findings.len() as u64);
+        for f in &self.findings {
+            f.save(w);
+        }
+        for n in &self.findings_by_severity {
+            w.varint(*n);
+        }
+        w.varint(self.findings_by_auditor.len() as u64);
+        for (name, n) in &self.findings_by_auditor {
+            w.string(name);
+            w.varint(*n);
+        }
+        match &self.rhc {
+            Some(hook) => {
+                w.boolean(true);
+                w.varint(hook.seen);
+                w.varint(hook.seq);
+            }
+            None => w.boolean(false),
+        }
+        w.varint(self.panics_by_container.len() as u64);
+        for (name, n) in &self.panics_by_container {
+            w.string(name);
+            w.varint(*n);
+        }
+        w.varint(self.panic_log.len() as u64);
+        for p in &self.panic_log {
+            w.string(&p.container);
+            w.string(&p.message);
+        }
+        self.flight.save(w);
+        w.varint(self.auditors.len() as u64);
+        for a in &self.auditors {
+            w.string(a.name());
+            w.bytes(&a.snapshot_state());
+        }
+        Ok(())
+    }
+
+    /// Restores state written by [`EventMultiplexer::save_state`] into an EM
+    /// rebuilt from the same recipe (same auditors registered in the same
+    /// order, same RHC attachment, no containers).
+    ///
+    /// # Errors
+    ///
+    /// Returns a structured [`SnapError`] on malformed bytes or when the
+    /// restore target's roster does not match the snapshot.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        if !self.containers.is_empty() {
+            return Err(SnapError::Unsupported {
+                what: "restore target has audit containers attached".to_owned(),
+            });
+        }
+        self.stats.events_in = r.varint()?;
+        self.stats.sync_delivered = r.varint()?;
+        self.stats.container_enqueued = r.varint()?;
+        self.stats.unclaimed = r.varint()?;
+        self.stats.fast_skipped = r.varint()?;
+        self.stats.rhc_samples = r.varint()?;
+        let start = r.offset();
+        let n = r.count(1 << 10, "per-auditor delivery counters")?;
+        if n != self.auditors.len() {
+            return Err(SnapError::BadValue { offset: start, what: "per-auditor counter count" });
+        }
+        for slot in self.per_auditor_delivered.iter_mut() {
+            *slot = r.varint()?;
+        }
+        let n = r.count(1 << 20, "pending findings")?;
+        self.findings = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            self.findings.push(Finding::load(r)?);
+        }
+        for slot in self.findings_by_severity.iter_mut() {
+            *slot = r.varint()?;
+        }
+        let n = r.count(1 << 16, "findings-by-auditor tallies")?;
+        self.findings_by_auditor = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            let name = r.string()?;
+            let count = r.varint()?;
+            self.findings_by_auditor.push((name, count));
+        }
+        let start = r.offset();
+        let had_rhc = r.boolean()?;
+        match (&mut self.rhc, had_rhc) {
+            (Some(hook), true) => {
+                hook.seen = r.varint()?;
+                hook.seq = r.varint()?;
+            }
+            (None, false) => {}
+            _ => {
+                return Err(SnapError::BadValue { offset: start, what: "RHC attachment mismatch" })
+            }
+        }
+        let n = r.count(1 << 16, "container panic tallies")?;
+        self.panics_by_container = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            let name = r.string()?;
+            let count = r.varint()?;
+            self.panics_by_container.push((name, count));
+        }
+        let n = r.count(1 << 20, "container panic log")?;
+        self.panic_log = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            let container = r.string()?;
+            let message = r.string()?;
+            self.panic_log.push(ContainerPanic { container, message });
+        }
+        self.flight.load(r)?;
+        let start = r.offset();
+        let n = r.count(1 << 10, "auditor state blobs")?;
+        if n != self.auditors.len() {
+            return Err(SnapError::BadValue { offset: start, what: "auditor roster size" });
+        }
+        for a in self.auditors.iter_mut() {
+            let name = r.string()?;
+            let blob = r.bytes()?;
+            if name != a.name() {
+                return Err(SnapError::Unsupported {
+                    what: format!(
+                        "auditor roster mismatch: snapshot has '{name}', target has '{}'",
+                        a.name()
+                    ),
+                });
+            }
+            a.restore_state(&blob)?;
+        }
+        // Subscriptions may depend on restored auditor state; re-derive the
+        // fast-path mask and routing table from the live roster.
+        self.refresh_subscriptions();
+        Ok(())
     }
 }
 

@@ -37,8 +37,8 @@ use crate::event::VmId;
 use crate::flight::panic_message;
 use crate::metrics::MetricsRegistry;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 /// What one scheduling slice did to a fleet VM.
@@ -72,6 +72,120 @@ pub trait FleetVm {
     /// rethrown on the host.
     fn flight_dump(&mut self, _reason: &str) -> Option<Vec<u8>> {
         None
+    }
+
+    /// Serializes the VM for migration to another worker, or `None` when
+    /// the VM cannot be snapshotted (the default) — a non-migratable VM
+    /// simply stays on its current worker when a rebalance is requested.
+    fn snapshot(&mut self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Restores a [`FleetVm::snapshot`] blob into this VM, which was
+    /// freshly built by [`FleetWorkload::build_vm`] on the receiving
+    /// worker. A failed restore fails the whole fleet run (the VM's state
+    /// is in flight and cannot be recovered).
+    fn restore(&mut self, _bytes: &[u8]) -> Result<(), String> {
+        Err("this fleet VM does not support migration".to_owned())
+    }
+}
+
+/// Decides when a fleet VM migrates to another worker mid-campaign.
+///
+/// Consulted after every slice a VM takes. Returning `Some(target)` asks
+/// the host to snapshot the VM on its current worker and restore it on
+/// worker `target` before its next slice; `None`, a target equal to the
+/// current worker, or an out-of-range target leaves the VM where it is,
+/// as does a VM whose [`FleetVm::snapshot`] returns `None`.
+///
+/// # Determinism
+///
+/// Migration never changes what a VM computes — the snapshot/restore
+/// equivalence contract guarantees slice `k + 1` after a migration is the
+/// same slice `k + 1` the VM would have taken in place, so per-VM
+/// findings, traces and metrics-free observables are identical for *any*
+/// policy and any worker count. For reproducible worker→VM placement logs,
+/// prefer policies that are pure functions of `(vm, slices_taken)`.
+pub trait RebalancePolicy: Send + Sync {
+    /// Decides whether `vm` (which has taken `slices_taken` slices and
+    /// currently lives on `worker` of `workers`) should migrate.
+    fn migrate(&self, vm: VmId, slices_taken: u64, worker: usize, workers: usize) -> Option<usize>;
+}
+
+/// The default policy: never migrate.
+pub struct NoRebalance;
+
+impl RebalancePolicy for NoRebalance {
+    fn migrate(&self, _: VmId, _: u64, _: usize, _: usize) -> Option<usize> {
+        None
+    }
+}
+
+/// Rotates every VM to the next worker each time it completes `period`
+/// slices — the forced-migration schedule the determinism tests use.
+pub struct RotateEvery(pub u64);
+
+impl RebalancePolicy for RotateEvery {
+    fn migrate(&self, _vm: VmId, slices_taken: u64, worker: usize, workers: usize) -> Option<usize> {
+        if self.0 > 0 && workers > 1 && slices_taken.is_multiple_of(self.0) {
+            Some((worker + 1) % workers)
+        } else {
+            None
+        }
+    }
+}
+
+/// A VM in flight between two workers: snapshotted on the source, waiting
+/// in the target's mailbox to be rebuilt and restored.
+struct Migrant {
+    vm: VmId,
+    slices_taken: u64,
+    bytes: Vec<u8>,
+}
+
+/// Shared mailboxes for in-flight migrations, plus the global live-VM
+/// count workers use to decide when an empty shard is *finished* (no VM
+/// anywhere can still migrate in) rather than merely idle.
+struct MigrationBoard {
+    inboxes: Mutex<Vec<Vec<Migrant>>>,
+    live: AtomicUsize,
+    /// Workers still in their stepping loop — the only phase that posts
+    /// migrants. Once it hits zero, one final mailbox sweep sees every
+    /// migrant that will ever arrive.
+    stepping: AtomicUsize,
+}
+
+impl MigrationBoard {
+    fn new(workers: usize, vms: usize) -> Self {
+        MigrationBoard {
+            inboxes: Mutex::new((0..workers).map(|_| Vec::new()).collect()),
+            live: AtomicUsize::new(vms),
+            stepping: AtomicUsize::new(workers),
+        }
+    }
+
+    fn post(&self, target: usize, migrant: Migrant) {
+        self.inboxes.lock().expect("migration board")[target].push(migrant);
+    }
+
+    fn take(&self, worker: usize) -> Vec<Migrant> {
+        std::mem::take(&mut self.inboxes.lock().expect("migration board")[worker])
+    }
+
+    fn vm_finished(&self) {
+        self.live.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    fn all_finished(&self) -> bool {
+        self.live.load(Ordering::SeqCst) == 0
+    }
+
+    fn stepping_done(&self) {
+        self.stepping.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    fn no_one_stepping(&self) -> bool {
+        self.stepping.load(Ordering::SeqCst) == 0
     }
 }
 
@@ -172,9 +286,23 @@ struct WorkerFailure {
 
 impl FleetHost {
     /// Launches the fleet: spawns the worker pool and starts stepping.
+    /// VMs stay on their initial shard for the whole campaign.
     pub fn launch(workload: Arc<dyn FleetWorkload>, cfg: FleetConfig) -> FleetHost {
+        FleetHost::launch_with_policy(workload, cfg, Arc::new(NoRebalance))
+    }
+
+    /// Launches the fleet with a mid-campaign [`RebalancePolicy`]: after
+    /// every slice the policy may migrate the VM — snapshot on the source
+    /// worker, rebuild-and-restore on the target — without changing any
+    /// per-VM result (see the policy's determinism notes).
+    pub fn launch_with_policy(
+        workload: Arc<dyn FleetWorkload>,
+        cfg: FleetConfig,
+        policy: Arc<dyn RebalancePolicy>,
+    ) -> FleetHost {
         let stop = Arc::new(AtomicBool::new(false));
         let workers = cfg.effective_workers();
+        let board = Arc::new(MigrationBoard::new(workers, cfg.vms));
         let mut handles = Vec::new();
         if cfg.vms > 0 {
             for w in 0..workers {
@@ -182,9 +310,13 @@ impl FleetHost {
                     (w..cfg.vms).step_by(workers).map(|i| VmId(i as u32)).collect();
                 let workload = Arc::clone(&workload);
                 let stop = Arc::clone(&stop);
+                let policy = Arc::clone(&policy);
+                let board = Arc::clone(&board);
                 let handle = std::thread::Builder::new()
                     .name(format!("fleet-worker-{w}"))
-                    .spawn(move || worker_loop(&shard, &*workload, &stop))
+                    .spawn(move || {
+                        worker_loop(w, workers, &shard, &*workload, &stop, &*policy, &board)
+                    })
                     .expect("spawn fleet worker");
                 handles.push(handle);
             }
@@ -252,21 +384,65 @@ impl Drop for FleetHost {
     }
 }
 
+/// One VM on a worker: its identity, how many slices it has taken (the
+/// rebalance policy's clock), and the VM itself.
+struct WorkerSlot {
+    id: VmId,
+    slices_taken: u64,
+    vm: Box<dyn FleetVm>,
+}
+
 fn worker_loop(
+    worker: usize,
+    workers: usize,
     shard: &[VmId],
     workload: &dyn FleetWorkload,
     stop: &AtomicBool,
+    policy: &dyn RebalancePolicy,
+    board: &MigrationBoard,
 ) -> Result<Vec<VmReport>, WorkerFailure> {
     // Build in ascending id order, step round-robin in ascending id order:
-    // the per-VM slice schedule is identical for every worker count.
-    let mut vms: Vec<(VmId, Option<Box<dyn FleetVm>>)> =
-        shard.iter().map(|&id| (id, Some(workload.build_vm(id)))).collect();
-    let mut reports = Vec::with_capacity(vms.len());
-    let mut live = vms.len();
-    while live > 0 && !stop.load(Ordering::SeqCst) {
-        for (id, slot) in vms.iter_mut() {
-            let Some(vm) = slot.as_mut() else { continue };
-            let outcome = match catch_unwind(AssertUnwindSafe(|| vm.step_slice())) {
+    // the per-VM slice schedule is identical for every worker count. A
+    // migrated VM resumes its own schedule on the target worker — slices
+    // are per-VM, so interleaving with the new shard changes nothing.
+    let mut vms: Vec<WorkerSlot> = shard
+        .iter()
+        .map(|&id| WorkerSlot { id, slices_taken: 0, vm: workload.build_vm(id) })
+        .collect();
+    let mut reports = Vec::new();
+    'run: while !stop.load(Ordering::SeqCst) {
+        // Accept VMs migrating in: rebuild from the recipe, then restore.
+        for m in board.take(worker) {
+            let mut vm = workload.build_vm(m.vm);
+            if let Err(e) = vm.restore(&m.bytes) {
+                // Fail the run, but first unblock peers idling on the
+                // board (their VMs can never all finish now).
+                stop.store(true, Ordering::SeqCst);
+                board.stepping_done();
+                return Err(WorkerFailure {
+                    vm: m.vm,
+                    message: format!("restoring migrated VM: {e}"),
+                    dump: None,
+                });
+            }
+            let at = vms.partition_point(|s| s.id.0 < m.vm.0);
+            vms.insert(at, WorkerSlot { id: m.vm, slices_taken: m.slices_taken, vm });
+        }
+        if vms.is_empty() {
+            if board.all_finished() {
+                break 'run;
+            }
+            // Idle but the campaign is not over: a VM may still migrate in.
+            std::thread::yield_now();
+            continue 'run;
+        }
+        let mut i = 0;
+        while i < vms.len() {
+            if stop.load(Ordering::SeqCst) {
+                break 'run;
+            }
+            let slot = &mut vms[i];
+            let outcome = match catch_unwind(AssertUnwindSafe(|| slot.vm.step_slice())) {
                 Ok(outcome) => outcome,
                 Err(payload) => {
                     // The slice panicked: snapshot the VM's black box
@@ -274,25 +450,71 @@ fn worker_loop(
                     // the payload + dump to the host instead of unwinding
                     // the whole worker anonymously.
                     let message = panic_message(payload);
-                    let reason = format!("fleet-worker-panic: {id}: {message}");
-                    let dump =
-                        catch_unwind(AssertUnwindSafe(|| vm.flight_dump(&reason))).ok().flatten();
-                    return Err(WorkerFailure { vm: *id, message, dump });
+                    let reason = format!("fleet-worker-panic: {}: {message}", slot.id);
+                    let dump = catch_unwind(AssertUnwindSafe(|| slot.vm.flight_dump(&reason)))
+                        .ok()
+                        .flatten();
+                    stop.store(true, Ordering::SeqCst);
+                    board.stepping_done();
+                    return Err(WorkerFailure { vm: slot.id, message, dump });
                 }
             };
+            slot.slices_taken += 1;
             if outcome == SliceOutcome::Done {
-                reports.push(vm.finish());
-                *slot = None;
-                live -= 1;
+                let mut slot = vms.remove(i);
+                reports.push(slot.vm.finish());
+                board.vm_finished();
+                continue;
             }
+            if let Some(target) = policy.migrate(slot.id, slot.slices_taken, worker, workers) {
+                if target != worker && target < workers {
+                    if let Some(bytes) = slot.vm.snapshot() {
+                        let slot = vms.remove(i);
+                        board.post(
+                            target,
+                            Migrant { vm: slot.id, slices_taken: slot.slices_taken, bytes },
+                        );
+                        continue;
+                    }
+                    // A VM that cannot snapshot stays put.
+                }
+            }
+            i += 1;
         }
     }
-    // Early stop: drain what remains so partial reports are not lost.
-    for (_, slot) in vms.iter_mut() {
-        if let Some(vm) = slot.as_mut() {
-            reports.push(vm.finish());
-            *slot = None;
+    // Early stop (or natural exit): drain local VMs so partial reports are
+    // not lost, then adopt anything posted to this worker's mailbox — a VM
+    // caught mid-migration must be reported, not dropped. Migrants are
+    // only posted from stepping loops, so once every worker has left its
+    // stepping loop one final sweep is guaranteed to see them all.
+    for mut slot in vms {
+        reports.push(slot.vm.finish());
+        board.vm_finished();
+    }
+    board.stepping_done();
+    let adopt = |m: Migrant, reports: &mut Vec<VmReport>| {
+        let mut vm = workload.build_vm(m.vm);
+        // Best-effort: if the restore fails mid-stop the VM's identity is
+        // still reported, just with recipe-fresh observables.
+        let _ = vm.restore(&m.bytes);
+        let mut report = vm.finish();
+        report.vm = m.vm;
+        // The migrant never reached its deadline: report it as halted.
+        report.halted = true;
+        reports.push(report);
+        board.vm_finished();
+    };
+    loop {
+        for m in board.take(worker) {
+            adopt(m, &mut reports);
         }
+        if board.no_one_stepping() {
+            for m in board.take(worker) {
+                adopt(m, &mut reports);
+            }
+            break;
+        }
+        std::thread::yield_now();
     }
     Ok(reports)
 }
@@ -300,6 +522,15 @@ fn worker_loop(
 /// Runs a whole fleet to completion: launch + join.
 pub fn run_fleet(workload: Arc<dyn FleetWorkload>, cfg: FleetConfig) -> FleetReport {
     FleetHost::launch(workload, cfg).join()
+}
+
+/// Runs a whole fleet to completion under a [`RebalancePolicy`].
+pub fn run_fleet_with_policy(
+    workload: Arc<dyn FleetWorkload>,
+    cfg: FleetConfig,
+    policy: Arc<dyn RebalancePolicy>,
+) -> FleetReport {
+    FleetHost::launch_with_policy(workload, cfg, policy).join()
 }
 
 /// Runs one VM of the workload alone on the calling thread — the
@@ -627,5 +858,257 @@ mod tests {
         assert_eq!(FleetConfig::new(64, 8).effective_workers(), 8);
         assert_eq!(FleetConfig::new(3, 8).effective_workers(), 3);
         assert_eq!(FleetConfig::new(5, 0).effective_workers(), 1);
+    }
+
+    /// A migratable stub VM: its whole state is (taken, remaining), carried
+    /// across workers as little-endian bytes. Also records how many times
+    /// it was restored, so tests can prove migrations actually happened.
+    struct MigratableVm {
+        id: VmId,
+        remaining: u64,
+        taken: u64,
+        restores: Arc<AtomicU64>,
+        was_restored: bool,
+    }
+
+    impl FleetVm for MigratableVm {
+        fn step_slice(&mut self) -> SliceOutcome {
+            self.taken += 1;
+            if self.taken >= self.remaining {
+                SliceOutcome::Done
+            } else {
+                SliceOutcome::Running
+            }
+        }
+
+        fn finish(&mut self) -> VmReport {
+            VmReport {
+                vm: self.id,
+                findings: vec![Finding {
+                    auditor: "migratable".to_owned(),
+                    time: SimTime::from_nanos(self.taken),
+                    severity: Severity::Info,
+                    message: format!("vm {} took {} slices", self.id.0, self.taken),
+                    provenance: Vec::new(),
+                }],
+                stats: DeliveryStats { events_in: self.taken * 3, ..Default::default() },
+                metrics: MetricsRegistry::new(),
+                halted: false,
+                payload: self.taken.to_le_bytes().to_vec(),
+            }
+        }
+
+        fn snapshot(&mut self) -> Option<Vec<u8>> {
+            let mut bytes = self.taken.to_le_bytes().to_vec();
+            bytes.extend_from_slice(&self.remaining.to_le_bytes());
+            Some(bytes)
+        }
+
+        fn restore(&mut self, bytes: &[u8]) -> Result<(), String> {
+            if bytes.len() != 16 {
+                return Err(format!("bad migration blob: {} bytes", bytes.len()));
+            }
+            self.taken = u64::from_le_bytes(bytes[..8].try_into().unwrap());
+            self.remaining = u64::from_le_bytes(bytes[8..].try_into().unwrap());
+            self.restores.fetch_add(1, Ordering::SeqCst);
+            self.was_restored = true;
+            Ok(())
+        }
+    }
+
+    struct MigratableFleet {
+        restores: Arc<AtomicU64>,
+    }
+
+    impl FleetWorkload for MigratableFleet {
+        fn build_vm(&self, vm: VmId) -> Box<dyn FleetVm> {
+            Box::new(MigratableVm {
+                id: vm,
+                remaining: 4 + (vm.0 as u64) % 7,
+                taken: 0,
+                restores: Arc::clone(&self.restores),
+                was_restored: false,
+            })
+        }
+    }
+
+    #[test]
+    fn rotating_migration_preserves_every_per_vm_report() {
+        let restores = Arc::new(AtomicU64::new(0));
+        let workload = Arc::new(MigratableFleet { restores: Arc::clone(&restores) });
+        let vms = 9;
+        let baseline: Vec<VmReport> =
+            (0..vms).map(|i| run_vm_alone(&*workload, VmId(i as u32))).collect();
+        for workers in [1usize, 2, 3, 8] {
+            restores.store(0, Ordering::SeqCst);
+            let report = run_fleet_with_policy(
+                Arc::clone(&workload) as Arc<dyn FleetWorkload>,
+                FleetConfig::new(vms, workers),
+                Arc::new(RotateEvery(2)),
+            );
+            assert_eq!(report.per_vm.len(), vms, "workers={workers}");
+            for (got, want) in report.per_vm.iter().zip(baseline.iter()) {
+                assert_eq!(got.vm, want.vm);
+                assert_eq!(got.findings, want.findings, "workers={workers}");
+                assert_eq!(got.stats, want.stats, "workers={workers}");
+                assert_eq!(got.payload, want.payload, "workers={workers}");
+            }
+            if workers > 1 {
+                // Every VM runs ≥ 4 slices, so each migrates at least once.
+                assert!(
+                    restores.load(Ordering::SeqCst) >= vms as u64,
+                    "workers={workers}: migrations must actually happen"
+                );
+            } else {
+                assert_eq!(
+                    restores.load(Ordering::SeqCst),
+                    0,
+                    "RotateEvery on one worker never migrates"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn non_migratable_vms_stay_put_under_a_rotating_policy() {
+        // StubVm keeps the default snapshot() -> None: the policy asks for
+        // migration but the fleet must silently keep the VM on its worker
+        // and produce exactly the baseline results.
+        let workload = Arc::new(StubFleet { halters: true });
+        let vms = 8;
+        let baseline: Vec<VmReport> =
+            (0..vms).map(|i| run_vm_alone(&*workload, VmId(i as u32))).collect();
+        let report = run_fleet_with_policy(
+            Arc::clone(&workload) as Arc<dyn FleetWorkload>,
+            FleetConfig::new(vms, 4),
+            Arc::new(RotateEvery(1)),
+        );
+        assert_eq!(report.per_vm.len(), vms);
+        for (got, want) in report.per_vm.iter().zip(baseline.iter()) {
+            assert_eq!(got.vm, want.vm);
+            assert_eq!(got.findings, want.findings);
+        }
+    }
+
+    /// An endless migratable VM, for stopping the fleet while migrations
+    /// are in flight.
+    struct EndlessMigratable {
+        id: VmId,
+        slices: Arc<AtomicU64>,
+    }
+
+    impl FleetVm for EndlessMigratable {
+        fn step_slice(&mut self) -> SliceOutcome {
+            self.slices.fetch_add(1, Ordering::Relaxed);
+            std::thread::yield_now();
+            SliceOutcome::Running
+        }
+
+        fn finish(&mut self) -> VmReport {
+            VmReport {
+                vm: self.id,
+                findings: Vec::new(),
+                stats: DeliveryStats::default(),
+                metrics: MetricsRegistry::new(),
+                halted: false,
+                payload: Vec::new(),
+            }
+        }
+
+        fn snapshot(&mut self) -> Option<Vec<u8>> {
+            Some(vec![7])
+        }
+
+        fn restore(&mut self, bytes: &[u8]) -> Result<(), String> {
+            if bytes == [7] {
+                Ok(())
+            } else {
+                Err("bad blob".to_owned())
+            }
+        }
+    }
+
+    struct EndlessMigratableFleet(Arc<AtomicU64>);
+
+    impl FleetWorkload for EndlessMigratableFleet {
+        fn build_vm(&self, vm: VmId) -> Box<dyn FleetVm> {
+            Box::new(EndlessMigratable { id: vm, slices: Arc::clone(&self.0) })
+        }
+    }
+
+    #[test]
+    fn stop_mid_migration_reports_in_flight_vms_as_halted() {
+        // Rotate every slice so at any instant several VMs sit in worker
+        // mailboxes mid-restore. Stopping must join every worker (no thread
+        // leak) and report every VM — the in-flight ones as halted, never
+        // silently dropped.
+        for _ in 0..20 {
+            let slices = Arc::new(AtomicU64::new(0));
+            let host = FleetHost::launch_with_policy(
+                Arc::new(EndlessMigratableFleet(Arc::clone(&slices))),
+                FleetConfig::new(6, 3),
+                Arc::new(RotateEvery(1)),
+            );
+            while slices.load(Ordering::Relaxed) < 50 {
+                std::thread::yield_now();
+            }
+            let report = host.stop();
+            let ids: Vec<u32> = report.per_vm.iter().map(|r| r.vm.0).collect();
+            assert_eq!(ids, vec![0, 1, 2, 3, 4, 5], "every VM must be reported");
+        }
+    }
+
+    #[test]
+    fn failed_migration_restore_fails_the_run() {
+        struct BadRestoreVm {
+            id: VmId,
+        }
+        impl FleetVm for BadRestoreVm {
+            fn step_slice(&mut self) -> SliceOutcome {
+                SliceOutcome::Running
+            }
+            fn finish(&mut self) -> VmReport {
+                VmReport {
+                    vm: self.id,
+                    findings: Vec::new(),
+                    stats: DeliveryStats::default(),
+                    metrics: MetricsRegistry::new(),
+                    halted: false,
+                    payload: Vec::new(),
+                }
+            }
+            fn snapshot(&mut self) -> Option<Vec<u8>> {
+                Some(vec![1, 2, 3])
+            }
+            fn restore(&mut self, _bytes: &[u8]) -> Result<(), String> {
+                Err("corrupt snapshot".to_owned())
+            }
+        }
+        struct BadRestoreFleet;
+        impl FleetWorkload for BadRestoreFleet {
+            fn build_vm(&self, vm: VmId) -> Box<dyn FleetVm> {
+                Box::new(BadRestoreVm { id: vm })
+            }
+        }
+        let result = std::panic::catch_unwind(|| {
+            run_fleet_with_policy(
+                Arc::new(BadRestoreFleet),
+                FleetConfig::new(2, 2),
+                Arc::new(RotateEvery(1)),
+            )
+        });
+        let message = panic_message(result.expect_err("restore failure must fail the run"));
+        assert!(message.contains("restoring migrated VM"), "{message}");
+        assert!(message.contains("corrupt snapshot"), "{message}");
+    }
+
+    #[test]
+    fn rotate_policy_is_a_pure_function() {
+        let p = RotateEvery(3);
+        assert_eq!(p.migrate(VmId(0), 3, 0, 4), Some(1));
+        assert_eq!(p.migrate(VmId(0), 3, 3, 4), Some(0));
+        assert_eq!(p.migrate(VmId(0), 2, 0, 4), None);
+        assert_eq!(p.migrate(VmId(0), 3, 0, 1), None, "one worker: nowhere to go");
+        assert_eq!(RotateEvery(0).migrate(VmId(0), 5, 0, 4), None, "period 0 never rotates");
     }
 }

@@ -24,6 +24,7 @@
 use crate::audit::{Finding, Severity};
 use crate::event::{Event, EventClass, EventRef, VmId};
 use hypertap_hvsim::clock::SimTime;
+use hypertap_hvsim::snap::{SnapError, SnapReader, SnapWriter};
 use std::collections::VecDeque;
 use std::fmt;
 
@@ -54,6 +55,11 @@ enum RingRecord {
     Finding(Finding),
     Panic { container: String, message: String, count: u64 },
     Span { name: &'static str, start: SimTime, duration_ns: u64, track: u32 },
+    /// A record restored from a machine snapshot. Native records are only
+    /// observable through [`FlightRecorder::dump`], so carrying the already
+    /// rendered form is full fidelity: a restored ring dumps byte-for-byte
+    /// identically to the ring it was captured from.
+    Imported(DumpRecord),
 }
 
 /// The bounded per-VM flight recorder.
@@ -199,44 +205,7 @@ impl FlightRecorder {
 
     /// Renders the ring into a serializable [`FlightDump`].
     pub fn dump(&self, reason: &str) -> FlightDump {
-        let records = self
-            .ring
-            .iter()
-            .map(|r| match r {
-                RingRecord::Event { seq, event } => DumpRecord::Event {
-                    seq: seq.0,
-                    time: event.time,
-                    vm: event.vm,
-                    vcpu: event.vcpu.0 as u32,
-                    class: event.class(),
-                    detail: event.kind.to_string(),
-                },
-                RingRecord::Tick { time } => DumpRecord::Tick { time: *time },
-                RingRecord::Transition { time, auditor, detail } => DumpRecord::Transition {
-                    time: *time,
-                    auditor: auditor.clone(),
-                    detail: detail.clone(),
-                },
-                RingRecord::Finding(f) => DumpRecord::Finding {
-                    time: f.time,
-                    auditor: f.auditor.clone(),
-                    severity: f.severity,
-                    message: f.message.clone(),
-                    provenance: f.provenance.clone(),
-                },
-                RingRecord::Panic { container, message, count } => DumpRecord::Panic {
-                    container: container.clone(),
-                    message: message.clone(),
-                    count: *count,
-                },
-                RingRecord::Span { name, start, duration_ns, track } => DumpRecord::Span {
-                    name: (*name).to_owned(),
-                    start: *start,
-                    duration_ns: *duration_ns,
-                    track: *track,
-                },
-            })
-            .collect();
+        let records = self.ring.iter().map(render_record).collect();
         FlightDump {
             version: FLIGHT_VERSION,
             reason: reason.to_owned(),
@@ -251,6 +220,194 @@ impl FlightRecorder {
     pub fn dump_bytes(&self, reason: &str) -> Vec<u8> {
         self.dump(reason).encode()
     }
+
+    /// Serializes the recorder for a machine snapshot: the sequencing and
+    /// eviction counters verbatim, plus every retained record in rendered
+    /// ([`DumpRecord`]) form. Records are only observable through
+    /// [`FlightRecorder::dump`], so the rendered form loses nothing a
+    /// restored VM could expose.
+    pub(crate) fn save(&self, w: &mut SnapWriter) {
+        w.boolean(self.enabled);
+        w.varint(self.capacity as u64);
+        w.varint(self.next_seq);
+        w.varint(self.dropped);
+        w.varint(self.ring.len() as u64);
+        for rec in &self.ring {
+            save_record(w, &render_record(rec));
+        }
+    }
+
+    /// Restores state written by [`FlightRecorder::save`]. Restored records
+    /// enter the ring as [`RingRecord::Imported`] and dump byte-for-byte
+    /// identically to the originals.
+    pub(crate) fn load(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.enabled = r.boolean()?;
+        let start = r.offset();
+        let capacity = r.varint()? as usize;
+        if capacity == 0 {
+            return Err(SnapError::BadValue { offset: start, what: "flight capacity" });
+        }
+        self.capacity = capacity;
+        self.next_seq = r.varint()?;
+        self.dropped = r.varint()?;
+        let start = r.offset();
+        let n = r.count(1 << 24, "flight records")?;
+        if n > capacity {
+            return Err(SnapError::BadValue { offset: start, what: "flight ring length" });
+        }
+        self.ring = VecDeque::with_capacity(n.min(4096));
+        for _ in 0..n {
+            let rec = load_record(r)?;
+            self.ring.push_back(RingRecord::Imported(rec));
+        }
+        Ok(())
+    }
+}
+
+/// Renders one ring record into its dump form (imported records pass
+/// through verbatim).
+fn render_record(r: &RingRecord) -> DumpRecord {
+    match r {
+        RingRecord::Event { seq, event } => DumpRecord::Event {
+            seq: seq.0,
+            time: event.time,
+            vm: event.vm,
+            vcpu: event.vcpu.0 as u32,
+            class: event.class(),
+            detail: event.kind.to_string(),
+        },
+        RingRecord::Tick { time } => DumpRecord::Tick { time: *time },
+        RingRecord::Transition { time, auditor, detail } => DumpRecord::Transition {
+            time: *time,
+            auditor: auditor.clone(),
+            detail: detail.clone(),
+        },
+        RingRecord::Finding(f) => DumpRecord::Finding {
+            time: f.time,
+            auditor: f.auditor.clone(),
+            severity: f.severity,
+            message: f.message.clone(),
+            provenance: f.provenance.clone(),
+        },
+        RingRecord::Panic { container, message, count } => DumpRecord::Panic {
+            container: container.clone(),
+            message: message.clone(),
+            count: *count,
+        },
+        RingRecord::Span { name, start, duration_ns, track } => DumpRecord::Span {
+            name: (*name).to_owned(),
+            start: *start,
+            duration_ns: *duration_ns,
+            track: *track,
+        },
+        RingRecord::Imported(d) => d.clone(),
+    }
+}
+
+/// Encodes one rendered record in snapshot (varint) form — the machine
+/// snapshot's framing, distinct from the fixed-width `.htfr` encoding.
+fn save_record(w: &mut SnapWriter, rec: &DumpRecord) {
+    match rec {
+        DumpRecord::Event { seq, time, vm, vcpu, class, detail } => {
+            w.byte(TAG_EVENT);
+            w.varint(*seq);
+            w.varint(time.as_nanos());
+            w.varint(u64::from(vm.0));
+            w.varint(u64::from(*vcpu));
+            w.byte(class_index(*class));
+            w.string(detail);
+        }
+        DumpRecord::Tick { time } => {
+            w.byte(TAG_TICK);
+            w.varint(time.as_nanos());
+        }
+        DumpRecord::Transition { time, auditor, detail } => {
+            w.byte(TAG_TRANSITION);
+            w.varint(time.as_nanos());
+            w.string(auditor);
+            w.string(detail);
+        }
+        DumpRecord::Finding { time, auditor, severity, message, provenance } => {
+            w.byte(TAG_FINDING);
+            w.varint(time.as_nanos());
+            w.string(auditor);
+            w.byte(severity_index(*severity));
+            w.string(message);
+            w.varint(provenance.len() as u64);
+            for r in provenance {
+                w.varint(r.0);
+            }
+        }
+        DumpRecord::Panic { container, message, count } => {
+            w.byte(TAG_PANIC);
+            w.string(container);
+            w.string(message);
+            w.varint(*count);
+        }
+        DumpRecord::Span { name, start, duration_ns, track } => {
+            w.byte(TAG_SPAN);
+            w.string(name);
+            w.varint(start.as_nanos());
+            w.varint(*duration_ns);
+            w.varint(u64::from(*track));
+        }
+    }
+}
+
+/// Decodes one record written by [`save_record`].
+fn load_record(r: &mut SnapReader<'_>) -> Result<DumpRecord, SnapError> {
+    let start = r.offset();
+    let tag = r.byte()?;
+    Ok(match tag {
+        TAG_EVENT => {
+            let seq = r.varint()?;
+            let time = SimTime::from_nanos(r.varint()?);
+            let vm = VmId(u32::try_from(r.varint()?)
+                .map_err(|_| SnapError::BadValue { offset: start, what: "vm id" })?);
+            let vcpu = u32::try_from(r.varint()?)
+                .map_err(|_| SnapError::BadValue { offset: start, what: "vcpu index" })?;
+            let class_off = r.offset();
+            let idx = r.byte()? as usize;
+            let class = *EventClass::ALL
+                .get(idx)
+                .ok_or(SnapError::BadValue { offset: class_off, what: "event class" })?;
+            let detail = r.string()?;
+            DumpRecord::Event { seq, time, vm, vcpu, class, detail }
+        }
+        TAG_TICK => DumpRecord::Tick { time: SimTime::from_nanos(r.varint()?) },
+        TAG_TRANSITION => DumpRecord::Transition {
+            time: SimTime::from_nanos(r.varint()?),
+            auditor: r.string()?,
+            detail: r.string()?,
+        },
+        TAG_FINDING => {
+            let time = SimTime::from_nanos(r.varint()?);
+            let auditor = r.string()?;
+            let sev_off = r.offset();
+            let severity = Severity::from_byte(r.byte()?)
+                .ok_or(SnapError::BadValue { offset: sev_off, what: "finding severity" })?;
+            let message = r.string()?;
+            let n = r.count(1 << 16, "finding provenance refs")?;
+            let mut provenance = Vec::with_capacity(n);
+            for _ in 0..n {
+                provenance.push(EventRef(r.varint()?));
+            }
+            DumpRecord::Finding { time, auditor, severity, message, provenance }
+        }
+        TAG_PANIC => DumpRecord::Panic {
+            container: r.string()?,
+            message: r.string()?,
+            count: r.varint()?,
+        },
+        TAG_SPAN => DumpRecord::Span {
+            name: r.string()?,
+            start: SimTime::from_nanos(r.varint()?),
+            duration_ns: r.varint()?,
+            track: u32::try_from(r.varint()?)
+                .map_err(|_| SnapError::BadValue { offset: start, what: "span track" })?,
+        },
+        tag => return Err(SnapError::BadTag { offset: start, tag }),
+    })
 }
 
 /// One decoded (or rendered) dump record. Events carry their rendered

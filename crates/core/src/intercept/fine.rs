@@ -12,6 +12,7 @@ use hypertap_hvsim::ept::{AccessKind, EptPerm};
 use hypertap_hvsim::exit::{ExitAction, VmExit, VmExitKind};
 use hypertap_hvsim::machine::VmState;
 use hypertap_hvsim::mem::Gfn;
+use hypertap_hvsim::snap::{SnapError, SnapReader, SnapWriter};
 use std::collections::HashMap;
 
 static ROWS: [Table1Row; 2] = [
@@ -103,6 +104,35 @@ impl InterceptEngine for FineGrainedEngine {
             }
         }
         ExitAction::Resume
+    }
+
+    fn snapshot_state(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        // Deterministic byte stream: the map is emitted in ascending-gfn
+        // order regardless of hash-map iteration order.
+        let mut entries: Vec<(Gfn, EptPerm)> =
+            self.watched.iter().map(|(g, p)| (*g, *p)).collect();
+        entries.sort_by_key(|(g, _)| *g);
+        w.varint(entries.len() as u64);
+        for (gfn, prev) in entries {
+            w.varint(gfn.value());
+            w.byte(prev.to_bits());
+        }
+        w.into_bytes()
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), SnapError> {
+        let mut r = SnapReader::new(bytes);
+        let n = r.count(1 << 24, "watched frames")?;
+        self.watched = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let gfn = Gfn::new(r.varint()?);
+            let start = r.offset();
+            let prev = EptPerm::from_bits(r.byte()?)
+                .ok_or(SnapError::BadValue { offset: start, what: "ept permission" })?;
+            self.watched.insert(gfn, prev);
+        }
+        r.finish()
     }
 }
 

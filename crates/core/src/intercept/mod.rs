@@ -20,6 +20,7 @@
 use crate::event::EventKind;
 use hypertap_hvsim::exit::{ExitAction, VmExit};
 use hypertap_hvsim::machine::VmState;
+use hypertap_hvsim::snap::SnapError;
 
 mod fine;
 mod io;
@@ -75,6 +76,32 @@ pub trait InterceptEngine {
     /// Upcast for engines with runtime configuration (e.g. the fine-grained
     /// watcher's frame list).
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+
+    /// Serializes the engine's mutable runtime state (armed watches, learned
+    /// entry points, ...) for a machine snapshot. Engines whose entire state
+    /// is recipe configuration return an empty blob (the default). EPT
+    /// permissions the engine programmed are *not* part of this blob — they
+    /// are captured by the machine's own EPT serialization.
+    fn snapshot_state(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// Restores state produced by [`InterceptEngine::snapshot_state`] into a
+    /// freshly built engine of the same kind.
+    ///
+    /// # Errors
+    ///
+    /// Returns a structured [`SnapError`] on malformed bytes; the default
+    /// accepts only an empty blob.
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), SnapError> {
+        if bytes.is_empty() {
+            Ok(())
+        } else {
+            Err(SnapError::Unsupported {
+                what: format!("engine '{}' has no restorable state", self.name()),
+            })
+        }
+    }
 }
 
 #[cfg(test)]

@@ -24,6 +24,7 @@ use hypertap_hvsim::exit::{ExceptionType, ExitAction, VcpuSnapshot, VmExit, VmEx
 use hypertap_hvsim::machine::VmState;
 use hypertap_hvsim::mem::{Gfn, Gva};
 use hypertap_hvsim::paging;
+use hypertap_hvsim::snap::{SnapError, SnapReader, SnapWriter};
 use hypertap_hvsim::vcpu::{Gpr, Msr};
 
 /// Linux's legacy syscall vector.
@@ -203,6 +204,35 @@ impl InterceptEngine for FastSyscallEngine {
             _ => {}
         }
         ExitAction::Resume
+    }
+
+    fn snapshot_state(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        w.opt_varint(self.syscall_entry.map(|g| g.value()));
+        match self.protected {
+            Some((gfn, prev)) => {
+                w.boolean(true);
+                w.varint(gfn.value());
+                w.byte(prev.to_bits());
+            }
+            None => w.boolean(false),
+        }
+        w.into_bytes()
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), SnapError> {
+        let mut r = SnapReader::new(bytes);
+        self.syscall_entry = r.opt_varint()?.map(Gva::new);
+        self.protected = if r.boolean()? {
+            let gfn = Gfn::new(r.varint()?);
+            let start = r.offset();
+            let prev = EptPerm::from_bits(r.byte()?)
+                .ok_or(SnapError::BadValue { offset: start, what: "ept permission" })?;
+            Some((gfn, prev))
+        } else {
+            None
+        };
+        r.finish()
     }
 }
 

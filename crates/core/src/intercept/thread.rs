@@ -18,6 +18,7 @@ use hypertap_hvsim::exit::{ExitAction, VmExit, VmExitKind};
 use hypertap_hvsim::machine::VmState;
 use hypertap_hvsim::mem::{Gfn, Gpa, Gva};
 use hypertap_hvsim::paging;
+use hypertap_hvsim::snap::{SnapError, SnapReader, SnapWriter};
 
 static ROWS: [Table1Row; 1] = [Table1Row {
     category: "Context switch interception",
@@ -131,6 +132,44 @@ impl InterceptEngine for ThreadSwitchEngine {
             _ => {}
         }
         ExitAction::Resume
+    }
+
+    fn snapshot_state(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        w.boolean(self.armed);
+        w.varint(self.watches.len() as u64);
+        for watch in &self.watches {
+            match watch {
+                Some(wa) => {
+                    w.boolean(true);
+                    w.varint(wa.rsp0_addr.value());
+                    w.varint(wa.gfn.value());
+                    w.byte(wa.prev_perm.to_bits());
+                }
+                None => w.boolean(false),
+            }
+        }
+        w.into_bytes()
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), SnapError> {
+        let mut r = SnapReader::new(bytes);
+        self.armed = r.boolean()?;
+        let n = r.count(1 << 10, "thread-switch watch slots")?;
+        self.watches = Vec::with_capacity(n);
+        for _ in 0..n {
+            self.watches.push(if r.boolean()? {
+                let rsp0_addr = Gva::new(r.varint()?);
+                let gfn = Gfn::new(r.varint()?);
+                let start = r.offset();
+                let prev_perm = EptPerm::from_bits(r.byte()?)
+                    .ok_or(SnapError::BadValue { offset: start, what: "ept permission" })?;
+                Some(Watch { rsp0_addr, gfn, prev_perm })
+            } else {
+                None
+            });
+        }
+        r.finish()
     }
 }
 

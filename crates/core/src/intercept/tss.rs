@@ -11,6 +11,7 @@ use crate::event::EventKind;
 use hypertap_hvsim::exit::{ExitAction, VmExit, VmExitKind};
 use hypertap_hvsim::machine::VmState;
 use hypertap_hvsim::mem::Gva;
+use hypertap_hvsim::snap::{SnapError, SnapReader, SnapWriter};
 use hypertap_hvsim::vcpu::VcpuId;
 
 static ROWS: [Table1Row; 1] = [Table1Row {
@@ -99,6 +100,34 @@ impl InterceptEngine for TssIntegrityEngine {
             }
         }
         ExitAction::Resume
+    }
+
+    fn snapshot_state(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        w.varint(self.saved_tr.len() as u64);
+        for tr in &self.saved_tr {
+            w.opt_varint(tr.map(|g| g.value()));
+        }
+        w.varint(self.alerted.len() as u64);
+        for a in &self.alerted {
+            w.boolean(*a);
+        }
+        w.into_bytes()
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), SnapError> {
+        let mut r = SnapReader::new(bytes);
+        let n = r.count(1 << 10, "saved TR slots")?;
+        self.saved_tr = Vec::with_capacity(n);
+        for _ in 0..n {
+            self.saved_tr.push(r.opt_varint()?.map(Gva::new));
+        }
+        let n = r.count(1 << 10, "alert flags")?;
+        self.alerted = Vec::with_capacity(n);
+        for _ in 0..n {
+            self.alerted.push(r.boolean()?);
+        }
+        r.finish()
     }
 }
 

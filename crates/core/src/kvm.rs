@@ -16,6 +16,7 @@ use crate::ring::{Ring, RingStats};
 use hypertap_hvsim::clock::SimTime;
 use hypertap_hvsim::exit::{ExitAction, VmExit};
 use hypertap_hvsim::machine::{Hypervisor, TimerId, VmState};
+use hypertap_hvsim::snap::{SnapError, SnapReader, SnapWriter};
 
 /// Capacity of the staging ring between the decode and fan-out stages.
 /// Sized far above any realistic per-exit event count so backpressure
@@ -238,6 +239,88 @@ impl Kvm {
     /// Total decoded events forwarded to the EM so far.
     pub fn forwarded_events(&self) -> u64 {
         self.forwarded_events
+    }
+
+    /// Serializes the Event Forwarder's deterministic state for a machine
+    /// snapshot: the forwarded-event counter, pipeline and ring counters,
+    /// every installed engine's state (framed by name, in install order),
+    /// and the embedded Event Multiplexer.
+    ///
+    /// Not captured: the wall-clock span probes (host instrumentation) and
+    /// the pipeline's scratch buffers (always drained before an exit
+    /// returns, so they are empty at any snapshot point).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapError::Unsupported`] from the EM when audit
+    /// containers are attached.
+    pub fn save_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        w.varint(u64::from(self.vm_id.0));
+        w.boolean(self.batched);
+        w.varint(self.forwarded_events);
+        w.varint(self.pipeline.stats.batches);
+        w.varint(self.pipeline.stats.events);
+        w.varint(self.pipeline.stats.backpressure_flushes);
+        let ring = self.pipeline.ring.stats();
+        w.varint(ring.pushed);
+        w.varint(ring.popped);
+        w.varint(ring.rejected);
+        w.varint(ring.high_watermark);
+        w.varint(self.engines.len() as u64);
+        for e in &self.engines {
+            w.string(e.name());
+            w.bytes(&e.snapshot_state());
+        }
+        self.em.save_state(w)
+    }
+
+    /// Restores state written by [`Kvm::save_state`] into a forwarder
+    /// rebuilt from the same recipe (same VM id, same engines installed in
+    /// the same order, same auditor roster).
+    ///
+    /// # Errors
+    ///
+    /// Returns a structured [`SnapError`] on malformed bytes or a recipe
+    /// mismatch (VM id, batched mode, or engine roster).
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let start = r.offset();
+        if r.varint()? != u64::from(self.vm_id.0) {
+            return Err(SnapError::BadValue { offset: start, what: "vm id mismatch" });
+        }
+        let start = r.offset();
+        if r.boolean()? != self.batched {
+            return Err(SnapError::BadValue { offset: start, what: "batched-mode mismatch" });
+        }
+        self.forwarded_events = r.varint()?;
+        self.pipeline.stats.batches = r.varint()?;
+        self.pipeline.stats.events = r.varint()?;
+        self.pipeline.stats.backpressure_flushes = r.varint()?;
+        let ring = RingStats {
+            pushed: r.varint()?,
+            popped: r.varint()?,
+            rejected: r.varint()?,
+            high_watermark: r.varint()?,
+        };
+        self.pipeline.ring.restore_stats(ring);
+        let start = r.offset();
+        let n = r.count(1 << 10, "engine state blobs")?;
+        if n != self.engines.len() {
+            return Err(SnapError::BadValue { offset: start, what: "engine roster size" });
+        }
+        for e in self.engines.iter_mut() {
+            let name = r.string()?;
+            let blob = r.bytes()?;
+            if name != e.name() {
+                return Err(SnapError::Unsupported {
+                    what: format!(
+                        "engine roster mismatch: snapshot has '{name}', target has '{}'",
+                        e.name()
+                    ),
+                });
+            }
+            e.restore_state(&blob)?;
+        }
+        self.em.restore_state(r)
     }
 
     /// Drains everything staged in the ring into the EM as one batch,

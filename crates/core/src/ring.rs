@@ -94,6 +94,13 @@ impl<T> Ring<T> {
         self.stats
     }
 
+    /// Overwrites the lifetime counters. Used by snapshot restore: staged
+    /// contents are always drained before a snapshot is taken, so only the
+    /// counters carry across.
+    pub fn restore_stats(&mut self, stats: RingStats) {
+        self.stats = stats;
+    }
+
     /// Pushes one item at the tail. A full ring refuses and returns the
     /// item, counting the rejection.
     pub fn try_push(&mut self, item: T) -> Result<(), T> {

@@ -1,0 +1,228 @@
+//! Fork-from-snapshot exploration: run a scenario's shared prefix once,
+//! capture the warmed-up guest as a `.htsp` machine snapshot, then explore
+//! every duration branch by restoring into a recipe-fresh VM and running
+//! only the extension.
+//!
+//! The snapshot contract (`snapshot → restore → run ≡ run`, bit-for-bit)
+//! makes a forked observation indistinguishable from an uninterrupted one:
+//! the trace bytes, verdict, flight dump and coverage fingerprint all
+//! match a from-scratch run of the same total duration. That is what lets
+//! the fuzzer substitute forks for full runs without weakening any of its
+//! checks — and what the equivalence tests in `tests/fork_equivalence.rs`
+//! pin down.
+//!
+//! A fork point is bound to a *recipe*: every scenario field except the
+//! name and the duration, plus the configuration variant. Mutants that
+//! change the mix, vCPU count, preemption, fault or rootkit rebuild the
+//! guest and cannot reuse the snapshot ([`recipe_key`] is the cache key
+//! that captures exactly this); duration-only branches — the common case
+//! when the fuzzer probes how long a hang or a scan needs to manifest —
+//! all fork from one prefix.
+
+use crate::harness::{
+    fold_trace, fold_transitions, fold_verdict, register_extra_fuzz_auditors, RunObservation,
+    FLIGHT_CAPACITY,
+};
+use hypertap_core::coverage::{CoverageMap, StreamCoverage};
+use hypertap_core::prelude::VmId;
+use hypertap_hvsim::clock::Duration;
+use hypertap_replay::prelude::*;
+use hypertap_replay::recorder::TraceRecorder;
+use hypertap_replay::scenario::{build_scenario_vm, ConfigVariant};
+
+/// A warmed-up guest, frozen: the machine snapshot plus the trace prefix
+/// recorded while warming it, reusable for any duration branch of the same
+/// recipe.
+#[derive(Debug, Clone)]
+pub struct ForkPoint {
+    scenario: Scenario,
+    variant: ConfigVariant,
+    warmup: Duration,
+    snapshot: Vec<u8>,
+    prefix_records: Vec<u8>,
+}
+
+/// The recipe identity a fork point is bound to: everything that shapes
+/// the built guest and its schedule except the display name and the run
+/// length. Two scenarios with equal keys restore each other's snapshots.
+pub fn recipe_key(s: &Scenario, variant: &ConfigVariant) -> String {
+    format!(
+        "{}|seed={}|vcpus={}|preempt={}|mix={}|fault={:?}|rootkit={:?}",
+        variant.label,
+        s.seed,
+        s.vcpus,
+        s.preemptible,
+        s.mix.label(),
+        s.fault,
+        s.rootkit
+    )
+}
+
+impl ForkPoint {
+    /// Runs the scenario under `variant` for `warmup` with the fuzz
+    /// harness's EM setup (flight capacity, fuzz-scale auditors, trace
+    /// recorder) and freezes the result.
+    pub fn capture(
+        scenario: &Scenario,
+        variant: &ConfigVariant,
+        warmup: Duration,
+    ) -> Result<ForkPoint, String> {
+        let mut vm = build_scenario_vm(scenario, variant, VmId(0));
+        let recorder = TraceRecorder::new(TraceHeader::new(
+            scenario.vcpus as u64,
+            scenario.seed,
+            scenario.name.clone(),
+            variant.label,
+        ));
+        {
+            let em = &mut vm.machine.hypervisor_mut().em;
+            em.flight_mut().set_capacity(FLIGHT_CAPACITY);
+            register_extra_fuzz_auditors(em, scenario.vcpus);
+            em.attach_tap(recorder.tap());
+        }
+        vm.run_for(warmup);
+        vm.machine.hypervisor_mut().em.detach_tap();
+        let snapshot = vm.snapshot().map_err(|e| format!("capturing fork point: {e}"))?;
+        Ok(ForkPoint {
+            scenario: scenario.clone(),
+            variant: variant.clone(),
+            warmup,
+            snapshot,
+            prefix_records: recorder.snapshot_records(),
+        })
+    }
+
+    /// Captures a fork point *during* a full observation run: the guest
+    /// runs to the warmup mark, is snapshotted in place (snapshots do not
+    /// perturb the machine — the golden `.htsp` suite pins
+    /// `run → snapshot → run-on ≡ run`), and then runs on to the scenario
+    /// deadline. One simulator pass yields both the from-scratch
+    /// observation of this branch and the frozen prefix every later
+    /// branch of the recipe forks from.
+    pub fn capture_observing(
+        scenario: &Scenario,
+        variant: &ConfigVariant,
+        warmup: Duration,
+    ) -> Result<(ForkPoint, RunObservation), String> {
+        if scenario.duration < warmup {
+            return Err(format!(
+                "scenario duration {:?} is shorter than the {warmup:?} warmup",
+                scenario.duration
+            ));
+        }
+        let mut vm = build_scenario_vm(scenario, variant, VmId(0));
+        let recorder = TraceRecorder::new(TraceHeader::new(
+            scenario.vcpus as u64,
+            scenario.seed,
+            scenario.name.clone(),
+            variant.label,
+        ));
+        {
+            let em = &mut vm.machine.hypervisor_mut().em;
+            em.flight_mut().set_capacity(FLIGHT_CAPACITY);
+            register_extra_fuzz_auditors(em, scenario.vcpus);
+            em.attach_tap(recorder.tap());
+        }
+        vm.run_until(hypertap_hvsim::clock::SimTime::ZERO + warmup);
+        let snapshot = vm.snapshot().map_err(|e| format!("capturing fork point: {e}"))?;
+        let prefix_records = recorder.snapshot_records();
+        vm.run_until(hypertap_hvsim::clock::SimTime::ZERO + scenario.duration);
+
+        let flight = vm.flight_dump("scenariofuzz");
+        let em = &mut vm.machine.hypervisor_mut().em;
+        em.detach_tap();
+        let trace = recorder.finish();
+        let verdict = Verdict::collect(em, &trace);
+        let mut stream = StreamCoverage::new();
+        fold_trace(&trace, &mut stream);
+        let mut coverage = CoverageMap::new();
+        stream.fold_into(&mut coverage);
+        let mut transitions = CoverageMap::new();
+        fold_transitions(&flight, &mut coverage, &mut transitions);
+        fold_verdict(&verdict, &mut coverage);
+
+        let point = ForkPoint {
+            scenario: scenario.clone(),
+            variant: variant.clone(),
+            warmup,
+            snapshot,
+            prefix_records,
+        };
+        Ok((point, RunObservation { trace, verdict, coverage, transitions, flight }))
+    }
+
+    /// The simulated time the captured guest has already run.
+    pub fn warmup(&self) -> Duration {
+        self.warmup
+    }
+
+    /// The recipe key this fork point serves (see [`recipe_key`]).
+    pub fn key(&self) -> String {
+        recipe_key(&self.scenario, &self.variant)
+    }
+
+    /// Size of the frozen state in bytes (snapshot + trace prefix) — what
+    /// a fork saves over re-stepping the prefix costs in memory.
+    pub fn frozen_bytes(&self) -> usize {
+        self.snapshot.len() + self.prefix_records.len()
+    }
+
+    /// Explores one duration branch: restores the snapshot into a
+    /// recipe-fresh VM, runs on until `total` simulated time, and returns
+    /// the same observation a from-scratch run of duration `total` would
+    /// produce — same trace bytes, verdict, flight dump and coverage.
+    ///
+    /// `name` replaces the scenario name in the returned trace header (the
+    /// fuzzer names offspring after their iteration). `total` must be at
+    /// least the warmup; a shorter branch has already been overrun by the
+    /// prefix and must run from scratch instead.
+    pub fn fork(&self, name: &str, total: Duration) -> Result<RunObservation, String> {
+        if total < self.warmup {
+            return Err(format!(
+                "branch duration {total:?} is shorter than the {:?} warmup",
+                self.warmup
+            ));
+        }
+        let mut vm = build_scenario_vm(&self.scenario, &self.variant, VmId(0));
+        {
+            let em = &mut vm.machine.hypervisor_mut().em;
+            em.flight_mut().set_capacity(FLIGHT_CAPACITY);
+            register_extra_fuzz_auditors(em, self.scenario.vcpus);
+        }
+        vm.restore(&self.snapshot).map_err(|e| format!("restoring fork point: {e}"))?;
+
+        let mut recorder = TraceRecorder::new(TraceHeader::new(
+            self.scenario.vcpus as u64,
+            self.scenario.seed,
+            self.scenario.name.clone(),
+            self.variant.label,
+        ));
+        recorder.restore_records(&self.prefix_records)?;
+        vm.machine.hypervisor_mut().em.attach_tap(recorder.tap());
+
+        // An absolute deadline, not `run_for`: if the guest went idle or
+        // shut down inside the warmup, the restored clock sits before the
+        // warmup mark, and a relative extension would overshoot the
+        // deadline a from-scratch run of `total` observes.
+        vm.run_until(hypertap_hvsim::clock::SimTime::ZERO + total);
+
+        let flight = vm.flight_dump("scenariofuzz");
+        let em = &mut vm.machine.hypervisor_mut().em;
+        em.detach_tap();
+        let mut trace = recorder.finish();
+        trace.header.scenario = name.to_owned();
+        let verdict = Verdict::collect(em, &trace);
+
+        // The live collector tap's fold is a pure function of the record
+        // stream, so folding the finished trace after the fact produces
+        // the identical stream coverage (see `fold_trace`).
+        let mut stream = StreamCoverage::new();
+        fold_trace(&trace, &mut stream);
+        let mut coverage = CoverageMap::new();
+        stream.fold_into(&mut coverage);
+        let mut transitions = CoverageMap::new();
+        fold_transitions(&flight, &mut coverage, &mut transitions);
+        fold_verdict(&verdict, &mut coverage);
+        Ok(RunObservation { trace, verdict, coverage, transitions, flight })
+    }
+}

@@ -1,0 +1,129 @@
+//! Fork-from-snapshot equivalence: exploring a duration branch from a
+//! warmed-up machine snapshot must be indistinguishable — trace bytes,
+//! verdict, flight dump, coverage fingerprint — from running the whole
+//! branch from scratch, and substituting forks inside the fuzzing loop
+//! must leave the loop's observable outcome bit-identical.
+
+use hypertap_fuzz::corpus::InputKind;
+use hypertap_fuzz::fork::{recipe_key, ForkPoint};
+use hypertap_fuzz::harness::observe_scenario;
+use hypertap_fuzz::{run_fuzz, FuzzConfig};
+use hypertap_hvsim::clock::Duration;
+use hypertap_replay::prelude::*;
+
+const WARMUP: Duration = Duration::from_millis(40);
+
+fn branchy_scenario(seed: u64, ordinal: u64) -> Scenario {
+    let mut s = Scenario::sample(seed, ordinal);
+    s.name = "fork-eq".to_owned();
+    s
+}
+
+#[test]
+fn forked_branches_match_from_scratch_runs_bit_for_bit() {
+    for (seed, ordinal) in [(11u64, 0u64), (11, 3), (902, 7)] {
+        let mut s = branchy_scenario(seed, ordinal);
+        let point = ForkPoint::capture(&s, &BASE, WARMUP)
+            .unwrap_or_else(|e| panic!("capture {seed}/{ordinal}: {e}"));
+        for extension_ms in [5u64, 20, 45] {
+            let total = WARMUP + Duration::from_millis(extension_ms);
+            s.duration = total;
+            let scratch = observe_scenario(&s, &BASE);
+            let forked = point.fork(&s.name, total).expect("fork runs");
+            assert_eq!(
+                forked.trace.encode(),
+                scratch.trace.encode(),
+                "{seed}/{ordinal}+{extension_ms}ms: trace bytes"
+            );
+            assert_eq!(
+                forked.verdict, scratch.verdict,
+                "{seed}/{ordinal}+{extension_ms}ms: verdicts (findings + provenance)"
+            );
+            assert_eq!(
+                forked.flight, scratch.flight,
+                "{seed}/{ordinal}+{extension_ms}ms: flight dumps"
+            );
+            assert_eq!(
+                forked.coverage.fingerprint(),
+                scratch.coverage.fingerprint(),
+                "{seed}/{ordinal}+{extension_ms}ms: coverage fingerprints"
+            );
+            assert_eq!(
+                forked.transitions.bits(),
+                scratch.transitions.bits(),
+                "{seed}/{ordinal}+{extension_ms}ms: transition edges"
+            );
+        }
+    }
+}
+
+#[test]
+fn forks_are_independent_of_each_other() {
+    // A fork must not perturb the fork point: taking the same branch twice
+    // — with a different branch in between — yields identical bytes.
+    let s = branchy_scenario(77, 1);
+    let point = ForkPoint::capture(&s, &BASE, WARMUP).expect("capture");
+    let total = WARMUP + Duration::from_millis(25);
+    let first = point.fork("twice", total).expect("first fork");
+    let _interleaved = point.fork("other", WARMUP + Duration::from_millis(10)).expect("mid fork");
+    let second = point.fork("twice", total).expect("second fork");
+    assert_eq!(first.trace.encode(), second.trace.encode());
+    assert_eq!(first.verdict, second.verdict);
+    assert_eq!(first.flight, second.flight);
+}
+
+#[test]
+fn branches_shorter_than_the_warmup_are_rejected() {
+    let s = branchy_scenario(5, 0);
+    let point = ForkPoint::capture(&s, &BASE, WARMUP).expect("capture");
+    let err = point
+        .fork("short", Duration::from_millis(10))
+        .expect_err("a branch inside the prefix cannot fork");
+    assert!(err.contains("warmup"), "error names the warmup: {err}");
+    // The boundary itself is fine: zero-length extension returns the
+    // warmed state as-is.
+    let at_warmup = point.fork("exact", WARMUP).expect("zero-length extension");
+    assert_eq!(at_warmup.trace.header.scenario, "exact");
+}
+
+#[test]
+fn recipe_key_separates_recipes_and_ignores_duration_and_name() {
+    let mut a = branchy_scenario(11, 0);
+    let mut b = a.clone();
+    b.name = "renamed".to_owned();
+    b.duration = a.duration + Duration::from_millis(50);
+    assert_eq!(recipe_key(&a, &BASE), recipe_key(&b, &BASE));
+    b.vcpus = a.vcpus % 4 + 1;
+    assert_ne!(recipe_key(&a, &BASE), recipe_key(&b, &BASE));
+    a.vcpus = b.vcpus;
+    assert_eq!(recipe_key(&a, &BASE), recipe_key(&b, &BASE));
+}
+
+#[test]
+fn fuzzing_with_forks_matches_fuzzing_without_bit_for_bit() {
+    // The loop-level consequence of per-branch equivalence: turning fork
+    // mode on changes wall-clock, not observations — same coverage
+    // fingerprint, same corpus, same (empty) divergence list.
+    let config = |fork_warmup| FuzzConfig {
+        seed: 21,
+        iterations: 10,
+        cap: Duration::from_millis(80),
+        guided: true,
+        deadline: None,
+        fork_warmup,
+    };
+    let plain = run_fuzz(config(None), Vec::new(), None);
+    let forked = run_fuzz(config(Some(Duration::from_millis(30))), Vec::new(), None);
+    assert!(forked.forks > 0, "the fork path must actually be exercised");
+    assert_eq!(plain.forks, 0);
+    assert_eq!(forked.fingerprint(), plain.fingerprint());
+    assert_eq!(forked.transition_edges(), plain.transition_edges());
+    let names = |o: &hypertap_fuzz::FuzzOutcome| {
+        o.corpus
+            .iter()
+            .map(|i| (i.name.clone(), i.fingerprint, matches!(i.kind, InputKind::Scenario(_))))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(names(&forked), names(&plain));
+    assert!(plain.divergences.is_empty() && forked.divergences.is_empty());
+}

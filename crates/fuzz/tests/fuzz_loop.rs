@@ -25,7 +25,14 @@ fn render_corpus(outcome: &hypertap_fuzz::FuzzOutcome) -> Vec<(String, Vec<u8>)>
 }
 
 fn small_config(seed: u64, guided: bool) -> FuzzConfig {
-    FuzzConfig { seed, iterations: 6, cap: Duration::from_millis(60), guided, deadline: None }
+    FuzzConfig {
+        seed,
+        iterations: 6,
+        cap: Duration::from_millis(60),
+        guided,
+        deadline: None,
+        fork_warmup: None,
+    }
 }
 
 #[test]

@@ -6,6 +6,7 @@
 //! realistic frequency, and that harnesses can read throughput counters.
 
 use hypertap_hvsim::device::Device;
+use hypertap_hvsim::snap::{SnapError, SnapReader, SnapWriter};
 use std::any::Any;
 use std::collections::VecDeque;
 
@@ -47,6 +48,20 @@ impl Device for DiskDevice {
 
     fn pio_write(&mut self, _port: u16, _value: u64) {
         self.sectors_written += 1;
+    }
+
+    fn snapshot_state(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        w.varint(self.sectors_written);
+        w.varint(self.sectors_read);
+        w.into_bytes()
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), SnapError> {
+        let mut r = SnapReader::new(bytes);
+        self.sectors_written = r.varint()?;
+        self.sectors_read = r.varint()?;
+        r.finish()
     }
 
     fn as_any(&mut self) -> &mut dyn Any {
@@ -99,6 +114,29 @@ impl Device for NicDevice {
         }
     }
 
+    fn snapshot_state(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        w.varint(self.rx_queue.len() as u64);
+        for b in &self.rx_queue {
+            w.varint(*b);
+        }
+        w.varint(self.tx_bytes);
+        w.varint(self.rx_bytes);
+        w.into_bytes()
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), SnapError> {
+        let mut r = SnapReader::new(bytes);
+        let n = r.count(1 << 20, "nic rx queue")?;
+        self.rx_queue.clear();
+        for _ in 0..n {
+            self.rx_queue.push_back(r.varint()?);
+        }
+        self.tx_bytes = r.varint()?;
+        self.rx_bytes = r.varint()?;
+        r.finish()
+    }
+
     fn as_any(&mut self) -> &mut dyn Any {
         self
     }
@@ -118,6 +156,18 @@ impl Device for ConsoleDevice {
 
     fn pio_write(&mut self, _port: u16, value: u64) {
         self.output.push(value as u8);
+    }
+
+    fn snapshot_state(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        w.bytes(&self.output);
+        w.into_bytes()
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), SnapError> {
+        let mut r = SnapReader::new(bytes);
+        self.output = r.bytes()?.to_vec();
+        r.finish()
     }
 
     fn as_any(&mut self) -> &mut dyn Any {

@@ -62,6 +62,11 @@ pub trait FaultHook {
     fn activations(&self) -> u64 {
         0
     }
+
+    /// Restores the activation counter when a snapshot is loaded, so a
+    /// transient fault that already fired before the snapshot does not fire
+    /// again afterwards. Hooks without mutable state may ignore this.
+    fn restore_activations(&mut self, _activations: u64) {}
 }
 
 /// The default hook: a correct kernel.
@@ -114,6 +119,10 @@ impl FaultHook for SingleFault {
 
     fn activations(&self) -> u64 {
         self.activations
+    }
+
+    fn restore_activations(&mut self, activations: u64) {
+        self.activations = activations;
     }
 }
 

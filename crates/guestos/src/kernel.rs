@@ -34,6 +34,7 @@ use hypertap_hvsim::device::DeviceId;
 use hypertap_hvsim::machine::GuestProgram;
 use hypertap_hvsim::mem::{Gfn, Gpa, Gva, PAGE_SIZE};
 use hypertap_hvsim::paging::{AddressSpaceBuilder, FrameAllocator};
+use hypertap_hvsim::snap::{SnapError, SnapReader, SnapWriter};
 use hypertap_hvsim::vcpu::{Gpr, Msr, VcpuId};
 use std::collections::{HashSet, VecDeque};
 
@@ -395,15 +396,7 @@ impl Kernel {
         self.kernel_pd = kpd.pdba();
 
         // Devices.
-        let disk = vm.io.register(Box::<DiskDevice>::default());
-        vm.io.map_pio(0x1f0..0x1f8, disk);
-        let nic = vm.io.register(Box::<NicDevice>::default());
-        vm.io.map_pio(0x300..0x308, nic);
-        let console = vm.io.register(Box::<ConsoleDevice>::default());
-        vm.io.map_pio(CONSOLE_PORT..CONSOLE_PORT + 1, console);
-        self.disk = Some(disk);
-        self.nic = Some(nic);
-        self.console = Some(console);
+        self.register_devices(&mut vm.io);
         self.falloc = Some(falloc);
 
         // Bring up vCPU 0's architectural state: TR first, then the first
@@ -418,12 +411,9 @@ impl Kernel {
         // init (pid 1, root) — created first so it gets pid 1, as on Linux.
         let init_prog: Box<dyn UserProgram> = match self.init_program {
             Some(p) => (self.programs[p.0 as usize].factory)(),
-            None => Box::new(crate::program::ScriptProgram::new(
-                vec![UserOp::sys(Sysno::Nanosleep, &[3_600_000_000_000])],
-                0,
-            )),
+            None => Self::fallback_init_program(),
         };
-        let slot = self.create_user_task(cpu, "init", 0, None, init_prog);
+        let slot = self.create_user_task(cpu, "init", 0, None, init_prog, self.init_program);
         self.runqueue.push_back(slot);
 
         // Kernel housekeeping daemons, one per vCPU.
@@ -435,6 +425,22 @@ impl Kernel {
         }
 
         self.booted = true;
+    }
+
+    /// Registers the disk, NIC and console on the I/O bus, in the fixed
+    /// boot order. Shared by boot and snapshot restore (a restored VM gets
+    /// a fresh bus, and device state only loads once the same topology is
+    /// back in place).
+    fn register_devices(&mut self, io: &mut hypertap_hvsim::device::IoBus) {
+        let disk = io.register(Box::<DiskDevice>::default());
+        io.map_pio(0x1f0..0x1f8, disk);
+        let nic = io.register(Box::<NicDevice>::default());
+        io.map_pio(0x300..0x308, nic);
+        let console = io.register(Box::<ConsoleDevice>::default());
+        io.map_pio(CONSOLE_PORT..CONSOLE_PORT + 1, console);
+        self.disk = Some(disk);
+        self.nic = Some(nic);
+        self.console = Some(console);
     }
 
     /// Per-vCPU architectural bring-up (TR, CR3, MSRs, timer).
@@ -549,6 +555,7 @@ impl Kernel {
         ppid: Option<Pid>,
         pdba: Option<Gpa>,
         program: Option<Box<dyn UserProgram>>,
+        prog_id: Option<ProgId>,
         kthread_period: Option<Duration>,
         affinity: Option<VcpuId>,
         user_frames: Vec<Gfn>,
@@ -572,6 +579,7 @@ impl Kernel {
             pdba,
             kstack_top,
             program,
+            prog_id,
             kthread_period,
             exec: ExecContext::User,
             pending_compute: 0,
@@ -611,6 +619,7 @@ impl Kernel {
         uid: u64,
         ppid: Option<Pid>,
         program: Box<dyn UserProgram>,
+        prog_id: Option<ProgId>,
     ) -> usize {
         // Build the process image: fresh page directory sharing the kernel
         // region, one text page, four stack pages.
@@ -627,7 +636,18 @@ impl Kernel {
         ));
         let pdba = asb.pdba();
         self.falloc = Some(falloc);
-        self.new_task_common(cpu, comm, uid, ppid, Some(pdba), Some(program), None, None, frames)
+        self.new_task_common(
+            cpu,
+            comm,
+            uid,
+            ppid,
+            Some(pdba),
+            Some(program),
+            prog_id,
+            None,
+            None,
+            frames,
+        )
     }
 
     fn create_kthread(&mut self, cpu: &mut CpuCtx<'_>, comm: &str, affinity: VcpuId) -> usize {
@@ -638,10 +658,432 @@ impl Kernel {
             None,
             None,
             None,
+            None,
             Some(self.cfg.daemon_period),
             Some(affinity),
             Vec::new(),
         )
+    }
+
+    /// The program `init` runs when none was registered (must be
+    /// deterministic: snapshot restore rebuilds it from here).
+    fn fallback_init_program() -> Box<dyn UserProgram> {
+        Box::new(crate::program::ScriptProgram::new(
+            vec![UserOp::sys(Sysno::Nanosleep, &[3_600_000_000_000])],
+            0,
+        ))
+    }
+
+    // ----- snapshot --------------------------------------------------------------
+
+    /// Serializes the kernel's host-side state. Recipe state — the config,
+    /// the program/module registries, the lock-site catalogue, the fault
+    /// hook's identity — is not captured; the restore target must be built
+    /// from the same recipe.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`SnapError::Unsupported`] when a live task runs a
+    /// program that cannot serialize itself (closure-backed [`FnProgram`]s).
+    ///
+    /// [`FnProgram`]: crate::program::FnProgram
+    pub fn save_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        w.boolean(self.booted);
+        w.varint(self.vcpu_online.len() as u64);
+        for b in &self.vcpu_online {
+            w.boolean(*b);
+        }
+        w.boolean(self.shutdown);
+        match &self.falloc {
+            Some(f) => {
+                w.boolean(true);
+                f.save(w);
+            }
+            None => w.boolean(false),
+        }
+        w.varint(self.kernel_pd.value());
+        w.varint(self.ts_free.len() as u64);
+        for g in &self.ts_free {
+            w.varint(g.value());
+        }
+        w.varint(self.ts_next.value());
+        w.varint(self.kstack_free.len() as u64);
+        for g in &self.kstack_free {
+            w.varint(g.value());
+        }
+        w.varint(self.kstack_next.value());
+        w.varint(self.tasks.len() as u64);
+        for t in &self.tasks {
+            Self::save_task(t, w)?;
+        }
+        w.varint(self.next_pid);
+        w.varint(self.current.len() as u64);
+        for c in &self.current {
+            w.opt_varint(c.map(|s| s as u64));
+        }
+        w.varint(self.runqueue.len() as u64);
+        for s in &self.runqueue {
+            w.varint(*s as u64);
+        }
+        self.locks.save(w);
+        w.varint(self.fault_hook.activations());
+        w.varint(self.leaked_locks.len() as u64);
+        for l in &self.leaked_locks {
+            w.varint(l.0 as u64);
+        }
+        w.varint(self.path_counter);
+        let mut filters: Vec<u64> = self.pid_filters.iter().copied().collect();
+        filters.sort_unstable();
+        w.varint(filters.len() as u64);
+        for p in filters {
+            w.varint(p);
+        }
+        w.varint(self.user_locks.len() as u64);
+        for ul in &self.user_locks {
+            w.opt_varint(ul.owner.map(|p| p.0));
+            w.varint(ul.waiters.len() as u64);
+            for s in &ul.waiters {
+                w.varint(*s as u64);
+            }
+        }
+        w.varint(self.stats.context_switches);
+        w.varint(self.stats.syscalls);
+        w.varint(self.stats.spawns);
+        w.varint(self.stats.exits);
+        w.varint(self.stats.ticks);
+        w.varint(self.stats.idle_halts);
+        w.varint(self.last_dispatch.len() as u64);
+        for t in &self.last_dispatch {
+            w.varint(t.as_nanos());
+        }
+        w.varint(self.mm_graveyard.len() as u64);
+        for g in &self.mm_graveyard {
+            w.varint(g.value());
+        }
+        Ok(())
+    }
+
+    /// Restores kernel state saved by [`Kernel::save_state`] into a freshly
+    /// built kernel (same config, same registered programs and modules, same
+    /// fault hook). Re-registers the boot device topology on `io` when the
+    /// snapshot was taken after boot, so the caller can subsequently load
+    /// the devices' own state into the bus.
+    ///
+    /// # Errors
+    ///
+    /// Returns a structured [`SnapError`] on malformed input; the kernel may
+    /// be partially overwritten and must be discarded on error.
+    pub fn restore_state(
+        &mut self,
+        r: &mut SnapReader<'_>,
+        io: &mut hypertap_hvsim::device::IoBus,
+    ) -> Result<(), SnapError> {
+        self.booted = r.boolean()?;
+        if self.booted {
+            self.register_devices(io);
+        }
+        let n = r.count(1 << 10, "vcpu count")?;
+        if n != self.cfg.vcpus {
+            return Err(SnapError::BadValue { offset: r.offset(), what: "vcpu count" });
+        }
+        self.vcpu_online.clear();
+        for _ in 0..n {
+            self.vcpu_online.push(r.boolean()?);
+        }
+        self.shutdown = r.boolean()?;
+        self.falloc = if r.boolean()? { Some(FrameAllocator::load(r)?) } else { None };
+        self.kernel_pd = Gpa::new(r.varint()?);
+        let n = r.count(1 << 24, "free task_struct slots")?;
+        self.ts_free = Vec::with_capacity(n);
+        for _ in 0..n {
+            self.ts_free.push(Gva::new(r.varint()?));
+        }
+        self.ts_next = Gva::new(r.varint()?);
+        let n = r.count(1 << 24, "free kernel stacks")?;
+        self.kstack_free = Vec::with_capacity(n);
+        for _ in 0..n {
+            self.kstack_free.push(Gva::new(r.varint()?));
+        }
+        self.kstack_next = Gva::new(r.varint()?);
+        let n = r.count(1 << 20, "task count")?;
+        self.tasks = Vec::with_capacity(n);
+        for _ in 0..n {
+            let t = self.load_task(r)?;
+            self.tasks.push(t);
+        }
+        self.next_pid = r.varint()?;
+        let n = r.count(1 << 10, "current slots")?;
+        if n != self.cfg.vcpus {
+            return Err(SnapError::BadValue { offset: r.offset(), what: "current slot count" });
+        }
+        self.current.clear();
+        for _ in 0..n {
+            self.current.push(r.opt_varint()?.map(|s| s as usize));
+        }
+        let n = r.count(1 << 20, "runqueue length")?;
+        self.runqueue.clear();
+        for _ in 0..n {
+            self.runqueue.push_back(r.varint()? as usize);
+        }
+        self.locks.load(r)?;
+        let activations = r.varint()?;
+        self.fault_hook.restore_activations(activations);
+        let n = r.count(1 << 16, "leaked locks")?;
+        self.leaked_locks = Vec::with_capacity(n);
+        for _ in 0..n {
+            self.leaked_locks.push(LockId(r.varint()? as u32));
+        }
+        self.path_counter = r.varint()?;
+        let n = r.count(1 << 20, "pid filters")?;
+        self.pid_filters = HashSet::with_capacity(n);
+        for _ in 0..n {
+            self.pid_filters.insert(r.varint()?);
+        }
+        let n = r.count(1 << 16, "user locks")?;
+        self.user_locks = Vec::with_capacity(n);
+        for _ in 0..n {
+            let owner = r.opt_varint()?.map(Pid);
+            let wn = r.count(1 << 20, "user lock waiters")?;
+            let mut waiters = VecDeque::with_capacity(wn);
+            for _ in 0..wn {
+                waiters.push_back(r.varint()? as usize);
+            }
+            self.user_locks.push(UserLockState { owner, waiters });
+        }
+        self.stats.context_switches = r.varint()?;
+        self.stats.syscalls = r.varint()?;
+        self.stats.spawns = r.varint()?;
+        self.stats.exits = r.varint()?;
+        self.stats.ticks = r.varint()?;
+        self.stats.idle_halts = r.varint()?;
+        let n = r.count(1 << 10, "dispatch timestamps")?;
+        if n != self.cfg.vcpus {
+            return Err(SnapError::BadValue { offset: r.offset(), what: "dispatch count" });
+        }
+        self.last_dispatch.clear();
+        for _ in 0..n {
+            self.last_dispatch.push(SimTime::from_nanos(r.varint()?));
+        }
+        let n = r.count(1 << 20, "mm graveyard")?;
+        self.mm_graveyard = Vec::with_capacity(n);
+        for _ in 0..n {
+            self.mm_graveyard.push(Gpa::new(r.varint()?));
+        }
+        Ok(())
+    }
+
+    fn save_task(t: &Task, w: &mut SnapWriter) -> Result<(), SnapError> {
+        w.varint(t.pid.0);
+        w.varint(t.ts_gva.value());
+        w.string(&t.comm);
+        w.varint(t.uid);
+        w.varint(t.euid);
+        w.opt_varint(t.ppid.map(|p| p.0));
+        t.state.save(w);
+        w.opt_varint(t.pdba.map(|p| p.value()));
+        w.varint(t.kstack_top.value());
+        match &t.program {
+            Some(p) => {
+                let state = p.save_state().ok_or_else(|| SnapError::Unsupported {
+                    what: format!("program of task '{}' ({}) cannot be snapshotted", t.comm, t.pid),
+                })?;
+                w.boolean(true);
+                w.opt_varint(t.prog_id.map(|p| p.0));
+                w.bytes(&state);
+            }
+            None => w.boolean(false),
+        }
+        w.opt_varint(t.kthread_period.map(|d| d.as_nanos()));
+        match &t.exec {
+            ExecContext::User => w.byte(0),
+            ExecContext::Kernel(e) => {
+                w.byte(1);
+                e.save(w);
+            }
+        }
+        w.varint(t.pending_compute);
+        w.varint(t.last_ret);
+        w.varint(t.preempt_count as u64);
+        w.byte(match t.saved_if {
+            None => 0,
+            Some(false) => 1,
+            Some(true) => 2,
+        });
+        w.opt_varint(t.affinity.map(|v| v.0 as u64));
+        w.varint(t.slice_left as u64);
+        w.varint(t.user_rip.value());
+        w.varint(t.mailbox.len() as u64);
+        for e in &t.mailbox {
+            w.varint(e.time.as_nanos());
+            w.string(&e.tag);
+            w.string(&e.detail);
+        }
+        w.varint(t.user_frames.len() as u64);
+        for g in &t.user_frames {
+            w.varint(g.value());
+        }
+        w.varint(t.fds.len() as u64);
+        for fd in &t.fds {
+            match fd {
+                Some((file, off)) => {
+                    w.boolean(true);
+                    w.varint(*file as u64);
+                    w.varint(*off);
+                }
+                None => w.boolean(false),
+            }
+        }
+        w.varint(t.proc_snapshot.len() as u64);
+        for p in &t.proc_snapshot {
+            w.varint(p.pid);
+            w.varint(p.uid);
+            w.varint(p.euid);
+            w.varint(p.ppid);
+            w.varint(p.parent_uid);
+            w.string(&p.comm);
+        }
+        w.varint(t.spawned_at.as_nanos());
+        w.boolean(t.kill_pending);
+        w.varint(t.op_counter);
+        w.varint(t.user_stack.value());
+        w.varint(t.pending_child_exits.len() as u64);
+        for p in &t.pending_child_exits {
+            w.varint(*p);
+        }
+        w.varint(t.children_alive as u64);
+        Ok(())
+    }
+
+    fn load_task(&mut self, r: &mut SnapReader<'_>) -> Result<Task, SnapError> {
+        let pid = Pid(r.varint()?);
+        let ts_gva = Gva::new(r.varint()?);
+        let comm = r.string()?.to_owned();
+        let uid = r.varint()?;
+        let euid = r.varint()?;
+        let ppid = r.opt_varint()?.map(Pid);
+        let state = RunState::load(r)?;
+        let pdba = r.opt_varint()?.map(Gpa::new);
+        let kstack_top = Gva::new(r.varint()?);
+        let (program, prog_id) = if r.boolean()? {
+            let prog_id = r.opt_varint()?.map(ProgId);
+            let state = r.bytes()?.to_vec();
+            let mut program: Box<dyn UserProgram> = match prog_id {
+                Some(p) => {
+                    let reg = self.programs.get_mut(p.0 as usize).ok_or_else(|| {
+                        SnapError::Unsupported {
+                            what: format!("task '{comm}' references unregistered program {}", p.0),
+                        }
+                    })?;
+                    (reg.factory)()
+                }
+                // `None` with a program present is the fallback init.
+                None => Self::fallback_init_program(),
+            };
+            program.load_state(&state).map_err(|e| SnapError::Unsupported {
+                what: format!("restoring program of task '{comm}': {e}"),
+            })?;
+            (Some(program), prog_id)
+        } else {
+            (None, None)
+        };
+        let kthread_period = r.opt_varint()?.map(Duration::from_nanos);
+        let start = r.offset();
+        let exec = match r.byte()? {
+            0 => ExecContext::User,
+            1 => ExecContext::Kernel(KernelExec::load(r)?),
+            tag => return Err(SnapError::BadTag { offset: start, tag }),
+        };
+        let pending_compute = r.varint()?;
+        let last_ret = r.varint()?;
+        let preempt_count = r.varint()? as u32;
+        let start = r.offset();
+        let saved_if = match r.byte()? {
+            0 => None,
+            1 => Some(false),
+            2 => Some(true),
+            tag => return Err(SnapError::BadTag { offset: start, tag }),
+        };
+        let affinity = r.opt_varint()?.map(|v| VcpuId(v as usize));
+        let slice_left = r.varint()? as u32;
+        let user_rip = Gva::new(r.varint()?);
+        let n = r.count(1 << 20, "mailbox length")?;
+        let mut mailbox = Vec::with_capacity(n);
+        for _ in 0..n {
+            let time = SimTime::from_nanos(r.varint()?);
+            let tag = r.string()?.to_owned();
+            let detail = r.string()?.to_owned();
+            mailbox.push(UserEvent { time, tag, detail });
+        }
+        let n = r.count(1 << 24, "user frames")?;
+        let mut user_frames = Vec::with_capacity(n);
+        for _ in 0..n {
+            user_frames.push(Gfn::new(r.varint()?));
+        }
+        let n = r.count(1 << 16, "fd table size")?;
+        let mut fds = Vec::with_capacity(n);
+        for _ in 0..n {
+            fds.push(if r.boolean()? {
+                let file = r.varint()? as u32;
+                let off = r.varint()?;
+                Some((file, off))
+            } else {
+                None
+            });
+        }
+        let n = r.count(1 << 20, "proc snapshot")?;
+        let mut proc_snapshot = Vec::with_capacity(n);
+        for _ in 0..n {
+            proc_snapshot.push(ProcEntry {
+                pid: r.varint()?,
+                uid: r.varint()?,
+                euid: r.varint()?,
+                ppid: r.varint()?,
+                parent_uid: r.varint()?,
+                comm: r.string()?.to_owned(),
+            });
+        }
+        let spawned_at = SimTime::from_nanos(r.varint()?);
+        let kill_pending = r.boolean()?;
+        let op_counter = r.varint()?;
+        let user_stack = Gva::new(r.varint()?);
+        let n = r.count(1 << 20, "pending child exits")?;
+        let mut pending_child_exits = Vec::with_capacity(n);
+        for _ in 0..n {
+            pending_child_exits.push(r.varint()?);
+        }
+        let children_alive = r.varint()? as u32;
+        Ok(Task {
+            pid,
+            ts_gva,
+            comm,
+            uid,
+            euid,
+            ppid,
+            state,
+            pdba,
+            kstack_top,
+            program,
+            prog_id,
+            kthread_period,
+            exec,
+            pending_compute,
+            last_ret,
+            preempt_count,
+            saved_if,
+            affinity,
+            slice_left,
+            user_rip,
+            mailbox,
+            user_frames,
+            fds,
+            proc_snapshot,
+            spawned_at,
+            kill_pending,
+            op_counter,
+            user_stack,
+            pending_child_exits,
+            children_alive,
+        })
     }
 
     // ----- scheduler -------------------------------------------------------------
@@ -1285,7 +1727,14 @@ impl Kernel {
                     let name = self.programs[prog_idx].name.clone();
                     let prog = (self.programs[prog_idx].factory)();
                     let ppid = self.tasks[slot].pid;
-                    let child = self.create_user_task(cpu, &name, uid, Some(ppid), prog);
+                    let child = self.create_user_task(
+                        cpu,
+                        &name,
+                        uid,
+                        Some(ppid),
+                        prog,
+                        Some(ProgId(prog_idx as u64)),
+                    );
                     self.runqueue.push_back(child);
                     let child_pid = self.tasks[child].pid.0;
                     self.set_ret(slot, child_pid);

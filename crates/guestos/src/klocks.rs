@@ -13,6 +13,7 @@
 //! names (ext3, char, block).
 
 use crate::task::Pid;
+use hypertap_hvsim::snap::{SnapError, SnapReader, SnapWriter};
 
 /// Index of a kernel lock.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -169,6 +170,34 @@ impl LockTable {
                 false
             }
         }
+    }
+
+    /// Serializes the runtime lock state (the static site catalogue is
+    /// recipe state and rebuilds identically).
+    pub(crate) fn save(&self, w: &mut SnapWriter) {
+        w.varint(self.locks.len() as u64);
+        for l in &self.locks {
+            w.opt_varint(l.owner.map(|p| p.0));
+            w.varint(l.acquisitions);
+            w.varint(l.contentions);
+            w.boolean(l.corrupted);
+        }
+    }
+
+    /// Restores lock state saved by [`LockTable::save`] into a freshly
+    /// built table (same catalogue).
+    pub(crate) fn load(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        let n = r.varint()? as usize;
+        if n != self.locks.len() {
+            return Err(SnapError::BadValue { offset: r.offset(), what: "lock table size" });
+        }
+        for l in self.locks.iter_mut() {
+            l.owner = r.opt_varint()?.map(Pid);
+            l.acquisitions = r.varint()?;
+            l.contentions = r.varint()?;
+            l.corrupted = r.boolean()?;
+        }
+        Ok(())
     }
 
     /// Force-releases every lock owned by a dying task **except** those

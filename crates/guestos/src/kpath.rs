@@ -7,8 +7,9 @@
 //! composition (which subsystems, how much I/O) determines both the hang
 //! dynamics of Fig. 4/5 and the overhead mix of Fig. 7.
 
-use crate::klocks::{LockSite, LockTable, SITE_COUNT, SUBSYSTEMS};
+use crate::klocks::{LockId, LockSite, LockTable, SITE_COUNT, SUBSYSTEMS};
 use crate::syscalls::Sysno;
+use hypertap_hvsim::snap::{SnapError, SnapReader, SnapWriter};
 
 /// One step of a kernel path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,6 +62,47 @@ pub struct KernelExec {
     pub applied: bool,
 }
 
+impl PathStep {
+    pub(crate) fn save(&self, w: &mut SnapWriter) {
+        match self {
+            PathStep::Lock(i) => {
+                w.byte(0);
+                w.varint(*i as u64);
+            }
+            PathStep::Unlock(i) => {
+                w.byte(1);
+                w.varint(*i as u64);
+            }
+            PathStep::Work(ns) => {
+                w.byte(2);
+                w.varint(*ns);
+            }
+            PathStep::DiskIo { bytes, write } => {
+                w.byte(3);
+                w.varint(*bytes);
+                w.boolean(*write);
+            }
+            PathStep::NicIo { bytes, write } => {
+                w.byte(4);
+                w.varint(*bytes);
+                w.boolean(*write);
+            }
+        }
+    }
+
+    pub(crate) fn load(r: &mut SnapReader<'_>) -> Result<PathStep, SnapError> {
+        let start = r.offset();
+        Ok(match r.byte()? {
+            0 => PathStep::Lock(r.varint()? as usize),
+            1 => PathStep::Unlock(r.varint()? as usize),
+            2 => PathStep::Work(r.varint()?),
+            3 => PathStep::DiskIo { bytes: r.varint()?, write: r.boolean()? },
+            4 => PathStep::NicIo { bytes: r.varint()?, write: r.boolean()? },
+            tag => return Err(SnapError::BadTag { offset: start, tag }),
+        })
+    }
+}
+
 impl KernelExec {
     /// A fresh execution of the given path.
     pub fn new(syscall: Option<(Sysno, [u64; 5])>, steps: Vec<PathStep>) -> Self {
@@ -80,6 +122,85 @@ impl KernelExec {
     /// Whether every step has run.
     pub fn finished(&self) -> bool {
         self.pc >= self.steps.len()
+    }
+
+    /// Serializes the in-flight execution (including the materialized path,
+    /// which may have been mutated by fault injection).
+    pub(crate) fn save(&self, w: &mut SnapWriter) {
+        match &self.syscall {
+            Some((sysno, args)) => {
+                w.boolean(true);
+                w.varint(sysno.raw());
+                for a in args {
+                    w.varint(*a);
+                }
+            }
+            None => w.boolean(false),
+        }
+        w.varint(self.steps.len() as u64);
+        for s in &self.steps {
+            s.save(w);
+        }
+        w.varint(self.pc as u64);
+        w.varint(self.held.len() as u64);
+        for h in &self.held {
+            w.varint(*h as u64);
+        }
+        w.varint(self.extra_locks.len() as u64);
+        for l in &self.extra_locks {
+            w.varint(l.0 as u64);
+        }
+        w.varint(self.ret);
+        w.varint(self.io_progress);
+        w.opt_varint(self.spin_partner.map(|l| l.0 as u64));
+        w.boolean(self.applied);
+    }
+
+    /// Restores an execution saved by [`KernelExec::save`].
+    pub(crate) fn load(r: &mut SnapReader<'_>) -> Result<KernelExec, SnapError> {
+        let syscall = if r.boolean()? {
+            let start = r.offset();
+            let sysno = Sysno::from_raw(r.varint()?)
+                .ok_or(SnapError::BadValue { offset: start, what: "syscall number" })?;
+            let mut args = [0u64; 5];
+            for a in &mut args {
+                *a = r.varint()?;
+            }
+            Some((sysno, args))
+        } else {
+            None
+        };
+        let n = r.count(1 << 20, "kernel path length")?;
+        let mut steps = Vec::with_capacity(n);
+        for _ in 0..n {
+            steps.push(PathStep::load(r)?);
+        }
+        let pc = r.varint()? as usize;
+        let n = r.count(1 << 16, "held locks")?;
+        let mut held = Vec::with_capacity(n);
+        for _ in 0..n {
+            held.push(r.varint()? as usize);
+        }
+        let n = r.count(1 << 16, "extra locks")?;
+        let mut extra_locks = Vec::with_capacity(n);
+        for _ in 0..n {
+            extra_locks.push(LockId(r.varint()? as u32));
+        }
+        let ret = r.varint()?;
+        let io_progress = r.varint()?;
+        let spin_partner = r.opt_varint()?.map(|v| LockId(v as u32));
+        let applied = r.boolean()?;
+        Ok(KernelExec {
+            syscall,
+            steps,
+            pc,
+            held,
+            extra_locks,
+            ret,
+            io_progress,
+            spin_partner,
+            applied,
+        })
     }
 }
 

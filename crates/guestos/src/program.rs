@@ -59,6 +59,24 @@ pub struct UserView<'a> {
 pub trait UserProgram {
     /// Produces the next operation.
     fn next_op(&mut self, view: &UserView<'_>) -> UserOp;
+
+    /// Serializes this program's mutable state for a machine snapshot, or
+    /// `None` if the program cannot be snapshotted (the default — e.g.
+    /// closure-backed programs with captured state).
+    fn save_state(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Restores state produced by [`UserProgram::save_state`] into a freshly
+    /// constructed instance of the same program.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the mismatch if the bytes are not a valid
+    /// saved state for this program.
+    fn load_state(&mut self, _bytes: &[u8]) -> Result<(), String> {
+        Err("program does not support snapshot restore".to_string())
+    }
 }
 
 /// A program that replays a fixed script, then exits.
@@ -86,6 +104,24 @@ impl UserProgram for ScriptProgram {
             }
             None => UserOp::Exit(self.exit_code),
         }
+    }
+
+    fn save_state(&self) -> Option<Vec<u8>> {
+        // The script itself is recipe state; only the resume point moves.
+        let mut w = hypertap_hvsim::snap::SnapWriter::new();
+        w.varint(self.pc as u64);
+        Some(w.into_bytes())
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let mut r = hypertap_hvsim::snap::SnapReader::new(bytes);
+        let pc = r.varint().map_err(|e| e.to_string())? as usize;
+        r.finish().map_err(|e| e.to_string())?;
+        if pc > self.script.len() {
+            return Err(format!("script pc {pc} out of range (len {})", self.script.len()));
+        }
+        self.pc = pc;
+        Ok(())
     }
 }
 

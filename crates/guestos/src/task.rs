@@ -7,9 +7,10 @@
 //! guest-memory `task_struct`, and the guest copy is the one VMI, HyperTap
 //! derivation, in-guest `ps` and rootkits operate on.
 
-use crate::program::UserProgram;
+use crate::program::{ProgId, UserProgram};
 use hypertap_hvsim::clock::SimTime;
 use hypertap_hvsim::mem::{Gfn, Gpa, Gva};
+use hypertap_hvsim::snap::{SnapError, SnapReader, SnapWriter};
 use hypertap_hvsim::vcpu::VcpuId;
 use std::fmt;
 
@@ -57,6 +58,43 @@ impl RunState {
             RunState::Zombie | RunState::Dead => 2,
         }
     }
+
+    pub(crate) fn save(&self, w: &mut SnapWriter) {
+        match self {
+            RunState::Ready => w.byte(0),
+            RunState::Sleeping(t) => {
+                w.byte(1);
+                w.varint(t.as_nanos());
+            }
+            RunState::WaitingChild => w.byte(2),
+            RunState::WaitingUserLock(id) => {
+                w.byte(3);
+                w.varint(*id as u64);
+            }
+            RunState::WaitingIo => w.byte(4),
+            RunState::Spinning(site) => {
+                w.byte(5);
+                w.varint(*site as u64);
+            }
+            RunState::Zombie => w.byte(6),
+            RunState::Dead => w.byte(7),
+        }
+    }
+
+    pub(crate) fn load(r: &mut SnapReader<'_>) -> Result<RunState, SnapError> {
+        let start = r.offset();
+        Ok(match r.byte()? {
+            0 => RunState::Ready,
+            1 => RunState::Sleeping(SimTime::from_nanos(r.varint()?)),
+            2 => RunState::WaitingChild,
+            3 => RunState::WaitingUserLock(r.varint()? as u32),
+            4 => RunState::WaitingIo,
+            5 => RunState::Spinning(r.varint()? as usize),
+            6 => RunState::Zombie,
+            7 => RunState::Dead,
+            tag => return Err(SnapError::BadTag { offset: start, tag }),
+        })
+    }
 }
 
 /// What a task is currently doing, from the scheduler's perspective.
@@ -91,6 +129,9 @@ pub struct Task {
     pub kstack_top: Gva,
     /// User program driving this task (None for kernel threads).
     pub program: Option<Box<dyn UserProgram>>,
+    /// Registered program this task was spawned from (`None` for kernel
+    /// threads); lets a snapshot restore rebuild `program` via the registry.
+    pub prog_id: Option<ProgId>,
     /// Kernel-thread body (periodic daemon work), if a kthread.
     pub kthread_period: Option<hypertap_hvsim::clock::Duration>,
     /// Execution context.

@@ -7,6 +7,7 @@
 //! routes the access to the [`Device`] registered for that port or region.
 
 use crate::mem::Gpa;
+use crate::snap::{SnapError, SnapReader, SnapWriter};
 use std::any::Any;
 use std::fmt;
 use std::ops::Range;
@@ -39,6 +40,22 @@ pub trait Device: fmt::Debug {
 
     /// Downcasting support so harnesses can inspect device state.
     fn as_any(&mut self) -> &mut dyn Any;
+
+    /// Serializes this device's mutable state for a machine snapshot. The
+    /// default (an empty blob) suits stateless devices.
+    fn snapshot_state(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// Restores state produced by [`Device::snapshot_state`]. The default
+    /// accepts only the empty blob the default `snapshot_state` produces.
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), SnapError> {
+        if bytes.is_empty() {
+            Ok(())
+        } else {
+            Err(SnapError::Unsupported { what: format!("device '{}' state", self.name()) })
+        }
+    }
 }
 
 /// Identifier of a registered device within an [`IoBus`].
@@ -113,6 +130,43 @@ impl IoBus {
     /// Mutable access to a registered device by id (for harness inspection).
     pub fn device_mut(&mut self, id: DeviceId) -> &mut dyn Device {
         self.devices[id.0].as_mut()
+    }
+
+    /// Number of registered devices.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Serializes every registered device's state, in registration order.
+    /// The port/MMIO maps are *not* serialized: a restore target re-registers
+    /// the same devices in the same order (device topology is part of the VM
+    /// recipe), then this blob refills their mutable state.
+    pub fn save_devices(&self, w: &mut SnapWriter) {
+        w.varint(self.devices.len() as u64);
+        for dev in &self.devices {
+            w.string(dev.name());
+            w.bytes(&dev.snapshot_state());
+        }
+    }
+
+    /// Restores device state saved by [`IoBus::save_devices`]. The bus must
+    /// already hold the same devices in the same order.
+    pub fn load_devices(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let off = r.offset();
+        let n = r.varint()? as usize;
+        if n != self.devices.len() {
+            return Err(SnapError::BadValue { offset: off, what: "device count" });
+        }
+        for dev in &mut self.devices {
+            let off = r.offset();
+            let name = r.string()?;
+            if name != dev.name() {
+                return Err(SnapError::BadValue { offset: off, what: "device name" });
+            }
+            let bytes = r.bytes()?;
+            dev.restore_state(bytes)?;
+        }
+        Ok(())
     }
 }
 

@@ -10,6 +10,7 @@
 //! access kind — the same exit qualification information VT-x provides.
 
 use crate::mem::{Gfn, Gpa, Gva};
+use crate::snap::{SnapError, SnapReader, SnapWriter};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -59,6 +60,23 @@ impl EptPerm {
             AccessKind::Write => self.write,
             AccessKind::Execute => self.execute,
         }
+    }
+
+    /// Packs the permission into a 3-bit value for serialization.
+    pub fn to_bits(self) -> u8 {
+        (self.read as u8) | (self.write as u8) << 1 | (self.execute as u8) << 2
+    }
+
+    /// Inverse of [`EptPerm::to_bits`]; `None` for out-of-range values.
+    pub fn from_bits(bits: u8) -> Option<EptPerm> {
+        if bits > 0b111 {
+            return None;
+        }
+        Some(EptPerm {
+            read: bits & 1 != 0,
+            write: bits & 2 != 0,
+            execute: bits & 4 != 0,
+        })
     }
 }
 
@@ -140,6 +158,36 @@ impl Ept {
     /// Number of frames with non-default permissions.
     pub fn restricted_frames(&self) -> usize {
         self.overrides.len()
+    }
+
+    /// Serializes the permission map. Overrides are written in ascending
+    /// frame order so the encoding is byte-stable regardless of hash-map
+    /// iteration order.
+    pub(crate) fn save(&self, w: &mut SnapWriter) {
+        w.varint(self.generation);
+        let mut overrides: Vec<(Gfn, EptPerm)> =
+            self.overrides.iter().map(|(g, p)| (*g, *p)).collect();
+        overrides.sort_by_key(|(g, _)| *g);
+        w.varint(overrides.len() as u64);
+        for (gfn, perm) in overrides {
+            w.varint(gfn.value());
+            w.byte(perm.to_bits());
+        }
+    }
+
+    /// Restores state saved by [`Ept::save`].
+    pub(crate) fn load(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.generation = r.varint()?;
+        self.overrides.clear();
+        let n = r.count(1 << 24, "ept override count")?;
+        for _ in 0..n {
+            let gfn = Gfn::new(r.varint()?);
+            let off = r.offset();
+            let perm = EptPerm::from_bits(r.byte()?)
+                .ok_or(SnapError::BadValue { offset: off, what: "ept permission" })?;
+            self.overrides.insert(gfn, perm);
+        }
+        Ok(())
     }
 
     /// Checks an access; `Ok` if allowed, `Err` with the violation otherwise.

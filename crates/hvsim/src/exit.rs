@@ -21,6 +21,7 @@
 use crate::clock::{Duration, SimTime};
 use crate::ept::EptViolation;
 use crate::mem::{Gpa, Gva};
+use crate::snap::{SnapError, SnapReader, SnapWriter};
 use crate::vcpu::{Cpl, Gpr, Msr, Vcpu, VcpuId};
 use std::fmt;
 
@@ -299,6 +300,29 @@ impl ExitControls {
     pub fn set_msr_write_exiting(&mut self, msr: Msr, on: bool) {
         self.msr_write_exiting[msr_slot(msr)] = on;
     }
+
+    /// Serializes the programmed controls.
+    pub(crate) fn save(&self, w: &mut SnapWriter) {
+        w.boolean(self.cr3_load_exiting);
+        for word in self.exception_bitmap {
+            w.varint(word);
+        }
+        for on in self.msr_write_exiting {
+            w.boolean(on);
+        }
+    }
+
+    /// Restores state saved by [`ExitControls::save`].
+    pub(crate) fn load(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.cr3_load_exiting = r.boolean()?;
+        for word in &mut self.exception_bitmap {
+            *word = r.varint()?;
+        }
+        for on in &mut self.msr_write_exiting {
+            *on = r.boolean()?;
+        }
+        Ok(())
+    }
 }
 
 fn msr_slot(msr: Msr) -> usize {
@@ -339,6 +363,23 @@ impl ExitStats {
     /// Cumulative world-switch overhead charged to guest time.
     pub fn overhead(&self) -> Duration {
         self.overhead
+    }
+
+    /// Serializes the per-reason counters and cumulative overhead.
+    pub(crate) fn save(&self, w: &mut SnapWriter) {
+        for c in self.counts {
+            w.varint(c);
+        }
+        w.varint(self.overhead.as_nanos());
+    }
+
+    /// Restores state saved by [`ExitStats::save`].
+    pub(crate) fn load(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        for c in &mut self.counts {
+            *c = r.varint()?;
+        }
+        self.overhead = Duration::from_nanos(r.varint()?);
+        Ok(())
     }
 
     /// Iterates `(reason name, count)` pairs for non-zero reasons.

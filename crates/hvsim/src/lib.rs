@@ -79,6 +79,7 @@ pub mod exit;
 pub mod machine;
 pub mod mem;
 pub mod paging;
+pub mod snap;
 pub mod tlb;
 pub mod vcpu;
 
@@ -90,9 +91,10 @@ pub mod prelude {
     pub use crate::device::{Device, IoBus};
     pub use crate::ept::{AccessKind, Ept, EptPerm};
     pub use crate::exit::{ExitAction, ExitControls, ExitStats, VmExit, VmExitKind};
-    pub use crate::machine::{GuestProgram, Hypervisor, Machine, VmConfig, VmState};
+    pub use crate::machine::{GuestProgram, Hypervisor, Machine, VmConfig, VmLifecycle, VmState};
     pub use crate::mem::{Gfn, Gpa, GuestMemory, Gva, PAGE_SIZE};
     pub use crate::paging::{AddressSpaceBuilder, FrameAllocator, PageFault};
+    pub use crate::snap::{SnapError, SnapReader, SnapWriter};
     pub use crate::tlb::{Tlb, TlbStats};
     pub use crate::vcpu::{Gpr, Msr, Vcpu, VcpuId};
 }

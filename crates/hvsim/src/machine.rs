@@ -15,9 +15,51 @@ use crate::ept::{Ept, EptPerm};
 use crate::exit::{ExitAction, ExitControls, ExitStats, VmExit};
 use crate::mem::{Gpa, GuestMemory, Gva};
 use crate::paging::{self, PageFault};
+use crate::snap::{SnapError, SnapReader, SnapWriter};
 use crate::tlb::{Tlb, TlbStats};
 use crate::vcpu::{Vcpu, VcpuId};
 use std::collections::BinaryHeap;
+
+/// Lifecycle of a virtual machine.
+///
+/// The run loop honours the state machine `Uninit → Running ⇄ Paused →
+/// Stopped`: a freshly built VM is `Uninit` until first stepped, `pause`/
+/// `resume` toggle between `Paused` and `Running`, and `Stopped` is
+/// terminal. Snapshots capture the lifecycle so a restored VM resumes in
+/// exactly the phase it was captured in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum VmLifecycle {
+    /// Built but never stepped.
+    #[default]
+    Uninit,
+    /// Actively runnable.
+    Running,
+    /// Paused by the hypervisor or an auditor; `resume` re-enables running.
+    Paused,
+    /// Shut down; the run loop will not step the guest again.
+    Stopped,
+}
+
+impl VmLifecycle {
+    fn to_tag(self) -> u8 {
+        match self {
+            VmLifecycle::Uninit => 0,
+            VmLifecycle::Running => 1,
+            VmLifecycle::Paused => 2,
+            VmLifecycle::Stopped => 3,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Option<VmLifecycle> {
+        Some(match tag {
+            0 => VmLifecycle::Uninit,
+            1 => VmLifecycle::Running,
+            2 => VmLifecycle::Paused,
+            3 => VmLifecycle::Stopped,
+            _ => return None,
+        })
+    }
+}
 
 /// Identifier of a recurring host timer registered on a VM.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -110,8 +152,7 @@ pub struct VmState {
     controls: ExitControls,
     cost: CostModel,
     stats: ExitStats,
-    paused: bool,
-    shutdown: bool,
+    lifecycle: VmLifecycle,
     timers: Vec<HostTimer>,
     irq_schedule: BinaryHeap<ScheduledIrq>,
     pub(crate) apic_timers: Vec<ApicTimer>,
@@ -130,8 +171,7 @@ impl VmState {
             controls: ExitControls::new(),
             cost: config.cost.clone(),
             stats: ExitStats::new(),
-            paused: false,
-            shutdown: false,
+            lifecycle: VmLifecycle::Uninit,
             timers: Vec::new(),
             irq_schedule: BinaryHeap::new(),
             apic_timers: vec![ApicTimer::default(); config.vcpus],
@@ -228,30 +268,40 @@ impl VmState {
         self.vcpus.iter().map(|v| v.clock).min().unwrap_or(SimTime::ZERO)
     }
 
+    /// The VM's current lifecycle phase.
+    pub fn lifecycle(&self) -> VmLifecycle {
+        self.lifecycle
+    }
+
     /// Pauses the VM: the run loop returns [`RunExit::Paused`] before the
     /// next guest step. Auditors use this to stop a VM during an attack.
+    /// Ignored once the VM is stopped (shutdown is terminal).
     pub fn pause(&mut self) {
-        self.paused = true;
+        if self.lifecycle != VmLifecycle::Stopped {
+            self.lifecycle = VmLifecycle::Paused;
+        }
     }
 
     /// Clears a pause request.
     pub fn resume(&mut self) {
-        self.paused = false;
+        if self.lifecycle == VmLifecycle::Paused {
+            self.lifecycle = VmLifecycle::Running;
+        }
     }
 
     /// Whether a pause has been requested.
     pub fn is_paused(&self) -> bool {
-        self.paused
+        self.lifecycle == VmLifecycle::Paused
     }
 
     /// Requests an orderly shutdown of the run loop.
     pub fn request_shutdown(&mut self) {
-        self.shutdown = true;
+        self.lifecycle = VmLifecycle::Stopped;
     }
 
     /// Whether shutdown has been requested.
     pub fn shutdown_requested(&self) -> bool {
-        self.shutdown
+        self.lifecycle == VmLifecycle::Stopped
     }
 
     /// Registers a recurring host-side timer; the hypervisor's
@@ -321,6 +371,119 @@ impl VmState {
                 self.inject_irq(VcpuId(i), 0x20);
             }
         }
+    }
+
+    /// Serializes everything the machine layer owns: lifecycle, memory, EPT,
+    /// device state, vCPUs, exit controls/statistics, host and APIC timers,
+    /// the IRQ schedule, and the per-vCPU TLBs. The cost model and device
+    /// topology are recipe state and are not captured — a restore target is
+    /// rebuilt from the same recipe first.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.byte(self.lifecycle.to_tag());
+        self.mem.save(w);
+        self.ept.save(w);
+        self.io.save_devices(w);
+        w.varint(self.vcpus.len() as u64);
+        for v in &self.vcpus {
+            v.save(w);
+        }
+        self.controls.save(w);
+        self.stats.save(w);
+        w.varint(self.timers.len() as u64);
+        for t in &self.timers {
+            w.varint(t.period.as_nanos());
+            w.varint(t.next_due.as_nanos());
+            w.boolean(t.cancelled);
+        }
+        // The heap pops in (due, vcpu, vector) order; serializing that order
+        // keeps the encoding canonical.
+        let mut irqs: Vec<ScheduledIrq> = self.irq_schedule.iter().copied().collect();
+        irqs.sort_by_key(|s| (s.due, s.vcpu, s.vector));
+        w.varint(irqs.len() as u64);
+        for s in irqs {
+            w.varint(s.due.as_nanos());
+            w.varint(s.vcpu.0 as u64);
+            w.byte(s.vector);
+        }
+        w.varint(self.apic_timers.len() as u64);
+        for t in &self.apic_timers {
+            w.opt_varint(t.period.map(|p| p.as_nanos()));
+            w.varint(t.next_due.as_nanos());
+        }
+        w.boolean(self.tlb_enabled);
+        for t in &self.tlbs {
+            t.save(w);
+        }
+    }
+
+    /// Restores state saved by [`VmState::save_state`] into a VM built from
+    /// the same recipe (vCPU count, memory size, TLB setting and registered
+    /// devices must match).
+    ///
+    /// # Errors
+    ///
+    /// Returns a structured [`SnapError`] on malformed input or a recipe
+    /// mismatch; the VM may be partially overwritten in that case and should
+    /// be discarded.
+    pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let off = r.offset();
+        self.lifecycle = VmLifecycle::from_tag(r.byte()?)
+            .ok_or(SnapError::BadValue { offset: off, what: "lifecycle" })?;
+        self.mem.load(r)?;
+        self.ept.load(r)?;
+        self.io.load_devices(r)?;
+        let off = r.offset();
+        let nvcpus = r.varint()? as usize;
+        if nvcpus != self.vcpus.len() {
+            return Err(SnapError::BadValue { offset: off, what: "vcpu count" });
+        }
+        for v in &mut self.vcpus {
+            v.load(r)?;
+        }
+        self.controls.load(r)?;
+        self.stats.load(r)?;
+        let ntimers = r.count(1 << 20, "host timer count")?;
+        self.timers.clear();
+        for _ in 0..ntimers {
+            let off = r.offset();
+            let period = Duration::from_nanos(r.varint()?);
+            if period == Duration::ZERO {
+                return Err(SnapError::BadValue { offset: off, what: "timer period" });
+            }
+            let next_due = SimTime::from_nanos(r.varint()?);
+            let cancelled = r.boolean()?;
+            self.timers.push(HostTimer { period, next_due, cancelled });
+        }
+        let nirqs = r.count(1 << 24, "scheduled irq count")?;
+        self.irq_schedule.clear();
+        for _ in 0..nirqs {
+            let due = SimTime::from_nanos(r.varint()?);
+            let off = r.offset();
+            let vcpu = r.varint()? as usize;
+            if vcpu >= self.vcpus.len() {
+                return Err(SnapError::BadValue { offset: off, what: "irq vcpu" });
+            }
+            let vector = r.byte()?;
+            self.irq_schedule.push(ScheduledIrq { due, vcpu: VcpuId(vcpu), vector });
+        }
+        let off = r.offset();
+        let napic = r.varint()? as usize;
+        if napic != self.apic_timers.len() {
+            return Err(SnapError::BadValue { offset: off, what: "apic timer count" });
+        }
+        for t in &mut self.apic_timers {
+            t.period = r.opt_varint()?.map(Duration::from_nanos);
+            t.next_due = SimTime::from_nanos(r.varint()?);
+        }
+        let off = r.offset();
+        let tlb_enabled = r.boolean()?;
+        if tlb_enabled != self.tlb_enabled {
+            return Err(SnapError::BadValue { offset: off, what: "tlb setting" });
+        }
+        for t in &mut self.tlbs {
+            t.load(r)?;
+        }
+        Ok(())
     }
 }
 
@@ -418,11 +581,11 @@ impl<H: Hypervisor> Machine<H> {
     /// Runs the guest until `deadline` (exclusive) or an earlier stop cause.
     pub fn run_until(&mut self, guest: &mut dyn GuestProgram, deadline: SimTime) -> RunExit {
         loop {
-            if self.vm.shutdown {
-                return RunExit::Shutdown;
-            }
-            if self.vm.paused {
-                return RunExit::Paused;
+            match self.vm.lifecycle {
+                VmLifecycle::Stopped => return RunExit::Shutdown,
+                VmLifecycle::Paused => return RunExit::Paused,
+                VmLifecycle::Uninit => self.vm.lifecycle = VmLifecycle::Running,
+                VmLifecycle::Running => {}
             }
             // Pick the vCPU with the smallest local clock.
             let vcpu_id = self
@@ -440,11 +603,10 @@ impl<H: Hypervisor> Machine<H> {
             self.fire_due_host_timers(now);
             self.vm.fire_due_apic_timers(now);
             self.vm.deliver_due_irqs(now);
-            if self.vm.shutdown {
-                return RunExit::Shutdown;
-            }
-            if self.vm.paused {
-                return RunExit::Paused;
+            match self.vm.lifecycle {
+                VmLifecycle::Stopped => return RunExit::Shutdown,
+                VmLifecycle::Paused => return RunExit::Paused,
+                VmLifecycle::Uninit | VmLifecycle::Running => {}
             }
 
             if self.vm.vcpus[vcpu_id.0].halted {
@@ -478,7 +640,7 @@ impl<H: Hypervisor> Machine<H> {
             match guest.step(&mut cpu) {
                 StepOutcome::Continue => {}
                 StepOutcome::Shutdown => {
-                    self.vm.shutdown = true;
+                    self.vm.lifecycle = VmLifecycle::Stopped;
                     return RunExit::Shutdown;
                 }
             }
@@ -488,6 +650,9 @@ impl<H: Hypervisor> Machine<H> {
     /// Runs exactly `n` guest steps (testing convenience; ignores halts and
     /// pauses, always stepping the earliest-clock vCPU).
     pub fn run_steps(&mut self, guest: &mut dyn GuestProgram, n: usize) {
+        if self.vm.lifecycle == VmLifecycle::Uninit {
+            self.vm.lifecycle = VmLifecycle::Running;
+        }
         for _ in 0..n {
             let vcpu_id = self
                 .vm

@@ -24,6 +24,7 @@
 //! global paging generation and stamp the frame's own write generation, which
 //! lets a software TLB detect page-table edits without snooping every store.
 
+use crate::snap::{rle_compress, rle_decompress, SnapError, SnapReader, SnapWriter};
 use std::fmt;
 
 /// Size of a memory page/frame in bytes (4 KiB, as on x86).
@@ -337,6 +338,90 @@ impl GuestMemory {
     /// Writes a little-endian `u32` at `gpa`.
     pub fn write_u32(&mut self, gpa: Gpa, value: u32) {
         self.write(gpa, &value.to_le_bytes());
+    }
+
+    /// Serializes the whole guest-physical state: resident frames (RLE
+    /// compressed, so untouched and zero pages cost almost nothing), the
+    /// paging-structure tracking set, and the write generations that drive
+    /// TLB invalidation.
+    pub(crate) fn save(&self, w: &mut SnapWriter) {
+        w.varint(self.size);
+        w.varint(self.paging_gen);
+        let tracked: Vec<u64> =
+            (0..self.tracked.len()).filter(|&i| self.tracked[i]).map(|i| i as u64).collect();
+        w.varint(tracked.len() as u64);
+        for gfn in tracked {
+            w.varint(gfn);
+        }
+        let gens: Vec<(u64, u64)> = self
+            .write_gens
+            .iter()
+            .enumerate()
+            .filter(|(_, &g)| g != 0)
+            .map(|(i, &g)| (i as u64, g))
+            .collect();
+        w.varint(gens.len() as u64);
+        for (gfn, gen) in gens {
+            w.varint(gfn);
+            w.varint(gen);
+        }
+        w.varint(self.resident as u64);
+        for (i, frame) in self.frames.iter().enumerate() {
+            if let Some(frame) = frame {
+                w.varint(i as u64);
+                w.bytes(&rle_compress(&frame[..]));
+            }
+        }
+    }
+
+    /// Restores state saved by [`GuestMemory::save`]. The serialized size
+    /// must match this memory's configured size.
+    pub(crate) fn load(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let off = r.offset();
+        let size = r.varint()?;
+        if size != self.size {
+            return Err(SnapError::BadValue { offset: off, what: "memory size" });
+        }
+        let nframes = self.frames.len();
+        self.paging_gen = r.varint()?;
+        self.tracked.fill(false);
+        let ntracked = r.count(nframes, "tracked frame count")?;
+        for _ in 0..ntracked {
+            let off = r.offset();
+            let gfn = r.varint()? as usize;
+            if gfn >= nframes {
+                return Err(SnapError::BadValue { offset: off, what: "tracked frame" });
+            }
+            self.tracked[gfn] = true;
+        }
+        self.write_gens.fill(0);
+        let ngens = r.count(nframes, "write generation count")?;
+        for _ in 0..ngens {
+            let off = r.offset();
+            let gfn = r.varint()? as usize;
+            if gfn >= nframes {
+                return Err(SnapError::BadValue { offset: off, what: "write-gen frame" });
+            }
+            self.write_gens[gfn] = r.varint()?;
+        }
+        self.frames.fill_with(|| None);
+        self.resident = 0;
+        let nresident = r.count(nframes, "resident frame count")?;
+        for _ in 0..nresident {
+            let off = r.offset();
+            let gfn = r.varint()? as usize;
+            if gfn >= nframes {
+                return Err(SnapError::BadValue { offset: off, what: "resident frame" });
+            }
+            let packed = r.bytes()?;
+            let data = rle_decompress(packed, PAGE_SIZE as usize)?;
+            let mut frame = Box::new([0u8; PAGE_SIZE as usize]);
+            frame.copy_from_slice(&data);
+            if self.frames[gfn].replace(frame).is_none() {
+                self.resident += 1;
+            }
+        }
+        Ok(())
     }
 
     /// Zero-fills one whole frame. Used when the guest kernel frees a page

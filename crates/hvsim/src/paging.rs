@@ -20,6 +20,7 @@
 //! bits are ignored (reserved).
 
 use crate::mem::{Gfn, Gpa, GuestMemory, Gva, PAGE_SIZE};
+use crate::snap::{SnapError, SnapReader, SnapWriter};
 use std::fmt;
 
 /// Bits of a GVA consumed by the page offset.
@@ -188,6 +189,37 @@ impl FrameAllocator {
     pub fn free(&mut self, mem: &mut GuestMemory, gfn: Gfn) {
         mem.zero_frame(gfn);
         self.free.push(gfn);
+    }
+
+    /// Serializes the allocator (bump pointer, limit, free list in order —
+    /// the list is LIFO, so order matters for deterministic reuse).
+    pub fn save(&self, w: &mut SnapWriter) {
+        w.varint(self.next);
+        w.varint(self.limit);
+        w.varint(self.free.len() as u64);
+        for gfn in &self.free {
+            w.varint(gfn.value());
+        }
+    }
+
+    /// Restores an allocator saved by [`FrameAllocator::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a structured [`SnapError`] on truncated or invalid input.
+    pub fn load(r: &mut SnapReader<'_>) -> Result<FrameAllocator, SnapError> {
+        let off = r.offset();
+        let next = r.varint()?;
+        let limit = r.varint()?;
+        if next > limit {
+            return Err(SnapError::BadValue { offset: off, what: "frame allocator bounds" });
+        }
+        let n = r.count(limit as usize, "free list length")?;
+        let mut free = Vec::with_capacity(n);
+        for _ in 0..n {
+            free.push(Gfn::new(r.varint()?));
+        }
+        Ok(FrameAllocator { next, limit, free })
     }
 }
 

@@ -33,6 +33,7 @@
 use crate::ept::{Ept, EptPerm};
 use crate::mem::{Gfn, Gpa, GuestMemory, Gva, PAGE_SIZE};
 use crate::paging::{self, PageFault};
+use crate::snap::{SnapError, SnapReader, SnapWriter};
 
 /// Number of direct-mapped TLB slots per vCPU (a power of two).
 const TLB_SLOTS: usize = 1024;
@@ -130,6 +131,75 @@ impl Tlb {
     /// Counters accumulated so far.
     pub fn stats(&self) -> TlbStats {
         self.stats
+    }
+
+    /// Serializes the cached translations and counters. Restoring the full
+    /// entry array (not just flushing) keeps hit/miss statistics bit-exact
+    /// across a snapshot/restore cycle.
+    pub(crate) fn save(&self, w: &mut SnapWriter) {
+        w.varint(self.stats.hits);
+        w.varint(self.stats.misses);
+        w.varint(self.stats.fills);
+        w.varint(self.stats.flushes);
+        let present = self.entries.iter().filter(|e| e.is_some()).count();
+        w.varint(present as u64);
+        for (i, e) in self.entries.iter().enumerate() {
+            let Some(e) = e else { continue };
+            w.varint(i as u64);
+            w.varint(e.cr3.value());
+            w.varint(e.vpn);
+            w.varint(e.frame.value());
+            w.varint(e.pd_gfn.value());
+            w.varint(e.pt_gfn.value());
+            w.varint(e.fill_gen);
+            w.varint(e.snap_gen);
+            w.byte(e.perm.to_bits());
+            w.varint(e.ept_gen);
+        }
+    }
+
+    /// Restores state saved by [`Tlb::save`].
+    pub(crate) fn load(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.stats = TlbStats {
+            hits: r.varint()?,
+            misses: r.varint()?,
+            fills: r.varint()?,
+            flushes: r.varint()?,
+        };
+        for e in &mut self.entries {
+            *e = None;
+        }
+        let n = r.count(TLB_SLOTS, "tlb entry count")?;
+        for _ in 0..n {
+            let off = r.offset();
+            let idx = r.varint()? as usize;
+            if idx >= TLB_SLOTS {
+                return Err(SnapError::BadValue { offset: off, what: "tlb slot" });
+            }
+            let cr3 = Gpa::new(r.varint()?);
+            let vpn = r.varint()?;
+            let frame = Gpa::new(r.varint()?);
+            let pd_gfn = Gfn::new(r.varint()?);
+            let pt_gfn = Gfn::new(r.varint()?);
+            let fill_gen = r.varint()?;
+            let snap_gen = r.varint()?;
+            let off = r.offset();
+            let perm = EptPerm::from_bits(r.byte()?)
+                .ok_or(SnapError::BadValue { offset: off, what: "tlb permission" })?;
+            let ept_gen = r.varint()?;
+            self.entries[idx] = Some(TlbEntry {
+                cr3,
+                vpn,
+                frame,
+                pd_gfn,
+                pt_gfn,
+                fill_gen,
+                snap_gen,
+                perm,
+                ept_gen,
+            });
+        }
+        Ok(())
     }
 
     /// Translates `gva` under `cr3`, consulting the cache first. Returns the

@@ -10,6 +10,7 @@
 
 use crate::clock::SimTime;
 use crate::mem::{Gpa, Gva};
+use crate::snap::{SnapError, SnapReader, SnapWriter};
 use std::fmt;
 
 /// Index of a virtual CPU within its VM.
@@ -269,6 +270,67 @@ impl Vcpu {
     /// Whether an external interrupt is queued for delivery.
     pub fn has_pending_irq(&self) -> bool {
         !self.pending_irqs.is_empty()
+    }
+
+    /// Serializes the full architectural state of this vCPU.
+    pub(crate) fn save(&self, w: &mut SnapWriter) {
+        w.varint(self.id.0 as u64);
+        w.varint(self.clock.as_nanos());
+        w.varint(self.cr3.value());
+        w.varint(self.tr_base.value());
+        w.varint(self.rsp.value());
+        w.varint(self.rip.value());
+        w.byte(match self.cpl {
+            Cpl::Kernel => 0,
+            Cpl::User => 1,
+        });
+        for g in self.gprs {
+            w.varint(g);
+        }
+        for m in self.msrs {
+            w.varint(m);
+        }
+        w.boolean(self.interrupts_enabled);
+        w.varint(self.pending_irqs.len() as u64);
+        for v in &self.pending_irqs {
+            w.byte(*v);
+        }
+        w.boolean(self.halted);
+    }
+
+    /// Restores state saved by [`Vcpu::save`]. The serialized vCPU index
+    /// must match this vCPU's.
+    pub(crate) fn load(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let off = r.offset();
+        let id = r.varint()? as usize;
+        if id != self.id.0 {
+            return Err(SnapError::BadValue { offset: off, what: "vcpu index" });
+        }
+        self.clock = SimTime::from_nanos(r.varint()?);
+        self.cr3 = Gpa::new(r.varint()?);
+        self.tr_base = Gva::new(r.varint()?);
+        self.rsp = Gva::new(r.varint()?);
+        self.rip = Gva::new(r.varint()?);
+        let off = r.offset();
+        self.cpl = match r.byte()? {
+            0 => Cpl::Kernel,
+            1 => Cpl::User,
+            _ => return Err(SnapError::BadValue { offset: off, what: "cpl" }),
+        };
+        for g in &mut self.gprs {
+            *g = r.varint()?;
+        }
+        for m in &mut self.msrs {
+            *m = r.varint()?;
+        }
+        self.interrupts_enabled = r.boolean()?;
+        let n = r.count(4096, "pending irq count")?;
+        self.pending_irqs.clear();
+        for _ in 0..n {
+            self.pending_irqs.push(r.byte()?);
+        }
+        self.halted = r.boolean()?;
+        Ok(())
     }
 }
 

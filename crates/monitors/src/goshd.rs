@@ -17,6 +17,7 @@ use hypertap_core::audit::{Auditor, Finding, FindingSink, Severity};
 use hypertap_core::event::{Event, EventClass, EventMask, EventRef};
 use hypertap_hvsim::clock::{Duration, SimTime};
 use hypertap_hvsim::machine::VmState;
+use hypertap_hvsim::snap::{SnapError, SnapReader, SnapWriter};
 use hypertap_hvsim::vcpu::VcpuId;
 use std::any::Any;
 
@@ -220,6 +221,60 @@ impl Auditor for Goshd {
 
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
+    }
+
+    fn snapshot_state(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        w.varint(self.last_switch.len() as u64);
+        for i in 0..self.last_switch.len() {
+            w.opt_varint(self.last_switch[i].map(|t| t.as_nanos()));
+            w.opt_varint(self.last_switch_ref[i].map(|r| r.0));
+            w.boolean(self.hung[i]);
+        }
+        w.opt_varint(self.baseline.map(|t| t.as_nanos()));
+        w.opt_varint(self.baseline_ref.map(|r| r.0));
+        w.varint(self.alarms.len() as u64);
+        for a in &self.alarms {
+            w.varint(a.vcpu.0 as u64);
+            w.varint(a.detected_at.as_nanos());
+            w.varint(a.last_switch.as_nanos());
+            w.byte(match a.scope {
+                HangScope::Partial => 0,
+                HangScope::Full => 1,
+            });
+        }
+        w.into_bytes()
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), SnapError> {
+        let mut r = SnapReader::new(bytes);
+        let start = r.offset();
+        let n = r.count(1 << 10, "goshd vcpu slots")?;
+        if n != self.last_switch.len() {
+            return Err(SnapError::BadValue { offset: start, what: "goshd vcpu count" });
+        }
+        for i in 0..n {
+            self.last_switch[i] = r.opt_varint()?.map(SimTime::from_nanos);
+            self.last_switch_ref[i] = r.opt_varint()?.map(EventRef);
+            self.hung[i] = r.boolean()?;
+        }
+        self.baseline = r.opt_varint()?.map(SimTime::from_nanos);
+        self.baseline_ref = r.opt_varint()?.map(EventRef);
+        let n = r.count(1 << 16, "goshd alarms")?;
+        self.alarms = Vec::with_capacity(n);
+        for _ in 0..n {
+            let vcpu = VcpuId(r.varint()? as usize);
+            let detected_at = SimTime::from_nanos(r.varint()?);
+            let last_switch = SimTime::from_nanos(r.varint()?);
+            let start = r.offset();
+            let scope = match r.byte()? {
+                0 => HangScope::Partial,
+                1 => HangScope::Full,
+                _ => return Err(SnapError::BadValue { offset: start, what: "hang scope" }),
+            };
+            self.alarms.push(HangAlarm { vcpu, detected_at, last_switch, scope });
+        }
+        r.finish()
     }
 }
 

@@ -21,6 +21,7 @@ use hypertap_core::vmi;
 use hypertap_hvsim::clock::SimTime;
 use hypertap_hvsim::machine::VmState;
 use hypertap_hvsim::mem::{Gpa, Gva};
+use hypertap_hvsim::snap::{SnapError, SnapReader, SnapWriter};
 use std::any::Any;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -270,6 +271,105 @@ impl Auditor for Hrkd {
 
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
+    }
+
+    fn snapshot_state(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        // Every collection below is a BTree set/map: iteration order is the
+        // value order, so the byte stream is deterministic by construction.
+        let pdbas: Vec<u64> = self.counter.iter().map(|g| g.value()).collect();
+        w.varint(pdbas.len() as u64);
+        for p in pdbas {
+            w.varint(p);
+        }
+        w.varint(self.kstacks.len() as u64);
+        for k in &self.kstacks {
+            w.varint(*k);
+        }
+        w.opt_varint(self.first_pdba);
+        w.varint(self.last_check.as_nanos());
+        w.varint(self.scan_epoch);
+        w.varint(self.pdba_refs.len() as u64);
+        for (p, r) in &self.pdba_refs {
+            w.varint(*p);
+            w.varint(r.0);
+        }
+        w.varint(self.kstack_refs.len() as u64);
+        for (k, r) in &self.kstack_refs {
+            w.varint(*k);
+            w.varint(r.0);
+        }
+        w.varint(self.reports.len() as u64);
+        for rep in &self.reports {
+            w.varint(rep.time.as_nanos());
+            w.varint(rep.hidden_pdbas.len() as u64);
+            for p in &rep.hidden_pdbas {
+                w.varint(*p);
+            }
+            w.varint(rep.hidden_kstacks.len() as u64);
+            for k in &rep.hidden_kstacks {
+                w.varint(*k);
+            }
+            w.byte(match rep.compared_against {
+                "vmi" => 0,
+                _ => 1,
+            });
+        }
+        w.into_bytes()
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), SnapError> {
+        let mut r = SnapReader::new(bytes);
+        self.counter = ProcessCounter::new();
+        let n = r.count(1 << 20, "hrkd trusted pdbas")?;
+        for _ in 0..n {
+            self.counter.observe(Gpa::new(r.varint()?));
+        }
+        let n = r.count(1 << 20, "hrkd kernel stacks")?;
+        self.kstacks = BTreeSet::new();
+        for _ in 0..n {
+            self.kstacks.insert(r.varint()?);
+        }
+        self.first_pdba = r.opt_varint()?;
+        self.last_check = SimTime::from_nanos(r.varint()?);
+        self.scan_epoch = r.varint()?;
+        let n = r.count(1 << 20, "hrkd pdba refs")?;
+        self.pdba_refs = BTreeMap::new();
+        for _ in 0..n {
+            let p = r.varint()?;
+            self.pdba_refs.insert(p, EventRef(r.varint()?));
+        }
+        let n = r.count(1 << 20, "hrkd kstack refs")?;
+        self.kstack_refs = BTreeMap::new();
+        for _ in 0..n {
+            let k = r.varint()?;
+            self.kstack_refs.insert(k, EventRef(r.varint()?));
+        }
+        let n = r.count(1 << 16, "hrkd reports")?;
+        self.reports = Vec::with_capacity(n);
+        for _ in 0..n {
+            let time = SimTime::from_nanos(r.varint()?);
+            let np = r.count(1 << 20, "hidden pdbas")?;
+            let mut hidden_pdbas = Vec::with_capacity(np);
+            for _ in 0..np {
+                hidden_pdbas.push(r.varint()?);
+            }
+            let nk = r.count(1 << 20, "hidden kstacks")?;
+            let mut hidden_kstacks = Vec::with_capacity(nk);
+            for _ in 0..nk {
+                hidden_kstacks.push(r.varint()?);
+            }
+            let start = r.offset();
+            let compared_against = match r.byte()? {
+                0 => "vmi",
+                1 => "in-guest",
+                _ => {
+                    return Err(SnapError::BadValue { offset: start, what: "hrkd comparison view" })
+                }
+            };
+            self.reports.push(HrkdReport { time, hidden_pdbas, hidden_kstacks, compared_against });
+        }
+        r.finish()
     }
 }
 

@@ -29,6 +29,7 @@ pub mod harness;
 pub mod hrkd;
 pub mod integrity;
 pub mod ninja;
+pub mod snapshot;
 pub mod syscall_ids;
 
 /// Glob import of the monitors.
@@ -41,6 +42,7 @@ pub mod prelude {
     pub use crate::ninja::{
         hninja::HNinja, htninja::HtNinja, oninja, rules::NinjaRules, Detection,
     };
+    pub use crate::snapshot::{HTSP_MAGIC, HTSP_VERSION};
     pub use crate::syscall_ids::{Anomaly, IdsPhase, SyscallIds};
 }
 

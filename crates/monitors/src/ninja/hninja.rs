@@ -15,6 +15,7 @@ use hypertap_core::profile::OsProfile;
 use hypertap_core::vmi;
 use hypertap_hvsim::clock::{Duration, SimTime};
 use hypertap_hvsim::machine::VmState;
+use hypertap_hvsim::snap::{SnapError, SnapReader, SnapWriter};
 use hypertap_hvsim::vcpu::VcpuId;
 use std::any::Any;
 use std::collections::BTreeSet;
@@ -134,6 +135,47 @@ impl Auditor for HNinja {
 
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
+    }
+
+    fn snapshot_state(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        w.opt_varint(self.last_check.map(|t| t.as_nanos()));
+        w.varint(self.scans);
+        w.varint(self.scan_times.len() as u64);
+        for t in &self.scan_times {
+            w.varint(t.as_nanos());
+        }
+        w.varint(self.reported.len() as u64);
+        for p in &self.reported {
+            w.varint(*p);
+        }
+        w.varint(self.detections.len() as u64);
+        for d in &self.detections {
+            d.save(&mut w);
+        }
+        w.into_bytes()
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), SnapError> {
+        let mut r = SnapReader::new(bytes);
+        self.last_check = r.opt_varint()?.map(SimTime::from_nanos);
+        self.scans = r.varint()?;
+        let n = r.count(10_000, "h-ninja scan times")?;
+        self.scan_times = Vec::with_capacity(n);
+        for _ in 0..n {
+            self.scan_times.push(SimTime::from_nanos(r.varint()?));
+        }
+        let n = r.count(1 << 20, "h-ninja reported pids")?;
+        self.reported = BTreeSet::new();
+        for _ in 0..n {
+            self.reported.insert(r.varint()?);
+        }
+        let n = r.count(1 << 16, "h-ninja detections")?;
+        self.detections = Vec::with_capacity(n);
+        for _ in 0..n {
+            self.detections.push(Detection::load(&mut r)?);
+        }
+        r.finish()
     }
 }
 

@@ -22,6 +22,7 @@ use hypertap_core::profile::{OsProfile, TaskView};
 use hypertap_core::vmi;
 use hypertap_hvsim::machine::VmState;
 use hypertap_hvsim::mem::Gpa;
+use hypertap_hvsim::snap::{SnapError, SnapReader, SnapWriter};
 use std::any::Any;
 use std::collections::BTreeSet;
 
@@ -208,6 +209,59 @@ impl Auditor for HtNinja {
 
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
+    }
+
+    fn snapshot_state(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        w.varint(self.seen_pdbas.len() as u64);
+        for p in &self.seen_pdbas {
+            w.varint(*p);
+        }
+        w.varint(self.last_kstack.len() as u64);
+        for i in 0..self.last_kstack.len() {
+            w.opt_varint(self.last_kstack[i]);
+            w.opt_varint(self.last_kstack_ref[i].map(|r| r.0));
+        }
+        w.varint(self.reported.len() as u64);
+        for p in &self.reported {
+            w.varint(*p);
+        }
+        w.varint(self.checks);
+        w.varint(self.detections.len() as u64);
+        for d in &self.detections {
+            d.save(&mut w);
+        }
+        w.into_bytes()
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), SnapError> {
+        let mut r = SnapReader::new(bytes);
+        let n = r.count(1 << 20, "ht-ninja seen pdbas")?;
+        self.seen_pdbas = BTreeSet::new();
+        for _ in 0..n {
+            self.seen_pdbas.insert(r.varint()?);
+        }
+        let start = r.offset();
+        let n = r.count(1 << 10, "ht-ninja vcpu slots")?;
+        if n != self.last_kstack.len() {
+            return Err(SnapError::BadValue { offset: start, what: "ht-ninja vcpu count" });
+        }
+        for i in 0..n {
+            self.last_kstack[i] = r.opt_varint()?;
+            self.last_kstack_ref[i] = r.opt_varint()?.map(EventRef);
+        }
+        let n = r.count(1 << 20, "ht-ninja reported pids")?;
+        self.reported = BTreeSet::new();
+        for _ in 0..n {
+            self.reported.insert(r.varint()?);
+        }
+        self.checks = r.varint()?;
+        let n = r.count(1 << 16, "ht-ninja detections")?;
+        self.detections = Vec::with_capacity(n);
+        for _ in 0..n {
+            self.detections.push(Detection::load(&mut r)?);
+        }
+        r.finish()
     }
 }
 

@@ -20,6 +20,7 @@ pub mod oninja;
 pub mod rules;
 
 use hypertap_hvsim::clock::SimTime;
+use hypertap_hvsim::snap::{SnapError, SnapReader, SnapWriter};
 
 /// One privilege-escalation detection.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,4 +37,35 @@ pub struct Detection {
     pub parent_uid: u64,
     /// Which check caught it ("first-switch", "io-syscall", "poll").
     pub via: &'static str,
+}
+
+impl Detection {
+    pub(crate) fn save(&self, w: &mut SnapWriter) {
+        w.varint(self.time.as_nanos());
+        w.varint(self.pid);
+        w.string(&self.comm);
+        w.varint(self.euid);
+        w.varint(self.parent_uid);
+        w.byte(match self.via {
+            "first-switch" => 0,
+            "io-syscall" => 1,
+            _ => 2,
+        });
+    }
+
+    pub(crate) fn load(r: &mut SnapReader<'_>) -> Result<Detection, SnapError> {
+        let time = SimTime::from_nanos(r.varint()?);
+        let pid = r.varint()?;
+        let comm = r.string()?;
+        let euid = r.varint()?;
+        let parent_uid = r.varint()?;
+        let start = r.offset();
+        let via = match r.byte()? {
+            0 => "first-switch",
+            1 => "io-syscall",
+            2 => "poll",
+            _ => return Err(SnapError::BadValue { offset: start, what: "detection trigger" }),
+        };
+        Ok(Detection { time, pid, comm, euid, parent_uid, via })
+    }
 }

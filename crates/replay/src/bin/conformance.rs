@@ -37,7 +37,8 @@ use hypertap_replay::diff::{diff_traces, DiffPolicy};
 use hypertap_replay::fleet::{fleet_conformance_pair, ScenarioFleet};
 use hypertap_replay::replay::{replay_trace, validate_provenance};
 use hypertap_replay::scenario::{
-    conformance_pairs, register_auditors, run_scenario, scenario_flight_dump, Scenario,
+    conformance_pairs, register_auditors, run_scenario, run_scenario_variant,
+    scenario_flight_dump, Scenario,
 };
 
 fn run_fleet_mode(args: &Args, vms: usize, seed: u64) {
@@ -108,7 +109,7 @@ fn main() {
         total_events += base_trace.event_count();
 
         for (left, right, policy) in &pairs {
-            let (other_trace, _) = run_scenario(&scenario, right);
+            let (other_trace, _) = run_scenario_variant(&scenario, right);
             runs += 1;
             let label = format!("{} vs {}", left.label, right.label);
             if let Some(d) = diff_traces(&base_trace, &other_trace, *policy) {

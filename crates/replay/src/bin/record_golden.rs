@@ -12,7 +12,9 @@
 use hypertap_replay::fleet::{
     encode_fleet_archive, fleet_traces, golden_fleet, run_scenario_fleet, GOLDEN_FLEET_NAME,
 };
-use hypertap_replay::golden::{golden_path, golden_scenarios};
+use hypertap_replay::golden::{
+    golden_path, golden_scenarios, golden_snapshots, record_snapshot, snapshot_path,
+};
 use hypertap_replay::scenario::{run_scenario, BASE};
 use hypertap_replay::trace::compress;
 
@@ -34,6 +36,20 @@ fn main() {
             raw.len(),
             packed.len(),
             verdict.findings.len(),
+            path.display()
+        );
+    }
+
+    for (name, scenario, at) in golden_snapshots() {
+        let bytes = record_snapshot(&scenario, at);
+        let path = snapshot_path(&name);
+        std::fs::write(&path, &bytes).expect("write golden snapshot");
+        println!(
+            "{:<16} snapshot of {} at {:?} {:>8} B  -> {}",
+            name,
+            scenario.name,
+            at,
+            bytes.len(),
             path.display()
         );
     }

@@ -13,8 +13,9 @@
 //! `f64::ln`, whose last bit is not guaranteed identical across libm
 //! builds, and golden traces must be stable across toolchains.
 
-use crate::scenario::{Scenario, WorkloadMix};
+use crate::scenario::{build_scenario_vm, Scenario, WorkloadMix, BASE};
 use hypertap_attacks::rootkits::all_rootkits;
+use hypertap_core::prelude::VmId;
 use hypertap_guestos::kpath;
 use hypertap_hvsim::clock::Duration;
 use std::path::PathBuf;
@@ -26,6 +27,45 @@ pub const GOLDEN_DIR: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/golden");
 /// Path of the golden trace file for a scenario name.
 pub fn golden_path(name: &str) -> PathBuf {
     PathBuf::from(GOLDEN_DIR).join(format!("{name}.htrz"))
+}
+
+/// Path of the golden `.htsp` machine snapshot for a fixture name.
+pub fn snapshot_path(name: &str) -> PathBuf {
+    PathBuf::from(GOLDEN_DIR).join(format!("{name}.htsp"))
+}
+
+/// The golden machine snapshots: fixture name, the golden scenario whose
+/// VM is captured, and the simulated time at which the snapshot is taken.
+///
+/// * `idle` — the quickstart guest before its first instruction (an
+///   unbooted machine: lifecycle, empty tables, pristine devices).
+/// * `mid_hang` — the hang-detection guest 60 ms in: the persistent ext3
+///   fault has landed and GOSHD's per-vCPU silence clocks are running.
+/// * `mid_rootkit_scan` — the rootkit-hunt guest 60 ms in: SucKIT is
+///   installed and hiding the malware process from untrusted views.
+pub fn golden_snapshots() -> Vec<(String, Scenario, Duration)> {
+    let by_name = |name: &str| {
+        golden_scenarios()
+            .into_iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("{name:?} is a golden scenario"))
+    };
+    vec![
+        ("idle".to_string(), by_name("quickstart"), Duration::ZERO),
+        ("mid_hang".to_string(), by_name("hang_detection"), Duration::from_millis(60)),
+        ("mid_rootkit_scan".to_string(), by_name("rootkit_hunt"), Duration::from_millis(60)),
+    ]
+}
+
+/// Records one golden snapshot: builds the scenario VM under [`BASE`],
+/// runs it for `at` (zero means "never started"), and serializes it.
+pub fn record_snapshot(scenario: &Scenario, at: Duration) -> Vec<u8> {
+    let mut vm = build_scenario_vm(scenario, &BASE, VmId(0));
+    if at > Duration::ZERO {
+        vm.run_for(at);
+    }
+    vm.snapshot()
+        .unwrap_or_else(|e| panic!("golden scenario {} must snapshot at {at:?}: {e}", scenario.name))
 }
 
 fn rootkit_index(name: &str) -> usize {

@@ -21,9 +21,11 @@ use hypertap_guestos::fault::SingleFault;
 use hypertap_guestos::kernel::KernelConfig;
 use hypertap_guestos::klocks::SITE_COUNT;
 use hypertap_guestos::layout;
-use hypertap_guestos::program::{FnProgram, UserOp, UserView};
+use hypertap_guestos::program::{UserOp, UserProgram, UserView};
 use hypertap_guestos::syscalls::Sysno;
 use hypertap_hvsim::clock::Duration;
+use hypertap_hvsim::machine::RunExit;
+use hypertap_hvsim::snap::{SnapReader, SnapWriter};
 use hypertap_monitors::goshd::{Goshd, GoshdConfig};
 use hypertap_monitors::harness::{EngineSelection, TapVm};
 use hypertap_monitors::hrkd::Hrkd;
@@ -242,6 +244,26 @@ pub const BATCHED_OFF: ConfigVariant = ConfigVariant {
     batched: false,
 };
 
+/// Baseline knobs, but driven through a snapshot/restore cycle: the run is
+/// interrupted every [`SNAPSHOT_CYCLE_EVERY`] slices, serialized to a
+/// `.htsp` blob, restored into a freshly built VM, and continued. The
+/// machine state crosses the codec repeatedly, so the trace, verdict and
+/// provenance must still match [`BASE`] exactly — the snapshot equivalence
+/// contract as a conformance pair.
+pub const SNAPSHOT_CYCLE: ConfigVariant = ConfigVariant {
+    label: "tlb-on/snapshot-cycle",
+    tlb: true,
+    fine: true,
+    extra_vectors: &[],
+    metrics: false,
+    flight: true,
+    batched: true,
+};
+
+/// How many 10 ms slices a [`SNAPSHOT_CYCLE`] run takes between snapshot
+/// cycles.
+pub const SNAPSHOT_CYCLE_EVERY: u64 = 3;
+
 /// The configuration pairs the fuzzer differences, with their policies.
 pub fn conformance_pairs() -> Vec<(ConfigVariant, ConfigVariant, DiffPolicy)> {
     vec![
@@ -251,6 +273,7 @@ pub fn conformance_pairs() -> Vec<(ConfigVariant, ConfigVariant, DiffPolicy)> {
         (BASE, METRICS_ON, DiffPolicy::Exact),
         (BASE, FLIGHT_OFF, DiffPolicy::Exact),
         (BASE, BATCHED_OFF, DiffPolicy::Exact),
+        (BASE, SNAPSHOT_CYCLE, DiffPolicy::Exact),
     ]
 }
 
@@ -279,22 +302,113 @@ pub fn register_auditors(em: &mut EventMultiplexer, vcpus: usize) {
     em.register(Box::new(CountingAuditor::new()));
 }
 
+/// The open/write/close loop every scenario can schedule. Serializable so
+/// scenario guests can be snapshotted mid-campaign; the op stream is
+/// identical to the closure it replaced, keeping the golden fixtures valid.
+#[derive(Debug, Default)]
+struct WriterLoop {
+    n: u32,
+}
+
+impl UserProgram for WriterLoop {
+    fn next_op(&mut self, _view: &UserView<'_>) -> UserOp {
+        self.n += 1;
+        match self.n % 3 {
+            1 => UserOp::sys(Sysno::Open, &[7]),
+            2 => UserOp::sys(Sysno::Write, &[0, 4096]),
+            _ => UserOp::sys(Sysno::Close, &[0]),
+        }
+    }
+
+    fn save_state(&self) -> Option<Vec<u8>> {
+        let mut w = SnapWriter::new();
+        w.varint(self.n as u64);
+        Some(w.into_bytes())
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let mut r = SnapReader::new(bytes);
+        let n = r.varint().map_err(|e| e.to_string())?;
+        r.finish().map_err(|e| e.to_string())?;
+        self.n = u32::try_from(n).map_err(|_| "writer counter overflow".to_string())?;
+        Ok(())
+    }
+}
+
+/// The stateless malware body a staged rootkit hides: a pure compute spin.
+#[derive(Debug, Default)]
+struct ComputeSpin;
+
+impl UserProgram for ComputeSpin {
+    fn next_op(&mut self, _view: &UserView<'_>) -> UserOp {
+        UserOp::Compute(100_000)
+    }
+
+    fn save_state(&self) -> Option<Vec<u8>> {
+        Some(Vec::new())
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        if bytes.is_empty() {
+            Ok(())
+        } else {
+            Err("compute spin carries no state".to_string())
+        }
+    }
+}
+
+/// The scenario init program: spawns each workload, then (optionally) the
+/// malware and its hiding rootkit, then settles into a wait loop.
+#[derive(Debug)]
+struct ScenarioInit {
+    workloads: Vec<u64>,
+    rootkit: Option<(u64, u64)>,
+    stage: u64,
+    malware_pid: u64,
+}
+
+impl UserProgram for ScenarioInit {
+    fn next_op(&mut self, v: &UserView<'_>) -> UserOp {
+        self.stage += 1;
+        let stage = self.stage as usize;
+        if stage <= self.workloads.len() {
+            return UserOp::sys(Sysno::Spawn, &[self.workloads[stage - 1], 1000]);
+        }
+        if let Some((module, malware)) = self.rootkit {
+            match stage - self.workloads.len() {
+                1 => return UserOp::sys(Sysno::Spawn, &[malware, 1000]),
+                2 => {
+                    self.malware_pid = v.last_ret;
+                    return UserOp::sys(Sysno::Nanosleep, &[20_000_000]);
+                }
+                3 => return UserOp::sys(Sysno::InstallModule, &[module, self.malware_pid]),
+                _ => {}
+            }
+        }
+        UserOp::sys(Sysno::Waitpid, &[])
+    }
+
+    fn save_state(&self) -> Option<Vec<u8>> {
+        // The workload/rootkit tables are recipe state; only the staging
+        // progress and the pid learned from `Spawn` move.
+        let mut w = SnapWriter::new();
+        w.varint(self.stage);
+        w.varint(self.malware_pid);
+        Some(w.into_bytes())
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let mut r = SnapReader::new(bytes);
+        self.stage = r.varint().map_err(|e| e.to_string())?;
+        self.malware_pid = r.varint().map_err(|e| e.to_string())?;
+        r.finish().map_err(|e| e.to_string())
+    }
+}
+
 /// Builds the scenario's guest inside a fresh monitored VM.
 fn install_guest(vm: &mut TapVm, scenario: &Scenario) {
-    let writer = vm.kernel.register_program(
-        "writer",
-        Box::new(|| {
-            let mut n = 0u32;
-            Box::new(FnProgram(move |_v: &UserView<'_>| {
-                n += 1;
-                match n % 3 {
-                    1 => UserOp::sys(Sysno::Open, &[7]),
-                    2 => UserOp::sys(Sysno::Write, &[0, 4096]),
-                    _ => UserOp::sys(Sysno::Close, &[0]),
-                }
-            }))
-        }),
-    );
+    let writer =
+        vm.kernel.register_program("writer", Box::new(|| Box::new(WriterLoop::default())));
     let hanoi = vm.kernel.register_program(
         "hanoi",
         Box::new(|| Box::new(hypertap_workloads::hanoi::Hanoi::paper_default())),
@@ -310,39 +424,20 @@ fn install_guest(vm: &mut TapVm, scenario: &Scenario) {
     let rootkit = scenario.rootkit.map(|idx| {
         let spec = all_rootkits().swap_remove(idx);
         let module = vm.kernel.register_module(spec);
-        let malware = vm.kernel.register_program(
-            "malware",
-            Box::new(|| Box::new(FnProgram(|_v: &UserView<'_>| UserOp::Compute(100_000)))),
-        );
+        let malware =
+            vm.kernel.register_program("malware", Box::new(|| Box::new(ComputeSpin)));
         (module, malware.0)
     });
 
     let init = vm.kernel.register_program(
         "init",
         Box::new(move || {
-            let workloads = workloads.clone();
-            let mut stage = 0usize;
-            let mut malware_pid = 0u64;
-            Box::new(FnProgram(move |v: &UserView<'_>| {
-                stage += 1;
-                // Spawn each workload, then (optionally) the malware and
-                // its hiding rootkit, then settle into a wait loop.
-                if stage <= workloads.len() {
-                    return UserOp::sys(Sysno::Spawn, &[workloads[stage - 1], 1000]);
-                }
-                if let Some((module, malware)) = rootkit {
-                    match stage - workloads.len() {
-                        1 => return UserOp::sys(Sysno::Spawn, &[malware, 1000]),
-                        2 => {
-                            malware_pid = v.last_ret;
-                            return UserOp::sys(Sysno::Nanosleep, &[20_000_000]);
-                        }
-                        3 => return UserOp::sys(Sysno::InstallModule, &[module, malware_pid]),
-                        _ => {}
-                    }
-                }
-                UserOp::sys(Sysno::Waitpid, &[])
-            }))
+            Box::new(ScenarioInit {
+                workloads: workloads.clone(),
+                rootkit,
+                stage: 0,
+                malware_pid: 0,
+            })
         }),
     );
     vm.kernel.set_init_program(init);
@@ -416,6 +511,75 @@ pub fn run_scenario(scenario: &Scenario, variant: &ConfigVariant) -> (Trace, Ver
     (trace, verdict)
 }
 
+/// Runs a scenario under `variant`, dispatching [`SNAPSHOT_CYCLE`] runs to
+/// the snapshot-cycling driver. The conformance fuzzer uses this for the
+/// right side of every pair so variant labels can select a *driving mode*,
+/// not just a knob setting.
+pub fn run_scenario_variant(scenario: &Scenario, variant: &ConfigVariant) -> (Trace, Verdict) {
+    if variant.label == SNAPSHOT_CYCLE.label {
+        run_scenario_snapshot_cycle(scenario, variant, SNAPSHOT_CYCLE_EVERY)
+    } else {
+        run_scenario(scenario, variant)
+    }
+}
+
+/// Runs a scenario slice-by-slice, and every `every` slices serializes the
+/// whole VM to a `.htsp` blob, rebuilds a fresh VM from the recipe,
+/// restores the blob into it, and continues on the restored copy. The
+/// recorder's shared buffer survives across cycles (each fresh VM gets a
+/// new tap into the same buffer), so the result is one continuous trace.
+///
+/// # Panics
+///
+/// Panics if the VM fails to snapshot or restore — in a conformance run
+/// that *is* the divergence being hunted.
+pub fn run_scenario_snapshot_cycle(
+    scenario: &Scenario,
+    variant: &ConfigVariant,
+    every: u64,
+) -> (Trace, Verdict) {
+    assert!(every > 0, "snapshot cycle period must be positive");
+    let slice = Duration::from_millis(10);
+    let mut vm = build_scenario_vm(scenario, variant, VmId(0));
+    let recorder = TraceRecorder::new(TraceHeader::new(
+        scenario.vcpus as u64,
+        scenario.seed,
+        scenario.name.clone(),
+        variant.label,
+    ));
+    vm.machine.hypervisor_mut().em.attach_tap(recorder.tap());
+    let deadline = vm.now() + scenario.duration;
+    let mut slices = 0u64;
+    while vm.now() < deadline {
+        let before = vm.now();
+        let target = (before + slice).min(deadline);
+        match vm.run_until(target) {
+            RunExit::Shutdown | RunExit::Paused => break,
+            RunExit::AllIdle if vm.now() == before => break,
+            _ => {}
+        }
+        slices += 1;
+        if vm.now() >= deadline {
+            break;
+        }
+        if slices.is_multiple_of(every) {
+            let bytes = vm.snapshot().unwrap_or_else(|e| {
+                panic!("snapshot cycle: {} failed to snapshot: {e}", scenario.name)
+            });
+            let mut fresh = build_scenario_vm(scenario, variant, VmId(0));
+            fresh.restore(&bytes).unwrap_or_else(|e| {
+                panic!("snapshot cycle: {} failed to restore: {e}", scenario.name)
+            });
+            fresh.machine.hypervisor_mut().em.attach_tap(recorder.tap());
+            vm = fresh;
+        }
+    }
+    vm.machine.hypervisor_mut().em.detach_tap();
+    let trace = recorder.finish();
+    let verdict = Verdict::collect(&mut vm.machine.hypervisor_mut().em, &trace);
+    (trace, verdict)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -452,6 +616,29 @@ mod tests {
         assert_eq!(diff_traces(&base, &other, DiffPolicy::Exact), None);
         let replayed = replay_trace(&base, |em| register_auditors(em, s.vcpus));
         assert_eq!(replayed, live, "replay must reproduce the live verdict bit-for-bit");
+    }
+
+    #[test]
+    fn snapshot_cycle_pair_is_conformant_and_verdicts_match() {
+        // The snapshot equivalence contract as a conformance pair: a run
+        // that round-trips the whole machine through the `.htsp` codec
+        // every few slices must record a byte-identical trace and reach
+        // the same verdict — provenance refs included — under Exact.
+        for ordinal in [0u64, 1, 2] {
+            let s = Scenario::sample(7, ordinal);
+            let (base, live) = run_scenario(&s, &BASE);
+            let (cycled, live_cycled) = run_scenario_variant(&s, &SNAPSHOT_CYCLE);
+            assert_eq!(
+                diff_traces(&base, &cycled, DiffPolicy::Exact),
+                None,
+                "{}: snapshot cycling must not change the trace",
+                s.name
+            );
+            let mut relabeled = live_cycled.clone();
+            relabeled.config = live.config.clone();
+            assert_eq!(relabeled, live, "{}", s.name);
+            assert_eq!(live_cycled.findings_provenance, live.findings_provenance);
+        }
     }
 
     #[test]

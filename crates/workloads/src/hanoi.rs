@@ -8,6 +8,7 @@
 
 use hypertap_guestos::program::{UserOp, UserProgram, UserView};
 use hypertap_guestos::syscalls::Sysno;
+use hypertap_hvsim::snap::{SnapReader, SnapWriter};
 
 /// Tower of Hanoi as a user program.
 #[derive(Debug)]
@@ -59,6 +60,33 @@ impl UserProgram for Hanoi {
         } else {
             UserOp::Compute(self.per_move_ns)
         }
+    }
+
+    fn save_state(&self) -> Option<Vec<u8>> {
+        // disks / per_move_ns / total_moves are recipe state.
+        let mut w = SnapWriter::new();
+        w.varint(self.moves_done);
+        w.varint(self.towers_completed);
+        w.boolean(self.emit_done);
+        Some(w.into_bytes())
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let mut r = SnapReader::new(bytes);
+        let moves_done = r.varint().map_err(|e| e.to_string())?;
+        let towers_completed = r.varint().map_err(|e| e.to_string())?;
+        let emit_done = r.boolean().map_err(|e| e.to_string())?;
+        r.finish().map_err(|e| e.to_string())?;
+        if moves_done > self.total_moves {
+            return Err(format!(
+                "hanoi moves_done {moves_done} exceeds tower size {}",
+                self.total_moves
+            ));
+        }
+        self.moves_done = moves_done;
+        self.towers_completed = towers_completed;
+        self.emit_done = emit_done;
+        Ok(())
     }
 }
 

@@ -8,8 +8,9 @@
 //! one, so the workload runs for the whole experiment.
 
 use hypertap_guestos::kernel::Kernel;
-use hypertap_guestos::program::{FnProgram, ProgId, UserOp, UserProgram, UserView};
+use hypertap_guestos::program::{ProgId, UserOp, UserProgram, UserView};
 use hypertap_guestos::syscalls::Sysno;
+use hypertap_hvsim::snap::{SnapReader, SnapWriter};
 
 /// One compile job: open → read×4 → compute → write → close → exit.
 #[derive(Debug, Default)]
@@ -35,6 +36,20 @@ impl UserProgram for CompileJob {
             8 => UserOp::sys(Sysno::Close, &[0]),
             _ => UserOp::Exit(0),
         }
+    }
+
+    fn save_state(&self) -> Option<Vec<u8>> {
+        let mut w = SnapWriter::new();
+        w.varint(self.stage as u64);
+        Some(w.into_bytes())
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let mut r = SnapReader::new(bytes);
+        let stage = r.varint().map_err(|e| e.to_string())?;
+        r.finish().map_err(|e| e.to_string())?;
+        self.stage = u32::try_from(stage).map_err(|_| "cc1 stage overflow".to_string())?;
+        Ok(())
     }
 }
 
@@ -86,6 +101,33 @@ impl UserProgram for Make {
         self.in_flight = self.in_flight.saturating_sub(1);
         UserOp::sys(Sysno::Waitpid, &[])
     }
+
+    fn save_state(&self) -> Option<Vec<u8>> {
+        // job_prog / jobs / files_per_build are recipe state.
+        let mut w = SnapWriter::new();
+        w.varint(self.spawned);
+        w.varint(self.reaped);
+        w.varint(self.in_flight);
+        w.varint(self.builds_completed);
+        Some(w.into_bytes())
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let mut r = SnapReader::new(bytes);
+        let spawned = r.varint().map_err(|e| e.to_string())?;
+        let reaped = r.varint().map_err(|e| e.to_string())?;
+        let in_flight = r.varint().map_err(|e| e.to_string())?;
+        let builds_completed = r.varint().map_err(|e| e.to_string())?;
+        r.finish().map_err(|e| e.to_string())?;
+        if spawned > self.files_per_build || reaped > self.files_per_build {
+            return Err("make progress exceeds files_per_build".to_string());
+        }
+        self.spawned = spawned;
+        self.reaped = reaped;
+        self.in_flight = in_flight;
+        self.builds_completed = builds_completed;
+        Ok(())
+    }
 }
 
 /// Registers `make -jN` into a kernel and returns the init program id.
@@ -98,25 +140,51 @@ pub fn install(kernel: &mut Kernel, jobs: u64, files_per_build: u64) -> ProgId {
     )
 }
 
+/// The generic "run program X as a user child" init program: spawns the
+/// workload under uid 1000 on its first step, then idles reaping children.
+/// Serializable, so a snapshot can capture a guest mid-campaign.
+#[derive(Debug)]
+pub struct SpawnerInit {
+    workload: u64,
+    started: bool,
+}
+
+impl SpawnerInit {
+    /// An init that spawns `workload` once and then reaps.
+    pub fn new(workload: ProgId) -> Self {
+        SpawnerInit { workload: workload.0, started: false }
+    }
+}
+
+impl UserProgram for SpawnerInit {
+    fn next_op(&mut self, _view: &UserView<'_>) -> UserOp {
+        if !self.started {
+            self.started = true;
+            UserOp::sys(Sysno::Spawn, &[self.workload, 1000])
+        } else {
+            UserOp::sys(Sysno::Waitpid, &[])
+        }
+    }
+
+    fn save_state(&self) -> Option<Vec<u8>> {
+        let mut w = SnapWriter::new();
+        w.boolean(self.started);
+        Some(w.into_bytes())
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let mut r = SnapReader::new(bytes);
+        self.started = r.boolean().map_err(|e| e.to_string())?;
+        r.finish().map_err(|e| e.to_string())
+    }
+}
+
 /// A generic "run program X as a user child" init: spawns the workload under
 /// uid 1000 and then idles (reaping as needed). Used by every experiment
 /// that wants init to stay out of the way.
 pub fn install_init_running(kernel: &mut Kernel, workload: ProgId) -> ProgId {
     let w = workload.0;
-    kernel.register_program(
-        "init",
-        Box::new(move || {
-            let mut started = false;
-            Box::new(FnProgram(move |_v: &UserView<'_>| {
-                if !started {
-                    started = true;
-                    UserOp::sys(Sysno::Spawn, &[w, 1000])
-                } else {
-                    UserOp::sys(Sysno::Waitpid, &[])
-                }
-            }))
-        }),
-    )
+    kernel.register_program("init", Box::new(move || Box::new(SpawnerInit::new(ProgId(w)))))
 }
 
 #[cfg(test)]
