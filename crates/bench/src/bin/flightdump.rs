@@ -10,6 +10,9 @@
 //!
 //! # no dump at hand? synthesize one from an induced guest hang
 //! cargo run -p hypertap-bench --bin flightdump -- --demo --out demo.htfr
+//!
+//! # tail a dump directory, pretty-printing each new .htfr as it lands
+//! cargo run -p hypertap-bench --bin flightdump -- --follow /tmp/dumps
 //! ```
 //!
 //! The exported JSON carries complete spans (`ph: "X"`) for pipeline
@@ -55,6 +58,29 @@ fn demo_dump() -> Vec<u8> {
 
 fn main() {
     let args = Args::parse();
+    if let Some(dir) = args.get_str("follow") {
+        // Tail the directory until --follow-ms elapses (0 = forever).
+        let limit_ms: u64 = args.get("follow-ms", 0);
+        let deadline =
+            if limit_ms == 0 { None } else { Some(std::time::Duration::from_millis(limit_ms)) };
+        let poll = std::time::Duration::from_millis(args.get("poll-ms", 250));
+        let mut stdout = std::io::stdout();
+        match hypertap_bench::follow::follow_dir(
+            std::path::Path::new(dir),
+            poll,
+            deadline,
+            &mut stdout,
+        ) {
+            Ok(n) => {
+                eprintln!("follow: printed {n} dump(s) from {dir}");
+                return;
+            }
+            Err(e) => {
+                eprintln!("follow: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     let bytes = if args.has("demo") {
         let bytes = demo_dump();
         let out = args.get_str("out").unwrap_or("flight-demo.htfr");

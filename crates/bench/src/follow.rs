@@ -1,0 +1,168 @@
+//! Tail a flight-dump directory: `flightdump --follow <dir>`.
+//!
+//! Fleet hosts, the EM's panic path and the conformance fuzzer all drop
+//! `.htfr` dumps into a directory as failures happen. Following that
+//! directory pretty-prints each new dump as it lands — a live post-mortem
+//! feed for a running campaign, in the spirit of `tail -f`.
+//!
+//! The scan is plain polling (dumps are written rarely, on failures), and
+//! a file is only consumed once its size is stable across two polls so a
+//! dump caught mid-write is not decoded half-way.
+
+use hypertap_core::prelude::FlightDump;
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// One pass over `dir`: every `.htfr` file and its current size, sorted by
+/// path so consumption order is deterministic.
+fn scan(dir: &Path) -> Vec<(PathBuf, u64)> {
+    let mut out = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return out;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("htfr") {
+            continue;
+        }
+        if let Ok(meta) = entry.metadata() {
+            if meta.is_file() {
+                out.push((path, meta.len()));
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Renders one newly landed dump (header line + decoded body) into `out`.
+fn emit(path: &Path, out: &mut dyn Write) -> std::io::Result<()> {
+    let bytes = std::fs::read(path)?;
+    match FlightDump::decode(&bytes) {
+        Ok(dump) => {
+            writeln!(out, "=== {} ({} bytes) ===", path.display(), bytes.len())?;
+            write!(out, "{}", dump.render())?;
+        }
+        Err(e) => {
+            writeln!(out, "=== {} ===", path.display())?;
+            writeln!(out, "not a valid .htfr dump: {e:?}")?;
+        }
+    }
+    out.flush()
+}
+
+/// Follows `dir` until `deadline` elapses (forever when `None`), polling
+/// every `poll` and pretty-printing each `.htfr` file exactly once, once
+/// its size has been stable for a full poll interval. Files already
+/// present when the follow starts are printed first. Returns how many
+/// dumps were emitted.
+pub fn follow_dir(
+    dir: &Path,
+    poll: Duration,
+    deadline: Option<Duration>,
+    out: &mut dyn Write,
+) -> std::io::Result<usize> {
+    let started = Instant::now();
+    let mut seen: HashMap<PathBuf, u64> = HashMap::new();
+    let mut emitted = 0usize;
+    let mut pending: HashMap<PathBuf, u64> = HashMap::new();
+    loop {
+        for (path, size) in scan(dir) {
+            if seen.contains_key(&path) {
+                continue;
+            }
+            match pending.get(&path) {
+                // Size stable across two polls: safe to decode.
+                Some(&prev) if prev == size => {
+                    emit(&path, out)?;
+                    seen.insert(path.clone(), size);
+                    pending.remove(&path);
+                    emitted += 1;
+                }
+                _ => {
+                    pending.insert(path, size);
+                }
+            }
+        }
+        if let Some(limit) = deadline {
+            if started.elapsed() >= limit {
+                return Ok(emitted);
+            }
+        }
+        std::thread::sleep(poll);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypertap_core::flight::DumpRecord;
+    use hypertap_core::prelude::{EventClass, VmId, FLIGHT_VERSION};
+    use hypertap_hvsim::clock::SimTime;
+
+    fn dump_bytes(reason: &str) -> Vec<u8> {
+        FlightDump {
+            version: FLIGHT_VERSION,
+            reason: reason.to_owned(),
+            capacity: 64,
+            next_seq: 1,
+            dropped: 0,
+            records: vec![DumpRecord::Event {
+                seq: 0,
+                time: SimTime::from_millis(1),
+                vm: VmId(0),
+                vcpu: 0,
+                class: EventClass::ProcessSwitch,
+                detail: "cr3 load".to_owned(),
+            }],
+        }
+        .encode()
+    }
+
+    #[test]
+    fn follows_a_directory_and_prints_each_dump_once() {
+        let dir = std::env::temp_dir().join(format!("htfr-follow-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("a.htfr"), dump_bytes("first")).unwrap();
+        std::fs::write(dir.join("b.htfr"), dump_bytes("second")).unwrap();
+        // Non-dump files are ignored entirely.
+        std::fs::write(dir.join("notes.txt"), b"not a dump").unwrap();
+        std::fs::write(dir.join("junk.htfr"), b"garbage").unwrap();
+
+        let mut out = Vec::new();
+        let n =
+            follow_dir(&dir, Duration::from_millis(10), Some(Duration::from_millis(200)), &mut out)
+                .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(n, 3, "two dumps + one invalid file, each exactly once:\n{text}");
+        assert_eq!(text.matches("a.htfr").count(), 1, "{text}");
+        assert_eq!(text.matches("b.htfr").count(), 1, "{text}");
+        assert!(text.contains("first"), "{text}");
+        assert!(text.contains("second"), "{text}");
+        assert!(text.contains("not a valid .htfr dump"), "{text}");
+        assert!(!text.contains("notes.txt"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn picks_up_dumps_that_land_mid_follow() {
+        let dir = std::env::temp_dir().join(format!("htfr-follow-live-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let writer_dir = dir.clone();
+        let writer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(40));
+            std::fs::write(writer_dir.join("late.htfr"), dump_bytes("landed late")).unwrap();
+        });
+        let mut out = Vec::new();
+        let n =
+            follow_dir(&dir, Duration::from_millis(10), Some(Duration::from_millis(400)), &mut out)
+                .unwrap();
+        writer.join().unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(n, 1, "{text}");
+        assert!(text.contains("landed late"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

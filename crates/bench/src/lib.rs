@@ -17,6 +17,7 @@
 //! formatting, the ninja-experiment trial runner and the ubench runner.
 
 pub mod cli;
+pub mod follow;
 pub mod ninja_scenarios;
 pub mod prebatch;
 pub mod report;

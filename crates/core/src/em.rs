@@ -51,10 +51,11 @@
 //!   the Event Forwarder ([`crate::kvm::Kvm`]) uses.
 
 use crate::audit::{Auditor, Finding, FindingSink, Severity};
-use crate::event::{Event, EventClass, EventMask, EventRef};
+use crate::event::{Event, EventClass, EventMask, EventRef, VmId};
 use crate::flight::{panic_message, FlightRecorder};
 use crate::metrics::{Histogram, MetricsRegistry};
 use crate::rhc::{HeartbeatSample, RhcTransport};
+use crate::telemetry::FindingBus;
 use hypertap_hvsim::clock::SimTime;
 use hypertap_hvsim::machine::VmState;
 use hypertap_hvsim::snap::{SnapError, SnapReader, SnapWriter};
@@ -294,6 +295,11 @@ pub struct EventMultiplexer {
     flight_dump_dir: Option<PathBuf>,
     /// Dump files written so far.
     flight_dump_paths: Vec<PathBuf>,
+    /// Live telemetry tap: every finding drained via
+    /// [`EventMultiplexer::drain_findings`] is also published on this bus,
+    /// tagged with the VM id. Host-side only — never serialized with EM
+    /// state, never observable by the simulation.
+    finding_bus: Option<(FindingBus, VmId)>,
 }
 
 impl std::fmt::Debug for EventMultiplexer {
@@ -340,7 +346,23 @@ impl EventMultiplexer {
             panics_by_container: Vec::new(),
             flight_dump_dir: None,
             flight_dump_paths: Vec::new(),
+            finding_bus: None,
         }
+    }
+
+    /// Attaches a live [`FindingBus`] tap: every finding subsequently
+    /// drained via [`EventMultiplexer::drain_findings`] is also published
+    /// on the bus, tagged as coming from `vm`. The tap is host-side
+    /// observation only — it never blocks the exit pipeline (slow
+    /// subscribers drop, counted on the bus) and is not part of EM
+    /// serialized state.
+    pub fn set_finding_bus(&mut self, bus: FindingBus, vm: VmId) {
+        self.finding_bus = Some((bus, vm));
+    }
+
+    /// Detaches the telemetry tap, if any.
+    pub fn clear_finding_bus(&mut self) {
+        self.finding_bus = None;
     }
 
     /// Enables or disables the host wall-clock dispatch-latency histogram.
@@ -663,7 +685,22 @@ impl EventMultiplexer {
                 None => self.findings_by_auditor.push((f.auditor.clone(), 1)),
             }
         }
+        if let Some((bus, vm)) = &self.finding_bus {
+            bus.publish_all(*vm, &out);
+        }
         out
+    }
+
+    /// Findings accumulated from synchronous auditors and not yet drained.
+    /// (Container findings become countable only at drain time.)
+    pub fn pending_findings(&self) -> usize {
+        self.findings.len()
+    }
+
+    /// Total messages queued across every audit container (sent, not yet
+    /// processed) — the telemetry plane's backpressure gauge.
+    pub fn container_backlog(&self) -> u64 {
+        self.containers.iter().map(|c| c.depth.load(Ordering::Relaxed)).sum()
     }
 
     /// Delivery statistics.
@@ -1056,7 +1093,7 @@ impl EventMultiplexer {
                     ),
                 });
             }
-            a.restore_state(&blob)?;
+            a.restore_state(blob)?;
         }
         // Subscriptions may depend on restored auditor state; re-derive the
         // fast-path mask and routing table from the live roster.

@@ -36,6 +36,7 @@ use crate::em::DeliveryStats;
 use crate::event::VmId;
 use crate::flight::panic_message;
 use crate::metrics::MetricsRegistry;
+use crate::telemetry::{FindingBus, TelemetryHub, VmProbe};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -88,6 +89,15 @@ pub trait FleetVm {
     fn restore(&mut self, _bytes: &[u8]) -> Result<(), String> {
         Err("this fleet VM does not support migration".to_owned())
     }
+
+    /// A cheap read-only probe of the VM's monitoring plane — simulated
+    /// time, event intake, audit backpressure — for the telemetry hub's
+    /// `/vms` endpoint. Called after every slice when a hub is attached;
+    /// `None` (the default) reports nothing. Must not mutate simulated
+    /// state: probing is host-side observation only.
+    fn telemetry_probe(&mut self) -> Option<VmProbe> {
+        None
+    }
 }
 
 /// Decides when a fleet VM migrates to another worker mid-campaign.
@@ -126,7 +136,13 @@ impl RebalancePolicy for NoRebalance {
 pub struct RotateEvery(pub u64);
 
 impl RebalancePolicy for RotateEvery {
-    fn migrate(&self, _vm: VmId, slices_taken: u64, worker: usize, workers: usize) -> Option<usize> {
+    fn migrate(
+        &self,
+        _vm: VmId,
+        slices_taken: u64,
+        worker: usize,
+        workers: usize,
+    ) -> Option<usize> {
         if self.0 > 0 && workers > 1 && slices_taken.is_multiple_of(self.0) {
             Some((worker + 1) % workers)
         } else {
@@ -300,6 +316,29 @@ impl FleetHost {
         cfg: FleetConfig,
         policy: Arc<dyn RebalancePolicy>,
     ) -> FleetHost {
+        FleetHost::launch_inner(workload, cfg, policy, None)
+    }
+
+    /// Launches the fleet with a live [`TelemetryHub`] attached: workers
+    /// report lifecycle (build/run/done), per-slice progress probes and
+    /// finished [`VmReport`]s to the hub, whose [`FindingBus`] streams
+    /// findings to subscribers as they land. Telemetry is host-side
+    /// observation only — the per-VM schedule, traces and findings are
+    /// bit-identical to an untapped [`FleetHost::launch`].
+    pub fn launch_with_telemetry(
+        workload: Arc<dyn FleetWorkload>,
+        cfg: FleetConfig,
+        hub: Arc<TelemetryHub>,
+    ) -> FleetHost {
+        FleetHost::launch_inner(workload, cfg, Arc::new(NoRebalance), Some(hub))
+    }
+
+    fn launch_inner(
+        workload: Arc<dyn FleetWorkload>,
+        cfg: FleetConfig,
+        policy: Arc<dyn RebalancePolicy>,
+        hub: Option<Arc<TelemetryHub>>,
+    ) -> FleetHost {
         let stop = Arc::new(AtomicBool::new(false));
         let workers = cfg.effective_workers();
         let board = Arc::new(MigrationBoard::new(workers, cfg.vms));
@@ -312,10 +351,20 @@ impl FleetHost {
                 let stop = Arc::clone(&stop);
                 let policy = Arc::clone(&policy);
                 let board = Arc::clone(&board);
+                let hub = hub.clone();
                 let handle = std::thread::Builder::new()
                     .name(format!("fleet-worker-{w}"))
                     .spawn(move || {
-                        worker_loop(w, workers, &shard, &*workload, &stop, &*policy, &board)
+                        worker_loop(
+                            w,
+                            workers,
+                            &shard,
+                            &*workload,
+                            &stop,
+                            &*policy,
+                            &board,
+                            hub.as_deref(),
+                        )
                     })
                     .expect("spawn fleet worker");
                 handles.push(handle);
@@ -392,6 +441,7 @@ struct WorkerSlot {
     vm: Box<dyn FleetVm>,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     worker: usize,
     workers: usize,
@@ -400,14 +450,23 @@ fn worker_loop(
     stop: &AtomicBool,
     policy: &dyn RebalancePolicy,
     board: &MigrationBoard,
+    hub: Option<&TelemetryHub>,
 ) -> Result<Vec<VmReport>, WorkerFailure> {
+    if let Some(h) = hub {
+        h.worker_started(worker);
+    }
     // Build in ascending id order, step round-robin in ascending id order:
     // the per-VM slice schedule is identical for every worker count. A
     // migrated VM resumes its own schedule on the target worker — slices
     // are per-VM, so interleaving with the new shard changes nothing.
     let mut vms: Vec<WorkerSlot> = shard
         .iter()
-        .map(|&id| WorkerSlot { id, slices_taken: 0, vm: workload.build_vm(id) })
+        .map(|&id| {
+            if let Some(h) = hub {
+                h.vm_started(id, worker);
+            }
+            WorkerSlot { id, slices_taken: 0, vm: workload.build_vm(id) }
+        })
         .collect();
     let mut reports = Vec::new();
     'run: while !stop.load(Ordering::SeqCst) {
@@ -424,6 +483,9 @@ fn worker_loop(
                     message: format!("restoring migrated VM: {e}"),
                     dump: None,
                 });
+            }
+            if let Some(h) = hub {
+                h.vm_started(m.vm, worker);
             }
             let at = vms.partition_point(|s| s.id.0 < m.vm.0);
             vms.insert(at, WorkerSlot { id: m.vm, slices_taken: m.slices_taken, vm });
@@ -460,9 +522,16 @@ fn worker_loop(
                 }
             };
             slot.slices_taken += 1;
+            if let Some(h) = hub {
+                h.vm_progress(slot.id, worker, slot.vm.telemetry_probe());
+            }
             if outcome == SliceOutcome::Done {
                 let mut slot = vms.remove(i);
-                reports.push(slot.vm.finish());
+                let report = slot.vm.finish();
+                if let Some(h) = hub {
+                    h.vm_finished(&report, worker);
+                }
+                reports.push(report);
                 board.vm_finished();
                 continue;
             }
@@ -488,7 +557,11 @@ fn worker_loop(
     // only posted from stepping loops, so once every worker has left its
     // stepping loop one final sweep is guaranteed to see them all.
     for mut slot in vms {
-        reports.push(slot.vm.finish());
+        let report = slot.vm.finish();
+        if let Some(h) = hub {
+            h.vm_finished(&report, worker);
+        }
+        reports.push(report);
         board.vm_finished();
     }
     board.stepping_done();
@@ -501,6 +574,9 @@ fn worker_loop(
         report.vm = m.vm;
         // The migrant never reached its deadline: report it as halted.
         report.halted = true;
+        if let Some(h) = hub {
+            h.vm_finished(&report, worker);
+        }
         reports.push(report);
         board.vm_finished();
     };
@@ -515,6 +591,9 @@ fn worker_loop(
             break;
         }
         std::thread::yield_now();
+    }
+    if let Some(h) = hub {
+        h.worker_done(worker);
     }
     Ok(reports)
 }
@@ -531,6 +610,16 @@ pub fn run_fleet_with_policy(
     policy: Arc<dyn RebalancePolicy>,
 ) -> FleetReport {
     FleetHost::launch_with_policy(workload, cfg, policy).join()
+}
+
+/// Runs a whole fleet to completion with a live [`TelemetryHub`]
+/// attached: launch + join.
+pub fn run_fleet_telemetry(
+    workload: Arc<dyn FleetWorkload>,
+    cfg: FleetConfig,
+    hub: Arc<TelemetryHub>,
+) -> FleetReport {
+    FleetHost::launch_with_telemetry(workload, cfg, hub).join()
 }
 
 /// Runs one VM of the workload alone on the calling thread — the
@@ -554,12 +643,21 @@ pub struct FleetAggregator {
     stats: DeliveryStats,
     findings: Vec<(VmId, Finding)>,
     metrics: MetricsRegistry,
+    bus: Option<FindingBus>,
 }
 
 impl FleetAggregator {
     /// An empty aggregator.
     pub fn new() -> Self {
         FleetAggregator::default()
+    }
+
+    /// Taps the aggregator with a live [`FindingBus`]: every finding in a
+    /// subsequently [`FleetAggregator::absorb`]ed report is also published
+    /// on the bus, tagged with the originating VM. The tap never blocks —
+    /// slow subscribers drop (and count) instead.
+    pub fn attach_bus(&mut self, bus: FindingBus) {
+        self.bus = Some(bus);
     }
 
     /// Folds one VM's report in.
@@ -571,6 +669,9 @@ impl FleetAggregator {
         self.stats.merge(report.stats);
         self.findings.extend(report.findings.iter().map(|f| (report.vm, f.clone())));
         self.metrics.merge(&report.metrics);
+        if let Some(bus) = &self.bus {
+            bus.publish_all(report.vm, &report.findings);
+        }
     }
 
     /// Number of VM reports absorbed.

@@ -49,12 +49,30 @@ const TAG_SPAN: u8 = 0x06;
 /// arrived as; rendering to strings is deferred to dump time.
 #[derive(Debug, Clone)]
 enum RingRecord {
-    Event { seq: EventRef, event: Event },
-    Tick { time: SimTime },
-    Transition { time: SimTime, auditor: String, detail: String },
+    Event {
+        seq: EventRef,
+        event: Event,
+    },
+    Tick {
+        time: SimTime,
+    },
+    Transition {
+        time: SimTime,
+        auditor: String,
+        detail: String,
+    },
     Finding(Finding),
-    Panic { container: String, message: String, count: u64 },
-    Span { name: &'static str, start: SimTime, duration_ns: u64, track: u32 },
+    Panic {
+        container: String,
+        message: String,
+        count: u64,
+    },
+    Span {
+        name: &'static str,
+        start: SimTime,
+        duration_ns: u64,
+        track: u32,
+    },
     /// A record restored from a machine snapshot. Native records are only
     /// observable through [`FlightRecorder::dump`], so carrying the already
     /// rendered form is full fidelity: a restored ring dumps byte-for-byte
@@ -277,11 +295,9 @@ fn render_record(r: &RingRecord) -> DumpRecord {
             detail: event.kind.to_string(),
         },
         RingRecord::Tick { time } => DumpRecord::Tick { time: *time },
-        RingRecord::Transition { time, auditor, detail } => DumpRecord::Transition {
-            time: *time,
-            auditor: auditor.clone(),
-            detail: detail.clone(),
-        },
+        RingRecord::Transition { time, auditor, detail } => {
+            DumpRecord::Transition { time: *time, auditor: auditor.clone(), detail: detail.clone() }
+        }
         RingRecord::Finding(f) => DumpRecord::Finding {
             time: f.time,
             auditor: f.auditor.clone(),
@@ -362,8 +378,10 @@ fn load_record(r: &mut SnapReader<'_>) -> Result<DumpRecord, SnapError> {
         TAG_EVENT => {
             let seq = r.varint()?;
             let time = SimTime::from_nanos(r.varint()?);
-            let vm = VmId(u32::try_from(r.varint()?)
-                .map_err(|_| SnapError::BadValue { offset: start, what: "vm id" })?);
+            let vm = VmId(
+                u32::try_from(r.varint()?)
+                    .map_err(|_| SnapError::BadValue { offset: start, what: "vm id" })?,
+            );
             let vcpu = u32::try_from(r.varint()?)
                 .map_err(|_| SnapError::BadValue { offset: start, what: "vcpu index" })?;
             let class_off = r.offset();
@@ -394,11 +412,9 @@ fn load_record(r: &mut SnapReader<'_>) -> Result<DumpRecord, SnapError> {
             }
             DumpRecord::Finding { time, auditor, severity, message, provenance }
         }
-        TAG_PANIC => DumpRecord::Panic {
-            container: r.string()?,
-            message: r.string()?,
-            count: r.varint()?,
-        },
+        TAG_PANIC => {
+            DumpRecord::Panic { container: r.string()?, message: r.string()?, count: r.varint()? }
+        }
         TAG_SPAN => DumpRecord::Span {
             name: r.string()?,
             start: SimTime::from_nanos(r.varint()?),

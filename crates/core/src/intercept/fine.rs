@@ -110,8 +110,7 @@ impl InterceptEngine for FineGrainedEngine {
         let mut w = SnapWriter::new();
         // Deterministic byte stream: the map is emitted in ascending-gfn
         // order regardless of hash-map iteration order.
-        let mut entries: Vec<(Gfn, EptPerm)> =
-            self.watched.iter().map(|(g, p)| (*g, *p)).collect();
+        let mut entries: Vec<(Gfn, EptPerm)> = self.watched.iter().map(|(g, p)| (*g, *p)).collect();
         entries.sort_by_key(|(g, _)| *g);
         w.varint(entries.len() as u64);
         for (gfn, prev) in entries {

@@ -318,7 +318,7 @@ impl Kvm {
                     ),
                 });
             }
-            e.restore_state(&blob)?;
+            e.restore_state(blob)?;
         }
         self.em.restore_state(r)
     }

@@ -1,0 +1,392 @@
+//! Detection-latency accounting: from injected fault to raised finding.
+//!
+//! The paper's central quantitative claim (§VIII, Fig. 5) is how fast each
+//! auditor turns an architectural-invariant violation into an alert. This
+//! module correlates *injection records* (when a fault campaign activated
+//! a fault, in simulated time) with the findings the auditors raised and
+//! the [`EventRef`] provenance those findings cite, producing per-auditor
+//! latency distributions in two units:
+//!
+//! * **virtual-time nanoseconds** — end-to-end (activation → finding) and
+//!   trigger (cited provenance event → finding) latency, and
+//! * **exit count** — how many VM exits the logging layer forwarded
+//!   between the cited trigger event and the finding, resolved against a
+//!   flight-recorder dump via [`EventIndex`].
+//!
+//! The distributions export as labelled registry histograms and render as
+//! a paper-style table (`examples/detection_latency.rs`).
+
+use crate::audit::Finding;
+use crate::event::{EventRef, VmId};
+use crate::flight::{DumpRecord, FlightDump};
+use crate::metrics::{Histogram, MetricsRegistry};
+use hypertap_hvsim::clock::{Duration, SimTime};
+
+/// Bucket bounds for detection-latency histograms, simulated nanoseconds:
+/// 1 ms up to a minute, matching the paper's GOSHD thresholds (seconds).
+pub const DETECTION_BOUNDS_NS: [u64; 10] = [
+    1_000_000,
+    10_000_000,
+    100_000_000,
+    500_000_000,
+    1_000_000_000,
+    2_000_000_000,
+    4_000_000_000,
+    8_000_000_000,
+    16_000_000_000,
+    60_000_000_000,
+];
+
+/// Bucket bounds for exit-count latency histograms.
+pub const DETECTION_BOUNDS_EXITS: [u64; 6] = [10, 100, 1_000, 10_000, 100_000, 1_000_000];
+
+/// One fault-campaign activation: the instant the injected fault actually
+/// fired in the guest (not when the campaign armed it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectionRecord {
+    /// What was injected (campaign label, fault site, ...).
+    pub label: String,
+    /// The VM it was injected into.
+    pub vm: VmId,
+    /// Simulated activation time.
+    pub time: SimTime,
+}
+
+/// Resolves [`EventRef`]s to simulated times and counts forwarded events
+/// between two instants, built from a flight-recorder dump's retained
+/// `Event` records.
+#[derive(Debug, Default)]
+pub struct EventIndex {
+    /// `(seq, time)` ascending by seq.
+    seq_times: Vec<(u64, SimTime)>,
+    /// Event times ascending (duplicates kept), for exit counting.
+    times: Vec<u64>,
+}
+
+impl EventIndex {
+    /// Indexes every `Event` record retained in `dump`.
+    pub fn from_dump(dump: &FlightDump) -> EventIndex {
+        let mut seq_times = Vec::new();
+        for r in &dump.records {
+            if let DumpRecord::Event { seq, time, .. } = r {
+                seq_times.push((*seq, *time));
+            }
+        }
+        seq_times.sort_by_key(|(seq, _)| *seq);
+        let mut times: Vec<u64> = seq_times.iter().map(|(_, t)| t.as_nanos()).collect();
+        times.sort_unstable();
+        EventIndex { seq_times, times }
+    }
+
+    /// How many events are indexed.
+    pub fn len(&self) -> usize {
+        self.seq_times.len()
+    }
+
+    /// Whether the index holds no events (e.g. the ring had evicted them).
+    pub fn is_empty(&self) -> bool {
+        self.seq_times.is_empty()
+    }
+
+    /// The simulated time of the event `r` refers to, if retained.
+    pub fn resolve(&self, r: EventRef) -> Option<SimTime> {
+        self.seq_times
+            .binary_search_by_key(&r.0, |(seq, _)| *seq)
+            .ok()
+            .map(|at| self.seq_times[at].1)
+    }
+
+    /// Number of indexed events with time in `(after, upto]` — the
+    /// exit-count distance from a trigger event to its finding.
+    pub fn exits_between(&self, after: SimTime, upto: SimTime) -> u64 {
+        let lo = self.times.partition_point(|&t| t <= after.as_nanos());
+        let hi = self.times.partition_point(|&t| t <= upto.as_nanos());
+        (hi - lo) as u64
+    }
+}
+
+/// One finding's measured latencies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencySample {
+    /// Activation → finding, simulated nanoseconds (None without a
+    /// matching injection record, or when the finding predates it).
+    pub e2e_ns: Option<u64>,
+    /// Cited trigger event → finding, simulated nanoseconds (None when
+    /// the finding has no resolvable provenance).
+    pub trigger_ns: Option<u64>,
+    /// Forwarded events between the trigger and the finding (None without
+    /// an [`EventIndex`]).
+    pub trigger_exits: Option<u64>,
+}
+
+/// Per-auditor detection-latency accumulator.
+#[derive(Debug, Default)]
+pub struct DetectionLatency {
+    per_auditor: Vec<(String, Vec<LatencySample>)>,
+}
+
+fn percentile(sorted: &[u64], p: u64) -> Option<u64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let rank = ((sorted.len() as u64 - 1) * p) / 100;
+    Some(sorted[rank as usize])
+}
+
+fn fmt_opt_ns(v: Option<u64>) -> String {
+    match v {
+        Some(ns) => Duration::from_nanos(ns).to_string(),
+        None => "-".to_owned(),
+    }
+}
+
+impl DetectionLatency {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        DetectionLatency::default()
+    }
+
+    /// Correlates one finding: `injection` is the activation it should be
+    /// measured against (already matched by the caller — e.g. the fault
+    /// injected into the finding's VM), `index` resolves its provenance.
+    /// The last provenance ref is taken as the trigger — auditors append
+    /// refs in consideration order, so the last is the decisive event.
+    pub fn record(
+        &mut self,
+        finding: &Finding,
+        injection: Option<&InjectionRecord>,
+        index: Option<&EventIndex>,
+    ) {
+        let e2e_ns = injection.and_then(|inj| {
+            (finding.time >= inj.time).then(|| finding.time.as_nanos() - inj.time.as_nanos())
+        });
+        let trigger_time =
+            index.and_then(|idx| finding.provenance.iter().rev().find_map(|r| idx.resolve(*r)));
+        let trigger_ns = trigger_time
+            .and_then(|t| (finding.time >= t).then(|| finding.time.as_nanos() - t.as_nanos()));
+        let trigger_exits = match (trigger_time, index) {
+            (Some(t), Some(idx)) if finding.time >= t => Some(idx.exits_between(t, finding.time)),
+            _ => None,
+        };
+        self.push(&finding.auditor, LatencySample { e2e_ns, trigger_ns, trigger_exits });
+    }
+
+    /// Adds a pre-measured sample for `auditor`.
+    pub fn push(&mut self, auditor: &str, sample: LatencySample) {
+        match self.per_auditor.iter_mut().find(|(name, _)| name == auditor) {
+            Some((_, samples)) => samples.push(sample),
+            None => self.per_auditor.push((auditor.to_owned(), vec![sample])),
+        }
+    }
+
+    /// The auditors seen so far, in first-seen order.
+    pub fn auditors(&self) -> Vec<&str> {
+        self.per_auditor.iter().map(|(name, _)| name.as_str()).collect()
+    }
+
+    /// All samples recorded for one auditor.
+    pub fn samples(&self, auditor: &str) -> &[LatencySample] {
+        self.per_auditor.iter().find(|(name, _)| name == auditor).map_or(&[], |(_, s)| s.as_slice())
+    }
+
+    fn sorted_values(
+        &self,
+        auditor: &str,
+        pick: impl Fn(&LatencySample) -> Option<u64>,
+    ) -> Vec<u64> {
+        let mut vals: Vec<u64> = self.samples(auditor).iter().filter_map(pick).collect();
+        vals.sort_unstable();
+        vals
+    }
+
+    /// Median trigger latency (cited event → finding) for `auditor`.
+    pub fn median_trigger_ns(&self, auditor: &str) -> Option<u64> {
+        percentile(&self.sorted_values(auditor, |s| s.trigger_ns), 50)
+    }
+
+    /// Median end-to-end latency (activation → finding) for `auditor`.
+    pub fn median_e2e_ns(&self, auditor: &str) -> Option<u64> {
+        percentile(&self.sorted_values(auditor, |s| s.e2e_ns), 50)
+    }
+
+    /// Exports every auditor's distributions as labelled histograms:
+    /// `hypertap_detection_latency_ns{auditor,kind}` (kind `e2e`/`trigger`)
+    /// and `hypertap_detection_latency_exits{auditor}`.
+    pub fn collect_metrics(&self, reg: &mut MetricsRegistry) {
+        for (auditor, samples) in &self.per_auditor {
+            let mut e2e = Histogram::new(&DETECTION_BOUNDS_NS);
+            let mut trig = Histogram::new(&DETECTION_BOUNDS_NS);
+            let mut exits = Histogram::new(&DETECTION_BOUNDS_EXITS);
+            for s in samples {
+                if let Some(v) = s.e2e_ns {
+                    e2e.observe(v);
+                }
+                if let Some(v) = s.trigger_ns {
+                    trig.observe(v);
+                }
+                if let Some(v) = s.trigger_exits {
+                    exits.observe(v);
+                }
+            }
+            if !e2e.is_empty() {
+                reg.histogram_with(
+                    "hypertap_detection_latency_ns",
+                    &[("auditor", auditor), ("kind", "e2e")],
+                    "fault activation to finding, simulated nanoseconds",
+                    &e2e,
+                );
+            }
+            if !trig.is_empty() {
+                reg.histogram_with(
+                    "hypertap_detection_latency_ns",
+                    &[("auditor", auditor), ("kind", "trigger")],
+                    "cited trigger event to finding, simulated nanoseconds",
+                    &trig,
+                );
+            }
+            if !exits.is_empty() {
+                reg.histogram_with(
+                    "hypertap_detection_latency_exits",
+                    &[("auditor", auditor)],
+                    "forwarded events between trigger and finding",
+                    &exits,
+                );
+            }
+        }
+    }
+
+    /// Renders the paper-style per-auditor table (Fig. 5's summary form):
+    /// sample count, e2e and trigger percentiles, and the median exit
+    /// distance.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<10} {:>4}  {:>10} {:>10} {:>10}  {:>10} {:>10}  {:>9}\n",
+            "auditor", "n", "e2e p50", "e2e p90", "e2e max", "trig p50", "trig p90", "exits p50"
+        ));
+        for (auditor, samples) in &self.per_auditor {
+            let e2e = self.sorted_values(auditor, |s| s.e2e_ns);
+            let trig = self.sorted_values(auditor, |s| s.trigger_ns);
+            let exits = self.sorted_values(auditor, |s| s.trigger_exits);
+            out.push_str(&format!(
+                "{:<10} {:>4}  {:>10} {:>10} {:>10}  {:>10} {:>10}  {:>9}\n",
+                auditor,
+                samples.len(),
+                fmt_opt_ns(percentile(&e2e, 50)),
+                fmt_opt_ns(percentile(&e2e, 90)),
+                fmt_opt_ns(e2e.last().copied()),
+                fmt_opt_ns(percentile(&trig, 50)),
+                fmt_opt_ns(percentile(&trig, 90)),
+                percentile(&exits, 50).map_or("-".to_owned(), |v| v.to_string()),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audit::Severity;
+    use crate::event::EventClass;
+    use crate::flight::FLIGHT_VERSION;
+
+    fn dump_with_events(times_ns: &[u64]) -> FlightDump {
+        FlightDump {
+            version: FLIGHT_VERSION,
+            reason: "test".to_owned(),
+            capacity: 256,
+            next_seq: times_ns.len() as u64,
+            dropped: 0,
+            records: times_ns
+                .iter()
+                .enumerate()
+                .map(|(seq, &t)| DumpRecord::Event {
+                    seq: seq as u64,
+                    time: SimTime::from_nanos(t),
+                    vm: VmId(0),
+                    vcpu: 0,
+                    class: EventClass::ProcessSwitch,
+                    detail: String::new(),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn index_resolves_refs_and_counts_exits() {
+        let idx = EventIndex::from_dump(&dump_with_events(&[100, 200, 300, 400, 500]));
+        assert_eq!(idx.len(), 5);
+        assert_eq!(idx.resolve(EventRef(2)), Some(SimTime::from_nanos(300)));
+        assert_eq!(idx.resolve(EventRef(9)), None, "evicted/unknown seq");
+        // (200, 450]: events at 300 and 400.
+        assert_eq!(idx.exits_between(SimTime::from_nanos(200), SimTime::from_nanos(450)), 2);
+        assert_eq!(idx.exits_between(SimTime::from_nanos(500), SimTime::from_nanos(999)), 0);
+    }
+
+    #[test]
+    fn record_measures_e2e_and_trigger_latency() {
+        let idx = EventIndex::from_dump(&dump_with_events(&[100, 200, 300, 400, 500]));
+        let inj = InjectionRecord {
+            label: "missing-unlock".to_owned(),
+            vm: VmId(0),
+            time: SimTime::from_nanos(150),
+        };
+        let finding = Finding::new("goshd", SimTime::from_nanos(450), Severity::Alert, "hang")
+            .with_provenance(vec![EventRef(0), EventRef(1)]);
+        let mut lat = DetectionLatency::new();
+        lat.record(&finding, Some(&inj), Some(&idx));
+        let s = lat.samples("goshd")[0];
+        assert_eq!(s.e2e_ns, Some(300), "450 - 150");
+        assert_eq!(s.trigger_ns, Some(250), "last ref #1 at 200");
+        assert_eq!(s.trigger_exits, Some(2), "events at 300 and 400 in (200, 450]");
+        assert_eq!(lat.median_trigger_ns("goshd"), Some(250));
+        assert_eq!(lat.median_e2e_ns("goshd"), Some(300));
+    }
+
+    #[test]
+    fn unresolvable_provenance_and_missing_injection_degrade_gracefully() {
+        let mut lat = DetectionLatency::new();
+        let finding = Finding::new("hrkd", SimTime::from_nanos(10), Severity::Warning, "x")
+            .with_provenance(vec![EventRef(77)]);
+        lat.record(&finding, None, Some(&EventIndex::from_dump(&dump_with_events(&[1]))));
+        let s = lat.samples("hrkd")[0];
+        assert_eq!(s.e2e_ns, None);
+        assert_eq!(s.trigger_ns, None);
+        assert_eq!(s.trigger_exits, None);
+        assert!(lat.render_table().contains("hrkd"));
+    }
+
+    #[test]
+    fn metrics_export_labels_by_auditor_and_kind() {
+        let idx = EventIndex::from_dump(&dump_with_events(&[100, 200]));
+        let inj =
+            InjectionRecord { label: "f".to_owned(), vm: VmId(0), time: SimTime::from_nanos(50) };
+        let finding = Finding::new("goshd", SimTime::from_nanos(400), Severity::Alert, "hang")
+            .with_provenance(vec![EventRef(0)]);
+        let mut lat = DetectionLatency::new();
+        lat.record(&finding, Some(&inj), Some(&idx));
+        let mut reg = MetricsRegistry::new();
+        lat.collect_metrics(&mut reg);
+        let e2e = reg
+            .find("hypertap_detection_latency_ns", &[("auditor", "goshd"), ("kind", "e2e")])
+            .expect("e2e histogram exported")
+            .as_histogram()
+            .unwrap();
+        assert_eq!(e2e.count(), 1);
+        assert!(reg.find("hypertap_detection_latency_exits", &[("auditor", "goshd")]).is_some());
+    }
+
+    #[test]
+    fn table_lists_auditors_in_first_seen_order() {
+        let mut lat = DetectionLatency::new();
+        lat.push("goshd", LatencySample { e2e_ns: Some(2_000_000_000), ..Default::default() });
+        lat.push("hrkd", LatencySample { e2e_ns: Some(5_000_000), ..Default::default() });
+        lat.push("goshd", LatencySample { e2e_ns: Some(2_001_000_000), ..Default::default() });
+        let table = lat.render_table();
+        let goshd_at = table.find("goshd").unwrap();
+        let hrkd_at = table.find("hrkd").unwrap();
+        assert!(goshd_at < hrkd_at);
+        assert!(table.contains("2.001s") || table.contains("2.000s"), "{table}");
+    }
+}

@@ -43,6 +43,14 @@
 //!   determinism contract (any worker count reproduces each VM's findings
 //!   and traces bit-for-bit), and a [`fleet::FleetAggregator`] merges
 //!   per-VM delivery stats, findings and metrics snapshots.
+//! * [`telemetry`] — the live telemetry plane: a zero-dependency HTTP
+//!   server scraping `/metrics`, `/healthz` and `/vms`, a
+//!   [`telemetry::FindingBus`] streaming findings as NDJSON, and the
+//!   [`telemetry::SelfWatch`] watchdog that raises `MonitorStalled` when
+//!   the monitor itself wedges. Host-side only, like [`metrics`].
+//! * [`latency`] — detection-latency accounting: correlates fault-campaign
+//!   injection records with finding provenance into per-auditor latency
+//!   histograms (virtual-time ns and exit count), the paper's Fig. 5.
 //!
 //! ## Example: observing process switches from CR3 loads
 //!
@@ -80,10 +88,12 @@ pub mod fleet;
 pub mod flight;
 pub mod intercept;
 pub mod kvm;
+pub mod latency;
 pub mod metrics;
 pub mod profile;
 pub mod rhc;
 pub mod ring;
+pub mod telemetry;
 pub mod vmi;
 
 /// Glob import of the framework's main types.
@@ -93,8 +103,8 @@ pub mod prelude {
     pub use crate::em::{DeliveryStats, EventMultiplexer, EventTap, TeeTap};
     pub use crate::event::{Event, EventClass, EventKind, EventMask, EventRef, SyscallGate, VmId};
     pub use crate::fleet::{
-        run_fleet, run_vm_alone, FleetAggregator, FleetConfig, FleetHost, FleetReport, FleetVm,
-        FleetWorkload, SliceOutcome, VmReport,
+        run_fleet, run_fleet_telemetry, run_vm_alone, FleetAggregator, FleetConfig, FleetHost,
+        FleetReport, FleetVm, FleetWorkload, SliceOutcome, VmReport,
     };
     pub use crate::flight::{FlightDump, FlightError, FlightRecorder, FLIGHT_VERSION};
     pub use crate::intercept::{
@@ -102,12 +112,17 @@ pub mod prelude {
         ProcessSwitchEngine, ThreadSwitchEngine, TssIntegrityEngine,
     };
     pub use crate::kvm::{Kvm, PipelineStats};
+    pub use crate::latency::{DetectionLatency, EventIndex, InjectionRecord, LatencySample};
     pub use crate::metrics::{
         collect_vm, Histogram, MetricValue, MetricsArg, MetricsRegistry, Spans,
     };
     pub use crate::profile::OsProfile;
     pub use crate::rhc::{HeartbeatSample, RemoteHealthChecker, RhcTransport};
     pub use crate::ring::{Ring, RingStats};
+    pub use crate::telemetry::{
+        FindingBus, FindingSubscriber, SelfWatch, TelemetryHub, TelemetryServer, VmPhase, VmProbe,
+        VmStatus, WorkerHealth,
+    };
 }
 
 pub use prelude::*;

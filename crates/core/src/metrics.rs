@@ -218,9 +218,18 @@ pub struct MetricEntry {
 
 /// A point-in-time snapshot of every exported metric, in insertion order
 /// (which the exporters preserve, keeping output deterministic).
+///
+/// A scraped snapshot can additionally carry *attribution*: when it was
+/// captured (host wall clock) and how many source registries were merged
+/// into it (the fleet's per-VM/per-worker provenance). Both are unset on
+/// freshly collected per-VM registries — they are stamped only at
+/// scrape/export time, so determinism comparisons between per-VM
+/// registries never see host time.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct MetricsRegistry {
     entries: Vec<MetricEntry>,
+    captured_at_unix_ns: Option<u64>,
+    merged_from: u64,
 }
 
 /// Snapshot schema version written into the JSON export.
@@ -290,6 +299,38 @@ impl MetricsRegistry {
     /// Whether the registry holds no entries.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    /// Stamps the snapshot with the current host wall-clock time (Unix
+    /// nanoseconds). Called at scrape/export time, never on per-VM
+    /// registries that feed determinism comparisons.
+    pub fn stamp_captured_now(&mut self) {
+        let now = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos().min(u64::MAX as u128) as u64)
+            .unwrap_or(0);
+        self.captured_at_unix_ns = Some(now);
+    }
+
+    /// Sets an explicit capture timestamp (Unix nanoseconds).
+    pub fn set_captured_at_unix_ns(&mut self, at: u64) {
+        self.captured_at_unix_ns = Some(at);
+    }
+
+    /// When this snapshot was captured (Unix nanoseconds), if stamped.
+    pub fn captured_at_unix_ns(&self) -> Option<u64> {
+        self.captured_at_unix_ns
+    }
+
+    /// Records how many source registries were merged into this snapshot.
+    pub fn set_merged_from(&mut self, sources: u64) {
+        self.merged_from = sources;
+    }
+
+    /// How many source registries were merged into this snapshot (0 when
+    /// never set — a single-source registry).
+    pub fn merged_from(&self) -> u64 {
+        self.merged_from
     }
 
     /// Looks up a metric by name and exact label set.
@@ -441,6 +482,111 @@ fn render_labels(labels: &[(String, String)], le: Option<&str>) -> String {
     format!("{{{}}}", parts.join(","))
 }
 
+/// Audits Prometheus text-exposition output against the format rules the
+/// scrape endpoint promises: every sample belongs to a family announced by
+/// exactly one `# TYPE`/`# HELP` pair, counter families end in `_total`,
+/// histogram families expose a `+Inf` bucket, names match the metric-name
+/// grammar, and every non-comment line is a parseable `series value` pair.
+/// Returns one message per violation — empty means clean.
+pub fn lint_prometheus(text: &str) -> Vec<String> {
+    fn valid_name(name: &str) -> bool {
+        !name.is_empty()
+            && name.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+            && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    }
+    let mut problems = Vec::new();
+    let mut types: Vec<(String, String)> = Vec::new();
+    let mut helps: Vec<String> = Vec::new();
+    let mut histogram_inf: Vec<(String, bool)> = Vec::new();
+    for (at, line) in text.lines().enumerate() {
+        let ln = at + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.splitn(2, ' ');
+            let name = parts.next().unwrap_or("");
+            let kind = parts.next().unwrap_or("");
+            if !valid_name(name) {
+                problems.push(format!("line {ln}: invalid family name in TYPE: {name:?}"));
+            }
+            if !matches!(kind, "counter" | "gauge" | "histogram" | "summary" | "untyped") {
+                problems.push(format!("line {ln}: unknown TYPE {kind:?} for {name}"));
+            }
+            if types.iter().any(|(n, _)| n == name) {
+                problems.push(format!("line {ln}: duplicate TYPE for family {name}"));
+            }
+            if kind == "histogram" {
+                histogram_inf.push((name.to_owned(), false));
+            }
+            types.push((name.to_owned(), kind.to_owned()));
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split(' ').next().unwrap_or("");
+            if helps.iter().any(|n| n == name) {
+                problems.push(format!("line {ln}: duplicate HELP for family {name}"));
+            }
+            helps.push(name.to_owned());
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // plain comment
+        }
+        let Some(space) = line.rfind(' ') else {
+            problems.push(format!("line {ln}: not a `series value` sample: {line:?}"));
+            continue;
+        };
+        let (series, value) = line.split_at(space);
+        if value.trim().parse::<f64>().is_err() {
+            problems.push(format!("line {ln}: sample value does not parse: {line:?}"));
+        }
+        let series_name = series.split('{').next().unwrap_or("");
+        if !valid_name(series_name) {
+            problems.push(format!("line {ln}: invalid series name {series_name:?}"));
+            continue;
+        }
+        // Map the series to its family: histogram samples append
+        // `_bucket`/`_sum`/`_count` to the family name.
+        let family = types.iter().find_map(|(n, kind)| {
+            if kind == "histogram" {
+                ["_bucket", "_sum", "_count"]
+                    .iter()
+                    .find(|suffix| series_name == format!("{n}{suffix}"))
+                    .map(|suffix| (n.clone(), kind.clone(), *suffix))
+            } else if series_name == n {
+                Some((n.clone(), kind.clone(), ""))
+            } else {
+                None
+            }
+        });
+        match family {
+            None => {
+                problems.push(format!("line {ln}: sample {series_name} has no preceding # TYPE"))
+            }
+            Some((fam, kind, suffix)) => {
+                if !helps.iter().any(|h| h == &fam) {
+                    problems.push(format!("line {ln}: family {fam} has no # HELP"));
+                }
+                if kind == "counter" && !fam.ends_with("_total") {
+                    problems.push(format!("line {ln}: counter {fam} must end with `_total`"));
+                }
+                if suffix == "_bucket" && series.contains("le=\"+Inf\"") {
+                    if let Some((_, saw)) = histogram_inf.iter_mut().find(|(n, _)| *n == fam) {
+                        *saw = true;
+                    }
+                }
+            }
+        }
+    }
+    for (fam, saw) in &histogram_inf {
+        if !saw {
+            problems.push(format!("histogram {fam} has no `+Inf` bucket"));
+        }
+    }
+    problems
+}
+
 impl Serialize for MetricsRegistry {
     fn to_value(&self) -> Value {
         let metrics = self
@@ -487,10 +633,18 @@ impl Serialize for MetricsRegistry {
                 Value::Object(fields)
             })
             .collect();
-        Value::Object(vec![
-            ("version".to_owned(), Value::U64(SNAPSHOT_VERSION)),
-            ("metrics".to_owned(), Value::Array(metrics)),
-        ])
+        let mut fields = vec![("version".to_owned(), Value::U64(SNAPSHOT_VERSION))];
+        // Attribution fields are emitted only when set, so un-stamped
+        // snapshots keep the original schema byte for byte (and legacy
+        // snapshots without them still parse).
+        if let Some(at) = self.captured_at_unix_ns {
+            fields.push(("captured_at_unix_ns".to_owned(), Value::U64(at)));
+        }
+        if self.merged_from != 0 {
+            fields.push(("merged_from".to_owned(), Value::U64(self.merged_from)));
+        }
+        fields.push(("metrics".to_owned(), Value::Array(metrics)));
+        Value::Object(fields)
     }
 }
 
@@ -506,6 +660,14 @@ impl Deserialize for MetricsRegistry {
                 "unsupported metrics snapshot version {version}"
             )));
         }
+        let captured_at_unix_ns = match value.get("captured_at_unix_ns") {
+            Some(v) => Some(u64::from_value(v)?),
+            None => None,
+        };
+        let merged_from = match value.get("merged_from") {
+            Some(v) => u64::from_value(v)?,
+            None => 0,
+        };
         let Value::Array(metrics) = field(value, "metrics")? else {
             return Err(serde::Error::custom("`metrics` must be an array"));
         };
@@ -549,7 +711,7 @@ impl Deserialize for MetricsRegistry {
             };
             entries.push(MetricEntry { name, labels, help, value });
         }
-        Ok(MetricsRegistry { entries })
+        Ok(MetricsRegistry { entries, captured_at_unix_ns, merged_from })
     }
 }
 
@@ -979,6 +1141,99 @@ mod tests {
         let mut b = MetricsRegistry::new();
         b.gauge("m", "as gauge", 1.0);
         a.merge(&b);
+    }
+
+    #[test]
+    fn snapshot_attribution_round_trips() {
+        let mut reg = sample_registry();
+        reg.set_captured_at_unix_ns(1_700_000_000_000_000_000);
+        reg.set_merged_from(8);
+        let json = reg.to_json();
+        assert!(json.contains("\"captured_at_unix_ns\": 1700000000000000000"), "{json}");
+        assert!(json.contains("\"merged_from\": 8"), "{json}");
+        let back = MetricsRegistry::from_json(&json).expect("attributed snapshot parses");
+        assert_eq!(back, reg);
+        assert_eq!(back.captured_at_unix_ns(), Some(1_700_000_000_000_000_000));
+        assert_eq!(back.merged_from(), 8);
+    }
+
+    #[test]
+    fn unstamped_snapshot_keeps_legacy_schema_and_legacy_json_parses() {
+        // Per-VM registries are never stamped: their JSON must not grow
+        // attribution fields (fleet determinism compares them byte-wise).
+        let json = sample_registry().to_json();
+        assert!(!json.contains("captured_at_unix_ns"), "{json}");
+        assert!(!json.contains("merged_from"), "{json}");
+        // And a legacy snapshot without the fields still parses.
+        let legacy = MetricsRegistry::from_json("{\"version\": 1, \"metrics\": []}").unwrap();
+        assert_eq!(legacy.captured_at_unix_ns(), None);
+        assert_eq!(legacy.merged_from(), 0);
+    }
+
+    #[test]
+    fn stamp_captured_now_uses_the_host_clock() {
+        let mut reg = MetricsRegistry::new();
+        assert_eq!(reg.captured_at_unix_ns(), None);
+        reg.stamp_captured_now();
+        let at = reg.captured_at_unix_ns().expect("stamped");
+        // Sometime after 2020-01-01 (no clock skew tolerance needed:
+        // this only guards against a zero/garbage stamp).
+        assert!(at > 1_577_836_800_000_000_000, "implausible capture time {at}");
+    }
+
+    #[test]
+    fn prometheus_lint_accepts_a_real_vm_snapshot() {
+        use crate::intercept::ProcessSwitchEngine;
+        use crate::kvm::Kvm;
+        use hypertap_hvsim::prelude::*;
+
+        struct TwoProcs;
+        impl GuestProgram for TwoProcs {
+            fn step(&mut self, cpu: &mut CpuCtx<'_>) -> StepOutcome {
+                cpu.write_cr3(Gpa::new(0x1000));
+                cpu.write_cr3(Gpa::new(0x2000));
+                StepOutcome::Continue
+            }
+        }
+
+        let mut machine = Machine::new(VmConfig::new(1, 16 << 20), Kvm::new());
+        let (vm, kvm) = machine.parts_mut();
+        kvm.install(vm, Box::new(ProcessSwitchEngine::new()));
+        machine.run_steps(&mut TwoProcs, 8);
+
+        let mut reg = MetricsRegistry::new();
+        collect_vm(&mut reg, machine.vm());
+        machine.hypervisor().collect_metrics(&mut reg);
+        let text = reg.to_prometheus();
+        let problems = lint_prometheus(&text);
+        assert!(problems.is_empty(), "format violations in live scrape:\n{}", problems.join("\n"));
+        assert!(text.contains("hypertap_vm_exits_total"), "scrape looks empty: {text}");
+    }
+
+    #[test]
+    fn prometheus_lint_catches_format_violations() {
+        // A counter family not ending in `_total`.
+        let mut bad_counter = MetricsRegistry::new();
+        bad_counter.counter("hypertap_events", "events", 1);
+        let problems = lint_prometheus(&bad_counter.to_prometheus());
+        assert!(problems.iter().any(|p| p.contains("must end with `_total`")), "{problems:?}");
+
+        // A sample with no preceding TYPE.
+        let problems = lint_prometheus("orphan_series 12\n");
+        assert!(problems.iter().any(|p| p.contains("no preceding # TYPE")), "{problems:?}");
+
+        // A histogram without a +Inf bucket.
+        let text = "# HELP h x\n# TYPE h histogram\nh_bucket{le=\"10\"} 1\nh_sum 5\nh_count 1\n";
+        let problems = lint_prometheus(text);
+        assert!(problems.iter().any(|p| p.contains("no `+Inf` bucket")), "{problems:?}");
+
+        // A sample line whose value is not a number.
+        let problems =
+            lint_prometheus("# HELP m_total x\n# TYPE m_total counter\nm_total NaNopes\n");
+        assert!(problems.iter().any(|p| p.contains("does not parse")), "{problems:?}");
+
+        // The registry's own export is clean by construction.
+        assert!(lint_prometheus(&sample_registry().to_prometheus()).is_empty());
     }
 
     #[test]

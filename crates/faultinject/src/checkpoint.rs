@@ -295,10 +295,7 @@ pub fn run_campaign_resumable(
         }
         on_checkpoint(&checkpoint(&results));
     });
-    results
-        .into_iter()
-        .map(|r| r.ok_or_else(|| "a trial never completed".to_string()))
-        .collect()
+    results.into_iter().map(|r| r.ok_or_else(|| "a trial never completed".to_string())).collect()
 }
 
 #[cfg(test)]
@@ -358,16 +355,19 @@ mod tests {
     fn checkpoints_are_emitted_and_final_one_is_complete() {
         let cfg = tiny_campaign();
         let mut seen = Vec::new();
-        let results =
-            run_campaign_resumable(&cfg, None, 1, |cp| seen.push(cp.clone()), |_, _| {})
-                .expect("runs");
+        let results = run_campaign_resumable(&cfg, None, 1, |cp| seen.push(cp.clone()), |_, _| {})
+            .expect("runs");
         assert!(seen.len() >= results.len(), "one checkpoint per trial plus the final one");
         let last = seen.last().expect("final checkpoint");
         assert_eq!(last.completed.len(), results.len());
         // The final checkpoint resumes to a no-op campaign.
-        let resumed = run_campaign_resumable(&cfg, Some(last), 0, |_| {}, |_, _| {
-            panic!("no trial should re-run from a complete checkpoint")
-        })
+        let resumed = run_campaign_resumable(
+            &cfg,
+            Some(last),
+            0,
+            |_| {},
+            |_, _| panic!("no trial should re-run from a complete checkpoint"),
+        )
         .expect("no-op resume");
         assert_eq!(resumed, results);
     }

@@ -162,9 +162,14 @@ pub fn run_trial(spec: &TrialSpec, cfg: &RunnerConfig) -> TrialResult {
         if vm.kernel.drain_all_mailboxes().iter().any(|(_, e)| e.tag == "sshd-beat") {
             last_beat = now;
         }
-        // Track activation.
-        if activated_at.is_none() && vm.kernel.fault_hook().activations() > 0 {
-            activated_at = Some(now);
+        // Track activation: take the exact simulated timestamp from the
+        // kernel's activation log rather than the chunk-granularity `now` —
+        // downstream detection-latency accounting is only as precise as
+        // this anchor.
+        if activated_at.is_none() {
+            if let Some(first) = vm.kernel.fault_activation_log().first() {
+                activated_at = Some(SimTime::from_nanos(first.time_ns));
+            }
         }
         // Track GOSHD.
         {

@@ -52,6 +52,26 @@ impl fmt::Display for FaultType {
     }
 }
 
+/// One observed activation of an injected fault: where and — crucially for
+/// detection-latency accounting — *when* in simulated time it fired.
+///
+/// Recorded by the kernel into a host-side log (see
+/// `Kernel::fault_activation_log`) that is **not** part of snapshot state:
+/// the serialized format keeps only the activation *count* (so transient
+/// faults stay one-shot across restore), and campaign drivers read the log
+/// live from the injecting side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultActivation {
+    /// The lock-site id the fault fired at.
+    pub site: u32,
+    /// Which fault fired.
+    pub fault: FaultType,
+    /// Whether it fired on the acquire side (versus release).
+    pub acquire: bool,
+    /// Simulated time of the activation, nanoseconds.
+    pub time_ns: u64,
+}
+
 /// Consulted by the kernel at every lock-site execution.
 pub trait FaultHook {
     /// Returns the fault to apply at this execution of `site` (`acquire`

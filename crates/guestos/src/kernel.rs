@@ -20,7 +20,7 @@ use crate::devices::{
     ConsoleDevice, DiskDevice, NicDevice, CONSOLE_PORT, DISK_PORT_DATA, NIC_IRQ_VECTOR,
     NIC_PORT_DATA, SECTOR_SIZE,
 };
-use crate::fault::{FaultHook, FaultType, NoFaults};
+use crate::fault::{FaultActivation, FaultHook, FaultType, NoFaults};
 use crate::klocks::{LockId, LockTable};
 use crate::kpath::{self, KernelExec, PathStep};
 use crate::layout::{self, task_struct as ts, thread_info as ti};
@@ -192,6 +192,11 @@ pub struct Kernel {
 
     locks: LockTable,
     fault_hook: Box<dyn FaultHook>,
+    /// Host-side record of every fault activation with its simulated
+    /// timestamp. Deliberately NOT serialized: snapshots keep only the
+    /// activation count (via [`FaultHook::activations`]), and campaign
+    /// drivers read this log live for detection-latency accounting.
+    fault_activations: Vec<FaultActivation>,
     leaked_locks: Vec<LockId>,
     path_counter: u64,
 
@@ -241,6 +246,7 @@ impl Kernel {
             runqueue: VecDeque::new(),
             locks: LockTable::new(),
             fault_hook: Box::new(NoFaults),
+            fault_activations: Vec::new(),
             leaked_locks: Vec::new(),
             path_counter: 0,
             programs: Vec::new(),
@@ -285,6 +291,13 @@ impl Kernel {
     /// Read access to the fault hook (activation counting).
     pub fn fault_hook(&self) -> &dyn FaultHook {
         self.fault_hook.as_ref()
+    }
+
+    /// Every fault activation observed so far, with simulated timestamps —
+    /// the injection-time side of detection-latency accounting. Host-side
+    /// observation only; not part of snapshot state.
+    pub fn fault_activation_log(&self) -> &[FaultActivation] {
+        &self.fault_activations
     }
 
     // ----- host-side inspection ----------------------------------------------
@@ -1423,6 +1436,14 @@ impl Kernel {
         let pid = self.tasks[slot].pid;
         let site = self.locks.site(site_idx).clone();
         let fault = self.fault_hook.check(site.id, true);
+        if let Some(f) = fault {
+            self.fault_activations.push(FaultActivation {
+                site: site.id,
+                fault: f,
+                acquire: true,
+                time_ns: cpu.now().as_nanos(),
+            });
+        }
         match fault {
             Some(FaultType::MissingUnlockLockPair) => {
                 // Believe the lock is held without acquiring it: the later
@@ -1514,6 +1535,14 @@ impl Kernel {
         let pid = self.tasks[slot].pid;
         let site = self.locks.site(site_idx).clone();
         let fault = self.fault_hook.check(site.id, false);
+        if let Some(f) = fault {
+            self.fault_activations.push(FaultActivation {
+                site: site.id,
+                fault: f,
+                acquire: false,
+                time_ns: cpu.now().as_nanos(),
+            });
+        }
         if let ExecContext::Kernel(e) = &mut self.tasks[slot].exec {
             if let Some(pos) = e.held.iter().rposition(|&h| h == site_idx) {
                 e.held.remove(pos);

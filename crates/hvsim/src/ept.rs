@@ -72,11 +72,7 @@ impl EptPerm {
         if bits > 0b111 {
             return None;
         }
-        Some(EptPerm {
-            read: bits & 1 != 0,
-            write: bits & 2 != 0,
-            execute: bits & 4 != 0,
-        })
+        Some(EptPerm { read: bits & 1 != 0, write: bits & 2 != 0, execute: bits & 4 != 0 })
     }
 }
 

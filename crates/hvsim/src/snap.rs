@@ -232,10 +232,7 @@ impl<'a> SnapReader<'a> {
 
     /// Reads one raw byte.
     pub fn byte(&mut self) -> Result<u8, SnapError> {
-        let b = *self
-            .bytes
-            .get(self.pos)
-            .ok_or(SnapError::UnexpectedEof { offset: self.pos })?;
+        let b = *self.bytes.get(self.pos).ok_or(SnapError::UnexpectedEof { offset: self.pos })?;
         self.pos += 1;
         Ok(b)
     }

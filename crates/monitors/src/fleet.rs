@@ -11,6 +11,7 @@
 use crate::harness::TapVm;
 use hypertap_core::fleet::{FleetVm, SliceOutcome, VmReport};
 use hypertap_core::prelude::VmId;
+use hypertap_core::telemetry::VmProbe;
 use hypertap_hvsim::clock::{Duration, SimTime};
 use hypertap_hvsim::machine::RunExit;
 use hypertap_hvsim::snap::{SnapError, SnapReader, SnapWriter};
@@ -156,6 +157,16 @@ impl FleetVm for FleetMember {
 
     fn restore(&mut self, bytes: &[u8]) -> Result<(), String> {
         self.restore_member(bytes).map_err(|e| e.to_string())
+    }
+
+    fn telemetry_probe(&mut self) -> Option<VmProbe> {
+        let em = &self.vm.machine.hypervisor().em;
+        Some(VmProbe {
+            now_ns: self.vm.now().as_nanos(),
+            events_in: em.stats().events_in,
+            pending_findings: em.pending_findings() as u64,
+            container_backlog: em.container_backlog(),
+        })
     }
 }
 

@@ -146,7 +146,10 @@ mod tests {
             b.machine.hypervisor().em.stats(),
             "delivery counters must continue identically"
         );
-        assert_eq!(a.machine.hypervisor().forwarded_events(), b.machine.hypervisor().forwarded_events());
+        assert_eq!(
+            a.machine.hypervisor().forwarded_events(),
+            b.machine.hypervisor().forwarded_events()
+        );
         assert_eq!(a.snapshot().unwrap(), b.snapshot().unwrap());
     }
 

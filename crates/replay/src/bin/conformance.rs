@@ -37,8 +37,8 @@ use hypertap_replay::diff::{diff_traces, DiffPolicy};
 use hypertap_replay::fleet::{fleet_conformance_pair, ScenarioFleet};
 use hypertap_replay::replay::{replay_trace, validate_provenance};
 use hypertap_replay::scenario::{
-    conformance_pairs, register_auditors, run_scenario, run_scenario_variant,
-    scenario_flight_dump, Scenario,
+    conformance_pairs, register_auditors, run_scenario, run_scenario_variant, scenario_flight_dump,
+    Scenario,
 };
 
 fn run_fleet_mode(args: &Args, vms: usize, seed: u64) {

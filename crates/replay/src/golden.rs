@@ -64,8 +64,9 @@ pub fn record_snapshot(scenario: &Scenario, at: Duration) -> Vec<u8> {
     if at > Duration::ZERO {
         vm.run_for(at);
     }
-    vm.snapshot()
-        .unwrap_or_else(|e| panic!("golden scenario {} must snapshot at {at:?}: {e}", scenario.name))
+    vm.snapshot().unwrap_or_else(|e| {
+        panic!("golden scenario {} must snapshot at {at:?}: {e}", scenario.name)
+    })
 }
 
 fn rootkit_index(name: &str) -> usize {

@@ -68,7 +68,10 @@ impl TraceRecorder {
         if trace.header != self.header {
             return Err(format!(
                 "migrated trace header mismatch: got {}/{}, want {}/{}",
-                trace.header.scenario, trace.header.config, self.header.scenario, self.header.config
+                trace.header.scenario,
+                trace.header.config,
+                self.header.scenario,
+                self.header.config
             ));
         }
         *self.shared.lock().expect("recorder buffer") = trace.records;

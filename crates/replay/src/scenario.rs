@@ -16,6 +16,7 @@ use hypertap_core::audit::CountingAuditor;
 use hypertap_core::em::EventMultiplexer;
 use hypertap_core::event::{EventClass, EventMask};
 use hypertap_core::prelude::VmId;
+use hypertap_core::telemetry::{TelemetryHub, TelemetryServer};
 use hypertap_faultinject::spec::FaultKind;
 use hypertap_guestos::fault::SingleFault;
 use hypertap_guestos::kernel::KernelConfig;
@@ -264,6 +265,21 @@ pub const SNAPSHOT_CYCLE: ConfigVariant = ConfigVariant {
 /// cycles.
 pub const SNAPSHOT_CYCLE_EVERY: u64 = 3;
 
+/// Baseline knobs, but driven with the whole live telemetry plane
+/// attached: a [`TelemetryHub`] + HTTP server scraped mid-run, an NDJSON
+/// findings subscriber draining concurrently, and the EM's finding-bus
+/// tap. Telemetry is host-side observation only, so the trace, verdict
+/// and provenance must match [`BASE`] exactly.
+pub const TELEMETRY_ON: ConfigVariant = ConfigVariant {
+    label: "tlb-on/telemetry",
+    tlb: true,
+    fine: true,
+    extra_vectors: &[],
+    metrics: false,
+    flight: true,
+    batched: true,
+};
+
 /// The configuration pairs the fuzzer differences, with their policies.
 pub fn conformance_pairs() -> Vec<(ConfigVariant, ConfigVariant, DiffPolicy)> {
     vec![
@@ -274,6 +290,7 @@ pub fn conformance_pairs() -> Vec<(ConfigVariant, ConfigVariant, DiffPolicy)> {
         (BASE, FLIGHT_OFF, DiffPolicy::Exact),
         (BASE, BATCHED_OFF, DiffPolicy::Exact),
         (BASE, SNAPSHOT_CYCLE, DiffPolicy::Exact),
+        (BASE, TELEMETRY_ON, DiffPolicy::Exact),
     ]
 }
 
@@ -407,8 +424,7 @@ impl UserProgram for ScenarioInit {
 
 /// Builds the scenario's guest inside a fresh monitored VM.
 fn install_guest(vm: &mut TapVm, scenario: &Scenario) {
-    let writer =
-        vm.kernel.register_program("writer", Box::new(|| Box::new(WriterLoop::default())));
+    let writer = vm.kernel.register_program("writer", Box::new(|| Box::new(WriterLoop::default())));
     let hanoi = vm.kernel.register_program(
         "hanoi",
         Box::new(|| Box::new(hypertap_workloads::hanoi::Hanoi::paper_default())),
@@ -424,8 +440,7 @@ fn install_guest(vm: &mut TapVm, scenario: &Scenario) {
     let rootkit = scenario.rootkit.map(|idx| {
         let spec = all_rootkits().swap_remove(idx);
         let module = vm.kernel.register_module(spec);
-        let malware =
-            vm.kernel.register_program("malware", Box::new(|| Box::new(ComputeSpin)));
+        let malware = vm.kernel.register_program("malware", Box::new(|| Box::new(ComputeSpin)));
         (module, malware.0)
     });
 
@@ -518,9 +533,57 @@ pub fn run_scenario(scenario: &Scenario, variant: &ConfigVariant) -> (Trace, Ver
 pub fn run_scenario_variant(scenario: &Scenario, variant: &ConfigVariant) -> (Trace, Verdict) {
     if variant.label == SNAPSHOT_CYCLE.label {
         run_scenario_snapshot_cycle(scenario, variant, SNAPSHOT_CYCLE_EVERY)
+    } else if variant.label == TELEMETRY_ON.label {
+        run_scenario_telemetry(scenario, variant)
     } else {
         run_scenario(scenario, variant)
     }
+}
+
+/// Runs a scenario with the whole live telemetry plane attached: a
+/// [`TelemetryHub`] with its HTTP server started and `/metrics` scraped
+/// mid-run, a findings subscriber draining concurrently, and the EM's
+/// [`FindingBus`] tap publishing every drained finding. All of it is
+/// host-side observation, so the recorded trace and the verdict must be
+/// bit-identical to an untapped run — the conformance pair that proves
+/// the telemetry plane cannot perturb the simulation.
+///
+/// [`FindingBus`]: hypertap_core::telemetry::FindingBus
+pub fn run_scenario_telemetry(scenario: &Scenario, variant: &ConfigVariant) -> (Trace, Verdict) {
+    let hub = std::sync::Arc::new(TelemetryHub::new());
+    let mut server = TelemetryServer::start(std::sync::Arc::clone(&hub))
+        .expect("telemetry server binds an ephemeral loopback port");
+    let subscriber = hub.subscribe(64);
+
+    let mut vm = build_scenario_vm(scenario, variant, VmId(0));
+    vm.machine.hypervisor_mut().em.set_finding_bus(hub.bus(), VmId(0));
+
+    let recorder = TraceRecorder::new(TraceHeader::new(
+        scenario.vcpus as u64,
+        scenario.seed,
+        scenario.name.clone(),
+        variant.label,
+    ));
+    vm.machine.hypervisor_mut().em.attach_tap(recorder.tap());
+    // Split the run so a scrape + drain genuinely happen *mid-run*, with
+    // the guest stopped at an arbitrary point — the server is live the
+    // whole time for external scrapers. Absolute targets, so the final
+    // deadline is identical to the baseline's single run_for (a relative
+    // second leg would compound the first leg's overshoot).
+    let deadline = vm.now() + scenario.duration;
+    let mid = vm.now() + Duration::from_nanos(scenario.duration.as_nanos() / 2);
+    vm.run_until(mid);
+    let _ = hub.scrape().to_prometheus();
+    let _ = subscriber.drain();
+    vm.run_until(deadline);
+    vm.machine.hypervisor_mut().em.detach_tap();
+
+    let trace = recorder.finish();
+    let verdict = Verdict::collect(&mut vm.machine.hypervisor_mut().em, &trace);
+    vm.machine.hypervisor_mut().em.clear_finding_bus();
+    let _ = subscriber.drain();
+    server.stop();
+    (trace, verdict)
 }
 
 /// Runs a scenario slice-by-slice, and every `every` slices serializes the
@@ -678,6 +741,23 @@ mod tests {
         relabeled.config = live.config.clone();
         assert_eq!(relabeled, live);
         assert_eq!(live_unbatched.findings_provenance, live.findings_provenance);
+        assert!(base.event_count() > 0);
+    }
+
+    #[test]
+    fn telemetry_pair_is_conformant_and_verdicts_match() {
+        // The telemetry plane's determinism proof: running with the HTTP
+        // server live, a subscriber draining and the EM finding-bus tap
+        // attached must record a byte-identical trace and reach the same
+        // verdict — provenance refs included — as the untapped baseline.
+        let s = Scenario::sample(7, 6);
+        let (base, live) = run_scenario(&s, &BASE);
+        let (tapped, live_tapped) = run_scenario_variant(&s, &TELEMETRY_ON);
+        assert_eq!(diff_traces(&base, &tapped, DiffPolicy::Exact), None);
+        let mut relabeled = live_tapped.clone();
+        relabeled.config = live.config.clone();
+        assert_eq!(relabeled, live);
+        assert_eq!(live_tapped.findings_provenance, live.findings_provenance);
         assert!(base.event_count() > 0);
     }
 

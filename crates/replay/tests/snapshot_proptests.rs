@@ -57,12 +57,8 @@ struct Outcome {
 
 fn recorded_vm(s: &Scenario, v: &ConfigVariant) -> (hypertap_monitors::TapVm, TraceRecorder) {
     let mut vm = build_scenario_vm(s, v, VmId(0));
-    let recorder = TraceRecorder::new(TraceHeader::new(
-        s.vcpus as u64,
-        s.seed,
-        s.name.clone(),
-        v.label,
-    ));
+    let recorder =
+        TraceRecorder::new(TraceHeader::new(s.vcpus as u64, s.seed, s.name.clone(), v.label));
     vm.machine.hypervisor_mut().em.attach_tap(recorder.tap());
     (vm, recorder)
 }

@@ -11,11 +11,11 @@
 //! with `cargo run --release -p hypertap-replay --bin record-golden` and
 //! review the deltas in the commit.
 
+use hypertap_core::prelude::VmId;
 use hypertap_hvsim::clock::Duration;
 use hypertap_hvsim::snap::SnapError;
 use hypertap_replay::golden::{golden_snapshots, record_snapshot, snapshot_path};
 use hypertap_replay::scenario::{build_scenario_vm, BASE};
-use hypertap_core::prelude::VmId;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 fn checked_in(name: &str) -> Vec<u8> {
@@ -79,9 +79,8 @@ fn truncated_snapshots_error_and_never_panic() {
     let (name, scenario, _) = &golden_snapshots()[0];
     let fixture = checked_in(name);
     // Every short prefix, then strided samples of the longer ones.
-    let lens: Vec<usize> = (0..fixture.len().min(64))
-        .chain((64..fixture.len()).step_by(997))
-        .collect();
+    let lens: Vec<usize> =
+        (0..fixture.len().min(64)).chain((64..fixture.len()).step_by(997)).collect();
     for len in lens {
         let prefix = &fixture[..len];
         let outcome = catch_unwind(AssertUnwindSafe(|| {
